@@ -1,0 +1,70 @@
+// Ablation A3 — multi-bit cells versus binary cells at equal information
+// content.
+//
+// The paper attributes part of its Table-I efficiency edge to multi-bit
+// storage: one 2-bit cell replaces two binary cells (half the stages, half
+// the intrinsic delay/energy per stored bit).  This bench stores the same
+// number of BITS with 1/2/3-bit encodings and compares energy-per-bit,
+// worst-case delay, and cell count, plus the variation cost of precision.
+// Flags: --bits_total=24 --runs=1500
+#include <vector>
+
+#include "am/calibration.h"
+#include "analysis/monte_carlo.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int bits_total = args.get_int("bits_total", 24);
+  const int runs = args.get_int("runs", 1500);
+
+  banner("Ablation A3 — multi-bit vs binary cells at equal information",
+         "Sec. IV-A: 'the enhanced energy efficiency is attributed to multi-bit capability'");
+
+  Table t({"encoding", "stages for " + std::to_string(bits_total) + " bits",
+           "E/bit random (fJ)", "E/bit worst (fJ)", "worst delay (ns)",
+           "margin pass @40mV (%)", "@60mV (%)"});
+
+  for (int bits : {1, 2, 3}) {
+    am::ChainConfig cfg;
+    cfg.encoding = am::Encoding(bits);
+    const int stages = (bits_total + bits - 1) / bits;
+    Rng rng(333);
+    const auto cal = am::calibrate_chain(cfg, rng);
+    // Random data: digits mismatch with probability 1 - 2^-bits.
+    const double mis_frac = 1.0 - 1.0 / cfg.encoding.levels();
+
+    // Variation sensitivity at this precision (worst-case query).
+    Rng mc_rng(334);
+    const analysis::FastChainMc mc(cfg, mc_rng);
+    const int hi = cfg.encoding.levels() - 1;
+    const std::vector<int> stored(static_cast<std::size_t>(stages), hi - 1);
+    const std::vector<int> query(static_cast<std::size_t>(stages), hi);
+    analysis::McOptions mo;
+    mo.runs = runs;
+    mo.seed = 5;
+    mo.variation = device::VariationModel::uniform(0.040);
+    const auto s40 = mc.run(stored, query, mo);
+    mo.variation = device::VariationModel::uniform(0.060);
+    const auto s60 = mc.run(stored, query, mo);
+
+    t.add_row(std::to_string(bits) + "-bit",
+              {static_cast<double>(stages),
+               fj(cal.energy_per_bit(stages, mis_frac)),
+               fj(cal.energy_per_bit(stages, 1.0)),
+               ns(cal.predict_delay(stages, stages)),
+               100.0 * s40.margin_pass_rate, 100.0 * s60.margin_pass_rate});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: higher precision stores the same bits in fewer stages (less\n"
+      "intrinsic delay/energy per bit) but tightens the V_TH margins — the\n"
+      "trade-off behind the paper's closing remark that measured variation\n"
+      "data 'reveals intriguing potential for 3- or 4-bit' operation.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A5 — supply-voltage sensitivity of the time-domain readout.
+//
+// A TDC decodes delay against a reference LSB characterised at nominal
+// V_DD.  If the array's local supply droops (IR drop, battery sag — the
+// energy-harvesting scenarios the paper targets), every stage slows and the
+// decoded distance drifts.  This bench measures the decode-error-free droop
+// budget, and shows that a ratiometric reference (a replica delay line on
+// the same supply, standard TD practice) removes the sensitivity — an
+// extension beyond the paper's evaluation.
+// Flags: --stages=8
+#include <cmath>
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/chain.h"
+#include "am/tdc.h"
+#include "am/words.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::am;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int stages = args.get_int("stages", 8);
+
+  banner("Ablation A5 — supply-droop sensitivity of the TDC decode",
+         "extension: IR-drop robustness for the paper's energy-constrained targets");
+
+  // Fixed TDC characterised at nominal supply.
+  ChainConfig nominal;
+  Rng rng(55);
+  const auto cal_nom = calibrate_chain(nominal, rng);
+  const TimeDigitalConverter tdc_fixed(cal_nom.predict_delay(stages, 0),
+                                       cal_nom.d_c, stages);
+
+  Table t({"V_DD droop", "true distance", "fixed-ref decode",
+           "ratiometric decode", "LSB shift (%)"});
+  const int true_mis = stages / 2;
+  for (double droop_pct : {0.0, 2.0, 5.0, 10.0, 15.0}) {
+    ChainConfig drooped = nominal;
+    drooped.vdd = nominal.vdd * (1.0 - droop_pct / 100.0);
+    Rng crng(56);
+    TdAmChain chain(drooped, stages, crng);
+    const std::vector<int> word(static_cast<std::size_t>(stages), 1);
+    chain.store(word);
+    const auto q = word_with_mismatches(word, true_mis, 4);
+    const double delay = chain.search(q).delay_total;
+
+    // Fixed reference: decode against the nominal calibration.
+    const int fixed = tdc_fixed.convert(delay);
+    // Ratiometric reference: a replica chain on the same (drooped) supply
+    // recalibrates offset and LSB implicitly.
+    Rng rrng(57);
+    const auto cal_local = calibrate_chain(drooped, rrng);
+    const TimeDigitalConverter tdc_ratio(cal_local.predict_delay(stages, 0),
+                                         cal_local.d_c, stages);
+    const int ratio = tdc_ratio.convert(delay);
+
+    t.add_row(Table::fmt(droop_pct, "%.0f") + " %",
+              {static_cast<double>(true_mis), static_cast<double>(fixed),
+               static_cast<double>(ratio),
+               100.0 * (cal_local.d_c - cal_nom.d_c) / cal_nom.d_c});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: the absolute delay LSB stretches quickly under droop, so a\n"
+      "fixed TDC reference mis-decodes beyond a few percent of sag; a replica\n"
+      "delay line sharing the array supply keeps the decode exact across the\n"
+      "whole sweep.  The paper's counter-based sensing implicitly assumes the\n"
+      "latter.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation A4 — environmental robustness: temperature and retention.
+//
+// The paper positions the TD-AM for "energy-constrained scenarios, including
+// edge AI, energy harvesting and implantable devices" — environments with
+// wide temperature ranges and long unpowered intervals.  This bench sweeps
+// both axes:
+//  * operating temperature: delay/energy of a chain re-calibrated at each
+//    corner (V_TH and mobility shift with T);
+//  * FeFET retention: memory-window closure over storage time, and the point
+//    at which aged cells start mis-deciding (transient-engine verdict).
+// Flags: --stages=8
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/chain.h"
+#include "am/tdc.h"
+#include "am/words.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::am;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int stages = args.get_int("stages", 8);
+
+  banner("Ablation A4 — temperature and retention robustness",
+         "Sec. V: 'energy-constrained scenarios' (edge / harvesting / implantable)");
+
+  // ---- temperature sweep ----
+  Table tt({"T (K)", "d_INV (ps)", "d_C (ps)", "E/search worst (fJ)",
+            "linearity R^2"});
+  for (double kelvin : {233.0, 273.0, 300.0, 358.0, 398.0}) {
+    ChainConfig cfg;
+    cfg.tech = device::TechParams::umc40_class().at_temperature(kelvin);
+    Rng rng(41);
+    const auto cal = calibrate_chain(cfg, rng);
+    tt.add_row(Table::fmt(kelvin, "%.0f"),
+               {ps(cal.d_inv), ps(cal.d_c),
+                fj(cal.predict_energy(stages, stages)), cal.delay_r_squared});
+  }
+  std::printf("Operating-temperature sweep (-40degC .. 125degC):\n%s\n",
+              tt.render().c_str());
+  std::printf(
+      "Reading: hot corners speed the subthreshold-limited precharge but cost\n"
+      "leakage margin; the delay-vs-mismatch linearity (last column) survives\n"
+      "across the automotive range.\n\n");
+
+  // ---- retention sweep ----
+  Rng rng(43);
+  ChainConfig cfg;
+  TdAmChain chain(cfg, stages, rng);
+  const auto word = random_word(rng, stages, 4);
+  chain.store(word);
+  const auto q_match = word;
+  const auto q_mis = word_with_mismatches(word, stages / 2, 4);
+
+  Table tr({"storage time", "window closure (%)", "distance(match)",
+            "distance(half-mismatch)", "decision"});
+  Rng cal_rng(44);
+  const auto cal = calibrate_chain(cfg, cal_rng);
+  const TimeDigitalConverter tdc(cal.predict_delay(stages, 0), cal.d_c, stages);
+
+  const struct {
+    const char* label;
+    double seconds;
+  } ages[] = {{"fresh", 0.0},        {"1 hour", 3600.0},
+              {"1 month", 2.6e6},    {"1 year", 3.2e7},
+              {"10 years", 3.2e8}};
+  for (const auto& a : ages) {
+    // age() accumulates; reprogram-and-age-once gives absolute ages.
+    chain.store(word);
+    chain.age(a.seconds);
+    const double closure = chain.cell(1).fa().retention_closure();
+    const int d_match = tdc.convert(chain.search(q_match).delay_total);
+    const int d_mis = tdc.convert(chain.search(q_mis).delay_total);
+    const bool ok = d_match == 0 && d_mis == stages / 2;
+    tr.add_row({a.label, Table::fmt(100.0 * closure, "%.1f"),
+                Table::fmt(d_match, "%.0f"), Table::fmt(d_mis, "%.0f"),
+                ok ? "correct" : "DEGRADED"});
+  }
+  std::printf("Retention (2-bit levels, window closes ~%.0f%%/decade):\n%s\n",
+              cfg.fefet.retention_rate_per_decade * 100.0,
+              tr.render().c_str());
+  std::printf(
+      "Reading: the half-step search margins absorb a decade-scale window\n"
+      "closure at 2-bit precision; finer encodings would need refresh.\n");
+  return 0;
+}

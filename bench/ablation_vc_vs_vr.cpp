@@ -1,0 +1,93 @@
+// Ablation A1 — variable-CAPACITANCE (this paper) versus variable-RESISTANCE
+// (prior FeFET TD-IMC) delay chains under identical V_TH variation.
+//
+// The design argument of Sec. III: putting the FeFET in the control path
+// (gating a pass capacitor) instead of the signal path makes the delay
+// first-order insensitive to V_TH shifts, and removes the OFF-state
+// propagation-failure mode.  Both effects are measured here.
+// Flags: --runs_vr=20 --sigma_mv=40
+#include <vector>
+
+#include "analysis/monte_carlo.h"
+#include "baselines/resistive_chain.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int runs_vr = args.get_int("runs_vr", 20);
+  const double sigma = args.get_double("sigma_mv", 40.0) * 1e-3;
+  const int n = 8;
+
+  banner("Ablation A1 — variable-C vs variable-R delay chain robustness",
+         "Sec. III design argument; prior-work critique of [22]/[24]-style VR chains");
+
+  // ---- VC chain (this work): fast MC, all-mismatch worst case ----
+  Rng rng(111);
+  const analysis::FastChainMc vc(am::ChainConfig{}, rng);
+  analysis::McOptions opts;
+  opts.runs = 2000;
+  opts.seed = 3;
+  opts.variation = device::VariationModel::uniform(sigma);
+  const std::vector<int> stored(n, 1), query(n, 2);
+  const auto vc_summary = vc.run(stored, query, opts);
+  const double vc_rel =
+      vc_summary.stats.stddev() / vc_summary.stats.mean();
+
+  // ---- VR chain (prior style): direct transient MC ----
+  baselines::ResistiveChainConfig vr_cfg;
+  Rng vr_rng(112);
+  baselines::ResistiveChain vr(vr_cfg, n, vr_rng);
+  const std::vector<bool> slow_mask(n, true);  // the delay-encoding state
+  vr.program_pattern(slow_mask);
+  RunningStats vr_stats;
+  Rng sample_rng(113);
+  int failures = 0;
+  for (int r = 0; r < runs_vr; ++r) {
+    std::vector<double> offsets(n);
+    for (auto& o : offsets) o = sample_rng.gaussian(0.0, sigma);
+    vr.apply_vth_offsets(offsets);
+    const auto res = vr.measure();
+    if (!res.propagated) {
+      ++failures;
+      continue;
+    }
+    vr_stats.add(res.delay_total);
+  }
+  vr.clear_offsets();
+  const double vr_rel =
+      vr_stats.count() > 0 ? vr_stats.stddev() / vr_stats.mean() : 0.0;
+
+  Table t({"architecture", "mean delay (ps)", "std (ps)", "std/mean (%)",
+           "propagation failures"});
+  t.add_row("VC (this work)",
+            {ps(vc_summary.stats.mean()), ps(vc_summary.stats.stddev()),
+             100.0 * vc_rel, 0.0});
+  t.add_row("VR (prior style)",
+            {ps(vr_stats.mean()), ps(vr_stats.stddev()), 100.0 * vr_rel,
+             static_cast<double>(failures)});
+  std::printf("sigma(V_TH) = %.0f mV, %d-stage chains, all stages in the\n"
+              "delay-encoding state:\n%s\n",
+              sigma * 1e3, n, t.render().c_str());
+
+  const double amplification = vc_rel > 0.0 ? vr_rel / vc_rel : 1e9;
+  std::printf("Relative delay spread VR/VC = %.1fx%s\n", amplification,
+              vc_rel == 0.0 ? " (VC spread below measurement floor)" : "");
+
+  // ---- OFF-state failure mode ----
+  std::vector<double> vths(n, vr_cfg.vth_fast);
+  vths[n / 2] = vr_cfg.fefet.vth_high;
+  vr.program(vths);
+  const auto blocked = vr.measure();
+  std::printf(
+      "\nOFF-state FeFET in the VR signal path: edge %s (paper: 'FeFETs in\n"
+      "OFF state can fully interrupt signal propagation').  The VC design has\n"
+      "no series FeFET, so this failure mode does not exist there.\n",
+      blocked.propagated ? "PROPAGATED (unexpected)" : "BLOCKED — failure reproduced");
+  return 0;
+}

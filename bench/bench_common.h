@@ -1,0 +1,29 @@
+// Shared scaffolding for the per-figure harnesses: consistent headers, unit
+// formatting, and a CSV output directory.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace tdam::bench {
+
+inline std::string csv_dir() {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline double ps(double seconds) { return seconds * 1e12; }
+inline double ns(double seconds) { return seconds * 1e9; }
+inline double fj(double joules) { return joules * 1e15; }
+inline double pj(double joules) { return joules * 1e12; }
+
+}  // namespace tdam::bench

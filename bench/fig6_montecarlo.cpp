@@ -1,0 +1,114 @@
+// Fig. 6 — Monte-Carlo distributions of the worst-case (all-mismatch) delay
+// under FeFET V_TH variation, for 64- and 128-stage chains.
+//
+// Engine: FastChainMc (stage-response composition), validated in-run against
+// a handful of direct transient simulations on a short chain.  Sigma levels:
+// 20/40/60 mV uniform plus the measured per-state sigmas (7.1/35/45/40 mV)
+// quoted in the paper.
+// Flags: --runs=2000 --stages=64,128 --validate=1 --bits=2
+#include <string>
+#include <vector>
+
+#include "analysis/monte_carlo.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int runs = args.get_int("runs", 2000);
+  const bool validate = args.get_bool("validate", true);
+  const int bits = args.get_int("bits", 2);
+
+  banner("Fig. 6 — Monte-Carlo delay distributions under V_TH variation",
+         "Fig. 6(a): 64 stages; Fig. 6(b): 128 stages; sigma 20..60 mV + measured");
+
+  am::ChainConfig cfg;
+  cfg.encoding = am::Encoding(bits);
+  Rng rng(606);
+  const analysis::FastChainMc mc(cfg, rng);
+
+  struct SigmaCase {
+    std::string name;
+    device::VariationModel model;
+  };
+  const std::vector<SigmaCase> sigmas = {
+      {"none", device::VariationModel::none()},
+      {"20 mV", device::VariationModel::uniform(0.020)},
+      {"40 mV", device::VariationModel::uniform(0.040)},
+      {"60 mV", device::VariationModel::uniform(0.060)},
+      {"measured [25]", device::VariationModel::measured()},
+  };
+
+  CsvWriter csv(csv_dir() + "/fig6_mc.csv",
+                {"stages", "sigma_case", "mean_ps", "std_ps", "min_ps",
+                 "max_ps", "pass_rate"});
+
+  const int mis_digit_hi = cfg.encoding.levels() - 1;
+  for (int stages : {64, 128}) {
+    std::printf("---- %d-stage chain, worst case: all stages mismatched ----\n",
+                stages);
+    Table t({"sigma(V_TH)", "mean (ps)", "std (ps)", "min (ps)", "max (ps)",
+             "within sensing margin"});
+    const std::vector<int> stored(static_cast<std::size_t>(stages),
+                                  mis_digit_hi - 1);
+    const std::vector<int> query(static_cast<std::size_t>(stages),
+                                 mis_digit_hi);
+    for (const auto& sc : sigmas) {
+      analysis::McOptions opts;
+      opts.runs = runs;
+      opts.seed = 99;
+      opts.variation = sc.model;
+      const auto s = mc.run(stored, query, opts);
+      t.add_row(sc.name,
+                {ps(s.stats.mean()), ps(s.stats.stddev()), ps(s.stats.min()),
+                 ps(s.stats.max()), 100.0 * s.margin_pass_rate});
+      csv.row(sc.name + "/" + std::to_string(stages),
+              {static_cast<double>(stages), ps(s.stats.mean()),
+               ps(s.stats.stddev()), ps(s.stats.min()), ps(s.stats.max()),
+               s.margin_pass_rate});
+
+      if (sc.name == "60 mV") {
+        // Histogram of the 60 mV case (the paper's most stressed panel).
+        const double lo = ps(s.stats.min()) - 1.0;
+        const double hi = ps(s.stats.max()) + 1.0;
+        Histogram hps(lo, hi, 13);
+        for (double d : s.delays) hps.add(ps(d));
+        std::printf("delay histogram at sigma = 60 mV (ps), %d stages:\n%s\n",
+                    stages, hps.render(44).c_str());
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf(
+      "Paper claims reproduced when: spread grows with sigma and chain length,\n"
+      "yet at sigma <= 60 mV (and at the measured per-state sigmas) the vast\n"
+      "majority of runs stay within the half-LSB sensing margin.\n\n");
+
+  if (validate) {
+    std::printf("Cross-validation of the fast engine against direct transient MC\n"
+                "(8-stage chain, sigma = 90 mV, deliberately stressed):\n");
+    analysis::McOptions opts;
+    opts.runs = 12;
+    opts.seed = 55;
+    opts.variation = device::VariationModel::uniform(0.090);
+    const std::vector<int> stored(8, 1), query(8, 2);
+    Rng drng(607);
+    analysis::DirectChainMc direct(cfg, 8, drng);
+    const auto truth = direct.run(stored, query, opts);
+    analysis::McOptions fast_opts = opts;
+    fast_opts.runs = 1000;
+    const auto fast = mc.run(stored, query, fast_opts);
+    std::printf("  direct: mean %.2f ps, std %.3f ps | fast: mean %.2f ps, std %.3f ps\n\n",
+                ps(truth.stats.mean()), ps(truth.stats.stddev()),
+                ps(fast.stats.mean()), ps(fast.stats.stddev()));
+  }
+  std::printf("CSV written to %s/fig6_mc.csv\n", csv_dir().c_str());
+  return 0;
+}

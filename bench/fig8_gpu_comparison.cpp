@@ -1,0 +1,101 @@
+// Fig. 8 — speedup and energy-efficiency of the TD-AM system (128 stages at
+// 0.6 V) over an RTX-4070-class GPU, across hypervector dimensionality for
+// the three datasets.
+//
+// AM side: calibrated behavioural model folded onto a 128x128 physical
+// array (vectors longer than one chain take multiple passes — exactly the
+// effect that attenuates the speedup at high dimensionality in the paper).
+// GPU side: roofline + launch-overhead model (batch-1 edge inference).
+// Flags: --rows=128 --stages=128 --vdd=0.6
+#include <string>
+#include <vector>
+
+#include "am/behavioral.h"
+#include "baselines/gpu_model.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int rows = args.get_int("rows", 128);
+  const int stages = args.get_int("stages", 128);
+  const double vdd = args.get_double("vdd", 0.6);
+
+  banner("Fig. 8 — TD-AM (128 stages @ 0.6 V) vs GPU",
+         "Fig. 8(a): energy efficiency; Fig. 8(b): speedup; dims 512..10240");
+
+  am::ChainConfig cfg;
+  cfg.vdd = vdd;
+  Rng rng(88);
+  const auto cal = am::calibrate_chain(cfg, rng);
+  const am::AmSystemModel am_sys(cal, rows, stages);
+  const baselines::GpuModel gpu;
+
+  struct Ds {
+    std::string name;
+    int classes;
+    int features;  // raw feature width: sets the encoding-frontend energy
+  };
+  const std::vector<Ds> datasets = {
+      {"ISOLET", 26, 617}, {"UCIHAR", 6, 561}, {"FACE", 2, 608}};
+  const std::vector<int> dims_sweep{512, 1024, 2048, 5120, 10240};
+  // Random n-bit digits mismatch with probability 1 - 2^-bits.
+  const double mis_frac = 1.0 - 1.0 / cfg.encoding.levels();
+
+  CsvWriter csv(csv_dir() + "/fig8_gpu.csv",
+                {"dataset", "dims", "am_latency_ns", "gpu_latency_ns",
+                 "speedup", "am_energy_pj", "gpu_energy_pj", "efficiency"});
+
+  double sum_speed_all = 0.0, sum_eff_all = 0.0;
+  double sum_speed_1024 = 0.0, sum_eff_1024 = 0.0;
+  int n_all = 0;
+
+  for (const auto& ds : datasets) {
+    Table t({"dims", "AM latency (ns)", "GPU latency (ns)", "speedup",
+             "AM energy (pJ)", "GPU energy (pJ)", "efficiency gain"});
+    for (int dims : dims_sweep) {
+      // Convention (conservative towards the GPU): latency compares the
+      // similarity-search operation on both sides; the AM's energy
+      // additionally carries its pipelined digital encoding frontend — the
+      // dominant AM-side term — while the GPU is charged for search only.
+      const auto am_cost =
+          am_sys.query_cost(dims, ds.classes, mis_frac, ds.features);
+      const auto gpu_cost = gpu.similarity_query(dims, ds.classes);
+      const double speedup = gpu_cost.latency / am_cost.latency;
+      const double eff = gpu_cost.energy / am_cost.energy;
+      t.add_row(Table::fmt(dims, "%.0f"),
+                {ns(am_cost.latency), ns(gpu_cost.latency), speedup,
+                 pj(am_cost.energy), pj(gpu_cost.energy), eff});
+      csv.row(ds.name, {static_cast<double>(dims), ns(am_cost.latency),
+                        ns(gpu_cost.latency), speedup, pj(am_cost.energy),
+                        pj(gpu_cost.energy), eff});
+      sum_speed_all += speedup;
+      sum_eff_all += eff;
+      ++n_all;
+      if (dims == 1024) {
+        sum_speed_1024 += speedup;
+        sum_eff_1024 += eff;
+      }
+    }
+    std::printf("%s (%d classes):\n%s\n", ds.name.c_str(), ds.classes,
+                t.render().c_str());
+  }
+
+  std::printf(
+      "Averages: speedup %.1fx (all dims), %.1fx at 1024 dims;\n"
+      "          energy efficiency %.0fx (all dims), %.0fx at 1024 dims.\n",
+      sum_speed_all / n_all, sum_speed_1024 / datasets.size(),
+      sum_eff_all / n_all, sum_eff_1024 / datasets.size());
+  std::printf(
+      "Paper's shape claims: (1) largest gains at the smallest dimensionality,\n"
+      "(2) speedup attenuates as large vectors fold across array passes while\n"
+      "the GPU amortises its launch floor, (3) energy-efficiency gains exceed\n"
+      "speedup gains by roughly an order of magnitude.\n");
+  std::printf("CSV written to %s/fig8_gpu.csv\n", csv_dir().c_str());
+  return 0;
+}

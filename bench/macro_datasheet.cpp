@@ -1,0 +1,54 @@
+// Macro datasheets — the integrator-facing summary of the whole model stack
+// (search, write, area, robustness) for representative configurations,
+// including the paper's two operating points (nominal 1.1 V and the
+// efficient 0.6 V / 128-stage point of Fig. 8).
+// Flags: --rows=128 --stages=128
+#include "am/macro.h"
+#include "bench_common.h"
+#include "util/cli.h"
+
+using namespace tdam;
+using namespace tdam::am;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int rows = args.get_int("rows", 128);
+  const int stages = args.get_int("stages", 128);
+
+  banner("Macro datasheets — aggregated model stack",
+         "derived from the paper's configurations (Sec. IV operating points)");
+
+  struct Config {
+    const char* label;
+    double vdd;
+    int bits;
+    double c_load;
+  };
+  const Config configs[] = {
+      {"nominal", 1.1, 2, 6e-15},
+      {"efficient (Fig. 8 point)", 0.6, 2, 6e-15},
+      {"high-precision", 1.1, 3, 6e-15},
+      {"high-resolution sensing", 1.1, 2, 48e-15},
+  };
+
+  for (const auto& c : configs) {
+    MacroSpec spec;
+    spec.rows = rows;
+    spec.stages = stages;
+    spec.chain.encoding = Encoding(c.bits);
+    spec.chain.vdd = c.vdd;
+    spec.chain.c_load = c.c_load;
+    spec.workload_mismatch_fraction = 1.0 - 1.0 / spec.chain.encoding.levels();
+    Rng rng(77);
+    const auto ds = characterize(spec, rng);
+    std::printf("[%s]\n%s\n", c.label, ds.to_string().c_str());
+  }
+
+  std::printf(
+      "Reading: the four sheets expose every axis of the paper's design\n"
+      "space — V_DD scaling trades throughput for energy/bit, precision\n"
+      "trades robustness for density, and a larger load capacitor buys TDC\n"
+      "resolution margin at a delay/energy cost.\n");
+  return 0;
+}

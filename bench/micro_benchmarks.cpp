@@ -1,0 +1,103 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the building
+// blocks the figure harnesses rely on.  Useful when optimising the solver or
+// scaling the Monte-Carlo / HDC studies.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "am/behavioral.h"
+#include "am/calibration.h"
+#include "am/chain.h"
+#include "am/words.h"
+#include "analysis/monte_carlo.h"
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+#include "spice/simulator.h"
+
+using namespace tdam;
+
+namespace {
+
+void BM_TransientRcStep(benchmark::State& state) {
+  spice::Circuit c;
+  const auto vdd = c.add_source_node("vdd", spice::dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(vdd, out, 1e3);
+  for (auto _ : state) {
+    spice::Simulator sim(c);
+    spice::TransientOptions opts;
+    opts.t_stop = 100e-12;
+    benchmark::DoNotOptimize(sim.run(opts).accepted_steps);
+  }
+}
+BENCHMARK(BM_TransientRcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_ChainSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  am::TdAmChain chain(am::ChainConfig{}, n, rng);
+  const std::vector<int> stored(static_cast<std::size_t>(n), 1);
+  chain.store(stored);
+  const auto q = am::word_with_mismatches(stored, n / 2, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.search(q).delay_total);
+  }
+  state.SetLabel("stages=" + std::to_string(n));
+}
+BENCHMARK(BM_ChainSearch)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FefetProgram(benchmark::State& state) {
+  Rng rng(2);
+  device::FeFet f(device::FeFetParams::hzo_default(
+                      device::TechParams::umc40_class()),
+                  rng);
+  int level = 0;
+  for (auto _ : state) {
+    f.program_vth(0.2 + 0.4 * (level++ % 4));
+    benchmark::DoNotOptimize(f.vth());
+  }
+}
+BENCHMARK(BM_FefetProgram)->Unit(benchmark::kMicrosecond);
+
+void BM_FastMcSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const analysis::FastChainMc mc(am::ChainConfig{}, rng);
+  const std::vector<int> stored(static_cast<std::size_t>(n), 1);
+  const std::vector<int> query(static_cast<std::size_t>(n), 2);
+  const std::vector<double> offsets(static_cast<std::size_t>(n), 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.compose_delay(stored, query, offsets, offsets));
+  }
+  state.SetLabel("stages=" + std::to_string(n));
+}
+BENCHMARK(BM_FastMcSample)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_BehavioralSearch(benchmark::State& state) {
+  Rng rng(4);
+  const auto cal = am::calibrate_chain(am::ChainConfig{}, rng);
+  am::BehavioralAm amach(cal, 128);
+  for (int r = 0; r < 26; ++r) amach.store(am::random_word(rng, 128, 4));
+  const auto q = am::random_word(rng, 128, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amach.search(q).best_row);
+  }
+}
+BENCHMARK(BM_BehavioralSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_HdcEncode(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  Rng rng(5);
+  hdc::Encoder enc(617, dims, rng);
+  std::vector<float> sample(617);
+  for (auto& v : sample) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(sample.data(), dims).size());
+  }
+  state.SetLabel("dims=" + std::to_string(dims));
+}
+BENCHMARK(BM_HdcEncode)->Arg(1024)->Arg(10240)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

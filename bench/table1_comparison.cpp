@@ -1,0 +1,99 @@
+// Table I — energy-per-bit comparison against the state-of-the-art IMC /
+// TD-IMC similarity-computation designs.
+//
+// The competitor rows are literature values quoted by the paper (we cannot
+// re-simulate 14/28/45 nm silicon); the "This work" row is re-derived from
+// our own behavioural circuit stack at the best operating point found by the
+// Fig. 5 V_DD sweep.  Both the paper's quoted numbers and our measured
+// numbers are printed so the who-beats-whom ordering is visible.
+#include <vector>
+
+#include "am/calibration.h"
+#include "baselines/crossbar_cam.h"
+#include "baselines/digital_popcount.h"
+#include "baselines/table1.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace tdam;
+using namespace tdam::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  banner("Table I — comparison with state-of-the-art TD-IMC designs",
+         "Table I: energy per bit, cell size, SC capability");
+
+  // Our measured operating points (worst-case all-mismatch workload, the
+  // conservative convention; random data at 75% mismatch shown too).
+  struct OpPoint {
+    double vdd;
+    am::CalibrationResult cal;
+  };
+  std::vector<OpPoint> points;
+  for (double vdd : {1.1, 0.8, 0.6}) {
+    am::ChainConfig cfg;
+    cfg.vdd = vdd;
+    Rng rng(31);
+    points.push_back({vdd, am::calibrate_chain(cfg, rng)});
+  }
+
+  Table ours({"V_DD (V)", "E/bit worst (fJ)", "E/bit random (fJ)",
+              "d_C (ps)", "d_INV (ps)"});
+  double best = 1e300;
+  for (const auto& p : points) {
+    const double worst = fj(p.cal.energy_per_bit(128, 1.0));
+    const double random = fj(p.cal.energy_per_bit(128, 0.75));
+    best = std::min(best, worst);
+    ours.add_row(Table::fmt(p.vdd, "%.1f"),
+                 {worst, random, ps(p.cal.d_c), ps(p.cal.d_inv)});
+  }
+  std::printf("This work, measured on our 40 nm-class behavioural stack\n"
+              "(4T-2FeFET stage, C_load = 6 fF, 128-stage chain):\n%s\n",
+              ours.render().c_str());
+
+  Table t({"Design", "Domain", "Device", "Cell/Stage", "SC type",
+           "E/bit (fJ)", "vs paper's 0.159", "Tech (nm)"});
+  const double paper_ours = baselines::paper_this_work_fj_per_bit();
+  for (const auto& row : baselines::table1_literature()) {
+    t.add_row({row.design, row.signal_domain, row.device, row.cell,
+               row.quantitative ? "quantitative" : "non-quant.",
+               Table::fmt(row.energy_per_bit_fj, "%.3f"),
+               "x" + Table::fmt(row.energy_per_bit_fj / paper_ours, "%.2f"),
+               Table::fmt(row.technology_nm, "%.0f")});
+  }
+  t.add_row({"This work (paper)", "Time", "FeFET", "4T-2FeFET", "quantitative",
+             Table::fmt(paper_ours, "%.3f"), "x1.00", "40"});
+  t.add_row({"This work (our sim)", "Time", "FeFET", "4T-2FeFET",
+             "quantitative", Table::fmt(best, "%.3f"),
+             "x" + Table::fmt(best / paper_ours, "%.2f"), "40 (class)"});
+  // Extra row the paper omits: a plain digital comparator array (XNOR +
+  // popcount + SRAM reads), the default non-IMC answer.
+  const baselines::DigitalPopcountModel digital;
+  const double e_digital = digital.energy_per_bit(128, 2) * 1e15;
+  t.add_row({"Digital popcount (our model)", "Digital", "CMOS", "SRAM+logic",
+             "quantitative", Table::fmt(e_digital, "%.3f"),
+             "x" + Table::fmt(e_digital / paper_ours, "%.2f"), "40 (class)"});
+  // Current-domain crossbar CAM with ADC sensing (Sec. II-B comparison).
+  const baselines::CrossbarCamModel crossbar;
+  const double e_xbar = crossbar.energy_per_bit(128, 2, 0.75) * 1e15;
+  t.add_row({"Crossbar CAM+ADC (our model)", "Current", "FeFET", "1FeFET+ADC",
+             "quantitative", Table::fmt(e_xbar, "%.3f"),
+             "x" + Table::fmt(e_xbar / paper_ours, "%.2f"), "40 (class)"});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "Ordering check (the paper's claims):\n"
+      "  - beats JSSC'21 CMOS TD-IMC (x13.84 quoted)          : %s\n"
+      "  - beats prior FeFET TD design [24] (x1.47 quoted)    : %s\n"
+      "  - loses only to the 14 nm IEDM'21 point (x0.245)     : %s\n"
+      "  - is the only Hamming-quantitative TD design in table: by construction\n",
+      best < 2.20 ? "REPRODUCED" : "not reproduced",
+      best < 0.234 ? "REPRODUCED" : "close (absolute fJ depends on technology calibration)",
+      best > 0.039 ? "REPRODUCED" : "not reproduced");
+  std::printf(
+      "\nNote: literature rows are quoted from their publications (different\n"
+      "technologies and measurement conventions); only the 'This work' row is\n"
+      "re-derived from simulation.  Shape, not absolute fJ, is the claim.\n");
+  return 0;
+}

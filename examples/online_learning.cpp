@@ -1,0 +1,78 @@
+// Online learning with the AM in the inference loop — the capability the
+// paper highlights against winner-take-all designs: "this design does not
+// output the exact similarity result, which is crucial for parameter update
+// in some machine learning algorithms [OnlineHD]".
+//
+// The TD-AM outputs quantitative per-class distances, so OnlineHD's
+// error-driven updates can be computed from the hardware's own decisions.
+// This example trains a classifier that way and compares it against
+// (a) bundling-only and (b) pure-software float training.
+//
+//   $ ./online_learning [--dims=1024] [--bits=2] [--epochs=4]
+#include <cstdio>
+#include <vector>
+
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+#include "hdc/online.h"
+#include "util/cli.h"
+
+using namespace tdam;
+using namespace tdam::hdc;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int dims = args.get_int("dims", 1024);
+  const int bits = args.get_int("bits", 2);
+  const int epochs = args.get_int("epochs", 4);
+
+  Rng rng(3);
+  const auto split = make_ucihar_like(rng, 1200, 400);
+  Encoder encoder(split.train.num_features(), dims, rng);
+  const auto enc_train = encoder.encode_dataset(split.train, dims);
+  const auto enc_test = encoder.encode_dataset(split.test, dims);
+  std::vector<int> ltr, lte;
+  for (std::size_t i = 0; i < split.train.size(); ++i)
+    ltr.push_back(split.train.label(i));
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    lte.push_back(split.test.label(i));
+
+  std::printf("UCIHAR-shaped dataset, %d dims, %d-bit AM digits\n\n", dims, bits);
+
+  // (a) bundling only (no error feedback at all).
+  HdcModel bundled(split.train.num_classes(), dims);
+  TrainOptions none;
+  none.epochs = 0;
+  bundled.train(enc_train, ltr);
+  const QuantizedModel qb(bundled, bits, SimilarityKernel::kL1Digits);
+  std::printf("bundling only, quantized:        %.3f\n",
+              qb.evaluate(enc_test, lte));
+
+  // (b) float OnlineHD trained in software, quantized afterwards.
+  HdcModel software(split.train.num_classes(), dims);
+  TrainOptions sw;
+  sw.epochs = epochs;
+  software.train(enc_train, ltr, sw);
+  const QuantizedModel qs(software, bits, SimilarityKernel::kL1Digits);
+  std::printf("software float training:         %.3f (fp32: %.3f)\n",
+              qs.evaluate(enc_test, lte), software.evaluate(enc_test, lte));
+
+  // (c) AM-in-the-loop: inference during training runs in the quantized
+  // digit domain the hardware computes.
+  OnlineAmOptions opts;
+  opts.bits = bits;
+  opts.epochs = epochs;
+  opts.kernel = SimilarityKernel::kL1Digits;
+  OnlineAmLearner learner(split.train.num_classes(), dims, opts);
+  const auto report = learner.train(enc_train, ltr);
+  std::printf("AM-in-the-loop training:         %.3f\n",
+              learner.evaluate(enc_test, lte));
+  std::printf(
+      "  %d error-driven updates, %d AM re-quantizations, final train acc %.3f\n",
+      report.updates, report.requantizations, report.train_accuracy);
+  std::printf(
+      "\nThe AM-in-the-loop model sees exactly the quantization error the\n"
+      "hardware will have at inference time, which is why it matches or beats\n"
+      "software training followed by post-hoc quantization.\n");
+  return 0;
+}

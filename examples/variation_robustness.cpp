@@ -1,0 +1,82 @@
+// Variation robustness walkthrough — how to use the Monte-Carlo tooling to
+// qualify a TD-AM configuration against FeFET device variation.
+//
+// Sweeps sigma(V_TH) for a chosen precision and chain length, reports the
+// delay distribution and the sensing-margin pass rate, and shows the
+// trade-off the paper's Fig. 6 discussion ends on: the measured prototype
+// variation is harmless at 2 bits and the margins shrink at 3-4 bits.
+//
+//   $ ./variation_robustness [--stages=64] [--bits=2] [--runs=2000]
+#include <cstdio>
+#include <vector>
+
+#include "analysis/monte_carlo.h"
+#include "util/cli.h"
+#include "util/histogram.h"
+
+using namespace tdam;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int stages = args.get_int("stages", 64);
+  const int bits = args.get_int("bits", 2);
+  const int runs = args.get_int("runs", 2000);
+
+  am::ChainConfig config;
+  config.encoding = am::Encoding(bits);
+
+  std::printf("characterising the stage response surface (one-off transients)...\n");
+  Rng rng(99);
+  const analysis::FastChainMc mc(config, rng);
+  std::printf("  nominal d_INV = %.2f ps, d_C = %.2f ps, sensing margin = +-%.2f ps\n\n",
+              mc.response().calibration.d_inv * 1e12,
+              mc.response().calibration.d_c * 1e12,
+              0.5 * mc.response().calibration.d_c * 1e12);
+
+  const int hi = config.encoding.levels() - 1;
+  const std::vector<int> stored(static_cast<std::size_t>(stages), hi - 1);
+  const std::vector<int> query(static_cast<std::size_t>(stages), hi);
+
+  std::printf("worst case: all %d stages mismatched, %d-bit digits\n\n", stages,
+              bits);
+  std::printf("%-14s %10s %10s %12s\n", "sigma(V_TH)", "mean (ps)", "std (ps)",
+              "pass rate");
+  for (double sigma_mv : {0.0, 20.0, 40.0, 60.0, 80.0}) {
+    analysis::McOptions opts;
+    opts.runs = runs;
+    opts.seed = 11;
+    opts.variation = sigma_mv == 0.0
+                         ? device::VariationModel::none()
+                         : device::VariationModel::uniform(sigma_mv * 1e-3);
+    const auto s = mc.run(stored, query, opts);
+    std::printf("%8.0f mV    %10.2f %10.3f %11.1f%%\n", sigma_mv,
+                s.stats.mean() * 1e12, s.stats.stddev() * 1e12,
+                100.0 * s.margin_pass_rate);
+  }
+
+  {
+    analysis::McOptions opts;
+    opts.runs = runs;
+    opts.seed = 11;
+    opts.variation = device::VariationModel::measured();
+    const auto s = mc.run(stored, query, opts);
+    std::printf("%-14s %10.2f %10.3f %11.1f%%   <- prototype-chip sigmas [25]\n",
+                "measured", s.stats.mean() * 1e12, s.stats.stddev() * 1e12,
+                100.0 * s.margin_pass_rate);
+
+    const double lo = s.stats.min() * 1e12 - 1.0;
+    const double hi_ps = s.stats.max() * 1e12 + 1.0;
+    Histogram h(lo, hi_ps, 11);
+    for (double d : s.delays) h.add(d * 1e12);
+    std::printf("\ndelay histogram under measured variation (ps):\n%s\n",
+                h.render(40).c_str());
+  }
+
+  std::printf(
+      "Interpretation: delays only ever SHRINK under variation (an under-\n"
+      "discharged match node removes one LSB), so associative search is\n"
+      "robust until the per-cell failure probability times the chain length\n"
+      "approaches one — which is why longer chains and finer precisions\n"
+      "degrade first.\n");
+  return 0;
+}

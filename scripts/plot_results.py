@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench harnesses write to bench_out/.
+
+Usage:
+    python3 scripts/plot_results.py [bench_out_dir] [output_dir]
+
+Produces one PNG per figure when matplotlib is available; otherwise prints
+what it would plot.  The harness binaries remain the source of truth — this
+script only renders their CSV output into paper-style panels.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - environment-dependent
+    plt = None
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        return list(reader)
+
+
+def plot_fig4(rows, out):
+    xs = [float(r["mismatches"]) for r in rows]
+    for key, label in [("d_rise_ps", "rising"), ("d_fall_ps", "falling"),
+                       ("d_total_ps", "total")]:
+        plt.plot(xs, [float(r[key]) for r in rows], marker="o", label=label)
+    plt.xlabel("mismatched stages")
+    plt.ylabel("delay (ps)")
+    plt.title("Fig. 4(c): delay vs mismatched stages")
+    plt.legend()
+    plt.savefig(out)
+    plt.close()
+
+
+def plot_fig6(rows, out):
+    groups = defaultdict(list)
+    for r in rows:
+        groups[(r["sigma_case"], r["stages"])].append(r)
+    labels, stds = [], []
+    for (case, stages), rs in sorted(groups.items()):
+        labels.append(f"{case.split('/')[0]}\n{stages}st")
+        stds.append(float(rs[0]["std_ps"]))
+    plt.bar(range(len(labels)), stds)
+    plt.xticks(range(len(labels)), labels, fontsize=7)
+    plt.ylabel("delay std (ps)")
+    plt.title("Fig. 6: Monte-Carlo delay spread")
+    plt.savefig(out)
+    plt.close()
+
+
+def plot_fig7(rows, out):
+    # quantized-cosine kernel only (kernel == 0)
+    data = defaultdict(dict)
+    datasets = set()
+    for r in rows:
+        if float(r["kernel"]) != 0.0:
+            continue
+        datasets.add(r["dataset"])
+        data[(r["dataset"], int(float(r["bits"])))][int(float(r["dims"]))] = \
+            float(r["accuracy"])
+    fig, axes = plt.subplots(1, len(datasets), figsize=(4 * len(datasets), 3.2),
+                             sharey=True)
+    if len(datasets) == 1:
+        axes = [axes]
+    for ax, ds in zip(axes, sorted(datasets)):
+        for bits in (32, 4, 3, 2, 1):
+            series = data.get((ds, bits))
+            if not series:
+                continue
+            dims = sorted(series)
+            ax.plot(dims, [series[d] for d in dims], marker="o",
+                    label=f"{bits}-bit")
+        ax.set_xscale("log")
+        ax.set_title(ds, fontsize=8)
+        ax.set_xlabel("dims")
+    axes[0].set_ylabel("accuracy")
+    axes[-1].legend(fontsize=7)
+    fig.suptitle("Fig. 7: accuracy vs precision and dimensionality")
+    fig.savefig(out, bbox_inches="tight")
+    plt.close(fig)
+
+
+def plot_fig8(rows, out):
+    fig, (ax_s, ax_e) = plt.subplots(1, 2, figsize=(9, 3.2))
+    series = defaultdict(list)
+    for r in rows:
+        series[r["dataset"]].append(r)
+    for ds, rs in sorted(series.items()):
+        rs.sort(key=lambda r: float(r["dims"]))
+        dims = [float(r["dims"]) for r in rs]
+        ax_s.plot(dims, [float(r["speedup"]) for r in rs], marker="o", label=ds)
+        ax_e.plot(dims, [float(r["efficiency"]) for r in rs], marker="s",
+                  label=ds)
+    for ax, title in ((ax_s, "Fig. 8(b): speedup"),
+                      (ax_e, "Fig. 8(a): energy efficiency")):
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_xlabel("dims")
+        ax.set_title(title, fontsize=9)
+        ax.legend(fontsize=7)
+    fig.savefig(out, bbox_inches="tight")
+    plt.close(fig)
+
+
+PLOTTERS = {
+    "fig4_linearity.csv": plot_fig4,
+    "fig6_mc.csv": plot_fig6,
+    "fig7_accuracy.csv": plot_fig7,
+    "fig8_gpu.csv": plot_fig8,
+}
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_out"
+    dst = sys.argv[2] if len(sys.argv) > 2 else src
+    if not os.path.isdir(src):
+        sys.exit(f"no such directory: {src} (run the bench binaries first)")
+    os.makedirs(dst, exist_ok=True)
+    for name, plotter in PLOTTERS.items():
+        path = os.path.join(src, name)
+        if not os.path.exists(path):
+            print(f"skip {name}: not found")
+            continue
+        rows = read_csv(path)
+        out = os.path.join(dst, name.replace(".csv", ".png"))
+        if plt is None:
+            print(f"would plot {name} -> {out} (matplotlib not installed)")
+            continue
+        plotter(rows, out)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

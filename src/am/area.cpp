@@ -1,0 +1,60 @@
+#include "am/area.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdam::am {
+
+AreaModel::AreaModel(AreaParams params) : params_(params) {
+  if (params_.feature_nm <= 0.0 || params_.mom_density_ff_per_um2 <= 0.0)
+    throw std::invalid_argument("AreaModel: bad parameters");
+}
+
+double AreaModel::um2_per_f2() const {
+  const double f_um = params_.feature_nm * 1e-3;
+  return f_um * f_um;
+}
+
+double AreaModel::cell_area_um2(int transistors, int fefets) const {
+  if (transistors < 0 || fefets < 0)
+    throw std::invalid_argument("AreaModel: negative device count");
+  const double f2 = static_cast<double>(transistors) * params_.f2_per_transistor +
+                    static_cast<double>(fefets) * params_.f2_per_fefet;
+  return f2 * um2_per_f2();
+}
+
+StageArea AreaModel::stage_area(const ChainConfig& config) const {
+  StageArea area;
+  // 4T (inverter pair + pass + precharge, width-weighted) + 2 FeFETs.
+  const double width_sum = config.wn_inv + config.wp_inv + config.w_pass +
+                           config.w_precharge;
+  area.logic_um2 = (width_sum * params_.f2_per_transistor +
+                    2.0 * config.fefet.width * params_.f2_per_fefet) *
+                   um2_per_f2();
+  area.capacitor_um2 =
+      (config.c_load * 1e15) / params_.mom_density_ff_per_um2;
+  area.total_um2 = params_.capacitor_over_logic
+                       ? std::max(area.logic_um2, area.capacitor_um2)
+                       : area.logic_um2 + area.capacitor_um2;
+  return area;
+}
+
+double AreaModel::array_area_um2(const ChainConfig& config, int rows,
+                                 int stages) const {
+  if (rows < 1 || stages < 1)
+    throw std::invalid_argument("AreaModel: bad array shape");
+  const StageArea stage = stage_area(config);
+  // Per-row periphery: sensing buffer (4T) + a 10-bit counter TDC (~14T per
+  // bit) + partial-sum latch (~6T/bit).
+  const double per_row = cell_area_um2(4 + 10 * 14 + 10 * 6, 0);
+  // Per-stage-column periphery: two SL drivers, each a (levels+1)-way switch
+  // (~2T per level) plus decode.
+  const double per_col =
+      cell_area_um2(2 * (2 * (config.encoding.levels() + 1) + 6), 0);
+  return static_cast<double>(rows) * static_cast<double>(stages) *
+             stage.total_um2 +
+         static_cast<double>(rows) * per_row +
+         static_cast<double>(stages) * per_col;
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,52 @@
+// First-order area model for TD-AM stages and arrays.
+//
+// Transistor-count-based estimates (dense custom layout, F^2 units scaled by
+// the technology's feature size) plus explicit MOM capacitor area.  Used by
+// the Table-I discussion: the paper's density argument is about
+// cell/stage transistor counts (16T TCAM vs 4T-2FeFET), and the load
+// capacitor turns out to dominate stage area at the default 6 fF unless it
+// is stacked above the logic (both numbers are reported).
+#pragma once
+
+#include "am/chain.h"
+
+namespace tdam::am {
+
+struct AreaParams {
+  double feature_nm = 40.0;       // technology feature size F
+  double f2_per_transistor = 40;  // layout area per transistor in F^2
+  double f2_per_fefet = 36;       // FeFETs need no separate storage node
+  double mom_density_ff_per_um2 = 2.0;  // MOM finger-cap density
+  bool capacitor_over_logic = true;     // MOM stacked above active area
+};
+
+struct StageArea {
+  double logic_um2 = 0.0;      // transistors + FeFETs
+  double capacitor_um2 = 0.0;  // load capacitor footprint
+  double total_um2 = 0.0;      // respects capacitor_over_logic
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(AreaParams params = {});
+
+  // Area of one generic cell given its device counts (for Table-I rows).
+  double cell_area_um2(int transistors, int fefets) const;
+
+  // Area of one delay stage of `config` (inverter + pass + precharge +
+  // 2-FeFET cell + load capacitor).
+  StageArea stage_area(const ChainConfig& config) const;
+
+  // Full array: rows x stages plus a per-row TDC/buffer strip and per-column
+  // SL driver strip (modelled as equivalent transistor counts).
+  double array_area_um2(const ChainConfig& config, int rows, int stages) const;
+
+  const AreaParams& params() const { return params_; }
+
+ private:
+  double um2_per_f2() const;
+
+  AreaParams params_;
+};
+
+}  // namespace tdam::am

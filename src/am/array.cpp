@@ -1,0 +1,64 @@
+#include "am/array.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "am/calibration.h"
+
+namespace tdam::am {
+
+namespace {
+TimeDigitalConverter make_tdc(const ChainConfig& config, int stages, Rng& rng) {
+  Rng cal_rng = rng.fork(0x7dc);
+  const CalibrationResult cal = calibrate_chain(config, cal_rng);
+  return TimeDigitalConverter(cal.predict_delay(stages, 0), cal.d_c, stages);
+}
+}  // namespace
+
+TdAmArray::TdAmArray(const ChainConfig& config, int rows, int stages, Rng& rng)
+    : config_(config), stages_(stages), tdc_(make_tdc(config, stages, rng)) {
+  if (rows < 1) throw std::invalid_argument("TdAmArray: need at least one row");
+  chains_.reserve(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) chains_.emplace_back(config_, stages_, rng);
+}
+
+TdAmChain& TdAmArray::chain(int row) {
+  if (row < 0 || row >= rows())
+    throw std::out_of_range("TdAmArray: bad row index");
+  return chains_[static_cast<std::size_t>(row)];
+}
+
+void TdAmArray::store_row(int row, std::span<const int> digits) {
+  chain(row).store(digits);
+}
+
+std::vector<int> TdAmArray::stored_row(int row) const {
+  if (row < 0 || row >= rows())
+    throw std::out_of_range("TdAmArray: bad row index");
+  return chains_[static_cast<std::size_t>(row)].stored();
+}
+
+void TdAmArray::apply_variation(const device::VariationModel& model, Rng& rng) {
+  for (auto& c : chains_) c.apply_variation(model, rng);
+}
+
+void TdAmArray::clear_variation() {
+  for (auto& c : chains_) c.clear_variation();
+}
+
+ArraySearchResult TdAmArray::search(std::span<const int> query) {
+  ArraySearchResult out;
+  out.rows.reserve(chains_.size());
+  for (auto& c : chains_) {
+    out.rows.push_back(c.search(query));
+    const auto& r = out.rows.back();
+    out.distances.push_back(tdc_.convert(r.delay_total));
+    out.latency = std::max(out.latency, r.delay_total);
+    out.energy += r.energy;
+  }
+  const auto it = std::min_element(out.distances.begin(), out.distances.end());
+  out.best_row = static_cast<int>(it - out.distances.begin());
+  return out;
+}
+
+}  // namespace tdam::am

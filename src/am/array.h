@@ -1,0 +1,57 @@
+// Transient-backed TD-AM array (Fig. 3a): M delay chains share the vertical
+// search lines, so one query is compared against M stored vectors in
+// parallel and each chain's delay encodes its Hamming distance to the query.
+//
+// Electrically the chains are independent pull-paths on common SLs, so the
+// array transient factorises into per-chain transients; this class runs them
+// through the circuit engine and aggregates delays, digitised distances and
+// energy.  For large arrays use am::BehavioralAm, which applies the
+// calibrated closed-form model instead.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "am/chain.h"
+#include "am/tdc.h"
+#include "util/rng.h"
+
+namespace tdam::am {
+
+struct ArraySearchResult {
+  std::vector<SearchResult> rows;   // per stored vector
+  std::vector<int> distances;      // TDC-digitised mismatch counts
+  int best_row = -1;               // argmin distance (ties: lowest index)
+  double latency = 0.0;            // slowest chain = array search latency (s)
+  double energy = 0.0;             // total over all chains (J)
+};
+
+class TdAmArray {
+ public:
+  TdAmArray(const ChainConfig& config, int rows, int stages, Rng& rng);
+
+  int rows() const { return static_cast<int>(chains_.size()); }
+  int stages() const { return stages_; }
+
+  void store_row(int row, std::span<const int> digits);
+  std::vector<int> stored_row(int row) const;
+
+  void apply_variation(const device::VariationModel& model, Rng& rng);
+  void clear_variation();
+
+  // Parallel associative search: query against every stored row.
+  ArraySearchResult search(std::span<const int> query);
+
+  // TDC built from the nominal calibration of this configuration.
+  const TimeDigitalConverter& tdc() const { return tdc_; }
+
+ private:
+  TdAmChain& chain(int row);
+
+  ChainConfig config_;
+  int stages_;
+  std::vector<TdAmChain> chains_;
+  TimeDigitalConverter tdc_;
+};
+
+}  // namespace tdam::am

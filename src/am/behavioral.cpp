@@ -1,0 +1,105 @@
+#include "am/behavioral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::am {
+
+namespace {
+TimeDigitalConverter tdc_for(const CalibrationResult& cal, int stages) {
+  return TimeDigitalConverter(cal.predict_delay(stages, 0), cal.d_c, stages);
+}
+}  // namespace
+
+BehavioralAm::BehavioralAm(const CalibrationResult& cal, int stages)
+    : cal_(cal), stages_(stages), tdc_(tdc_for(cal, stages)) {
+  if (stages < 1) throw std::invalid_argument("BehavioralAm: stages must be >= 1");
+}
+
+int BehavioralAm::store(std::span<const int> digits) {
+  if (static_cast<int>(digits.size()) != stages_)
+    throw std::invalid_argument("BehavioralAm::store: wrong digit count");
+  rows_.emplace_back(digits.begin(), digits.end());
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void BehavioralAm::clear() { rows_.clear(); }
+
+double BehavioralAm::chain_delay(int mismatches) const {
+  return cal_.predict_delay(stages_, mismatches);
+}
+
+double BehavioralAm::chain_energy(int mismatches) const {
+  return cal_.predict_energy(stages_, mismatches);
+}
+
+BehavioralSearch BehavioralAm::search(std::span<const int> query) const {
+  if (static_cast<int>(query.size()) != stages_)
+    throw std::invalid_argument("BehavioralAm::search: wrong digit count");
+  BehavioralSearch out;
+  out.distances.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    int mis = 0;
+    for (std::size_t i = 0; i < row.size(); ++i)
+      if (row[i] != query[i]) ++mis;
+    // The physical chain reports the TDC-digitised delay; at nominal
+    // calibration this equals the true mismatch count.
+    const double delay = cal_.predict_delay(stages_, mis);
+    out.distances.push_back(tdc_.convert(delay));
+    out.latency = std::max(out.latency, delay);
+    out.energy += cal_.predict_energy(stages_, mis);
+  }
+  if (!out.distances.empty()) {
+    const auto it = std::min_element(out.distances.begin(), out.distances.end());
+    out.best_row = static_cast<int>(it - out.distances.begin());
+  }
+  return out;
+}
+
+AmSystemModel::AmSystemModel(const CalibrationResult& cal, int rows, int stages)
+    : cal_(cal), rows_(rows), stages_(stages) {
+  if (rows < 1 || stages < 1)
+    throw std::invalid_argument("AmSystemModel: rows/stages must be >= 1");
+}
+
+double AmSystemModel::pass_cycle_time() const {
+  const double worst_delay = cal_.predict_delay(stages_, stages_);
+  return 2.0 * (t_precharge + t_settle) + worst_delay;
+}
+
+AmSystemModel::Cost AmSystemModel::query_cost(int digits, int vectors,
+                                              double mismatch_fraction,
+                                              int encoder_features) const {
+  if (digits < 1 || vectors < 1)
+    throw std::invalid_argument("AmSystemModel: digits/vectors must be >= 1");
+  Cost cost;
+  // Each stored vector occupies ceil(digits/stages) chain segments; the
+  // array processes `rows_` segments per pass.
+  const int segments_per_vector =
+      (digits + stages_ - 1) / stages_;
+  const long total_segments =
+      static_cast<long>(segments_per_vector) * static_cast<long>(vectors);
+  cost.passes = static_cast<int>((total_segments + rows_ - 1) / rows_);
+  cost.latency = static_cast<double>(cost.passes) * pass_cycle_time();
+
+  // Energy: every stored digit is compared once per query.
+  const double mis_digits =
+      mismatch_fraction * static_cast<double>(digits) * static_cast<double>(vectors);
+  const double total_digits = static_cast<double>(digits) * static_cast<double>(vectors);
+  cost.energy = total_digits * (cal_.e_stage) + mis_digits * cal_.e_mismatch;
+  // TDC and partial-sum accumulation per segment.
+  const double avg_mis_per_segment =
+      mismatch_fraction * static_cast<double>(stages_);
+  cost.energy += static_cast<double>(total_segments) *
+                 (avg_mis_per_segment * tdc_energy_per_tick +
+                  adder_energy_per_partial);
+  // Digital encoding frontend (pipelined: energy only, latency hidden).
+  if (encoder_features > 0) {
+    cost.energy += static_cast<double>(encoder_features) *
+                   static_cast<double>(digits) * encoder_mac_energy;
+  }
+  return cost;
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,106 @@
+// Calibrated closed-form TD-AM model for system-scale studies.
+//
+// The transient engine resolves every node voltage; that fidelity is needed
+// for the circuit-level figures but is absurd for 10k-dimensional HDC
+// inference over thousands of queries.  BehavioralAm applies the calibrated
+// linear delay/energy model (am/calibration.h) digit-by-digit, exactly as
+// the paper extrapolates its own per-chain SPICE measurements to
+// application-level numbers.
+//
+// AmSystemModel additionally models a fixed-size physical array (rows x
+// stages, e.g. 128 stages at 0.6 V for Fig. 8): vectors longer than one
+// chain are folded across multiple passes, which is what attenuates the
+// GPU speedup at high dimensionality in the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/tdc.h"
+
+namespace tdam::am {
+
+// One search outcome under the behavioural model.
+struct BehavioralSearch {
+  std::vector<int> distances;  // digitised mismatch count per stored row
+  int best_row = -1;
+  double latency = 0.0;        // slowest chain delay (s)
+  double energy = 0.0;         // all chains (J)
+};
+
+class BehavioralAm {
+ public:
+  // `stages` digits per stored vector; rows grow as vectors are stored.
+  BehavioralAm(const CalibrationResult& cal, int stages);
+
+  int stages() const { return stages_; }
+  int rows() const { return static_cast<int>(rows_.size()); }
+  const CalibrationResult& calibration() const { return cal_; }
+
+  int store(std::span<const int> digits);  // returns the new row index
+  void clear();
+
+  BehavioralSearch search(std::span<const int> query) const;
+
+  // Delay/energy of a single chain at a mismatch count (model evaluation).
+  double chain_delay(int mismatches) const;
+  double chain_energy(int mismatches) const;
+
+ private:
+  CalibrationResult cal_;
+  int stages_;
+  std::vector<std::vector<int>> rows_;
+  TimeDigitalConverter tdc_;
+};
+
+// Fixed-hardware system model: an array of `rows x stages` cells operated at
+// the calibration point.  Computes per-query latency/energy for similarity
+// search over vectors of arbitrary digit count (folded across passes).
+class AmSystemModel {
+ public:
+  struct Cost {
+    double latency = 0.0;  // s per query (batch of `classes` comparisons)
+    double energy = 0.0;   // J per query
+    int passes = 0;        // sequential array passes needed
+  };
+
+  AmSystemModel(const CalibrationResult& cal, int rows, int stages);
+
+  // Cost of comparing one query of `digits` digits against `vectors` stored
+  // vectors, assuming an average digit-mismatch fraction (random hyper-
+  // vectors mismatch with probability 1 - 2^-bits).
+  //
+  // `encoder_features` > 0 additionally charges the digital random-
+  // projection frontend that turns a raw `encoder_features`-wide sample into
+  // the query hypervector (features x digits MACs at `encoder_mac_energy`).
+  // The encoder is assumed pipelined with the array (its latency is hidden
+  // at steady state) but its energy dominates the whole-query budget — this
+  // is what brings the AM-vs-GPU energy ratio from the raw-array 1e7x down
+  // to the paper's 1e3-1e4x regime.
+  Cost query_cost(int digits, int vectors, double mismatch_fraction,
+                  int encoder_features = 0) const;
+
+  // Full search-cycle time for one pass (precharge + settle for both steps
+  // plus the worst-case chain delay and TDC).
+  double pass_cycle_time() const;
+
+  int rows() const { return rows_; }
+  int stages() const { return stages_; }
+
+  // Overhead knobs (defaults are first-order 40 nm-class estimates).
+  double tdc_energy_per_tick = 0.8e-15;  // J per counter increment
+  double t_precharge = 0.4e-9;           // s, per step
+  double t_settle = 0.6e-9;              // s, per step
+  double adder_energy_per_partial = 30e-15;  // digital partial-sum add (J)
+  // Energy per MAC of the digital encoding frontend, including its weight
+  // fetches (40 nm-class fixed-point datapath).
+  double encoder_mac_energy = 0.4e-12;
+
+ private:
+  CalibrationResult cal_;
+  int rows_;
+  int stages_;
+};
+
+}  // namespace tdam::am

@@ -1,0 +1,78 @@
+#include "am/calibration.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/statistics.h"
+
+namespace tdam::am {
+
+double CalibrationResult::predict_delay(int stages, int mismatches) const {
+  return 2.0 * static_cast<double>(stages) * d_inv + buffer_delay +
+         static_cast<double>(mismatches) * d_c;
+}
+
+double CalibrationResult::predict_energy(int stages, int mismatches) const {
+  return static_cast<double>(stages) * e_stage +
+         static_cast<double>(mismatches) * e_mismatch;
+}
+
+double CalibrationResult::energy_per_bit(int stages,
+                                         double mismatch_fraction) const {
+  if (bits <= 0) throw std::logic_error("CalibrationResult: bits not set");
+  const double mis = mismatch_fraction * static_cast<double>(stages);
+  const double total = static_cast<double>(stages) * e_stage + mis * e_mismatch;
+  return total / (static_cast<double>(stages) * static_cast<double>(bits));
+}
+
+CalibrationResult calibrate_chain(const ChainConfig& config, Rng& rng,
+                                  int cal_stages) {
+  if (cal_stages < 2 || cal_stages % 2 != 0)
+    throw std::invalid_argument("calibrate_chain: cal_stages must be even, >= 2");
+
+  TdAmChain chain(config, cal_stages, rng);
+  const int levels = config.encoding.levels();
+  // Mid-range stored word; mismatching digit one level apart keeps the
+  // overdrive at the worst (smallest) case, which is the conservative
+  // calibration for d_c.
+  const int stored_digit = levels / 2;
+  const int mismatch_digit = stored_digit - 1;
+  std::vector<int> word(static_cast<std::size_t>(cal_stages), stored_digit);
+  chain.store(word);
+
+  std::vector<double> xs, delays, energies;
+  for (int mis = 0; mis <= cal_stages; ++mis) {
+    std::vector<int> query = word;
+    // Alternate the mismatch positions over both parities so step I and
+    // step II are exercised evenly.
+    for (int i = 0; i < mis; ++i)
+      query[static_cast<std::size_t>(i)] = mismatch_digit;
+    const SearchResult r = chain.search(query);
+    xs.push_back(static_cast<double>(mis));
+    delays.push_back(r.delay_total);
+    energies.push_back(r.energy);
+  }
+
+  const LinearFit dfit = fit_line(xs, delays);
+  const LinearFit efit = fit_line(xs, energies);
+
+  CalibrationResult out;
+  out.vdd = config.vdd;
+  out.c_load = config.c_load;
+  out.bits = config.encoding.bits();
+  out.d_c = dfit.slope;
+  // Split the zero-mismatch intercept into per-stage and buffer parts using
+  // the estimated stage delay ratio: the two sensing inverters contribute
+  // like two extra match stages.
+  const double per_edge = dfit.intercept /
+                          (2.0 * static_cast<double>(cal_stages) + 2.0);
+  out.d_inv = per_edge;
+  out.buffer_delay = 2.0 * per_edge;
+  out.e_mismatch = efit.slope;
+  out.e_stage = efit.intercept / static_cast<double>(cal_stages);
+  out.delay_r_squared = dfit.r_squared;
+  out.energy_r_squared = efit.r_squared;
+  return out;
+}
+
+}  // namespace tdam::am

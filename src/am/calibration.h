@@ -1,0 +1,47 @@
+// Calibration of the closed-form (behavioural) delay/energy model against
+// the transient engine.
+//
+// The workflow mirrors how the paper extrapolates from per-chain SPICE
+// measurements to array/application numbers: a short chain is swept from
+// zero to all mismatches, delay and energy are fitted linearly in the
+// mismatch count, and the fitted coefficients parameterise the fast model
+// that the HDC benchmarks (Fig. 7/8) and the array-scale sweeps use.
+#pragma once
+
+#include "am/chain.h"
+#include "util/rng.h"
+
+namespace tdam::am {
+
+struct CalibrationResult {
+  // Configuration the calibration belongs to.
+  double vdd = 0.0;
+  double c_load = 0.0;
+  int bits = 0;
+
+  // Delay model: delay(n, mis) = 2*n*d_inv + buffer_delay + mis*d_c.
+  double d_inv = 0.0;          // per-stage intrinsic delay per edge (s)
+  double d_c = 0.0;            // extra delay per mismatched digit (s)
+  double buffer_delay = 0.0;   // sensing-buffer contribution (s, both edges)
+
+  // Energy model: energy(n, mis) = n*e_stage + mis*e_mismatch (J).
+  double e_stage = 0.0;        // per-stage per-search baseline
+  double e_mismatch = 0.0;     // extra per mismatched digit
+
+  // Fit quality over the calibration sweep.
+  double delay_r_squared = 0.0;
+  double energy_r_squared = 0.0;
+
+  double predict_delay(int stages, int mismatches) const;
+  double predict_energy(int stages, int mismatches) const;
+  // Per-bit energy at a given mismatch fraction (the metric of Table I).
+  double energy_per_bit(int stages, double mismatch_fraction) const;
+};
+
+// Runs the calibration sweep on a `cal_stages`-stage chain (even count so
+// both steps carry the same number of active stages).  The chain stores a
+// mid-range word and is queried with 0..cal_stages mismatches.
+CalibrationResult calibrate_chain(const ChainConfig& config, Rng& rng,
+                                  int cal_stages = 8);
+
+}  // namespace tdam::am

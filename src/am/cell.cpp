@@ -1,0 +1,60 @@
+#include "am/cell.h"
+
+namespace tdam::am {
+
+ImcCell::ImcCell(const Encoding& encoding, const device::FeFetParams& fefet_params,
+                 Rng& rng)
+    : encoding_(encoding),
+      fa_(std::make_unique<device::FeFet>(fefet_params, rng)),
+      fb_(std::make_unique<device::FeFet>(fefet_params, rng)) {
+  store(0);
+}
+
+void ImcCell::store(int value) {
+  encoding_.check_level(value);
+  stored_ = value;
+  fa_->program_vth(encoding_.vth_a(value));
+  fb_->program_vth(encoding_.vth_b(value));
+}
+
+void ImcCell::apply_variation(const device::VariationModel& model, Rng& rng) {
+  // Level index of each FeFET's own programmed state decides its sigma.
+  const int level_a = stored_;
+  const int level_b = encoding_.levels() - 1 - stored_;
+  fa_->set_vth_offset(model.sample_offset(rng, level_a));
+  fb_->set_vth_offset(model.sample_offset(rng, level_b));
+}
+
+void ImcCell::clear_variation() {
+  fa_->set_vth_offset(0.0);
+  fb_->set_vth_offset(0.0);
+}
+
+void ImcCell::age(double seconds) {
+  fa_->age(seconds);
+  fb_->age(seconds);
+}
+
+ImcCell::Outcome ImcCell::evaluate(int query) const {
+  encoding_.check_level(query);
+  if (encoding_.fa_conducts(stored_, query)) return Outcome::kDischargeViaA;
+  if (encoding_.fb_conducts(stored_, query)) return Outcome::kDischargeViaB;
+  return Outcome::kMatch;
+}
+
+void ImcCell::build(spice::Circuit& circuit, spice::NodeId sl_a,
+                    spice::NodeId sl_b, spice::NodeId mn, spice::NodeId pre,
+                    spice::NodeId vdd, const device::TechParams& tech,
+                    double w_precharge) const {
+  circuit.add_fefet(fa_.get(), sl_a, mn, spice::kGround);
+  circuit.add_fefet(fb_.get(), sl_b, mn, spice::kGround);
+  const device::Mosfet precharge(device::Polarity::kPmos, tech.pmos, w_precharge);
+  circuit.add_mosfet(precharge, pre, mn, vdd);
+  // MN loading: two FeFET drain junctions plus the precharge PMOS drain.
+  circuit.add_node_capacitance(mn, 2.0 * tech.c_drain_min + tech.c_drain_min);
+  // SL loading: one FeFET gate per line (metered if the SL is driven).
+  circuit.add_node_capacitance(sl_a, tech.c_fefet_gate);
+  circuit.add_node_capacitance(sl_b, tech.c_fefet_gate);
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,76 @@
+// The 2-FeFET multi-bit IMC cell (Fig. 2 of the paper).
+//
+// F_A and F_B share the match node (MN) as their drains; a PMOS precharges
+// MN to V_DD before each compute phase.  With the Encoding mapping,
+//   query > stored  -> F_A conducts -> MN discharges ("discharge via A"),
+//   query < stored  -> F_B conducts -> MN discharges ("discharge via B"),
+//   query == stored -> both sub-threshold -> MN holds V_DD (match).
+// MN drives the gate of the delay stage's pass PMOS, so a mismatch switches
+// the stage's load capacitor onto the signal path.
+#pragma once
+
+#include <memory>
+
+#include "am/encoding.h"
+#include "device/fefet.h"
+#include "device/tech.h"
+#include "device/variation.h"
+#include "spice/circuit.h"
+#include "util/rng.h"
+
+namespace tdam::am {
+
+class ImcCell {
+ public:
+  enum class Outcome { kMatch, kDischargeViaA, kDischargeViaB };
+
+  // Realizes both FeFETs (their Preisach domain banks) from `rng`.
+  ImcCell(const Encoding& encoding, const device::FeFetParams& fefet_params,
+          Rng& rng);
+
+  // Programs F_A/F_B for the given stored digit via program-verify.
+  void store(int value);
+  int stored() const { return stored_; }
+
+  // Samples device-to-device V_TH offsets for both FeFETs.  The offset sigma
+  // depends on each transistor's own programmed level (per Fig. 2(b,c) F_A
+  // and F_B sit at complementary levels).
+  void apply_variation(const device::VariationModel& model, Rng& rng);
+  void clear_variation();
+
+  // Advances both FeFETs' retention age (see device::FeFet::age).
+  void age(double seconds);
+
+  // Ideal logical outcome for a query digit.
+  Outcome evaluate(int query) const;
+
+  // Search-line voltages that encode `query` on this cell.
+  double vsl_a_for(int query) const { return encoding_.vsl_a(query); }
+  double vsl_b_for(int query) const { return encoding_.vsl_b(query); }
+  double vsl_inactive() const { return encoding_.vsl_inactive(); }
+
+  // Adds the cell to a netlist: F_A/F_B between `mn` and ground gated by the
+  // SL nodes, plus the precharge PMOS from `vdd` to `mn` gated by `pre`.
+  // Adds the MN junction/gate-load capacitance; SL gate loading is added to
+  // the SL nodes (they may be driven sources — loading there is metered).
+  void build(spice::Circuit& circuit, spice::NodeId sl_a, spice::NodeId sl_b,
+             spice::NodeId mn, spice::NodeId pre, spice::NodeId vdd,
+             const device::TechParams& tech, double w_precharge) const;
+
+  const device::FeFet& fa() const { return *fa_; }
+  const device::FeFet& fb() const { return *fb_; }
+  // Mutable access for fault-injection / characterization experiments.
+  device::FeFet& fa() { return *fa_; }
+  device::FeFet& fb() { return *fb_; }
+  const Encoding& encoding() const { return encoding_; }
+
+ private:
+  Encoding encoding_;
+  // unique_ptr keeps FeFET addresses stable: netlists hold raw pointers to
+  // the devices while the owning cell may live in a relocating vector.
+  std::unique_ptr<device::FeFet> fa_;
+  std::unique_ptr<device::FeFet> fb_;
+  int stored_ = 0;
+};
+
+}  // namespace tdam::am

@@ -1,0 +1,357 @@
+#include "am/chain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace tdam::am {
+
+namespace {
+
+// Builds the per-line search waveform: inactive during precharge phases,
+// stepping to the step-specific target voltage after each precharge ends.
+spice::Waveform search_line_waveform(double v_inactive, double v_step1,
+                                     double v_step2, double t_pre_end,
+                                     double t_mid, double t_pre2_end,
+                                     double ramp) {
+  std::vector<std::pair<double, double>> pts;
+  pts.emplace_back(0.0, v_inactive);
+  pts.emplace_back(t_pre_end, v_inactive);
+  pts.emplace_back(t_pre_end + ramp, v_step1);
+  pts.emplace_back(t_mid, v_step1);
+  pts.emplace_back(t_mid + ramp, v_inactive);
+  pts.emplace_back(t_pre2_end, v_inactive);
+  pts.emplace_back(t_pre2_end + ramp, v_step2);
+  return spice::piecewise_linear(std::move(pts));
+}
+
+}  // namespace
+
+TdAmChain::TdAmChain(const ChainConfig& config, int num_stages, Rng& rng)
+    : config_(config) {
+  if (num_stages < 1)
+    throw std::invalid_argument("TdAmChain: need at least one stage");
+  cells_.reserve(static_cast<std::size_t>(num_stages));
+  for (int i = 0; i < num_stages; ++i)
+    cells_.emplace_back(config_.encoding, config_.fefet, rng);
+}
+
+const ImcCell& TdAmChain::cell(int stage_1based) const {
+  if (stage_1based < 1 || stage_1based > num_stages())
+    throw std::out_of_range("TdAmChain::cell: bad stage index");
+  return cells_[static_cast<std::size_t>(stage_1based - 1)];
+}
+
+ImcCell& TdAmChain::cell(int stage_1based) {
+  if (stage_1based < 1 || stage_1based > num_stages())
+    throw std::out_of_range("TdAmChain::cell: bad stage index");
+  return cells_[static_cast<std::size_t>(stage_1based - 1)];
+}
+
+void TdAmChain::store(std::span<const int> digits) {
+  if (static_cast<int>(digits.size()) != num_stages())
+    throw std::invalid_argument("TdAmChain::store: digit count != stage count");
+  for (std::size_t i = 0; i < digits.size(); ++i) cells_[i].store(digits[i]);
+}
+
+std::vector<int> TdAmChain::stored() const {
+  std::vector<int> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.stored());
+  return out;
+}
+
+void TdAmChain::apply_variation(const device::VariationModel& model, Rng& rng) {
+  for (auto& c : cells_) c.apply_variation(model, rng);
+}
+
+void TdAmChain::clear_variation() {
+  for (auto& c : cells_) c.clear_variation();
+}
+
+void TdAmChain::age(double seconds) {
+  for (auto& c : cells_) c.age(seconds);
+}
+
+int TdAmChain::ideal_mismatches(std::span<const int> query) const {
+  if (static_cast<int>(query.size()) != num_stages())
+    throw std::invalid_argument("TdAmChain: query size != stage count");
+  int mis = 0;
+  for (std::size_t i = 0; i < query.size(); ++i)
+    if (cells_[i].evaluate(query[i]) != ImcCell::Outcome::kMatch) ++mis;
+  return mis;
+}
+
+bool TdAmChain::stage_active(int stage_1based, int step) {
+  if (step == 1) return stage_1based % 2 == 0;
+  if (step == 2) return stage_1based % 2 == 1;
+  throw std::invalid_argument("TdAmChain::stage_active: step must be 1 or 2");
+}
+
+double TdAmChain::estimate_match_delay() const {
+  const auto& tech = config_.tech;
+  const device::Mosfet nmos(device::Polarity::kNmos, tech.nmos, config_.wn_inv);
+  const device::Mosfet pmos(device::Polarity::kPmos, tech.pmos, config_.wp_inv);
+  const double r =
+      0.5 * (nmos.on_resistance(config_.vdd) + pmos.on_resistance(config_.vdd));
+  const double c_int =
+      tech.c_drain_min * (config_.wp_inv + config_.wn_inv + config_.w_pass) +
+      tech.c_wire_stage + tech.c_gate_min * (config_.wp_inv + config_.wn_inv);
+  return 0.69 * r * c_int;
+}
+
+double TdAmChain::estimate_mismatch_delay() const {
+  const auto& tech = config_.tech;
+  const device::Mosfet nmos(device::Polarity::kNmos, tech.nmos, config_.wn_inv);
+  const device::Mosfet pmos(device::Polarity::kPmos, tech.pmos, config_.wp_inv);
+  device::MosfetParams pass_params = tech.pmos;
+  pass_params.vth = config_.pass_vth;
+  const device::Mosfet pass(device::Polarity::kPmos, pass_params, config_.w_pass);
+  const double r_inv =
+      0.5 * (nmos.on_resistance(config_.vdd) + pmos.on_resistance(config_.vdd));
+  return estimate_match_delay() +
+         0.69 * (r_inv + pass.on_resistance(config_.vdd)) * config_.c_load;
+}
+
+SearchResult TdAmChain::search(std::span<const int> query) {
+  return run_search(query, /*probe_match_nodes=*/false, nullptr).result;
+}
+
+SearchResult TdAmChain::search(std::span<const int> query,
+                               const SearchOverrides& ov) {
+  return run_search(query, /*probe_match_nodes=*/false, &ov).result;
+}
+
+TracedSearch TdAmChain::search_traced(std::span<const int> query,
+                                      bool probe_match_nodes) {
+  return run_search(query, probe_match_nodes, nullptr);
+}
+
+TracedSearch TdAmChain::run_search(std::span<const int> query,
+                                   bool probe_match_nodes,
+                                   const SearchOverrides* overrides) {
+  const int n = num_stages();
+  if (static_cast<int>(query.size()) != n)
+    throw std::invalid_argument("TdAmChain::search: query size != stage count");
+  for (int q : query) config_.encoding.check_level(q);
+  if (overrides != nullptr) {
+    if (!overrides->mn_initial.empty() &&
+        static_cast<int>(overrides->mn_initial.size()) != n)
+      throw std::invalid_argument("SearchOverrides: mn_initial size mismatch");
+    if (!overrides->precharge_enabled.empty() &&
+        static_cast<int>(overrides->precharge_enabled.size()) != n)
+      throw std::invalid_argument(
+          "SearchOverrides: precharge_enabled size mismatch");
+  }
+  auto precharge_enabled = [&](int stage_1based) {
+    if (overrides == nullptr || overrides->precharge_enabled.empty()) return true;
+    return static_cast<bool>(
+        overrides->precharge_enabled[static_cast<std::size_t>(stage_1based - 1)]);
+  };
+
+  const auto& tech = config_.tech;
+  const double vdd = config_.vdd;
+  const double ramp = config_.t_ramp;
+  const double tr = config_.t_edge_transition;
+
+  // --- propagation window bound ---
+  const double d_match = estimate_match_delay();
+  const double d_mis = estimate_mismatch_delay();
+  const double half_stages = std::ceil(static_cast<double>(n) / 2.0) + 1.0;
+  const double window = 0.3e-9 + 3.0 * static_cast<double>(n) * d_match +
+                        2.5 * half_stages * std::max(0.0, d_mis - d_match);
+
+  // --- timeline ---
+  const double t_pre_end = config_.t_precharge;
+  const double t_e1 = t_pre_end + config_.t_settle;
+  const double t_mid = t_e1 + window;
+  const double t_pre2_end = t_mid + config_.t_precharge;
+  const double t_e2 = t_pre2_end + config_.t_settle;
+  const double t_stop = t_e2 + window + config_.t_tail;
+
+  // --- netlist ---
+  spice::Circuit circuit;
+  const auto vdd_node = circuit.add_source_node("vdd", spice::dc(vdd), "vdd");
+  // Separate rail for the precharge devices so the MN-refill energy can be
+  // reported on its own (same potential, different meter group).
+  const auto vddp_node =
+      circuit.add_source_node("vddp", spice::dc(vdd), "precharge");
+  const auto pre_node = circuit.add_source_node(
+      "pre",
+      spice::piecewise_linear({{0.0, 0.0},
+                               {t_pre_end, 0.0},
+                               {t_pre_end + ramp, vdd},
+                               {t_mid, vdd},
+                               {t_mid + ramp, 0.0},
+                               {t_pre2_end, 0.0},
+                               {t_pre2_end + ramp, vdd}}),
+      "ctrl");
+  const auto input_node = circuit.add_source_node(
+      "in",
+      spice::piecewise_linear(
+          {{0.0, 0.0}, {t_e1, 0.0}, {t_e1 + tr, vdd}, {t_e2, vdd}, {t_e2 + tr, 0.0}}),
+      "input");
+
+  const device::Mosfet inv_n(device::Polarity::kNmos, tech.nmos, config_.wn_inv);
+  const device::Mosfet inv_p(device::Polarity::kPmos, tech.pmos, config_.wp_inv);
+  device::MosfetParams pass_params = tech.pmos;
+  pass_params.vth = config_.pass_vth;
+  const device::Mosfet pass_p(device::Polarity::kPmos, pass_params, config_.w_pass);
+
+  const double c_out =
+      tech.c_drain_min * (config_.wp_inv + config_.wn_inv + config_.w_pass) +
+      tech.c_wire_stage + tech.c_gate_min * (config_.wp_inv + config_.wn_inv);
+  const double c_ct = config_.c_load + tech.c_drain_min * config_.w_pass;
+  const double c_mn_extra = tech.c_gate_min * config_.w_pass;
+
+  // Gate load of stage 1 sits on the driven input node (metered there).
+  circuit.add_node_capacitance(
+      input_node, tech.c_gate_min * (config_.wp_inv + config_.wn_inv));
+
+  std::vector<spice::NodeId> out_nodes, mn_nodes, ct_nodes;
+  std::vector<std::pair<spice::NodeId, double>> sl_line_ics;
+  out_nodes.reserve(static_cast<std::size_t>(n));
+  spice::NodeId prev = input_node;
+  for (int k = 1; k <= n; ++k) {
+    const auto ks = std::to_string(k);
+    const std::size_t idx = static_cast<std::size_t>(k - 1);
+    const ImcCell& cell = cells_[idx];
+    const int q = query[idx];
+
+    const auto out = circuit.add_node("out" + ks, c_out);
+    const auto mn = circuit.add_node("mn" + ks, c_mn_extra);
+    const auto ct = circuit.add_node("ct" + ks, c_ct);
+
+    const bool act1 = !config_.two_step_scheme || stage_active(k, 1);
+    const bool act2 = !config_.two_step_scheme || stage_active(k, 2);
+    const double va1 = act1 ? cell.vsl_a_for(q) : cell.vsl_inactive();
+    const double vb1 = act1 ? cell.vsl_b_for(q) : cell.vsl_inactive();
+    const double va2 = act2 ? cell.vsl_a_for(q) : cell.vsl_inactive();
+    const double vb2 = act2 ? cell.vsl_b_for(q) : cell.vsl_inactive();
+    // Ideal SLs are driven directly; with a finite driver the source feeds
+    // the (capacitively loaded) line through the switch resistance.
+    auto make_sl = [&](const std::string& name, double v1, double v2) {
+      const auto src = circuit.add_source_node(
+          name + "_drv",
+          search_line_waveform(cell.vsl_inactive(), v1, v2, t_pre_end, t_mid,
+                               t_pre2_end, ramp),
+          "sl");
+      if (config_.sl_driver_resistance <= 0.0) return src;
+      const auto line =
+          circuit.add_node(name, config_.sl_extra_capacitance + 1e-16);
+      circuit.add_resistor(src, line, config_.sl_driver_resistance);
+      sl_line_ics.emplace_back(line, cell.vsl_inactive());
+      return line;
+    };
+    const auto sla = make_sl("sla" + ks, va1, va2);
+    const auto slb = make_sl("slb" + ks, vb1, vb2);
+
+    circuit.add_mosfet(inv_p, prev, out, vdd_node);
+    circuit.add_mosfet(inv_n, prev, out, spice::kGround);
+    circuit.add_mosfet(pass_p, mn, ct, out);
+    // A disabled precharge device has its gate tied to VDD (always off).
+    cell.build(circuit, sla, slb, mn,
+               precharge_enabled(k) ? pre_node : vdd_node, vddp_node, tech,
+               config_.w_precharge);
+
+    out_nodes.push_back(out);
+    mn_nodes.push_back(mn);
+    ct_nodes.push_back(ct);
+    prev = out;
+  }
+  // Two-inverter sensing buffer: the TDC input.  It gives the final stage
+  // the same slew-dependent delay amplification interior stages get from
+  // their downstream inverters, which keeps d_C uniform across positions.
+  const auto sense1 = circuit.add_node("sense1", c_out);
+  const auto sense2 = circuit.add_node(
+      "sense2", c_out + tech.c_gate_min * (config_.wp_inv + config_.wn_inv));
+  circuit.add_mosfet(inv_p, out_nodes.back(), sense1, vdd_node);
+  circuit.add_mosfet(inv_n, out_nodes.back(), sense1, spice::kGround);
+  circuit.add_mosfet(inv_p, sense1, sense2, vdd_node);
+  circuit.add_mosfet(inv_n, sense1, sense2, spice::kGround);
+
+  // --- initial conditions ---
+  // One-shot evaluation semantics (as in the paper's SPICE setup): all load
+  // capacitors start discharged.  Match nodes of cells that will mismatch
+  // start low — they were discharged by the previous search, so this run's
+  // precharge phase pays the recurring MN-refill energy.  (Under continuous
+  // back-to-back operation a mismatched stage's CT additionally retains
+  // trapped charge from the previous pulse and recycles it through the pull-
+  // down during settle; see EXPERIMENTS.md, "trapped-charge recycling".)
+  spice::Simulator sim(circuit);
+  for (int k = 1; k <= n; ++k) {
+    const std::size_t idx = static_cast<std::size_t>(k - 1);
+    const bool mismatch =
+        cells_[idx].evaluate(query[idx]) != ImcCell::Outcome::kMatch;
+    sim.set_initial(out_nodes[idx], (k % 2 == 1) ? vdd : 0.0);
+    double mn_init = mismatch ? 0.0 : vdd;
+    if (overrides != nullptr && !overrides->mn_initial.empty() &&
+        !std::isnan(overrides->mn_initial[idx]))
+      mn_init = overrides->mn_initial[idx];
+    sim.set_initial(mn_nodes[idx], mn_init);
+    sim.set_initial(ct_nodes[idx], 0.0);
+  }
+  // Buffer nodes follow the chain output's idle level (input low at t = 0).
+  const double out_n_idle = (n % 2 == 1) ? vdd : 0.0;
+  sim.set_initial(sense1, out_n_idle > 0.0 ? 0.0 : vdd);
+  sim.set_initial(sense2, out_n_idle);
+  for (const auto& [node, volts] : sl_line_ics) sim.set_initial(node, volts);
+
+  sim.probe(input_node);
+  sim.probe(sense2);
+  if (probe_match_nodes)
+    for (auto mn : mn_nodes) sim.probe(mn);
+
+  spice::TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.max_dv_step = config_.max_dv_step;
+  opts.dt_max = std::clamp(t_stop / 20000.0, 20e-12, 500e-12);
+  opts.record_decimation = config_.record_decimation;
+  auto transient = sim.run(opts);
+
+  // --- measurements (at the sensing-buffer output, polarity of out_N) ---
+  const double half = 0.5 * vdd;
+  const auto& out_trace = transient.trace("sense2");
+  const bool out_rises_step1 = (n % 2 == 0);
+
+  const double t_in_rise = t_e1 + 0.5 * tr;
+  const double t_in_fall = t_e2 + 0.5 * tr;
+  const double t_out_1 = out_trace.crossing_time(
+      half, out_rises_step1 ? spice::Edge::kRising : spice::Edge::kFalling, t_e1);
+  const double t_out_2 = out_trace.crossing_time(
+      half, out_rises_step1 ? spice::Edge::kFalling : spice::Edge::kRising, t_e2);
+  if (t_out_1 < 0.0 || t_out_1 > t_mid)
+    throw std::runtime_error(
+        "TdAmChain::search: step-I edge did not propagate inside the window; "
+        "increase the window margin or check the configuration");
+  if (t_out_2 < 0.0)
+    throw std::runtime_error(
+        "TdAmChain::search: step-II edge did not propagate inside the window");
+
+  TracedSearch traced;
+  traced.result.delay_rising = t_out_1 - t_in_rise;
+  traced.result.delay_falling = t_out_2 - t_in_fall;
+  traced.result.delay_total =
+      traced.result.delay_rising + traced.result.delay_falling;
+  traced.result.expected_mismatches = ideal_mismatches(query);
+
+  for (const auto& [name, joules] : transient.source_energy) {
+    if (name == "gnd") continue;
+    traced.result.energy += joules;
+    if (name == "vdd") traced.result.energy_vdd += joules;
+    if (name == "precharge") traced.result.energy_precharge += joules;
+    if (name == "sl") traced.result.energy_sl += joules;
+  }
+
+  traced.input = transient.trace("in");
+  traced.output = out_trace;
+  if (probe_match_nodes) {
+    traced.match_nodes.reserve(static_cast<std::size_t>(n));
+    for (int k = 1; k <= n; ++k)
+      traced.match_nodes.push_back(transient.trace("mn" + std::to_string(k)));
+  }
+  return traced;
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,167 @@
+// Variable-capacitance delay chain (Fig. 3) and its 2-step search operation.
+//
+// One chain stores one multi-bit vector D_i as N cascaded delay stages.  A
+// stage is: inverter -> output node, with a load capacitor C attached to the
+// output through a pass PMOS whose gate is the IMC cell's match node.
+// Mismatch => MN low => capacitor loads the stage => extra delay d_C.
+//
+// 2-step scheme (Sec. III-B): step I propagates the RISING edge of the input
+// pulse with only the even stages (1-based) activated — exactly the stages
+// whose outputs rise on that edge; step II propagates the FALLING edge with
+// only the odd stages activated.  Deactivated stages get V_SL0 on both
+// search lines, contribute the intrinsic inverter delay only, and sharpen
+// the capacitively-slowed edges of their neighbours.  The summed delay is
+//     d_tot = 2*N*d_INV + N_mis*d_C,
+// strictly linear in the number of mismatched digits.
+//
+// A search is simulated as ONE transient over the full input pulse:
+// precharge -> step-I settle -> rising edge -> re-precharge -> step-II
+// settle -> falling edge.  Initial conditions are the steady-state values a
+// chain reaches when searched repeatedly, so the metered energy is the true
+// per-search cost (including match-node refills).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "am/cell.h"
+#include "am/encoding.h"
+#include "device/tech.h"
+#include "device/variation.h"
+#include "spice/simulator.h"
+#include "util/rng.h"
+
+namespace tdam::am {
+
+struct ChainConfig {
+  device::TechParams tech = device::TechParams::umc40_class();
+  Encoding encoding{2};
+  device::FeFetParams fefet = device::FeFetParams::hzo_default(tech);
+
+  double vdd = 1.1;        // operating supply (independently scalable)
+  double c_load = 6e-15;   // per-stage load capacitor (F)
+
+  // Transistor sizing (W/L relative to minimum).
+  double wn_inv = 1.0;
+  double wp_inv = 2.2;     // compensates hole mobility for balanced edges
+  // Wide pass device: the load capacitor must track the stage output (d_C
+  // proportional to C) rather than merely diverting inverter current.
+  double w_pass = 8.0;
+  double w_precharge = 1.0;
+  // The pass PMOS uses a low-V_TH flavour so the capacitor engages before
+  // the downstream inverter trip point even under supply scaling (see
+  // DESIGN.md, "pass-gate dead zone").
+  double pass_vth = 0.25;
+
+  // Search-line driver realism.  With the default 0/0 the SLs are ideal
+  // sources (single-chain characterization).  In an M-row array each SL
+  // carries M FeFET gates and is driven through a finite switch: set
+  // `sl_driver_resistance` > 0 and `sl_extra_capacitance` to the additional
+  // (M-1-row + wire) load to simulate the array-scaling settle behaviour
+  // (ablation A6).
+  double sl_driver_resistance = 0.0;   // ohm; 0 = ideal source
+  double sl_extra_capacitance = 0.0;   // F added per SL
+
+  // Phase timing within the search transient.
+  double t_precharge = 0.4e-9;     // PRE low, SLs inactive
+  double t_settle = 0.6e-9;        // SLs at query values; mismatched MNs fall
+  double t_edge_transition = 20e-12;
+  double t_ramp = 50e-12;          // PRE / SL transition time
+  double t_tail = 0.3e-9;          // simulated tail after the last window
+
+  // Solver controls.
+  double max_dv_step = 2.5e-3;
+  std::size_t record_decimation = 1;
+
+  // Ablation knob: when false, the 2-step scheme is disabled and every
+  // stage's search lines stay active during both edges (the naive operation
+  // the paper's Sec. III-B argues against: capacitors then also load the
+  // falling-output stages, whose pass gates cut off mid-swing and distort
+  // the edge).  Delay linearity degrades measurably; see ablation A2.
+  bool two_step_scheme = true;
+};
+
+// Result of one 2-step search on a chain.
+struct SearchResult {
+  double delay_rising = 0.0;   // step I propagation delay (s)
+  double delay_falling = 0.0;  // step II propagation delay (s)
+  double delay_total = 0.0;    // sum — the similarity output
+  double energy = 0.0;          // J per search (all sources)
+  double energy_vdd = 0.0;      // logic supply rail (inverters, pass)
+  double energy_precharge = 0.0;  // precharge rail (MN refills)
+  double energy_sl = 0.0;       // search-line driver share
+  int expected_mismatches = 0;  // ideal digit-level mismatch count
+};
+
+// Search with recorded waveforms (Fig. 4 harness).
+struct TracedSearch {
+  SearchResult result;
+  spice::Trace input;
+  spice::Trace output;
+  std::vector<spice::Trace> match_nodes;  // empty unless requested
+};
+
+// State-injection hooks for characterization experiments (e.g. the stage
+// response surface used by the fast Monte-Carlo engine): force a stage's
+// match node to an arbitrary initial voltage and keep the precharge device
+// from restoring it.
+struct SearchOverrides {
+  // Per-stage MN initial voltage; NaN entries keep the default.  Empty =
+  // no overrides.  Size must equal the stage count when non-empty.
+  std::vector<double> mn_initial;
+  // Per-stage precharge enable; empty = all enabled.
+  std::vector<bool> precharge_enabled;
+};
+
+class TdAmChain {
+ public:
+  TdAmChain(const ChainConfig& config, int num_stages, Rng& rng);
+
+  int num_stages() const { return static_cast<int>(cells_.size()); }
+  const ChainConfig& config() const { return config_; }
+  const ImcCell& cell(int stage_1based) const;
+  // Mutable access for fault-injection experiments.
+  ImcCell& cell(int stage_1based);
+
+  // Stores the vector (one digit per stage).  Size must equal num_stages.
+  void store(std::span<const int> digits);
+  std::vector<int> stored() const;
+
+  void apply_variation(const device::VariationModel& model, Rng& rng);
+  void clear_variation();
+
+  // Ages every cell's FeFETs (retention study; reprogram via store() to
+  // refresh).
+  void age(double seconds);
+
+  // Runs the full 2-step search for `query` through the transient engine.
+  SearchResult search(std::span<const int> query);
+  SearchResult search(std::span<const int> query, const SearchOverrides& ov);
+
+  // Same, additionally returning input/output waveforms (and per-stage match
+  // node traces when `probe_match_nodes`).
+  TracedSearch search_traced(std::span<const int> query,
+                             bool probe_match_nodes = false);
+
+  // Ideal mismatch count (digit-level Hamming distance to the stored word).
+  int ideal_mismatches(std::span<const int> query) const;
+
+  // 1-based stage parity rule: stage k is active in step I iff k is even,
+  // active in step II iff k is odd (the stages whose outputs rise on the
+  // processed edge).
+  static bool stage_active(int stage_1based, int step);
+
+  // First-order per-stage delay estimates used to size the simulation
+  // window; exposed because the calibration layer reuses them.
+  double estimate_match_delay() const;
+  double estimate_mismatch_delay() const;
+
+ private:
+  TracedSearch run_search(std::span<const int> query, bool probe_match_nodes,
+                          const SearchOverrides* overrides);
+
+  ChainConfig config_;
+  std::vector<ImcCell> cells_;
+};
+
+}  // namespace tdam::am

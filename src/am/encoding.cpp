@@ -1,0 +1,31 @@
+#include "am/encoding.h"
+
+namespace tdam::am {
+
+Encoding::Encoding(int bits, double vth_window_low, double vth_window_high)
+    : bits_(bits), vth_low_(vth_window_low), vth_high_(vth_window_high) {
+  if (bits < 1 || bits > 4)
+    throw std::invalid_argument("Encoding: bits must be in [1,4]");
+  if (!(vth_high_ > vth_low_))
+    throw std::invalid_argument("Encoding: empty V_TH window");
+  step_ = (vth_high_ - vth_low_) / static_cast<double>(levels() - 1);
+}
+
+void Encoding::check_level(int level) const {
+  if (level < 0 || level >= levels())
+    throw std::out_of_range("Encoding: level outside [0, 2^bits)");
+}
+
+double Encoding::vth_for_level(int level) const {
+  check_level(level);
+  return vth_low_ + static_cast<double>(level) * step_;
+}
+
+double Encoding::vsl_for_level(int level) const {
+  check_level(level);
+  // Half a step below the same level's threshold: a matching query sits
+  // step/2 under threshold, a one-level mismatch sits step/2 above.
+  return vth_for_level(level) - 0.5 * step_;
+}
+
+}  // namespace tdam::am

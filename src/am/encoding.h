@@ -1,0 +1,64 @@
+// Multi-bit V_TH / search-line encoding for the 2-FeFET IMC cell (Fig. 2).
+//
+// A cell stores one `bits`-wide digit.  F_A is programmed so it conducts
+// exactly when the query digit EXCEEDS the stored digit; F_B uses the
+// reversed mapping so it conducts exactly when the query digit is SMALLER.
+// On a match both FeFETs stay sub-threshold and the match node keeps V_DD.
+//
+// With the paper's 2-bit configuration this reproduces
+//   V_TH0..3 = 0.2 / 0.6 / 1.0 / 1.4 V,  V_SL0..3 = 0 / 0.4 / 0.8 / 1.2 V.
+// For other precisions the level grid spreads uniformly across the same
+// 1.2 V FeFET memory window, with each search voltage placed half a step
+// below its threshold so that match ⇒ 'half a step of sub-threshold margin'
+// and mismatch-by-one ⇒ 'half a step of overdrive'.
+#pragma once
+
+#include <stdexcept>
+
+namespace tdam::am {
+
+class Encoding {
+ public:
+  // `bits` in [1, 4]: 4-bit packs 16 levels into the window, the upper bound
+  // the paper's variation study deems plausible.
+  explicit Encoding(int bits, double vth_window_low = 0.2,
+                    double vth_window_high = 1.4);
+
+  int bits() const { return bits_; }
+  int levels() const { return 1 << bits_; }
+
+  double vth_low() const { return vth_low_; }
+  double vth_high() const { return vth_high_; }
+  // Level-to-level threshold pitch.
+  double step() const { return step_; }
+
+  // --- F_A (detects query > stored) ---
+  double vth_a(int stored) const { return vth_for_level(stored); }
+  double vsl_a(int query) const { return vsl_for_level(query); }
+
+  // --- F_B (reversed mapping; detects query < stored) ---
+  double vth_b(int stored) const { return vth_for_level(levels() - 1 - stored); }
+  double vsl_b(int query) const { return vsl_for_level(levels() - 1 - query); }
+
+  // Search voltage that keeps any FeFET of the cell off regardless of its
+  // stored state — used to deactivate stages in the 2-step scheme (V_SL0).
+  double vsl_inactive() const { return vsl_for_level(0); }
+
+  // Expected cell behaviour (used by tests and the behavioural engine).
+  bool fa_conducts(int stored, int query) const { return query > stored; }
+  bool fb_conducts(int stored, int query) const { return query < stored; }
+  bool matches(int stored, int query) const { return stored == query; }
+
+  void check_level(int level) const;
+
+ private:
+  double vth_for_level(int level) const;
+  double vsl_for_level(int level) const;
+
+  int bits_;
+  double vth_low_;
+  double vth_high_;
+  double step_;
+};
+
+}  // namespace tdam::am

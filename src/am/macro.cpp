@@ -1,0 +1,122 @@
+#include "am/macro.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdam::am {
+
+MacroDatasheet characterize(const MacroSpec& spec, Rng& rng) {
+  if (spec.rows < 1 || spec.stages < 1)
+    throw std::invalid_argument("characterize: bad macro shape");
+  if (spec.workload_mismatch_fraction < 0.0 ||
+      spec.workload_mismatch_fraction > 1.0)
+    throw std::invalid_argument("characterize: bad workload fraction");
+
+  MacroDatasheet ds;
+  ds.rows = spec.rows;
+  ds.stages = spec.stages;
+  ds.bits = spec.chain.encoding.bits();
+  ds.vdd = spec.chain.vdd;
+  ds.c_load = spec.chain.c_load;
+  ds.capacity_bits = static_cast<long>(spec.rows) *
+                     static_cast<long>(spec.stages) * ds.bits;
+
+  // --- search timing/energy from the calibrated circuit model ---
+  Rng cal_rng = rng.fork(1);
+  const CalibrationResult cal = calibrate_chain(spec.chain, cal_rng);
+  const double worst_delay = cal.predict_delay(spec.stages, spec.stages);
+  ds.search_latency = 2.0 * (spec.chain.t_precharge + spec.chain.t_settle) +
+                      worst_delay;
+  // Counter runs concurrently with the delay envelope; only the final latch
+  // adds, which we fold into the settle margin.
+  ds.throughput = 1.0 / ds.search_latency;
+
+  const double mis =
+      spec.workload_mismatch_fraction * static_cast<double>(spec.stages);
+  const double array_energy =
+      static_cast<double>(spec.rows) *
+      cal.predict_energy(spec.stages, static_cast<int>(std::lround(mis)));
+  const PeripheryBudget periphery = array_periphery(
+      spec.chain, spec.rows, spec.stages, spec.workload_mismatch_fraction);
+  ds.search_energy = array_energy + periphery.total_energy;
+  ds.energy_per_bit =
+      ds.search_energy / (static_cast<double>(spec.rows) *
+                          static_cast<double>(spec.stages) * ds.bits);
+
+  // --- storage cost from the write scheme ---
+  {
+    Rng wrng = rng.fork(2);
+    device::FeFet probe(spec.chain.fefet, wrng);
+    const device::WriteScheme scheme;
+    double worst_latency = 0.0;
+    double energy = 0.0;
+    const int levels = spec.chain.encoding.levels();
+    for (int level = 0; level < levels; ++level) {
+      const auto rep_a =
+          scheme.program(probe, spec.chain.encoding.vth_a(level), wrng);
+      const auto rep_b =
+          scheme.program(probe, spec.chain.encoding.vth_b(level), wrng);
+      // Cells of the same level class program in parallel (shared write
+      // voltages), so row latency is the worst per-level pair; energy sums
+      // over the row assuming uniform digits.
+      worst_latency = std::max(worst_latency, rep_a.latency + rep_b.latency);
+      energy += (rep_a.energy + rep_b.energy) *
+                (static_cast<double>(spec.stages) / levels);
+    }
+    ds.write_latency_per_row = worst_latency;
+    ds.write_energy_per_row = energy;
+  }
+
+  // --- physical ---
+  const AreaModel area;
+  ds.area_um2 = area.array_area_um2(spec.chain, spec.rows, spec.stages);
+  ds.bit_density = static_cast<double>(ds.capacity_bits) / ds.area_um2;
+
+  // --- robustness ---
+  const am::MarginModel margin(spec.chain.encoding);
+  ds.sigma_budget_99 = margin.sigma_budget(spec.stages, 0.99);
+  // Retention: half-step margin consumed per decade of storage time by the
+  // worst (outermost) level drifting toward the window centre.
+  const double half_window =
+      0.5 * (spec.chain.encoding.vth_high() - spec.chain.encoding.vth_low());
+  const double drift_per_decade =
+      spec.chain.fefet.retention_rate_per_decade * half_window;
+  ds.retention_decade_margin =
+      drift_per_decade / (0.5 * spec.chain.encoding.step());
+  return ds;
+}
+
+std::string MacroDatasheet::to_string() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "TD-AM macro %dx%d, %d-bit digits @ %.2f V, C_load %.0f fF\n",
+                rows, stages, bits, vdd, c_load * 1e15);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "  capacity        : %ld bits\n",
+                capacity_bits);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  search          : %.2f ns latency, %.3f pJ, %.3f fJ/bit, "
+                "%.1f Msearch/s\n",
+                search_latency * 1e9, search_energy * 1e12,
+                energy_per_bit * 1e15, throughput * 1e-6);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  write (per row) : %.2f us, %.2f pJ\n",
+                write_latency_per_row * 1e6, write_energy_per_row * 1e12);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  area            : %.0f um^2 (%.2f bits/um^2)\n", area_um2,
+                bit_density);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  robustness      : sigma(V_TH) budget %.1f mV @99%% pass; "
+                "retention eats %.1f%% of margin per decade\n",
+                sigma_budget_99 * 1e3, retention_decade_margin * 100.0);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace tdam::am

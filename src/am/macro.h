@@ -1,0 +1,65 @@
+// TD-AM macro datasheet: one object that aggregates every model in the
+// library into the numbers an SoC integrator asks for — area, search
+// latency/energy, storage (write) cost, throughput, and the variation
+// budget — for a given (rows x stages x bits, V_DD, C_load) configuration.
+#pragma once
+
+#include <string>
+
+#include "am/area.h"
+#include "am/calibration.h"
+#include "am/chain.h"
+#include "am/periphery.h"
+#include "am/margin.h"
+#include "device/write.h"
+#include "util/rng.h"
+
+namespace tdam::am {
+
+struct MacroSpec {
+  int rows = 128;
+  int stages = 128;
+  ChainConfig chain;  // encoding/bits, V_DD, C_load, sizing, timing
+  double workload_mismatch_fraction = 0.75;  // random-data default at 2 bits
+};
+
+struct MacroDatasheet {
+  // Identity.
+  int rows = 0;
+  int stages = 0;
+  int bits = 0;
+  double vdd = 0.0;
+  double c_load = 0.0;
+
+  // Capacity.
+  long capacity_bits = 0;
+
+  // Search (one query against all rows, 2-step operation).
+  double search_latency = 0.0;        // s: precharges + settles + worst delay + TDC
+  double search_energy = 0.0;         // J: array + periphery, at the workload point
+  double energy_per_bit = 0.0;        // J per compared bit (Table-I metric)
+  double throughput = 0.0;            // searches/s, back-to-back
+
+  // Storage: programming one row's FeFETs with the ISPP write scheme.
+  // Cells of the same level class share write voltages and program in
+  // parallel; level classes are serialized, so latency is the worst
+  // per-level pair and energy sums over the row.
+  double write_latency_per_row = 0.0;  // s
+  double write_energy_per_row = 0.0;   // J
+
+  // Physical.
+  double area_um2 = 0.0;
+  double bit_density = 0.0;           // bits / um^2
+
+  // Robustness.
+  double sigma_budget_99 = 0.0;       // V: sigma(V_TH) for 99% sensing pass
+  double retention_decade_margin = 0.0;  // fraction of half-step margin per decade
+
+  std::string to_string() const;      // human-readable datasheet block
+};
+
+// Characterises the configuration (runs the calibration transients) and
+// fills the datasheet.  Deterministic for a given seed.
+MacroDatasheet characterize(const MacroSpec& spec, Rng& rng);
+
+}  // namespace tdam::am

@@ -1,0 +1,53 @@
+#include "am/margin.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/statistics.h"
+
+namespace tdam::am {
+
+MarginModel::MarginModel(const am::Encoding& encoding, double overdrive_slack)
+    : encoding_(encoding), slack_(overdrive_slack) {}
+
+double MarginModel::cell_failure_probability(double sigma) const {
+  if (sigma < 0.0) throw std::invalid_argument("MarginModel: negative sigma");
+  if (sigma == 0.0) return 0.0;
+  // A one-level mismatch drives the conducting FeFET with step/2 of
+  // overdrive; the LSB is lost when the offset pushes the device to (or
+  // past) threshold minus the slack.
+  const double margin = 0.5 * encoding_.step() - slack_;
+  return normal_cdf(-margin / sigma);
+}
+
+MarginPrediction MarginModel::predict(int active_mismatched_cells,
+                                      double sigma) const {
+  if (active_mismatched_cells < 0)
+    throw std::invalid_argument("MarginModel: negative cell count");
+  MarginPrediction out;
+  out.p_cell = cell_failure_probability(sigma);
+  out.pass_rate =
+      std::pow(1.0 - out.p_cell, static_cast<double>(active_mismatched_cells));
+  out.expected_losses =
+      out.p_cell * static_cast<double>(active_mismatched_cells);
+  return out;
+}
+
+double MarginModel::sigma_budget(int active_mismatched_cells,
+                                 double target_pass_rate) const {
+  if (target_pass_rate <= 0.0 || target_pass_rate >= 1.0)
+    throw std::invalid_argument("MarginModel: target must be in (0,1)");
+  if (active_mismatched_cells < 1)
+    throw std::invalid_argument("MarginModel: need >= 1 cell");
+  // pass = (1-p)^n  =>  p* = 1 - pass^(1/n); then invert the Gaussian tail.
+  const double p_star =
+      1.0 - std::pow(target_pass_rate,
+                     1.0 / static_cast<double>(active_mismatched_cells));
+  const double margin = 0.5 * encoding_.step() - slack_;
+  // p = Phi(-margin/sigma)  =>  sigma = -margin / Phi^{-1}(p).
+  const double z = inverse_normal_cdf(p_star);
+  if (z >= 0.0) return 0.0;  // target unreachable (p* >= 0.5)
+  return -margin / z;
+}
+
+}  // namespace tdam::am

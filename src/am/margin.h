@@ -1,0 +1,49 @@
+// Closed-form sensing-margin model.
+//
+// The Monte-Carlo study (and the underlying physics) shows variation
+// failures in the VC chain are threshold events: a mismatched cell loses its
+// delay LSB exactly when its conducting FeFET's V_TH offset consumes the
+// half-step overdrive, and a matched cell gains one when an offset consumes
+// the half-step subthreshold margin.  Both are Gaussian tail probabilities,
+// so the chain-level pass rate has a closed form that this module provides —
+// useful for architecture exploration without running MC at all.
+#pragma once
+
+#include "am/encoding.h"
+
+namespace tdam::am {
+
+struct MarginPrediction {
+  double p_cell = 0.0;       // per-active-cell LSB-loss probability
+  double pass_rate = 0.0;    // P(no cell fails) = (1 - p)^cells
+  double expected_losses = 0.0;  // mean missing LSBs per search
+};
+
+class MarginModel {
+ public:
+  // `overdrive_slack`: how far (V) past the nominal half-step boundary the
+  // offset must go before the stage's delta actually drops by half an LSB.
+  // Physically the MN still discharges partially just below threshold; the
+  // default 0 V is the conservative (pessimistic) choice, and the fast MC
+  // validation test bounds the residual error.
+  explicit MarginModel(const am::Encoding& encoding,
+                       double overdrive_slack = 0.0);
+
+  // Per-cell failure probability for a mismatched (conducting) cell under
+  // Gaussian V_TH sigma.
+  double cell_failure_probability(double sigma) const;
+
+  // Chain-level prediction for a search with `active_mismatched_cells`
+  // conducting cells (worst case: the chain length).
+  MarginPrediction predict(int active_mismatched_cells, double sigma) const;
+
+  // Smallest sigma at which the pass rate drops below `target` — the
+  // "variation budget" of a configuration.
+  double sigma_budget(int active_mismatched_cells, double target_pass_rate) const;
+
+ private:
+  am::Encoding encoding_;
+  double slack_;
+};
+
+}  // namespace tdam::am

@@ -1,0 +1,93 @@
+#include "am/periphery.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::am {
+
+SlDriverModel::SlDriverModel(double c_line, double switch_energy)
+    : c_line_(c_line), switch_energy_(switch_energy) {
+  if (c_line <= 0.0) throw std::invalid_argument("SlDriverModel: bad c_line");
+}
+
+double SlDriverModel::transition_energy(double v_from, double v_to) const {
+  if (v_to <= v_from) return switch_energy_;  // discharge recovered
+  const double dv = v_to - v_from;
+  // Charging from a rail at v_to through the switch: the rail delivers
+  // C*dv*v_to, of which C*dv^2/2-ish dissipates in the switch; metering the
+  // delivered energy keeps the convention of the transient engine.
+  return c_line_ * dv * v_to + switch_energy_;
+}
+
+double SlDriverModel::search_energy(double v_inactive, double v_active_step1,
+                                    double v_active_step2) const {
+  double e = 0.0;
+  e += transition_energy(v_inactive, v_active_step1);
+  e += transition_energy(v_active_step1, v_inactive);
+  e += transition_energy(v_inactive, v_active_step2);
+  e += transition_energy(v_active_step2, v_inactive);
+  return e;
+}
+
+TdcCounterModel::TdcCounterModel(double lsb, int max_count, double e_per_tick,
+                                 double e_static)
+    : lsb_(lsb), max_count_(max_count), e_per_tick_(e_per_tick),
+      e_static_(e_static) {
+  if (lsb <= 0.0 || max_count < 1)
+    throw std::invalid_argument("TdcCounterModel: bad parameters");
+}
+
+int TdcCounterModel::bits() const {
+  int b = 1;
+  while ((1 << b) <= max_count_) ++b;
+  return b;
+}
+
+double TdcCounterModel::conversion_energy(int count) const {
+  if (count < 0) throw std::invalid_argument("TdcCounterModel: negative count");
+  // A ripple counter's average toggles per increment approach 2 (LSB always,
+  // higher bits with geometrically decreasing probability).
+  return e_static_ + 2.0 * e_per_tick_ * static_cast<double>(count);
+}
+
+double TdcCounterModel::conversion_latency(int count) const {
+  if (count < 0) throw std::invalid_argument("TdcCounterModel: negative count");
+  return lsb_ * static_cast<double>(count);
+}
+
+PeripheryBudget array_periphery(const ChainConfig& config, int rows, int stages,
+                                double mismatch_fraction) {
+  if (rows < 1 || stages < 1)
+    throw std::invalid_argument("array_periphery: bad array shape");
+  if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)
+    throw std::invalid_argument("array_periphery: bad mismatch fraction");
+
+  PeripheryBudget budget;
+  // Each stage column carries two SLs loaded by every row's FeFET gate.
+  const double c_line =
+      static_cast<double>(rows) * config.tech.c_fefet_gate + 2e-15 /*wire*/;
+  const SlDriverModel driver(c_line);
+  const auto& enc = config.encoding;
+  // Average active voltage over uniform digits.
+  double v_avg = 0.0;
+  for (int level = 0; level < enc.levels(); ++level) v_avg += enc.vsl_a(level);
+  v_avg /= enc.levels();
+  budget.sl_energy = 2.0 * static_cast<double>(stages) *
+                     driver.search_energy(enc.vsl_inactive(), v_avg, v_avg);
+
+  // TDC per row.  LSB from a representative mismatch delay estimate.
+  Rng rng(0x9e1);
+  TdAmChain probe(config, 2, rng);
+  const double d_c =
+      probe.estimate_mismatch_delay() - probe.estimate_match_delay();
+  const TdcCounterModel tdc(std::max(d_c, 1e-12), stages);
+  const int avg_count = static_cast<int>(
+      std::lround(mismatch_fraction * static_cast<double>(stages)));
+  budget.tdc_energy =
+      static_cast<double>(rows) * tdc.conversion_energy(avg_count);
+  budget.tdc_latency = tdc.conversion_latency(stages);
+  budget.total_energy = budget.sl_energy + budget.tdc_energy;
+  return budget;
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,75 @@
+// Array periphery models: multi-level search-line drivers and the
+// counter-based time-to-digital converter.
+//
+// The paper's core argument for time-domain computing is that its periphery
+// is cheap — time-digital conversion replaces ADCs, and SL drivers are
+// switch matrices rather than DACs with static bias.  These models quantify
+// that: per-search driver energy is pure CV^2 on the selected level, and the
+// TDC is a ripple counter whose energy scales with the digitised count.
+#pragma once
+
+#include "am/chain.h"
+
+namespace tdam::am {
+
+// One search line's driver: selects one of (levels + 1) analog rails
+// (the level voltages plus V_SL0 for deactivation) onto the line.
+class SlDriverModel {
+ public:
+  // `c_line`: total line capacitance (FeFET gates of every row sharing the
+  // column, plus wire).  `switch_energy`: decode + pass-gate control cost
+  // per transition.
+  SlDriverModel(double c_line, double switch_energy = 1.5e-15);
+
+  // Energy to move the line from `v_from` to `v_to` (CV^2-type; charging
+  // only — discharge is recovered to the rail ladder, not the supply).
+  double transition_energy(double v_from, double v_to) const;
+
+  // Energy of one full 2-step search for a line whose active voltage is
+  // `v_active` (inactive -> active -> inactive -> active -> inactive).
+  double search_energy(double v_inactive, double v_active_step1,
+                       double v_active_step2) const;
+
+  double line_capacitance() const { return c_line_; }
+
+ private:
+  double c_line_;
+  double switch_energy_;
+};
+
+// Ripple-counter TDC: counts reference-clock ticks while the chain's delay
+// envelope is open.
+class TdcCounterModel {
+ public:
+  // `lsb`: reference period (= d_C for exact-count decode); `max_count`:
+  // chain length.  `e_per_tick`: counter increment energy; `e_static`:
+  // per-conversion fixed cost (enable/latch/reset).
+  TdcCounterModel(double lsb, int max_count, double e_per_tick = 0.8e-15,
+                  double e_static = 6e-15);
+
+  int bits() const;  // counter width needed for max_count
+  double conversion_energy(int count) const;
+  double conversion_latency(int count) const;  // counting time
+  double lsb() const { return lsb_; }
+
+ private:
+  double lsb_;
+  int max_count_;
+  double e_per_tick_;
+  double e_static_;
+};
+
+// Aggregate per-search periphery budget of an array.
+struct PeripheryBudget {
+  double sl_energy = 0.0;      // all column drivers, one 2-step search
+  double tdc_energy = 0.0;     // all row TDCs at the average count
+  double total_energy = 0.0;
+  double tdc_latency = 0.0;    // worst-row conversion time
+};
+
+// Computes the budget for a rows x stages array of `config`, assuming an
+// average per-digit mismatch fraction.
+PeripheryBudget array_periphery(const ChainConfig& config, int rows, int stages,
+                                double mismatch_fraction);
+
+}  // namespace tdam::am

@@ -1,0 +1,38 @@
+#include "am/tdc.h"
+
+#include <algorithm>
+
+namespace tdam::am {
+
+TimeDigitalConverter::TimeDigitalConverter(double offset, double lsb,
+                                           int max_count)
+    : offset_(offset), lsb_(lsb), max_count_(max_count) {
+  if (lsb <= 0.0) throw std::invalid_argument("TDC: lsb must be positive");
+  if (max_count < 1) throw std::invalid_argument("TDC: max_count must be >= 1");
+}
+
+int TimeDigitalConverter::convert(double delay) const {
+  const double raw = (delay - offset_) / lsb_;
+  const int count = static_cast<int>(std::lround(raw));
+  return std::clamp(count, 0, max_count_);
+}
+
+double TimeDigitalConverter::nominal_delay(int count) const {
+  return offset_ + lsb_ * static_cast<double>(count);
+}
+
+bool TimeDigitalConverter::within_margin(double delay, int count) const {
+  return std::abs(delay - nominal_delay(count)) < 0.5 * lsb_;
+}
+
+double TimeDigitalConverter::error_lsb(double delay, int count) const {
+  return (delay - nominal_delay(count)) / lsb_;
+}
+
+double TimeDigitalConverter::conversion_energy(double delay,
+                                               double e_per_tick) const {
+  const double ticks = std::max(0.0, delay) / lsb_;
+  return ticks * e_per_tick;
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,50 @@
+// Time-to-digital conversion and sensing-margin analysis.
+//
+// The TD-AM's similarity output is a propagation delay; a counter running at
+// the mismatch-delay pitch digitises it:
+//     count = round((delay - offset) / lsb),   offset = 2*N*d_INV, lsb = d_C.
+// A correctly-operating chain yields count == number of mismatched digits.
+// The sensing margin of the paper's Fig. 6 is half an LSB: a Monte-Carlo
+// sample is "sensed correctly" when its delay stays within lsb/2 of the
+// nominal delay for its mismatch count.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::am {
+
+class TimeDigitalConverter {
+ public:
+  // `offset`: delay at zero mismatches; `lsb`: delay added per mismatch;
+  // `max_count`: chain length (counts saturate there).
+  TimeDigitalConverter(double offset, double lsb, int max_count);
+
+  // Digitised mismatch count for a measured delay (clamped to [0, max]).
+  int convert(double delay) const;
+
+  // Nominal (ideal) delay for a mismatch count.
+  double nominal_delay(int count) const;
+
+  // True when `delay` lies within the half-LSB sensing margin of `count`.
+  bool within_margin(double delay, int count) const;
+
+  // Signed error in LSBs relative to the nominal delay of `count`.
+  double error_lsb(double delay, int count) const;
+
+  double offset() const { return offset_; }
+  double lsb() const { return lsb_; }
+  int max_count() const { return max_count_; }
+
+  // First-order counter energy model: one increment per LSB period while the
+  // delay envelope is open.  `e_per_tick` defaults to a 10-bit ripple
+  // counter's per-increment switching energy in the 40 nm class.
+  double conversion_energy(double delay, double e_per_tick = 0.8e-15) const;
+
+ private:
+  double offset_;
+  double lsb_;
+  int max_count_;
+};
+
+}  // namespace tdam::am

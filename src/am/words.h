@@ -1,0 +1,48 @@
+// Helpers for generating stored/query digit words in tests, benches and
+// examples.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "am/encoding.h"
+#include "util/rng.h"
+
+namespace tdam::am {
+
+// Uniform random word of `length` digits in [0, levels).
+inline std::vector<int> random_word(Rng& rng, int length, int levels) {
+  if (length < 1 || levels < 2)
+    throw std::invalid_argument("random_word: bad arguments");
+  std::vector<int> word(static_cast<std::size_t>(length));
+  for (auto& d : word)
+    d = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(levels)));
+  return word;
+}
+
+// Copy of `word` with exactly `mismatches` digits changed (the first
+// `mismatches` positions, each moved by one level, wrapping at the range
+// edge so the result is always a valid different digit).
+inline std::vector<int> word_with_mismatches(std::span<const int> word,
+                                             int mismatches, int levels) {
+  if (mismatches < 0 || mismatches > static_cast<int>(word.size()))
+    throw std::invalid_argument("word_with_mismatches: bad count");
+  std::vector<int> out(word.begin(), word.end());
+  for (int i = 0; i < mismatches; ++i) {
+    auto& d = out[static_cast<std::size_t>(i)];
+    d = (d + 1 < levels) ? d + 1 : d - 1;
+  }
+  return out;
+}
+
+// Digit-level Hamming distance.
+inline int hamming(std::span<const int> a, std::span<const int> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("hamming: size mismatch");
+  int d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++d;
+  return d;
+}
+
+}  // namespace tdam::am

@@ -1,0 +1,155 @@
+#include "analysis/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "am/calibration.h"
+#include "device/mosfet.h"
+
+namespace tdam::analysis {
+
+void finalize_summary(McSummary& summary) {
+  for (double d : summary.delays) summary.stats.add(d);
+  if (summary.sensing_lsb > 0.0 && !summary.delays.empty()) {
+    const auto pass = std::count_if(
+        summary.delays.begin(), summary.delays.end(), [&](double d) {
+          return std::abs(d - summary.nominal_delay) < 0.5 * summary.sensing_lsb;
+        });
+    summary.margin_pass_rate =
+        static_cast<double>(pass) / static_cast<double>(summary.delays.size());
+  }
+}
+
+FastChainMc::FastChainMc(const am::ChainConfig& config, StageResponse response)
+    : config_(config), response_(std::move(response)) {
+  c_mn_ = 3.0 * config_.tech.c_drain_min +
+          config_.tech.c_gate_min * config_.w_pass;
+}
+
+FastChainMc::FastChainMc(const am::ChainConfig& config, Rng& rng)
+    : FastChainMc(config, build_stage_response(config, rng)) {}
+
+double FastChainMc::mn_voltage_after(double vsl_a, double vth_a, double vsl_b,
+                                     double vth_b, double duration) const {
+  // Constant-current discharge approximation: FeFET drain current is
+  // evaluated at a representative V_DS (0.6*vdd) — the device is in
+  // saturation (strong conduction) or in its V_DS-saturated subthreshold
+  // regime (leak) over nearly the entire discharge, so I is flat in V_DS.
+  device::MosfetParams ch = config_.fefet.channel;
+  const double vds = 0.6 * config_.vdd;
+  ch.vth = vth_a;
+  const device::Mosfet fa(device::Polarity::kNmos, ch, config_.fefet.width);
+  ch.vth = vth_b;
+  const device::Mosfet fb(device::Polarity::kNmos, ch, config_.fefet.width);
+  const double i_total =
+      fa.drain_current(vsl_a, vds, 0.0) + fb.drain_current(vsl_b, vds, 0.0);
+  const double droop = i_total * duration / c_mn_;
+  return std::max(0.0, config_.vdd - droop);
+}
+
+double FastChainMc::compose_delay(std::span<const int> stored,
+                                  std::span<const int> query,
+                                  std::span<const double> offsets_a,
+                                  std::span<const double> offsets_b) const {
+  const std::size_t n = stored.size();
+  if (query.size() != n || offsets_a.size() != n || offsets_b.size() != n)
+    throw std::invalid_argument("FastChainMc::compose_delay: size mismatch");
+  const auto& enc = config_.encoding;
+  const am::CalibrationResult& cal = response_.calibration;
+
+  double total = 2.0 * static_cast<double>(n) * cal.d_inv + cal.buffer_delay;
+
+  for (int step = 1; step <= 2; ++step) {
+    double cum = 0.0;  // propagation delay accumulated within this step
+    for (std::size_t i = 0; i < n; ++i) {
+      const int k = static_cast<int>(i) + 1;  // 1-based stage index
+      const bool active = am::TdAmChain::stage_active(k, step);
+      const double vsl_a = active ? enc.vsl_a(query[i]) : enc.vsl_inactive();
+      const double vsl_b = active ? enc.vsl_b(query[i]) : enc.vsl_inactive();
+      const double vth_a = enc.vth_a(stored[i]) + offsets_a[i];
+      const double vth_b = enc.vth_b(stored[i]) + offsets_b[i];
+
+      // The cell's MN has been discharging since the search lines switched:
+      // the settle phase plus the edge's propagation time to this stage.
+      const double duration = config_.t_settle + cum;
+      const double vmn = mn_voltage_after(vsl_a, vth_a, vsl_b, vth_b, duration);
+
+      // Only the stages whose outputs rise on this step's edge couple their
+      // capacitor into the timing path (see chain.h); the falling-output
+      // cross-term is second-order and neglected — DirectChainMc validates.
+      double delta = 0.0;
+      if (step == 1 && k % 2 == 0) delta = response_.interp_rising(vmn);
+      if (step == 2 && k % 2 == 1) delta = response_.interp_falling(vmn);
+
+      cum += cal.d_inv + delta;
+      total += delta;
+    }
+  }
+  return total;
+}
+
+McSummary FastChainMc::run(std::span<const int> stored,
+                           std::span<const int> query,
+                           const McOptions& options) const {
+  const std::size_t n = stored.size();
+  if (query.size() != n)
+    throw std::invalid_argument("FastChainMc::run: size mismatch");
+  const auto& enc = config_.encoding;
+
+  McSummary summary;
+  // Nominal reference: this engine's own zero-variation delay, so the
+  // sensing-margin statistic measures variation-induced deviation rather
+  // than cross-engine model bias.
+  {
+    const std::vector<double> zeros(n, 0.0);
+    summary.nominal_delay = compose_delay(stored, query, zeros, zeros);
+  }
+  summary.sensing_lsb = response_.calibration.d_c;
+
+  Rng rng(options.seed);
+  std::vector<double> off_a(n), off_b(n);
+  summary.delays.reserve(static_cast<std::size_t>(options.runs));
+  for (int r = 0; r < options.runs; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const int level_a = stored[i];
+      const int level_b = enc.levels() - 1 - stored[i];
+      off_a[i] = options.variation.sample_offset(rng, level_a);
+      off_b[i] = options.variation.sample_offset(rng, level_b);
+    }
+    summary.delays.push_back(compose_delay(stored, query, off_a, off_b));
+  }
+  finalize_summary(summary);
+  return summary;
+}
+
+DirectChainMc::DirectChainMc(const am::ChainConfig& config, int stages, Rng& rng)
+    : config_(config), chain_(config, stages, rng) {}
+
+McSummary DirectChainMc::run(std::span<const int> stored,
+                             std::span<const int> query,
+                             const McOptions& options) {
+  chain_.store(stored);
+
+  McSummary summary;
+  {
+    // Nominal reference: the same chain, searched without variation.
+    chain_.clear_variation();
+    summary.nominal_delay = chain_.search(query).delay_total;
+    Rng cal_rng(options.seed ^ 0xca1ULL);
+    const am::CalibrationResult cal = am::calibrate_chain(config_, cal_rng);
+    summary.sensing_lsb = cal.d_c;
+  }
+
+  Rng rng(options.seed);
+  summary.delays.reserve(static_cast<std::size_t>(options.runs));
+  for (int r = 0; r < options.runs; ++r) {
+    chain_.apply_variation(options.variation, rng);
+    summary.delays.push_back(chain_.search(query).delay_total);
+  }
+  chain_.clear_variation();
+  finalize_summary(summary);
+  return summary;
+}
+
+}  // namespace tdam::analysis

@@ -1,0 +1,82 @@
+// Monte-Carlo analysis of FeFET V_TH variation (Fig. 6 of the paper).
+//
+// Two engines:
+//  * FastChainMc — composes the chain delay per sample from the stage
+//    response surface: every cell's MN discharge trajectory is integrated
+//    analytically from its (variation-shifted) FeFET currents up to the
+//    moment the edge arrives at that stage, and the MN voltage is mapped to
+//    the per-stage extra delay.  Thousands of 128-stage samples per second.
+//  * DirectChainMc — full transient simulation per sample; the ground truth
+//    used to validate the fast engine (and for small configurations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "am/chain.h"
+#include "am/tdc.h"
+#include "analysis/stage_response.h"
+#include "device/variation.h"
+#include "util/statistics.h"
+
+namespace tdam::analysis {
+
+struct McSummary {
+  std::vector<double> delays;  // one total delay per sample (s)
+  RunningStats stats;
+  double nominal_delay = 0.0;      // variation-free delay for this query
+  double sensing_lsb = 0.0;        // d_C of the nominal calibration
+  double margin_pass_rate = 0.0;   // fraction within +-lsb/2 of nominal
+};
+
+struct McOptions {
+  int runs = 1000;
+  std::uint64_t seed = 1;
+  device::VariationModel variation = device::VariationModel::none();
+};
+
+class FastChainMc {
+ public:
+  // Characterises (or reuses) the stage response for `config`.
+  FastChainMc(const am::ChainConfig& config, StageResponse response);
+  FastChainMc(const am::ChainConfig& config, Rng& rng);
+
+  // Runs the MC for a chain storing `stored`, queried with `query`.
+  McSummary run(std::span<const int> stored, std::span<const int> query,
+                const McOptions& options) const;
+
+  // Single-sample delay with explicit per-cell offsets (unit-testable core).
+  // offsets_a/b: V_TH shifts of F_A / F_B per stage.
+  double compose_delay(std::span<const int> stored, std::span<const int> query,
+                       std::span<const double> offsets_a,
+                       std::span<const double> offsets_b) const;
+
+  const StageResponse& response() const { return response_; }
+
+ private:
+  // MN voltage after discharging for `duration` given the two gate drives.
+  double mn_voltage_after(double vsl_a, double vth_a, double vsl_b,
+                          double vth_b, double duration) const;
+
+  am::ChainConfig config_;
+  StageResponse response_;
+  double c_mn_ = 0.0;  // total MN node capacitance
+};
+
+class DirectChainMc {
+ public:
+  DirectChainMc(const am::ChainConfig& config, int stages, Rng& rng);
+
+  McSummary run(std::span<const int> stored, std::span<const int> query,
+                const McOptions& options);
+
+ private:
+  am::ChainConfig config_;
+  am::TdAmChain chain_;
+};
+
+// Shared post-processing: fills stats and the sensing-margin pass rate.
+void finalize_summary(McSummary& summary);
+
+}  // namespace tdam::analysis

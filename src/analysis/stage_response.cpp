@@ -1,0 +1,81 @@
+#include "analysis/stage_response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tdam::analysis {
+
+namespace {
+
+double interp(const std::vector<double>& xs, const std::vector<double>& ys,
+              double x) {
+  if (xs.empty()) throw std::logic_error("StageResponse: empty grid");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + f * (ys[hi] - ys[lo]);
+}
+
+}  // namespace
+
+double StageResponse::interp_rising(double vmn) const {
+  return interp(vmn_grid, delta_rising, vmn);
+}
+
+double StageResponse::interp_falling(double vmn) const {
+  return interp(vmn_grid, delta_falling, vmn);
+}
+
+StageResponse build_stage_response(const am::ChainConfig& config, Rng& rng,
+                                   int grid_points) {
+  if (grid_points < 3)
+    throw std::invalid_argument("build_stage_response: need >= 3 grid points");
+
+  StageResponse resp;
+  {
+    Rng cal_rng = rng.fork(0xca1);
+    resp.calibration = am::calibrate_chain(config, cal_rng);
+  }
+
+  // 4-stage all-match probe chain.  Stage 2 (even: rising-output in step I)
+  // carries the injected MN voltage for the rising table; stage 3 (odd:
+  // rising-output in step II) for the falling table.  Precharge is disabled
+  // on the probe stage so the injected voltage survives both phases.
+  const int kProbeStages = 4;
+  Rng chain_rng = rng.fork(0x57a);
+  am::TdAmChain chain(config, kProbeStages, chain_rng);
+  const int digit = config.encoding.levels() / 2;
+  const std::vector<int> word(kProbeStages, digit);
+  chain.store(word);
+
+  const am::SearchResult baseline = chain.search(word);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < grid_points; ++i) {
+    const double v = config.vdd * static_cast<double>(i) /
+                     static_cast<double>(grid_points - 1);
+    resp.vmn_grid.push_back(v);
+
+    am::SearchOverrides ov_rise;
+    ov_rise.mn_initial = {nan, v, nan, nan};
+    ov_rise.precharge_enabled = {true, false, true, true};
+    const am::SearchResult rise = chain.search(word, ov_rise);
+    resp.delta_rising.push_back(
+        std::max(0.0, rise.delay_rising - baseline.delay_rising));
+
+    am::SearchOverrides ov_fall;
+    ov_fall.mn_initial = {nan, nan, v, nan};
+    ov_fall.precharge_enabled = {true, true, false, true};
+    const am::SearchResult fall = chain.search(word, ov_fall);
+    resp.delta_falling.push_back(
+        std::max(0.0, fall.delay_falling - baseline.delay_falling));
+  }
+  return resp;
+}
+
+}  // namespace tdam::analysis

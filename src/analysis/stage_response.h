@@ -1,0 +1,37 @@
+// Stage response surface: extra per-stage delay as a function of the match
+// node voltage at edge arrival.
+//
+// This is the physical kernel of the fast Monte-Carlo engine.  Variation
+// shifts FeFET thresholds, which changes how far each cell's MN has
+// discharged by the time the edge reaches its stage; the MN voltage gates
+// the pass PMOS, which decides how strongly the load capacitor couples in.
+// The surface is characterised once per configuration by transient runs on a
+// short chain with injected MN voltages (SearchOverrides) and then evaluated
+// by interpolation millions of times.
+#pragma once
+
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/chain.h"
+#include "util/rng.h"
+
+namespace tdam::analysis {
+
+struct StageResponse {
+  std::vector<double> vmn_grid;       // MN gate voltage samples, ascending
+  std::vector<double> delta_rising;   // extra delay, rising-output stage (s)
+  std::vector<double> delta_falling;  // extra delay, falling-edge step (s)
+  am::CalibrationResult calibration;  // nominal linear model
+
+  // Linear interpolation, clamped at the grid ends.
+  double interp_rising(double vmn) const;
+  double interp_falling(double vmn) const;
+};
+
+// Builds the response surface for `config` with `grid_points` MN voltages in
+// [0, vdd].  Cost: 2*grid_points short transients plus one calibration sweep.
+StageResponse build_stage_response(const am::ChainConfig& config, Rng& rng,
+                                   int grid_points = 13);
+
+}  // namespace tdam::analysis

@@ -1,0 +1,46 @@
+#include "baselines/crossbar_cam.h"
+
+#include <stdexcept>
+
+namespace tdam::baselines {
+
+CrossbarCamModel::CrossbarCamModel(CrossbarCamParams params) : params_(params) {
+  if (params_.t_sense <= 0.0 || params_.v_ml <= 0.0)
+    throw std::invalid_argument("CrossbarCamModel: bad parameters");
+}
+
+CrossbarCost CrossbarCamModel::search_cost(int rows, int cells,
+                                           double mismatch_fraction) const {
+  if (rows < 1 || cells < 1)
+    throw std::invalid_argument("CrossbarCamModel: bad array shape");
+  if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)
+    throw std::invalid_argument("CrossbarCamModel: bad mismatch fraction");
+
+  CrossbarCost cost;
+  const double n_mis = mismatch_fraction * static_cast<double>(cells);
+  const double n_match = static_cast<double>(cells) - n_mis;
+  // Sustained currents over the whole sense window — the structural cost:
+  // unlike the TD-AM, the mismatch current cannot stop early because its
+  // magnitude IS the result.
+  const double i_row = n_mis * params_.i_cell_mismatch +
+                       n_match * params_.i_cell_match +
+                       params_.i_senseamp_bias;
+  const double e_row =
+      i_row * params_.v_ml * params_.t_sense + params_.e_senseamp;
+  cost.energy = e_row * static_cast<double>(rows);
+  const double e_static_row =
+      (n_mis * params_.i_cell_mismatch + params_.i_senseamp_bias) *
+          params_.v_ml * params_.t_sense;
+  cost.static_fraction = e_static_row * static_cast<double>(rows) / cost.energy;
+  cost.latency = params_.t_sense;
+  return cost;
+}
+
+double CrossbarCamModel::energy_per_bit(int cells, int bits,
+                                        double mismatch_fraction) const {
+  if (bits < 1) throw std::invalid_argument("CrossbarCamModel: bad bits");
+  const auto cost = search_cost(1, cells, mismatch_fraction);
+  return cost.energy / (static_cast<double>(cells) * bits);
+}
+
+}  // namespace tdam::baselines

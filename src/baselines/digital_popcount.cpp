@@ -1,0 +1,47 @@
+#include "baselines/digital_popcount.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::baselines {
+
+DigitalPopcountModel::DigitalPopcountModel(DigitalPopcountParams params)
+    : params_(params) {
+  if (params_.clock_hz <= 0.0)
+    throw std::invalid_argument("DigitalPopcountModel: bad clock");
+}
+
+double DigitalPopcountModel::energy_per_bit(int digits, int bits) const {
+  if (digits < 1 || bits < 1)
+    throw std::invalid_argument("DigitalPopcountModel: bad shape");
+  const double total_bits = static_cast<double>(digits) * bits;
+  // XNOR per bit, digit-reduce folded into the adder tree, popcount adders
+  // (~log2(digits) levels amortise to ~2 adder-bit energies per input bit),
+  // one pipeline register level per bit.
+  double e = total_bits * (params_.e_xnor_per_bit +
+                           2.0 * params_.e_adder_per_bit + params_.e_flop);
+  if (params_.charge_storage_reads)
+    e += total_bits * params_.e_sram_read_per_bit;
+  return e / total_bits;
+}
+
+DigitalCost DigitalPopcountModel::query_cost(int digits, int bits, int rows,
+                                             int lanes) const {
+  if (digits < 1 || bits < 1 || rows < 1 || lanes < 1)
+    throw std::invalid_argument("DigitalPopcountModel: bad shape");
+  DigitalCost cost;
+  const double e_bit = energy_per_bit(digits, bits);
+  cost.energy = e_bit * static_cast<double>(digits) * bits *
+                static_cast<double>(rows);
+
+  // Pipeline: each lane compares one row per cycle once filled; the adder
+  // tree adds log2(digits) pipeline stages of fill latency.
+  const double cycles_fill = std::ceil(std::log2(std::max(2, digits))) + 2.0;
+  const double cycles_rows =
+      std::ceil(static_cast<double>(rows) / static_cast<double>(lanes));
+  cost.latency = (cycles_fill + cycles_rows) / params_.clock_hz;
+  cost.throughput = params_.clock_hz / cycles_rows;
+  return cost;
+}
+
+}  // namespace tdam::baselines

@@ -1,0 +1,46 @@
+// All-digital similarity-search baseline: the question every IMC paper gets
+// asked — "why not a plain digital comparator array?"
+//
+// Architecture modelled: per row, a `digits`-wide digit comparator (XNOR-
+// reduce per digit) feeding a popcount adder tree, pipelined at the
+// technology's digital clock.  Energy per operation uses 40 nm-class gate
+// energies (including local wiring); the model intentionally favours the
+// digital side (full pipelining, no SRAM fetch charged for query reuse) so
+// the TD-AM's advantage is a lower bound.
+#pragma once
+
+namespace tdam::baselines {
+
+struct DigitalPopcountParams {
+  double clock_hz = 1.0e9;          // digital pipeline clock at 40 nm
+  double e_xnor_per_bit = 1.2e-15;  // J: XNOR gate + local wire, per bit
+  double e_adder_per_bit = 2.0e-15; // J: adder-tree energy per popcount bit
+  double e_flop = 0.8e-15;          // J: pipeline register per bit
+  double e_sram_read_per_bit = 12e-15;  // J: fetching the stored row
+  bool charge_storage_reads = true; // false = operands assumed resident
+};
+
+struct DigitalCost {
+  double latency = 0.0;  // s per query (pipelined: first-result latency)
+  double energy = 0.0;   // J per query over all rows
+  double throughput = 0.0;  // queries/s at full pipeline utilisation
+};
+
+class DigitalPopcountModel {
+ public:
+  explicit DigitalPopcountModel(DigitalPopcountParams params = {});
+
+  // One query of `digits` digits (each `bits` wide) against `rows` stored
+  // vectors; `lanes` comparator rows operate in parallel.
+  DigitalCost query_cost(int digits, int bits, int rows, int lanes) const;
+
+  // Energy per compared bit — the Table-I metric for this baseline.
+  double energy_per_bit(int digits, int bits) const;
+
+  const DigitalPopcountParams& params() const { return params_; }
+
+ private:
+  DigitalPopcountParams params_;
+};
+
+}  // namespace tdam::baselines

@@ -1,0 +1,40 @@
+#include "baselines/gpu_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdam::baselines {
+
+GpuCost GpuModel::roofline(double flops, double bytes) const {
+  const double t_mem =
+      bytes / (params_.mem_bandwidth * params_.achieved_fraction);
+  const double t_cmp = flops / (params_.peak_flops * params_.achieved_fraction);
+  GpuCost cost;
+  cost.latency = params_.launch_overhead + std::max(t_mem, t_cmp);
+  cost.energy = (params_.board_power - params_.idle_power) * cost.latency;
+  return cost;
+}
+
+GpuCost GpuModel::similarity_query(int dims, int classes,
+                                   int bytes_per_element) const {
+  if (dims < 1 || classes < 1 || bytes_per_element < 1)
+    throw std::invalid_argument("GpuModel::similarity_query: bad arguments");
+  const double d = dims;
+  const double k = classes;
+  const double flops = 2.0 * d * k;  // dot products + reduction
+  const double bytes =
+      (d * k + d + k) * static_cast<double>(bytes_per_element);
+  return roofline(flops, bytes);
+}
+
+GpuCost GpuModel::encode_sample(int features, int dims) const {
+  if (features < 1 || dims < 1)
+    throw std::invalid_argument("GpuModel::encode_sample: bad arguments");
+  const double f = features;
+  const double d = dims;
+  const double flops = 2.0 * f * d + 4.0 * d;  // projection + nonlinearity
+  const double bytes = (f * d + f + d) * 4.0;
+  return roofline(flops, bytes);
+}
+
+}  // namespace tdam::baselines

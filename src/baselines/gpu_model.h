@@ -1,0 +1,50 @@
+// Analytical GPU cost model for the Fig. 8 comparison.
+//
+// The paper measures an RTX 4070 running HDC similarity search in PyTorch
+// (batch-1 edge inference).  We cannot run a GPU offline, so the comparison
+// substitutes a roofline model with RTX-4070-class constants: per-query
+// latency is the kernel-launch / framework floor plus the larger of the
+// memory-traffic and compute times, and energy is board power integrated
+// over the busy interval.  The *shape* of Fig. 8 — large gains at small
+// dimensionality that attenuate as the AM has to fold large vectors across
+// passes while the GPU amortises its fixed overhead — comes from exactly
+// these terms, not from the absolute constants.
+#pragma once
+
+namespace tdam::baselines {
+
+struct GpuModelParams {
+  double mem_bandwidth = 504e9;    // B/s   (RTX 4070 GDDR6X)
+  double peak_flops = 29e12;       // FP32 FLOP/s
+  double achieved_fraction = 0.30; // roofline efficiency for slim GEMV work
+  double launch_overhead = 5e-6;   // s: kernel launch + framework dispatch
+  double board_power = 180.0;      // W while busy
+  double idle_power = 25.0;        // W baseline (subtracted: dynamic energy)
+};
+
+struct GpuCost {
+  double latency = 0.0;  // s per query
+  double energy = 0.0;   // J per query (dynamic, above idle)
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuModelParams params = {}) : params_(params) {}
+
+  // One similarity query: a [1 x dims] vector against [classes x dims]
+  // stored matrix, `bytes_per_element` wide (4 for FP32, 1 for int8 kernels).
+  GpuCost similarity_query(int dims, int classes, int bytes_per_element = 4) const;
+
+  // Encoding cost of one input sample into a `dims`-wide hypervector from
+  // `features` raw features (random-projection encoding).
+  GpuCost encode_sample(int features, int dims) const;
+
+  const GpuModelParams& params() const { return params_; }
+
+ private:
+  GpuCost roofline(double flops, double bytes) const;
+
+  GpuModelParams params_;
+};
+
+}  // namespace tdam::baselines

@@ -1,0 +1,145 @@
+#include "baselines/resistive_chain.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tdam::baselines {
+
+ResistiveChain::ResistiveChain(const ResistiveChainConfig& config, int stages,
+                               Rng& rng)
+    : config_(config) {
+  if (stages < 1)
+    throw std::invalid_argument("ResistiveChain: need at least one stage");
+  fefets_.reserve(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    auto f = std::make_unique<device::FeFet>(config_.fefet, rng);
+    f->program_vth(config_.vth_fast);
+    fefets_.push_back(std::move(f));
+  }
+}
+
+void ResistiveChain::program(std::span<const double> vths) {
+  if (static_cast<int>(vths.size()) != num_stages())
+    throw std::invalid_argument("ResistiveChain::program: size mismatch");
+  for (std::size_t i = 0; i < vths.size(); ++i) {
+    const double v = std::clamp(vths[i], config_.fefet.vth_low,
+                                config_.fefet.vth_high);
+    fefets_[i]->program_vth(v);
+  }
+}
+
+void ResistiveChain::program_pattern(const std::vector<bool>& mismatch) {
+  std::vector<double> vths;
+  vths.reserve(mismatch.size());
+  for (bool m : mismatch)
+    vths.push_back(m ? config_.vth_slow : config_.vth_fast);
+  program(vths);
+}
+
+void ResistiveChain::apply_vth_offsets(std::span<const double> offsets) {
+  if (static_cast<int>(offsets.size()) != num_stages())
+    throw std::invalid_argument("ResistiveChain::apply_vth_offsets: size mismatch");
+  for (std::size_t i = 0; i < offsets.size(); ++i)
+    fefets_[i]->set_vth_offset(offsets[i]);
+}
+
+void ResistiveChain::clear_offsets() {
+  for (auto& f : fefets_) f->set_vth_offset(0.0);
+}
+
+ResistiveResult ResistiveChain::measure() {
+  const int n = num_stages();
+  const auto& tech = config_.tech;
+  const double vdd = config_.vdd;
+  const double tr = config_.t_edge_transition;
+
+  // Window bound: the slowest stage is limited by the FeFET near-threshold
+  // current; use the slow-V_TH on-resistance with margin.
+  device::MosfetParams slow_ch = config_.fefet.channel;
+  slow_ch.vth = config_.vth_slow + 0.1;
+  const device::Mosfet slow_dev(device::Polarity::kNmos, slow_ch,
+                                config_.w_fefet);
+  const double i_slow = std::max(
+      1e-9, slow_dev.drain_current(config_.v_sl, vdd / 2.0, 0.0));
+  const double c_node =
+      tech.c_drain_min * (config_.wp_inv + config_.wn_inv) + tech.c_wire_stage +
+      tech.c_gate_min * (config_.wp_inv + config_.wn_inv);
+  const double d_slow = c_node * vdd / i_slow;
+  const double window =
+      0.5e-9 + 3.0 * static_cast<double>(n) * std::max(20e-12, d_slow);
+
+  const double t_e1 = 0.2e-9;
+  const double t_e2 = t_e1 + window;
+  const double t_stop = t_e2 + window + 0.2e-9;
+
+  spice::Circuit circuit;
+  const auto vdd_node = circuit.add_source_node("vdd", spice::dc(vdd), "vdd");
+  const auto sl_node =
+      circuit.add_source_node("sl", spice::dc(config_.v_sl), "sl");
+  const auto input_node = circuit.add_source_node(
+      "in",
+      spice::piecewise_linear(
+          {{0.0, 0.0}, {t_e1, 0.0}, {t_e1 + tr, vdd}, {t_e2, vdd}, {t_e2 + tr, 0.0}}),
+      "input");
+  circuit.add_node_capacitance(
+      input_node, tech.c_gate_min * (config_.wp_inv + config_.wn_inv));
+
+  const device::Mosfet inv_n(device::Polarity::kNmos, tech.nmos, config_.wn_inv);
+  const device::Mosfet inv_p(device::Polarity::kPmos, tech.pmos, config_.wp_inv);
+
+  spice::NodeId prev = input_node;
+  spice::NodeId last_out = input_node;
+  for (int k = 1; k <= n; ++k) {
+    const auto ks = std::to_string(k);
+    const auto out = circuit.add_node("out" + ks, c_node);
+    const auto mid = circuit.add_node(
+        "mid" + ks,
+        tech.c_drain_min * (config_.wn_inv + config_.w_fefet));
+    circuit.add_mosfet(inv_p, prev, out, vdd_node);
+    circuit.add_mosfet(inv_n, prev, out, mid);
+    circuit.add_fefet(fefets_[static_cast<std::size_t>(k - 1)].get(), sl_node,
+                      mid, spice::kGround);
+    circuit.add_node_capacitance(sl_node, tech.c_fefet_gate);
+    prev = out;
+    last_out = out;
+  }
+
+  spice::Simulator sim(circuit);
+  // Idle levels for a low input.
+  for (int k = 1; k <= n; ++k) {
+    const auto out = circuit.find_node("out" + std::to_string(k));
+    const auto mid = circuit.find_node("mid" + std::to_string(k));
+    sim.set_initial(out, (k % 2 == 1) ? vdd : 0.0);
+    sim.set_initial(mid, 0.0);
+  }
+  sim.probe(last_out);
+
+  spice::TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.max_dv_step = config_.max_dv_step;
+  opts.dt_max = std::clamp(t_stop / 20000.0, 20e-12, 500e-12);
+  auto transient = sim.run(opts);
+
+  const auto& out_trace = transient.trace("out" + std::to_string(n));
+  const bool rises_first = (n % 2 == 0);
+  const double half = 0.5 * vdd;
+  const double t1 = out_trace.crossing_time(
+      half, rises_first ? spice::Edge::kRising : spice::Edge::kFalling, t_e1);
+  const double t2 = out_trace.crossing_time(
+      half, rises_first ? spice::Edge::kFalling : spice::Edge::kRising, t_e2);
+
+  ResistiveResult result;
+  for (const auto& [name, joules] : transient.source_energy)
+    if (name != "gnd") result.energy += joules;
+  if (t1 < 0.0 || t1 > t_e2 || t2 < 0.0) {
+    result.propagated = false;  // an OFF device blocked the edge
+    return result;
+  }
+  result.propagated = true;
+  result.delay_total =
+      (t1 - (t_e1 + 0.5 * tr)) + (t2 - (t_e2 + 0.5 * tr));
+  return result;
+}
+
+}  // namespace tdam::baselines

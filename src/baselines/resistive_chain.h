@@ -1,0 +1,70 @@
+// Variable-RESISTANCE time-domain delay chain — the architecture of the
+// prior FeFET TD-IMC designs (IEDM'21 [22] / early [24]) that the paper's
+// variable-capacitance structure argues against.
+//
+// Here the FeFET sits directly in the inverter's pull-down path and acts as
+// a tunable resistor: its programmed V_TH modulates the falling-edge delay.
+// Two consequences the paper criticises, both reproducible with this model:
+//   1. delay is exponentially sensitive to V_TH near the subthreshold
+//      boundary, so the same sigma(V_TH) produces a far wider delay spread
+//      than in the VC design (ablation A1);
+//   2. a FeFET programmed deep into the OFF state interrupts propagation
+//      entirely — the edge never arrives (computation failure).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "device/fefet.h"
+#include "device/tech.h"
+#include "device/variation.h"
+#include "spice/simulator.h"
+#include "util/rng.h"
+
+namespace tdam::baselines {
+
+struct ResistiveChainConfig {
+  device::TechParams tech = device::TechParams::umc40_class();
+  device::FeFetParams fefet = device::FeFetParams::hzo_default(tech);
+  double vdd = 1.1;
+  double v_sl = 1.1;       // gate drive applied to every in-path FeFET
+  double vth_fast = 0.30;  // programmed V_TH for a fast (matching) stage
+  double vth_slow = 0.95;  // programmed V_TH for a slow (mismatching) stage
+  double wn_inv = 1.0;
+  double wp_inv = 2.2;
+  double w_fefet = 2.0;
+  double t_edge_transition = 20e-12;
+  double max_dv_step = 2.5e-3;
+};
+
+struct ResistiveResult {
+  bool propagated = false;  // false when an OFF device blocks the edge
+  double delay_total = 0.0; // both edges (s), valid when propagated
+  double energy = 0.0;      // J
+};
+
+class ResistiveChain {
+ public:
+  ResistiveChain(const ResistiveChainConfig& config, int stages, Rng& rng);
+
+  int num_stages() const { return static_cast<int>(fefets_.size()); }
+
+  // Programs per-stage threshold voltages (clamped to the memory window).
+  void program(std::span<const double> vths);
+  // Convenience: fast/slow pattern from a boolean "mismatch" mask.
+  // (vector<bool> because the packed specialization cannot form a span.)
+  void program_pattern(const std::vector<bool>& mismatch);
+
+  void apply_vth_offsets(std::span<const double> offsets);
+  void clear_offsets();
+
+  // Propagates a full pulse and measures the summed edge delays.
+  ResistiveResult measure();
+
+ private:
+  ResistiveChainConfig config_;
+  std::vector<std::unique_ptr<device::FeFet>> fefets_;
+};
+
+}  // namespace tdam::baselines

@@ -1,0 +1,23 @@
+#include "baselines/table1.h"
+
+namespace tdam::baselines {
+
+const std::vector<Table1Row>& table1_literature() {
+  static const std::vector<Table1Row> rows = {
+      {"16T TCAM [29]", "Voltage", "CMOS", "16T",
+       "Hamming distance, non-quantitative", 0.59, 45, false},
+      {"Nat. Electron.'19 [15]", "Voltage", "FeFET", "2FeFET",
+       "Hamming distance, non-quantitative", 0.40, 45, false},
+      {"JSSC'21 [20]", "Time", "CMOS", "20T+4MUX",
+       "MAC/Cosine distance, quantitative", 2.20, 28, true},
+      {"IEDM'21 [22]", "Time", "FeFET", "2T-1FeFET",
+       "MAC/Cosine distance, quantitative", 0.039, 14, true},
+      {"Work [24]", "Time", "FeFET", "3T-2FeFET",
+       "MAC/Hamming distance, quantitative", 0.234, 40, true},
+  };
+  return rows;
+}
+
+double paper_this_work_fj_per_bit() { return 0.159; }
+
+}  // namespace tdam::baselines

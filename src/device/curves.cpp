@@ -1,0 +1,83 @@
+#include "device/curves.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::device {
+
+namespace {
+std::vector<double> linspace(double start, double stop, int points) {
+  if (points < 2) throw std::invalid_argument("curves: need >= 2 points");
+  std::vector<double> out(static_cast<std::size_t>(points));
+  for (int k = 0; k < points; ++k)
+    out[static_cast<std::size_t>(k)] =
+        start + (stop - start) * static_cast<double>(k) /
+                    static_cast<double>(points - 1);
+  return out;
+}
+}  // namespace
+
+IvCurve id_vg(const Mosfet& device, double vg_start, double vg_stop, int points,
+              double vds) {
+  IvCurve curve;
+  curve.v = linspace(vg_start, vg_stop, points);
+  curve.i.reserve(curve.v.size());
+  for (double vg : curve.v) curve.i.push_back(device.drain_current(vg, vds, 0.0));
+  return curve;
+}
+
+IvCurve id_vg(const FeFet& device, double vg_start, double vg_stop, int points,
+              double vds) {
+  IvCurve curve;
+  curve.v = linspace(vg_start, vg_stop, points);
+  curve.i.reserve(curve.v.size());
+  for (double vg : curve.v) curve.i.push_back(device.drain_current(vg, vds, 0.0));
+  return curve;
+}
+
+IvCurve id_vd(const Mosfet& device, double vd_start, double vd_stop, int points,
+              double vgs) {
+  IvCurve curve;
+  curve.v = linspace(vd_start, vd_stop, points);
+  curve.i.reserve(curve.v.size());
+  for (double vd : curve.v) curve.i.push_back(device.drain_current(vgs, vd, 0.0));
+  return curve;
+}
+
+double extract_vth(const IvCurve& curve, double i_criterion) {
+  if (curve.v.size() != curve.i.size() || curve.v.size() < 2)
+    throw std::invalid_argument("extract_vth: malformed curve");
+  for (std::size_t k = 1; k < curve.v.size(); ++k) {
+    if (curve.i[k - 1] < i_criterion && curve.i[k] >= i_criterion) {
+      // Interpolate in log(I) for the exponential subthreshold region.
+      const double l0 = std::log(std::max(curve.i[k - 1], 1e-30));
+      const double l1 = std::log(std::max(curve.i[k], 1e-30));
+      const double lt = std::log(i_criterion);
+      const double f = (lt - l0) / (l1 - l0);
+      return curve.v[k - 1] + f * (curve.v[k] - curve.v[k - 1]);
+    }
+  }
+  throw std::runtime_error("extract_vth: criterion current never crossed");
+}
+
+std::vector<IvCurve> d2d_id_vg(const FeFetParams& params, double vth_target,
+                               int count, const VariationModel& variation,
+                               Rng& rng, double vg_start, double vg_stop,
+                               int points, double vds) {
+  if (count < 1) throw std::invalid_argument("d2d_id_vg: count must be >= 1");
+  std::vector<IvCurve> curves;
+  curves.reserve(static_cast<std::size_t>(count));
+  for (int d = 0; d < count; ++d) {
+    FeFet device(params, rng);
+    device.program_vth(vth_target);
+    // Level index for the variation model: nearest standard 2-bit level.
+    const double step = (params.vth_high - params.vth_low) / 3.0;
+    const int level = static_cast<int>(
+        std::lround((vth_target - params.vth_low) / step));
+    device.set_vth_offset(variation.sample_offset(rng, level));
+    curves.push_back(id_vg(device, vg_start, vg_stop, points, vds));
+  }
+  return curves;
+}
+
+}  // namespace tdam::device

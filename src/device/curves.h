@@ -1,0 +1,41 @@
+// Device characteristic extraction: I_D-V_G and I_D-V_D sweeps for MOSFETs
+// and FeFETs, plus a device-to-device ensemble sweep that mirrors the
+// 60-device measurement of the paper's Fig. 1(c).
+#pragma once
+
+#include <vector>
+
+#include "device/fefet.h"
+#include "device/mosfet.h"
+#include "device/variation.h"
+#include "util/rng.h"
+
+namespace tdam::device {
+
+struct IvCurve {
+  std::vector<double> v;  // swept terminal voltage (V)
+  std::vector<double> i;  // drain current (A)
+};
+
+// I_D versus V_GS at fixed V_DS (source grounded).
+IvCurve id_vg(const Mosfet& device, double vg_start, double vg_stop, int points,
+              double vds);
+IvCurve id_vg(const FeFet& device, double vg_start, double vg_stop, int points,
+              double vds);
+
+// I_D versus V_DS at fixed V_GS (source grounded).
+IvCurve id_vd(const Mosfet& device, double vd_start, double vd_stop, int points,
+              double vgs);
+
+// Extracts V_TH from a curve with the constant-current criterion.
+double extract_vth(const IvCurve& curve, double i_criterion);
+
+// Device-to-device ensemble: realizes `count` FeFETs, programs each to
+// `vth_target` (program-verify) and applies `variation` offsets, then sweeps
+// each.  Reproduces the spread of Fig. 1(c).
+std::vector<IvCurve> d2d_id_vg(const FeFetParams& params, double vth_target,
+                               int count, const VariationModel& variation,
+                               Rng& rng, double vg_start, double vg_stop,
+                               int points, double vds);
+
+}  // namespace tdam::device

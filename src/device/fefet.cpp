@@ -1,0 +1,115 @@
+#include "device/fefet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::device {
+
+FeFetParams FeFetParams::hzo_default(const TechParams& tech) {
+  FeFetParams p;
+  p.channel = tech.nmos;
+  return p;
+}
+
+FeFet::FeFet(const FeFetParams& params, Rng& rng) : params_(params) {
+  if (params_.num_domains < 1)
+    throw std::invalid_argument("FeFet: need at least one domain");
+  if (!(params_.vth_high > params_.vth_low))
+    throw std::invalid_argument("FeFet: vth_high must exceed vth_low");
+  coercive_.resize(static_cast<std::size_t>(params_.num_domains));
+  for (auto& vc : coercive_) {
+    // Coercive voltages are positive; resample the (rare) negative tail.
+    do {
+      vc = rng.gaussian(params_.coercive_mean, params_.coercive_sigma);
+    } while (vc <= 0.1);
+  }
+  state_.assign(coercive_.size(), -1);  // power-on in the erased state
+}
+
+void FeFet::erase() {
+  std::fill(state_.begin(), state_.end(), std::int8_t{-1});
+  age_seconds_ = 0.0;
+}
+
+void FeFet::apply_gate_pulse(double v_write) {
+  age_seconds_ = 0.0;
+  if (v_write >= 0.0) {
+    for (std::size_t i = 0; i < coercive_.size(); ++i)
+      if (v_write >= coercive_[i]) state_[i] = +1;
+  } else {
+    for (std::size_t i = 0; i < coercive_.size(); ++i)
+      if (-v_write >= coercive_[i]) state_[i] = -1;
+  }
+}
+
+double FeFet::polarization() const {
+  long sum = 0;
+  for (auto s : state_) sum += s;
+  return static_cast<double>(sum) / static_cast<double>(state_.size());
+}
+
+double FeFet::vth_from_polarization() const {
+  // P = +1 (all up) -> vth_low; P = -1 (all down) -> vth_high.
+  const double frac_up = 0.5 * (polarization() + 1.0);
+  return params_.vth_high - frac_up * (params_.vth_high - params_.vth_low);
+}
+
+void FeFet::age(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("FeFet::age: negative time");
+  age_seconds_ += seconds;
+}
+
+double FeFet::retention_closure() const {
+  if (age_seconds_ <= 0.0) return 0.0;
+  const double decades = std::log10(1.0 + age_seconds_);
+  return std::min(0.95, params_.retention_rate_per_decade * decades);
+}
+
+double FeFet::vth() const {
+  // Retention relaxes the programmed state toward the window centre.
+  const double mid = 0.5 * (params_.vth_low + params_.vth_high);
+  const double programmed = vth_from_polarization();
+  const double relaxed = mid + (programmed - mid) * (1.0 - retention_closure());
+  return relaxed + vth_offset_;
+}
+
+void FeFet::program_vth(double vth_target, double tolerance) {
+  if (vth_target < params_.vth_low - 1e-9 || vth_target > params_.vth_high + 1e-9)
+    throw std::invalid_argument("FeFet::program_vth: target outside memory window");
+  // Quantization floor: with N domains the achievable V_TH grid has pitch
+  // window/N; never demand better than half a step.
+  const double window = params_.vth_high - params_.vth_low;
+  const double floor_tol = 0.75 * window / static_cast<double>(params_.num_domains);
+  const double tol = std::max(tolerance, floor_tol);
+
+  // From the erased state, switching is monotone in pulse amplitude, so a
+  // bisection on the write amplitude converges; each trial re-erases first
+  // (program-verify with erase-before-write, per ref [36]).
+  double lo = 0.0;
+  double hi = params_.coercive_mean + 6.0 * params_.coercive_sigma;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double amp = 0.5 * (lo + hi);
+    erase();
+    apply_gate_pulse(amp);
+    const double v = vth_from_polarization();
+    if (std::abs(v - vth_target) <= tol) return;
+    if (v > vth_target) {
+      lo = amp;  // too few domains switched: need a stronger pulse
+    } else {
+      hi = amp;
+    }
+  }
+  // Converged to the quantization floor: accept the closest achievable state.
+  erase();
+  apply_gate_pulse(0.5 * (lo + hi));
+}
+
+double FeFet::drain_current(double vg, double vd, double vs) const {
+  MosfetParams ch = params_.channel;
+  ch.vth = vth();
+  const Mosfet channel(Polarity::kNmos, ch, params_.width);
+  return channel.drain_current(vg, vd, vs);
+}
+
+}  // namespace tdam::device

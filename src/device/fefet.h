@@ -1,0 +1,112 @@
+// Multi-domain Preisach-style FeFET behavioural model.
+//
+// Mirrors the abstraction level of the experimentally calibrated compact
+// model of Ni et al. (VLSI'18, ref [26] of the paper): the ferroelectric
+// layer is a bank of independent hysteron domains whose coercive voltages
+// follow a Gaussian (Preisach) density.  The net polarization — the fraction
+// of up-switched domains — shifts the transistor threshold voltage linearly
+// across the memory window.  Partial-polarization states give the multi-level
+// V_TH programming the paper exploits (V_TH0..3 = 0.2/0.6/1.0/1.4 V), and
+// channel conduction reuses the alpha-power MOSFET model with the programmed
+// threshold.
+//
+// Device-to-device variation enters exactly as in the paper ("we modeled the
+// effect of all FeFET variations as a shift in V_TH"): an additive V_TH
+// offset sampled by the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/mosfet.h"
+#include "device/tech.h"
+#include "util/rng.h"
+
+namespace tdam::device {
+
+struct FeFetParams {
+  int num_domains = 60;          // hysteron count (sets V_TH quantization)
+  double coercive_mean = 2.6;    // V: mean domain coercive voltage
+  double coercive_sigma = 0.55;  // V: Preisach density spread
+  double vth_low = 0.2;          // V_TH with all domains polarized up
+  double vth_high = 1.4;         // V_TH with all domains polarized down
+  MosfetParams channel{};        // channel model (vth field overridden)
+  double width = 1.0;            // W/L relative to minimum
+
+  // Retention: fractional memory-window closure per decade of time (both
+  // programmed extremes drift toward the window centre, log(t) kinetics —
+  // the standard HfO2 FeFET retention signature).  0.02 = 2 %/decade.
+  double retention_rate_per_decade = 0.02;
+
+  // Returns parameters consistent with the paper's 4-level configuration on
+  // the 40 nm-class technology.
+  static FeFetParams hzo_default(const TechParams& tech);
+};
+
+class FeFet {
+ public:
+  // Realizes the domain coercive voltages from `rng` (domain-to-domain
+  // Preisach spread).  Devices constructed from the same seed are identical.
+  FeFet(const FeFetParams& params, Rng& rng);
+
+  // --- polarization dynamics ---
+
+  // Strong negative gate pulse: polarizes every domain down (V_TH = high).
+  void erase();
+
+  // Applies one gate write pulse of the given amplitude (V, either sign).
+  // Domains whose coercive voltage the pulse exceeds switch accordingly.
+  void apply_gate_pulse(double v_write);
+
+  // Program-verify loop (write scheme of Reis et al., JxCDC'19, ref [36]):
+  // erase, then binary-search the positive pulse amplitude until the read
+  // V_TH is within `tolerance` of the target (or the domain-count
+  // quantization floor).  Throws if the target lies outside the window.
+  void program_vth(double vth_target, double tolerance = 0.025);
+
+  // --- state inspection ---
+
+  // Net polarization in [-1, +1] (+1 = all domains up = low V_TH).
+  double polarization() const;
+
+  // Programmed V_TH including the device-to-device offset.
+  double vth() const;
+
+  // Additive V_TH shift modelling device-to-device / cycling variation.
+  void set_vth_offset(double dv) { vth_offset_ = dv; }
+  double vth_offset() const { return vth_offset_; }
+
+  // --- retention ---
+
+  // Advances the device's age by `seconds`; the programmed V_TH relaxes
+  // toward the window centre with log(t) kinetics (see
+  // FeFetParams::retention_rate_per_decade).  Programming (erase /
+  // apply_gate_pulse / program_vth) resets the age.
+  void age(double seconds);
+  double age_seconds() const { return age_seconds_; }
+  // Current fractional window closure in [0, 0.95].
+  double retention_closure() const;
+
+  // --- conduction ---
+
+  // Drain current with the same sign convention as Mosfet::drain_current
+  // (positive = current drawn out of the drain node; n-type channel).
+  double drain_current(double vg, double vd, double vs) const;
+
+  double gate_capacitance() const { return gate_capacitance_; }
+  void set_gate_capacitance(double c) { gate_capacitance_ = c; }
+
+  const FeFetParams& params() const { return params_; }
+
+ private:
+  double vth_from_polarization() const;
+
+  FeFetParams params_;
+  std::vector<double> coercive_;   // per-domain coercive voltage (positive)
+  std::vector<std::int8_t> state_; // per-domain polarization: +1 up, -1 down
+  double vth_offset_ = 0.0;
+  double age_seconds_ = 0.0;
+  double gate_capacitance_ = 0.12e-15;
+};
+
+}  // namespace tdam::device

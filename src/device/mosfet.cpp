@@ -1,0 +1,67 @@
+#include "device/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace tdam::device {
+
+Mosfet::Mosfet(Polarity polarity, MosfetParams params, double width)
+    : polarity_(polarity), params_(params), width_(width) {
+  if (width <= 0.0) throw std::invalid_argument("Mosfet: width must be positive");
+}
+
+double Mosfet::channel_current(double vgs, double vds) const {
+  // vds >= 0 guaranteed by caller.  Current is anchored at the threshold
+  // condition: I(vgs = vth) = width * i_threshold (the classical
+  // constant-current V_TH criterion), which makes the subthreshold
+  // exponential and the alpha-power strong-inversion branch continuous.
+  const double vgt = vgs - params_.vth;
+  const double i_th = width_ * params_.i_threshold_per_width;
+  if (vgt <= 0.0) {
+    const double i_sub = i_th * std::pow(10.0, vgt / params_.subthreshold_swing);
+    const double vt = units::kThermalVoltage;
+    return i_sub * (1.0 - std::exp(-vds / vt));
+  }
+  const double idsat =
+      width_ * params_.k_prime * std::pow(vgt, params_.alpha) + i_th;
+  const double vdsat = std::max(0.05, 0.5 * std::pow(vgt, params_.alpha / 2.0));
+  if (vds >= vdsat) {
+    return idsat * (1.0 + params_.lambda * (vds - vdsat));
+  }
+  // Linear region: quadratic interpolation, current- and slope-continuous at
+  // vds = vdsat (Sakurai-Newton linear-region form).
+  const double x = vds / vdsat;
+  return idsat * x * (2.0 - x);
+}
+
+double Mosfet::node_referred_current(double vg, double vd, double vs) const {
+  // NMOS-referred current with source/drain symmetry: a MOSFET conducts in
+  // either direction; the lower terminal acts as the source.
+  if (vd >= vs) return channel_current(vg - vs, vd - vs);
+  return -channel_current(vg - vd, vs - vd);
+}
+
+double Mosfet::drain_current(double vg, double vd, double vs) const {
+  if (polarity_ == Polarity::kPmos) {
+    // Mirror all voltages to map the PMOS onto the NMOS-referred model.
+    // Sign convention (both polarities): positive = conventional current
+    // drawn OUT of the drain node into the channel.  A conducting pull-up
+    // PMOS therefore returns a negative value at its drain (it charges the
+    // node).
+    return -node_referred_current(-vg, -vd, -vs);
+  }
+  return node_referred_current(vg, vd, vs);
+}
+
+double Mosfet::on_resistance(double vdd) const {
+  const double i = std::abs(polarity_ == Polarity::kNmos
+                                ? drain_current(vdd, vdd / 2.0, 0.0)
+                                : drain_current(0.0, vdd / 2.0, vdd));
+  if (i <= 0.0) throw std::logic_error("Mosfet: zero on-current");
+  return (vdd / 2.0) / i;
+}
+
+}  // namespace tdam::device

@@ -1,0 +1,51 @@
+// Alpha-power-law MOSFET model (Sakurai-Newton) with a subthreshold
+// exponential tail.
+//
+// Chosen abstraction: delay-chain behaviour is set by (a) the on-current that
+// charges/discharges stage capacitances and (b) the on/off ratio that decides
+// whether an "off" FeFET can corrupt a match node.  The alpha-power law
+// captures both to first order in short-channel devices and is the standard
+// hand-analysis model for exactly this kind of timing study.
+#pragma once
+
+#include "device/tech.h"
+
+namespace tdam::device {
+
+enum class Polarity { kNmos, kPmos };
+
+class Mosfet {
+ public:
+  // `width` is the W/L ratio relative to minimum (dimensionless sizing).
+  Mosfet(Polarity polarity, MosfetParams params, double width = 1.0);
+
+  // Drain current (A) flowing from drain into the channel given terminal
+  // voltages.  For NMOS a positive result means conventional current from
+  // drain to source.  Handles source/drain symmetry (vds of either sign) and
+  // PMOS polarity internally, so callers can wire terminals naturally.
+  double drain_current(double vg, double vd, double vs) const;
+
+  // Effective switching resistance at |vgs| = vdd, |vds| = vdd/2; used for
+  // first-order RC estimates and for calibrating behavioural models.
+  double on_resistance(double vdd) const;
+
+  Polarity polarity() const { return polarity_; }
+  double width() const { return width_; }
+  double vth() const { return params_.vth; }
+
+  // Threshold-voltage override: the FeFET device reuses this channel model
+  // with its programmed (and variation-shifted) V_TH.
+  void set_vth(double vth) { params_.vth = vth; }
+
+ private:
+  // Core NMOS-referred current: vgs/vds with vds >= 0.
+  double channel_current(double vgs, double vds) const;
+  // NMOS-referred current from raw node voltages (handles S/D swap).
+  double node_referred_current(double vg, double vd, double vs) const;
+
+  Polarity polarity_;
+  MosfetParams params_;
+  double width_;
+};
+
+}  // namespace tdam::device

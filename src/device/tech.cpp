@@ -1,0 +1,46 @@
+#include "device/tech.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::device {
+
+namespace {
+void scale_device(MosfetParams& p, double t, double t0) {
+  p.vth = std::max(0.05, p.vth - 1e-3 * (t - t0));
+  p.k_prime *= std::pow(t / t0, -1.5);
+  p.subthreshold_swing *= t / t0;
+}
+}  // namespace
+
+TechParams TechParams::at_temperature(double kelvin) const {
+  if (kelvin < 200.0 || kelvin > 450.0)
+    throw std::invalid_argument("TechParams: temperature outside [200,450] K");
+  TechParams out = *this;
+  scale_device(out.nmos, kelvin, temperature);
+  scale_device(out.pmos, kelvin, temperature);
+  out.temperature = kelvin;
+  return out;
+}
+
+TechParams TechParams::umc40_class() {
+  TechParams t;
+  t.vdd = 1.1;
+
+  t.nmos.vth = 0.45;
+  t.nmos.k_prime = 3.2e-4;
+  t.nmos.alpha = 1.3;
+  t.nmos.subthreshold_swing = 0.090;
+  t.nmos.i_threshold_per_width = 1e-7;
+  t.nmos.lambda = 0.05;
+
+  // PMOS carries ~40% of the NMOS drive at equal size (hole mobility);
+  // circuits compensate with wider devices where needed.
+  t.pmos = t.nmos;
+  t.pmos.k_prime = 1.3e-4;
+  t.pmos.i_threshold_per_width = 5e-8;
+
+  return t;
+}
+
+}  // namespace tdam::device

@@ -1,0 +1,51 @@
+// Technology parameter set.
+//
+// The paper simulates with the 40 nm UMC PDK; we cannot ship that, so this
+// struct carries a 40 nm-class parameter set assembled from public planar-
+// bulk characteristics (nominal V_DD 1.1 V, |V_TH| ~ 0.45 V, ~90 mV/dec
+// subthreshold swing).  Every delay/energy result in the repo derives from
+// these numbers plus the circuit topology — nothing is hard-coded to match
+// the paper's absolute values.
+#pragma once
+
+namespace tdam::device {
+
+struct MosfetParams {
+  double vth = 0.45;          // |threshold voltage| (V)
+  double k_prime = 3.2e-4;    // transconductance coefficient (A/V^alpha per square)
+  double alpha = 1.3;         // velocity-saturation exponent (Sakurai-Newton)
+  double subthreshold_swing = 0.090;  // V/decade
+  // Constant-current threshold criterion: I_D at V_GS = V_TH per unit W/L.
+  double i_threshold_per_width = 1e-7;
+  double lambda = 0.05;       // channel-length modulation (1/V)
+};
+
+struct TechParams {
+  double vdd = 1.1;           // nominal supply (V)
+  MosfetParams nmos{};
+  MosfetParams pmos{};        // parameters are magnitudes; polarity handled by device
+
+  // Parasitics for a minimum-size device (F): used to assemble stage netlists.
+  double c_gate_min = 0.10e-15;   // gate capacitance of a min-size transistor
+  double c_drain_min = 0.06e-15;  // drain junction capacitance
+  double c_wire_stage = 0.08e-15; // local interconnect per delay stage
+
+  // FeFET gate stack capacitance seen from the search line.
+  double c_fefet_gate = 0.12e-15;
+
+  // Returns the 40 nm-class default set used throughout the evaluation
+  // (characterised at 300 K).
+  static TechParams umc40_class();
+
+  // Temperature-scaled copy of this parameter set (first-order models):
+  //   V_TH:  dVth/dT = -1 mV/K (both polarities, magnitude decreases),
+  //   mobility/k':   ~ (T/300)^-1.5,
+  //   subthreshold swing: proportional to T (thermionic),
+  //   threshold criterion current: unchanged (definition).
+  // `kelvin` in [200, 450].
+  TechParams at_temperature(double kelvin) const;
+
+  double temperature = 300.0;  // K at which the set is valid
+};
+
+}  // namespace tdam::device

@@ -1,0 +1,39 @@
+#include "device/variation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdam::device {
+
+VariationModel VariationModel::none() { return {Mode::kNone, 0.0}; }
+
+VariationModel VariationModel::uniform(double sigma_volts) {
+  if (sigma_volts < 0.0)
+    throw std::invalid_argument("VariationModel: negative sigma");
+  return {Mode::kUniform, sigma_volts};
+}
+
+VariationModel VariationModel::measured() { return {Mode::kMeasured, 0.0}; }
+
+double VariationModel::sigma_for_level(int level) const {
+  switch (mode_) {
+    case Mode::kNone:
+      return 0.0;
+    case Mode::kUniform:
+      return sigma_;
+    case Mode::kMeasured: {
+      const auto idx = static_cast<std::size_t>(
+          std::clamp(level, 0, static_cast<int>(kMeasuredSigma.size()) - 1));
+      return kMeasuredSigma[idx];
+    }
+  }
+  return 0.0;
+}
+
+double VariationModel::sample_offset(Rng& rng, int level) const {
+  const double sigma = sigma_for_level(level);
+  if (sigma == 0.0) return 0.0;
+  return rng.gaussian(0.0, sigma);
+}
+
+}  // namespace tdam::device

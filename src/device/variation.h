@@ -1,0 +1,47 @@
+// FeFET device-to-device variation models used by the Monte-Carlo analysis
+// (Fig. 6 of the paper).
+//
+// The paper sweeps uniform sigma(V_TH) levels (20/40/60 mV) and separately
+// quotes per-state sigmas fitted from prototype-chip measurements (ref [25]):
+// 7.1 / 35 / 45 / 40 mV for V_TH0..V_TH3.  Both modes are provided.
+#pragma once
+
+#include <array>
+
+#include "util/rng.h"
+
+namespace tdam::device {
+
+class VariationModel {
+ public:
+  // No variation (nominal devices).
+  static VariationModel none();
+
+  // Same Gaussian sigma for every programmed state.
+  static VariationModel uniform(double sigma_volts);
+
+  // Per-state sigmas fitted from the measured distributions in ref [25].
+  static VariationModel measured();
+
+  // Samples an additive V_TH offset (V) for a device programmed to `level`
+  // (0..3 for the 2-bit configuration; levels beyond 3 reuse the last sigma).
+  double sample_offset(Rng& rng, int level) const;
+
+  double sigma_for_level(int level) const;
+
+  bool is_none() const { return mode_ == Mode::kNone; }
+
+  // Measured per-state sigmas (V) as quoted in the paper.
+  static constexpr std::array<double, 4> kMeasuredSigma = {7.1e-3, 35e-3, 45e-3,
+                                                           40e-3};
+
+ private:
+  enum class Mode { kNone, kUniform, kMeasured };
+
+  VariationModel(Mode mode, double sigma) : mode_(mode), sigma_(sigma) {}
+
+  Mode mode_;
+  double sigma_;
+};
+
+}  // namespace tdam::device

@@ -1,0 +1,88 @@
+#include "device/write.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::device {
+
+WriteScheme::WriteScheme(WriteSchemeParams params) : params_(params) {
+  if (params_.step_voltage <= 0.0 || params_.max_pulses < 1 ||
+      params_.pulse_width <= 0.0)
+    throw std::invalid_argument("WriteScheme: bad parameters");
+}
+
+double WriteScheme::pulse_energy(double amplitude) const {
+  // CV^2 on the gate stack (charged and discharged once per pulse) plus the
+  // driver overhead.
+  return params_.gate_capacitance * amplitude * amplitude +
+         params_.driver_overhead;
+}
+
+WriteReport WriteScheme::program(FeFet& device, double vth_target,
+                                 Rng& rng) const {
+  const auto& fp = device.params();
+  if (vth_target < fp.vth_low - 1e-9 || vth_target > fp.vth_high + 1e-9)
+    throw std::invalid_argument("WriteScheme: target outside memory window");
+
+  WriteReport report;
+
+  // Erase: a strong negative pulse depolarises every domain.
+  device.erase();
+  report.energy += pulse_energy(params_.erase_voltage);
+  report.latency += params_.pulse_width;
+
+  // Verify-first: the erased state may already satisfy a high-V_TH target.
+  if (std::abs(device.vth() - vth_target) <= params_.verify_tolerance) {
+    report.converged = true;
+    report.final_vth = device.vth();
+    report.error = report.final_vth - vth_target;
+    return report;
+  }
+
+  // ISPP: amplitudes grow monotonically, so the achieved V_TH only moves
+  // down; stop at the first verify that lands within tolerance OR crosses
+  // below (target + tol), accepting the nearest state.
+  double amplitude = params_.start_voltage;
+  double best_err = std::abs(device.vth() - vth_target);
+  for (int p = 0; p < params_.max_pulses && amplitude <= params_.max_voltage;
+       ++p) {
+    device.apply_gate_pulse(amplitude);
+    if (params_.c2c_sigma > 0.0) {
+      // Stochastic nucleation: the write lands slightly off the
+      // deterministic state.  Modelled as an offset refresh per write.
+      device.set_vth_offset(rng.gaussian(0.0, params_.c2c_sigma));
+    }
+    report.energy += pulse_energy(amplitude);
+    report.latency += params_.pulse_width;
+    ++report.pulses;
+
+    const double vth = device.vth();
+    const double err = vth - vth_target;
+    best_err = std::min(best_err, std::abs(err));
+    if (std::abs(err) <= params_.verify_tolerance) {
+      report.converged = true;
+      break;
+    }
+    if (err < -params_.verify_tolerance) {
+      // Overshot (went below the target): with monotone ISPP the previous
+      // state was the closest achievable without re-erasing.  Accept.
+      break;
+    }
+    amplitude += params_.step_voltage;
+  }
+
+  report.final_vth = device.vth();
+  report.error = report.final_vth - vth_target;
+  if (!report.converged) {
+    // Accept near misses caused by domain quantization; fail loudly when the
+    // scheme genuinely cannot reach the target.
+    const double quant_floor =
+        (fp.vth_high - fp.vth_low) / static_cast<double>(fp.num_domains);
+    report.converged = std::abs(report.error) <=
+                       std::max(params_.verify_tolerance, 1.5 * quant_floor) +
+                           3.0 * params_.c2c_sigma;
+  }
+  return report;
+}
+
+}  // namespace tdam::device

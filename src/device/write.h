@@ -1,0 +1,64 @@
+// FeFET write scheme: pulse trains, verify loops, energy and disturb
+// accounting (the method of Reis et al., JxCDC'19 — ref [36] of the paper —
+// that the paper adopts for programming its V_TH levels).
+//
+// FeFet::program_vth gives the idealised erase-then-bisect behaviour used by
+// the AM experiments; this module models the *procedure* a real array
+// controller runs: bounded incremental-step pulse programming (ISPP) with a
+// read-verify after every pulse, per-pulse energy, and optional
+// cycle-to-cycle (write-noise) variation.
+#pragma once
+
+#include "device/fefet.h"
+#include "util/rng.h"
+
+namespace tdam::device {
+
+struct WriteSchemeParams {
+  double erase_voltage = -4.5;      // V: full depolarising pulse
+  double start_voltage = 1.8;       // V: first ISPP amplitude
+  double step_voltage = 0.08;       // V: ISPP increment
+  double max_voltage = 4.6;         // V: amplitude ceiling
+  double pulse_width = 200e-9;      // s
+  double verify_tolerance = 0.03;   // V: |vth - target| acceptance
+  int max_pulses = 64;              // give-up bound (throw beyond)
+
+  // Energy model: the gate stack is a capacitor charged to the write
+  // amplitude each pulse, plus a fixed controller/driver overhead.
+  double gate_capacitance = 0.12e-15;  // F
+  double driver_overhead = 5e-15;      // J per pulse
+
+  // Cycle-to-cycle write noise: Gaussian V_TH jitter applied per pulse
+  // (models stochastic domain nucleation between nominally identical
+  // writes).  0 disables.
+  double c2c_sigma = 0.0;
+};
+
+struct WriteReport {
+  int pulses = 0;            // ISPP pulses issued (excluding the erase)
+  double final_vth = 0.0;    // V after the verify loop
+  double error = 0.0;        // final_vth - target
+  double energy = 0.0;       // J, erase + pulses + verifies
+  double latency = 0.0;      // s, total pulse time (verify reads excluded)
+  bool converged = false;
+};
+
+class WriteScheme {
+ public:
+  explicit WriteScheme(WriteSchemeParams params = {});
+
+  // Erase-then-ISPP with verify: pulses of growing amplitude until the read
+  // V_TH passes the target (thresholds only decrease as amplitude grows), or
+  // the pulse/amplitude budget runs out.
+  WriteReport program(FeFet& device, double vth_target, Rng& rng) const;
+
+  // Energy of a single write pulse at the given amplitude.
+  double pulse_energy(double amplitude) const;
+
+  const WriteSchemeParams& params() const { return params_; }
+
+ private:
+  WriteSchemeParams params_;
+};
+
+}  // namespace tdam::device

@@ -1,0 +1,149 @@
+#include "hdc/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+namespace {
+
+// Digit-Hamming distance between a sample's digits and a centroid row.
+int digit_distance(const int* a, const int* b, int dims) {
+  int d = 0;
+  for (int j = 0; j < dims; ++j)
+    if (a[j] != b[j]) ++d;
+  return d;
+}
+
+}  // namespace
+
+ClusterResult cluster_hypervectors(std::span<const float> encodings,
+                                   std::size_t n, int dims,
+                                   const ClusterOptions& options) {
+  if (options.clusters < 2 || options.bits < 1 || options.max_iterations < 1)
+    throw std::invalid_argument("cluster_hypervectors: bad options");
+  if (n < static_cast<std::size_t>(options.clusters))
+    throw std::invalid_argument("cluster_hypervectors: too few samples");
+  const auto d = static_cast<std::size_t>(dims);
+  if (encodings.size() != n * d)
+    throw std::invalid_argument("cluster_hypervectors: matrix shape");
+
+  // Shared quantizer fitted on the pooled encoding values so samples and
+  // centroids live on the same digit grid.
+  const EqualAreaQuantizer quantizer(encodings, options.bits);
+  std::vector<int> sample_digits(n * d);
+  for (std::size_t i = 0; i < n * d; ++i)
+    sample_digits[i] = quantizer.quantize(encodings[i]);
+
+  const int k = options.clusters;
+  Rng rng(options.seed);
+
+  // Init: k distinct random samples as centroids (float domain).
+  std::vector<float> centroids(static_cast<std::size_t>(k) * d);
+  std::vector<std::size_t> picks;
+  while (picks.size() < static_cast<std::size_t>(k)) {
+    const auto cand = static_cast<std::size_t>(rng.uniform_below(n));
+    if (std::find(picks.begin(), picks.end(), cand) == picks.end())
+      picks.push_back(cand);
+  }
+  for (int c = 0; c < k; ++c)
+    std::copy_n(encodings.data() + picks[static_cast<std::size_t>(c)] * d, d,
+                centroids.data() + static_cast<std::size_t>(c) * d);
+
+  ClusterResult result;
+  result.assignment.assign(n, -1);
+  std::vector<int> centroid_digits(static_cast<std::size_t>(k) * d);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Quantize centroids onto the AM digit grid.
+    for (std::size_t i = 0; i < centroid_digits.size(); ++i)
+      centroid_digits[i] = quantizer.quantize(centroids[i]);
+
+    // Assignment step (the AM operation: one parallel search per sample).
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      int best_dist = dims + 1;
+      for (int c = 0; c < k; ++c) {
+        const int dist = digit_distance(
+            sample_digits.data() + i * d,
+            centroid_digits.data() + static_cast<std::size_t>(c) * d, dims);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      ++result.am_searches;
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+
+    // Update step: float-domain means (host side).
+    std::vector<double> sums(static_cast<std::size_t>(k) * d, 0.0);
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      counts[static_cast<std::size_t>(c)]++;
+      for (std::size_t j = 0; j < d; ++j)
+        sums[static_cast<std::size_t>(c) * d + j] += encodings[i * d + j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) {
+        // Dead cluster: reseed from a random sample.
+        const auto pick = static_cast<std::size_t>(rng.uniform_below(n));
+        std::copy_n(encodings.data() + pick * d, d,
+                    centroids.data() + static_cast<std::size_t>(c) * d);
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j)
+        centroids[static_cast<std::size_t>(c) * d + j] = static_cast<float>(
+            sums[static_cast<std::size_t>(c) * d + j] /
+            counts[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  result.centroid_digits.resize(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c)
+    result.centroid_digits[static_cast<std::size_t>(c)].assign(
+        centroid_digits.begin() + static_cast<long>(c) * dims,
+        centroid_digits.begin() + static_cast<long>(c + 1) * dims);
+  return result;
+}
+
+double cluster_purity(std::span<const int> assignment,
+                      std::span<const int> labels, int clusters,
+                      int num_classes) {
+  if (assignment.size() != labels.size() || assignment.empty())
+    throw std::invalid_argument("cluster_purity: bad inputs");
+  std::vector<int> counts(static_cast<std::size_t>(clusters) *
+                              static_cast<std::size_t>(num_classes),
+                          0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0 || assignment[i] >= clusters ||
+        labels[i] < 0 || labels[i] >= num_classes)
+      throw std::invalid_argument("cluster_purity: out-of-range entry");
+    counts[static_cast<std::size_t>(assignment[i]) *
+               static_cast<std::size_t>(num_classes) +
+           static_cast<std::size_t>(labels[i])]++;
+  }
+  long correct = 0;
+  for (int c = 0; c < clusters; ++c) {
+    int best = 0;
+    for (int y = 0; y < num_classes; ++y)
+      best = std::max(best,
+                      counts[static_cast<std::size_t>(c) *
+                                 static_cast<std::size_t>(num_classes) +
+                             static_cast<std::size_t>(y)]);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(assignment.size());
+}
+
+}  // namespace tdam::hdc

@@ -1,0 +1,46 @@
+// HDC clustering in the digit domain — one of the HDC task families the
+// paper cites ("graph memorization, reasoning, classification, CLUSTERING,
+// genomic detection").
+//
+// K-means-style loop where the assignment step is exactly the TD-AM's
+// operation: each sample's digit vector is searched against the K centroid
+// rows and joins the nearest (digit-Hamming) one.  Centroids are
+// re-estimated in the float domain (per-dimension mean) and re-quantized —
+// mirroring how a host would drive an AM-accelerated clustering job.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hdc/quantizer.h"
+#include "util/rng.h"
+
+namespace tdam::hdc {
+
+struct ClusterOptions {
+  int clusters = 4;
+  int bits = 2;
+  int max_iterations = 25;
+  std::uint64_t seed = 1;
+};
+
+struct ClusterResult {
+  std::vector<int> assignment;            // per sample
+  std::vector<std::vector<int>> centroid_digits;  // [clusters x dims]
+  int iterations = 0;
+  bool converged = false;
+  long am_searches = 0;  // assignment lookups the AM would execute
+};
+
+// Clusters pre-encoded hypervectors (row-major [n x dims]).
+ClusterResult cluster_hypervectors(std::span<const float> encodings,
+                                   std::size_t n, int dims,
+                                   const ClusterOptions& options);
+
+// Clustering quality against ground-truth labels: purity in [0, 1]
+// (fraction of samples in clusters whose majority label matches theirs).
+double cluster_purity(std::span<const int> assignment,
+                      std::span<const int> labels, int clusters,
+                      int num_classes);
+
+}  // namespace tdam::hdc

@@ -1,0 +1,143 @@
+#include "hdc/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+Dataset::Dataset(int num_features, int num_classes)
+    : num_features_(num_features), num_classes_(num_classes) {
+  if (num_features < 1 || num_classes < 2)
+    throw std::invalid_argument("Dataset: need >= 1 feature and >= 2 classes");
+}
+
+void Dataset::add_sample(std::vector<float> features, int label) {
+  if (static_cast<int>(features.size()) != num_features_)
+    throw std::invalid_argument("Dataset::add_sample: feature width mismatch");
+  if (label < 0 || label >= num_classes_)
+    throw std::invalid_argument("Dataset::add_sample: label out of range");
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+const float* Dataset::sample(std::size_t i) const {
+  if (i >= labels_.size()) throw std::out_of_range("Dataset::sample");
+  return data_.data() + i * static_cast<std::size_t>(num_features_);
+}
+
+Dataset::Normalization Dataset::fit_normalization() const {
+  Normalization norm;
+  const auto f = static_cast<std::size_t>(num_features_);
+  norm.mean.assign(f, 0.0f);
+  norm.inv_std.assign(f, 1.0f);
+  if (labels_.empty()) return norm;
+  const auto n = labels_.size();
+  std::vector<double> mean(f, 0.0), m2(f, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = sample(i);
+    for (std::size_t j = 0; j < f; ++j) mean[j] += row[j];
+  }
+  for (std::size_t j = 0; j < f; ++j) mean[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = sample(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double d = row[j] - mean[j];
+      m2[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < f; ++j) {
+    const double var = m2[j] / static_cast<double>(n);
+    norm.mean[j] = static_cast<float>(mean[j]);
+    norm.inv_std[j] = static_cast<float>(var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0);
+  }
+  return norm;
+}
+
+void Dataset::apply_normalization(const Normalization& norm) {
+  const auto f = static_cast<std::size_t>(num_features_);
+  if (norm.mean.size() != f || norm.inv_std.size() != f)
+    throw std::invalid_argument("Dataset::apply_normalization: width mismatch");
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    float* row = data_.data() + i * f;
+    for (std::size_t j = 0; j < f; ++j)
+      row[j] = (row[j] - norm.mean[j]) * norm.inv_std[j];
+  }
+}
+
+TrainTestSplit make_gaussian_mixture(Rng& rng, int features, int classes,
+                                     int train_n, int test_n,
+                                     double class_separation,
+                                     double intra_noise,
+                                     double feature_correlation) {
+  if (train_n < classes || test_n < classes)
+    throw std::invalid_argument("make_gaussian_mixture: too few samples");
+  const auto f = static_cast<std::size_t>(features);
+
+  // Class centroids plus a shared low-rank component that correlates
+  // features across all classes (rank 8 latent structure).
+  constexpr int kRank = 8;
+  std::vector<std::vector<float>> centroids(static_cast<std::size_t>(classes));
+  for (auto& c : centroids) {
+    c.resize(f);
+    for (auto& v : c)
+      v = static_cast<float>(rng.gaussian(0.0, class_separation));
+  }
+  std::vector<float> mixing(f * kRank);
+  for (auto& v : mixing) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+  auto fill = [&](Dataset& ds, int n) {
+    for (int i = 0; i < n; ++i) {
+      const int label = static_cast<int>(rng.uniform_below(
+          static_cast<std::uint64_t>(classes)));
+      std::vector<float> row(f);
+      float latent[kRank];
+      for (auto& l : latent)
+        l = static_cast<float>(rng.gaussian(0.0, feature_correlation));
+      const auto& c = centroids[static_cast<std::size_t>(label)];
+      for (std::size_t j = 0; j < f; ++j) {
+        float shared = 0.0f;
+        for (int r = 0; r < kRank; ++r)
+          shared += mixing[j * kRank + static_cast<std::size_t>(r)] * latent[r];
+        row[j] = c[j] + shared +
+                 static_cast<float>(rng.gaussian(0.0, intra_noise));
+      }
+      ds.add_sample(std::move(row), label);
+    }
+  };
+
+  TrainTestSplit split{Dataset(features, classes), Dataset(features, classes)};
+  fill(split.train, train_n);
+  fill(split.test, test_n);
+
+  const auto norm = split.train.fit_normalization();
+  split.train.apply_normalization(norm);
+  split.test.apply_normalization(norm);
+  return split;
+}
+
+TrainTestSplit make_isolet_like(Rng& rng, int train_n, int test_n) {
+  // 26 spoken letters: many moderately-separated classes.
+  return make_gaussian_mixture(rng, 617, 26, train_n, test_n,
+                               /*class_separation=*/0.55, /*intra_noise=*/1.0,
+                               /*feature_correlation=*/0.35);
+}
+
+TrainTestSplit make_ucihar_like(Rng& rng, int train_n, int test_n) {
+  // 6 activities: fewer classes but strongly correlated inertial features
+  // and two near-overlapping class pairs (sitting/standing analogue).
+  Rng local = rng.fork(0x0ca7);
+  TrainTestSplit split = make_gaussian_mixture(
+      local, 561, 6, train_n, test_n,
+      /*class_separation=*/0.50, /*intra_noise=*/1.0,
+      /*feature_correlation=*/0.8);
+  return split;
+}
+
+TrainTestSplit make_face_like(Rng& rng, int train_n, int test_n) {
+  // Binary face/non-face: well-separated two-class problem.
+  return make_gaussian_mixture(rng, 608, 2, train_n, test_n,
+                               /*class_separation=*/0.28, /*intra_noise=*/1.0,
+                               /*feature_correlation=*/0.45);
+}
+
+}  // namespace tdam::hdc

@@ -1,0 +1,51 @@
+#include "hdc/encoder.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+Encoder::Encoder(int num_features, int max_dims, Rng& rng, double bandwidth)
+    : num_features_(num_features), max_dims_(max_dims) {
+  if (num_features < 1 || max_dims < 1)
+    throw std::invalid_argument("Encoder: bad dimensions");
+  const auto f = static_cast<std::size_t>(num_features);
+  const auto d = static_cast<std::size_t>(max_dims);
+  weights_.resize(d * f);
+  bias_.resize(d);
+  // Scale 1/sqrt(features) keeps the projection variance O(1) regardless of
+  // input width; `bandwidth` is the kernel width knob.
+  const double scale = bandwidth / std::sqrt(static_cast<double>(num_features));
+  for (auto& w : weights_) w = static_cast<float>(rng.gaussian(0.0, scale));
+  for (auto& b : bias_)
+    b = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+}
+
+std::vector<float> Encoder::encode(const float* sample, int dims) const {
+  if (dims < 1 || dims > max_dims_)
+    throw std::invalid_argument("Encoder::encode: dims outside [1, max_dims]");
+  const auto f = static_cast<std::size_t>(num_features_);
+  std::vector<float> out(static_cast<std::size_t>(dims));
+  for (std::size_t row = 0; row < out.size(); ++row) {
+    const float* w = weights_.data() + row * f;
+    float acc = bias_[row];
+    for (std::size_t j = 0; j < f; ++j) acc += w[j] * sample[j];
+    out[row] = std::cos(acc);
+  }
+  return out;
+}
+
+std::vector<float> Encoder::encode_dataset(const Dataset& ds, int dims) const {
+  if (ds.num_features() != num_features_)
+    throw std::invalid_argument("Encoder::encode_dataset: feature mismatch");
+  std::vector<float> out;
+  out.reserve(ds.size() * static_cast<std::size_t>(dims));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto enc = encode(ds.sample(i), dims);
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+  return out;
+}
+
+}  // namespace tdam::hdc

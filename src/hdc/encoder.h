@@ -1,0 +1,38 @@
+// Nonlinear random-projection hypervector encoder (the OnlineHD encoding the
+// paper's case study builds on): phi_d(x) = cos(w_d . x + b_d), with w_d a
+// Gaussian random projection row and b_d a uniform phase.
+//
+// Dimensions are i.i.d., so an encoder realised at `max_dims` yields a valid
+// lower-dimensional encoding by truncation — Fig. 7's dimensionality sweep
+// encodes once at 10240 and slices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/dataset.h"
+#include "util/rng.h"
+
+namespace tdam::hdc {
+
+class Encoder {
+ public:
+  Encoder(int num_features, int max_dims, Rng& rng, double bandwidth = 1.0);
+
+  int num_features() const { return num_features_; }
+  int max_dims() const { return max_dims_; }
+
+  // Encodes one sample into the first `dims` hypervector components.
+  std::vector<float> encode(const float* sample, int dims) const;
+
+  // Encodes a whole dataset (row-major [size x dims]).
+  std::vector<float> encode_dataset(const Dataset& ds, int dims) const;
+
+ private:
+  int num_features_;
+  int max_dims_;
+  std::vector<float> weights_;  // [max_dims x num_features]
+  std::vector<float> bias_;     // [max_dims]
+};
+
+}  // namespace tdam::hdc

@@ -1,0 +1,284 @@
+#include "hdc/model.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+HdcModel::HdcModel(int num_classes, int dims)
+    : num_classes_(num_classes), dims_(dims) {
+  if (num_classes < 2 || dims < 1)
+    throw std::invalid_argument("HdcModel: bad dimensions");
+  classes_.assign(static_cast<std::size_t>(num_classes) *
+                      static_cast<std::size_t>(dims),
+                  0.0f);
+  norms_sq_.assign(static_cast<std::size_t>(num_classes), 0.0);
+}
+
+std::span<const float> HdcModel::class_vector(int k) const {
+  if (k < 0 || k >= num_classes_)
+    throw std::out_of_range("HdcModel::class_vector");
+  return {classes_.data() +
+              static_cast<std::size_t>(k) * static_cast<std::size_t>(dims_),
+          static_cast<std::size_t>(dims_)};
+}
+
+void HdcModel::apply_update(int k, const float* encoding, float scale) {
+  if (k < 0 || k >= num_classes_)
+    throw std::out_of_range("HdcModel::apply_update");
+  const auto d = static_cast<std::size_t>(dims_);
+  float* c = classes_.data() + static_cast<std::size_t>(k) * d;
+  double dot = 0.0, enc_sq = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    dot += static_cast<double>(c[j]) * encoding[j];
+    enc_sq += static_cast<double>(encoding[j]) * encoding[j];
+    c[j] += scale * encoding[j];
+  }
+  norms_sq_[static_cast<std::size_t>(k)] +=
+      2.0 * static_cast<double>(scale) * dot +
+      static_cast<double>(scale) * static_cast<double>(scale) * enc_sq;
+}
+
+double HdcModel::cosine(const float* enc, int k, double enc_norm) const {
+  const float* c = classes_.data() +
+                   static_cast<std::size_t>(k) * static_cast<std::size_t>(dims_);
+  double dot = 0.0;
+  for (int j = 0; j < dims_; ++j) dot += static_cast<double>(c[j]) * enc[j];
+  const double cn = std::sqrt(norms_sq_[static_cast<std::size_t>(k)]);
+  if (cn <= 0.0 || enc_norm <= 0.0) return 0.0;
+  return dot / (cn * enc_norm);
+}
+
+void HdcModel::train(std::span<const float> encodings,
+                     std::span<const int> labels, const TrainOptions& options) {
+  const auto d = static_cast<std::size_t>(dims_);
+  if (encodings.size() != labels.size() * d)
+    throw std::invalid_argument("HdcModel::train: encoding matrix shape");
+
+  // Initial bundling: each class vector is the sum of its samples.
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const float* enc = encodings.data() + i * d;
+    float* c = classes_.data() + static_cast<std::size_t>(labels[i]) * d;
+    for (std::size_t j = 0; j < d; ++j) c[j] += enc[j];
+  }
+  for (int k = 0; k < num_classes_; ++k) {
+    double ns = 0.0;
+    const float* c = classes_.data() + static_cast<std::size_t>(k) * d;
+    for (std::size_t j = 0; j < d; ++j)
+      ns += static_cast<double>(c[j]) * c[j];
+    norms_sq_[static_cast<std::size_t>(k)] = ns;
+  }
+
+  // OnlineHD-style refinement: pull misclassified samples into their class
+  // vector and push them out of the winning wrong class.  Squared norms are
+  // maintained incrementally (the dot products are already available).
+  const float lr = options.learning_rate;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const float* enc = encodings.data() + i * d;
+      double enc_sq = 0.0;
+      for (std::size_t j = 0; j < d; ++j)
+        enc_sq += static_cast<double>(enc[j]) * enc[j];
+      const double enc_norm = std::sqrt(enc_sq);
+
+      int best = 0;
+      double best_sim = -2.0;
+      std::vector<double> dots(static_cast<std::size_t>(num_classes_));
+      for (int k = 0; k < num_classes_; ++k) {
+        const float* c = classes_.data() + static_cast<std::size_t>(k) * d;
+        double dot = 0.0;
+        for (std::size_t j = 0; j < d; ++j)
+          dot += static_cast<double>(c[j]) * enc[j];
+        dots[static_cast<std::size_t>(k)] = dot;
+        const double cn = std::sqrt(norms_sq_[static_cast<std::size_t>(k)]);
+        const double sim = (cn > 0.0) ? dot / (cn * enc_norm) : 0.0;
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = k;
+        }
+      }
+      const int y = labels[i];
+      if (best == y) continue;
+      float* cy = classes_.data() + static_cast<std::size_t>(y) * d;
+      float* cb = classes_.data() + static_cast<std::size_t>(best) * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        cy[j] += lr * enc[j];
+        cb[j] -= lr * enc[j];
+      }
+      norms_sq_[static_cast<std::size_t>(y)] +=
+          2.0 * lr * dots[static_cast<std::size_t>(y)] + lr * lr * enc_sq;
+      norms_sq_[static_cast<std::size_t>(best)] -=
+          2.0 * lr * dots[static_cast<std::size_t>(best)] - lr * lr * enc_sq;
+    }
+  }
+}
+
+int HdcModel::predict(const float* encoding) const {
+  double enc_sq = 0.0;
+  for (int j = 0; j < dims_; ++j)
+    enc_sq += static_cast<double>(encoding[j]) * encoding[j];
+  const double enc_norm = std::sqrt(enc_sq);
+  int best = 0;
+  double best_sim = -2.0;
+  for (int k = 0; k < num_classes_; ++k) {
+    const double sim = cosine(encoding, k, enc_norm);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double HdcModel::evaluate(std::span<const float> encodings,
+                          std::span<const int> labels) const {
+  const auto d = static_cast<std::size_t>(dims_);
+  if (encodings.size() != labels.size() * d)
+    throw std::invalid_argument("HdcModel::evaluate: encoding matrix shape");
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (predict(encodings.data() + i * d) == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::vector<float> QuantizedModel::standardize(std::span<const float> v) {
+  double mean = 0.0;
+  for (float x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (float x : v) {
+    const double dxm = x - mean;
+    var += dxm * dxm;
+  }
+  var /= static_cast<double>(v.size());
+  const double inv = var > 1e-20 ? 1.0 / std::sqrt(var) : 1.0;
+  std::vector<float> out(v.size());
+  for (std::size_t j = 0; j < v.size(); ++j)
+    out[j] = static_cast<float>((v[j] - mean) * inv);
+  return out;
+}
+
+namespace {
+// Pools the standardized class vectors so the quantizer sees the value
+// population the blocks must cover.
+std::vector<float> pooled_standardized(const HdcModel& model) {
+  std::vector<float> pool;
+  pool.reserve(static_cast<std::size_t>(model.num_classes()) *
+               static_cast<std::size_t>(model.dims()));
+  for (int k = 0; k < model.num_classes(); ++k) {
+    double mean = 0.0, var = 0.0;
+    const auto v = model.class_vector(k);
+    for (float x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    for (float x : v) {
+      const double dxm = x - mean;
+      var += dxm * dxm;
+    }
+    var /= static_cast<double>(v.size());
+    const double inv = var > 1e-20 ? 1.0 / std::sqrt(var) : 1.0;
+    for (float x : v)
+      pool.push_back(static_cast<float>((x - mean) * inv));
+  }
+  return pool;
+}
+}  // namespace
+
+QuantizedModel::QuantizedModel(const HdcModel& model, int bits,
+                               SimilarityKernel kernel)
+    : num_classes_(model.num_classes()),
+      dims_(model.dims()),
+      kernel_(kernel),
+      quantizer_(pooled_standardized(model), bits) {
+  digits_.reserve(static_cast<std::size_t>(num_classes_) *
+                  static_cast<std::size_t>(dims_));
+  for (int k = 0; k < num_classes_; ++k) {
+    const auto std_vec = standardize(model.class_vector(k));
+    for (float x : std_vec) digits_.push_back(quantizer_.quantize(x));
+  }
+}
+
+std::span<const int> QuantizedModel::class_digits(int k) const {
+  if (k < 0 || k >= num_classes_)
+    throw std::out_of_range("QuantizedModel::class_digits");
+  return {digits_.data() +
+              static_cast<std::size_t>(k) * static_cast<std::size_t>(dims_),
+          static_cast<std::size_t>(dims_)};
+}
+
+std::vector<int> QuantizedModel::quantize_query(const float* encoding) const {
+  const auto std_vec =
+      standardize({encoding, static_cast<std::size_t>(dims_)});
+  std::vector<int> out;
+  out.reserve(std_vec.size());
+  for (float x : std_vec) out.push_back(quantizer_.quantize(x));
+  return out;
+}
+
+double QuantizedModel::score(std::span<const int> query_digits, int k) const {
+  const int* c = digits_.data() +
+                 static_cast<std::size_t>(k) * static_cast<std::size_t>(dims_);
+  switch (kernel_) {
+    case SimilarityKernel::kDigitMatch: {
+      int matches = 0;
+      for (int j = 0; j < dims_; ++j)
+        if (c[j] == query_digits[static_cast<std::size_t>(j)]) ++matches;
+      return matches;
+    }
+    case SimilarityKernel::kL1Digits: {
+      long dist = 0;
+      for (int j = 0; j < dims_; ++j)
+        dist += std::abs(c[j] - query_digits[static_cast<std::size_t>(j)]);
+      return -static_cast<double>(dist);
+    }
+    case SimilarityKernel::kQuantizedCosine: {
+      double dot = 0.0, nc = 0.0, nq = 0.0;
+      for (int j = 0; j < dims_; ++j) {
+        const double vc = quantizer_.reconstruct(c[j]);
+        const double vq =
+            quantizer_.reconstruct(query_digits[static_cast<std::size_t>(j)]);
+        dot += vc * vq;
+        nc += vc * vc;
+        nq += vq * vq;
+      }
+      if (nc <= 0.0 || nq <= 0.0) return 0.0;
+      return dot / std::sqrt(nc * nq);
+    }
+  }
+  return 0.0;
+}
+
+int QuantizedModel::predict_digits(std::span<const int> query_digits) const {
+  if (static_cast<int>(query_digits.size()) != dims_)
+    throw std::invalid_argument("QuantizedModel::predict_digits: size");
+  int best = 0;
+  double best_score = -1e300;
+  for (int k = 0; k < num_classes_; ++k) {
+    const double s = score(query_digits, k);
+    if (s > best_score) {
+      best_score = s;
+      best = k;
+    }
+  }
+  return best;
+}
+
+int QuantizedModel::predict(const float* encoding) const {
+  const auto digits = quantize_query(encoding);
+  return predict_digits(digits);
+}
+
+double QuantizedModel::evaluate(std::span<const float> encodings,
+                                std::span<const int> labels) const {
+  const auto d = static_cast<std::size_t>(dims_);
+  if (encodings.size() != labels.size() * d)
+    throw std::invalid_argument("QuantizedModel::evaluate: shape");
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (predict(encodings.data() + i * d) == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace tdam::hdc

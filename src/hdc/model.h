@@ -1,0 +1,109 @@
+// HDC classifier: float (full-precision) training in the OnlineHD style and
+// equal-area quantized models whose inference is exactly the digit-match
+// similarity the TD-AM computes in hardware.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hdc/quantizer.h"
+
+namespace tdam::hdc {
+
+struct TrainOptions {
+  int epochs = 8;
+  float learning_rate = 0.05f;
+};
+
+// Full-precision (the paper's "32-bit reference") class-hypervector model.
+class HdcModel {
+ public:
+  HdcModel(int num_classes, int dims);
+
+  int num_classes() const { return num_classes_; }
+  int dims() const { return dims_; }
+
+  // Trains on pre-encoded hypervectors (row-major [n x dims]): initial
+  // class bundling followed by OnlineHD-style error-driven refinement.
+  void train(std::span<const float> encodings, std::span<const int> labels,
+             const TrainOptions& options = {});
+
+  // Cosine-similarity prediction on one encoded query.
+  int predict(const float* encoding) const;
+
+  // Accuracy over an encoded set.
+  double evaluate(std::span<const float> encodings,
+                  std::span<const int> labels) const;
+
+  std::span<const float> class_vector(int k) const;
+
+  // Error-driven update primitive: class_vector(k) += scale * encoding
+  // (norms maintained).  Exposed for online learners that make their
+  // prediction elsewhere (e.g. on the AM) and push corrections back.
+  void apply_update(int k, const float* encoding, float scale);
+
+ private:
+  double cosine(const float* enc, int k, double enc_norm) const;
+
+  int num_classes_;
+  int dims_;
+  std::vector<float> classes_;      // [num_classes x dims]
+  std::vector<double> norms_sq_;    // per-class squared norms
+};
+
+// How a quantized model scores a query against a class row.
+//
+//  * kDigitMatch — count of exactly-matching digits: the similarity the
+//    TD-AM measures natively (one delay LSB per mismatched cell).  Per-dim
+//    discriminability of this kernel FALLS as precision grows (matches get
+//    rarer), an effect we analyse in EXPERIMENTS.md.
+//  * kQuantizedCosine — cosine over block-centroid reconstructions: the
+//    software evaluation the paper's Fig. 7 accuracy study corresponds to
+//    (higher precision monotonically approaches the 32-bit reference).
+//  * kL1Digits — negative Manhattan distance over digit indices; what the
+//    AM computes when each n-bit value is thermometer-coded across 2^n - 1
+//    binary cells (exact-match Hamming over thermometer codes == L1).
+enum class SimilarityKernel { kDigitMatch, kQuantizedCosine, kL1Digits };
+
+// n-bit model: class hypervectors standardized and quantized into 2^n
+// equal-probability blocks; queries pass through the same pipeline and
+// similarity is evaluated with a configurable kernel (see above).
+class QuantizedModel {
+ public:
+  QuantizedModel(const HdcModel& model, int bits,
+                 SimilarityKernel kernel = SimilarityKernel::kDigitMatch);
+
+  SimilarityKernel kernel() const { return kernel_; }
+
+  int bits() const { return quantizer_.bits(); }
+  int dims() const { return dims_; }
+  int num_classes() const { return num_classes_; }
+
+  // Digit row stored in one AM chain group.
+  std::span<const int> class_digits(int k) const;
+
+  // Quantizes an encoded query into AM search digits.
+  std::vector<int> quantize_query(const float* encoding) const;
+
+  // Digit-match (negated Hamming) classification of an encoded query.
+  int predict(const float* encoding) const;
+  // Same, given pre-quantized digits (e.g. replayed through an AM model).
+  int predict_digits(std::span<const int> query_digits) const;
+
+  double evaluate(std::span<const float> encodings,
+                  std::span<const int> labels) const;
+
+  const EqualAreaQuantizer& quantizer() const { return quantizer_; }
+
+ private:
+  static std::vector<float> standardize(std::span<const float> v);
+  double score(std::span<const int> query_digits, int k) const;
+
+  int num_classes_;
+  int dims_;
+  SimilarityKernel kernel_;
+  EqualAreaQuantizer quantizer_;
+  std::vector<int> digits_;  // [num_classes x dims]
+};
+
+}  // namespace tdam::hdc

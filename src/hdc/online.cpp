@@ -1,0 +1,80 @@
+#include "hdc/online.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+OnlineAmLearner::OnlineAmLearner(int num_classes, int dims,
+                                 OnlineAmOptions options)
+    : options_(options), shadow_(num_classes, dims) {
+  if (options_.bits < 1 || options_.bits > 4)
+    throw std::invalid_argument("OnlineAmLearner: bits in [1,4]");
+  if (options_.epochs < 1)
+    throw std::invalid_argument("OnlineAmLearner: epochs >= 1");
+}
+
+const QuantizedModel& OnlineAmLearner::quantized() const {
+  if (!quantized_) throw std::logic_error("OnlineAmLearner: not trained yet");
+  return *quantized_;
+}
+
+void OnlineAmLearner::requantize() {
+  quantized_ =
+      std::make_unique<QuantizedModel>(shadow_, options_.bits, options_.kernel);
+}
+
+OnlineAmReport OnlineAmLearner::train(std::span<const float> encodings,
+                                      std::span<const int> labels) {
+  const auto d = static_cast<std::size_t>(shadow_.dims());
+  if (encodings.size() != labels.size() * d)
+    throw std::invalid_argument("OnlineAmLearner: encoding matrix shape");
+
+  // Bootstrap: one bundling pass in the float domain (no AM involved yet).
+  TrainOptions bundle;
+  bundle.epochs = 0;
+  shadow_.train(encodings, labels, bundle);
+  requantize();
+
+  OnlineAmReport report;
+  report.requantizations = 1;
+  const float lr = options_.learning_rate;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::size_t correct = 0;
+    int since_requant = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const float* enc = encodings.data() + i * d;
+      // Hardware-domain inference: the AM returns digitised per-class
+      // mismatch counts; the argmin is the prediction.
+      const int pred = quantized_->predict(enc);
+      const int y = labels[i];
+      if (pred == y) {
+        ++correct;
+        continue;
+      }
+      // Error-driven OnlineHD update applied to the float shadow.
+      shadow_.apply_update(y, enc, lr);
+      shadow_.apply_update(pred, enc, -lr);
+      ++report.updates;
+      if (options_.requantize_every > 0 &&
+          ++since_requant >= options_.requantize_every) {
+        since_requant = 0;
+        requantize();
+        ++report.requantizations;
+      }
+    }
+    requantize();
+    ++report.requantizations;
+    report.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(labels.size());
+  }
+  return report;
+}
+
+double OnlineAmLearner::evaluate(std::span<const float> encodings,
+                                 std::span<const int> labels) const {
+  return quantized().evaluate(encodings, labels);
+}
+
+}  // namespace tdam::hdc

@@ -1,0 +1,61 @@
+// AM-in-the-loop online learning.
+//
+// The paper criticises winner-take-all accelerators for not exposing the
+// exact similarity value, "which is crucial for parameter update in some
+// machine learning algorithms [35 = OnlineHD]".  This module closes that
+// loop: an OnlineHD-style learner whose *inference during training* runs on
+// the quantized digit domain the TD-AM computes in hardware (mismatch counts
+// per class), so the hardware's quantitative output directly drives the
+// updates.  Class vectors are kept in float shadow storage (as a real system
+// would, in the digital domain) and re-quantized into the AM periodically.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hdc/model.h"
+
+namespace tdam::hdc {
+
+struct OnlineAmOptions {
+  int bits = 2;
+  int epochs = 4;
+  float learning_rate = 0.05f;
+  // Re-quantize the shadow model into the AM every `requantize_every`
+  // updates (write cost is tracked).  0 = after every epoch only.
+  int requantize_every = 0;
+  SimilarityKernel kernel = SimilarityKernel::kDigitMatch;
+};
+
+struct OnlineAmReport {
+  int updates = 0;        // error-driven updates applied
+  int requantizations = 0;  // times the AM contents were rewritten
+  double train_accuracy = 0.0;  // final-epoch training accuracy (AM domain)
+};
+
+class OnlineAmLearner {
+ public:
+  OnlineAmLearner(int num_classes, int dims, OnlineAmOptions options = {});
+
+  // Trains on pre-encoded hypervectors.  Inference inside the loop uses the
+  // quantized model (the AM's view); updates go to the float shadow.
+  OnlineAmReport train(std::span<const float> encodings,
+                       std::span<const int> labels);
+
+  // Final quantized model (what the AM holds after training).
+  const QuantizedModel& quantized() const;
+  // Float shadow (for comparison with pure-software training).
+  const HdcModel& shadow() const { return shadow_; }
+
+  double evaluate(std::span<const float> encodings,
+                  std::span<const int> labels) const;
+
+ private:
+  void requantize();
+
+  OnlineAmOptions options_;
+  HdcModel shadow_;
+  std::unique_ptr<QuantizedModel> quantized_;
+};
+
+}  // namespace tdam::hdc

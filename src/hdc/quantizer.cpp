@@ -1,0 +1,57 @@
+#include "hdc/quantizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+EqualAreaQuantizer::EqualAreaQuantizer(std::span<const float> values, int bits)
+    : bits_(bits) {
+  if (bits < 1 || bits > 8)
+    throw std::invalid_argument("EqualAreaQuantizer: bits must be in [1,8]");
+  if (values.size() < static_cast<std::size_t>(levels()))
+    throw std::invalid_argument("EqualAreaQuantizer: too few fit values");
+
+  std::vector<float> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const int l = levels();
+
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<float>(sorted[lo] +
+                              frac * (sorted[hi] - sorted[lo]));
+  };
+
+  boundaries_.reserve(static_cast<std::size_t>(l - 1));
+  for (int k = 1; k < l; ++k)
+    boundaries_.push_back(quantile(static_cast<double>(k) / l));
+  centroids_.reserve(static_cast<std::size_t>(l));
+  for (int k = 0; k < l; ++k)
+    centroids_.push_back(quantile((static_cast<double>(k) + 0.5) / l));
+}
+
+int EqualAreaQuantizer::quantize(float value) const {
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+std::vector<int> EqualAreaQuantizer::quantize_all(
+    std::span<const float> values) const {
+  std::vector<int> out;
+  out.reserve(values.size());
+  for (float v : values) out.push_back(quantize(v));
+  return out;
+}
+
+float EqualAreaQuantizer::reconstruct(int level) const {
+  if (level < 0 || level >= levels())
+    throw std::out_of_range("EqualAreaQuantizer::reconstruct");
+  return centroids_[static_cast<std::size_t>(level)];
+}
+
+}  // namespace tdam::hdc

@@ -1,0 +1,42 @@
+// Equal-area probabilistic quantizer (Sec. IV-B of the paper).
+//
+// "By thoroughly mapping the class hypervector values based on probability
+// distributions into 2^n blocks of equal areas, we achieved a nuanced
+// representation, allocating smaller widths to more significant values."
+//
+// Implementation: block boundaries are the (k/2^n)-quantiles of the fitted
+// value population, so every block carries equal probability mass; dense
+// regions get narrow blocks.  Values are mapped to their block index (the
+// n-bit digit stored in / searched against the AM) and can be reconstructed
+// from the block centroid (median) for analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tdam::hdc {
+
+class EqualAreaQuantizer {
+ public:
+  // Fits 2^bits equal-mass blocks on `values`.  bits in [1, 8].
+  EqualAreaQuantizer(std::span<const float> values, int bits);
+
+  int bits() const { return bits_; }
+  int levels() const { return 1 << bits_; }
+
+  // Digit (block index) for a value; clamped at the extremes.
+  int quantize(float value) const;
+  std::vector<int> quantize_all(std::span<const float> values) const;
+
+  // Block centroid (median of the fitted mass in the block).
+  float reconstruct(int level) const;
+
+  const std::vector<float>& boundaries() const { return boundaries_; }
+
+ private:
+  int bits_;
+  std::vector<float> boundaries_;  // levels-1 ascending cut points
+  std::vector<float> centroids_;   // levels representative values
+};
+
+}  // namespace tdam::hdc

@@ -1,0 +1,167 @@
+#include "hdc/serialize.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+namespace {
+constexpr const char* kMagic = "tdam-quantized-model";
+
+int kernel_code(SimilarityKernel k) {
+  switch (k) {
+    case SimilarityKernel::kDigitMatch:
+      return 0;
+    case SimilarityKernel::kQuantizedCosine:
+      return 1;
+    case SimilarityKernel::kL1Digits:
+      return 2;
+  }
+  return 0;
+}
+
+SimilarityKernel kernel_from_code(int code) {
+  switch (code) {
+    case 0:
+      return SimilarityKernel::kDigitMatch;
+    case 1:
+      return SimilarityKernel::kQuantizedCosine;
+    case 2:
+      return SimilarityKernel::kL1Digits;
+    default:
+      throw std::runtime_error("load_snapshot: unknown kernel code");
+  }
+}
+}  // namespace
+
+QuantizedSnapshot QuantizedSnapshot::from_model(const QuantizedModel& model) {
+  QuantizedSnapshot snap;
+  snap.bits = model.bits();
+  snap.dims = model.dims();
+  snap.num_classes = model.num_classes();
+  snap.kernel = model.kernel();
+  const auto& q = model.quantizer();
+  snap.boundaries = q.boundaries();
+  for (int level = 0; level < q.levels(); ++level)
+    snap.centroids.push_back(q.reconstruct(level));
+  for (int k = 0; k < model.num_classes(); ++k) {
+    const auto row = model.class_digits(k);
+    snap.digits.insert(snap.digits.end(), row.begin(), row.end());
+  }
+  return snap;
+}
+
+int QuantizedSnapshot::predict_digits(std::span<const int> query_digits) const {
+  if (static_cast<int>(query_digits.size()) != dims)
+    throw std::invalid_argument("QuantizedSnapshot: query size mismatch");
+  int best = 0;
+  double best_score = -1e300;
+  for (int k = 0; k < num_classes; ++k) {
+    const int* row = digits.data() +
+                     static_cast<std::size_t>(k) * static_cast<std::size_t>(dims);
+    double score = 0.0;
+    switch (kernel) {
+      case SimilarityKernel::kDigitMatch: {
+        int matches = 0;
+        for (int j = 0; j < dims; ++j)
+          if (row[j] == query_digits[static_cast<std::size_t>(j)]) ++matches;
+        score = matches;
+        break;
+      }
+      case SimilarityKernel::kL1Digits: {
+        long dist = 0;
+        for (int j = 0; j < dims; ++j)
+          dist += std::abs(row[j] - query_digits[static_cast<std::size_t>(j)]);
+        score = -static_cast<double>(dist);
+        break;
+      }
+      case SimilarityKernel::kQuantizedCosine: {
+        double dot = 0.0, nc = 0.0, nq = 0.0;
+        for (int j = 0; j < dims; ++j) {
+          const double vc = centroids[static_cast<std::size_t>(row[j])];
+          const double vq = centroids[static_cast<std::size_t>(
+              query_digits[static_cast<std::size_t>(j)])];
+          dot += vc * vq;
+          nc += vc * vc;
+          nq += vq * vq;
+        }
+        score = (nc > 0.0 && nq > 0.0) ? dot / std::sqrt(nc * nq) : 0.0;
+        break;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = k;
+    }
+  }
+  return best;
+}
+
+void save_snapshot(const QuantizedSnapshot& snap, std::ostream& out) {
+  out << kMagic << " v" << snap.version << "\n";
+  out << snap.bits << " " << snap.dims << " " << snap.num_classes << " "
+      << kernel_code(snap.kernel) << "\n";
+  out << snap.boundaries.size();
+  for (float b : snap.boundaries) out << " " << b;
+  out << "\n" << snap.centroids.size();
+  for (float c : snap.centroids) out << " " << c;
+  out << "\n";
+  for (int d : snap.digits) out << d << " ";
+  out << "\n";
+  if (!out) throw std::runtime_error("save_snapshot: stream failure");
+}
+
+QuantizedSnapshot load_snapshot(std::istream& in) {
+  QuantizedSnapshot snap;
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != kMagic || version != "v1")
+    throw std::runtime_error("load_snapshot: bad header");
+  int kernel_id = 0;
+  in >> snap.bits >> snap.dims >> snap.num_classes >> kernel_id;
+  snap.kernel = kernel_from_code(kernel_id);
+  if (snap.bits < 1 || snap.bits > 8 || snap.dims < 1 || snap.num_classes < 2)
+    throw std::runtime_error("load_snapshot: implausible dimensions");
+
+  std::size_t nb = 0;
+  in >> nb;
+  if (nb != static_cast<std::size_t>((1 << snap.bits) - 1))
+    throw std::runtime_error("load_snapshot: boundary count mismatch");
+  snap.boundaries.resize(nb);
+  for (auto& b : snap.boundaries) in >> b;
+
+  std::size_t nc = 0;
+  in >> nc;
+  if (nc != static_cast<std::size_t>(1 << snap.bits))
+    throw std::runtime_error("load_snapshot: centroid count mismatch");
+  snap.centroids.resize(nc);
+  for (auto& c : snap.centroids) in >> c;
+
+  snap.digits.resize(static_cast<std::size_t>(snap.dims) *
+                     static_cast<std::size_t>(snap.num_classes));
+  for (auto& d : snap.digits) {
+    in >> d;
+    if (d < 0 || d >= (1 << snap.bits))
+      throw std::runtime_error("load_snapshot: digit out of range");
+  }
+  if (!in) throw std::runtime_error("load_snapshot: truncated input");
+  return snap;
+}
+
+void save_snapshot_file(const QuantizedSnapshot& snap, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_snapshot_file: cannot open " + path);
+  save_snapshot(snap, out);
+}
+
+QuantizedSnapshot load_snapshot_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_snapshot_file: cannot open " + path);
+  return load_snapshot(in);
+}
+
+}  // namespace tdam::hdc

@@ -1,0 +1,41 @@
+// Serialization of trained models and AM contents.
+//
+// A deployed TD-AM system trains once (host) and programs many arrays
+// (edge), so the quantized class digits and the encoder seed must round-trip
+// through storage.  Format: a small explicit text header followed by
+// whitespace-separated numbers — diff-able, endian-safe, and versioned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hdc/model.h"
+
+namespace tdam::hdc {
+
+// Portable snapshot of a quantized model: everything an array controller
+// needs to program chains and quantize queries.
+struct QuantizedSnapshot {
+  int version = 1;
+  int bits = 0;
+  int dims = 0;
+  int num_classes = 0;
+  SimilarityKernel kernel = SimilarityKernel::kDigitMatch;
+  std::vector<float> boundaries;       // quantizer cut points
+  std::vector<float> centroids;        // block representatives
+  std::vector<int> digits;             // [num_classes x dims]
+
+  static QuantizedSnapshot from_model(const QuantizedModel& model);
+
+  // Digit-domain prediction identical to QuantizedModel::predict_digits.
+  int predict_digits(std::span<const int> query_digits) const;
+};
+
+void save_snapshot(const QuantizedSnapshot& snap, std::ostream& out);
+QuantizedSnapshot load_snapshot(std::istream& in);  // throws on malformed input
+
+void save_snapshot_file(const QuantizedSnapshot& snap, const std::string& path);
+QuantizedSnapshot load_snapshot_file(const std::string& path);
+
+}  // namespace tdam::hdc

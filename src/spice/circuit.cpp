@@ -1,0 +1,100 @@
+#include "spice/circuit.h"
+
+#include <stdexcept>
+
+namespace tdam::spice {
+
+namespace {
+device::Mosfet placeholder_mosfet() {
+  return device::Mosfet(device::Polarity::kNmos, device::MosfetParams{}, 1.0);
+}
+}  // namespace
+
+Circuit::Circuit() {
+  // Node 0 is ground: driven at 0 V, infinite sink.
+  NodeInfo gnd;
+  gnd.name = "gnd";
+  gnd.driven = true;
+  gnd.source = dc(0.0);
+  gnd.source_name = "gnd";
+  nodes_.push_back(std::move(gnd));
+}
+
+NodeId Circuit::add_node(std::string name, double capacitance) {
+  if (capacitance < 0.0) throw std::invalid_argument("add_node: negative capacitance");
+  NodeInfo info;
+  info.name = std::move(name);
+  info.capacitance = capacitance;
+  nodes_.push_back(std::move(info));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Circuit::add_source_node(std::string name, Waveform w, std::string source_name) {
+  if (!w) throw std::invalid_argument("add_source_node: empty waveform");
+  NodeInfo info;
+  info.name = std::move(name);
+  info.driven = true;
+  info.source = std::move(w);
+  info.source_name = std::move(source_name);
+  nodes_.push_back(std::move(info));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Circuit::add_node_capacitance(NodeId n, double c) {
+  check_node(n);
+  if (c < 0.0) throw std::invalid_argument("add_node_capacitance: negative value");
+  nodes_[static_cast<std::size_t>(n)].capacitance += c;
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (ohms <= 0.0) throw std::invalid_argument("add_resistor: non-positive resistance");
+  DeviceInstance d{DeviceInstance::Kind::kResistor, a, b, kGround,
+                   ohms, placeholder_mosfet(), nullptr};
+  devices_.push_back(std::move(d));
+}
+
+void Circuit::add_mosfet(const device::Mosfet& m, NodeId gate, NodeId drain,
+                         NodeId source) {
+  check_node(gate);
+  check_node(drain);
+  check_node(source);
+  DeviceInstance d{DeviceInstance::Kind::kMosfet, gate, drain, source,
+                   0.0, m, nullptr};
+  devices_.push_back(std::move(d));
+}
+
+void Circuit::add_fefet(const device::FeFet* f, NodeId gate, NodeId drain,
+                        NodeId source) {
+  if (f == nullptr) throw std::invalid_argument("add_fefet: null device");
+  check_node(gate);
+  check_node(drain);
+  check_node(source);
+  DeviceInstance d{DeviceInstance::Kind::kFefet, gate, drain, source,
+                   0.0, placeholder_mosfet(), f};
+  devices_.push_back(std::move(d));
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  throw std::out_of_range("Circuit::find_node: no node named " + name);
+}
+
+void Circuit::check_node(NodeId n) const {
+  if (n < 0 || static_cast<std::size_t>(n) >= nodes_.size())
+    throw std::out_of_range("Circuit: invalid node id");
+}
+
+void Circuit::validate() const {
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const auto& node = nodes_[i];
+    if (!node.driven && node.capacitance <= 0.0)
+      throw std::logic_error("Circuit: free node '" + node.name +
+                             "' has no capacitance; explicit integration "
+                             "requires C > 0 on every free node");
+  }
+}
+
+}  // namespace tdam::spice

@@ -1,0 +1,86 @@
+// Netlist container for the behavioural transient simulator.
+//
+// Modelling choices (documented in DESIGN.md §5):
+//  * Every internal node carries a lumped capacitance to ground; the solver
+//    integrates dV/dt = -I_out(node) / C(node) explicitly.  All capacitors in
+//    the modelled circuits (load caps, gate loads, junction caps) are
+//    node-to-ground, so no capacitance matrix is needed.
+//  * Driven nodes are forced by ideal voltage sources with arbitrary
+//    waveforms; the current each source delivers is metered for energy
+//    accounting.
+//  * MOSFET gates draw no DC current; their loading is folded into node
+//    capacitance when the netlist is built.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/fefet.h"
+#include "device/mosfet.h"
+#include "spice/waveform.h"
+
+namespace tdam::spice {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct DeviceInstance {
+  enum class Kind { kResistor, kMosfet, kFefet };
+  Kind kind;
+  // Terminal meaning: resistor (a,b); transistor (gate=a, drain=b, source=c).
+  NodeId a = kGround;
+  NodeId b = kGround;
+  NodeId c = kGround;
+  double resistance = 0.0;               // kResistor
+  device::Mosfet mosfet;                 // kMosfet
+  const device::FeFet* fefet = nullptr;  // kFefet (non-owning)
+};
+
+struct NodeInfo {
+  std::string name;
+  double capacitance = 0.0;  // to ground (F)
+  bool driven = false;
+  Waveform source;           // valid when driven
+  std::string source_name;   // energy-meter key when driven
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  // Adds a free (integrated) node.  Capacitance may be grown later with
+  // add_node_capacitance; it must be positive by simulation time.
+  NodeId add_node(std::string name, double capacitance = 0.0);
+
+  // Adds a node forced by an ideal source.  `source_name` groups sources for
+  // energy metering (e.g. all cells' precharge PMOS share "vdd").
+  NodeId add_source_node(std::string name, Waveform w, std::string source_name);
+
+  void add_node_capacitance(NodeId n, double c);
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_mosfet(const device::Mosfet& m, NodeId gate, NodeId drain, NodeId source);
+  // FeFET gate capacitance is NOT auto-added; the cell builder accounts for
+  // it on the search line explicitly.
+  void add_fefet(const device::FeFet* f, NodeId gate, NodeId drain, NodeId source);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t device_count() const { return devices_.size(); }
+  const NodeInfo& node(NodeId n) const { return nodes_.at(static_cast<std::size_t>(n)); }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const std::vector<DeviceInstance>& devices() const { return devices_; }
+
+  NodeId find_node(const std::string& name) const;  // throws if absent
+
+  // Verifies solver preconditions (finite positive capacitance on every free
+  // node, valid terminals).  Called by the simulator; public for tests.
+  void validate() const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<DeviceInstance> devices_;
+};
+
+}  // namespace tdam::spice

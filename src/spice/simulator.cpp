@@ -1,0 +1,174 @@
+#include "spice/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::spice {
+
+const Trace& TransientResult::trace(const std::string& node_name) const {
+  for (const auto& tr : traces)
+    if (tr.name() == node_name) return tr;
+  throw std::out_of_range("TransientResult: no trace for node " + node_name);
+}
+
+double TransientResult::total_energy() const {
+  double e = 0.0;
+  for (const auto& [name, joules] : source_energy)
+    if (name != "gnd") e += joules;
+  return e;
+}
+
+Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {
+  circuit_.validate();
+}
+
+void Simulator::probe(NodeId n) {
+  if (n < 0 || static_cast<std::size_t>(n) >= circuit_.node_count())
+    throw std::out_of_range("Simulator::probe: invalid node");
+  probes_.push_back(n);
+}
+
+void Simulator::probe_all() {
+  probes_.clear();
+  for (std::size_t i = 0; i < circuit_.node_count(); ++i)
+    probes_.push_back(static_cast<NodeId>(i));
+}
+
+void Simulator::set_initial(NodeId n, double v) {
+  if (n < 0 || static_cast<std::size_t>(n) >= circuit_.node_count())
+    throw std::out_of_range("Simulator::set_initial: invalid node");
+  initial_[n] = v;
+}
+
+void Simulator::eval_currents(double t, const std::vector<double>& v,
+                              std::vector<double>& i_out) const {
+  (void)t;
+  std::fill(i_out.begin(), i_out.end(), 0.0);
+  for (const auto& d : circuit_.devices()) {
+    switch (d.kind) {
+      case DeviceInstance::Kind::kResistor: {
+        const auto a = static_cast<std::size_t>(d.a);
+        const auto b = static_cast<std::size_t>(d.b);
+        const double i = (v[a] - v[b]) / d.resistance;
+        i_out[a] += i;
+        i_out[b] -= i;
+        break;
+      }
+      case DeviceInstance::Kind::kMosfet: {
+        const auto g = static_cast<std::size_t>(d.a);
+        const auto dr = static_cast<std::size_t>(d.b);
+        const auto s = static_cast<std::size_t>(d.c);
+        const double i = d.mosfet.drain_current(v[g], v[dr], v[s]);
+        i_out[dr] += i;
+        i_out[s] -= i;
+        break;
+      }
+      case DeviceInstance::Kind::kFefet: {
+        const auto g = static_cast<std::size_t>(d.a);
+        const auto dr = static_cast<std::size_t>(d.b);
+        const auto s = static_cast<std::size_t>(d.c);
+        const double i = d.fefet->drain_current(v[g], v[dr], v[s]);
+        i_out[dr] += i;
+        i_out[s] -= i;
+        break;
+      }
+    }
+  }
+}
+
+TransientResult Simulator::run(const TransientOptions& opts) {
+  if (opts.t_stop <= 0.0)
+    throw std::invalid_argument("Simulator::run: t_stop must be positive");
+  const std::size_t n = circuit_.node_count();
+  const auto& nodes = circuit_.nodes();
+
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (nodes[i].driven) v[i] = nodes[i].source(0.0);
+  for (const auto& [node, volts] : initial_) {
+    if (nodes[static_cast<std::size_t>(node)].driven)
+      throw std::invalid_argument("Simulator: initial condition on driven node");
+    v[static_cast<std::size_t>(node)] = volts;
+  }
+
+  TransientResult result;
+  result.traces.reserve(probes_.size());
+  for (NodeId p : probes_)
+    result.traces.emplace_back(nodes[static_cast<std::size_t>(p)].name);
+
+  auto record = [&](double t) {
+    for (std::size_t k = 0; k < probes_.size(); ++k)
+      result.traces[k].append(t, v[static_cast<std::size_t>(probes_[k])]);
+  };
+  record(0.0);
+
+  std::vector<double> i_out(n), i_mid(n), v_mid(n);
+  double t = 0.0;
+  double dt = opts.dt_initial;
+  std::size_t since_record = 0;
+
+  while (t < opts.t_stop) {
+    if (result.accepted_steps + result.rejected_steps >= opts.max_steps)
+      throw std::runtime_error("Simulator: step budget exhausted");
+    dt = std::min(dt, opts.t_stop - t);
+
+    // Stage 1: derivative at t.
+    eval_currents(t, v, i_out);
+
+    // Stage 2: midpoint state.
+    const double t_mid = t + 0.5 * dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nodes[i].driven) {
+        v_mid[i] = nodes[i].source(t_mid);
+      } else {
+        v_mid[i] = v[i] - 0.5 * dt * i_out[i] / nodes[i].capacitance;
+      }
+    }
+    eval_currents(t_mid, v_mid, i_mid);
+
+    // Proposed update and step-size check.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nodes[i].driven) continue;
+      const double dv = -dt * i_mid[i] / nodes[i].capacitance;
+      max_dv = std::max(max_dv, std::abs(dv));
+    }
+    if (max_dv > opts.max_dv_step && dt > opts.dt_min) {
+      dt = std::max(opts.dt_min, 0.5 * dt);
+      ++result.rejected_steps;
+      continue;
+    }
+
+    // Accept: advance state and meter energy (trapezoid on stage currents).
+    const double t_new = t + dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nodes[i].driven) continue;
+      v[i] -= dt * i_mid[i] / nodes[i].capacitance;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!nodes[i].driven) continue;
+      const double v_old = v[i];
+      const double v_new = nodes[i].source(t_new);
+      // Source current = capacitive charging + device draw (midpoint value).
+      const double i_cap = nodes[i].capacitance * (v_new - v_old) / dt;
+      const double i_src = i_cap + i_mid[i];
+      result.source_energy[nodes[i].source_name] += v_mid[i] * i_src * dt;
+      v[i] = v_new;
+    }
+    t = t_new;
+    ++result.accepted_steps;
+
+    if (++since_record >= opts.record_decimation) {
+      since_record = 0;
+      record(t);
+    }
+
+    // Grow the step when the solution is quiet.
+    if (max_dv < 0.3 * opts.max_dv_step) dt = std::min(opts.dt_max, 1.5 * dt);
+  }
+  record(t);
+  return result;
+}
+
+}  // namespace tdam::spice

@@ -1,0 +1,71 @@
+// Adaptive explicit transient solver.
+//
+// Integrates dV/dt = -I_out(node)/C(node) for every free node with a
+// midpoint (RK2) scheme and a per-step voltage-change limiter: steps that
+// would move any node more than `max_dv_step` are rejected and halved, and
+// quiet intervals grow the step towards `dt_max`.  This suits the modelled
+// circuits — long idle plateaus punctuated by fast RC edges — and avoids the
+// Newton iterations an implicit method would need through the nonlinear
+// device models.
+//
+// Energy accounting: for each driven node the solver integrates the power
+// the ideal source delivers, E = ∫ v · i_src dt with
+// i_src = C_node·dv/dt + I_out(devices).  Energies are accumulated per
+// source-name group ("vdd", "sl", ...), which is how the per-figure
+// harnesses split supply versus search-line energy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/trace.h"
+
+namespace tdam::spice {
+
+struct TransientOptions {
+  double t_stop = 0.0;            // required
+  double dt_min = 1e-15;          // s
+  double dt_max = 20e-12;         // s
+  double dt_initial = 1e-13;      // s
+  double max_dv_step = 2e-3;      // V: accept threshold per step
+  std::size_t max_steps = 200'000'000;
+  std::size_t record_decimation = 1;  // keep every k-th accepted point
+};
+
+struct TransientResult {
+  std::vector<Trace> traces;  // one per probed node, in probe order
+  std::map<std::string, double> source_energy;  // J delivered per source group
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+
+  const Trace& trace(const std::string& node_name) const;  // throws if absent
+  double total_energy() const;  // sum over sources except "gnd"
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Circuit& circuit);
+
+  // Registers a node whose waveform should be recorded.
+  void probe(NodeId n);
+  void probe_all();
+
+  // Sets the initial voltage of a free node (default 0 V).
+  void set_initial(NodeId n, double v);
+
+  TransientResult run(const TransientOptions& opts);
+
+ private:
+  // Evaluates device currents at (t, v); fills i_out (current drawn out of
+  // each node by devices).
+  void eval_currents(double t, const std::vector<double>& v,
+                     std::vector<double>& i_out) const;
+
+  const Circuit& circuit_;
+  std::vector<NodeId> probes_;
+  std::map<NodeId, double> initial_;
+};
+
+}  // namespace tdam::spice

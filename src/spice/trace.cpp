@@ -1,0 +1,88 @@
+#include "spice/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdam::spice {
+
+void Trace::append(double t, double v) {
+  if (!t_.empty() && t < t_.back())
+    throw std::invalid_argument("Trace: time must not decrease");
+  t_.push_back(t);
+  v_.push_back(v);
+}
+
+double Trace::value_at(double t) const {
+  if (t_.empty()) throw std::logic_error("Trace: empty");
+  if (t <= t_.front()) return v_.front();
+  if (t >= t_.back()) return v_.back();
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - t_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = t_[hi] - t_[lo];
+  if (span <= 0.0) return v_[lo];
+  const double frac = (t - t_[lo]) / span;
+  return v_[lo] + frac * (v_[hi] - v_[lo]);
+}
+
+double Trace::final_value() const {
+  if (v_.empty()) throw std::logic_error("Trace: empty");
+  return v_.back();
+}
+
+double Trace::min_value() const {
+  if (v_.empty()) throw std::logic_error("Trace: empty");
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+double Trace::max_value() const {
+  if (v_.empty()) throw std::logic_error("Trace: empty");
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+double Trace::crossing_time(double level, Edge edge, double t_after) const {
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    if (t_[i] < t_after) continue;
+    const double v0 = v_[i - 1];
+    const double v1 = v_[i];
+    const bool crossed = (edge == Edge::kRising) ? (v0 < level && v1 >= level)
+                                                 : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    const double t = t_[i - 1] + frac * (t_[i] - t_[i - 1]);
+    if (t >= t_after) return t;
+  }
+  return -1.0;
+}
+
+double Trace::transition_time(double v_low, double v_high, Edge edge,
+                              double t_after) const {
+  const double mid = 0.5 * (v_low + v_high);
+  const double t50 = crossing_time(mid, edge, t_after);
+  if (t50 < 0.0) return -1.0;
+  const double lo_level = v_low + 0.1 * (v_high - v_low);
+  const double hi_level = v_low + 0.9 * (v_high - v_low);
+  double t_first, t_last;
+  if (edge == Edge::kRising) {
+    // Search backwards-compatible: find the 10% crossing before t50 by
+    // scanning from the start with t_after clamp, and 90% after t50.
+    t_first = crossing_time(lo_level, Edge::kRising, t_after);
+    t_last = crossing_time(hi_level, Edge::kRising, t50);
+  } else {
+    t_first = crossing_time(hi_level, Edge::kFalling, t_after);
+    t_last = crossing_time(lo_level, Edge::kFalling, t50);
+  }
+  if (t_first < 0.0 || t_last < 0.0 || t_last < t_first) return -1.0;
+  return t_last - t_first;
+}
+
+Trace Trace::decimated(std::size_t keep_every) const {
+  if (keep_every == 0) throw std::invalid_argument("Trace: keep_every == 0");
+  Trace out(name_);
+  for (std::size_t i = 0; i < t_.size(); i += keep_every) out.append(t_[i], v_[i]);
+  if (!t_.empty() && (t_.size() - 1) % keep_every != 0)
+    out.append(t_.back(), v_.back());
+  return out;
+}
+
+}  // namespace tdam::spice

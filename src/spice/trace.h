@@ -1,0 +1,49 @@
+// Recorded node waveforms and timing measurements.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tdam::spice {
+
+enum class Edge { kRising, kFalling };
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void append(double t, double v);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return t_.size(); }
+  bool empty() const { return t_.empty(); }
+  const std::vector<double>& times() const { return t_; }
+  const std::vector<double>& values() const { return v_; }
+
+  double value_at(double t) const;  // linear interpolation, clamped
+  double final_value() const;
+  double min_value() const;
+  double max_value() const;
+
+  // Time of the first crossing of `level` with the given edge direction at
+  // or after `t_after`.  Linear interpolation between samples.  Returns a
+  // negative value if the trace never crosses.
+  double crossing_time(double level, Edge edge, double t_after = 0.0) const;
+
+  // 10%-90% transition time of the edge whose 50% crossing is the first one
+  // after `t_after`.  Negative if not found.
+  double transition_time(double v_low, double v_high, Edge edge,
+                         double t_after = 0.0) const;
+
+  // Downsampled copy (every k-th point) for compact CSV export.
+  Trace decimated(std::size_t keep_every) const;
+
+ private:
+  std::string name_;
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+}  // namespace tdam::spice

@@ -1,0 +1,82 @@
+#include "spice/vcd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace tdam::spice {
+
+namespace {
+// VCD identifier characters: printable ASCII '!'..'~'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+  return out.empty() ? std::string("node") : out;
+}
+}  // namespace
+
+void write_vcd(std::ostream& out, const std::vector<Trace>& traces,
+               const VcdOptions& options) {
+  if (traces.empty()) throw std::invalid_argument("write_vcd: no traces");
+  for (const auto& t : traces)
+    if (t.empty()) throw std::invalid_argument("write_vcd: empty trace");
+  if (options.timescale_seconds <= 0.0)
+    throw std::invalid_argument("write_vcd: bad timescale");
+
+  out << "$date tdam export $end\n";
+  out << "$version tdam circuit simulator $end\n";
+  out << "$timescale " << static_cast<long>(options.timescale_seconds * 1e15)
+      << " fs $end\n";
+  out << "$scope module " << sanitize(options.module_name) << " $end\n";
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    out << "$var real 64 " << vcd_id(i) << " " << sanitize(traces[i].name())
+        << " $end\n";
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  // Merge all sample times onto the quantised grid.
+  std::set<long> ticks;
+  for (const auto& t : traces)
+    for (double time : t.times())
+      ticks.insert(static_cast<long>(
+          std::llround(time / options.timescale_seconds)));
+
+  std::vector<double> last(traces.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  for (long tick : ticks) {
+    const double time = static_cast<double>(tick) * options.timescale_seconds;
+    bool stamped = false;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const double v = traces[i].value_at(time);
+      if (!std::isnan(last[i]) && std::abs(v - last[i]) < 1e-9) continue;
+      if (!stamped) {
+        out << "#" << tick << "\n";
+        stamped = true;
+      }
+      out << "r" << v << " " << vcd_id(i) << "\n";
+      last[i] = v;
+    }
+  }
+  if (!out) throw std::runtime_error("write_vcd: stream failure");
+}
+
+void write_vcd_file(const std::string& path, const std::vector<Trace>& traces,
+                    const VcdOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_vcd_file: cannot open " + path);
+  write_vcd(out, traces, options);
+}
+
+}  // namespace tdam::spice

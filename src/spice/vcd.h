@@ -1,0 +1,31 @@
+// VCD (Value Change Dump) export of analog traces.
+//
+// Writes recorded node waveforms as IEEE-1364 VCD `real` variables so any
+// waveform viewer (GTKWave etc.) can display a simulation — the debugging
+// workflow every circuit engineer expects from a simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spice/trace.h"
+
+namespace tdam::spice {
+
+struct VcdOptions {
+  // Timescale of the dump; trace times are quantised to this grid.
+  double timescale_seconds = 1e-12;  // 1 ps
+  std::string module_name = "tdam";
+};
+
+// Writes all traces into one VCD stream.  Traces may have different sample
+// points; values change in the dump whenever any trace crosses a new
+// timestep.  Throws on empty input or I/O failure.
+void write_vcd(std::ostream& out, const std::vector<Trace>& traces,
+               const VcdOptions& options = {});
+
+void write_vcd_file(const std::string& path, const std::vector<Trace>& traces,
+                    const VcdOptions& options = {});
+
+}  // namespace tdam::spice

@@ -1,0 +1,58 @@
+#include "spice/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tdam::spice {
+
+Waveform dc(double level) {
+  return [level](double) { return level; };
+}
+
+Waveform pulse(const PulseSpec& spec) {
+  if (spec.t_rise <= 0.0 || spec.t_fall <= 0.0)
+    throw std::invalid_argument("pulse: transition times must be positive");
+  return [spec](double t) {
+    double local = t - spec.delay;
+    if (local < 0.0) return spec.v0;
+    if (spec.period > 0.0) local = std::fmod(local, spec.period);
+    if (local < spec.t_rise)
+      return spec.v0 + (spec.v1 - spec.v0) * local / spec.t_rise;
+    if (local < spec.t_rise + spec.width) return spec.v1;
+    const double fall = local - spec.t_rise - spec.width;
+    if (fall < spec.t_fall)
+      return spec.v1 + (spec.v0 - spec.v1) * fall / spec.t_fall;
+    return spec.v0;
+  };
+}
+
+Waveform piecewise_linear(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("piecewise_linear: no points");
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].first <= points[i - 1].first)
+      throw std::invalid_argument("piecewise_linear: times must increase");
+  return [pts = std::move(points)](double t) {
+    if (t <= pts.front().first) return pts.front().second;
+    if (t >= pts.back().first) return pts.back().second;
+    const auto it = std::upper_bound(
+        pts.begin(), pts.end(), t,
+        [](double value, const auto& p) { return value < p.first; });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double frac = (t - lo.first) / (hi.first - lo.first);
+    return lo.second + frac * (hi.second - lo.second);
+  };
+}
+
+Waveform step_edge(double v_from, double v_to, double t_start, double t_transition) {
+  if (t_transition <= 0.0)
+    throw std::invalid_argument("step_edge: transition time must be positive");
+  return [=](double t) {
+    if (t <= t_start) return v_from;
+    if (t >= t_start + t_transition) return v_to;
+    return v_from + (v_to - v_from) * (t - t_start) / t_transition;
+  };
+}
+
+}  // namespace tdam::spice

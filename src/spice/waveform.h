@@ -1,0 +1,40 @@
+// Source waveforms for the transient simulator: DC levels, SPICE-style PULSE
+// sources, and piecewise-linear descriptions.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tdam::spice {
+
+// A waveform maps time (s) to a source voltage (V).  std::function keeps the
+// netlist API open to arbitrary stimuli in tests.
+using Waveform = std::function<double(double)>;
+
+Waveform dc(double level);
+
+// SPICE PULSE(v0 v1 delay t_rise t_fall width [period]): rises from v0 to v1
+// after `delay`, holds for `width`, falls back.  `period` <= 0 means a single
+// pulse.
+struct PulseSpec {
+  double v0 = 0.0;
+  double v1 = 1.0;
+  double delay = 0.0;
+  double t_rise = 1e-12;
+  double t_fall = 1e-12;
+  double width = 1e-9;
+  double period = 0.0;
+};
+
+Waveform pulse(const PulseSpec& spec);
+
+// Piecewise-linear waveform through (time, value) points; clamps outside the
+// range.  Points must be strictly increasing in time.
+Waveform piecewise_linear(std::vector<std::pair<double, double>> points);
+
+// A single step edge (rise or fall) with finite transition time — the input
+// stimulus used for delay-chain measurements.
+Waveform step_edge(double v_from, double v_to, double t_start, double t_transition);
+
+}  // namespace tdam::spice

@@ -1,0 +1,67 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdam {
+
+void AsciiPlot::add_series(Series s) {
+  if (s.x.size() != s.y.size())
+    throw std::invalid_argument("AsciiPlot: series x/y size mismatch");
+  series_.push_back(std::move(s));
+}
+
+std::string AsciiPlot::render() const {
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  if (series_.empty()) return out.str() + "  (no data)\n";
+
+  auto tx = [&](double v) { return log_x_ ? std::log10(v) : v; };
+  auto ty = [&](double v) { return log_y_ ? std::log10(v) : v; };
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if ((log_x_ && s.x[i] <= 0) || (log_y_ && s.y[i] <= 0)) continue;
+      xmin = std::min(xmin, tx(s.x[i]));
+      xmax = std::max(xmax, tx(s.x[i]));
+      ymin = std::min(ymin, ty(s.y[i]));
+      ymax = std::max(ymax, ty(s.y[i]));
+    }
+  }
+  if (!(xmax > xmin)) xmax = xmin + 1;
+  if (!(ymax > ymin)) ymax = ymin + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if ((log_x_ && s.x[i] <= 0) || (log_y_ && s.y[i] <= 0)) continue;
+      const double fx = (tx(s.x[i]) - xmin) / (xmax - xmin);
+      const double fy = (ty(s.y[i]) - ymin) / (ymax - ymin);
+      auto col = static_cast<std::size_t>(fx * static_cast<double>(width_ - 1));
+      auto row = static_cast<std::size_t>((1.0 - fy) * static_cast<double>(height_ - 1));
+      grid[row][col] = s.marker;
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", log_y_ ? std::pow(10, ymax) : ymax);
+  out << "  " << buf << (ylabel_.empty() ? "" : "  [" + ylabel_ + "]") << '\n';
+  for (const auto& line : grid) out << "  |" << line << '\n';
+  out << "  +" << std::string(width_, '-') << '\n';
+  std::snprintf(buf, sizeof(buf), "%.3g", log_x_ ? std::pow(10, xmin) : xmin);
+  out << "  " << buf;
+  std::snprintf(buf, sizeof(buf), "%.3g", log_x_ ? std::pow(10, xmax) : xmax);
+  out << std::string(width_ > 20 ? width_ - 12 : 4, ' ') << buf
+      << (xlabel_.empty() ? "" : "  [" + xlabel_ + "]") << '\n';
+  for (const auto& s : series_)
+    out << "    " << s.marker << " = " << s.name << '\n';
+  return out.str();
+}
+
+}  // namespace tdam

@@ -1,0 +1,45 @@
+// Terminal scatter/line plotting so harness binaries can show figure shapes
+// (waveforms, contours, accuracy curves) directly in their stdout.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tdam {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::size_t width, std::size_t height) : width_(width), height_(height) {}
+
+  void add_series(Series s);
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_labels(std::string x, std::string y) {
+    xlabel_ = std::move(x);
+    ylabel_ = std::move(y);
+  }
+  // Use log10 axes (values must be positive).
+  void set_log_x(bool v) { log_x_ = v; }
+  void set_log_y(bool v) { log_y_ = v; }
+
+  std::string render() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace tdam

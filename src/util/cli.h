@@ -1,0 +1,25 @@
+// Tiny flag parser shared by the bench/example mains: `--name=value` or
+// `--name value`, with typed lookups and defaults.  Keeps harness binaries
+// scriptable (e.g. `fig6_montecarlo --runs=200` for a quick pass).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace tdam {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tdam

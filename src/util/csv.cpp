@@ -1,0 +1,43 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace tdam {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::ensure_arity(std::size_t cells) const {
+  if (cells != columns_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch in " + path_);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  ensure_arity(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::string& label, const std::vector<double>& values) {
+  ensure_arity(values.size() + 1);
+  out_ << label;
+  for (double v : values) out_ << ',' << v;
+  out_ << '\n';
+}
+
+}  // namespace tdam

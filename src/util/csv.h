@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting figure series so external plotting tools
+// can regenerate the paper's figures from harness output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tdam {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row.  Throws on I/O error.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  // Appends one data row; must match the header arity.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  // Mixed row with a leading string cell (e.g. dataset name).
+  void row(const std::string& label, const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void ensure_arity(std::size_t cells) const;
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace tdam

@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdam {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  samples_.push_back(x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+double Histogram::fraction_within(double a, double b) const {
+  if (total_ == 0) return 0.0;
+  const auto inside = std::count_if(samples_.begin(), samples_.end(),
+                                    [&](double x) { return x >= a && x <= b; });
+  return static_cast<double>(inside) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double center = bin_center(i);
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) *
+                                              static_cast<double>(width) /
+                                              static_cast<double>(peak)));
+    out << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%12.4g", center);
+    out << buf << " |" << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) out << "  (underflow: " << underflow_ << ")\n";
+  if (overflow_ > 0) out << "  (overflow: " << overflow_ << ")\n";
+  return out.str();
+}
+
+}  // namespace tdam

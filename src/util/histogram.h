@@ -1,0 +1,48 @@
+// Fixed-bin histogram used for Monte-Carlo delay distributions (Fig. 6) and
+// for the equal-area quantizer's sanity checks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tdam {
+
+class Histogram {
+ public:
+  // `lo`/`hi` bound the binned range; samples outside are counted in
+  // underflow/overflow and do not silently vanish.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  double bin_center(std::size_t bin) const;
+  double bin_width() const;
+
+  // Fraction of all samples (including under/overflow) inside [a, b].
+  double fraction_within(double a, double b) const;
+
+  // Multi-line ASCII rendering, one row per bin, bar scaled to `width`.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> samples_;  // retained for exact fraction_within
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tdam

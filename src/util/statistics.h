@@ -1,0 +1,62 @@
+// Streaming statistics, quantiles and least-squares fitting used by the
+// Monte-Carlo engine and the figure harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tdam {
+
+// Welford single-pass accumulator: numerically stable mean/variance without
+// storing samples.  Min/max tracked alongside.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of a sample set with linear interpolation (type-7, the numpy
+// default).  `q` in [0,1].  Copies and sorts; fine for MC-sized samples.
+double quantile(std::span<const double> samples, double q);
+
+double mean(std::span<const double> samples);
+double stddev(std::span<const double> samples);
+
+// Result of an ordinary least-squares line fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;      // coefficient of determination
+  double max_abs_residual = 0.0;
+};
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+// Pearson correlation coefficient.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+// Inverse standard normal CDF (probit), Acklam's rational approximation
+// (relative error < 1.15e-9).  Throws for p outside (0, 1).
+double inverse_normal_cdf(double p);
+
+}  // namespace tdam

@@ -1,0 +1,28 @@
+// ASCII table rendering for the benchmark harnesses: each bench binary prints
+// the same rows the paper's tables/figures report, in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tdam {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with %.4g.
+  void add_row(const std::string& first, const std::vector<double>& rest);
+
+  std::string render() const;
+
+  static std::string fmt(double v, const char* spec = "%.4g");
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdam

@@ -1,0 +1,56 @@
+// Physical unit helpers and constants.
+//
+// All quantities in the simulator are SI doubles (volts, amperes, seconds,
+// farads, joules).  These user-defined literals keep circuit descriptions
+// readable (`6.0_fF`, `1.1_V`, `10.0_ns`) without introducing a unit-type
+// system; the simulator is small enough that dimensional errors are caught
+// by tests instead.
+#pragma once
+
+namespace tdam::units {
+
+// --- time ---
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+
+// --- voltage ---
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+
+// --- current ---
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+
+// --- capacitance ---
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_aF(long double v) { return static_cast<double>(v) * 1e-18; }
+
+// --- resistance ---
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+
+// --- energy ---
+constexpr double operator""_J(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_aJ(long double v) { return static_cast<double>(v) * 1e-18; }
+
+// --- frequently used scale factors for reporting ---
+constexpr double kToNano = 1e9;
+constexpr double kToPico = 1e12;
+constexpr double kToFemto = 1e15;
+
+// Boltzmann constant times room temperature over electron charge (thermal
+// voltage), used by the subthreshold conduction model.
+constexpr double kThermalVoltage = 0.02585;  // V at 300 K
+
+}  // namespace tdam::units

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "am/area.h"
+#include "am/periphery.h"
+
+namespace tdam::am {
+namespace {
+
+TEST(AreaModel, CellAreaScalesWithDeviceCount) {
+  const AreaModel model;
+  const double tcam16 = model.cell_area_um2(16, 0);
+  const double ours = model.cell_area_um2(4, 2);
+  EXPECT_GT(tcam16, 2.0 * ours)
+      << "Table I density argument: 4T-2FeFET beats 16T";
+  EXPECT_GT(ours, 0.0);
+}
+
+TEST(AreaModel, StageAreaSplitsLogicAndCapacitor) {
+  const AreaModel model;
+  ChainConfig cfg;
+  const auto area = model.stage_area(cfg);
+  EXPECT_GT(area.logic_um2, 0.0);
+  EXPECT_GT(area.capacitor_um2, 0.0);
+  // At 6 fF and 2 fF/um^2 MOM density, the capacitor footprint dominates.
+  EXPECT_GT(area.capacitor_um2, area.logic_um2);
+  // Stacked MOM: total = max of the two.
+  EXPECT_NEAR(area.total_um2, std::max(area.logic_um2, area.capacitor_um2),
+              1e-12);
+}
+
+TEST(AreaModel, SideBySideCapacitorAdds) {
+  AreaParams p;
+  p.capacitor_over_logic = false;
+  const AreaModel model(p);
+  ChainConfig cfg;
+  const auto area = model.stage_area(cfg);
+  EXPECT_NEAR(area.total_um2, area.logic_um2 + area.capacitor_um2, 1e-12);
+}
+
+TEST(AreaModel, ArrayAreaScalesWithShape) {
+  const AreaModel model;
+  ChainConfig cfg;
+  const double a1 = model.array_area_um2(cfg, 64, 64);
+  const double a2 = model.array_area_um2(cfg, 128, 64);
+  EXPECT_GT(a2, 1.8 * a1);
+  EXPECT_LT(a2, 2.2 * a1);
+}
+
+TEST(AreaModel, Validation) {
+  const AreaModel model;
+  EXPECT_THROW(model.cell_area_um2(-1, 0), std::invalid_argument);
+  ChainConfig cfg;
+  EXPECT_THROW(model.array_area_um2(cfg, 0, 8), std::invalid_argument);
+  AreaParams bad;
+  bad.feature_nm = 0.0;
+  EXPECT_THROW(AreaModel{bad}, std::invalid_argument);
+}
+
+TEST(SlDriver, ChargingCostsCV2DischargeFree) {
+  const SlDriverModel driver(10e-15, 1e-15);
+  const double up = driver.transition_energy(0.0, 0.8);
+  const double down = driver.transition_energy(0.8, 0.0);
+  EXPECT_NEAR(up, 10e-15 * 0.8 * 0.8 + 1e-15, 1e-18);
+  EXPECT_NEAR(down, 1e-15, 1e-20);  // only the switch control cost
+}
+
+TEST(SlDriver, SearchEnergyCoversFourTransitions) {
+  const SlDriverModel driver(10e-15, 1e-15);
+  const double e = driver.search_energy(0.0, 0.8, 0.8);
+  EXPECT_NEAR(e, 2.0 * driver.transition_energy(0.0, 0.8) + 2.0 * 1e-15,
+              1e-18);
+}
+
+TEST(TdcCounter, BitsCoverMaxCount) {
+  EXPECT_EQ(TdcCounterModel(10e-12, 1).bits(), 1);
+  EXPECT_EQ(TdcCounterModel(10e-12, 64).bits(), 7);
+  EXPECT_EQ(TdcCounterModel(10e-12, 63).bits(), 6);
+  EXPECT_EQ(TdcCounterModel(10e-12, 128).bits(), 8);
+}
+
+TEST(TdcCounter, EnergyLinearInCount) {
+  const TdcCounterModel tdc(10e-12, 64);
+  const double e0 = tdc.conversion_energy(0);
+  const double e32 = tdc.conversion_energy(32);
+  const double e64 = tdc.conversion_energy(64);
+  EXPECT_NEAR(e64 - e32, e32 - e0, 1e-18);
+  EXPECT_GT(e0, 0.0);  // static cost
+}
+
+TEST(TdcCounter, LatencyIsCountTimesLsb) {
+  const TdcCounterModel tdc(15e-12, 64);
+  EXPECT_NEAR(tdc.conversion_latency(10), 150e-12, 1e-15);
+}
+
+TEST(ArrayPeriphery, BudgetIsSmallVsArrayEnergy) {
+  // The TD selling point: periphery overhead per search stays a small
+  // fraction of the array's own compute energy.
+  ChainConfig cfg;
+  const auto budget = array_periphery(cfg, 64, 64, 0.75);
+  EXPECT_GT(budget.sl_energy, 0.0);
+  EXPECT_GT(budget.tdc_energy, 0.0);
+  EXPECT_NEAR(budget.total_energy, budget.sl_energy + budget.tdc_energy,
+              1e-20);
+  // 64x64 array, ~9 fJ per mismatched cell at nominal supply: array energy
+  // ~ 64*64*0.75*9 fJ ~ 27 pJ.  Periphery must stay well below that.
+  EXPECT_LT(budget.total_energy, 10e-12);
+}
+
+TEST(ArrayPeriphery, Validation) {
+  ChainConfig cfg;
+  EXPECT_THROW(array_periphery(cfg, 0, 8, 0.5), std::invalid_argument);
+  EXPECT_THROW(array_periphery(cfg, 8, 8, 1.5), std::invalid_argument);
+  EXPECT_THROW(SlDriverModel(0.0), std::invalid_argument);
+  EXPECT_THROW(TdcCounterModel(0.0, 8), std::invalid_argument);
+  const TdcCounterModel tdc(1e-12, 8);
+  EXPECT_THROW(tdc.conversion_energy(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::am

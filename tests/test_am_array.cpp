@@ -1,0 +1,84 @@
+#include "am/array.h"
+
+#include <gtest/gtest.h>
+
+#include "am/words.h"
+
+namespace tdam::am {
+namespace {
+
+TEST(TdAmArray, ParallelSearchFindsNearestRow) {
+  Rng rng(21);
+  TdAmArray array(ChainConfig{}, /*rows=*/3, /*stages=*/6, rng);
+  const std::vector<int> base{1, 2, 0, 3, 1, 2};
+  array.store_row(0, base);
+  array.store_row(1, word_with_mismatches(base, 2, 4));
+  array.store_row(2, word_with_mismatches(base, 5, 4));
+
+  const auto res = array.search(base);
+  ASSERT_EQ(res.distances.size(), 3u);
+  EXPECT_EQ(res.best_row, 0);
+  EXPECT_EQ(res.distances[0], 0);
+  EXPECT_EQ(res.distances[1], 2);
+  EXPECT_EQ(res.distances[2], 5);
+}
+
+TEST(TdAmArray, TdcDigitisesDelaysToTrueHamming) {
+  Rng rng(22);
+  TdAmArray array(ChainConfig{}, 2, 8, rng);
+  const auto w0 = random_word(rng, 8, 4);
+  const auto w1 = random_word(rng, 8, 4);
+  array.store_row(0, w0);
+  array.store_row(1, w1);
+  const auto q = random_word(rng, 8, 4);
+  const auto res = array.search(q);
+  EXPECT_EQ(res.distances[0], hamming(w0, q));
+  EXPECT_EQ(res.distances[1], hamming(w1, q));
+}
+
+TEST(TdAmArray, LatencyIsSlowestChainAndEnergySums) {
+  Rng rng(23);
+  TdAmArray array(ChainConfig{}, 2, 6, rng);
+  const std::vector<int> base(6, 1);
+  array.store_row(0, base);                              // exact match: fast
+  array.store_row(1, word_with_mismatches(base, 6, 4));  // all mismatch: slow
+  const auto res = array.search(base);
+  EXPECT_NEAR(res.latency, res.rows[1].delay_total, 1e-15);
+  EXPECT_NEAR(res.energy, res.rows[0].energy + res.rows[1].energy, 1e-18);
+  EXPECT_GT(res.rows[1].delay_total, res.rows[0].delay_total);
+}
+
+TEST(TdAmArray, StoredRowRoundTrips) {
+  Rng rng(24);
+  TdAmArray array(ChainConfig{}, 2, 4, rng);
+  const std::vector<int> word{3, 0, 2, 1};
+  array.store_row(1, word);
+  EXPECT_EQ(array.stored_row(1), word);
+}
+
+TEST(TdAmArray, RejectsBadIndices) {
+  Rng rng(25);
+  TdAmArray array(ChainConfig{}, 2, 4, rng);
+  const std::vector<int> word(4, 0);
+  EXPECT_THROW(array.store_row(-1, word), std::out_of_range);
+  EXPECT_THROW(array.store_row(2, word), std::out_of_range);
+  EXPECT_THROW(array.stored_row(5), std::out_of_range);
+  EXPECT_THROW(TdAmArray(ChainConfig{}, 0, 4, rng), std::invalid_argument);
+}
+
+TEST(TdAmArray, VariationAppliesToAllRows) {
+  Rng rng(26);
+  TdAmArray array(ChainConfig{}, 2, 4, rng);
+  const std::vector<int> word(4, 1);
+  array.store_row(0, word);
+  array.store_row(1, word);
+  array.apply_variation(device::VariationModel::uniform(0.03), rng);
+  // Thresholds shifted but searches still decode correctly at 30 mV.
+  const auto res = array.search(word);
+  EXPECT_EQ(res.distances[0], 0);
+  EXPECT_EQ(res.distances[1], 0);
+  array.clear_variation();
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,116 @@
+#include "am/behavioral.h"
+
+#include <gtest/gtest.h>
+
+#include "am/words.h"
+
+namespace tdam::am {
+namespace {
+
+CalibrationResult calibration() {
+  static const CalibrationResult cal = [] {
+    Rng rng(31);
+    return calibrate_chain(ChainConfig{}, rng);
+  }();
+  return cal;
+}
+
+TEST(BehavioralAm, DistancesEqualDigitHamming) {
+  BehavioralAm am(calibration(), 16);
+  Rng rng(32);
+  const auto w0 = random_word(rng, 16, 4);
+  const auto w1 = random_word(rng, 16, 4);
+  am.store(w0);
+  am.store(w1);
+  const auto q = random_word(rng, 16, 4);
+  const auto res = am.search(q);
+  EXPECT_EQ(res.distances[0], hamming(w0, q));
+  EXPECT_EQ(res.distances[1], hamming(w1, q));
+}
+
+TEST(BehavioralAm, BestRowIsNearest) {
+  BehavioralAm am(calibration(), 8);
+  const std::vector<int> base(8, 2);
+  am.store(word_with_mismatches(base, 4, 4));
+  am.store(base);
+  am.store(word_with_mismatches(base, 7, 4));
+  EXPECT_EQ(am.search(base).best_row, 1);
+}
+
+TEST(BehavioralAm, AgreesWithTransientEngine) {
+  // The whole point of the calibrated model: delays/energies within a few
+  // percent of the circuit engine on an unseen configuration.
+  Rng rng(33);
+  ChainConfig cfg;
+  const auto cal = calibration();
+  TdAmChain chain(cfg, 12, rng);
+  const auto word = random_word(rng, 12, 4);
+  chain.store(word);
+  BehavioralAm am(cal, 12);
+  am.store(word);
+
+  for (int mis : {0, 4, 9, 12}) {
+    const auto q = word_with_mismatches(word, mis, 4);
+    const auto circuit = chain.search(q);
+    const double fast_delay = am.chain_delay(mis);
+    const double fast_energy = am.chain_energy(mis);
+    EXPECT_NEAR(fast_delay, circuit.delay_total, 0.05 * circuit.delay_total);
+    EXPECT_NEAR(fast_energy, circuit.energy, 0.15 * circuit.energy);
+  }
+}
+
+TEST(BehavioralAm, EmptyAndClear) {
+  BehavioralAm am(calibration(), 4);
+  const std::vector<int> q(4, 0);
+  const auto res = am.search(q);
+  EXPECT_EQ(res.best_row, -1);
+  EXPECT_TRUE(res.distances.empty());
+  am.store(q);
+  EXPECT_EQ(am.rows(), 1);
+  am.clear();
+  EXPECT_EQ(am.rows(), 0);
+}
+
+TEST(BehavioralAm, Validation) {
+  EXPECT_THROW(BehavioralAm(calibration(), 0), std::invalid_argument);
+  BehavioralAm am(calibration(), 4);
+  const std::vector<int> wrong(5, 0);
+  EXPECT_THROW(am.store(wrong), std::invalid_argument);
+  EXPECT_THROW(am.search(wrong), std::invalid_argument);
+}
+
+TEST(AmSystemModel, SinglePassWhenArrayFits) {
+  AmSystemModel sys(calibration(), /*rows=*/128, /*stages=*/128);
+  // 128 digits x 26 vectors = 26 segments <= 128 rows: one pass.
+  const auto cost = sys.query_cost(128, 26, 0.75);
+  EXPECT_EQ(cost.passes, 1);
+  EXPECT_NEAR(cost.latency, sys.pass_cycle_time(), 1e-15);
+}
+
+TEST(AmSystemModel, PassesGrowWithDimensionality) {
+  AmSystemModel sys(calibration(), 128, 128);
+  const auto small = sys.query_cost(512, 26, 0.75);
+  const auto large = sys.query_cost(10240, 26, 0.75);
+  EXPECT_GT(large.passes, small.passes);
+  EXPECT_GT(large.latency, small.latency);
+  EXPECT_GT(large.energy, small.energy);
+  // 10240 digits = 80 segments per vector * 26 = 2080 segments -> 17 passes.
+  EXPECT_EQ(large.passes, 17);
+}
+
+TEST(AmSystemModel, EnergyScalesWithComparedDigits) {
+  AmSystemModel sys(calibration(), 128, 128);
+  const auto e1 = sys.query_cost(1024, 10, 0.75).energy;
+  const auto e2 = sys.query_cost(2048, 10, 0.75).energy;
+  EXPECT_NEAR(e2 / e1, 2.0, 0.1);
+}
+
+TEST(AmSystemModel, Validation) {
+  EXPECT_THROW(AmSystemModel(calibration(), 0, 128), std::invalid_argument);
+  AmSystemModel sys(calibration(), 8, 8);
+  EXPECT_THROW(sys.query_cost(0, 4, 0.5), std::invalid_argument);
+  EXPECT_THROW(sys.query_cost(8, 0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,97 @@
+#include "am/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "am/words.h"
+
+namespace tdam::am {
+namespace {
+
+TEST(Calibration, FitQualityIsHigh) {
+  Rng rng(1);
+  const auto cal = calibrate_chain(ChainConfig{}, rng);
+  EXPECT_GT(cal.delay_r_squared, 0.995);
+  EXPECT_GT(cal.energy_r_squared, 0.99);
+  EXPECT_GT(cal.d_inv, 0.0);
+  EXPECT_GT(cal.d_c, cal.d_inv) << "mismatch delay must dominate intrinsic";
+  EXPECT_GT(cal.e_stage, 0.0);
+  EXPECT_GT(cal.e_mismatch, 0.0);
+}
+
+TEST(Calibration, PredictionMatchesIndependentChain) {
+  Rng rng(2);
+  ChainConfig cfg;
+  const auto cal = calibrate_chain(cfg, rng);
+
+  // A different, longer chain with a different stored word must still be
+  // predicted within a few percent.
+  TdAmChain chain(cfg, 12, rng);
+  const auto word = random_word(rng, 12, 4);
+  chain.store(word);
+  for (int mis : {0, 5, 12}) {
+    const auto q = word_with_mismatches(word, mis, 4);
+    const double measured = chain.search(q).delay_total;
+    const double predicted = cal.predict_delay(12, mis);
+    EXPECT_NEAR(predicted, measured, 0.05 * measured) << "mis=" << mis;
+  }
+}
+
+TEST(Calibration, EnergyPredictionTracksMeasurement) {
+  Rng rng(3);
+  ChainConfig cfg;
+  const auto cal = calibrate_chain(cfg, rng);
+  TdAmChain chain(cfg, 10, rng);
+  const auto word = random_word(rng, 10, 4);
+  chain.store(word);
+  const auto q = word_with_mismatches(word, 5, 4);
+  const double measured = chain.search(q).energy;
+  EXPECT_NEAR(cal.predict_energy(10, 5), measured, 0.15 * measured);
+}
+
+TEST(Calibration, EnergyPerBitUsesConfiguredPrecision) {
+  Rng rng(4);
+  const auto cal = calibrate_chain(ChainConfig{}, rng);
+  EXPECT_EQ(cal.bits, 2);
+  const double e_bit_0 = cal.energy_per_bit(64, 0.0);
+  const double e_bit_75 = cal.energy_per_bit(64, 0.75);
+  EXPECT_GT(e_bit_75, e_bit_0);
+  EXPECT_NEAR(e_bit_0, cal.e_stage / 2.0, 1e-18);
+}
+
+TEST(Calibration, LowerSupplyReducesEnergyRaisesDelay) {
+  Rng rng(5);
+  ChainConfig nominal;
+  ChainConfig scaled;
+  scaled.vdd = 0.7;
+  const auto cal_nom = calibrate_chain(nominal, rng);
+  const auto cal_lo = calibrate_chain(scaled, rng);
+  EXPECT_LT(cal_lo.e_mismatch, cal_nom.e_mismatch)
+      << "paper Fig. 5(c): V_DD scaling saves energy";
+  EXPECT_GT(cal_lo.d_c, cal_nom.d_c)
+      << "paper Fig. 5(d): V_DD scaling costs delay";
+}
+
+TEST(Calibration, LargerLoadCapRaisesBothDelayAndEnergy) {
+  Rng rng(6);
+  ChainConfig small;
+  ChainConfig big;
+  big.c_load = 48e-15;
+  const auto cal_s = calibrate_chain(small, rng);
+  const auto cal_b = calibrate_chain(big, rng);
+  EXPECT_GT(cal_b.d_c, 2.0 * cal_s.d_c);
+  EXPECT_GT(cal_b.e_mismatch, 2.0 * cal_s.e_mismatch);
+}
+
+TEST(Calibration, RejectsOddStageCount) {
+  Rng rng(7);
+  EXPECT_THROW(calibrate_chain(ChainConfig{}, rng, 7), std::invalid_argument);
+  EXPECT_THROW(calibrate_chain(ChainConfig{}, rng, 0), std::invalid_argument);
+}
+
+TEST(Calibration, EnergyPerBitRequiresBits) {
+  CalibrationResult cal;
+  EXPECT_THROW(cal.energy_per_bit(8, 0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tdam::am

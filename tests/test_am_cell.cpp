@@ -1,0 +1,128 @@
+#include "am/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/simulator.h"
+#include "util/statistics.h"
+
+namespace tdam::am {
+namespace {
+
+device::TechParams tech() { return device::TechParams::umc40_class(); }
+device::FeFetParams fefet() { return device::FeFetParams::hzo_default(tech()); }
+
+ImcCell make_cell(int stored, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  ImcCell cell(Encoding(2), fefet(), rng);
+  cell.store(stored);
+  return cell;
+}
+
+TEST(ImcCell, StoreProgramsComplementaryThresholds) {
+  const auto cell = make_cell(1);
+  const Encoding e(2);
+  EXPECT_NEAR(cell.fa().vth(), e.vth_a(1), 0.05);
+  EXPECT_NEAR(cell.fb().vth(), e.vth_b(1), 0.05);
+  EXPECT_EQ(cell.stored(), 1);
+}
+
+// All 16 (stored, query) combinations of the 2-bit cell.
+class CellTruthTable
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CellTruthTable, EvaluateMatchesComparatorSemantics) {
+  const auto [s, q] = GetParam();
+  const auto cell = make_cell(s);
+  const auto outcome = cell.evaluate(q);
+  if (q == s) {
+    EXPECT_EQ(outcome, ImcCell::Outcome::kMatch);
+  } else if (q > s) {
+    EXPECT_EQ(outcome, ImcCell::Outcome::kDischargeViaA);
+  } else {
+    EXPECT_EQ(outcome, ImcCell::Outcome::kDischargeViaB);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CellTruthTable,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+TEST(ImcCell, VariationOffsetsFollowStoredLevels) {
+  Rng rng(7);
+  ImcCell cell(Encoding(2), fefet(), rng);
+  cell.store(0);
+  // F_A sits at level 0 (sigma 7.1 mV), F_B at level 3 (sigma 40 mV).
+  const auto model = device::VariationModel::measured();
+  tdam::RunningStats sa, sb;
+  for (int i = 0; i < 3000; ++i) {
+    cell.apply_variation(model, rng);
+    sa.add(cell.fa().vth_offset());
+    sb.add(cell.fb().vth_offset());
+  }
+  EXPECT_NEAR(sa.stddev(), 7.1e-3, 1.0e-3);
+  EXPECT_NEAR(sb.stddev(), 40e-3, 4e-3);
+  cell.clear_variation();
+  EXPECT_EQ(cell.fa().vth_offset(), 0.0);
+  EXPECT_EQ(cell.fb().vth_offset(), 0.0);
+}
+
+// Electrical truth: build the cell netlist, precharge MN, drive the SLs and
+// watch the MN either hold V_DD (match) or collapse (mismatch).
+class CellElectrical : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CellElectrical, MatchNodeFollowsLogic) {
+  const auto [s, q] = GetParam();
+  Rng rng(11);
+  const Encoding enc(2);
+  ImcCell cell(enc, fefet(), rng);
+  cell.store(s);
+
+  const double vdd = 1.1;
+  spice::Circuit c;
+  const auto vdd_n = c.add_source_node("vdd", spice::dc(vdd), "vdd");
+  // Precharge ends at 0.3 ns; compute phase follows.
+  const auto pre = c.add_source_node(
+      "pre", spice::piecewise_linear({{0.0, 0.0}, {0.3e-9, 0.0}, {0.35e-9, vdd}}),
+      "ctrl");
+  const auto sla = c.add_source_node(
+      "sla",
+      spice::piecewise_linear({{0.0, enc.vsl_inactive()},
+                               {0.3e-9, enc.vsl_inactive()},
+                               {0.35e-9, enc.vsl_a(q)}}),
+      "sl");
+  const auto slb = c.add_source_node(
+      "slb",
+      spice::piecewise_linear({{0.0, enc.vsl_inactive()},
+                               {0.3e-9, enc.vsl_inactive()},
+                               {0.35e-9, enc.vsl_b(q)}}),
+      "sl");
+  const auto mn = c.add_node("mn", 0.2e-15);
+  cell.build(c, sla, slb, mn, pre, vdd_n, tech(), 1.0);
+
+  spice::Simulator sim(c);
+  sim.probe(mn);
+  spice::TransientOptions opts;
+  opts.t_stop = 1.5e-9;
+  const auto res = sim.run(opts);
+  const double v_end = res.trace("mn").final_value();
+
+  if (q == s) {
+    EXPECT_GT(v_end, 0.9 * vdd) << "match must hold MN at VDD";
+  } else {
+    EXPECT_LT(v_end, 0.1 * vdd) << "mismatch must discharge MN";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CellElectrical,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+TEST(ImcCell, RejectsInvalidLevels) {
+  auto cell = make_cell(0);
+  EXPECT_THROW(cell.store(4), std::out_of_range);
+  EXPECT_THROW(cell.store(-1), std::out_of_range);
+  EXPECT_THROW(cell.evaluate(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,283 @@
+#include "am/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "am/words.h"
+#include "util/statistics.h"
+
+namespace tdam::am {
+namespace {
+
+// Transient tests share one configuration; the chain is small so the suite
+// stays fast while still exercising the full pulse simulation.
+class ChainFixture : public ::testing::Test {
+ protected:
+  ChainFixture() : rng_(99), chain_(ChainConfig{}, 8, rng_) {
+    stored_.assign(8, 1);
+    chain_.store(stored_);
+  }
+
+  Rng rng_;
+  TdAmChain chain_;
+  std::vector<int> stored_;
+};
+
+TEST_F(ChainFixture, DelayLinearInMismatchCount) {
+  std::vector<double> xs, ys;
+  for (int mis = 0; mis <= 8; ++mis) {
+    const auto q = word_with_mismatches(stored_, mis, 4);
+    const auto r = chain_.search(q);
+    EXPECT_EQ(r.expected_mismatches, mis);
+    xs.push_back(mis);
+    ys.push_back(r.delay_total);
+  }
+  const auto fit = fit_line(xs, ys);
+  // 0.998 rather than a pure-math 0.9999: the rising- and falling-edge LSBs
+  // differ by the inverter P/N imbalance, which superimposes a small
+  // even/odd sawtooth on the line (visible in the paper's Fig. 4(c) markers
+  // as well).  The residual bound below is what the TDC actually needs.
+  EXPECT_GT(fit.r_squared, 0.998) << "paper Fig. 4(c): linearity";
+  EXPECT_GT(fit.slope, 0.0);
+  // Residuals within half an LSB so the TDC decodes exact counts.
+  EXPECT_LT(fit.max_abs_residual, 0.5 * fit.slope);
+}
+
+TEST_F(ChainFixture, EnergyGrowsLinearlyWithMismatches) {
+  std::vector<double> xs, ys;
+  for (int mis = 0; mis <= 8; mis += 2) {
+    const auto q = word_with_mismatches(stored_, mis, 4);
+    xs.push_back(mis);
+    ys.push_back(chain_.search(q).energy);
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_GT(fit.slope, 0.0) << "each mismatch adds ~C*V^2";
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST_F(ChainFixture, BothEdgesContributeEqually) {
+  // All-mismatch query loads both parities evenly: the per-edge delays
+  // should be within ~35% of each other (rise/fall asymmetry is bounded).
+  const auto q = word_with_mismatches(stored_, 8, 4);
+  const auto r = chain_.search(q);
+  EXPECT_GT(r.delay_rising, 0.0);
+  EXPECT_GT(r.delay_falling, 0.0);
+  const double ratio = r.delay_rising / r.delay_falling;
+  EXPECT_GT(ratio, 0.65);
+  EXPECT_LT(ratio, 1.55);
+}
+
+TEST_F(ChainFixture, MismatchDirectionDoesNotMatter) {
+  // query > stored discharges via F_A; query < stored via F_B.  Both must
+  // produce the same extra delay (within a fraction of an LSB).
+  std::vector<int> q_hi(stored_), q_lo(stored_);
+  q_hi[0] = 2;  // one mismatch above
+  q_lo[0] = 0;  // one mismatch below
+  const double d_hi = chain_.search(q_hi).delay_total;
+  const double d_lo = chain_.search(q_lo).delay_total;
+  const double d_0 = chain_.search(stored_).delay_total;
+  const double lsb = d_hi - d_0;
+  EXPECT_GT(lsb, 0.0);
+  EXPECT_NEAR(d_hi, d_lo, 0.3 * lsb);
+}
+
+TEST_F(ChainFixture, MismatchMagnitudeDoesNotMatter) {
+  // |q - s| = 1 and |q - s| = 2 are both "one mismatched digit": same LSB.
+  std::vector<int> q1(stored_), q2(stored_);
+  q1[0] = 2;
+  q2[0] = 3;
+  const double d0 = chain_.search(stored_).delay_total;
+  const double d1 = chain_.search(q1).delay_total;
+  const double d2 = chain_.search(q2).delay_total;
+  EXPECT_NEAR(d1 - d0, d2 - d0, 0.3 * (d1 - d0));
+}
+
+TEST_F(ChainFixture, SearchIsDeterministic) {
+  const auto q = word_with_mismatches(stored_, 3, 4);
+  const auto r1 = chain_.search(q);
+  const auto r2 = chain_.search(q);
+  EXPECT_EQ(r1.delay_total, r2.delay_total);
+  EXPECT_EQ(r1.energy, r2.energy);
+}
+
+TEST_F(ChainFixture, EnergySplitsAreConsistent) {
+  const auto r = chain_.search(word_with_mismatches(stored_, 4, 4));
+  EXPECT_GT(r.energy_vdd, 0.0);
+  EXPECT_GT(r.energy_precharge, 0.0) << "4 mismatched MNs must be refilled";
+  EXPECT_GT(r.energy_sl, 0.0);
+  // The total additionally includes the input and control (PRE) drivers,
+  // whose net can be slightly negative (they absorb gate charge), so the
+  // named groups may exceed the total by a sliver.
+  const double named = r.energy_vdd + r.energy_precharge + r.energy_sl;
+  EXPECT_LE(named, 1.02 * r.energy);
+  EXPECT_GT(named, 0.8 * r.energy);
+}
+
+TEST_F(ChainFixture, PrechargeEnergyTracksMismatchCount) {
+  // Only previously-discharged match nodes need refilling: the precharge
+  // rail's share must grow with the mismatch count.
+  const auto r0 = chain_.search(stored_);
+  const auto r8 = chain_.search(word_with_mismatches(stored_, 8, 4));
+  EXPECT_GT(r8.energy_precharge, r0.energy_precharge + 1e-16);
+}
+
+TEST_F(ChainFixture, FiniteSlDriversPreserveDecode) {
+  // Moderately loaded search lines (a 64-row array's worth) settle within
+  // the nominal window: same distances as the ideal-driver chain.
+  ChainConfig cfg;
+  cfg.sl_driver_resistance = 2e3;
+  cfg.sl_extra_capacitance = 63.0 * cfg.tech.c_fefet_gate;
+  Rng rng(441);
+  TdAmChain loaded(cfg, 8, rng);
+  loaded.store(stored_);
+  const auto q = word_with_mismatches(stored_, 3, 4);
+  const double ideal_delay = chain_.search(q).delay_total;
+  const double loaded_delay = loaded.search(q).delay_total;
+  // Same decode: within half an LSB of the ideal-driver chain.
+  const double lsb =
+      chain_.search(word_with_mismatches(stored_, 4, 4)).delay_total -
+      ideal_delay;
+  EXPECT_NEAR(loaded_delay, ideal_delay, 0.5 * lsb);
+}
+
+TEST_F(ChainFixture, TracedSearchExposesWaveforms) {
+  const auto traced = chain_.search_traced(stored_, /*probe_match_nodes=*/true);
+  EXPECT_FALSE(traced.input.empty());
+  EXPECT_FALSE(traced.output.empty());
+  EXPECT_EQ(traced.match_nodes.size(), 8u);
+  // The input trace contains a full pulse: a rising and a falling crossing.
+  const double half = 0.5 * chain_.config().vdd;
+  EXPECT_GE(traced.input.crossing_time(half, spice::Edge::kRising), 0.0);
+  EXPECT_GE(traced.input.crossing_time(half, spice::Edge::kFalling), 0.0);
+  EXPECT_EQ(traced.result.delay_total,
+            traced.result.delay_rising + traced.result.delay_falling);
+}
+
+TEST_F(ChainFixture, MatchNodesFollowQueryDuringStepI) {
+  // Stage 2 (even, active in step I) mismatched: its MN must be low before
+  // the rising edge; stage 1 (odd, inactive in step I) mismatched cell is
+  // re-precharged high by then.
+  std::vector<int> q(stored_);
+  q[0] = 2;
+  q[1] = 2;
+  const auto traced = chain_.search_traced(q, /*probe_match_nodes=*/true);
+  const double t_probe = chain_.config().t_precharge + chain_.config().t_settle;
+  const double vdd = chain_.config().vdd;
+  EXPECT_LT(traced.match_nodes[1].value_at(t_probe), 0.2 * vdd);
+  EXPECT_GT(traced.match_nodes[0].value_at(t_probe), 0.8 * vdd);
+}
+
+TEST_F(ChainFixture, RejectsBadQueries) {
+  std::vector<int> wrong_size(7, 1);
+  EXPECT_THROW(chain_.search(wrong_size), std::invalid_argument);
+  std::vector<int> bad_level(8, 1);
+  bad_level[3] = 9;
+  EXPECT_THROW(chain_.search(bad_level), std::out_of_range);
+}
+
+TEST_F(ChainFixture, OverridesValidateSizes) {
+  SearchOverrides ov;
+  ov.mn_initial.assign(5, 0.0);
+  EXPECT_THROW(chain_.search(stored_, ov), std::invalid_argument);
+  SearchOverrides ov2;
+  ov2.precharge_enabled.assign(3, true);
+  EXPECT_THROW(chain_.search(stored_, ov2), std::invalid_argument);
+}
+
+TEST(TdAmChain, StageActiveParityMatchesPaper) {
+  // Step I: even stages active (rising edge); step II: odd stages.
+  EXPECT_FALSE(TdAmChain::stage_active(1, 1));
+  EXPECT_TRUE(TdAmChain::stage_active(2, 1));
+  EXPECT_TRUE(TdAmChain::stage_active(1, 2));
+  EXPECT_FALSE(TdAmChain::stage_active(2, 2));
+  EXPECT_THROW(TdAmChain::stage_active(1, 3), std::invalid_argument);
+}
+
+TEST(TdAmChain, StoreValidatesAndRoundTrips) {
+  Rng rng(5);
+  TdAmChain chain(ChainConfig{}, 4, rng);
+  const std::vector<int> word{0, 3, 2, 1};
+  chain.store(word);
+  EXPECT_EQ(chain.stored(), word);
+  const std::vector<int> wrong(3, 0);
+  EXPECT_THROW(chain.store(wrong), std::invalid_argument);
+}
+
+TEST(TdAmChain, DelayEstimatesArePositiveAndOrdered) {
+  Rng rng(6);
+  TdAmChain chain(ChainConfig{}, 4, rng);
+  EXPECT_GT(chain.estimate_match_delay(), 0.0);
+  EXPECT_GT(chain.estimate_mismatch_delay(), chain.estimate_match_delay());
+}
+
+TEST(TdAmChain, LowSupplyStillLinear) {
+  Rng rng(7);
+  ChainConfig cfg;
+  cfg.vdd = 0.7;
+  TdAmChain chain(cfg, 6, rng);
+  const std::vector<int> word(6, 2);
+  chain.store(word);
+  std::vector<double> xs, ys;
+  for (int mis = 0; mis <= 6; mis += 2) {
+    xs.push_back(mis);
+    ys.push_back(chain.search(word_with_mismatches(word, mis, 4)).delay_total);
+  }
+  EXPECT_GT(fit_line(xs, ys).r_squared, 0.998);
+}
+
+TEST(TdAmChain, RejectsBadConstruction) {
+  Rng rng(8);
+  EXPECT_THROW(TdAmChain(ChainConfig{}, 0, rng), std::invalid_argument);
+}
+
+TEST(TdAmChain, SingleStageChainWorks) {
+  // Degenerate but legal: one stage (odd => active only in step II).
+  Rng rng(9);
+  TdAmChain chain(ChainConfig{}, 1, rng);
+  const std::vector<int> word{2};
+  chain.store(word);
+  const double d_match = chain.search(word).delay_total;
+  const std::vector<int> q{3};
+  const double d_mis = chain.search(q).delay_total;
+  EXPECT_GT(d_mis, d_match);
+  // Only the falling step carries the mismatch for an odd stage.
+  const auto r = chain.search(q);
+  EXPECT_GT(r.delay_falling, chain.search(word).delay_falling);
+}
+
+TEST(TdAmChain, OddLengthChainDecodesBothParities) {
+  Rng rng(10);
+  TdAmChain chain(ChainConfig{}, 5, rng);
+  const std::vector<int> word{0, 1, 2, 3, 1};
+  chain.store(word);
+  const double d0 = chain.search(word).delay_total;
+  // Mismatch on an even stage (step I) and an odd stage (step II) must both
+  // register.
+  std::vector<int> q_even(word), q_odd(word);
+  q_even[1] = 2;  // stage 2
+  q_odd[2] = 3;   // stage 3
+  const double d_e = chain.search(q_even).delay_total;
+  const double d_o = chain.search(q_odd).delay_total;
+  EXPECT_GT(d_e, d0);
+  EXPECT_GT(d_o, d0);
+}
+
+TEST(TdAmChain, ExtremeDigitsAtWindowEdges) {
+  // Stored 0 queried with 3 and stored 3 queried with 0: the largest
+  // possible overdrives; still exactly one LSB per digit.
+  Rng rng(11);
+  TdAmChain chain(ChainConfig{}, 4, rng);
+  const std::vector<int> word{0, 3, 0, 3};
+  chain.store(word);
+  const double d0 = chain.search(word).delay_total;
+  const std::vector<int> q{3, 0, 3, 0};
+  const double d4 = chain.search(q).delay_total;
+  const std::vector<int> q1{3, 3, 0, 3};
+  const double d1 = chain.search(q1).delay_total;
+  const double lsb = d1 - d0;
+  EXPECT_NEAR(d4 - d0, 4.0 * lsb, 1.2 * lsb);
+}
+
+}  // namespace
+}  // namespace tdam::am

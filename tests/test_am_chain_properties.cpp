@@ -1,0 +1,102 @@
+// Property-based sweeps of the transient chain across the configuration
+// space: precision x supply x load capacitor.  Each configuration must
+// satisfy the architectural invariants the paper's quantitative-SC claim
+// rests on, independent of the operating point.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/chain.h"
+#include "am/tdc.h"
+#include "am/words.h"
+
+namespace tdam::am {
+namespace {
+
+// (bits, vdd, c_load_ff)
+using ChainParam = std::tuple<int, double, double>;
+
+class ChainProperty : public ::testing::TestWithParam<ChainParam> {
+ protected:
+  ChainConfig make_config() const {
+    const auto [bits, vdd, c_ff] = GetParam();
+    ChainConfig cfg;
+    cfg.encoding = Encoding(bits);
+    cfg.vdd = vdd;
+    cfg.c_load = c_ff * 1e-15;
+    return cfg;
+  }
+};
+
+TEST_P(ChainProperty, DelayStrictlyIncreasesWithMismatches) {
+  const auto cfg = make_config();
+  Rng rng(17);
+  const int n = 4;
+  TdAmChain chain(cfg, n, rng);
+  const int digit = cfg.encoding.levels() / 2;
+  const std::vector<int> word(n, digit);
+  chain.store(word);
+  double prev = -1.0;
+  for (int mis = 0; mis <= n; ++mis) {
+    const auto q = word_with_mismatches(word, mis, cfg.encoding.levels());
+    const double d = chain.search(q).delay_total;
+    EXPECT_GT(d, prev) << "mis=" << mis;
+    prev = d;
+  }
+}
+
+TEST_P(ChainProperty, TdcDecodesExactCounts) {
+  const auto cfg = make_config();
+  Rng rng(19);
+  const int n = 4;
+  TdAmChain chain(cfg, n, rng);
+  const int digit = cfg.encoding.levels() / 2;
+  const std::vector<int> word(n, digit);
+  chain.store(word);
+
+  Rng cal_rng(20);
+  const auto cal = calibrate_chain(cfg, cal_rng);
+  const TimeDigitalConverter tdc(cal.predict_delay(n, 0), cal.d_c, n);
+  for (int mis = 0; mis <= n; ++mis) {
+    const auto q = word_with_mismatches(word, mis, cfg.encoding.levels());
+    EXPECT_EQ(tdc.convert(chain.search(q).delay_total), mis)
+        << "bits=" << cfg.encoding.bits() << " vdd=" << cfg.vdd
+        << " C=" << cfg.c_load;
+  }
+}
+
+TEST_P(ChainProperty, EnergyNonDecreasingWithMismatches) {
+  const auto cfg = make_config();
+  Rng rng(23);
+  const int n = 4;
+  TdAmChain chain(cfg, n, rng);
+  const int digit = cfg.encoding.levels() / 2;
+  const std::vector<int> word(n, digit);
+  chain.store(word);
+  double prev = -1.0;
+  for (int mis = 0; mis <= n; mis += 2) {
+    const auto q = word_with_mismatches(word, mis, cfg.encoding.levels());
+    const double e = chain.search(q).energy;
+    EXPECT_GT(e, prev) << "mis=" << mis;
+    prev = e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, ChainProperty,
+    ::testing::Values(ChainParam{1, 1.1, 6.0}, ChainParam{2, 1.1, 6.0},
+                      ChainParam{3, 1.1, 6.0}, ChainParam{2, 0.8, 6.0},
+                      ChainParam{2, 0.6, 6.0}, ChainParam{2, 1.1, 24.0},
+                      ChainParam{2, 0.8, 48.0}, ChainParam{1, 0.7, 12.0}),
+    [](const ::testing::TestParamInfo<ChainParam>& info) {
+      // std::get (not structured bindings): the bracketed binding list would
+      // be split by the preprocessor inside this macro argument.
+      return "b" + std::to_string(std::get<0>(info.param)) + "_v" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_c" + std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,97 @@
+#include "am/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::am {
+namespace {
+
+TEST(Encoding, PaperTwoBitVoltages) {
+  // The exact values of Fig. 2(b,c): V_TH0..3 = 0.2/0.6/1.0/1.4 V and
+  // V_SL0..3 = 0/0.4/0.8/1.2 V.
+  const Encoding e(2);
+  EXPECT_NEAR(e.vth_a(0), 0.2, 1e-12);
+  EXPECT_NEAR(e.vth_a(1), 0.6, 1e-12);
+  EXPECT_NEAR(e.vth_a(2), 1.0, 1e-12);
+  EXPECT_NEAR(e.vth_a(3), 1.4, 1e-12);
+  EXPECT_NEAR(e.vsl_a(0), 0.0, 1e-12);
+  EXPECT_NEAR(e.vsl_a(1), 0.4, 1e-12);
+  EXPECT_NEAR(e.vsl_a(2), 0.8, 1e-12);
+  EXPECT_NEAR(e.vsl_a(3), 1.2, 1e-12);
+}
+
+TEST(Encoding, FbMappingIsReversed) {
+  const Encoding e(2);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NEAR(e.vth_b(v), e.vth_a(3 - v), 1e-12);
+    EXPECT_NEAR(e.vsl_b(v), e.vsl_a(3 - v), 1e-12);
+  }
+}
+
+TEST(Encoding, InactiveVoltageIsVsl0) {
+  const Encoding e(2);
+  EXPECT_NEAR(e.vsl_inactive(), e.vsl_a(0), 1e-12);
+}
+
+// Parameterized over all supported precisions: electrical consistency rules.
+class EncodingBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingBits, LevelsAndStep) {
+  const Encoding e(GetParam());
+  EXPECT_EQ(e.levels(), 1 << GetParam());
+  EXPECT_NEAR(e.step() * (e.levels() - 1), e.vth_high() - e.vth_low(), 1e-12);
+}
+
+TEST_P(EncodingBits, MatchKeepsBothFefetsSubthreshold) {
+  const Encoding e(GetParam());
+  for (int v = 0; v < e.levels(); ++v) {
+    // Same-level search voltage sits half a step below threshold.
+    EXPECT_LT(e.vsl_a(v), e.vth_a(v));
+    EXPECT_LT(e.vsl_b(v), e.vth_b(v));
+    EXPECT_NEAR(e.vth_a(v) - e.vsl_a(v), 0.5 * e.step(), 1e-12);
+  }
+}
+
+TEST_P(EncodingBits, ConductionPredicatesAreComparators) {
+  const Encoding e(GetParam());
+  for (int s = 0; s < e.levels(); ++s) {
+    for (int q = 0; q < e.levels(); ++q) {
+      EXPECT_EQ(e.fa_conducts(s, q), q > s);
+      EXPECT_EQ(e.fb_conducts(s, q), q < s);
+      EXPECT_EQ(e.matches(s, q), q == s);
+      // Electrical consistency: predicate == (V_SL above V_TH).
+      EXPECT_EQ(e.fa_conducts(s, q), e.vsl_a(q) > e.vth_a(s) + 1e-12);
+      EXPECT_EQ(e.fb_conducts(s, q), e.vsl_b(q) > e.vth_b(s) + 1e-12);
+    }
+  }
+}
+
+TEST_P(EncodingBits, InactiveVoltageKeepsEveryStateOff) {
+  const Encoding e(GetParam());
+  for (int s = 0; s < e.levels(); ++s) {
+    EXPECT_LT(e.vsl_inactive(), e.vth_a(s));
+    EXPECT_LT(e.vsl_inactive(), e.vth_b(s));
+  }
+}
+
+TEST_P(EncodingBits, ThresholdsInsideMemoryWindow) {
+  const Encoding e(GetParam());
+  for (int v = 0; v < e.levels(); ++v) {
+    EXPECT_GE(e.vth_a(v), e.vth_low() - 1e-12);
+    EXPECT_LE(e.vth_a(v), e.vth_high() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, EncodingBits, ::testing::Range(1, 5));
+
+TEST(Encoding, RejectsBadArguments) {
+  EXPECT_THROW(Encoding(0), std::invalid_argument);
+  EXPECT_THROW(Encoding(5), std::invalid_argument);
+  EXPECT_THROW(Encoding(2, 1.4, 0.2), std::invalid_argument);
+  const Encoding e(2);
+  EXPECT_THROW(e.vth_a(-1), std::out_of_range);
+  EXPECT_THROW(e.vth_a(4), std::out_of_range);
+  EXPECT_THROW(e.check_level(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,110 @@
+// Fault-injection tests: the SearchOverrides hooks double as a fault model
+// (stuck match nodes, dead precharge devices), and the FeFET offset hook
+// models hard device defects.  The chain must degrade in the predictable,
+// quantifiable way the TDC sensing margin assumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "am/chain.h"
+#include "am/words.h"
+
+namespace tdam::am {
+namespace {
+
+class FaultFixture : public ::testing::Test {
+ protected:
+  FaultFixture() : rng_(131), chain_(ChainConfig{}, 6, rng_) {
+    word_.assign(6, 1);
+    chain_.store(word_);
+    baseline_ = chain_.search(word_).delay_total;
+    const std::vector<int> one = word_with_mismatches(word_, 1, 4);
+    lsb_ = chain_.search(one).delay_total - baseline_;
+  }
+
+  static constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  Rng rng_;
+  TdAmChain chain_;
+  std::vector<int> word_;
+  double baseline_ = 0.0;
+  double lsb_ = 0.0;
+};
+
+TEST_F(FaultFixture, StuckLowMatchNodeSlowsBothEdges) {
+  // A cell whose MN is stuck at ground (e.g. shorted FeFET drain) keeps its
+  // pass gate on through BOTH steps — unlike a live mismatch, which is
+  // re-precharged before the step it is inactive in.  The penalty is
+  // therefore larger than one LSB (~2-3x), making defective cells stand out
+  // from legitimate distance counts.
+  SearchOverrides ov;
+  ov.mn_initial = {kNan, 0.0, kNan, kNan, kNan, kNan};  // stage 2 (even)
+  ov.precharge_enabled = {true, false, true, true, true, true};
+  const double faulty = chain_.search(word_, ov).delay_total;
+  EXPECT_GT(faulty - baseline_, 1.5 * lsb_);
+  EXPECT_LT(faulty - baseline_, 3.5 * lsb_);
+}
+
+TEST_F(FaultFixture, StuckLowOnOddStageHitsFallingStep) {
+  SearchOverrides ov;
+  ov.mn_initial = {0.0, kNan, kNan, kNan, kNan, kNan};  // stage 1 (odd)
+  ov.precharge_enabled = {false, true, true, true, true, true};
+  const auto clean = chain_.search(word_);
+  const auto faulty = chain_.search(word_, ov);
+  // The stuck stage couples its capacitor into both edges (MN never
+  // recovers), so both step delays grow — but the total stays bounded by
+  // ~two LSBs.
+  EXPECT_GT(faulty.delay_falling, clean.delay_falling + 0.3 * lsb_);
+  EXPECT_LT(faulty.delay_total - clean.delay_total, 2.5 * lsb_);
+}
+
+TEST_F(FaultFixture, DeadPrechargeIsBenignForMatchedCells) {
+  // A dead precharge PMOS on a cell that never mismatches: MN floats at its
+  // initial V_DD, nothing changes.
+  SearchOverrides ov;
+  ov.precharge_enabled = {true, true, false, true, true, true};
+  const double faulty = chain_.search(word_, ov).delay_total;
+  EXPECT_NEAR(faulty, baseline_, 0.15 * lsb_);
+}
+
+TEST_F(FaultFixture, MultipleStuckCellsAccumulate) {
+  SearchOverrides ov;
+  ov.mn_initial = {kNan, 0.0, kNan, 0.0, kNan, kNan};  // stages 2 and 4
+  ov.precharge_enabled = {true, false, true, false, true, true};
+  const double faulty = chain_.search(word_, ov).delay_total;
+  // Two stuck cells, each hitting both edges: twice the single-fault
+  // penalty.
+  const double single = 2.6 * lsb_;
+  EXPECT_NEAR(faulty - baseline_, 2.0 * single, 0.8 * lsb_);
+}
+
+TEST_F(FaultFixture, HardShortedFefetReadsAsPermanentMismatch) {
+  // Device-level defect: F_A's V_TH collapses far below the lowest search
+  // voltage (gate-oxide breakdown to a depletion-like state).  Unlike a
+  // normal mismatch, the device also conducts while its stage is
+  // DEACTIVATED, so the MN is low during both steps and the capacitor
+  // couples into both edges: the penalty lands between 1.5x and 3.5x the
+  // single-mismatch LSB, clearly detectable as a defective row.
+  chain_.cell(2).fa().set_vth_offset(-1.0);
+  const double faulty = chain_.search(word_).delay_total;
+  EXPECT_GT(faulty - baseline_, 1.5 * lsb_);
+  EXPECT_LT(faulty - baseline_, 3.5 * lsb_);
+  chain_.cell(2).fa().set_vth_offset(0.0);
+}
+
+TEST_F(FaultFixture, StuckHighVthFefetMissesMismatches) {
+  // The complementary defect: F_A stuck at maximum V_TH never conducts, so
+  // a query that should mismatch via F_A reads as a match (distance
+  // under-count) — the failure direction the margin analysis predicts.
+  chain_.cell(2).fa().set_vth_offset(+1.0);
+  std::vector<int> q = word_;
+  q[1] = 2;  // mismatch on stage 2 via F_A (query > stored)
+  const double faulty = chain_.search(q).delay_total;
+  EXPECT_NEAR(faulty, baseline_, 0.35 * lsb_) << "mismatch silently dropped";
+  chain_.cell(2).fa().set_vth_offset(0.0);
+}
+
+}  // namespace
+}  // namespace tdam::am

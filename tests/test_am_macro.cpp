@@ -1,0 +1,90 @@
+#include "am/macro.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::am {
+namespace {
+
+MacroDatasheet sheet(int rows = 32, int stages = 32, int bits = 2,
+                     double vdd = 1.1) {
+  MacroSpec spec;
+  spec.rows = rows;
+  spec.stages = stages;
+  spec.chain.encoding = Encoding(bits);
+  spec.chain.vdd = vdd;
+  Rng rng(5);
+  return characterize(spec, rng);
+}
+
+TEST(Macro, DatasheetFieldsPopulated) {
+  const auto ds = sheet();
+  EXPECT_EQ(ds.capacity_bits, 32L * 32L * 2L);
+  EXPECT_GT(ds.search_latency, 0.0);
+  EXPECT_GT(ds.search_energy, 0.0);
+  EXPECT_GT(ds.energy_per_bit, 0.0);
+  EXPECT_GT(ds.throughput, 0.0);
+  EXPECT_GT(ds.write_latency_per_row, 0.0);
+  EXPECT_GT(ds.write_energy_per_row, 0.0);
+  EXPECT_GT(ds.area_um2, 0.0);
+  EXPECT_GT(ds.bit_density, 0.0);
+  EXPECT_GT(ds.sigma_budget_99, 0.0);
+  EXPECT_NEAR(ds.throughput * ds.search_latency, 1.0, 1e-9);
+}
+
+TEST(Macro, SupplyScalingTradeoff) {
+  const auto nominal = sheet(16, 16, 2, 1.1);
+  const auto scaled = sheet(16, 16, 2, 0.7);
+  EXPECT_LT(scaled.energy_per_bit, nominal.energy_per_bit);
+  EXPECT_GT(scaled.search_latency, nominal.search_latency);
+  EXPECT_LT(scaled.throughput, nominal.throughput);
+}
+
+TEST(Macro, PrecisionTradeoff) {
+  const auto b2 = sheet(16, 16, 2);
+  const auto b3 = sheet(16, 16, 3);
+  EXPECT_GT(b3.capacity_bits, b2.capacity_bits);
+  EXPECT_LT(b3.energy_per_bit, b2.energy_per_bit);
+  EXPECT_LT(b3.sigma_budget_99, b2.sigma_budget_99)
+      << "finer levels shrink the variation budget";
+  EXPECT_GT(b3.retention_decade_margin, b2.retention_decade_margin);
+}
+
+TEST(Macro, AreaScalesWithShape) {
+  const auto small = sheet(16, 16);
+  const auto big = sheet(32, 16);
+  EXPECT_GT(big.area_um2, 1.7 * small.area_um2);
+  EXPECT_LT(big.area_um2, 2.3 * small.area_um2);
+}
+
+TEST(Macro, ToStringContainsHeadlines) {
+  const auto ds = sheet(8, 8);
+  const auto s = ds.to_string();
+  EXPECT_NE(s.find("TD-AM macro 8x8"), std::string::npos);
+  EXPECT_NE(s.find("search"), std::string::npos);
+  EXPECT_NE(s.find("write"), std::string::npos);
+  EXPECT_NE(s.find("robustness"), std::string::npos);
+}
+
+TEST(Macro, Validation) {
+  MacroSpec bad;
+  bad.rows = 0;
+  Rng rng(1);
+  EXPECT_THROW(characterize(bad, rng), std::invalid_argument);
+  MacroSpec bad2;
+  bad2.workload_mismatch_fraction = 2.0;
+  EXPECT_THROW(characterize(bad2, rng), std::invalid_argument);
+}
+
+TEST(Macro, DeterministicForSameSeed) {
+  MacroSpec spec;
+  spec.rows = 8;
+  spec.stages = 8;
+  Rng a(9), b(9);
+  const auto d1 = characterize(spec, a);
+  const auto d2 = characterize(spec, b);
+  EXPECT_EQ(d1.search_energy, d2.search_energy);
+  EXPECT_EQ(d1.write_energy_per_row, d2.write_energy_per_row);
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,57 @@
+#include "am/tdc.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::am {
+namespace {
+
+TEST(Tdc, ConvertsNominalDelaysExactly) {
+  const TimeDigitalConverter tdc(100e-12, 20e-12, 32);
+  for (int count = 0; count <= 32; ++count) {
+    EXPECT_EQ(tdc.convert(tdc.nominal_delay(count)), count);
+  }
+}
+
+TEST(Tdc, RoundsToNearestCount) {
+  const TimeDigitalConverter tdc(0.0, 10e-12, 10);
+  EXPECT_EQ(tdc.convert(34e-12), 3);
+  EXPECT_EQ(tdc.convert(36e-12), 4);
+}
+
+TEST(Tdc, ClampsToRange) {
+  const TimeDigitalConverter tdc(100e-12, 10e-12, 8);
+  EXPECT_EQ(tdc.convert(0.0), 0);
+  EXPECT_EQ(tdc.convert(1e-6), 8);
+}
+
+TEST(Tdc, MarginIsHalfLsb) {
+  const TimeDigitalConverter tdc(100e-12, 20e-12, 16);
+  const double nominal = tdc.nominal_delay(5);
+  EXPECT_TRUE(tdc.within_margin(nominal, 5));
+  EXPECT_TRUE(tdc.within_margin(nominal + 9e-12, 5));
+  EXPECT_FALSE(tdc.within_margin(nominal + 10.5e-12, 5));
+  EXPECT_FALSE(tdc.within_margin(nominal - 10.5e-12, 5));
+}
+
+TEST(Tdc, ErrorInLsbUnits) {
+  const TimeDigitalConverter tdc(0.0, 10e-12, 16);
+  EXPECT_NEAR(tdc.error_lsb(25e-12, 2), 0.5, 1e-12);
+  EXPECT_NEAR(tdc.error_lsb(15e-12, 2), -0.5, 1e-12);
+}
+
+TEST(Tdc, ConversionEnergyScalesWithDelay) {
+  const TimeDigitalConverter tdc(0.0, 10e-12, 64);
+  const double e1 = tdc.conversion_energy(100e-12);
+  const double e2 = tdc.conversion_energy(200e-12);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+  EXPECT_EQ(tdc.conversion_energy(-5e-12), 0.0);
+}
+
+TEST(Tdc, RejectsBadConstruction) {
+  EXPECT_THROW(TimeDigitalConverter(0.0, 0.0, 8), std::invalid_argument);
+  EXPECT_THROW(TimeDigitalConverter(0.0, -1e-12, 8), std::invalid_argument);
+  EXPECT_THROW(TimeDigitalConverter(0.0, 1e-12, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,59 @@
+#include "am/words.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace tdam::am {
+namespace {
+
+TEST(Words, RandomWordBoundsAndLength) {
+  Rng rng(1);
+  const auto w = random_word(rng, 100, 4);
+  EXPECT_EQ(w.size(), 100u);
+  for (int d : w) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 4);
+  }
+}
+
+TEST(Words, RandomWordCoversAllLevels) {
+  Rng rng(2);
+  const auto w = random_word(rng, 400, 4);
+  std::array<int, 4> counts{};
+  for (int d : w) counts[static_cast<std::size_t>(d)]++;
+  for (int c : counts) EXPECT_GT(c, 50);
+}
+
+TEST(Words, MismatchCountExact) {
+  Rng rng(3);
+  const auto w = random_word(rng, 32, 4);
+  for (int m : {0, 1, 16, 32}) {
+    const auto q = word_with_mismatches(w, m, 4);
+    EXPECT_EQ(hamming(w, q), m);
+  }
+}
+
+TEST(Words, MismatchStaysInRange) {
+  std::vector<int> w{3, 3, 0, 0};
+  const auto q = word_with_mismatches(w, 4, 4);
+  for (int d : q) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 4);
+  }
+  EXPECT_EQ(hamming(w, q), 4);
+}
+
+TEST(Words, Validation) {
+  Rng rng(4);
+  EXPECT_THROW(random_word(rng, 0, 4), std::invalid_argument);
+  EXPECT_THROW(random_word(rng, 4, 1), std::invalid_argument);
+  const std::vector<int> w{1, 2};
+  EXPECT_THROW(word_with_mismatches(w, 3, 4), std::invalid_argument);
+  EXPECT_THROW(word_with_mismatches(w, -1, 4), std::invalid_argument);
+  const std::vector<int> other{1};
+  EXPECT_THROW(hamming(w, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::am

@@ -1,0 +1,102 @@
+#include "am/margin.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/monte_carlo.h"
+
+namespace tdam::analysis {
+namespace {
+
+using am::MarginModel;
+
+TEST(MarginModel, ZeroSigmaNeverFails) {
+  const MarginModel model(am::Encoding(2));
+  EXPECT_EQ(model.cell_failure_probability(0.0), 0.0);
+  const auto pred = model.predict(128, 0.0);
+  EXPECT_EQ(pred.pass_rate, 1.0);
+  EXPECT_EQ(pred.expected_losses, 0.0);
+}
+
+TEST(MarginModel, FailureGrowsWithSigma) {
+  const MarginModel model(am::Encoding(2));
+  double prev = -1.0;
+  for (double sigma : {0.02, 0.04, 0.06, 0.10}) {
+    const double p = model.cell_failure_probability(sigma);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(MarginModel, HalfStepMarginFor2Bit) {
+  // 2-bit step = 0.4 V: half-step margin 0.2 V.  At sigma = 60 mV that is
+  // 3.33 sigma => p ~ 4.3e-4 per cell.
+  const MarginModel model(am::Encoding(2));
+  const double p = model.cell_failure_probability(0.060);
+  EXPECT_NEAR(p, 4.3e-4, 1.5e-4);
+}
+
+TEST(MarginModel, FinerPrecisionFailsEarlier) {
+  const MarginModel m2(am::Encoding(2));
+  const MarginModel m3(am::Encoding(3));
+  const MarginModel m4(am::Encoding(4));
+  const double sigma = 0.04;
+  EXPECT_LT(m2.cell_failure_probability(sigma),
+            m3.cell_failure_probability(sigma));
+  EXPECT_LT(m3.cell_failure_probability(sigma),
+            m4.cell_failure_probability(sigma));
+}
+
+TEST(MarginModel, ChainPassRateComposes) {
+  const MarginModel model(am::Encoding(2));
+  const double sigma = 0.06;
+  const auto p64 = model.predict(64, sigma);
+  const auto p128 = model.predict(128, sigma);
+  EXPECT_GT(p64.pass_rate, p128.pass_rate);
+  EXPECT_NEAR(p128.pass_rate, p64.pass_rate * p64.pass_rate, 1e-6);
+}
+
+TEST(MarginModel, AgreesWithFastMonteCarlo) {
+  // The closed form must track the MC engine's margin pass rate within a
+  // few points at the stressed corner.
+  Rng rng(71);
+  am::ChainConfig cfg;
+  const FastChainMc mc(cfg, rng);
+  const int n = 64;
+  const std::vector<int> stored(n, 1), query(n, 2);
+  McOptions opts;
+  opts.runs = 3000;
+  opts.seed = 9;
+  opts.variation = device::VariationModel::uniform(0.060);
+  const auto s = mc.run(stored, query, opts);
+
+  const MarginModel model(cfg.encoding);
+  const auto pred = model.predict(n, 0.060);
+  EXPECT_NEAR(pred.pass_rate, s.margin_pass_rate, 0.05);
+}
+
+TEST(MarginModel, SigmaBudgetInvertsPrediction) {
+  const MarginModel model(am::Encoding(2));
+  const double sigma = model.sigma_budget(128, 0.95);
+  EXPECT_GT(sigma, 0.0);
+  const auto pred = model.predict(128, sigma);
+  EXPECT_NEAR(pred.pass_rate, 0.95, 0.01);
+}
+
+TEST(MarginModel, BudgetShrinksWithPrecisionAndLength) {
+  const MarginModel m2(am::Encoding(2));
+  const MarginModel m3(am::Encoding(3));
+  EXPECT_GT(m2.sigma_budget(64, 0.99), m3.sigma_budget(64, 0.99));
+  EXPECT_GT(m2.sigma_budget(64, 0.99), m2.sigma_budget(256, 0.99));
+}
+
+TEST(MarginModel, Validation) {
+  const MarginModel model(am::Encoding(2));
+  EXPECT_THROW(model.cell_failure_probability(-0.01), std::invalid_argument);
+  EXPECT_THROW(model.predict(-1, 0.05), std::invalid_argument);
+  EXPECT_THROW(model.sigma_budget(64, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.sigma_budget(64, 1.0), std::invalid_argument);
+  EXPECT_THROW(model.sigma_budget(0, 0.9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::analysis

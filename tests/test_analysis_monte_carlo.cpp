@@ -1,0 +1,158 @@
+#include "analysis/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "am/words.h"
+
+namespace tdam::analysis {
+namespace {
+
+const FastChainMc& engine() {
+  static const FastChainMc* eng = [] {
+    Rng rng(51);
+    return new FastChainMc(am::ChainConfig{}, rng);
+  }();
+  return *eng;
+}
+
+std::vector<int> all_ones(int n) { return std::vector<int>(static_cast<std::size_t>(n), 1); }
+std::vector<int> all_twos(int n) { return std::vector<int>(static_cast<std::size_t>(n), 2); }
+
+TEST(FastChainMc, ZeroOffsetsReproduceCalibratedDelay) {
+  const auto& mc = engine();
+  const int n = 16;
+  const std::vector<double> zeros(static_cast<std::size_t>(n), 0.0);
+  const double composed =
+      mc.compose_delay(all_ones(n), all_twos(n), zeros, zeros);
+  const double predicted = mc.response().calibration.predict_delay(n, n);
+  EXPECT_NEAR(composed, predicted, 0.05 * predicted);
+}
+
+TEST(FastChainMc, NoVariationMeansNoSpread) {
+  McOptions opts;
+  opts.runs = 50;
+  opts.variation = device::VariationModel::none();
+  const auto s = engine().run(all_ones(16), all_twos(16), opts);
+  EXPECT_EQ(s.stats.stddev(), 0.0);
+  EXPECT_EQ(s.margin_pass_rate, 1.0);
+}
+
+TEST(FastChainMc, SpreadGrowsWithSigma) {
+  // The paper's Fig. 6: wider V_TH variation widens the delay distribution.
+  double prev_std = -1.0;
+  for (double sigma : {0.04, 0.08, 0.12}) {
+    McOptions opts;
+    opts.runs = 800;
+    opts.seed = 7;
+    opts.variation = device::VariationModel::uniform(sigma);
+    const auto s = engine().run(all_ones(24), all_twos(24), opts);
+    EXPECT_GE(s.stats.stddev(), prev_std) << "sigma=" << sigma;
+    prev_std = s.stats.stddev();
+  }
+  EXPECT_GT(prev_std, 0.0);
+}
+
+TEST(FastChainMc, SpreadGrowsWithChainLength) {
+  McOptions opts;
+  opts.runs = 800;
+  opts.seed = 9;
+  opts.variation = device::VariationModel::uniform(0.09);
+  const auto s64 = engine().run(all_ones(64), all_twos(64), opts);
+  const auto s128 = engine().run(all_ones(128), all_twos(128), opts);
+  EXPECT_GT(s128.stats.stddev(), s64.stats.stddev())
+      << "paper Fig. 6(a) vs (b): longer chains spread more";
+}
+
+TEST(FastChainMc, RobustAtPaperVariationLevels) {
+  // At the 2-bit encoding and sigma <= 40 mV the design is essentially
+  // immune (the paper's robustness claim).
+  McOptions opts;
+  opts.runs = 500;
+  opts.seed = 11;
+  opts.variation = device::VariationModel::uniform(0.04);
+  const auto s = engine().run(all_ones(64), all_twos(64), opts);
+  EXPECT_GT(s.margin_pass_rate, 0.99);
+}
+
+TEST(FastChainMc, MeasuredVariationIsHarmless) {
+  McOptions opts;
+  opts.runs = 500;
+  opts.seed = 13;
+  opts.variation = device::VariationModel::measured();
+  const auto s = engine().run(all_ones(64), all_twos(64), opts);
+  EXPECT_GT(s.margin_pass_rate, 0.99)
+      << "prototype-chip variation must stay within the sensing margin";
+}
+
+TEST(FastChainMc, HigherPrecisionIsMoreSensitive) {
+  // 3-bit shrinks the level pitch: the same sigma produces more failures.
+  Rng rng(52);
+  am::ChainConfig cfg3;
+  cfg3.encoding = am::Encoding(3);
+  const FastChainMc mc3(cfg3, rng);
+
+  McOptions opts;
+  opts.runs = 500;
+  opts.seed = 15;
+  opts.variation = device::VariationModel::uniform(0.06);
+  const auto s2 = engine().run(all_ones(16), all_twos(16), opts);
+  const std::vector<int> s3_stored(16, 3), s3_query(16, 4);
+  const auto s3 = mc3.run(s3_stored, s3_query, opts);
+  EXPECT_LT(s3.margin_pass_rate, s2.margin_pass_rate);
+}
+
+TEST(FastChainMc, DelayDeviationsAreOneSided) {
+  // Under-discharged match nodes can only REMOVE mismatch delay, so the
+  // distribution's max stays at nominal.
+  McOptions opts;
+  opts.runs = 400;
+  opts.seed = 17;
+  opts.variation = device::VariationModel::uniform(0.10);
+  const auto s = engine().run(all_ones(32), all_twos(32), opts);
+  EXPECT_LE(s.stats.max(), s.nominal_delay + 0.1 * s.sensing_lsb);
+}
+
+TEST(FastChainMc, CompositionSizeValidation) {
+  const auto& mc = engine();
+  const std::vector<double> offsets(8, 0.0);
+  EXPECT_THROW(
+      mc.compose_delay(all_ones(8), all_twos(7), offsets, offsets),
+      std::invalid_argument);
+  McOptions opts;
+  EXPECT_THROW(mc.run(all_ones(8), all_twos(7), opts), std::invalid_argument);
+}
+
+// Ground-truth validation: the fast composition must agree with the full
+// transient engine on mean and spread.  Expensive (direct transients), so a
+// small configuration is used.
+TEST(FastVsDirect, DistributionsAgree) {
+  Rng rng(53);
+  am::ChainConfig cfg;
+  const int n = 8;
+  const auto stored = all_ones(n);
+  const auto query = all_twos(n);
+
+  McOptions fast_opts;
+  fast_opts.runs = 600;
+  fast_opts.seed = 19;
+  fast_opts.variation = device::VariationModel::uniform(0.09);
+  const auto fast = engine().run(stored, query, fast_opts);
+
+  McOptions direct_opts = fast_opts;
+  direct_opts.runs = 15;
+  DirectChainMc direct(cfg, n, rng);
+  const auto truth = direct.run(stored, query, direct_opts);
+
+  EXPECT_NEAR(fast.stats.mean(), truth.stats.mean(),
+              0.02 * truth.stats.mean());
+  // Spread agreement is statistical: within a factor of ~2.5 at these
+  // sample sizes.
+  if (truth.stats.stddev() > 1e-13) {
+    const double ratio = fast.stats.stddev() / truth.stats.stddev();
+    EXPECT_GT(ratio, 0.3);
+    EXPECT_LT(ratio, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace tdam::analysis

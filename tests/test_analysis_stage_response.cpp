@@ -1,0 +1,64 @@
+#include "analysis/stage_response.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::analysis {
+namespace {
+
+const StageResponse& response() {
+  static const StageResponse resp = [] {
+    Rng rng(41);
+    return build_stage_response(am::ChainConfig{}, rng, /*grid_points=*/9);
+  }();
+  return resp;
+}
+
+TEST(StageResponse, GridSpansSupply) {
+  const auto& r = response();
+  ASSERT_EQ(r.vmn_grid.size(), 9u);
+  EXPECT_NEAR(r.vmn_grid.front(), 0.0, 1e-12);
+  EXPECT_NEAR(r.vmn_grid.back(), 1.1, 1e-12);
+}
+
+TEST(StageResponse, DeltaDecreasesWithMnVoltage) {
+  // A higher MN voltage means a weaker pass gate: strictly less extra delay.
+  const auto& r = response();
+  for (std::size_t i = 1; i < r.vmn_grid.size(); ++i) {
+    EXPECT_LE(r.delta_rising[i], r.delta_rising[i - 1] + 1e-13);
+    EXPECT_LE(r.delta_falling[i], r.delta_falling[i - 1] + 1e-13);
+  }
+}
+
+TEST(StageResponse, FullyDischargedMnGivesFullMismatchDelay) {
+  // delta(0) is the d_C of a hard mismatch: must be near the calibration's
+  // fitted LSB (the calibration averages the rising and falling deltas).
+  const auto& r = response();
+  const double avg0 = 0.5 * (r.delta_rising.front() + r.delta_falling.front());
+  EXPECT_NEAR(avg0, r.calibration.d_c, 0.25 * r.calibration.d_c);
+}
+
+TEST(StageResponse, ChargedMnGivesNoExtraDelay) {
+  const auto& r = response();
+  EXPECT_LT(r.interp_rising(1.1), 0.05 * r.calibration.d_c);
+  EXPECT_LT(r.interp_falling(1.1), 0.05 * r.calibration.d_c);
+}
+
+TEST(StageResponse, InterpolationClampsAndInterpolates) {
+  const auto& r = response();
+  EXPECT_EQ(r.interp_rising(-1.0), r.delta_rising.front());
+  EXPECT_EQ(r.interp_rising(99.0), r.delta_rising.back());
+  // Midpoint between two grid values lies between their deltas.
+  const double mid = 0.5 * (r.vmn_grid[0] + r.vmn_grid[1]);
+  const double v = r.interp_rising(mid);
+  EXPECT_LE(v, r.delta_rising[0] + 1e-15);
+  EXPECT_GE(v, r.delta_rising[1] - 1e-15);
+}
+
+TEST(StageResponse, RejectsTinyGrid) {
+  Rng rng(42);
+  EXPECT_THROW(build_stage_response(am::ChainConfig{}, rng, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::analysis

@@ -1,0 +1,63 @@
+#include "baselines/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::baselines {
+namespace {
+
+TEST(GpuModel, LaunchOverheadIsTheFloor) {
+  const GpuModel gpu;
+  const auto tiny = gpu.similarity_query(8, 2);
+  EXPECT_GE(tiny.latency, gpu.params().launch_overhead);
+  EXPECT_LT(tiny.latency, 1.1 * gpu.params().launch_overhead)
+      << "a tiny query must be overhead-dominated";
+}
+
+TEST(GpuModel, LatencyGrowsSublinearlyThenLinearly) {
+  const GpuModel gpu;
+  const double t1 = gpu.similarity_query(512, 26).latency;
+  const double t2 = gpu.similarity_query(10240, 26).latency;
+  EXPECT_GT(t2, t1);
+  // 20x dims must NOT cost 20x latency at the small end (overhead amortised).
+  EXPECT_LT(t2 / t1, 20.0);
+}
+
+TEST(GpuModel, MemoryBoundRegimeScalesWithBytes) {
+  const GpuModel gpu;
+  // Large enough that the roofline term dwarfs the launch overhead.
+  const double t1 = gpu.similarity_query(1 << 20, 64).latency;
+  const double t2 = gpu.similarity_query(1 << 21, 64).latency;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.1);
+}
+
+TEST(GpuModel, EnergyIsDynamicPowerTimesLatency) {
+  const GpuModel gpu;
+  const auto c = gpu.similarity_query(2048, 26);
+  const double expected =
+      (gpu.params().board_power - gpu.params().idle_power) * c.latency;
+  EXPECT_NEAR(c.energy, expected, 1e-12);
+}
+
+TEST(GpuModel, Int8CutsMemoryTraffic) {
+  const GpuModel gpu;
+  const auto fp32 = gpu.similarity_query(1 << 20, 64, 4);
+  const auto int8 = gpu.similarity_query(1 << 20, 64, 1);
+  EXPECT_LT(int8.latency, fp32.latency);
+}
+
+TEST(GpuModel, EncodeCostScalesWithWork) {
+  const GpuModel gpu;
+  const auto e1 = gpu.encode_sample(617, 1 << 18);
+  const auto e2 = gpu.encode_sample(617, 1 << 19);
+  EXPECT_GT(e2.latency, e1.latency);
+}
+
+TEST(GpuModel, Validation) {
+  const GpuModel gpu;
+  EXPECT_THROW(gpu.similarity_query(0, 26), std::invalid_argument);
+  EXPECT_THROW(gpu.similarity_query(128, 0), std::invalid_argument);
+  EXPECT_THROW(gpu.encode_sample(0, 128), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::baselines

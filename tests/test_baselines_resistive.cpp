@@ -1,0 +1,94 @@
+#include "baselines/resistive_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tdam::baselines {
+namespace {
+
+TEST(ResistiveChain, AllFastPatternPropagates) {
+  Rng rng(61);
+  ResistiveChain chain(ResistiveChainConfig{}, 6, rng);
+  const std::vector<bool> mask(6, false);
+  chain.program_pattern(mask);
+  const auto r = chain.measure();
+  EXPECT_TRUE(r.propagated);
+  EXPECT_GT(r.delay_total, 0.0);
+  EXPECT_GT(r.energy, 0.0);
+}
+
+TEST(ResistiveChain, SlowStagesIncreaseDelay) {
+  Rng rng(62);
+  ResistiveChain chain(ResistiveChainConfig{}, 6, rng);
+  std::vector<bool> mask(6, false);
+  chain.program_pattern(mask);
+  const double d0 = chain.measure().delay_total;
+  mask[0] = mask[1] = mask[2] = true;
+  chain.program_pattern(mask);
+  const auto r = chain.measure();
+  ASSERT_TRUE(r.propagated);
+  EXPECT_GT(r.delay_total, 1.2 * d0);
+}
+
+TEST(ResistiveChain, OffStateBlocksPropagation) {
+  // The failure mode the paper calls out: a FeFET programmed deep into the
+  // OFF state interrupts the pull-down path entirely.
+  Rng rng(63);
+  ResistiveChainConfig cfg;
+  ResistiveChain chain(cfg, 4, rng);
+  std::vector<double> vths(4, cfg.vth_fast);
+  vths[1] = cfg.fefet.vth_high;  // 1.4 V with V_SL = 1.1 V: no conduction
+  chain.program(vths);
+  const auto r = chain.measure();
+  EXPECT_FALSE(r.propagated);
+}
+
+TEST(ResistiveChain, DelayIsExponentiallySensitiveNearThreshold) {
+  // dDelay/dV_TH grows as the device approaches subthreshold — the
+  // variation-amplification argument for the VC design.
+  Rng rng(64);
+  ResistiveChainConfig cfg;
+  ResistiveChain chain(cfg, 4, rng);
+
+  auto delay_at = [&](double vth) {
+    std::vector<double> vths(4, vth);
+    chain.program(vths);
+    const auto r = chain.measure();
+    EXPECT_TRUE(r.propagated) << "vth=" << vth;
+    return r.delay_total;
+  };
+  const double low_sens = delay_at(0.35) - delay_at(0.30);
+  const double high_sens = delay_at(0.80) - delay_at(0.75);
+  EXPECT_GT(high_sens, 3.0 * low_sens);
+}
+
+TEST(ResistiveChain, VthOffsetsShiftDelay) {
+  Rng rng(65);
+  ResistiveChainConfig cfg;
+  ResistiveChain chain(cfg, 4, rng);
+  std::vector<bool> mask(4, true);  // all slow: sensitive region
+  chain.program_pattern(mask);
+  const double base = chain.measure().delay_total;
+  std::vector<double> offsets(4, 0.05);
+  chain.apply_vth_offsets(offsets);
+  const double shifted = chain.measure().delay_total;
+  EXPECT_GT(shifted, base * 1.05)
+      << "V_TH offsets must visibly shift delay in the VR topology";
+  chain.clear_offsets();
+  EXPECT_NEAR(chain.measure().delay_total, base, 0.02 * base);
+}
+
+TEST(ResistiveChain, Validation) {
+  Rng rng(66);
+  EXPECT_THROW(ResistiveChain(ResistiveChainConfig{}, 0, rng),
+               std::invalid_argument);
+  ResistiveChain chain(ResistiveChainConfig{}, 4, rng);
+  const std::vector<double> wrong(3, 0.5);
+  EXPECT_THROW(chain.program(wrong), std::invalid_argument);
+  const std::vector<double> offsets(2, 0.0);
+  EXPECT_THROW(chain.apply_vth_offsets(offsets), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::baselines

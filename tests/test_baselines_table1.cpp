@@ -1,0 +1,57 @@
+#include "baselines/table1.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::baselines {
+namespace {
+
+TEST(Table1, HasAllFiveLiteratureRows) {
+  const auto& rows = table1_literature();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].design, "16T TCAM [29]");
+  EXPECT_EQ(rows[4].design, "Work [24]");
+}
+
+TEST(Table1, QuotedEnergiesMatchPaper) {
+  const auto& rows = table1_literature();
+  EXPECT_NEAR(rows[0].energy_per_bit_fj, 0.59, 1e-9);
+  EXPECT_NEAR(rows[1].energy_per_bit_fj, 0.40, 1e-9);
+  EXPECT_NEAR(rows[2].energy_per_bit_fj, 2.20, 1e-9);
+  EXPECT_NEAR(rows[3].energy_per_bit_fj, 0.039, 1e-9);
+  EXPECT_NEAR(rows[4].energy_per_bit_fj, 0.234, 1e-9);
+  EXPECT_NEAR(paper_this_work_fj_per_bit(), 0.159, 1e-9);
+}
+
+TEST(Table1, PaperRatiosReproduce) {
+  // The ratio column of Table I: competitor / this-work.
+  const auto& rows = table1_literature();
+  const double ours = paper_this_work_fj_per_bit();
+  EXPECT_NEAR(rows[0].energy_per_bit_fj / ours, 3.71, 0.02);
+  EXPECT_NEAR(rows[1].energy_per_bit_fj / ours, 2.52, 0.02);
+  EXPECT_NEAR(rows[2].energy_per_bit_fj / ours, 13.84, 0.05);
+  EXPECT_NEAR(rows[3].energy_per_bit_fj / ours, 0.245, 0.005);
+  EXPECT_NEAR(rows[4].energy_per_bit_fj / ours, 1.47, 0.01);
+}
+
+TEST(Table1, OrderingClaims) {
+  // This work beats every design except the 14 nm IEDM'21 point.
+  const double ours = paper_this_work_fj_per_bit();
+  for (const auto& row : table1_literature()) {
+    if (row.design == "IEDM'21 [22]") {
+      EXPECT_LT(row.energy_per_bit_fj, ours);
+    } else {
+      EXPECT_GT(row.energy_per_bit_fj, ours);
+    }
+  }
+}
+
+TEST(Table1, QuantitativeFlagsAreConsistent) {
+  for (const auto& row : table1_literature()) {
+    const bool says_quant =
+        row.sc_type.find("non-quantitative") == std::string::npos;
+    EXPECT_EQ(row.quantitative, says_quant) << row.design;
+  }
+}
+
+}  // namespace
+}  // namespace tdam::baselines

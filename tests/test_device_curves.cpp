@@ -1,0 +1,88 @@
+#include "device/curves.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech.h"
+#include "util/statistics.h"
+
+namespace tdam::device {
+namespace {
+
+TechParams tech() { return TechParams::umc40_class(); }
+
+TEST(Curves, IdVgMonotoneAndShaped) {
+  const Mosfet m(Polarity::kNmos, tech().nmos, 1.0);
+  const auto curve = id_vg(m, 0.0, 1.2, 61, 0.6);
+  ASSERT_EQ(curve.v.size(), 61u);
+  for (std::size_t k = 1; k < curve.i.size(); ++k)
+    EXPECT_GE(curve.i[k], curve.i[k - 1]);
+  EXPECT_GT(curve.i.back() / std::max(curve.i.front(), 1e-30), 1e4);
+}
+
+TEST(Curves, ExtractVthMatchesCriterion) {
+  const Mosfet m(Polarity::kNmos, tech().nmos, 1.0);
+  const auto curve = id_vg(m, 0.0, 1.2, 241, 0.6);
+  // The constant-current criterion used by the model: i_threshold_per_width.
+  const double vth = extract_vth(curve, tech().nmos.i_threshold_per_width);
+  EXPECT_NEAR(vth, tech().nmos.vth, 0.02);
+}
+
+TEST(Curves, FefetFourStatesSeparate) {
+  // The Fig. 1(d) reproduction: four programmed states give four cleanly
+  // separated I_D-V_G curves.
+  Rng rng(1);
+  FeFet f(FeFetParams::hzo_default(tech()), rng);
+  double prev_vth = -1.0;
+  for (double target : {0.2, 0.6, 1.0, 1.4}) {
+    f.program_vth(target);
+    const auto curve = id_vg(f, 0.0, 1.8, 181, 0.6);
+    const double vth = extract_vth(
+        curve, f.params().width * tech().nmos.i_threshold_per_width);
+    EXPECT_NEAR(vth, target, 0.05);
+    EXPECT_GT(vth, prev_vth + 0.2);
+    prev_vth = vth;
+  }
+}
+
+TEST(Curves, IdVdSaturates) {
+  const Mosfet m(Polarity::kNmos, tech().nmos, 1.0);
+  const auto curve = id_vd(m, 0.0, 1.1, 56, 1.1);
+  // Early slope much steeper than late slope (linear -> saturation).
+  const double early = curve.i[5] - curve.i[0];
+  const double late = curve.i[55] - curve.i[50];
+  EXPECT_GT(early, 5.0 * late);
+}
+
+TEST(Curves, D2dEnsembleSpreadTracksSigma) {
+  // Fig. 1(c)-style ensemble: the extracted V_TH spread across devices must
+  // match the injected sigma.
+  Rng rng(2);
+  const auto params = FeFetParams::hzo_default(tech());
+  const auto curves =
+      d2d_id_vg(params, 0.6, 60, device::VariationModel::uniform(0.035), rng,
+                0.0, 1.5, 151, 0.6);
+  ASSERT_EQ(curves.size(), 60u);
+  tdam::RunningStats vths;
+  for (const auto& c : curves)
+    vths.add(extract_vth(c, params.width * tech().nmos.i_threshold_per_width));
+  EXPECT_NEAR(vths.mean(), 0.6, 0.03);
+  EXPECT_NEAR(vths.stddev(), 0.035, 0.015);
+}
+
+TEST(Curves, Validation) {
+  const Mosfet m(Polarity::kNmos, tech().nmos, 1.0);
+  EXPECT_THROW(id_vg(m, 0.0, 1.0, 1, 0.5), std::invalid_argument);
+  IvCurve bad;
+  bad.v = {0.0, 1.0};
+  bad.i = {1e-9};
+  EXPECT_THROW(extract_vth(bad, 1e-8), std::invalid_argument);
+  const auto flat = id_vg(m, 0.0, 0.1, 5, 0.5);
+  EXPECT_THROW(extract_vth(flat, 1.0), std::runtime_error);
+  Rng rng(3);
+  EXPECT_THROW(d2d_id_vg(FeFetParams::hzo_default(tech()), 0.6, 0,
+                         device::VariationModel::none(), rng, 0, 1, 5, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::device

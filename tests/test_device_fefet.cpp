@@ -1,0 +1,166 @@
+#include "device/fefet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tech.h"
+#include "util/rng.h"
+
+namespace tdam::device {
+namespace {
+
+FeFetParams params() {
+  return FeFetParams::hzo_default(TechParams::umc40_class());
+}
+
+TEST(FeFet, StartsErased) {
+  Rng rng(1);
+  FeFet f(params(), rng);
+  EXPECT_NEAR(f.vth(), params().vth_high, 1e-9);
+  EXPECT_NEAR(f.polarization(), -1.0, 1e-9);
+}
+
+TEST(FeFet, StrongPositivePulseSwitchesAllDomains) {
+  Rng rng(2);
+  FeFet f(params(), rng);
+  f.apply_gate_pulse(params().coercive_mean + 6.0 * params().coercive_sigma);
+  EXPECT_NEAR(f.polarization(), 1.0, 1e-9);
+  EXPECT_NEAR(f.vth(), params().vth_low, 1e-9);
+}
+
+TEST(FeFet, EraseRestoresHighVth) {
+  Rng rng(3);
+  FeFet f(params(), rng);
+  f.apply_gate_pulse(10.0);
+  f.erase();
+  EXPECT_NEAR(f.vth(), params().vth_high, 1e-9);
+}
+
+TEST(FeFet, PartialPulseGivesIntermediateState) {
+  Rng rng(4);
+  FeFet f(params(), rng);
+  f.apply_gate_pulse(params().coercive_mean);  // ~half the domains switch
+  EXPECT_GT(f.polarization(), -0.5);
+  EXPECT_LT(f.polarization(), 0.5);
+  EXPECT_GT(f.vth(), params().vth_low + 0.2);
+  EXPECT_LT(f.vth(), params().vth_high - 0.2);
+}
+
+TEST(FeFet, PulsesAreMonotoneFromErased) {
+  Rng rng(5);
+  FeFet f(params(), rng);
+  double prev_vth = params().vth_high + 1.0;
+  for (double amp = 1.0; amp <= 4.5; amp += 0.25) {
+    f.erase();
+    f.apply_gate_pulse(amp);
+    EXPECT_LE(f.vth(), prev_vth + 1e-9) << "amp=" << amp;
+    prev_vth = f.vth();
+  }
+}
+
+// The paper's four programmed levels must all be reachable by program-verify.
+class FeFetProgramLevels : public ::testing::TestWithParam<double> {};
+
+TEST_P(FeFetProgramLevels, ProgramVerifyHitsTarget) {
+  Rng rng(6);
+  FeFet f(params(), rng);
+  const double target = GetParam();
+  f.program_vth(target);
+  // Tolerance: explicit 25 mV or the ~15 mV domain quantization floor.
+  EXPECT_NEAR(f.vth(), target, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLevels, FeFetProgramLevels,
+                         ::testing::Values(0.2, 0.6, 1.0, 1.4));
+
+// Finer grid: every achievable level across the window.
+class FeFetProgramSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeFetProgramSweep, SweepTargets) {
+  Rng rng(7 + static_cast<std::uint64_t>(GetParam()));
+  FeFet f(params(), rng);
+  const double target =
+      0.2 + 1.2 * static_cast<double>(GetParam()) / 16.0;
+  f.program_vth(target);
+  EXPECT_NEAR(f.vth(), target, 0.035);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowGrid, FeFetProgramSweep, ::testing::Range(0, 17));
+
+TEST(FeFet, ProgramRejectsOutsideWindow) {
+  Rng rng(8);
+  FeFet f(params(), rng);
+  EXPECT_THROW(f.program_vth(0.0), std::invalid_argument);
+  EXPECT_THROW(f.program_vth(2.0), std::invalid_argument);
+}
+
+TEST(FeFet, OffsetShiftsVth) {
+  Rng rng(9);
+  FeFet f(params(), rng);
+  f.program_vth(0.6);
+  const double base = f.vth();
+  f.set_vth_offset(0.05);
+  EXPECT_NEAR(f.vth(), base + 0.05, 1e-12);
+  f.set_vth_offset(0.0);
+  EXPECT_NEAR(f.vth(), base, 1e-12);
+}
+
+TEST(FeFet, ConductionTracksProgrammedState) {
+  Rng rng(10);
+  FeFet f(params(), rng);
+  f.program_vth(0.2);  // low VT: conducts at moderate gate voltage
+  const double i_lvt = f.drain_current(0.8, 0.6, 0.0);
+  f.program_vth(1.4);  // high VT: off at the same gate voltage
+  const double i_hvt = f.drain_current(0.8, 0.6, 0.0);
+  EXPECT_GT(i_lvt / i_hvt, 1e3);
+}
+
+TEST(FeFet, OnOffRatioSupportsMatchSemantics) {
+  // A cell storing level 1 (V_TH = 0.6): search at V_SL = 0.4 (match) must
+  // leak orders of magnitude less than V_SL = 0.8 (mismatch) conducts.
+  Rng rng(11);
+  FeFet f(params(), rng);
+  f.program_vth(0.6);
+  const double i_match = f.drain_current(0.4, 0.6, 0.0);
+  const double i_mis = f.drain_current(0.8, 0.6, 0.0);
+  EXPECT_GT(i_mis / i_match, 1e3);
+}
+
+TEST(FeFet, DeviceToDeviceDomainsDiffer) {
+  Rng rng(12);
+  FeFet a(params(), rng);
+  FeFet b(params(), rng);
+  a.apply_gate_pulse(params().coercive_mean);
+  b.apply_gate_pulse(params().coercive_mean);
+  // Independent Preisach realizations: partial switching differs.
+  EXPECT_NE(a.polarization(), b.polarization());
+}
+
+TEST(FeFet, RejectsBadParams) {
+  Rng rng(13);
+  FeFetParams bad = params();
+  bad.num_domains = 0;
+  EXPECT_THROW(FeFet(bad, rng), std::invalid_argument);
+  bad = params();
+  bad.vth_low = 1.5;
+  bad.vth_high = 0.2;
+  EXPECT_THROW(FeFet(bad, rng), std::invalid_argument);
+}
+
+TEST(FeFet, MoreDomainsGiveFinerQuantization) {
+  FeFetParams coarse = params();
+  coarse.num_domains = 8;
+  FeFetParams fine = params();
+  fine.num_domains = 240;
+  Rng rng(14);
+  FeFet fc(coarse, rng);
+  FeFet ff(fine, rng);
+  fc.program_vth(0.7);
+  ff.program_vth(0.7);
+  EXPECT_LT(std::abs(ff.vth() - 0.7), std::abs(fc.vth() - 0.7) + 0.02);
+  EXPECT_NEAR(ff.vth(), 0.7, 0.012);
+}
+
+}  // namespace
+}  // namespace tdam::device

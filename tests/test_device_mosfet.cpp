@@ -1,0 +1,144 @@
+#include "device/mosfet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tech.h"
+
+namespace tdam::device {
+namespace {
+
+TechParams tech() { return TechParams::umc40_class(); }
+
+Mosfet nmos(double w = 1.0) { return Mosfet(Polarity::kNmos, tech().nmos, w); }
+Mosfet pmos(double w = 1.0) { return Mosfet(Polarity::kPmos, tech().pmos, w); }
+
+TEST(Mosfet, OffStateCurrentIsTiny) {
+  const auto m = nmos();
+  const double i_off = m.drain_current(0.0, 1.1, 0.0);
+  const double i_on = m.drain_current(1.1, 1.1, 0.0);
+  EXPECT_GT(i_on / i_off, 1e4) << "on/off ratio too small for logic";
+}
+
+TEST(Mosfet, ZeroVdsZeroCurrent) {
+  const auto m = nmos();
+  EXPECT_NEAR(m.drain_current(1.1, 0.5, 0.5), 0.0, 1e-15);
+}
+
+TEST(Mosfet, CurrentMonotonicInGateDrive) {
+  const auto m = nmos();
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 1.2; vg += 0.05) {
+    const double i = m.drain_current(vg, 1.1, 0.0);
+    EXPECT_GE(i, prev) << "vg=" << vg;
+    prev = i;
+  }
+}
+
+TEST(Mosfet, CurrentMonotonicInVds) {
+  const auto m = nmos();
+  double prev = -1.0;
+  for (double vd = 0.0; vd <= 1.2; vd += 0.05) {
+    const double i = m.drain_current(1.1, vd, 0.0);
+    EXPECT_GE(i, prev) << "vd=" << vd;
+    prev = i;
+  }
+}
+
+TEST(Mosfet, ContinuousAcrossThreshold) {
+  // The subthreshold and alpha-power branches are anchored to the same
+  // threshold current; the residual step comes from the lambda term and the
+  // vds factors and must stay within a few percent.
+  const auto m = nmos();
+  const double vth = tech().nmos.vth;
+  const double below = m.drain_current(vth - 1e-6, 0.6, 0.0);
+  const double above = m.drain_current(vth + 1e-6, 0.6, 0.0);
+  EXPECT_NEAR(below, above, 0.05 * above);
+}
+
+TEST(Mosfet, SubthresholdSlopeMatchesParameter) {
+  const auto m = nmos();
+  // One decade of current per subthreshold_swing volts of gate drive.
+  const double i1 = m.drain_current(0.30, 0.6, 0.0);
+  const double i2 = m.drain_current(0.30 - tech().nmos.subthreshold_swing, 0.6, 0.0);
+  EXPECT_NEAR(i1 / i2, 10.0, 0.5);
+}
+
+TEST(Mosfet, SourceDrainSymmetry) {
+  const auto m = nmos();
+  // Swapping drain/source mirrors the current sign.
+  const double fwd = m.drain_current(1.1, 0.8, 0.2);
+  const double rev = m.drain_current(1.1, 0.2, 0.8);
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_NEAR(fwd, -rev, 1e-9 + 1e-6 * std::abs(fwd));
+}
+
+TEST(Mosfet, CurrentScalesWithWidth) {
+  const double i1 = nmos(1.0).drain_current(1.1, 1.1, 0.0);
+  const double i4 = nmos(4.0).drain_current(1.1, 1.1, 0.0);
+  EXPECT_NEAR(i4 / i1, 4.0, 0.01);
+}
+
+TEST(Mosfet, PmosPullsUpWhenGateLow) {
+  const auto p = pmos();
+  // Source at VDD, drain low, gate at 0: PMOS conducts, current INTO the
+  // drain node => negative by our convention.
+  const double i = p.drain_current(0.0, 0.2, 1.1);
+  EXPECT_LT(i, 0.0);
+}
+
+TEST(Mosfet, PmosOffWhenGateHigh) {
+  const auto p = pmos();
+  const double i_off = std::abs(p.drain_current(1.1, 0.2, 1.1));
+  const double i_on = std::abs(p.drain_current(0.0, 0.2, 1.1));
+  EXPECT_GT(i_on / i_off, 1e4);
+}
+
+TEST(Mosfet, PmosWeakerThanNmosAtEqualSize) {
+  const double in = std::abs(nmos().drain_current(1.1, 0.55, 0.0));
+  const double ip = std::abs(pmos().drain_current(0.0, 0.55, 1.1));
+  EXPECT_GT(in, ip);
+  EXPECT_LT(in / ip, 5.0);
+}
+
+TEST(Mosfet, OnResistancePositiveAndScales) {
+  const double r1 = nmos(1.0).on_resistance(1.1);
+  const double r2 = nmos(2.0).on_resistance(1.1);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_NEAR(r1 / r2, 2.0, 0.01);
+}
+
+TEST(Mosfet, OnResistanceRisesAsSupplyFalls) {
+  const auto m = nmos();
+  EXPECT_GT(m.on_resistance(0.6), m.on_resistance(1.1));
+}
+
+TEST(Mosfet, RejectsNonPositiveWidth) {
+  EXPECT_THROW(Mosfet(Polarity::kNmos, tech().nmos, 0.0), std::invalid_argument);
+  EXPECT_THROW(Mosfet(Polarity::kNmos, tech().nmos, -1.0), std::invalid_argument);
+}
+
+// The linear->saturation handoff must not kink: sweep vds finely and check
+// the discrete second derivative stays bounded.
+TEST(Mosfet, SmoothLinearSaturationTransition) {
+  const auto m = nmos();
+  double prev_i = 0.0, prev_di = 0.0;
+  bool first = true, second = true;
+  for (double vd = 0.01; vd <= 1.1; vd += 0.01) {
+    const double i = m.drain_current(1.1, vd, 0.0);
+    if (!first) {
+      const double di = i - prev_i;
+      if (!second) {
+        EXPECT_LT(std::abs(di - prev_di), 0.35 * (std::abs(prev_di) + 1e-6));
+      }
+      prev_di = di;
+      second = false;
+    }
+    prev_i = i;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace tdam::device

@@ -1,0 +1,142 @@
+// Temperature scaling of the technology set and FeFET retention kinetics.
+#include <gtest/gtest.h>
+
+#include "am/chain.h"
+#include "device/fefet.h"
+#include "device/tech.h"
+#include "util/rng.h"
+
+namespace tdam::device {
+namespace {
+
+TEST(Temperature, ScalingDirections) {
+  const auto base = TechParams::umc40_class();
+  const auto hot = base.at_temperature(398.0);
+  const auto cold = base.at_temperature(233.0);
+  // V_TH decreases when hot, increases when cold.
+  EXPECT_LT(hot.nmos.vth, base.nmos.vth);
+  EXPECT_GT(cold.nmos.vth, base.nmos.vth);
+  // Mobility (k') degrades when hot.
+  EXPECT_LT(hot.nmos.k_prime, base.nmos.k_prime);
+  EXPECT_GT(cold.nmos.k_prime, base.nmos.k_prime);
+  // Subthreshold swing proportional to T.
+  EXPECT_NEAR(hot.nmos.subthreshold_swing / base.nmos.subthreshold_swing,
+              398.0 / 300.0, 1e-6);
+}
+
+TEST(Temperature, RoomTemperatureIsIdentity) {
+  const auto base = TechParams::umc40_class();
+  const auto same = base.at_temperature(300.0);
+  EXPECT_EQ(same.nmos.vth, base.nmos.vth);
+  EXPECT_EQ(same.nmos.k_prime, base.nmos.k_prime);
+}
+
+TEST(Temperature, RejectsExtremes) {
+  const auto base = TechParams::umc40_class();
+  EXPECT_THROW(base.at_temperature(100.0), std::invalid_argument);
+  EXPECT_THROW(base.at_temperature(600.0), std::invalid_argument);
+}
+
+TEST(Temperature, OnCurrentCompetingEffects) {
+  // Hot: lower V_TH (more drive) but lower mobility; at full gate drive the
+  // mobility loss wins — on-current decreases with temperature.
+  const auto base = TechParams::umc40_class();
+  const auto hot = base.at_temperature(398.0);
+  const Mosfet m_base(Polarity::kNmos, base.nmos, 1.0);
+  const Mosfet m_hot(Polarity::kNmos, hot.nmos, 1.0);
+  EXPECT_LT(m_hot.drain_current(1.1, 1.1, 0.0),
+            m_base.drain_current(1.1, 1.1, 0.0));
+  // Subthreshold leakage increases with temperature.
+  EXPECT_GT(m_hot.drain_current(0.2, 1.1, 0.0),
+            m_base.drain_current(0.2, 1.1, 0.0));
+}
+
+FeFetParams fefet_params() {
+  return FeFetParams::hzo_default(TechParams::umc40_class());
+}
+
+TEST(Retention, FreshDeviceHasNoClosure) {
+  Rng rng(1);
+  FeFet f(fefet_params(), rng);
+  f.program_vth(0.2);
+  EXPECT_EQ(f.retention_closure(), 0.0);
+  EXPECT_NEAR(f.vth(), 0.2, 0.03);
+}
+
+TEST(Retention, StatesDriftTowardWindowCentre) {
+  Rng rng(2);
+  FeFet lo(fefet_params(), rng);
+  FeFet hi(fefet_params(), rng);
+  lo.program_vth(0.2);
+  hi.program_vth(1.4);
+  const double year = 3.2e7;
+  lo.age(year);
+  hi.age(year);
+  EXPECT_GT(lo.vth(), 0.2 + 0.05) << "low state drifts up";
+  EXPECT_LT(hi.vth(), 1.4 - 0.05) << "high state drifts down";
+  // Centre stays the fixed point.
+  FeFet mid(fefet_params(), rng);
+  mid.program_vth(0.8);
+  const double before = mid.vth();
+  mid.age(year);
+  EXPECT_NEAR(mid.vth(), before, 0.02);
+}
+
+TEST(Retention, LogTimeKinetics) {
+  Rng rng(3);
+  FeFet f(fefet_params(), rng);
+  f.program_vth(0.2);
+  f.age(10.0);
+  const double c1 = f.retention_closure();
+  f.age(90.0);  // total 100 s: one more decade
+  const double c2 = f.retention_closure();
+  f.age(900.0);  // total 1000 s: another decade
+  const double c3 = f.retention_closure();
+  EXPECT_NEAR(c2 - c1, c3 - c2, 0.01 * f.params().retention_rate_per_decade +
+                                    0.2 * (c2 - c1));
+  EXPECT_NEAR(c2 - c1, f.params().retention_rate_per_decade, 0.01);
+}
+
+TEST(Retention, ReprogrammingResetsAge) {
+  Rng rng(4);
+  FeFet f(fefet_params(), rng);
+  f.program_vth(0.2);
+  f.age(1e8);
+  EXPECT_GT(f.retention_closure(), 0.1);
+  f.program_vth(0.2);
+  EXPECT_EQ(f.retention_closure(), 0.0);
+}
+
+TEST(Retention, ClosureSaturates) {
+  Rng rng(5);
+  FeFet f(fefet_params(), rng);
+  f.program_vth(0.2);
+  f.age(1e40);
+  EXPECT_LE(f.retention_closure(), 0.95);
+}
+
+TEST(Retention, NegativeAgeRejected) {
+  Rng rng(6);
+  FeFet f(fefet_params(), rng);
+  EXPECT_THROW(f.age(-1.0), std::invalid_argument);
+}
+
+TEST(Retention, ChainStillDecodesAfterTenYears) {
+  // Integration: a 2-bit chain aged ten years still produces exact TDC
+  // counts (the paper's energy-harvesting / implantable positioning needs
+  // unpowered longevity).
+  Rng rng(7);
+  am::ChainConfig cfg;
+  am::TdAmChain chain(cfg, 4, rng);
+  const std::vector<int> word{0, 1, 2, 3};
+  chain.store(word);
+  chain.age(3.2e8);
+  EXPECT_EQ(chain.ideal_mismatches(word), 0);
+  const auto match = chain.search(word);
+  std::vector<int> q{1, 1, 2, 3};
+  const auto one = chain.search(q);
+  EXPECT_GT(one.delay_total, match.delay_total);
+}
+
+}  // namespace
+}  // namespace tdam::device

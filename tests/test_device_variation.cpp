@@ -1,0 +1,60 @@
+#include "device/variation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.h"
+
+namespace tdam::device {
+namespace {
+
+TEST(VariationModel, NoneSamplesZero) {
+  auto m = VariationModel::none();
+  Rng rng(1);
+  EXPECT_TRUE(m.is_none());
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_EQ(m.sample_offset(rng, level), 0.0);
+    EXPECT_EQ(m.sigma_for_level(level), 0.0);
+  }
+}
+
+TEST(VariationModel, UniformSigmaAppliesToAllLevels) {
+  auto m = VariationModel::uniform(0.04);
+  for (int level = 0; level < 4; ++level)
+    EXPECT_EQ(m.sigma_for_level(level), 0.04);
+}
+
+TEST(VariationModel, UniformSampleStatistics) {
+  auto m = VariationModel::uniform(0.05);
+  Rng rng(2);
+  tdam::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(m.sample_offset(rng, 1));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.002);
+  EXPECT_NEAR(stats.stddev(), 0.05, 0.002);
+}
+
+TEST(VariationModel, MeasuredSigmasMatchPaper) {
+  auto m = VariationModel::measured();
+  EXPECT_NEAR(m.sigma_for_level(0), 7.1e-3, 1e-12);
+  EXPECT_NEAR(m.sigma_for_level(1), 35e-3, 1e-12);
+  EXPECT_NEAR(m.sigma_for_level(2), 45e-3, 1e-12);
+  EXPECT_NEAR(m.sigma_for_level(3), 40e-3, 1e-12);
+}
+
+TEST(VariationModel, MeasuredClampsLevelsOutsideRange) {
+  auto m = VariationModel::measured();
+  EXPECT_EQ(m.sigma_for_level(-1), m.sigma_for_level(0));
+  EXPECT_EQ(m.sigma_for_level(9), m.sigma_for_level(3));
+}
+
+TEST(VariationModel, RejectsNegativeSigma) {
+  EXPECT_THROW(VariationModel::uniform(-0.01), std::invalid_argument);
+}
+
+TEST(VariationModel, MeasuredLevelZeroTightest) {
+  auto m = VariationModel::measured();
+  for (int level = 1; level < 4; ++level)
+    EXPECT_LT(m.sigma_for_level(0), m.sigma_for_level(level));
+}
+
+}  // namespace
+}  // namespace tdam::device

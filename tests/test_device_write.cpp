@@ -1,0 +1,111 @@
+#include "device/write.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tech.h"
+#include "util/statistics.h"
+
+namespace tdam::device {
+namespace {
+
+FeFetParams fefet_params() {
+  return FeFetParams::hzo_default(TechParams::umc40_class());
+}
+
+TEST(WriteScheme, ProgramsAllPaperLevels) {
+  Rng rng(1);
+  FeFet f(fefet_params(), rng);
+  const WriteScheme scheme;
+  for (double target : {0.2, 0.6, 1.0, 1.4}) {
+    const auto report = scheme.program(f, target, rng);
+    EXPECT_TRUE(report.converged) << "target=" << target;
+    EXPECT_NEAR(report.final_vth, target, 0.05) << "target=" << target;
+    EXPECT_GE(report.pulses, 0);
+  }
+}
+
+TEST(WriteScheme, LowerVthNeedsMorePulses) {
+  // ISPP amplitudes grow monotonically, so reaching a lower V_TH (more
+  // domains switched) takes strictly more pulses.
+  Rng rng(2);
+  FeFet f(fefet_params(), rng);
+  const WriteScheme scheme;
+  const auto hi = scheme.program(f, 1.2, rng);
+  const auto lo = scheme.program(f, 0.3, rng);
+  EXPECT_GT(lo.pulses, hi.pulses);
+}
+
+TEST(WriteScheme, EnergyAndLatencyAccounting) {
+  Rng rng(3);
+  FeFet f(fefet_params(), rng);
+  const WriteScheme scheme;
+  const auto report = scheme.program(f, 0.6, rng);
+  // At minimum the erase pulse plus one ISPP pulse.
+  EXPECT_GE(report.energy, 2.0 * scheme.pulse_energy(scheme.params().start_voltage) * 0.5);
+  EXPECT_GE(report.latency,
+            2.0 * scheme.params().pulse_width - 1e-15);
+  EXPECT_NEAR(report.latency,
+              (report.pulses + 1) * scheme.params().pulse_width, 1e-12);
+}
+
+TEST(WriteScheme, PulseEnergyGrowsWithAmplitude) {
+  const WriteScheme scheme;
+  EXPECT_GT(scheme.pulse_energy(4.0), scheme.pulse_energy(2.0));
+}
+
+TEST(WriteScheme, CycleToCycleNoiseSpreadsResults) {
+  WriteSchemeParams p;
+  p.c2c_sigma = 0.02;
+  const WriteScheme noisy(p);
+  Rng rng(4);
+  FeFet f(fefet_params(), rng);
+  tdam::RunningStats vths;
+  for (int i = 0; i < 200; ++i) {
+    noisy.program(f, 0.6, rng);
+    vths.add(f.vth());
+  }
+  EXPECT_GT(vths.stddev(), 0.01);
+  EXPECT_LT(vths.stddev(), 0.04);
+  EXPECT_NEAR(vths.mean(), 0.6, 0.05);
+}
+
+TEST(WriteScheme, DeterministicWithoutNoise) {
+  Rng rng(5);
+  FeFet f(fefet_params(), rng);
+  const WriteScheme scheme;
+  scheme.program(f, 0.6, rng);
+  const double v1 = f.vth();
+  scheme.program(f, 0.6, rng);
+  EXPECT_EQ(f.vth(), v1);
+}
+
+TEST(WriteScheme, Validation) {
+  Rng rng(6);
+  FeFet f(fefet_params(), rng);
+  const WriteScheme scheme;
+  EXPECT_THROW(scheme.program(f, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(scheme.program(f, 2.0, rng), std::invalid_argument);
+  WriteSchemeParams bad;
+  bad.step_voltage = 0.0;
+  EXPECT_THROW(WriteScheme{bad}, std::invalid_argument);
+  bad = WriteSchemeParams{};
+  bad.max_pulses = 0;
+  EXPECT_THROW(WriteScheme{bad}, std::invalid_argument);
+}
+
+TEST(WriteScheme, GivesUpGracefullyOnTinyBudget) {
+  WriteSchemeParams p;
+  p.max_pulses = 1;
+  p.start_voltage = 1.0;  // far too weak to switch anything
+  const WriteScheme scheme(p);
+  Rng rng(7);
+  FeFet f(fefet_params(), rng);
+  const auto report = scheme.program(f, 0.2, rng);
+  EXPECT_FALSE(report.converged);
+  EXPECT_GT(std::abs(report.error), 0.1);
+}
+
+}  // namespace
+}  // namespace tdam::device

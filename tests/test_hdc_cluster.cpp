@@ -1,0 +1,108 @@
+#include "hdc/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+
+namespace tdam::hdc {
+namespace {
+
+struct ClusterData {
+  ClusterData() : rng(171) {
+    // Well-separated 4-class mixture, encoded at 512 dims.
+    split = make_gaussian_mixture(rng, 64, 4, 400, 8, 1.2, 0.6, 0.2);
+    Encoder encoder(64, 512, rng);
+    encodings = encoder.encode_dataset(split.train, 512);
+    for (std::size_t i = 0; i < split.train.size(); ++i)
+      labels.push_back(split.train.label(i));
+  }
+  Rng rng;
+  TrainTestSplit split{Dataset(1, 2), Dataset(1, 2)};
+  std::vector<float> encodings;
+  std::vector<int> labels;
+};
+
+ClusterData& data() {
+  static ClusterData d;
+  return d;
+}
+
+TEST(Cluster, RecoversWellSeparatedClasses) {
+  auto& d = data();
+  ClusterOptions opts;
+  opts.clusters = 4;
+  opts.bits = 2;
+  const auto result =
+      cluster_hypervectors(d.encodings, d.labels.size(), 512, opts);
+  EXPECT_GT(cluster_purity(result.assignment, d.labels, 4, 4), 0.9);
+  EXPECT_GT(result.am_searches, static_cast<long>(d.labels.size()));
+}
+
+TEST(Cluster, ConvergesAndStops) {
+  auto& d = data();
+  ClusterOptions opts;
+  opts.clusters = 4;
+  opts.max_iterations = 50;
+  const auto result =
+      cluster_hypervectors(d.encodings, d.labels.size(), 512, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 50);
+}
+
+TEST(Cluster, CentroidDigitsWithinRange) {
+  auto& d = data();
+  ClusterOptions opts;
+  opts.clusters = 3;
+  opts.bits = 3;
+  const auto result =
+      cluster_hypervectors(d.encodings, d.labels.size(), 512, opts);
+  ASSERT_EQ(result.centroid_digits.size(), 3u);
+  for (const auto& row : result.centroid_digits) {
+    EXPECT_EQ(row.size(), 512u);
+    for (int digit : row) {
+      EXPECT_GE(digit, 0);
+      EXPECT_LT(digit, 8);
+    }
+  }
+}
+
+TEST(Cluster, AssignmentCoversAllSamples) {
+  auto& d = data();
+  ClusterOptions opts;
+  const auto result =
+      cluster_hypervectors(d.encodings, d.labels.size(), 512, opts);
+  EXPECT_EQ(result.assignment.size(), d.labels.size());
+  for (int a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, opts.clusters);
+  }
+}
+
+TEST(Cluster, PurityHelper) {
+  const std::vector<int> assign{0, 0, 1, 1};
+  const std::vector<int> labels{0, 0, 1, 0};
+  EXPECT_NEAR(cluster_purity(assign, labels, 2, 2), 0.75, 1e-12);
+  const std::vector<int> short_labels{1, 2};
+  EXPECT_THROW(cluster_purity(assign, short_labels, 2, 2),
+               std::invalid_argument);
+  const std::vector<int> bad{0, 0, 5, 1};
+  EXPECT_THROW(cluster_purity(bad, labels, 2, 2), std::invalid_argument);
+}
+
+TEST(Cluster, Validation) {
+  auto& d = data();
+  ClusterOptions bad;
+  bad.clusters = 1;
+  EXPECT_THROW(cluster_hypervectors(d.encodings, d.labels.size(), 512, bad),
+               std::invalid_argument);
+  ClusterOptions opts;
+  EXPECT_THROW(cluster_hypervectors(d.encodings, 3, 512, opts),
+               std::invalid_argument);
+  const std::vector<float> wrong(100, 0.f);
+  EXPECT_THROW(cluster_hypervectors(wrong, 10, 512, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::hdc

@@ -1,0 +1,100 @@
+#include "hdc/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/statistics.h"
+
+namespace tdam::hdc {
+namespace {
+
+TEST(Encoder, OutputInCosineRange) {
+  Rng rng(1);
+  Encoder enc(10, 256, rng);
+  std::vector<float> sample(10, 0.5f);
+  const auto hv = enc.encode(sample.data(), 256);
+  EXPECT_EQ(hv.size(), 256u);
+  for (float v : hv) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Encoder, TruncationIsPrefixConsistent) {
+  // The dimensionality-sweep trick: encoding at d is the prefix of encoding
+  // at max_dims.
+  Rng rng(2);
+  Encoder enc(8, 128, rng);
+  std::vector<float> sample(8, -0.3f);
+  const auto full = enc.encode(sample.data(), 128);
+  const auto part = enc.encode(sample.data(), 32);
+  for (std::size_t i = 0; i < part.size(); ++i) EXPECT_EQ(part[i], full[i]);
+}
+
+TEST(Encoder, SimilarInputsGiveSimilarCodes) {
+  Rng rng(3);
+  Encoder enc(16, 2048, rng);
+  std::vector<float> a(16), b(16), c(16);
+  Rng data(4);
+  for (int j = 0; j < 16; ++j) {
+    a[static_cast<std::size_t>(j)] = static_cast<float>(data.gaussian());
+    b[static_cast<std::size_t>(j)] =
+        a[static_cast<std::size_t>(j)] + 0.05f;       // near a
+    c[static_cast<std::size_t>(j)] = static_cast<float>(data.gaussian());  // far
+  }
+  const auto ea = enc.encode(a.data(), 2048);
+  const auto eb = enc.encode(b.data(), 2048);
+  const auto ec = enc.encode(c.data(), 2048);
+  std::vector<double> da(ea.begin(), ea.end()), db(eb.begin(), eb.end()),
+      dc(ec.begin(), ec.end());
+  EXPECT_GT(correlation(da, db), 0.8);
+  EXPECT_LT(std::abs(correlation(da, dc)), 0.3);
+}
+
+TEST(Encoder, DimensionsAreDecorrelated) {
+  // Across random inputs, two different hypervector components must be
+  // (nearly) independent — the quasi-orthogonality HDC relies on.  This
+  // holds when the input space is wide (random projection rows are then
+  // near-orthogonal); with very few input features residual correlations of
+  // order 1/sqrt(features) remain, which is why the paper's datasets (600+
+  // features) are the regime that matters.
+  Rng rng(5);
+  const int features = 256;
+  Encoder enc(features, 4, rng);
+  Rng data(6);
+  std::vector<double> d0, d1;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<float> x(static_cast<std::size_t>(features));
+    for (auto& v : x) v = static_cast<float>(data.gaussian());
+    const auto e = enc.encode(x.data(), 4);
+    d0.push_back(e[0]);
+    d1.push_back(e[1]);
+  }
+  EXPECT_LT(std::abs(correlation(d0, d1)), 0.15);
+}
+
+TEST(Encoder, EncodeDatasetShape) {
+  Rng rng(7);
+  Dataset ds(4, 2);
+  ds.add_sample({0.f, 1.f, 2.f, 3.f}, 0);
+  ds.add_sample({1.f, 1.f, 1.f, 1.f}, 1);
+  Encoder enc(4, 16, rng);
+  const auto m = enc.encode_dataset(ds, 8);
+  EXPECT_EQ(m.size(), 2u * 8u);
+}
+
+TEST(Encoder, Validation) {
+  Rng rng(8);
+  EXPECT_THROW(Encoder(0, 16, rng), std::invalid_argument);
+  EXPECT_THROW(Encoder(4, 0, rng), std::invalid_argument);
+  Encoder enc(4, 16, rng);
+  std::vector<float> x(4, 0.f);
+  EXPECT_THROW(enc.encode(x.data(), 0), std::invalid_argument);
+  EXPECT_THROW(enc.encode(x.data(), 17), std::invalid_argument);
+  Dataset ds(3, 2);
+  EXPECT_THROW(enc.encode_dataset(ds, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::hdc

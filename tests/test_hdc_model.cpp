@@ -1,0 +1,156 @@
+#include "hdc/model.h"
+
+#include <gtest/gtest.h>
+
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+
+namespace tdam::hdc {
+namespace {
+
+// Shared small pipeline fixture: encode a face-like split once.
+struct Pipeline {
+  Pipeline()
+      : rng(71),
+        split(make_isolet_like(rng, 700, 250)),
+        encoder(split.train.num_features(), 2048, rng) {
+    enc_train = encoder.encode_dataset(split.train, 2048);
+    enc_test = encoder.encode_dataset(split.test, 2048);
+    for (std::size_t i = 0; i < split.train.size(); ++i)
+      labels_train.push_back(split.train.label(i));
+    for (std::size_t i = 0; i < split.test.size(); ++i)
+      labels_test.push_back(split.test.label(i));
+    model = std::make_unique<HdcModel>(26, 2048);
+    model->train(enc_train, labels_train);
+  }
+
+  Rng rng;
+  TrainTestSplit split;
+  Encoder encoder;
+  std::vector<float> enc_train, enc_test;
+  std::vector<int> labels_train, labels_test;
+  std::unique_ptr<HdcModel> model;
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+TEST(HdcModel, TrainedAccuracyBeatsChanceByFar) {
+  auto& p = pipeline();
+  const double acc = p.model->evaluate(p.enc_test, p.labels_test);
+  EXPECT_GT(acc, 0.85) << "26-class chance is ~0.038";
+}
+
+TEST(HdcModel, TrainAccuracyAtLeastTestAccuracy) {
+  auto& p = pipeline();
+  const double train_acc = p.model->evaluate(p.enc_train, p.labels_train);
+  const double test_acc = p.model->evaluate(p.enc_test, p.labels_test);
+  EXPECT_GE(train_acc, test_acc - 0.02);
+}
+
+TEST(HdcModel, RefinementImprovesOverPureBundling) {
+  auto& p = pipeline();
+  HdcModel bundled(26, 2048);
+  TrainOptions no_refine;
+  no_refine.epochs = 0;
+  bundled.train(p.enc_train, p.labels_train, no_refine);
+  const double acc_bundled = bundled.evaluate(p.enc_test, p.labels_test);
+  const double acc_refined = p.model->evaluate(p.enc_test, p.labels_test);
+  EXPECT_GE(acc_refined, acc_bundled);
+}
+
+TEST(HdcModel, ClassVectorAccessAndValidation) {
+  auto& p = pipeline();
+  EXPECT_EQ(p.model->class_vector(0).size(), 2048u);
+  EXPECT_THROW(p.model->class_vector(-1), std::out_of_range);
+  EXPECT_THROW(p.model->class_vector(26), std::out_of_range);
+  EXPECT_THROW(HdcModel(1, 16), std::invalid_argument);
+  HdcModel m(2, 16);
+  const std::vector<float> bad(15, 0.f);
+  const std::vector<int> labels{0};
+  EXPECT_THROW(m.train(bad, labels), std::invalid_argument);
+}
+
+// Quantized models across precisions (the Fig. 7 property).
+class QuantizedBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizedBits, QuantizedCosineTracksFloatModel) {
+  auto& p = pipeline();
+  const QuantizedModel qm(*p.model, GetParam(),
+                          SimilarityKernel::kQuantizedCosine);
+  const double acc_q = qm.evaluate(p.enc_test, p.labels_test);
+  const double acc_f = p.model->evaluate(p.enc_test, p.labels_test);
+  // Even 1-bit at 2048 dims stays within striking distance; >=2 bits nearly
+  // match the float reference.
+  const double slack = GetParam() == 1 ? 0.10 : 0.05;
+  EXPECT_GT(acc_q, acc_f - slack) << "bits=" << GetParam();
+}
+
+TEST_P(QuantizedBits, DigitPipelineConsistency) {
+  auto& p = pipeline();
+  const QuantizedModel qm(*p.model, GetParam());
+  // predict == predict_digits(quantize_query): the software path and the
+  // AM-replay path must agree exactly.
+  for (std::size_t i = 0; i < 20; ++i) {
+    const float* enc = p.enc_test.data() + i * 2048;
+    const auto digits = qm.quantize_query(enc);
+    EXPECT_EQ(qm.predict(enc), qm.predict_digits(digits));
+  }
+}
+
+TEST_P(QuantizedBits, DigitsWithinRange) {
+  auto& p = pipeline();
+  const QuantizedModel qm(*p.model, GetParam());
+  for (int k = 0; k < qm.num_classes(); ++k) {
+    for (int d : qm.class_digits(k)) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, 1 << GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, QuantizedBits, ::testing::Range(1, 5));
+
+TEST(QuantizedModel, HigherPrecisionHelpsUnderQuantizedCosine) {
+  // The Fig. 7 headline: at fixed (modest) dimensionality, 4-bit beats 1-bit
+  // when similarity respects value closeness.
+  auto& p = pipeline();
+  const QuantizedModel q1(*p.model, 1, SimilarityKernel::kQuantizedCosine);
+  const QuantizedModel q4(*p.model, 4, SimilarityKernel::kQuantizedCosine);
+  EXPECT_GT(q4.evaluate(p.enc_test, p.labels_test),
+            q1.evaluate(p.enc_test, p.labels_test));
+}
+
+TEST(QuantizedModel, L1KernelAlsoImprovesWithPrecision) {
+  auto& p = pipeline();
+  const QuantizedModel q1(*p.model, 1, SimilarityKernel::kL1Digits);
+  const QuantizedModel q3(*p.model, 3, SimilarityKernel::kL1Digits);
+  EXPECT_GT(q3.evaluate(p.enc_test, p.labels_test),
+            q1.evaluate(p.enc_test, p.labels_test));
+}
+
+TEST(QuantizedModel, OneBitKernelsCoincide) {
+  // At 1 bit, digit-match and L1 are the same statistic (both count sign
+  // agreements), so predictions must be identical.
+  auto& p = pipeline();
+  const QuantizedModel qm(*p.model, 1, SimilarityKernel::kDigitMatch);
+  const QuantizedModel ql(*p.model, 1, SimilarityKernel::kL1Digits);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const float* enc = p.enc_test.data() + i * 2048;
+    EXPECT_EQ(qm.predict(enc), ql.predict(enc));
+  }
+}
+
+TEST(QuantizedModel, Validation) {
+  auto& p = pipeline();
+  const QuantizedModel qm(*p.model, 2);
+  EXPECT_THROW(qm.class_digits(-1), std::out_of_range);
+  EXPECT_THROW(qm.class_digits(26), std::out_of_range);
+  const std::vector<int> bad(5, 0);
+  EXPECT_THROW(qm.predict_digits(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::hdc

@@ -1,0 +1,113 @@
+#include "hdc/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tdam::hdc {
+namespace {
+
+std::vector<float> gaussian_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+// Property sweep over every supported precision.
+class QuantizerBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerBits, BlocksCarryEqualMass) {
+  const int bits = GetParam();
+  const auto values = gaussian_values(40000, 1);
+  const EqualAreaQuantizer q(values, bits);
+  std::vector<int> counts(static_cast<std::size_t>(q.levels()), 0);
+  for (float v : values) counts[static_cast<std::size_t>(q.quantize(v))]++;
+  const double expected =
+      static_cast<double>(values.size()) / q.levels();
+  for (int c : counts) {
+    EXPECT_GT(c, 0.9 * expected);
+    EXPECT_LT(c, 1.1 * expected);
+  }
+}
+
+TEST_P(QuantizerBits, BoundariesAscendAndCentroidsInterleave) {
+  const int bits = GetParam();
+  const auto values = gaussian_values(10000, 2);
+  const EqualAreaQuantizer q(values, bits);
+  const auto& b = q.boundaries();
+  EXPECT_EQ(static_cast<int>(b.size()), q.levels() - 1);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  for (int l = 0; l < q.levels() - 1; ++l) {
+    EXPECT_LT(q.reconstruct(l), q.reconstruct(l + 1));
+    EXPECT_LE(q.reconstruct(l), b[static_cast<std::size_t>(l)]);
+  }
+}
+
+TEST_P(QuantizerBits, ReconstructionReducesErrorWithMoreBits) {
+  const auto values = gaussian_values(20000, 3);
+  const int bits = GetParam();
+  if (bits >= 8) return;
+  const EqualAreaQuantizer ql(values, bits);
+  const EqualAreaQuantizer qh(values, bits + 1);
+  double err_l = 0.0, err_h = 0.0;
+  for (float v : values) {
+    const double dl = v - ql.reconstruct(ql.quantize(v));
+    const double dh = v - qh.reconstruct(qh.quantize(v));
+    err_l += dl * dl;
+    err_h += dh * dh;
+  }
+  EXPECT_LT(err_h, err_l) << "finer quantization must reduce MSE";
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, QuantizerBits, ::testing::Range(1, 6));
+
+TEST(Quantizer, DenseRegionsGetNarrowBlocks) {
+  // Equal-area on a Gaussian: central blocks are narrower than tail blocks.
+  const auto values = gaussian_values(50000, 4);
+  const EqualAreaQuantizer q(values, 3);
+  const auto& b = q.boundaries();
+  const double central_width = b[4] - b[3];
+  const double tail_width = b[1] - b[0];
+  EXPECT_LT(central_width, tail_width);
+}
+
+TEST(Quantizer, ExtremesClampToEndBlocks) {
+  const auto values = gaussian_values(1000, 5);
+  const EqualAreaQuantizer q(values, 2);
+  EXPECT_EQ(q.quantize(-1e9f), 0);
+  EXPECT_EQ(q.quantize(1e9f), q.levels() - 1);
+}
+
+TEST(Quantizer, OneBitIsMedianSplit) {
+  std::vector<float> values;
+  for (int i = 0; i < 1001; ++i) values.push_back(static_cast<float>(i));
+  const EqualAreaQuantizer q(values, 1);
+  EXPECT_EQ(q.quantize(100.0f), 0);
+  EXPECT_EQ(q.quantize(900.0f), 1);
+}
+
+TEST(Quantizer, QuantizeAllMatchesElementwise) {
+  const auto values = gaussian_values(100, 6);
+  const EqualAreaQuantizer q(values, 2);
+  const auto all = q.quantize_all(values);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(all[i], q.quantize(values[i]));
+}
+
+TEST(Quantizer, Validation) {
+  const auto values = gaussian_values(100, 7);
+  EXPECT_THROW(EqualAreaQuantizer(values, 0), std::invalid_argument);
+  EXPECT_THROW(EqualAreaQuantizer(values, 9), std::invalid_argument);
+  const std::vector<float> tiny{1.0f};
+  EXPECT_THROW(EqualAreaQuantizer(tiny, 2), std::invalid_argument);
+  const EqualAreaQuantizer q(values, 2);
+  EXPECT_THROW(q.reconstruct(-1), std::out_of_range);
+  EXPECT_THROW(q.reconstruct(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tdam::hdc

@@ -1,0 +1,120 @@
+#include "hdc/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+
+namespace tdam::hdc {
+namespace {
+
+struct Trained {
+  Trained() : rng(151), split(make_face_like(rng, 400, 150)),
+              encoder(split.train.num_features(), 512, rng),
+              model(2, 512) {
+    enc_train = encoder.encode_dataset(split.train, 512);
+    enc_test = encoder.encode_dataset(split.test, 512);
+    for (std::size_t i = 0; i < split.train.size(); ++i)
+      labels_train.push_back(split.train.label(i));
+    for (std::size_t i = 0; i < split.test.size(); ++i)
+      labels_test.push_back(split.test.label(i));
+    model.train(enc_train, labels_train);
+  }
+  Rng rng;
+  TrainTestSplit split;
+  Encoder encoder;
+  HdcModel model;
+  std::vector<float> enc_train, enc_test;
+  std::vector<int> labels_train, labels_test;
+};
+
+Trained& trained() {
+  static Trained t;
+  return t;
+}
+
+TEST(Serialize, SnapshotPredictsLikeModel) {
+  auto& t = trained();
+  const QuantizedModel qm(t.model, 2);
+  const auto snap = QuantizedSnapshot::from_model(qm);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const float* enc = t.enc_test.data() + i * 512;
+    const auto digits = qm.quantize_query(enc);
+    EXPECT_EQ(snap.predict_digits(digits), qm.predict_digits(digits));
+  }
+}
+
+TEST(Serialize, RoundTripThroughStream) {
+  auto& t = trained();
+  const QuantizedModel qm(t.model, 3, SimilarityKernel::kL1Digits);
+  const auto snap = QuantizedSnapshot::from_model(qm);
+  std::stringstream ss;
+  save_snapshot(snap, ss);
+  const auto loaded = load_snapshot(ss);
+
+  EXPECT_EQ(loaded.bits, snap.bits);
+  EXPECT_EQ(loaded.dims, snap.dims);
+  EXPECT_EQ(loaded.num_classes, snap.num_classes);
+  EXPECT_EQ(loaded.kernel, snap.kernel);
+  EXPECT_EQ(loaded.digits, snap.digits);
+  ASSERT_EQ(loaded.boundaries.size(), snap.boundaries.size());
+  for (std::size_t i = 0; i < snap.boundaries.size(); ++i)
+    EXPECT_NEAR(loaded.boundaries[i], snap.boundaries[i],
+                1e-5 * std::abs(snap.boundaries[i]) + 1e-6);
+
+  // Behavioural equality after the round trip.
+  for (std::size_t i = 0; i < 25; ++i) {
+    const float* enc = t.enc_test.data() + i * 512;
+    const auto digits = qm.quantize_query(enc);
+    EXPECT_EQ(loaded.predict_digits(digits), snap.predict_digits(digits));
+  }
+}
+
+TEST(Serialize, RoundTripThroughFile) {
+  auto& t = trained();
+  const QuantizedModel qm(t.model, 2);
+  const auto snap = QuantizedSnapshot::from_model(qm);
+  const std::string path = ::testing::TempDir() + "tdam_snapshot_test.txt";
+  save_snapshot_file(snap, path);
+  const auto loaded = load_snapshot_file(path);
+  EXPECT_EQ(loaded.digits, snap.digits);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptedInput) {
+  std::stringstream bad1("wrong-magic v1\n2 8 2 0\n");
+  EXPECT_THROW(load_snapshot(bad1), std::runtime_error);
+
+  std::stringstream bad2("tdam-quantized-model v9\n");
+  EXPECT_THROW(load_snapshot(bad2), std::runtime_error);
+
+  // Truncated digit matrix.
+  auto& t = trained();
+  const QuantizedModel qm(t.model, 1);
+  const auto snap = QuantizedSnapshot::from_model(qm);
+  std::stringstream ss;
+  save_snapshot(snap, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_snapshot(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeDigits) {
+  std::stringstream ss(
+      "tdam-quantized-model v1\n1 2 2 0\n1 0.0\n2 -1.0 1.0\n0 1 9 0 \n");
+  EXPECT_THROW(load_snapshot(ss), std::runtime_error);
+}
+
+TEST(Serialize, FileErrorsSurface) {
+  QuantizedSnapshot snap;
+  EXPECT_THROW(save_snapshot_file(snap, "/no_such_dir_xyz/f.txt"),
+               std::runtime_error);
+  EXPECT_THROW(load_snapshot_file("/no_such_file_xyz.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tdam::hdc

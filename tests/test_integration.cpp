@@ -1,0 +1,131 @@
+// Cross-module integration tests: the full paper pipeline from dataset to
+// hardware-model inference, and circuit-vs-behavioural consistency.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "am/array.h"
+#include "am/behavioral.h"
+#include "am/calibration.h"
+#include "am/words.h"
+#include "analysis/monte_carlo.h"
+#include "baselines/gpu_model.h"
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+#include "hdc/model.h"
+
+namespace tdam {
+namespace {
+
+// An HDC classifier whose inference runs through the behavioural AM must
+// produce exactly the predictions of the software digit-match path, since
+// the calibrated AM digitises delays back to true mismatch counts.
+TEST(Integration, HdcInferenceThroughBehavioralAmMatchesSoftware) {
+  Rng rng(81);
+  const auto split = hdc::make_face_like(rng, 500, 120);
+  const int dims = 512;
+  hdc::Encoder encoder(split.train.num_features(), dims, rng);
+  const auto enc_train = encoder.encode_dataset(split.train, dims);
+  const auto enc_test = encoder.encode_dataset(split.test, dims);
+  std::vector<int> labels_train;
+  for (std::size_t i = 0; i < split.train.size(); ++i)
+    labels_train.push_back(split.train.label(i));
+
+  hdc::HdcModel model(2, dims);
+  model.train(enc_train, labels_train);
+  const hdc::QuantizedModel qm(model, 2);
+
+  // Load the quantized class vectors into a behavioural AM.
+  Rng cal_rng(82);
+  const auto cal = am::calibrate_chain(am::ChainConfig{}, cal_rng);
+  am::BehavioralAm amach(cal, dims);
+  for (int k = 0; k < qm.num_classes(); ++k) {
+    const auto digits = qm.class_digits(k);
+    amach.store(std::vector<int>(digits.begin(), digits.end()));
+  }
+
+  int agreements = 0;
+  const int n_check = 40;
+  for (int i = 0; i < n_check; ++i) {
+    const float* enc = enc_test.data() + static_cast<std::size_t>(i) * dims;
+    const auto digits = qm.quantize_query(enc);
+    const auto am_result = amach.search(digits);
+    const int software = qm.predict_digits(digits);
+    if (am_result.best_row == software) ++agreements;
+  }
+  EXPECT_EQ(agreements, n_check);
+}
+
+// Small transient AM as associative memory: the winner is the true nearest
+// stored vector even for close distances.
+TEST(Integration, TransientArrayResolvesOneMismatchDifference) {
+  Rng rng(83);
+  am::TdAmArray array(am::ChainConfig{}, 3, 8, rng);
+  const auto base = am::random_word(rng, 8, 4);
+  array.store_row(0, am::word_with_mismatches(base, 1, 4));
+  array.store_row(1, am::word_with_mismatches(base, 2, 4));
+  array.store_row(2, am::word_with_mismatches(base, 3, 4));
+  const auto res = array.search(base);
+  EXPECT_EQ(res.best_row, 0);
+  EXPECT_EQ(res.distances, (std::vector<int>{1, 2, 3}));
+}
+
+// The behavioural system model and the GPU model together must produce the
+// Fig. 8 shape: the AM's advantage shrinks as dimensionality grows.
+TEST(Integration, SpeedupAttenuatesWithDimensionality) {
+  Rng rng(84);
+  am::ChainConfig cfg;
+  cfg.vdd = 0.8;
+  const auto cal = am::calibrate_chain(cfg, rng);
+  const am::AmSystemModel am_sys(cal, 128, 128);
+  const baselines::GpuModel gpu;
+
+  const double mismatch_fraction = 0.75;  // random 2-bit digits
+  double prev_speedup = 1e300;
+  for (int dims : {512, 2048, 10240}) {
+    const auto am_cost = am_sys.query_cost(dims, 26, mismatch_fraction);
+    const auto gpu_cost = gpu.similarity_query(dims, 26);
+    const double speedup = gpu_cost.latency / am_cost.latency;
+    EXPECT_GT(speedup, 1.0) << "AM must beat the GPU at dims=" << dims;
+    EXPECT_LT(speedup, prev_speedup)
+        << "speedup must attenuate with dimensionality (paper Fig. 8)";
+    prev_speedup = speedup;
+  }
+}
+
+TEST(Integration, EnergyEfficiencyExceedsSpeedup) {
+  // Fig. 8's pairing: energy-efficiency gains (3 orders) exceed speedup
+  // gains (2 orders) because the AM draws far less power than the GPU.
+  Rng rng(85);
+  am::ChainConfig cfg;
+  cfg.vdd = 0.8;
+  const auto cal = am::calibrate_chain(cfg, rng);
+  const am::AmSystemModel am_sys(cal, 128, 128);
+  const baselines::GpuModel gpu;
+  const auto am_cost = am_sys.query_cost(1024, 26, 0.75);
+  const auto gpu_cost = gpu.similarity_query(1024, 26);
+  const double speedup = gpu_cost.latency / am_cost.latency;
+  const double efficiency = gpu_cost.energy / am_cost.energy;
+  EXPECT_GT(efficiency, speedup);
+}
+
+// Variation-aware digit errors: with a large injected sigma, the MC engine
+// predicts margin failures; those failures correspond to distance
+// under-counts in the AM (delays only shrink), which an associative search
+// can tolerate as long as the ordering gap exceeds the error.
+TEST(Integration, MarginFailuresOnlyShrinkDistances) {
+  Rng rng(86);
+  analysis::FastChainMc mc(am::ChainConfig{}, rng);
+  analysis::McOptions opts;
+  opts.runs = 300;
+  opts.seed = 21;
+  opts.variation = device::VariationModel::uniform(0.12);
+  const std::vector<int> stored(32, 1), query(32, 2);
+  const auto s = mc.run(stored, query, opts);
+  EXPECT_LT(s.margin_pass_rate, 1.0);
+  EXPECT_LE(s.stats.max(), s.nominal_delay + 0.2 * s.sensing_lsb);
+  EXPECT_LT(s.stats.min(), s.nominal_delay);
+}
+
+}  // namespace
+}  // namespace tdam

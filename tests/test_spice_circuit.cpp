@@ -1,0 +1,75 @@
+#include "spice/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech.h"
+
+namespace tdam::spice {
+namespace {
+
+device::Mosfet test_nmos() {
+  return device::Mosfet(device::Polarity::kNmos,
+                        device::TechParams::umc40_class().nmos, 1.0);
+}
+
+TEST(Circuit, GroundIsNodeZero) {
+  Circuit c;
+  EXPECT_EQ(c.node_count(), 1u);
+  EXPECT_TRUE(c.node(kGround).driven);
+  EXPECT_EQ(c.node(kGround).name, "gnd");
+}
+
+TEST(Circuit, AddNodesAndFindByName) {
+  Circuit c;
+  const auto a = c.add_node("a", 1e-15);
+  const auto b = c.add_source_node("vdd", dc(1.1), "vdd");
+  EXPECT_EQ(c.find_node("a"), a);
+  EXPECT_EQ(c.find_node("vdd"), b);
+  EXPECT_THROW(c.find_node("missing"), std::out_of_range);
+}
+
+TEST(Circuit, CapacitanceAccumulates) {
+  Circuit c;
+  const auto a = c.add_node("a", 1e-15);
+  c.add_node_capacitance(a, 2e-15);
+  EXPECT_NEAR(c.node(a).capacitance, 3e-15, 1e-21);
+}
+
+TEST(Circuit, ValidateRejectsFloatingFreeNode) {
+  Circuit c;
+  c.add_node("floating", 0.0);
+  EXPECT_THROW(c.validate(), std::logic_error);
+}
+
+TEST(Circuit, ValidatePassesWhenCapacitanceAdded) {
+  Circuit c;
+  const auto a = c.add_node("a", 0.0);
+  c.add_node_capacitance(a, 1e-15);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Circuit, DeviceAddition) {
+  Circuit c;
+  const auto a = c.add_node("a", 1e-15);
+  const auto b = c.add_node("b", 1e-15);
+  c.add_resistor(a, b, 1e3);
+  c.add_mosfet(test_nmos(), a, b, kGround);
+  EXPECT_EQ(c.device_count(), 2u);
+  EXPECT_EQ(c.devices()[0].kind, DeviceInstance::Kind::kResistor);
+  EXPECT_EQ(c.devices()[1].kind, DeviceInstance::Kind::kMosfet);
+}
+
+TEST(Circuit, RejectsInvalidNodesAndValues) {
+  Circuit c;
+  const auto a = c.add_node("a", 1e-15);
+  EXPECT_THROW(c.add_resistor(a, 99, 1e3), std::out_of_range);
+  EXPECT_THROW(c.add_resistor(a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(a, kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(c.add_node("neg", -1e-15), std::invalid_argument);
+  EXPECT_THROW(c.add_node_capacitance(a, -1e-15), std::invalid_argument);
+  EXPECT_THROW(c.add_fefet(nullptr, a, a, kGround), std::invalid_argument);
+  EXPECT_THROW(c.add_source_node("s", Waveform{}, "grp"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::spice

@@ -1,0 +1,243 @@
+#include "spice/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tech.h"
+
+namespace tdam::spice {
+namespace {
+
+// RC charge through a resistor from a DC source: V(t) = V0 (1 - e^{-t/RC}).
+TEST(Simulator, RcChargeMatchesAnalytic) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);  // 1 fF
+  c.add_resistor(vdd, out, 1e3);              // tau = 1 ps
+
+  Simulator sim(c);
+  sim.probe(out);
+  TransientOptions opts;
+  opts.t_stop = 10e-12;
+  const auto res = sim.run(opts);
+
+  const auto& tr = res.trace("out");
+  const double tau = 1e-12;
+  for (double t : {1e-12, 2e-12, 5e-12}) {
+    const double expected = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(tr.value_at(t), expected, 0.01) << "t=" << t;
+  }
+  EXPECT_NEAR(tr.final_value(), 1.0, 1e-3);
+}
+
+// Energy delivered by the source while charging C through R to V equals
+// C*V^2 (half stored on the cap, half dissipated in R).
+TEST(Simulator, RcChargeEnergyIsCV2) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 5e-15);
+  c.add_resistor(vdd, out, 2e3);
+
+  Simulator sim(c);
+  TransientOptions opts;
+  opts.t_stop = 200e-12;  // many tau
+  const auto res = sim.run(opts);
+  EXPECT_NEAR(res.source_energy.at("vdd"), 5e-15 * 1.0 * 1.0, 0.05 * 5e-15);
+}
+
+// Resistor divider: steady state voltage V = Vdd * R2/(R1+R2).
+TEST(Simulator, ResistorDividerSteadyState) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.2), "vdd");
+  const auto mid = c.add_node("mid", 1e-15);
+  c.add_resistor(vdd, mid, 1e3);
+  c.add_resistor(mid, kGround, 3e3);
+
+  Simulator sim(c);
+  sim.probe(mid);
+  TransientOptions opts;
+  opts.t_stop = 100e-12;
+  const auto res = sim.run(opts);
+  EXPECT_NEAR(res.trace("mid").final_value(), 1.2 * 3.0 / 4.0, 2e-3);
+}
+
+// An inverter must flip logic levels and consume ~C*V^2 per output rise.
+TEST(Simulator, InverterFlipsAndConsumesDynamicEnergy) {
+  const auto tech = device::TechParams::umc40_class();
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.1), "vdd");
+  const auto in = c.add_source_node(
+      "in", piecewise_linear({{0.0, 1.1}, {1e-9, 1.1}, {1.05e-9, 0.0}}), "in");
+  const auto out = c.add_node("out", 2e-15);
+  c.add_mosfet(device::Mosfet(device::Polarity::kPmos, tech.pmos, 2.0), in, out, vdd);
+  c.add_mosfet(device::Mosfet(device::Polarity::kNmos, tech.nmos, 1.0), in, out,
+               kGround);
+
+  Simulator sim(c);
+  sim.probe(out);
+  sim.set_initial(out, 0.0);
+  TransientOptions opts;
+  opts.t_stop = 3e-9;
+  const auto res = sim.run(opts);
+
+  EXPECT_LT(res.trace("out").value_at(0.9e-9), 0.1);  // in high -> out low
+  EXPECT_GT(res.trace("out").final_value(), 1.0);     // in low -> out high
+  // Output rise draws at least C*V^2/2 from the supply (plus crossbar).
+  const double cv2 = 2e-15 * 1.1 * 1.1;
+  EXPECT_GT(res.source_energy.at("vdd"), 0.4 * cv2);
+  EXPECT_LT(res.source_energy.at("vdd"), 3.0 * cv2);
+}
+
+TEST(Simulator, InitialConditionsRespected) {
+  Circuit c;
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(out, kGround, 1e6);  // slow discharge
+  Simulator sim(c);
+  sim.probe(out);
+  sim.set_initial(out, 0.8);
+  TransientOptions opts;
+  opts.t_stop = 1e-12;
+  const auto res = sim.run(opts);
+  EXPECT_NEAR(res.trace("out").values().front(), 0.8, 1e-9);
+}
+
+TEST(Simulator, RejectsInitialConditionOnDrivenNode) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(vdd, out, 1e3);
+  Simulator sim(c);
+  sim.set_initial(vdd, 0.5);
+  TransientOptions opts;
+  opts.t_stop = 1e-12;
+  EXPECT_THROW(sim.run(opts), std::invalid_argument);
+}
+
+TEST(Simulator, ValidatesCircuitAtConstruction) {
+  Circuit c;
+  c.add_node("floating", 0.0);
+  EXPECT_THROW(Simulator sim(c), std::logic_error);
+}
+
+TEST(Simulator, RejectsBadProbeAndOptions) {
+  Circuit c;
+  c.add_node("a", 1e-15);
+  Simulator sim(c);
+  EXPECT_THROW(sim.probe(99), std::out_of_range);
+  EXPECT_THROW(sim.set_initial(-1, 0.0), std::out_of_range);
+  TransientOptions opts;
+  opts.t_stop = 0.0;
+  EXPECT_THROW(sim.run(opts), std::invalid_argument);
+}
+
+TEST(Simulator, StepBudgetGuards) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(vdd, out, 1e3);
+  Simulator sim(c);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.max_steps = 3;
+  EXPECT_THROW(sim.run(opts), std::runtime_error);
+}
+
+TEST(Simulator, AdaptiveSteppingUsesFewerStepsOnPlateau) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(vdd, out, 1e3);
+  Simulator sim(c);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;  // 1000 tau: mostly plateau
+  const auto res = sim.run(opts);
+  // Fixed stepping at dt_initial would need 10000 steps; adaptive far fewer.
+  EXPECT_LT(res.accepted_steps, 3000u);
+}
+
+TEST(Simulator, MissingTraceThrows) {
+  Circuit c;
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(out, kGround, 1e3);
+  Simulator sim(c);
+  sim.probe(out);
+  TransientOptions opts;
+  opts.t_stop = 1e-12;
+  const auto res = sim.run(opts);
+  EXPECT_THROW(res.trace("nonexistent"), std::out_of_range);
+}
+
+// Charge conservation: in steady state, the energy the sources delivered
+// equals the energy stored on the capacitors plus what the resistive paths
+// dissipated.  For a source charging C through R to V: E_src = CV^2,
+// E_stored = CV^2/2, so dissipation must equal storage.
+TEST(Simulator, EnergyBalancesChargeStoredPlusDissipation) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto a = c.add_node("a", 3e-15);
+  const auto b = c.add_node("b", 2e-15);
+  c.add_resistor(vdd, a, 1e3);
+  c.add_resistor(a, b, 2e3);
+  Simulator sim(c);
+  sim.probe(a);
+  sim.probe(b);
+  TransientOptions opts;
+  opts.t_stop = 300e-12;  // many time constants
+  const auto res = sim.run(opts);
+  const double va = res.trace("a").final_value();
+  const double vb = res.trace("b").final_value();
+  // Settling accuracy is bounded by the adaptive step's dv limiter
+  // (max_dv_step = 2.5 mV by default).
+  EXPECT_NEAR(va, 1.0, 3e-3);
+  EXPECT_NEAR(vb, 1.0, 3e-3);
+  const double stored = 0.5 * (3e-15 * va * va + 2e-15 * vb * vb);
+  // Delivered = stored + dissipated; for full charging from rest the split
+  // is exactly 50/50 regardless of the resistor network.
+  EXPECT_NEAR(res.source_energy.at("vdd"), 2.0 * stored, 0.05 * stored);
+}
+
+// Kirchhoff sanity on a divider: the current into the top resistor equals
+// the current out of the bottom one in steady state, so the ground source
+// absorbs exactly what vdd delivers (power balance at DC).
+TEST(Simulator, DcPowerBalanceAcrossDivider) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto mid = c.add_node("mid", 1e-15);
+  c.add_resistor(vdd, mid, 1e3);
+  c.add_resistor(mid, kGround, 1e3);
+  Simulator sim(c);
+  TransientOptions opts;
+  opts.t_stop = 400e-12;
+  const auto res = sim.run(opts);
+  // Steady state: I = 0.5 mA, P = 0.5 mW from vdd.  Integrate over the
+  // tail (subtract the charging transient by comparing two run lengths).
+  TransientOptions longer = opts;
+  longer.t_stop = 800e-12;
+  Simulator sim2(c);
+  const auto res2 = sim2.run(longer);
+  const double p_tail = (res2.source_energy.at("vdd") -
+                         res.source_energy.at("vdd")) /
+                        (longer.t_stop - opts.t_stop);
+  EXPECT_NEAR(p_tail, 0.5e-3, 0.01e-3);
+}
+
+TEST(Simulator, TotalEnergyExcludesGround) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(vdd, out, 1e3);
+  c.add_resistor(out, kGround, 1e3);
+  Simulator sim(c);
+  TransientOptions opts;
+  opts.t_stop = 50e-12;
+  const auto res = sim.run(opts);
+  double manual = 0.0;
+  for (const auto& [name, e] : res.source_energy)
+    if (name != "gnd") manual += e;
+  EXPECT_EQ(res.total_energy(), manual);
+  EXPECT_GT(res.total_energy(), 0.0);
+}
+
+}  // namespace
+}  // namespace tdam::spice

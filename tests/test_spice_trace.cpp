@@ -1,0 +1,90 @@
+#include "spice/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::spice {
+namespace {
+
+Trace ramp_trace() {
+  // 0 V at t=0 rising linearly to 1 V at t=10.
+  Trace t("ramp");
+  for (int i = 0; i <= 10; ++i)
+    t.append(static_cast<double>(i), 0.1 * static_cast<double>(i));
+  return t;
+}
+
+TEST(Trace, AppendAndBasics) {
+  Trace t("x");
+  t.append(0.0, 1.0);
+  t.append(1.0, 3.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.final_value(), 3.0);
+  EXPECT_EQ(t.min_value(), 1.0);
+  EXPECT_EQ(t.max_value(), 3.0);
+  EXPECT_EQ(t.name(), "x");
+}
+
+TEST(Trace, RejectsTimeReversal) {
+  Trace t("x");
+  t.append(1.0, 0.0);
+  EXPECT_THROW(t.append(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Trace, ValueAtInterpolates) {
+  const auto t = ramp_trace();
+  EXPECT_NEAR(t.value_at(2.5), 0.25, 1e-12);
+  EXPECT_EQ(t.value_at(-1.0), 0.0);   // clamp
+  EXPECT_EQ(t.value_at(99.0), 1.0);   // clamp
+}
+
+TEST(Trace, CrossingTimeRising) {
+  const auto t = ramp_trace();
+  EXPECT_NEAR(t.crossing_time(0.55, Edge::kRising), 5.5, 1e-9);
+}
+
+TEST(Trace, CrossingTimeFalling) {
+  Trace t("fall");
+  t.append(0.0, 1.0);
+  t.append(2.0, 0.0);
+  EXPECT_NEAR(t.crossing_time(0.5, Edge::kFalling), 1.0, 1e-12);
+  EXPECT_LT(t.crossing_time(0.5, Edge::kRising), 0.0);  // never rises
+}
+
+TEST(Trace, CrossingRespectsTAfter) {
+  Trace t("pulse");
+  t.append(0.0, 0.0);
+  t.append(1.0, 1.0);
+  t.append(2.0, 0.0);
+  t.append(3.0, 1.0);
+  EXPECT_NEAR(t.crossing_time(0.5, Edge::kRising, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(t.crossing_time(0.5, Edge::kRising, 1.5), 2.5, 1e-12);
+}
+
+TEST(Trace, MissingCrossingIsNegative) {
+  const auto t = ramp_trace();
+  EXPECT_LT(t.crossing_time(2.0, Edge::kRising), 0.0);
+}
+
+TEST(Trace, TransitionTimeOfLinearRamp) {
+  const auto t = ramp_trace();
+  // 10%-90% of a 0->1 ramp over 10 s is 8 s.
+  EXPECT_NEAR(t.transition_time(0.0, 1.0, Edge::kRising), 8.0, 1e-9);
+}
+
+TEST(Trace, DecimatedKeepsEndpoints) {
+  const auto t = ramp_trace();
+  const auto d = t.decimated(4);
+  EXPECT_EQ(d.values().front(), t.values().front());
+  EXPECT_EQ(d.values().back(), t.values().back());
+  EXPECT_LT(d.size(), t.size());
+  EXPECT_THROW(t.decimated(0), std::invalid_argument);
+}
+
+TEST(Trace, EmptyTraceThrows) {
+  Trace t("e");
+  EXPECT_THROW(t.final_value(), std::logic_error);
+  EXPECT_THROW(t.value_at(0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tdam::spice

@@ -1,0 +1,97 @@
+#include "spice/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "spice/simulator.h"
+
+namespace tdam::spice {
+namespace {
+
+Trace make_trace(const std::string& name) {
+  Trace t(name);
+  t.append(0.0, 0.0);
+  t.append(1e-9, 1.1);
+  t.append(2e-9, 0.5);
+  return t;
+}
+
+TEST(Vcd, HeaderAndDeclarations) {
+  std::stringstream ss;
+  write_vcd(ss, {make_trace("out1"), make_trace("mn-2")});
+  const std::string vcd = ss.str();
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64 ! out1 $end"), std::string::npos);
+  // Non-identifier characters sanitised.
+  EXPECT_NE(vcd.find("mn_2"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+}
+
+TEST(Vcd, ValueChangesAppearInTimeOrder) {
+  std::stringstream ss;
+  write_vcd(ss, {make_trace("a")});
+  const std::string vcd = ss.str();
+  const auto p0 = vcd.find("#0");
+  const auto p1 = vcd.find("#1000");  // 1 ns at 1 ps timescale
+  const auto p2 = vcd.find("#2000");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+  EXPECT_NE(vcd.find("r1.1 !"), std::string::npos);
+}
+
+TEST(Vcd, UnchangedValuesAreNotRedumped) {
+  Trace flat("flat");
+  flat.append(0.0, 0.7);
+  flat.append(1e-9, 0.7);
+  flat.append(2e-9, 0.7);
+  std::stringstream ss;
+  write_vcd(ss, {flat});
+  const std::string vcd = ss.str();
+  // Exactly one value record for the constant trace.
+  std::size_t count = 0;
+  for (std::size_t pos = vcd.find("r0.7"); pos != std::string::npos;
+       pos = vcd.find("r0.7", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Vcd, RoundTripsThroughRealSimulation) {
+  Circuit c;
+  const auto vdd = c.add_source_node("vdd", dc(1.0), "vdd");
+  const auto out = c.add_node("out", 1e-15);
+  c.add_resistor(vdd, out, 1e3);
+  Simulator sim(c);
+  sim.probe(out);
+  TransientOptions opts;
+  opts.t_stop = 10e-12;
+  const auto res = sim.run(opts);
+
+  const std::string path = ::testing::TempDir() + "tdam_vcd_test.vcd";
+  write_vcd_file(path, res.traces);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("out"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, Validation) {
+  std::stringstream ss;
+  EXPECT_THROW(write_vcd(ss, {}), std::invalid_argument);
+  EXPECT_THROW(write_vcd(ss, {Trace("empty")}), std::invalid_argument);
+  VcdOptions bad;
+  bad.timescale_seconds = 0.0;
+  EXPECT_THROW(write_vcd(ss, {make_trace("a")}, bad), std::invalid_argument);
+  EXPECT_THROW(write_vcd_file("/no_dir_xyz/x.vcd", {make_trace("a")}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tdam::spice

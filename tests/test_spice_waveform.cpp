@@ -1,0 +1,72 @@
+#include "spice/waveform.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam::spice {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  auto w = dc(0.7);
+  EXPECT_EQ(w(0.0), 0.7);
+  EXPECT_EQ(w(1e-6), 0.7);
+}
+
+TEST(Waveform, PulseShape) {
+  PulseSpec spec;
+  spec.v0 = 0.0;
+  spec.v1 = 1.0;
+  spec.delay = 1e-9;
+  spec.t_rise = 0.1e-9;
+  spec.t_fall = 0.2e-9;
+  spec.width = 1e-9;
+  auto w = pulse(spec);
+  EXPECT_EQ(w(0.0), 0.0);
+  EXPECT_EQ(w(0.99e-9), 0.0);
+  EXPECT_NEAR(w(1.05e-9), 0.5, 1e-9);     // mid-rise
+  EXPECT_EQ(w(1.5e-9), 1.0);              // plateau
+  EXPECT_NEAR(w(2.2e-9), 0.5, 1e-9);      // mid-fall
+  EXPECT_EQ(w(3.0e-9), 0.0);              // back to v0
+}
+
+TEST(Waveform, PeriodicPulseRepeats) {
+  PulseSpec spec;
+  spec.v1 = 1.0;
+  spec.t_rise = 1e-12;
+  spec.t_fall = 1e-12;
+  spec.width = 1e-9;
+  spec.period = 4e-9;
+  auto w = pulse(spec);
+  EXPECT_NEAR(w(0.5e-9), w(4.5e-9), 1e-12);
+  EXPECT_NEAR(w(2.0e-9), w(6.0e-9), 1e-12);
+}
+
+TEST(Waveform, PulseRejectsZeroTransition) {
+  PulseSpec spec;
+  spec.t_rise = 0.0;
+  EXPECT_THROW(pulse(spec), std::invalid_argument);
+}
+
+TEST(Waveform, PiecewiseLinearInterpolatesAndClamps) {
+  auto w = piecewise_linear({{1.0, 0.0}, {2.0, 1.0}, {4.0, 0.5}});
+  EXPECT_EQ(w(0.0), 0.0);   // clamp left
+  EXPECT_EQ(w(5.0), 0.5);   // clamp right
+  EXPECT_NEAR(w(1.5), 0.5, 1e-12);
+  EXPECT_NEAR(w(3.0), 0.75, 1e-12);
+}
+
+TEST(Waveform, PiecewiseLinearRejectsBadPoints) {
+  EXPECT_THROW(piecewise_linear({}), std::invalid_argument);
+  EXPECT_THROW(piecewise_linear({{1.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(piecewise_linear({{2.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Waveform, StepEdge) {
+  auto w = step_edge(1.0, 0.0, 2e-9, 1e-9);
+  EXPECT_EQ(w(1e-9), 1.0);
+  EXPECT_NEAR(w(2.5e-9), 0.5, 1e-12);
+  EXPECT_EQ(w(4e-9), 0.0);
+  EXPECT_THROW(step_edge(0.0, 1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::spice

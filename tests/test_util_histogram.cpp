@@ -1,0 +1,71 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tdam {
+namespace {
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1u);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, TracksUnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.5);
+  h.add(1.0);  // hi boundary counts as overflow ([lo, hi) bins)
+  h.add(0.0);  // lo boundary is in-range
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_NEAR(h.bin_width(), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(0), 2.25, 1e-12);
+  EXPECT_NEAR(h.bin_center(3), 3.75, 1e-12);
+}
+
+TEST(Histogram, FractionWithinUsesExactSamples) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {1.0, 2.0, 3.0, 8.0}) h.add(v);
+  EXPECT_NEAR(h.fraction_within(0.5, 3.5), 0.75, 1e-12);
+  EXPECT_NEAR(h.fraction_within(7.0, 9.0), 0.25, 1e-12);
+  EXPECT_EQ(h.fraction_within(4.0, 5.0), 0.0);
+}
+
+TEST(Histogram, AddAllSpan) {
+  Histogram h(0.0, 1.0, 2);
+  const std::vector<double> xs{0.1, 0.2, 0.9};
+  h.add_all(xs);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.7);
+  h.add(0.8);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace tdam {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "tdam_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({1.0, 2.5});
+    csv.row(std::vector<double>{3.0, 4.0});
+  }
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("1,2.5\n"), std::string::npos);
+  EXPECT_NE(content.find("3,4\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, LabeledRow) {
+  const std::string path = ::testing::TempDir() + "tdam_csv_label.csv";
+  {
+    CsvWriter csv(path, {"name", "x"});
+    csv.row("isolet", {0.95});
+  }
+  EXPECT_NE(read_file(path).find("isolet,0.95"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  const std::string path = ::testing::TempDir() + "tdam_csv_bad.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
+  EXPECT_THROW(csv.row("x", {1.0, 2.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsEmptyColumnsAndBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"design", "energy"});
+  t.add_row({"ours", "0.159"});
+  t.add_row("baseline", {2.2});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("design"), std::string::npos);
+  EXPECT_NE(out.find("ours"), std::string::npos);
+  EXPECT_NE(out.find("2.2"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtFormats) {
+  EXPECT_EQ(Table::fmt(0.5), "0.5");
+  EXPECT_EQ(Table::fmt(1234.5678, "%.1f"), "1234.6");
+}
+
+TEST(CliArgs, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--runs=200", "--vdd", "0.9", "--flag"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("runs", 0), 200);
+  EXPECT_NEAR(args.get_double("vdd", 0.0), 0.9, 1e-12);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_TRUE(args.has("runs"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("flag", false));
+}
+
+TEST(CliArgs, BoolParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes"};
+  CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+}  // namespace
+}  // namespace tdam

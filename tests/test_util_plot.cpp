@@ -1,0 +1,78 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace tdam {
+namespace {
+
+Series line_series(const char* name, char marker) {
+  Series s;
+  s.name = name;
+  s.marker = marker;
+  for (int i = 1; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(2.0 * i);
+  }
+  return s;
+}
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  AsciiPlot plot(40, 10);
+  plot.set_title("test plot");
+  plot.set_labels("x", "y");
+  plot.add_series(line_series("alpha", '*'));
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("[y]"), std::string::npos);
+  EXPECT_NE(out.find("[x]"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesKeepDistinctMarkers) {
+  AsciiPlot plot(40, 10);
+  plot.add_series(line_series("a", 'a'));
+  Series b = line_series("b", 'b');
+  for (auto& y : b.y) y *= 3.0;
+  plot.add_series(b);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxesSkipNonPositive) {
+  AsciiPlot plot(30, 8);
+  plot.set_log_y(true);
+  Series s;
+  s.name = "mixed";
+  s.x = {1.0, 2.0, 3.0};
+  s.y = {0.0, 10.0, 100.0};  // zero must be skipped, not crash
+  plot.add_series(s);
+  EXPECT_NO_THROW(plot.render());
+}
+
+TEST(AsciiPlot, EmptyPlotSaysSo) {
+  AsciiPlot plot(30, 8);
+  EXPECT_NE(plot.render().find("no data"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsMismatchedSeries) {
+  AsciiPlot plot(30, 8);
+  Series s;
+  s.x = {1.0, 2.0};
+  s.y = {1.0};
+  EXPECT_THROW(plot.add_series(s), std::invalid_argument);
+}
+
+TEST(AsciiPlot, SinglePointDoesNotDivideByZero) {
+  AsciiPlot plot(30, 8);
+  Series s;
+  s.name = "dot";
+  s.x = {5.0};
+  s.y = {7.0};
+  plot.add_series(s);
+  EXPECT_NO_THROW(plot.render());
+}
+
+}  // namespace
+}  // namespace tdam

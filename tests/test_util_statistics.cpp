@@ -1,0 +1,169 @@
+#include "util/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tdam {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 7.0, 0.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 7.0);
+  EXPECT_NEAR(s.sum(), 8.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian(2.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenSamples) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_NEAR(quantile(xs, 0.25), 2.5, 1e-12);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(FitLine, ExactLineRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.max_abs_residual, 0.0, 1e-10);
+}
+
+TEST(FitLine, NoisyLineHasHighR2) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 1.0 + rng.gaussian(0.0, 1.0));
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(x, y), std::invalid_argument);
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_EQ(correlation(x, c), 0.0);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(InverseNormalCdf, RoundTripsWithCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdf, RejectsOutOfRange) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(-0.5), std::invalid_argument);
+}
+
+TEST(MeanStddev, SpanHelpers) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_NEAR(mean(xs), 4.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tdam

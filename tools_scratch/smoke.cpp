@@ -1,0 +1,36 @@
+// Scratch smoke test: exercise a small chain end-to-end and print the
+// delay-vs-mismatch relation plus energy split.  Not part of the build; used
+// during bring-up via the ad-hoc compile in tools_scratch.
+#include <cstdio>
+#include <vector>
+
+#include "am/chain.h"
+
+using namespace tdam;
+using namespace tdam::am;
+
+int main() {
+  Rng rng(42);
+  ChainConfig cfg;
+  const int n = 8;
+  TdAmChain chain(cfg, n, rng);
+  std::vector<int> stored(n, 1);
+  chain.store(stored);
+
+  std::printf("match-delay est %.3g ps, mismatch est %.3g ps\n",
+              chain.estimate_match_delay() * 1e12,
+              chain.estimate_mismatch_delay() * 1e12);
+
+  for (int mis = 0; mis <= n; ++mis) {
+    std::vector<int> q(stored);
+    for (int i = 0; i < mis; ++i) q[static_cast<std::size_t>(i)] = 2;  // mismatch
+    auto r = chain.search(q);
+    std::printf(
+        "mis=%d  d_rise=%7.2f ps  d_fall=%7.2f ps  d_tot=%8.2f ps  E=%7.3f fJ "
+        "(vdd %.3f, sl %.3f)\n",
+        r.expected_mismatches, r.delay_rising * 1e12, r.delay_falling * 1e12,
+        r.delay_total * 1e12, r.energy * 1e15, r.energy_vdd * 1e15,
+        r.energy_sl * 1e15);
+  }
+  return 0;
+}
