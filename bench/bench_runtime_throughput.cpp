@@ -1,0 +1,93 @@
+// Serving-engine throughput (google-benchmark): QPS as a function of thread
+// count and shard count at 1k-64k stored vectors.
+//
+// Counters report queries/second (items processed == queries served); the
+// headline check is that 8 worker threads on >= 4 shards clears 2x the QPS
+// of the single-threaded reference path on the same workload.
+//
+//   $ ./bench_runtime_throughput                       # full sweep
+//   $ ./bench_runtime_throughput --benchmark_filter='/8/4/16384'
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/words.h"
+#include "runtime/engine.h"
+#include "runtime/sharded_index.h"
+#include "util/rng.h"
+
+using namespace tdam;
+
+namespace {
+
+constexpr int kStages = 64;   // digits per stored vector
+constexpr int kLevels = 4;    // 2-bit digits
+constexpr int kBatch = 32;    // queries per submit_batch
+constexpr int kTopK = 10;
+
+const am::CalibrationResult& calibration() {
+  static const am::CalibrationResult cal = [] {
+    Rng rng(1);
+    return am::calibrate_chain(am::ChainConfig{}, rng);
+  }();
+  return cal;
+}
+
+struct Workload {
+  runtime::ShardedIndex index;
+  std::vector<std::vector<int>> queries;
+};
+
+// Index construction dominates setup at 64k vectors; cache per config so
+// every thread-count variant reuses the same stored set and query stream.
+Workload& workload(int shards, int vectors) {
+  static std::map<std::pair<int, int>, std::unique_ptr<Workload>> cache;
+  auto& slot = cache[{shards, vectors}];
+  if (!slot) {
+    slot = std::make_unique<Workload>(
+        Workload{runtime::ShardedIndex(calibration(), shards, kStages), {}});
+    Rng rng(static_cast<std::uint64_t>(shards * 1000003 + vectors));
+    for (int v = 0; v < vectors; ++v)
+      slot->index.store(am::random_word(rng, kStages, kLevels));
+    for (int q = 0; q < kBatch; ++q)
+      slot->queries.push_back(am::random_word(rng, kStages, kLevels));
+  }
+  return *slot;
+}
+
+void BM_ServeBatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const int vectors = static_cast<int>(state.range(2));
+  auto& w = workload(shards, vectors);
+  runtime::SearchEngine engine(w.index, {.threads = threads});
+  for (auto _ : state) {
+    auto results = engine.submit_batch(w.queries, kTopK);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+  state.counters["QPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate);
+  state.SetLabel("threads=" + std::to_string(threads) +
+                 " shards=" + std::to_string(shards) +
+                 " vectors=" + std::to_string(vectors));
+}
+
+}  // namespace
+
+// name suffix: /threads/shards/vectors
+BENCHMARK(BM_ServeBatch)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 4, 8}, {1024, 16384}})
+    ->Args({1, 8, 65536})
+    ->Args({8, 8, 65536})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Query serving on the TD-AM runtime: the HDC classification workload of
+// hdc_classification.cpp, re-hosted on the sharded multi-threaded engine.
+//
+// Pipeline: train + quantize an HDC model, store its class hypervectors
+// across the shards of a runtime::ShardedIndex (global row id == class
+// label), then serve the encoded test set as fixed-size batches through
+// runtime::SearchEngine and print the serving metrics table — wall-clock
+// throughput/latency on this host next to the calibrated hardware model's
+// per-query latency/energy.
+//
+//   $ ./serving [--dims=1024] [--bits=2] [--shards=4] [--threads=4]
+//               [--batch=32] [--k=3] [--train=800] [--test=300]
+#include <cstdio>
+#include <vector>
+
+#include "am/calibration.h"
+#include "hdc/dataset.h"
+#include "hdc/encoder.h"
+#include "hdc/model.h"
+#include "runtime/engine.h"
+#include "runtime/sharded_index.h"
+#include "util/cli.h"
+
+using namespace tdam;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int dims = args.get_int("dims", 1024);
+  const int bits = args.get_int("bits", 2);
+  const int shards = args.get_int("shards", 4);
+  const int threads = args.get_int("threads", 4);
+  const int batch = args.get_int("batch", 32);
+  const int k = args.get_int("k", 3);
+  const int train_n = args.get_int("train", 800);
+  const int test_n = args.get_int("test", 300);
+
+  // --- train and quantize the classifier (as in hdc_classification) ---
+  Rng rng(7);
+  const auto split = hdc::make_isolet_like(rng, train_n, test_n);
+  hdc::Encoder encoder(split.train.num_features(), dims, rng);
+  const auto enc_train = encoder.encode_dataset(split.train, dims);
+  const auto enc_test = encoder.encode_dataset(split.test, dims);
+  std::vector<int> labels_train, labels_test;
+  for (std::size_t i = 0; i < split.train.size(); ++i)
+    labels_train.push_back(split.train.label(i));
+  for (std::size_t i = 0; i < split.test.size(); ++i)
+    labels_test.push_back(split.test.label(i));
+  hdc::HdcModel model(split.train.num_classes(), dims);
+  model.train(enc_train, labels_train);
+  const hdc::QuantizedModel qmodel(model, bits);
+
+  // --- load the class vectors into the sharded index ---
+  am::ChainConfig config;
+  config.encoding = am::Encoding(bits);
+  config.vdd = 0.6;
+  Rng cal_rng(8);
+  const auto cal = am::calibrate_chain(config, cal_rng);
+  runtime::ShardedIndex index(cal, shards, dims);
+  for (int c = 0; c < qmodel.num_classes(); ++c)
+    index.store(qmodel.class_digits(c));  // global row id == class label
+  std::printf("index: %d class vectors of %d %d-bit digits on %d shards\n",
+              index.size(), dims, bits, shards);
+
+  // --- serve the test stream in batches ---
+  runtime::SearchEngine engine(index, {.threads = threads});
+  int top1 = 0, topk = 0, served = 0;
+  std::vector<std::vector<int>> queries;
+  for (std::size_t i = 0; i < labels_test.size(); ++i) {
+    queries.push_back(qmodel.quantize_query(
+        enc_test.data() + i * static_cast<std::size_t>(dims)));
+    const bool flush =
+        static_cast<int>(queries.size()) == batch || i + 1 == labels_test.size();
+    if (!flush) continue;
+    const auto results = engine.submit_batch(queries, k);
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      const int label = labels_test[static_cast<std::size_t>(served) + q];
+      const auto& entries = results[q].entries;
+      if (!entries.empty() && entries.front().row == label) ++top1;
+      for (const auto& e : entries)
+        if (e.row == label) {
+          ++topk;
+          break;
+        }
+    }
+    served += static_cast<int>(results.size());
+    queries.clear();
+  }
+
+  std::printf("served %d queries with %d threads (batch=%d, k=%d)\n", served,
+              threads, batch, k);
+  std::printf("top-1 accuracy: %.3f   top-%d hit rate: %.3f\n",
+              static_cast<double>(top1) / static_cast<double>(served), k,
+              static_cast<double>(topk) / static_cast<double>(served));
+  std::printf("%s", engine.metrics().summary_table().c_str());
+  return 0;
+}

@@ -57,6 +57,39 @@ BehavioralSearch BehavioralAm::search(std::span<const int> query) const {
   return out;
 }
 
+BehavioralTopK BehavioralAm::search_topk(std::span<const int> query,
+                                         int k) const {
+  if (static_cast<int>(query.size()) != stages_)
+    throw std::invalid_argument("BehavioralAm::search_topk: wrong digit count");
+  if (k < 1)
+    throw std::invalid_argument("BehavioralAm::search_topk: k must be >= 1");
+  BehavioralTopK out;
+  out.entries.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    int mis = 0;
+    for (std::size_t i = 0; i < row.size(); ++i)
+      if (row[i] != query[i]) ++mis;
+    const double delay = cal_.predict_delay(stages_, mis);
+    out.entries.push_back({static_cast<int>(r), tdc_.convert(delay)});
+    out.latency = std::max(out.latency, delay);
+    out.energy += cal_.predict_energy(stages_, mis);
+  }
+  if (!out.entries.empty()) {
+    long sum = 0;
+    for (const auto& e : out.entries) sum += e.distance;
+    out.mean_distance =
+        static_cast<double>(sum) / static_cast<double>(out.entries.size());
+  }
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                          out.entries.size());
+  std::partial_sort(out.entries.begin(),
+                    out.entries.begin() + static_cast<std::ptrdiff_t>(keep),
+                    out.entries.end());
+  out.entries.resize(keep);
+  return out;
+}
+
 AmSystemModel::AmSystemModel(const CalibrationResult& cal, int rows, int stages)
     : cal_(cal), rows_(rows), stages_(stages) {
   if (rows < 1 || stages < 1)

@@ -29,6 +29,31 @@ struct BehavioralSearch {
   double energy = 0.0;         // all chains (J)
 };
 
+// One (row, distance) hit of a top-k search.  Ordering is total and
+// deterministic: lower distance first, then lower row index.
+struct TopKEntry {
+  int row = -1;
+  int distance = 0;
+
+  friend bool operator<(const TopKEntry& a, const TopKEntry& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.row < b.row;
+  }
+  friend bool operator==(const TopKEntry& a, const TopKEntry& b) {
+    return a.row == b.row && a.distance == b.distance;
+  }
+};
+
+// Top-k search outcome: `entries` holds min(k, rows) hits sorted by
+// (distance, row); latency/energy follow the same accounting as
+// BehavioralSearch (all chains fire regardless of k).
+struct BehavioralTopK {
+  std::vector<TopKEntry> entries;
+  double latency = 0.0;        // slowest chain delay (s)
+  double energy = 0.0;         // all chains (J)
+  double mean_distance = 0.0;  // over ALL rows, not just the k kept
+};
+
 class BehavioralAm {
  public:
   // `stages` digits per stored vector; rows grow as vectors are stored.
@@ -42,6 +67,12 @@ class BehavioralAm {
   void clear();
 
   BehavioralSearch search(std::span<const int> query) const;
+
+  // k-NN variant: the min(k, rows) nearest stored rows by digitised
+  // distance, sorted by (distance, row).  The physical array still fires
+  // every chain — only the TDC readout keeps k winners — so latency and
+  // energy match `search` exactly.  k must be >= 1.
+  BehavioralTopK search_topk(std::span<const int> query, int k) const;
 
   // Delay/energy of a single chain at a mismatch count (model evaluation).
   double chain_delay(int mismatches) const;

@@ -1,0 +1,92 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+
+namespace tdam::runtime {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+SearchEngine::SearchEngine(const ShardedIndex& index, EngineOptions options)
+    : index_(index),
+      options_(options),
+      bank_model_(index.shard(0).calibration(), options.array_rows,
+                  options.array_stages) {
+  if (options_.threads < 1)
+    throw std::invalid_argument("SearchEngine: threads must be >= 1");
+  if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+}
+
+TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  TopKResult out;
+  std::vector<am::TopKEntry> merged;
+  merged.reserve(static_cast<std::size_t>(k) *
+                 static_cast<std::size_t>(index_.num_shards()));
+  for (int s = 0; s < index_.num_shards(); ++s) {
+    const auto& shard = index_.shard(s);
+    if (shard.rows() == 0) continue;
+    const auto local = shard.search_topk(query, k);
+    for (const auto& e : local.entries)
+      merged.push_back({index_.global_row(s, e.row), e.distance});
+    // Modeled hardware: each shard is one physical bank answering in
+    // parallel; pass folding inside the bank comes from AmSystemModel.
+    const auto cost = bank_model_.query_cost(
+        index_.stages(), shard.rows(),
+        local.mean_distance / static_cast<double>(index_.stages()));
+    out.modeled_latency = std::max(out.modeled_latency, cost.latency);
+    out.modeled_energy += cost.energy;
+  }
+  // Global merge under the same total order the shards used: lower
+  // distance wins, global row id breaks ties.
+  const auto keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), merged.size());
+  std::partial_sort(merged.begin(),
+                    merged.begin() + static_cast<std::ptrdiff_t>(keep),
+                    merged.end());
+  merged.resize(keep);
+  out.entries = std::move(merged);
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+std::vector<TopKResult> SearchEngine::submit_batch(
+    std::span<const std::vector<int>> queries, int k) {
+  if (k < 1)
+    throw std::invalid_argument("SearchEngine::submit_batch: k must be >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<TopKResult> results(queries.size());
+  if (pool_) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      pending.push_back(pool_->submit([this, &queries, &results, i, k] {
+        results[i] = run_query(queries[i], k);
+      }));
+    }
+    for (auto& f : pending) f.get();  // rethrows any task exception
+  } else {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      results[i] = run_query(queries[i], k);
+  }
+
+  BatchStats stats;
+  stats.queries = static_cast<int>(queries.size());
+  stats.wall_seconds = seconds_since(t0);
+  for (const auto& r : results) {
+    metrics_.record_query_wall(r.wall_seconds);
+    stats.modeled_latency += r.modeled_latency;
+    stats.modeled_energy += r.modeled_energy;
+  }
+  metrics_.record_batch(stats);
+  return results;
+}
+
+}  // namespace tdam::runtime

@@ -1,0 +1,78 @@
+// Batched top-k query serving over a ShardedIndex.
+//
+// Execution model: one task per query; the task broadcasts the query to
+// every shard (am::BehavioralAm::search_topk), translates local rows to
+// global ids, and merges per-shard candidates into a global top-k with the
+// deterministic tie-break (lower distance, then lower global row id).
+// Queries within a batch run concurrently on a fixed ThreadPool; each
+// query's result is written to its own preallocated slot, so the returned
+// batch is bit-identical for any thread count.  `threads = 1` bypasses the
+// pool entirely and is the sequential reference the determinism tests pin
+// against.
+//
+// Cost accounting per query:
+//  * wall   — host time for the query task (recorded into ServingMetrics'
+//    latency histogram; batch wall time drives the QPS counter);
+//  * modeled hardware — am::AmSystemModel::query_cost per shard, using the
+//    measured per-shard mismatch fraction.  Shards are physically parallel
+//    banks: modeled latency is the slowest bank (with pass folding when the
+//    stored vectors are wider than one chain or a shard exceeds the bank's
+//    rows), modeled energy sums over banks.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/sharded_index.h"
+#include "runtime/thread_pool.h"
+
+namespace tdam::runtime {
+
+struct EngineOptions {
+  int threads = 1;
+  // Physical bank geometry behind each shard, for the modeled-hardware cost
+  // (defaults: the paper's 128x128 Fig. 8 array).
+  int array_rows = 128;
+  int array_stages = 128;
+};
+
+// Per-query answer: up to k (global row, distance) hits sorted by
+// (distance, row), plus both cost views.
+struct TopKResult {
+  std::vector<am::TopKEntry> entries;
+  double modeled_latency = 0.0;  // slowest parallel bank (s)
+  double modeled_energy = 0.0;   // all banks (J)
+  double wall_seconds = 0.0;     // host time for this query
+};
+
+class SearchEngine {
+ public:
+  // The engine serves queries against `index`; the index must not be
+  // mutated while a submit_batch call is in flight.
+  SearchEngine(const ShardedIndex& index, EngineOptions options = {});
+
+  int threads() const { return options_.threads; }
+  const ShardedIndex& index() const { return index_; }
+
+  // Answers every query (each of index().stages() digits) with its global
+  // top-k.  k must be >= 1; fewer than k entries come back when the index
+  // holds fewer rows.  Updates the serving metrics as a side effect.
+  std::vector<TopKResult> submit_batch(
+      std::span<const std::vector<int>> queries, int k);
+
+  const ServingMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_.reset(); }
+
+ private:
+  TopKResult run_query(std::span<const int> query, int k) const;
+
+  const ShardedIndex& index_;
+  EngineOptions options_;
+  am::AmSystemModel bank_model_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+  ServingMetrics metrics_;
+};
+
+}  // namespace tdam::runtime

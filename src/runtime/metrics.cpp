@@ -1,0 +1,62 @@
+#include "runtime/metrics.h"
+
+#include "util/table.h"
+
+namespace tdam::runtime {
+
+ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins)
+    : wall_(0.0, latency_hi, bins) {}
+
+void ServingMetrics::record_query_wall(double seconds) { wall_.add(seconds); }
+
+void ServingMetrics::record_batch(const BatchStats& batch) {
+  ++batches_;
+  queries_ += static_cast<std::size_t>(batch.queries);
+  wall_seconds_ += batch.wall_seconds;
+  modeled_latency_ += batch.modeled_latency;
+  modeled_energy_ += batch.modeled_energy;
+}
+
+void ServingMetrics::reset() {
+  wall_ = Histogram(wall_.lo(), wall_.hi(), wall_.bins());
+  queries_ = 0;
+  batches_ = 0;
+  wall_seconds_ = 0.0;
+  modeled_latency_ = 0.0;
+  modeled_energy_ = 0.0;
+}
+
+double ServingMetrics::qps() const {
+  if (wall_seconds_ <= 0.0) return 0.0;
+  return static_cast<double>(queries_) / wall_seconds_;
+}
+
+double ServingMetrics::modeled_latency_per_query() const {
+  if (queries_ == 0) return 0.0;
+  return modeled_latency_ / static_cast<double>(queries_);
+}
+
+double ServingMetrics::modeled_energy_per_query() const {
+  if (queries_ == 0) return 0.0;
+  return modeled_energy_ / static_cast<double>(queries_);
+}
+
+std::string ServingMetrics::summary_table() const {
+  Table t({"metric", "value"});
+  t.add_row({"queries", std::to_string(queries_)});
+  t.add_row({"batches", std::to_string(batches_)});
+  t.add_row({"wall time (s)", Table::fmt(wall_seconds_)});
+  t.add_row({"throughput (QPS)", Table::fmt(qps())});
+  t.add_row({"wall p50 (us)", Table::fmt(wall_quantile(0.50) * 1e6)});
+  t.add_row({"wall p95 (us)", Table::fmt(wall_quantile(0.95) * 1e6)});
+  t.add_row({"wall p99 (us)", Table::fmt(wall_quantile(0.99) * 1e6)});
+  t.add_row({"modeled HW latency/query (ns)",
+             Table::fmt(modeled_latency_per_query() * 1e9)});
+  t.add_row({"modeled HW energy/query (pJ)",
+             Table::fmt(modeled_energy_per_query() * 1e12)});
+  t.add_row({"modeled HW energy total (nJ)",
+             Table::fmt(modeled_energy_total() * 1e9)});
+  return t.render();
+}
+
+}  // namespace tdam::runtime

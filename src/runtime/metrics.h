@@ -1,0 +1,65 @@
+// Serving metrics with a deliberate split between two clocks:
+//
+//  * wall-clock — what this software engine actually achieves on the host
+//    (throughput, per-query latency quantiles from util::Histogram); and
+//  * modeled hardware — what the calibrated TD-AM circuit model says the
+//    physical banks would cost for the same workload (latency from the
+//    slowest parallel bank, energy summed over banks, AmSystemModel pass
+//    folding already applied by the engine).
+//
+// Keeping both visible side by side is the point: the software numbers
+// validate the serving architecture, the hardware numbers carry the paper's
+// efficiency claim.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace tdam::runtime {
+
+// One batch worth of aggregated counters, as produced by the engine.
+struct BatchStats {
+  int queries = 0;
+  double wall_seconds = 0.0;      // submit-to-last-result batch wall time
+  double modeled_latency = 0.0;   // summed per-query modeled HW latency (s)
+  double modeled_energy = 0.0;    // summed per-query modeled HW energy (J)
+};
+
+class ServingMetrics {
+ public:
+  // Per-query wall latencies are binned over [0, latency_hi) seconds;
+  // slower queries land in the histogram overflow and quantiles clamp.
+  explicit ServingMetrics(double latency_hi = 0.25, std::size_t bins = 4096);
+
+  void record_query_wall(double seconds);
+  void record_batch(const BatchStats& batch);
+  void reset();
+
+  std::size_t queries() const { return queries_; }
+  std::size_t batches() const { return batches_; }
+  double wall_seconds() const { return wall_seconds_; }
+  // Cumulative throughput over all recorded batches.
+  double qps() const;
+  // p in [0, 1]; per-query wall-latency quantile in seconds.
+  double wall_quantile(double p) const { return wall_.quantile(p); }
+
+  double modeled_latency_total() const { return modeled_latency_; }
+  double modeled_energy_total() const { return modeled_energy_; }
+  double modeled_latency_per_query() const;
+  double modeled_energy_per_query() const;
+
+  // Two-column summary (util::Table) of everything above.
+  std::string summary_table() const;
+
+ private:
+  Histogram wall_;
+  std::size_t queries_ = 0;
+  std::size_t batches_ = 0;
+  double wall_seconds_ = 0.0;
+  double modeled_latency_ = 0.0;
+  double modeled_energy_ = 0.0;
+};
+
+}  // namespace tdam::runtime

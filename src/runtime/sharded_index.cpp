@@ -1,0 +1,60 @@
+#include "runtime/sharded_index.h"
+
+#include <stdexcept>
+
+namespace tdam::runtime {
+
+ShardedIndex::ShardedIndex(const am::CalibrationResult& cal, int shards,
+                           int stages, Placement placement)
+    : stages_(stages), placement_(placement) {
+  if (shards < 1)
+    throw std::invalid_argument("ShardedIndex: shards must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) shards_.emplace_back(cal, stages);
+  global_ids_.resize(static_cast<std::size_t>(shards));
+}
+
+int ShardedIndex::pick_shard() const {
+  if (placement_ == Placement::kRoundRobin)
+    return static_cast<int>(rows_.size()) % num_shards();
+  int best = 0;
+  for (int s = 1; s < num_shards(); ++s)
+    if (shards_[static_cast<std::size_t>(s)].rows() <
+        shards_[static_cast<std::size_t>(best)].rows())
+      best = s;
+  return best;
+}
+
+int ShardedIndex::store(std::span<const int> digits) {
+  const int s = pick_shard();
+  const int global = static_cast<int>(rows_.size());
+  shards_[static_cast<std::size_t>(s)].store(digits);  // validates width
+  global_ids_[static_cast<std::size_t>(s)].push_back(global);
+  rows_.emplace_back(digits.begin(), digits.end());
+  return global;
+}
+
+void ShardedIndex::clear() {
+  for (auto& s : shards_) s.clear();
+  for (auto& ids : global_ids_) ids.clear();
+  rows_.clear();
+}
+
+const am::BehavioralAm& ShardedIndex::shard(int s) const {
+  if (s < 0 || s >= num_shards())
+    throw std::out_of_range("ShardedIndex::shard: bad shard index");
+  return shards_[static_cast<std::size_t>(s)];
+}
+
+int ShardedIndex::shard_size(int s) const { return shard(s).rows(); }
+
+int ShardedIndex::global_row(int s, int local) const {
+  if (s < 0 || s >= num_shards())
+    throw std::out_of_range("ShardedIndex::global_row: bad shard index");
+  const auto& ids = global_ids_[static_cast<std::size_t>(s)];
+  if (local < 0 || local >= static_cast<int>(ids.size()))
+    throw std::out_of_range("ShardedIndex::global_row: bad local row");
+  return ids[static_cast<std::size_t>(local)];
+}
+
+}  // namespace tdam::runtime

@@ -1,0 +1,62 @@
+// A stored-vector set partitioned across N behavioural TD-AM arrays.
+//
+// Each shard models one physically independent chain bank, so a query can be
+// broadcast to all shards at once (in hardware: in parallel; in software: on
+// the engine's thread pool) and the per-shard winners merged.  The index owns
+// the global-row-id <-> (shard, local row) mapping; ids are assigned in store
+// order starting at 0 and are what SearchEngine reports back to callers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "am/behavioral.h"
+
+namespace tdam::runtime {
+
+// Where the next stored vector lands.
+//  * kRoundRobin     — shard = global_id % num_shards (deterministic strides).
+//  * kLeastLoaded    — the shard with the fewest rows, lowest index on ties
+//    (capacity-aware: keeps banks balanced under interleaved clears/stores).
+enum class Placement { kRoundRobin, kLeastLoaded };
+
+class ShardedIndex {
+ public:
+  ShardedIndex(const am::CalibrationResult& cal, int shards, int stages,
+               Placement placement = Placement::kRoundRobin);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int stages() const { return stages_; }
+  int size() const { return static_cast<int>(rows_.size()); }  // global rows
+  Placement placement() const { return placement_; }
+  const am::CalibrationResult& calibration() const {
+    return shards_.front().calibration();
+  }
+
+  // Stores one digit vector; returns its global row id.
+  int store(std::span<const int> digits);
+
+  // Drops every stored vector from every shard.
+  void clear();
+
+  const am::BehavioralAm& shard(int s) const;
+  // Rows held by shard `s`.
+  int shard_size(int s) const;
+  // Global id of local row `local` in shard `s`.
+  int global_row(int s, int local) const;
+
+  // Copy of every stored vector, indexed by global row id — the brute-force
+  // reference path for determinism tests and for re-sharding.
+  std::vector<std::vector<int>> snapshot() const { return rows_; }
+
+ private:
+  int pick_shard() const;
+
+  int stages_;
+  Placement placement_;
+  std::vector<am::BehavioralAm> shards_;
+  std::vector<std::vector<int>> global_ids_;  // per shard: local row -> global
+  std::vector<std::vector<int>> rows_;        // global id -> digits
+};
+
+}  // namespace tdam::runtime

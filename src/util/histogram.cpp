@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -40,6 +41,24 @@ double Histogram::bin_width() const {
 
 double Histogram::bin_center(std::size_t bin) const {
   return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+double Histogram::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument("Histogram::quantile: p must be in [0, 1]");
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double rank = p * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (underflow_ > 0 && rank <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c > 0.0 && rank <= cum + c) {
+      const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
+      return lo_ + (static_cast<double>(i) + frac) * bin_width();
+    }
+    cum += c;
+  }
+  return hi_;  // remaining mass is overflow: clamp to the binned range
 }
 
 double Histogram::fraction_within(double a, double b) const {

@@ -32,6 +32,14 @@ class Histogram {
   // Fraction of all samples (including under/overflow) inside [a, b].
   double fraction_within(double a, double b) const;
 
+  // p-quantile (p in [0, 1], else throws) estimated from the bin counts
+  // alone — no sample sort.  Mass is assumed uniform within each bin and
+  // the result interpolates linearly inside the bin that holds rank
+  // p * total().  Under/overflow mass cannot be resolved beyond the binned
+  // range, so ranks landing there clamp to lo() / hi() respectively.
+  // Returns NaN when the histogram is empty.
+  double quantile(double p) const;
+
   // Multi-line ASCII rendering, one row per bin, bar scaled to `width`.
   std::string render(std::size_t width = 50) const;
 

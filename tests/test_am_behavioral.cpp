@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "am/words.h"
 
 namespace tdam::am {
@@ -57,6 +59,68 @@ TEST(BehavioralAm, AgreesWithTransientEngine) {
     EXPECT_NEAR(fast_delay, circuit.delay_total, 0.05 * circuit.delay_total);
     EXPECT_NEAR(fast_energy, circuit.energy, 0.15 * circuit.energy);
   }
+}
+
+TEST(BehavioralAm, TopKMatchesFullSort) {
+  BehavioralAm am(calibration(), 12);
+  Rng rng(40);
+  std::vector<std::vector<int>> stored;
+  for (int r = 0; r < 20; ++r) {
+    stored.push_back(random_word(rng, 12, 4));
+    am.store(stored.back());
+  }
+  const auto q = random_word(rng, 12, 4);
+  std::vector<TopKEntry> ref;
+  for (std::size_t r = 0; r < stored.size(); ++r)
+    ref.push_back({static_cast<int>(r), hamming(stored[r], q)});
+  std::sort(ref.begin(), ref.end());
+  for (int k : {1, 5, 20}) {
+    const auto res = am.search_topk(q, k);
+    ASSERT_EQ(res.entries.size(), static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+      EXPECT_EQ(res.entries[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(BehavioralAm, TopKTieBreaksOnLowerRow) {
+  BehavioralAm am(calibration(), 8);
+  const std::vector<int> word(8, 1);
+  for (int i = 0; i < 4; ++i) am.store(word);  // four identical rows
+  const auto res = am.search_topk(word, 3);
+  ASSERT_EQ(res.entries.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(res.entries[static_cast<std::size_t>(i)].row, i);
+    EXPECT_EQ(res.entries[static_cast<std::size_t>(i)].distance, 0);
+  }
+}
+
+TEST(BehavioralAm, TopKCostsMatchFullSearch) {
+  // k only trims the readout; every chain still fires, so the physical
+  // latency/energy must equal the full search's.
+  BehavioralAm am(calibration(), 10);
+  Rng rng(41);
+  for (int r = 0; r < 6; ++r) am.store(random_word(rng, 10, 4));
+  const auto q = random_word(rng, 10, 4);
+  const auto full = am.search(q);
+  const auto topk = am.search_topk(q, 2);
+  EXPECT_DOUBLE_EQ(topk.latency, full.latency);
+  EXPECT_DOUBLE_EQ(topk.energy, full.energy);
+  double sum = 0.0;
+  for (int d : full.distances) sum += d;
+  EXPECT_DOUBLE_EQ(topk.mean_distance,
+                   sum / static_cast<double>(full.distances.size()));
+}
+
+TEST(BehavioralAm, TopKOversizedKAndValidation) {
+  BehavioralAm am(calibration(), 4);
+  const std::vector<int> q(4, 0);
+  EXPECT_TRUE(am.search_topk(q, 3).entries.empty());  // empty store
+  am.store(q);
+  EXPECT_EQ(am.search_topk(q, 99).entries.size(), 1u);  // k > rows: all rows
+  EXPECT_THROW(am.search_topk(q, 0), std::invalid_argument);
+  const std::vector<int> wrong(5, 0);
+  EXPECT_THROW(am.search_topk(wrong, 1), std::invalid_argument);
 }
 
 TEST(BehavioralAm, EmptyAndClear) {

@@ -1,0 +1,195 @@
+#include "runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/words.h"
+#include "runtime/sharded_index.h"
+
+namespace tdam::runtime {
+namespace {
+
+am::CalibrationResult calibration() {
+  static const am::CalibrationResult cal = [] {
+    Rng rng(91);
+    return am::calibrate_chain(am::ChainConfig{}, rng);
+  }();
+  return cal;
+}
+
+constexpr int kLevels = 4;  // 2-bit digits, matching ChainConfig defaults
+
+// Brute-force reference: all (distance, row) pairs against a single
+// unsharded store, sorted by the engine's (distance, row) order.
+std::vector<am::TopKEntry> brute_force_topk(
+    const std::vector<std::vector<int>>& stored, std::span<const int> query,
+    int k) {
+  std::vector<am::TopKEntry> all;
+  for (std::size_t r = 0; r < stored.size(); ++r)
+    all.push_back({static_cast<int>(r), am::hamming(stored[r], query)});
+  std::sort(all.begin(), all.end());
+  all.resize(std::min<std::size_t>(static_cast<std::size_t>(k), all.size()));
+  return all;
+}
+
+struct Workload {
+  ShardedIndex index;
+  std::vector<std::vector<int>> stored;
+  std::vector<std::vector<int>> queries;
+};
+
+Workload make_workload(int shards, int stages, int rows, int num_queries,
+                       std::uint64_t seed,
+                       Placement placement = Placement::kRoundRobin) {
+  Workload w{ShardedIndex(calibration(), shards, stages, placement), {}, {}};
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    w.stored.push_back(am::random_word(rng, stages, kLevels));
+    w.index.store(w.stored.back());
+  }
+  for (int q = 0; q < num_queries; ++q)
+    w.queries.push_back(am::random_word(rng, stages, kLevels));
+  return w;
+}
+
+TEST(ShardedIndex, RoundRobinPlacementAndGlobalIds) {
+  ShardedIndex index(calibration(), 3, 4);
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(index.store(am::random_word(rng, 4, kLevels)), i);
+  EXPECT_EQ(index.size(), 8);
+  EXPECT_EQ(index.shard_size(0), 3);
+  EXPECT_EQ(index.shard_size(1), 3);
+  EXPECT_EQ(index.shard_size(2), 2);
+  EXPECT_EQ(index.global_row(0, 1), 3);  // ids 0,3,6 land on shard 0
+  EXPECT_EQ(index.global_row(2, 1), 5);
+  index.clear();
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_EQ(index.shard_size(1), 0);
+}
+
+TEST(ShardedIndex, LeastLoadedStaysBalanced) {
+  ShardedIndex index(calibration(), 4, 4, Placement::kLeastLoaded);
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) index.store(am::random_word(rng, 4, kLevels));
+  int lo = index.shard_size(0), hi = index.shard_size(0);
+  for (int s = 1; s < 4; ++s) {
+    lo = std::min(lo, index.shard_size(s));
+    hi = std::max(hi, index.shard_size(s));
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(ShardedIndex, SnapshotRoundTrips) {
+  auto w = make_workload(3, 8, 11, 0, 17);
+  EXPECT_EQ(w.index.snapshot(), w.stored);
+}
+
+TEST(SearchEngine, MatchesBruteForceReference) {
+  for (int shards : {1, 4, 7}) {
+    auto w = make_workload(shards, 16, 60, 20, 100 + static_cast<std::uint64_t>(shards));
+    SearchEngine engine(w.index, {.threads = 1});
+    const auto results = engine.submit_batch(w.queries, 5);
+    ASSERT_EQ(results.size(), w.queries.size());
+    for (std::size_t q = 0; q < w.queries.size(); ++q) {
+      const auto ref = brute_force_topk(w.stored, w.queries[q], 5);
+      EXPECT_EQ(results[q].entries, ref) << "shards=" << shards << " q=" << q;
+    }
+  }
+}
+
+TEST(SearchEngine, ThreadCountDoesNotChangeResults) {
+  auto w = make_workload(4, 16, 80, 32, 200);
+  SearchEngine seq(w.index, {.threads = 1});
+  SearchEngine par(w.index, {.threads = 8});
+  const auto a = seq.submit_batch(w.queries, 3);
+  const auto b = par.submit_batch(w.queries, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a[q].entries, b[q].entries);
+    EXPECT_DOUBLE_EQ(a[q].modeled_latency, b[q].modeled_latency);
+    EXPECT_DOUBLE_EQ(a[q].modeled_energy, b[q].modeled_energy);
+  }
+}
+
+TEST(SearchEngine, DeterministicTieBreakAcrossShards) {
+  // Duplicated rows spread round-robin over shards: every duplicate has the
+  // same distance, so the merge must order them by global row id.
+  ShardedIndex index(calibration(), 4, 8);
+  Rng rng(300);
+  const auto word = am::random_word(rng, 8, kLevels);
+  for (int i = 0; i < 8; ++i) index.store(word);
+  SearchEngine engine(index, {.threads = 1});
+  const auto res =
+      engine.submit_batch(std::vector<std::vector<int>>{word}, 5);
+  ASSERT_EQ(res[0].entries.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(res[0].entries[static_cast<std::size_t>(i)].row, i);
+    EXPECT_EQ(res[0].entries[static_cast<std::size_t>(i)].distance, 0);
+  }
+}
+
+TEST(SearchEngine, EmptyIndexAndOversizedK) {
+  ShardedIndex index(calibration(), 3, 8);
+  SearchEngine engine(index, {.threads = 2});
+  Rng rng(44);
+  const auto q = am::random_word(rng, 8, kLevels);
+  auto res = engine.submit_batch(std::vector<std::vector<int>>{q}, 4);
+  EXPECT_TRUE(res[0].entries.empty());
+  EXPECT_EQ(res[0].modeled_energy, 0.0);
+
+  auto w = make_workload(3, 8, 5, 1, 45);
+  SearchEngine engine2(w.index, {.threads = 2});
+  res = engine2.submit_batch(w.queries, 50);  // k far beyond stored rows
+  EXPECT_EQ(res[0].entries.size(), 5u);
+  EXPECT_EQ(res[0].entries, brute_force_topk(w.stored, w.queries[0], 50));
+}
+
+TEST(SearchEngine, ModeledCostsReflectParallelBanks) {
+  auto w = make_workload(4, 16, 40, 4, 500);
+  SearchEngine engine(w.index, {.threads = 1, .array_rows = 8, .array_stages = 16});
+  const auto res = engine.submit_batch(w.queries, 1);
+  // 10 rows per shard on an 8-row bank: 2 folded passes per bank.
+  am::AmSystemModel bank(calibration(), 8, 16);
+  for (const auto& r : res) {
+    EXPECT_GT(r.modeled_energy, 0.0);
+    EXPECT_GE(r.modeled_latency, 2.0 * bank.pass_cycle_time() - 1e-15);
+    // Parallel banks: total latency well below a serial scan of all rows.
+    EXPECT_LT(r.modeled_latency, 8.0 * bank.pass_cycle_time());
+  }
+}
+
+TEST(SearchEngine, MetricsAccumulate) {
+  auto w = make_workload(2, 8, 20, 10, 600);
+  SearchEngine engine(w.index, {.threads = 4});
+  engine.submit_batch(w.queries, 2);
+  engine.submit_batch(w.queries, 2);
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.queries(), 20u);
+  EXPECT_EQ(m.batches(), 2u);
+  EXPECT_GT(m.wall_seconds(), 0.0);
+  EXPECT_GT(m.qps(), 0.0);
+  EXPECT_GT(m.modeled_energy_total(), 0.0);
+  EXPECT_GE(m.wall_quantile(0.99), m.wall_quantile(0.50));
+  const auto table = m.summary_table();
+  EXPECT_NE(table.find("throughput"), std::string::npos);
+  engine.reset_metrics();
+  EXPECT_EQ(engine.metrics().queries(), 0u);
+}
+
+TEST(SearchEngine, Validation) {
+  ShardedIndex index(calibration(), 2, 8);
+  EXPECT_THROW(SearchEngine(index, {.threads = 0}), std::invalid_argument);
+  SearchEngine engine(index, {.threads = 1});
+  Rng rng(7);
+  const std::vector<std::vector<int>> queries{am::random_word(rng, 8, kLevels)};
+  EXPECT_THROW(engine.submit_batch(queries, 0), std::invalid_argument);
+  EXPECT_THROW(ShardedIndex(calibration(), 0, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::runtime

@@ -1,0 +1,68 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tdam::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 200; ++i)
+    pending.push_back(pool.submit([&ran] { ++ran; }));
+  for (auto& f : pending) f.get();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(pool.completed(), 200u);
+}
+
+TEST(ThreadPool, ReturnsTaskValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> pending;
+  for (int i = 0; i < 32; ++i)
+    pending.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(pending[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);  // one failing task does not poison the pool
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++ran;
+      });
+    }
+    // Destructor runs here with most of the queue still pending; it must
+    // finish everything rather than drop tasks.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, Validation) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threads(), 3);
+}
+
+}  // namespace
+}  // namespace tdam::runtime

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace tdam {
@@ -59,6 +61,49 @@ TEST(Histogram, RenderContainsCounts) {
   const std::string out = h.render(20);
   EXPECT_NE(out.find('#'), std::string::npos);
   EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one sample per bin
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-12);   // 5 of 10 samples below 5.0
+  EXPECT_NEAR(h.quantile(0.25), 2.5, 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-12);
+  // Half way through a single bin's mass interpolates linearly.
+  Histogram one(0.0, 1.0, 1);
+  one.add(0.2);
+  one.add(0.8);
+  EXPECT_NEAR(one.quantile(0.5), 0.5, 1e-12);
+}
+
+TEST(Histogram, QuantileSkipsEmptyBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(7.5);  // all mass in bin 7
+  EXPECT_NEAR(h.quantile(0.0), 7.0, 1e-12);   // bin lower edge
+  EXPECT_NEAR(h.quantile(0.5), 7.5, 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 8.0, 1e-12);   // bin upper edge
+}
+
+TEST(Histogram, QuantileClampsUnderOverflowMass) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);  // underflow
+  h.add(0.5);
+  h.add(9.0);   // overflow
+  h.add(9.5);   // overflow
+  EXPECT_EQ(h.quantile(0.1), 0.0);   // rank in underflow mass -> lo()
+  EXPECT_EQ(h.quantile(0.95), 1.0);  // rank in overflow mass -> hi()
+  // The in-range sample still resolves to its bin.
+  EXPECT_NEAR(h.quantile(0.4), 0.65, 1e-12);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+  EXPECT_THROW(empty.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(empty.quantile(1.1), std::invalid_argument);
+  EXPECT_THROW(empty.quantile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(Histogram, RejectsBadConstruction) {
