@@ -1,14 +1,21 @@
 // Serving-engine throughput (google-benchmark): QPS as a function of thread
-// count and shard count at 1k-64k stored vectors.
+// count and shard count at 1k-64k stored vectors, over any registered
+// similarity backend.
 //
 // Counters report queries/second (items processed == queries served); the
 // headline check is that 8 worker threads on >= 4 shards clears 2x the QPS
-// of the single-threaded reference path on the same workload.
+// of the single-threaded reference path on the same workload.  The
+// --backend flag swaps the engine under the identical sharded serving path
+// (same placement, same merge, same workload), so TD-AM vs digital vs CAM
+// vs exact-software serving compare like for like.
 //
-//   $ ./bench_runtime_throughput                       # full sweep
-//   $ ./bench_runtime_throughput --benchmark_filter='/8/4/16384'
+//   $ ./bench_runtime_throughput                       # full sweep (behavioral)
+//   $ ./bench_runtime_throughput --backend=digital
+//   $ ./bench_runtime_throughput --backend=exact --benchmark_filter='/8/4/16384'
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +24,7 @@
 
 #include "am/calibration.h"
 #include "am/words.h"
+#include "runtime/backends.h"
 #include "runtime/engine.h"
 #include "runtime/sharded_index.h"
 #include "util/rng.h"
@@ -30,12 +38,20 @@ constexpr int kLevels = 4;    // 2-bit digits
 constexpr int kBatch = 32;    // queries per submit_batch
 constexpr int kTopK = 10;
 
+std::string g_backend = "behavioral";  // set by --backend= before Initialize
+
 const am::CalibrationResult& calibration() {
   static const am::CalibrationResult cal = [] {
     Rng rng(1);
     return am::calibrate_chain(am::ChainConfig{}, rng);
   }();
   return cal;
+}
+
+const core::BackendRegistry& registry() {
+  static const core::BackendRegistry reg =
+      runtime::default_registry(calibration(), {.stages = kStages});
+  return reg;
 }
 
 struct Workload {
@@ -50,7 +66,7 @@ Workload& workload(int shards, int vectors) {
   auto& slot = cache[{shards, vectors}];
   if (!slot) {
     slot = std::make_unique<Workload>(
-        Workload{runtime::ShardedIndex(calibration(), shards, kStages), {}});
+        Workload{runtime::ShardedIndex(registry(), g_backend, shards), {}});
     Rng rng(static_cast<std::uint64_t>(shards * 1000003 + vectors));
     for (int v = 0; v < vectors; ++v)
       slot->index.store(am::random_word(rng, kStages, kLevels));
@@ -75,7 +91,8 @@ void BM_ServeBatch(benchmark::State& state) {
   state.counters["QPS"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * kBatch,
       benchmark::Counter::kIsRate);
-  state.SetLabel("threads=" + std::to_string(threads) +
+  state.SetLabel("backend=" + g_backend +
+                 " threads=" + std::to_string(threads) +
                  " shards=" + std::to_string(shards) +
                  " vectors=" + std::to_string(vectors));
 }
@@ -90,4 +107,27 @@ BENCHMARK(BM_ServeBatch)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+// Custom main: peel our --backend flag off argv before google-benchmark
+// sees (and rejects) it.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      g_backend = argv[i] + 10;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!registry().contains(g_backend)) {
+    std::fprintf(stderr, "unknown --backend=%s (registered:", g_backend.c_str());
+    for (const auto& n : registry().names()) std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

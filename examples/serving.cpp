@@ -1,15 +1,19 @@
-// Query serving on the TD-AM runtime: the HDC classification workload of
-// hdc_classification.cpp, re-hosted on the sharded multi-threaded engine.
+// Query serving on the backend-agnostic runtime: the HDC classification
+// workload of hdc_classification.cpp, re-hosted on the sharded
+// multi-threaded engine over any registered similarity backend.
 //
 // Pipeline: train + quantize an HDC model, store its class hypervectors
 // across the shards of a runtime::ShardedIndex (global row id == class
-// label), then serve the encoded test set as fixed-size batches through
-// runtime::SearchEngine and print the serving metrics table — wall-clock
-// throughput/latency on this host next to the calibrated hardware model's
-// per-query latency/energy.
+// label) built from the --backend registry entry, then serve the encoded
+// test set as fixed-size batches through runtime::SearchEngine and print the
+// serving metrics table — wall-clock throughput/latency on this host next to
+// the chosen backend's modeled hardware cost per query.  Accuracy is
+// backend-independent (all registered backends compute the identical
+// digit-mismatch distance); only the modeled hardware numbers move.
 //
-//   $ ./serving [--dims=1024] [--bits=2] [--shards=4] [--threads=4]
-//               [--batch=32] [--k=3] [--train=800] [--test=300]
+//   $ ./serving [--backend=behavioral|digital|cam|exact] [--dims=1024]
+//               [--bits=2] [--shards=4] [--threads=4] [--batch=32] [--k=3]
+//               [--train=800] [--test=300]
 #include <cstdio>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "hdc/dataset.h"
 #include "hdc/encoder.h"
 #include "hdc/model.h"
+#include "runtime/backends.h"
 #include "runtime/engine.h"
 #include "runtime/sharded_index.h"
 #include "util/cli.h"
@@ -25,6 +30,7 @@ using namespace tdam;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  const std::string backend = args.get("backend", "behavioral");
   const int dims = args.get_int("dims", 1024);
   const int bits = args.get_int("bits", 2);
   const int shards = args.get_int("shards", 4);
@@ -55,11 +61,16 @@ int main(int argc, char** argv) {
   config.vdd = 0.6;
   Rng cal_rng(8);
   const auto cal = am::calibrate_chain(config, cal_rng);
-  runtime::ShardedIndex index(cal, shards, dims);
+  const auto registry =
+      runtime::default_registry(cal, {.stages = dims});
+  runtime::ShardedIndex index(registry, backend, shards);
   for (int c = 0; c < qmodel.num_classes(); ++c)
     index.store(qmodel.class_digits(c));  // global row id == class label
-  std::printf("index: %d class vectors of %d %d-bit digits on %d shards\n",
-              index.size(), dims, bits, shards);
+  std::printf(
+      "index: %d class vectors of %d %d-bit digits on %d '%s' shards "
+      "(%.1f KiB resident)\n",
+      index.size(), dims, bits, shards, index.backend_name().c_str(),
+      static_cast<double>(index.resident_bytes()) / 1024.0);
 
   // --- serve the test stream in batches ---
   runtime::SearchEngine engine(index, {.threads = threads});
@@ -86,8 +97,8 @@ int main(int argc, char** argv) {
     queries.clear();
   }
 
-  std::printf("served %d queries with %d threads (batch=%d, k=%d)\n", served,
-              threads, batch, k);
+  std::printf("served %d queries on '%s' with %d threads (batch=%d, k=%d)\n",
+              served, backend.c_str(), threads, batch, k);
   std::printf("top-1 accuracy: %.3f   top-%d hit rate: %.3f\n",
               static_cast<double>(top1) / static_cast<double>(served), k,
               static_cast<double>(topk) / static_cast<double>(served));

@@ -10,21 +10,35 @@ namespace {
 TimeDigitalConverter tdc_for(const CalibrationResult& cal, int stages) {
   return TimeDigitalConverter(cal.predict_delay(stages, 0), cal.d_c, stages);
 }
+
+int levels_for(const CalibrationResult& cal) {
+  if (cal.bits < 1 || cal.bits > 8)
+    throw std::invalid_argument(
+        "BehavioralAm: calibration carries no valid digit precision");
+  return 1 << cal.bits;
+}
 }  // namespace
 
-BehavioralAm::BehavioralAm(const CalibrationResult& cal, int stages)
-    : cal_(cal), stages_(stages), tdc_(tdc_for(cal, stages)) {
+BehavioralAm::BehavioralAm(const CalibrationResult& cal, int stages,
+                           int bank_rows, int bank_stages)
+    : cal_(cal),
+      stages_(stages),
+      bank_rows_(bank_rows),
+      bank_stages_(bank_stages),
+      matrix_(stages, levels_for(cal)),
+      tdc_(tdc_for(cal, stages)) {
   if (stages < 1) throw std::invalid_argument("BehavioralAm: stages must be >= 1");
+  if (bank_rows < 1 || bank_stages < 1)
+    throw std::invalid_argument("BehavioralAm: bank geometry must be >= 1");
 }
 
 int BehavioralAm::store(std::span<const int> digits) {
-  if (static_cast<int>(digits.size()) != stages_)
-    throw std::invalid_argument("BehavioralAm::store: wrong digit count");
-  rows_.emplace_back(digits.begin(), digits.end());
-  return static_cast<int>(rows_.size()) - 1;
+  // DigitMatrix rejects wrong lengths and digits outside the calibrated
+  // [0, 2^bits) alphabet.
+  return matrix_.append(digits);
 }
 
-void BehavioralAm::clear() { rows_.clear(); }
+void BehavioralAm::clear() { matrix_.clear(); }
 
 double BehavioralAm::chain_delay(int mismatches) const {
   return cal_.predict_delay(stages_, mismatches);
@@ -35,14 +49,11 @@ double BehavioralAm::chain_energy(int mismatches) const {
 }
 
 BehavioralSearch BehavioralAm::search(std::span<const int> query) const {
-  if (static_cast<int>(query.size()) != stages_)
-    throw std::invalid_argument("BehavioralAm::search: wrong digit count");
+  const auto packed = matrix_.pack(query);  // validates length and range
   BehavioralSearch out;
-  out.distances.reserve(rows_.size());
-  for (const auto& row : rows_) {
-    int mis = 0;
-    for (std::size_t i = 0; i < row.size(); ++i)
-      if (row[i] != query[i]) ++mis;
+  out.distances.reserve(static_cast<std::size_t>(matrix_.rows()));
+  for (int r = 0; r < matrix_.rows(); ++r) {
+    const int mis = matrix_.mismatch_distance(r, packed);
     // The physical chain reports the TDC-digitised delay; at nominal
     // calibration this equals the true mismatch count.
     const double delay = cal_.predict_delay(stages_, mis);
@@ -59,25 +70,22 @@ BehavioralSearch BehavioralAm::search(std::span<const int> query) const {
 
 BehavioralTopK BehavioralAm::search_topk(std::span<const int> query,
                                          int k) const {
-  if (static_cast<int>(query.size()) != stages_)
-    throw std::invalid_argument("BehavioralAm::search_topk: wrong digit count");
   if (k < 1)
     throw std::invalid_argument("BehavioralAm::search_topk: k must be >= 1");
+  const auto packed = matrix_.pack(query);  // validates length and range
   BehavioralTopK out;
-  out.entries.reserve(rows_.size());
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    const auto& row = rows_[r];
-    int mis = 0;
-    for (std::size_t i = 0; i < row.size(); ++i)
-      if (row[i] != query[i]) ++mis;
+  out.entries.reserve(static_cast<std::size_t>(matrix_.rows()));
+  long sum = 0;
+  for (int r = 0; r < matrix_.rows(); ++r) {
+    const int mis = matrix_.mismatch_distance(r, packed);
     const double delay = cal_.predict_delay(stages_, mis);
-    out.entries.push_back({static_cast<int>(r), tdc_.convert(delay)});
+    const int dist = tdc_.convert(delay);
+    out.entries.push_back({r, dist});
+    sum += dist;
     out.latency = std::max(out.latency, delay);
     out.energy += cal_.predict_energy(stages_, mis);
   }
   if (!out.entries.empty()) {
-    long sum = 0;
-    for (const auto& e : out.entries) sum += e.distance;
     out.mean_distance =
         static_cast<double>(sum) / static_cast<double>(out.entries.size());
   }
@@ -87,6 +95,21 @@ BehavioralTopK BehavioralAm::search_topk(std::span<const int> query,
                     out.entries.begin() + static_cast<std::ptrdiff_t>(keep),
                     out.entries.end());
   out.entries.resize(keep);
+  return out;
+}
+
+core::QueryCost BehavioralAm::query_cost(double mismatch_fraction) const {
+  if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)
+    throw std::invalid_argument(
+        "BehavioralAm::query_cost: mismatch fraction must be in [0, 1]");
+  core::QueryCost out;
+  if (matrix_.rows() == 0) return out;
+  const AmSystemModel bank(cal_, bank_rows_, bank_stages_);
+  const auto cost =
+      bank.query_cost(stages_, matrix_.rows(), mismatch_fraction);
+  out.latency = cost.latency;
+  out.energy = cost.energy;
+  out.passes = cost.passes;
   return out;
 }
 

@@ -7,6 +7,13 @@
 // the paper extrapolates its own per-chain SPICE measurements to
 // application-level numbers.
 //
+// BehavioralAm implements core::SimilarityBackend: it is the "behavioral"
+// entry of the backend registry, storing its rows in one packed
+// core::DigitMatrix (16 digits per 32-bit word at the paper's 2-bit
+// precision) and answering distances by XOR+popcount over the packed words.
+// The digit alphabet comes from the calibration point (2^bits levels);
+// store/search reject out-of-range digits rather than computing garbage.
+//
 // AmSystemModel additionally models a fixed-size physical array (rows x
 // stages, e.g. 128 stages at 0.6 V for Fig. 8): vectors longer than one
 // chain are folded across multiple passes, which is what attenuates the
@@ -18,6 +25,8 @@
 
 #include "am/calibration.h"
 #include "am/tdc.h"
+#include "core/backend.h"
+#include "core/digit_matrix.h"
 
 namespace tdam::am {
 
@@ -29,42 +38,35 @@ struct BehavioralSearch {
   double energy = 0.0;         // all chains (J)
 };
 
-// One (row, distance) hit of a top-k search.  Ordering is total and
-// deterministic: lower distance first, then lower row index.
-struct TopKEntry {
-  int row = -1;
-  int distance = 0;
+// The (row, distance) entry and top-k result types are the backend-agnostic
+// ones from core; kept under their historical names for the am-layer API.
+using TopKEntry = core::TopKEntry;
+using BehavioralTopK = core::BackendTopK;
 
-  friend bool operator<(const TopKEntry& a, const TopKEntry& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.row < b.row;
-  }
-  friend bool operator==(const TopKEntry& a, const TopKEntry& b) {
-    return a.row == b.row && a.distance == b.distance;
-  }
-};
-
-// Top-k search outcome: `entries` holds min(k, rows) hits sorted by
-// (distance, row); latency/energy follow the same accounting as
-// BehavioralSearch (all chains fire regardless of k).
-struct BehavioralTopK {
-  std::vector<TopKEntry> entries;
-  double latency = 0.0;        // slowest chain delay (s)
-  double energy = 0.0;         // all chains (J)
-  double mean_distance = 0.0;  // over ALL rows, not just the k kept
-};
-
-class BehavioralAm {
+class BehavioralAm final : public core::SimilarityBackend {
  public:
   // `stages` digits per stored vector; rows grow as vectors are stored.
-  BehavioralAm(const CalibrationResult& cal, int stages);
+  // `bank_rows` x `bank_stages` is the physical array geometry behind the
+  // modeled query_cost() hook (defaults: the paper's Fig. 8 128x128 array).
+  BehavioralAm(const CalibrationResult& cal, int stages, int bank_rows = 128,
+               int bank_stages = 128);
 
-  int stages() const { return stages_; }
-  int rows() const { return static_cast<int>(rows_.size()); }
+  std::string name() const override { return "behavioral"; }
+  core::DigitMetric metric() const override {
+    return core::DigitMetric::kMismatchCount;
+  }
+  int stages() const override { return stages_; }
+  int levels() const override { return matrix_.levels(); }
+  int rows() const override { return matrix_.rows(); }
   const CalibrationResult& calibration() const { return cal_; }
 
-  int store(std::span<const int> digits);  // returns the new row index
-  void clear();
+  // Returns the new row index; validates length and digit range against the
+  // calibrated level count.
+  int store(std::span<const int> digits) override;
+  void clear() override;
+  std::vector<int> row_digits(int row) const override {
+    return matrix_.unpack_row(row);
+  }
 
   BehavioralSearch search(std::span<const int> query) const;
 
@@ -72,7 +74,16 @@ class BehavioralAm {
   // distance, sorted by (distance, row).  The physical array still fires
   // every chain — only the TDC readout keeps k winners — so latency and
   // energy match `search` exactly.  k must be >= 1.
-  BehavioralTopK search_topk(std::span<const int> query, int k) const;
+  BehavioralTopK search_topk(std::span<const int> query,
+                             int k) const override;
+
+  // Modeled cost of one query over the stored rows on the configured
+  // physical bank (AmSystemModel pass folding applied).
+  core::QueryCost query_cost(double mismatch_fraction) const override;
+
+  std::size_t resident_bytes() const override {
+    return matrix_.resident_bytes();
+  }
 
   // Delay/energy of a single chain at a mismatch count (model evaluation).
   double chain_delay(int mismatches) const;
@@ -81,7 +92,9 @@ class BehavioralAm {
  private:
   CalibrationResult cal_;
   int stages_;
-  std::vector<std::vector<int>> rows_;
+  int bank_rows_;
+  int bank_stages_;
+  core::DigitMatrix matrix_;
   TimeDigitalConverter tdc_;
 };
 

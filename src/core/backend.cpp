@@ -1,0 +1,44 @@
+#include "core/backend.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/digit_matrix.h"
+
+namespace tdam::core {
+
+BackendTopK exhaustive_topk(const DigitMatrix& matrix,
+                            std::span<const int> query, int k,
+                            DigitMetric metric) {
+  if (k < 1) throw std::invalid_argument("exhaustive_topk: k must be >= 1");
+  BackendTopK out;
+  const int rows = matrix.rows();
+  out.entries.reserve(static_cast<std::size_t>(rows));
+  long sum = 0;
+  if (metric == DigitMetric::kMismatchCount) {
+    const auto packed = matrix.pack(query);  // validates the query
+    for (int r = 0; r < rows; ++r) {
+      const int d = matrix.mismatch_distance(r, packed);
+      out.entries.push_back({r, d});
+      sum += d;
+    }
+  } else {
+    for (int r = 0; r < rows; ++r) {
+      const int d = matrix.l1_distance(r, query);
+      out.entries.push_back({r, d});
+      sum += d;
+    }
+    if (rows == 0) matrix.pack(query);  // still validate on an empty store
+  }
+  if (rows > 0)
+    out.mean_distance = static_cast<double>(sum) / static_cast<double>(rows);
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                          out.entries.size());
+  std::partial_sort(out.entries.begin(),
+                    out.entries.begin() + static_cast<std::ptrdiff_t>(keep),
+                    out.entries.end());
+  out.entries.resize(keep);
+  return out;
+}
+
+}  // namespace tdam::core

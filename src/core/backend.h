@@ -1,0 +1,111 @@
+// The backend-agnostic similarity-search contract.
+//
+// Every distance engine in this repo — the calibrated TD-AM model, the
+// all-digital popcount comparator, the current-domain crossbar CAM, the
+// pure-software reference — answers the same question: store digit vectors,
+// then return the k nearest stored rows to a query under a digit distance.
+// SimilarityBackend is that question as an interface, so the serving runtime
+// (runtime::ShardedIndex / SearchEngine) can shard and batch over any of
+// them interchangeably, and one bench run can compare TD-AM serving against
+// its Table-I rivals on the identical workload.
+//
+// Two cost views per backend:
+//  * search_topk reports the backend's *native per-search* latency/energy
+//    (e.g. the AM's slowest-chain delay), zero where no native model exists;
+//  * query_cost is the QueryCostModel hook: modeled latency/energy/passes
+//    for one full query over the currently stored rows on the backend's
+//    physical array, given a measured mismatch fraction — what the serving
+//    metrics aggregate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tdam::core {
+
+// One (row, distance) hit.  Ordering is total and deterministic: lower
+// distance first, then lower row index — every backend and the runtime's
+// cross-shard merge use exactly this order, which is what makes results
+// thread-count- and backend-invariant.
+struct TopKEntry {
+  int row = -1;
+  int distance = 0;
+
+  friend bool operator<(const TopKEntry& a, const TopKEntry& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.row < b.row;
+  }
+  friend bool operator==(const TopKEntry& a, const TopKEntry& b) {
+    return a.row == b.row && a.distance == b.distance;
+  }
+};
+
+// Top-k search outcome: min(k, rows) hits sorted by (distance, row).
+// latency/energy are the backend's native per-search model (all rows are
+// evaluated regardless of k); mean_distance averages over ALL rows, which is
+// how the runtime measures the workload's mismatch fraction.
+struct BackendTopK {
+  std::vector<TopKEntry> entries;
+  double latency = 0.0;
+  double energy = 0.0;
+  double mean_distance = 0.0;
+};
+
+// Modeled cost of one query over the stored set on the backend's physical
+// array (folded into `passes` sequential array passes when the set exceeds
+// one array).
+struct QueryCost {
+  double latency = 0.0;  // s
+  double energy = 0.0;   // J
+  int passes = 0;
+};
+
+// The digit distance a backend computes.  Backends sharing a metric are
+// exact drop-in replacements for each other (identical (distance, row)
+// top-k); metrics only differ, never backends within one.
+enum class DigitMetric {
+  kMismatchCount,  // # of differing digits — the AM's native kernel
+  kL1,             // sum |a-b| — what thermometer-coded storage realises
+};
+
+class SimilarityBackend {
+ public:
+  virtual ~SimilarityBackend() = default;
+
+  virtual std::string name() const = 0;
+  virtual DigitMetric metric() const = 0;
+  virtual int stages() const = 0;  // digits per stored vector
+  virtual int levels() const = 0;  // digit alphabet size
+  virtual int rows() const = 0;
+
+  // Stores one vector of stages() digits in [0, levels()); returns the new
+  // row index.  Throws std::invalid_argument on wrong length or
+  // out-of-range digits.
+  virtual int store(std::span<const int> digits) = 0;
+  virtual void clear() = 0;
+
+  // Read-back of a stored row (snapshots re-shard through this, so packed
+  // backends need no duplicate unpacked copy).
+  virtual std::vector<int> row_digits(int row) const = 0;
+
+  // The min(k, rows()) nearest stored rows; k must be >= 1.
+  virtual BackendTopK search_topk(std::span<const int> query,
+                                  int k) const = 0;
+
+  // QueryCostModel hook: modeled hardware cost of one query over the
+  // current rows() at the given average digit-mismatch fraction.
+  virtual QueryCost query_cost(double mismatch_fraction) const = 0;
+
+  // Bytes resident for the stored set (packed payload + bookkeeping).
+  virtual std::size_t resident_bytes() const = 0;
+};
+
+// Shared brute-force scan for exact backends: distances from `matrix` under
+// `metric`, deterministic (distance, row) order, mean over all rows.
+BackendTopK exhaustive_topk(const class DigitMatrix& matrix,
+                            std::span<const int> query, int k,
+                            DigitMetric metric);
+
+}  // namespace tdam::core

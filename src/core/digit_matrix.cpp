@@ -1,0 +1,140 @@
+#include "core/digit_matrix.h"
+
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tdam::core {
+
+namespace {
+
+int field_bits_for(int levels) {
+  if (levels < 2 || levels > 256)
+    throw std::invalid_argument("DigitMatrix: levels must be in [2, 256]");
+  for (int bits : {1, 2, 4, 8})
+    if ((1 << bits) >= levels) return bits;
+  return 8;  // unreachable
+}
+
+std::uint32_t lsb_mask_for(int bits) {
+  std::uint32_t mask = 0;
+  for (int b = 0; b < 32; b += bits) mask |= std::uint32_t{1} << b;
+  return mask;
+}
+
+}  // namespace
+
+DigitMatrix::DigitMatrix(int cols, int levels)
+    : cols_(cols),
+      levels_(levels),
+      bits_(field_bits_for(levels)),
+      words_per_row_((cols + 32 / field_bits_for(levels) - 1) /
+                     (32 / field_bits_for(levels))),
+      lsb_mask_(lsb_mask_for(bits_)) {
+  if (cols < 1) throw std::invalid_argument("DigitMatrix: cols must be >= 1");
+}
+
+void DigitMatrix::check_digits(std::span<const int> digits) const {
+  if (static_cast<int>(digits.size()) != cols_)
+    throw std::invalid_argument(
+        "DigitMatrix: expected " + std::to_string(cols_) + " digits, got " +
+        std::to_string(digits.size()));
+  for (std::size_t i = 0; i < digits.size(); ++i)
+    if (digits[i] < 0 || digits[i] >= levels_)
+      throw std::invalid_argument(
+          "DigitMatrix: digit " + std::to_string(digits[i]) + " at position " +
+          std::to_string(i) + " outside [0, " + std::to_string(levels_) + ")");
+}
+
+std::vector<std::uint32_t> DigitMatrix::pack(
+    std::span<const int> digits) const {
+  check_digits(digits);
+  std::vector<std::uint32_t> packed(static_cast<std::size_t>(words_per_row_),
+                                    0u);
+  const int dpw = digits_per_word();
+  for (int c = 0; c < cols_; ++c) {
+    const auto word = static_cast<std::size_t>(c / dpw);
+    const int shift = (c % dpw) * bits_;
+    packed[word] |= static_cast<std::uint32_t>(digits[static_cast<std::size_t>(c)])
+                    << shift;
+  }
+  return packed;
+}
+
+int DigitMatrix::append(std::span<const int> digits) {
+  auto packed = pack(digits);  // validates
+  words_.insert(words_.end(), packed.begin(), packed.end());
+  return rows_++;
+}
+
+void DigitMatrix::clear() {
+  words_.clear();
+  rows_ = 0;
+}
+
+std::span<const std::uint32_t> DigitMatrix::row_words(int row) const {
+  if (row < 0 || row >= rows_)
+    throw std::out_of_range("DigitMatrix::row_words: bad row");
+  return {words_.data() +
+              static_cast<std::size_t>(row) *
+                  static_cast<std::size_t>(words_per_row_),
+          static_cast<std::size_t>(words_per_row_)};
+}
+
+int DigitMatrix::digit(int row, int col) const {
+  if (col < 0 || col >= cols_)
+    throw std::out_of_range("DigitMatrix::digit: bad column");
+  const auto words = row_words(row);
+  const int dpw = digits_per_word();
+  const std::uint32_t word = words[static_cast<std::size_t>(col / dpw)];
+  const int shift = (col % dpw) * bits_;
+  const std::uint32_t field_mask = (1u << bits_) - 1u;
+  return static_cast<int>((word >> shift) & field_mask);
+}
+
+std::vector<int> DigitMatrix::unpack_row(int row) const {
+  const auto words = row_words(row);
+  std::vector<int> out(static_cast<std::size_t>(cols_));
+  const int dpw = digits_per_word();
+  const std::uint32_t field_mask = (1u << bits_) - 1u;
+  for (int c = 0; c < cols_; ++c) {
+    const std::uint32_t word = words[static_cast<std::size_t>(c / dpw)];
+    out[static_cast<std::size_t>(c)] =
+        static_cast<int>((word >> ((c % dpw) * bits_)) & field_mask);
+  }
+  return out;
+}
+
+int DigitMatrix::mismatch_distance(
+    int row, std::span<const std::uint32_t> packed) const {
+  if (packed.size() != static_cast<std::size_t>(words_per_row_))
+    throw std::invalid_argument("DigitMatrix::mismatch_distance: bad query");
+  const auto words = row_words(row);
+  int mis = 0;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    // OR-fold every field onto its LSB: a field is nonzero iff the digits
+    // differ, so the masked popcount is the mismatch count.
+    std::uint32_t x = words[w] ^ packed[w];
+    for (int s = 1; s < bits_; s <<= 1) x |= x >> s;
+    mis += std::popcount(x & lsb_mask_);
+  }
+  return mis;
+}
+
+int DigitMatrix::l1_distance(int row, std::span<const int> query) const {
+  check_digits(query);
+  const auto words = row_words(row);
+  const int dpw = digits_per_word();
+  const std::uint32_t field_mask = (1u << bits_) - 1u;
+  int dist = 0;
+  for (int c = 0; c < cols_; ++c) {
+    const std::uint32_t word = words[static_cast<std::size_t>(c / dpw)];
+    const int stored =
+        static_cast<int>((word >> ((c % dpw) * bits_)) & field_mask);
+    dist += std::abs(stored - query[static_cast<std::size_t>(c)]);
+  }
+  return dist;
+}
+
+}  // namespace tdam::core

@@ -1,0 +1,79 @@
+// Packed row-major storage for multi-bit digit vectors.
+//
+// Every similarity backend stores the same thing: R rows of N digits drawn
+// from a small alphabet (the AM's 2-bit cells, the digital comparator's
+// operand words, the CAM's multi-bit cells).  DigitMatrix is that storage,
+// once: digits are packed `digits_per_word()` to a 32-bit word (16 digits
+// per word at the paper's 2-bit precision) in contiguous row-major order, so
+// an index of a million 2-bit 1k-digit vectors is 256 MB instead of the 4 GB
+// a vector<vector<int>> would burn — and a whole row mismatch-counts in
+// N/16 XOR+popcount steps instead of N integer compares.
+//
+// The digit width is the smallest power-of-two bit count that holds the
+// alphabet (1/2/4/8 bits for levels in [2,256]), so fields never straddle a
+// word boundary and the mismatch reduction is a branch-free mask trick.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tdam::core {
+
+class DigitMatrix {
+ public:
+  // `cols` digits per row, each in [0, levels).  levels in [2, 256].
+  DigitMatrix(int cols, int levels);
+
+  int cols() const { return cols_; }
+  int levels() const { return levels_; }
+  int rows() const { return rows_; }
+  int bits_per_digit() const { return bits_; }
+  int digits_per_word() const { return 32 / bits_; }
+  int words_per_row() const { return words_per_row_; }
+
+  // Appends one row; returns its index.  Throws std::invalid_argument on a
+  // wrong digit count or any digit outside [0, levels).
+  int append(std::span<const int> digits);
+  void clear();
+
+  int digit(int row, int col) const;
+  std::vector<int> unpack_row(int row) const;
+  std::span<const std::uint32_t> row_words(int row) const;
+
+  // Packs a query for repeated distance evaluation.  Validates like append.
+  std::vector<std::uint32_t> pack(std::span<const int> digits) const;
+
+  // Count of digit positions where the stored row differs from the packed
+  // query (the AM's native digit-match kernel).
+  int mismatch_distance(int row, std::span<const std::uint32_t> packed) const;
+
+  // Manhattan distance over digit values (what thermometer-coded storage
+  // realises in exact-match hardware).
+  int l1_distance(int row, std::span<const int> query) const;
+
+  // Bytes held by the packed store (capacity, i.e. what is actually
+  // resident) plus the fixed object header.
+  std::size_t resident_bytes() const {
+    return words_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+  }
+  // Payload bytes of one packed row — the "packed size" a storage-efficiency
+  // check should compare resident_bytes() against.
+  std::size_t packed_row_bytes() const {
+    return static_cast<std::size_t>(words_per_row_) * sizeof(std::uint32_t);
+  }
+
+ private:
+  void check_digits(std::span<const int> digits) const;
+
+  int cols_;
+  int levels_;
+  int bits_;           // power-of-two field width
+  int words_per_row_;
+  std::uint32_t lsb_mask_;  // bit 0 of every field
+  int rows_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace tdam::core

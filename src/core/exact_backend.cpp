@@ -1,0 +1,19 @@
+#include "core/exact_backend.h"
+
+#include <stdexcept>
+
+namespace tdam::core {
+
+ExactL1Backend::ExactL1Backend(int stages, int levels, DigitMetric metric)
+    : metric_(metric), matrix_(stages, levels) {}
+
+QueryCost ExactL1Backend::query_cost(double mismatch_fraction) const {
+  if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)
+    throw std::invalid_argument(
+        "ExactL1Backend::query_cost: bad mismatch fraction");
+  QueryCost cost;
+  cost.passes = 1;
+  return cost;
+}
+
+}  // namespace tdam::core

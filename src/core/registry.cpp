@@ -1,0 +1,43 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+namespace tdam::core {
+
+void BackendRegistry::add(const std::string& name, Factory factory) {
+  if (name.empty())
+    throw std::invalid_argument("BackendRegistry::add: empty name");
+  if (!factory)
+    throw std::invalid_argument("BackendRegistry::add: null factory");
+  if (!factories_.emplace(name, std::move(factory)).second)
+    throw std::invalid_argument("BackendRegistry::add: duplicate backend '" +
+                                name + "'");
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<SimilarityBackend> BackendRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [k, v] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    throw std::invalid_argument("BackendRegistry: unknown backend '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second();
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, v] : factories_) out.push_back(k);
+  return out;
+}
+
+}  // namespace tdam::core

@@ -1,0 +1,42 @@
+// String-keyed factory for similarity backends.
+//
+// The registry is a pure mechanism: whoever builds it (runtime layers, a
+// bench main, a test) closes the factories over whatever context the
+// concrete backend needs — calibration results, array geometry, cost-model
+// parameters — so this layer-0 header depends on nothing above it.  The
+// serving runtime creates one backend instance per shard through create(),
+// keyed by a `--backend=` style name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace tdam::core {
+
+class BackendRegistry {
+ public:
+  // Each call must yield a fresh, empty backend instance.
+  using Factory = std::function<std::unique_ptr<SimilarityBackend>()>;
+
+  // Throws std::invalid_argument on a duplicate or empty name.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  // Throws std::invalid_argument naming the known backends when `name` is
+  // not registered.
+  std::unique_ptr<SimilarityBackend> create(const std::string& name) const;
+
+  // Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace tdam::core

@@ -1,0 +1,27 @@
+#include "hdc/backend_bridge.h"
+
+#include <stdexcept>
+
+namespace tdam::hdc {
+
+void load_classes(const QuantizedModel& model,
+                  core::SimilarityBackend& backend) {
+  if (backend.rows() != 0)
+    throw std::invalid_argument("load_classes: backend is not empty");
+  if (backend.stages() != model.dims())
+    throw std::invalid_argument("load_classes: backend width != model dims");
+  if (backend.levels() < model.quantizer().levels())
+    throw std::invalid_argument(
+        "load_classes: backend alphabet too small for the model's digits");
+  for (int c = 0; c < model.num_classes(); ++c)
+    backend.store(model.class_digits(c));
+}
+
+int classify(const core::SimilarityBackend& backend,
+             std::span<const int> query_digits) {
+  if (backend.rows() == 0) return -1;
+  const auto top = backend.search_topk(query_digits, 1);
+  return top.entries.empty() ? -1 : top.entries.front().row;
+}
+
+}  // namespace tdam::hdc

@@ -1,0 +1,31 @@
+// Routing HDC digit vectors onto any similarity backend.
+//
+// A quantized HDC classifier is just `num_classes` digit rows plus a
+// nearest-row rule — exactly what core::SimilarityBackend stores and
+// answers.  These helpers load a QuantizedModel's class hypervectors into a
+// backend (row id == class label) and classify queries through it, so the
+// same classifier runs on the TD-AM model, the digital comparator, the CAM
+// crossbar or the software reference without hdc knowing which.
+#pragma once
+
+#include <span>
+
+#include "core/backend.h"
+#include "hdc/model.h"
+
+namespace tdam::hdc {
+
+// Stores every class hypervector into `backend` in label order, so the
+// backend row id IS the class label.  The backend must be empty and match
+// the model's dims/levels; throws std::invalid_argument otherwise.
+void load_classes(const QuantizedModel& model,
+                  core::SimilarityBackend& backend);
+
+// Nearest class label for pre-quantized query digits under the backend's
+// digit metric (ties break toward the lower label, matching
+// QuantizedModel::predict_digits for the digit-match kernel).  Returns -1 on
+// an empty backend.
+int classify(const core::SimilarityBackend& backend,
+             std::span<const int> query_digits);
+
+}  // namespace tdam::hdc

@@ -1,0 +1,39 @@
+#include "runtime/backends.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "am/behavioral.h"
+#include "baselines/backends.h"
+#include "core/exact_backend.h"
+
+namespace tdam::runtime {
+
+core::BackendRegistry default_registry(const am::CalibrationResult& cal,
+                                       const BackendOptions& options) {
+  if (options.stages < 1)
+    throw std::invalid_argument("default_registry: stages must be >= 1");
+  if (options.array_rows < 1 || options.array_stages < 1)
+    throw std::invalid_argument("default_registry: bad array geometry");
+  const int levels = 1 << cal.bits;  // calibrate_chain always sets bits
+  core::BackendRegistry reg;
+  reg.add("behavioral", [cal, options] {
+    return std::make_unique<am::BehavioralAm>(
+        cal, options.stages, options.array_rows, options.array_stages);
+  });
+  reg.add("digital", [options, levels] {
+    return std::make_unique<baselines::DigitalPopcountBackend>(
+        options.stages, levels, options.array_rows);
+  });
+  reg.add("cam", [options, levels] {
+    return std::make_unique<baselines::CrossbarCamBackend>(
+        options.stages, levels, options.array_rows);
+  });
+  reg.add("exact", [options, levels] {
+    return std::make_unique<core::ExactL1Backend>(
+        options.stages, levels, core::DigitMetric::kMismatchCount);
+  });
+  return reg;
+}
+
+}  // namespace tdam::runtime

@@ -1,0 +1,35 @@
+// The built-in backend registry: every similarity engine the repo knows,
+// keyed by the name a `--backend=` flag passes in.
+//
+//   behavioral — calibrated TD-AM model (am::BehavioralAm), AmSystemModel
+//                pass folding behind the cost hook;
+//   digital    — all-digital XNOR+popcount comparator array;
+//   cam        — current-domain multi-bit crossbar CAM + per-row ADC;
+//   exact      — pure-software reference (no hardware cost model).
+//
+// All four compute the identical digit-mismatch distance, so they are
+// interchangeable behind runtime::ShardedIndex: same (distance, global row)
+// top-k, different modeled hardware.  This translation unit is the only
+// place the runtime names concrete backend types — ShardedIndex and
+// SearchEngine see nothing but core::SimilarityBackend.
+#pragma once
+
+#include "am/calibration.h"
+#include "core/registry.h"
+
+namespace tdam::runtime {
+
+// Geometry shared by every backend instance a registry builds.
+struct BackendOptions {
+  int stages = 0;        // digits per stored vector (required, >= 1)
+  int array_rows = 128;  // physical rows per bank (AM bank rows, digital
+                         // comparator lanes, CAM crossbar rows)
+  int array_stages = 128;  // AM chain stages per physical bank
+};
+
+// Registry with the four built-ins, each closed over `cal` (which fixes the
+// digit alphabet to 2^cal.bits levels) and `options`.
+core::BackendRegistry default_registry(const am::CalibrationResult& cal,
+                                       const BackendOptions& options);
+
+}  // namespace tdam::runtime

@@ -15,10 +15,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 SearchEngine::SearchEngine(const ShardedIndex& index, EngineOptions options)
-    : index_(index),
-      options_(options),
-      bank_model_(index.shard(0).calibration(), options.array_rows,
-                  options.array_stages) {
+    : index_(index), options_(options) {
   if (options_.threads < 1)
     throw std::invalid_argument("SearchEngine: threads must be >= 1");
   if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
@@ -27,9 +24,10 @@ SearchEngine::SearchEngine(const ShardedIndex& index, EngineOptions options)
 TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
   const auto t0 = std::chrono::steady_clock::now();
   TopKResult out;
-  std::vector<am::TopKEntry> merged;
+  std::vector<core::TopKEntry> merged;
   merged.reserve(static_cast<std::size_t>(k) *
                  static_cast<std::size_t>(index_.num_shards()));
+  const double stages = static_cast<double>(index_.stages());
   for (int s = 0; s < index_.num_shards(); ++s) {
     const auto& shard = index_.shard(s);
     if (shard.rows() == 0) continue;
@@ -37,12 +35,15 @@ TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
     for (const auto& e : local.entries)
       merged.push_back({index_.global_row(s, e.row), e.distance});
     // Modeled hardware: each shard is one physical bank answering in
-    // parallel; pass folding inside the bank comes from AmSystemModel.
-    const auto cost = bank_model_.query_cost(
-        index_.stages(), shard.rows(),
-        local.mean_distance / static_cast<double>(index_.stages()));
+    // parallel, costed by its own QueryCostModel hook at the measured
+    // mismatch fraction (clamped — an L1-metric backend can report a mean
+    // distance above one per digit).
+    const double mismatch_fraction =
+        std::clamp(local.mean_distance / stages, 0.0, 1.0);
+    const auto cost = shard.query_cost(mismatch_fraction);
     out.modeled_latency = std::max(out.modeled_latency, cost.latency);
     out.modeled_energy += cost.energy;
+    out.modeled_passes = std::max(out.modeled_passes, cost.passes);
   }
   // Global merge under the same total order the shards used: lower
   // distance wins, global row id breaks ties.
@@ -86,6 +87,7 @@ std::vector<TopKResult> SearchEngine::submit_batch(
     stats.modeled_energy += r.modeled_energy;
   }
   metrics_.record_batch(stats);
+  metrics_.set_resident_index_bytes(index_.resident_bytes());
   return results;
 }
 

@@ -1,9 +1,9 @@
-// Batched top-k query serving over a ShardedIndex.
+// Batched top-k query serving over a ShardedIndex — backend-agnostic.
 //
 // Execution model: one task per query; the task broadcasts the query to
-// every shard (am::BehavioralAm::search_topk), translates local rows to
-// global ids, and merges per-shard candidates into a global top-k with the
-// deterministic tie-break (lower distance, then lower global row id).
+// every shard (core::SimilarityBackend::search_topk), translates local rows
+// to global ids, and merges per-shard candidates into a global top-k with
+// the deterministic tie-break (lower distance, then lower global row id).
 // Queries within a batch run concurrently on a fixed ThreadPool; each
 // query's result is written to its own preallocated slot, so the returned
 // batch is bit-identical for any thread count.  `threads = 1` bypasses the
@@ -13,17 +13,22 @@
 // Cost accounting per query:
 //  * wall   — host time for the query task (recorded into ServingMetrics'
 //    latency histogram; batch wall time drives the QPS counter);
-//  * modeled hardware — am::AmSystemModel::query_cost per shard, using the
-//    measured per-shard mismatch fraction.  Shards are physically parallel
-//    banks: modeled latency is the slowest bank (with pass folding when the
-//    stored vectors are wider than one chain or a shard exceeds the bank's
-//    rows), modeled energy sums over banks.
+//  * modeled hardware — each shard's QueryCostModel hook
+//    (core::SimilarityBackend::query_cost) at the *measured* per-shard
+//    mismatch fraction.  Shards are physically parallel banks: modeled
+//    latency is the slowest bank, modeled energy sums over banks, passes
+//    report the worst bank's fold count.
+//
+// The engine never names a concrete backend — it compiles against the
+// core interface only, so a registry entry is all a new engine needs to be
+// servable.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "core/backend.h"
 #include "runtime/metrics.h"
 #include "runtime/sharded_index.h"
 #include "runtime/thread_pool.h"
@@ -32,18 +37,15 @@ namespace tdam::runtime {
 
 struct EngineOptions {
   int threads = 1;
-  // Physical bank geometry behind each shard, for the modeled-hardware cost
-  // (defaults: the paper's 128x128 Fig. 8 array).
-  int array_rows = 128;
-  int array_stages = 128;
 };
 
 // Per-query answer: up to k (global row, distance) hits sorted by
 // (distance, row), plus both cost views.
 struct TopKResult {
-  std::vector<am::TopKEntry> entries;
+  std::vector<core::TopKEntry> entries;
   double modeled_latency = 0.0;  // slowest parallel bank (s)
   double modeled_energy = 0.0;   // all banks (J)
+  int modeled_passes = 0;        // worst bank's sequential array passes
   double wall_seconds = 0.0;     // host time for this query
 };
 
@@ -70,7 +72,6 @@ class SearchEngine {
 
   const ShardedIndex& index_;
   EngineOptions options_;
-  am::AmSystemModel bank_model_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
   ServingMetrics metrics_;
 };

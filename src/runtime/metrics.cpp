@@ -24,6 +24,7 @@ void ServingMetrics::reset() {
   wall_seconds_ = 0.0;
   modeled_latency_ = 0.0;
   modeled_energy_ = 0.0;
+  resident_index_bytes_ = 0;
 }
 
 double ServingMetrics::qps() const {
@@ -56,6 +57,8 @@ std::string ServingMetrics::summary_table() const {
              Table::fmt(modeled_energy_per_query() * 1e12)});
   t.add_row({"modeled HW energy total (nJ)",
              Table::fmt(modeled_energy_total() * 1e9)});
+  t.add_row({"resident index (KiB)",
+             Table::fmt(static_cast<double>(resident_index_bytes_) / 1024.0)});
   return t.render();
 }
 

@@ -35,6 +35,12 @@ class ServingMetrics {
 
   void record_query_wall(double seconds);
   void record_batch(const BatchStats& batch);
+  // Resident bytes of the served index (packed backend storage); the engine
+  // refreshes this after every batch so the summary shows what the stored
+  // set actually costs in memory.
+  void set_resident_index_bytes(std::size_t bytes) {
+    resident_index_bytes_ = bytes;
+  }
   void reset();
 
   std::size_t queries() const { return queries_; }
@@ -44,6 +50,8 @@ class ServingMetrics {
   double qps() const;
   // p in [0, 1]; per-query wall-latency quantile in seconds.
   double wall_quantile(double p) const { return wall_.quantile(p); }
+
+  std::size_t resident_index_bytes() const { return resident_index_bytes_; }
 
   double modeled_latency_total() const { return modeled_latency_; }
   double modeled_energy_total() const { return modeled_energy_; }
@@ -60,6 +68,7 @@ class ServingMetrics {
   double wall_seconds_ = 0.0;
   double modeled_latency_ = 0.0;
   double modeled_energy_ = 0.0;
+  std::size_t resident_index_bytes_ = 0;
 };
 
 }  // namespace tdam::runtime

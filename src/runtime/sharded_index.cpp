@@ -4,46 +4,48 @@
 
 namespace tdam::runtime {
 
-ShardedIndex::ShardedIndex(const am::CalibrationResult& cal, int shards,
-                           int stages, Placement placement)
-    : stages_(stages), placement_(placement) {
+ShardedIndex::ShardedIndex(const core::BackendRegistry& registry,
+                           const std::string& backend, int shards,
+                           Placement placement)
+    : backend_name_(backend), placement_(placement) {
   if (shards < 1)
     throw std::invalid_argument("ShardedIndex: shards must be >= 1");
   shards_.reserve(static_cast<std::size_t>(shards));
-  for (int s = 0; s < shards; ++s) shards_.emplace_back(cal, stages);
+  for (int s = 0; s < shards; ++s) shards_.push_back(registry.create(backend));
   global_ids_.resize(static_cast<std::size_t>(shards));
 }
 
 int ShardedIndex::pick_shard() const {
   if (placement_ == Placement::kRoundRobin)
-    return static_cast<int>(rows_.size()) % num_shards();
+    return static_cast<int>(locations_.size()) % num_shards();
   int best = 0;
   for (int s = 1; s < num_shards(); ++s)
-    if (shards_[static_cast<std::size_t>(s)].rows() <
-        shards_[static_cast<std::size_t>(best)].rows())
+    if (shards_[static_cast<std::size_t>(s)]->rows() <
+        shards_[static_cast<std::size_t>(best)]->rows())
       best = s;
   return best;
 }
 
 int ShardedIndex::store(std::span<const int> digits) {
   const int s = pick_shard();
-  const int global = static_cast<int>(rows_.size());
-  shards_[static_cast<std::size_t>(s)].store(digits);  // validates width
+  const int global = static_cast<int>(locations_.size());
+  const int local =
+      shards_[static_cast<std::size_t>(s)]->store(digits);  // validates
   global_ids_[static_cast<std::size_t>(s)].push_back(global);
-  rows_.emplace_back(digits.begin(), digits.end());
+  locations_.emplace_back(s, local);
   return global;
 }
 
 void ShardedIndex::clear() {
-  for (auto& s : shards_) s.clear();
+  for (auto& s : shards_) s->clear();
   for (auto& ids : global_ids_) ids.clear();
-  rows_.clear();
+  locations_.clear();
 }
 
-const am::BehavioralAm& ShardedIndex::shard(int s) const {
+const core::SimilarityBackend& ShardedIndex::shard(int s) const {
   if (s < 0 || s >= num_shards())
     throw std::out_of_range("ShardedIndex::shard: bad shard index");
-  return shards_[static_cast<std::size_t>(s)];
+  return *shards_[static_cast<std::size_t>(s)];
 }
 
 int ShardedIndex::shard_size(int s) const { return shard(s).rows(); }
@@ -55,6 +57,26 @@ int ShardedIndex::global_row(int s, int local) const {
   if (local < 0 || local >= static_cast<int>(ids.size()))
     throw std::out_of_range("ShardedIndex::global_row: bad local row");
   return ids[static_cast<std::size_t>(local)];
+}
+
+std::vector<int> ShardedIndex::row(int global) const {
+  if (global < 0 || global >= size())
+    throw std::out_of_range("ShardedIndex::row: bad global row");
+  const auto [s, local] = locations_[static_cast<std::size_t>(global)];
+  return shards_[static_cast<std::size_t>(s)]->row_digits(local);
+}
+
+std::vector<std::vector<int>> ShardedIndex::snapshot() const {
+  std::vector<std::vector<int>> out;
+  out.reserve(locations_.size());
+  for (int g = 0; g < size(); ++g) out.push_back(row(g));
+  return out;
+}
+
+std::size_t ShardedIndex::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->resident_bytes();
+  return total;
 }
 
 }  // namespace tdam::runtime

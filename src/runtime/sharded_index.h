@@ -1,16 +1,27 @@
-// A stored-vector set partitioned across N behavioural TD-AM arrays.
+// A stored-vector set partitioned across N similarity backends.
 //
-// Each shard models one physically independent chain bank, so a query can be
+// Each shard models one physically independent bank of whatever engine the
+// registry built ("behavioral" TD-AM chains, "digital" comparator lanes,
+// "cam" crossbars, the "exact" software reference), so a query can be
 // broadcast to all shards at once (in hardware: in parallel; in software: on
-// the engine's thread pool) and the per-shard winners merged.  The index owns
-// the global-row-id <-> (shard, local row) mapping; ids are assigned in store
-// order starting at 0 and are what SearchEngine reports back to callers.
+// the engine's thread pool) and the per-shard winners merged.  The index
+// owns the global-row-id <-> (shard, local row) mapping; ids are assigned in
+// store order starting at 0 and are what SearchEngine reports back.
+//
+// The shards ARE the storage: the index keeps no unpacked duplicate of the
+// stored vectors (the pre-refactor version held every digit twice), only the
+// 8-byte location record per row.  Snapshots read back through the shards'
+// packed matrices.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "am/behavioral.h"
+#include "core/backend.h"
+#include "core/registry.h"
 
 namespace tdam::runtime {
 
@@ -22,41 +33,50 @@ enum class Placement { kRoundRobin, kLeastLoaded };
 
 class ShardedIndex {
  public:
-  ShardedIndex(const am::CalibrationResult& cal, int shards, int stages,
+  // Creates `shards` fresh instances of `backend` through the registry.
+  ShardedIndex(const core::BackendRegistry& registry,
+               const std::string& backend, int shards,
                Placement placement = Placement::kRoundRobin);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  int stages() const { return stages_; }
-  int size() const { return static_cast<int>(rows_.size()); }  // global rows
+  int stages() const { return shards_.front()->stages(); }
+  int levels() const { return shards_.front()->levels(); }
+  int size() const { return static_cast<int>(locations_.size()); }
+  const std::string& backend_name() const { return backend_name_; }
   Placement placement() const { return placement_; }
-  const am::CalibrationResult& calibration() const {
-    return shards_.front().calibration();
-  }
 
-  // Stores one digit vector; returns its global row id.
+  // Stores one digit vector; returns its global row id.  The backend
+  // validates length and digit range.
   int store(std::span<const int> digits);
 
   // Drops every stored vector from every shard.
   void clear();
 
-  const am::BehavioralAm& shard(int s) const;
+  const core::SimilarityBackend& shard(int s) const;
   // Rows held by shard `s`.
   int shard_size(int s) const;
   // Global id of local row `local` in shard `s`.
   int global_row(int s, int local) const;
 
+  // Read-back of one stored vector by global row id (through its shard's
+  // packed storage).
+  std::vector<int> row(int global) const;
+
   // Copy of every stored vector, indexed by global row id — the brute-force
   // reference path for determinism tests and for re-sharding.
-  std::vector<std::vector<int>> snapshot() const { return rows_; }
+  std::vector<std::vector<int>> snapshot() const;
+
+  // Bytes resident across all shards for the stored set.
+  std::size_t resident_bytes() const;
 
  private:
   int pick_shard() const;
 
-  int stages_;
+  std::string backend_name_;
   Placement placement_;
-  std::vector<am::BehavioralAm> shards_;
-  std::vector<std::vector<int>> global_ids_;  // per shard: local row -> global
-  std::vector<std::vector<int>> rows_;        // global id -> digits
+  std::vector<std::unique_ptr<core::SimilarityBackend>> shards_;
+  std::vector<std::vector<int>> global_ids_;        // per shard: local -> global
+  std::vector<std::pair<int, int>> locations_;      // global -> (shard, local)
 };
 
 }  // namespace tdam::runtime

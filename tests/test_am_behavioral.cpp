@@ -143,6 +143,29 @@ TEST(BehavioralAm, Validation) {
   EXPECT_THROW(am.search(wrong), std::invalid_argument);
 }
 
+TEST(BehavioralAm, StoreRejectsDigitsOutsideCalibratedLevels) {
+  // Default ChainConfig calibrates 2-bit cells: digits must be in [0, 4).
+  BehavioralAm am(calibration(), 4);
+  EXPECT_EQ(am.levels(), 4);
+  EXPECT_THROW(am.store(std::vector<int>{0, 1, 2, 4}), std::invalid_argument);
+  EXPECT_THROW(am.store(std::vector<int>{0, -1, 2, 3}), std::invalid_argument);
+  EXPECT_EQ(am.rows(), 0);  // rejected stores must not leave partial rows
+  // The error names the offending digit and the calibrated range.
+  try {
+    am.store(std::vector<int>{0, 1, 9, 3});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("9"), std::string::npos);
+    EXPECT_NE(msg.find("[0, 4)"), std::string::npos);
+  }
+  // Searches validate the same way.
+  am.store(std::vector<int>{0, 1, 2, 3});
+  EXPECT_THROW(am.search(std::vector<int>{0, 1, 2, 4}), std::invalid_argument);
+  EXPECT_THROW(am.search_topk(std::vector<int>{0, 1, 2, 4}, 1),
+               std::invalid_argument);
+}
+
 TEST(AmSystemModel, SinglePassWhenArrayFits) {
   AmSystemModel sys(calibration(), /*rows=*/128, /*stages=*/128);
   // 128 digits x 26 vectors = 26 segments <= 128 rows: one pass.

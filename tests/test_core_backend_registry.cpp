@@ -1,0 +1,150 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/digit_matrix.h"
+#include "core/exact_backend.h"
+#include "util/rng.h"
+
+namespace tdam::core {
+namespace {
+
+std::vector<int> random_digits(Rng& rng, int cols, int levels) {
+  std::vector<int> out(static_cast<std::size_t>(cols));
+  for (auto& d : out) d = rng.uniform_int(0, levels - 1);
+  return out;
+}
+
+TEST(BackendRegistry, AddCreateAndNames) {
+  BackendRegistry reg;
+  EXPECT_FALSE(reg.contains("exact"));
+  reg.add("exact", [] { return std::make_unique<ExactL1Backend>(8, 4); });
+  reg.add("exact-l1", [] {
+    return std::make_unique<ExactL1Backend>(8, 4, DigitMetric::kL1);
+  });
+  EXPECT_TRUE(reg.contains("exact"));
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"exact", "exact-l1"}));
+
+  auto a = reg.create("exact");
+  auto b = reg.create("exact");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());  // each create() is a fresh instance
+  a->store(std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3});
+  EXPECT_EQ(a->rows(), 1);
+  EXPECT_EQ(b->rows(), 0);
+  EXPECT_EQ(a->name(), "exact");
+  EXPECT_EQ(reg.create("exact-l1")->metric(), DigitMetric::kL1);
+}
+
+TEST(BackendRegistry, RejectsBadRegistrationsAndUnknownNames) {
+  BackendRegistry reg;
+  EXPECT_THROW(reg.add("", [] { return std::make_unique<ExactL1Backend>(4, 4); }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add("x", nullptr), std::invalid_argument);
+  reg.add("x", [] { return std::make_unique<ExactL1Backend>(4, 4); });
+  EXPECT_THROW(
+      reg.add("x", [] { return std::make_unique<ExactL1Backend>(4, 4); }),
+      std::invalid_argument);
+  // Unknown-name errors list what IS registered.
+  try {
+    reg.create("nope");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nope"), std::string::npos);
+    EXPECT_NE(msg.find("x"), std::string::npos);
+  }
+}
+
+TEST(ExactBackend, StoreSearchAndRowReadback) {
+  ExactL1Backend backend(6, 4);
+  EXPECT_EQ(backend.name(), "exact");
+  EXPECT_EQ(backend.metric(), DigitMetric::kMismatchCount);
+  EXPECT_EQ(backend.stages(), 6);
+  EXPECT_EQ(backend.levels(), 4);
+
+  const std::vector<std::vector<int>> rows = {
+      {0, 0, 0, 0, 0, 0}, {3, 3, 3, 3, 3, 3}, {0, 0, 0, 3, 3, 3}};
+  for (const auto& r : rows) backend.store(r);
+  EXPECT_EQ(backend.rows(), 3);
+  EXPECT_EQ(backend.row_digits(1), rows[1]);
+
+  const auto top = backend.search_topk(std::vector<int>{0, 0, 0, 0, 0, 3}, 2);
+  ASSERT_EQ(top.entries.size(), 2u);
+  EXPECT_EQ(top.entries[0], (TopKEntry{0, 1}));  // one mismatching digit
+  EXPECT_EQ(top.entries[1], (TopKEntry{2, 2}));
+  EXPECT_DOUBLE_EQ(top.mean_distance, (1.0 + 5.0 + 2.0) / 3.0);
+  EXPECT_EQ(top.latency, 0.0);  // software reference models no hardware
+  EXPECT_EQ(top.energy, 0.0);
+
+  backend.clear();
+  EXPECT_EQ(backend.rows(), 0);
+  EXPECT_TRUE(backend.search_topk(std::vector<int>{0, 0, 0, 0, 0, 0}, 3)
+                  .entries.empty());
+}
+
+TEST(ExactBackend, MetricsDisagreeOnlyBeyondOneStep) {
+  // On {0,1} digits mismatch == L1; with larger steps L1 grows faster.
+  ExactL1Backend mis(4, 4, DigitMetric::kMismatchCount);
+  ExactL1Backend l1(4, 4, DigitMetric::kL1);
+  EXPECT_EQ(l1.name(), "exact-l1");
+  const std::vector<int> stored{0, 1, 2, 3};
+  mis.store(stored);
+  l1.store(stored);
+  const std::vector<int> query{3, 1, 2, 0};
+  EXPECT_EQ(mis.search_topk(query, 1).entries[0].distance, 2);
+  EXPECT_EQ(l1.search_topk(query, 1).entries[0].distance, 6);
+}
+
+TEST(ExactBackend, QueryCostIsFreeSoftware) {
+  ExactL1Backend backend(4, 4);
+  backend.store(std::vector<int>{0, 1, 2, 3});
+  const auto cost = backend.query_cost(0.5);
+  EXPECT_EQ(cost.latency, 0.0);
+  EXPECT_EQ(cost.energy, 0.0);
+  EXPECT_EQ(cost.passes, 1);
+  EXPECT_THROW(backend.query_cost(-0.1), std::invalid_argument);
+  EXPECT_THROW(backend.query_cost(1.5), std::invalid_argument);
+}
+
+TEST(ExactBackend, ResidentBytesStayPacked) {
+  ExactL1Backend backend(64, 4);
+  Rng rng(77);
+  for (int r = 0; r < 1024; ++r)
+    backend.store(random_digits(rng, 64, 4));
+  const double payload = 1024 * 16.0;  // 64 2-bit digits = 16 bytes/row
+  EXPECT_GE(static_cast<double>(backend.resident_bytes()), payload);
+  EXPECT_LE(static_cast<double>(backend.resident_bytes()),
+            2.0 * payload + 1024.0);
+}
+
+TEST(ExhaustiveTopK, SortsByDistanceThenRowAndCapsK) {
+  DigitMatrix matrix(4, 4);
+  matrix.append(std::vector<int>{1, 1, 1, 1});  // row 0, distance 0
+  matrix.append(std::vector<int>{1, 1, 1, 2});  // row 1, distance 1
+  matrix.append(std::vector<int>{1, 1, 1, 3});  // row 2, distance 1 (tie)
+  const std::vector<int> query{1, 1, 1, 1};
+  const auto top =
+      exhaustive_topk(matrix, query, 10, DigitMetric::kMismatchCount);
+  ASSERT_EQ(top.entries.size(), 3u);  // k capped at rows
+  EXPECT_EQ(top.entries[0], (TopKEntry{0, 0}));
+  EXPECT_EQ(top.entries[1], (TopKEntry{1, 1}));  // tie broken by row id
+  EXPECT_EQ(top.entries[2], (TopKEntry{2, 1}));
+
+  // Validation still applies on an empty store.
+  DigitMatrix empty(4, 4);
+  EXPECT_TRUE(exhaustive_topk(empty, query, 3, DigitMetric::kMismatchCount)
+                  .entries.empty());
+  EXPECT_THROW(exhaustive_topk(empty, std::vector<int>{9, 9, 9, 9}, 3,
+                               DigitMetric::kMismatchCount),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::core

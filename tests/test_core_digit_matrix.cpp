@@ -1,0 +1,180 @@
+#include "core/digit_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tdam::core {
+namespace {
+
+std::vector<int> random_digits(Rng& rng, int cols, int levels) {
+  std::vector<int> out(static_cast<std::size_t>(cols));
+  for (auto& d : out) d = rng.uniform_int(0, levels - 1);
+  return out;
+}
+
+int brute_mismatch(const std::vector<int>& a, const std::vector<int>& b) {
+  int mis = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) mis += a[i] != b[i];
+  return mis;
+}
+
+int brute_l1(const std::vector<int>& a, const std::vector<int>& b) {
+  int d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+TEST(DigitMatrix, FieldWidthIsSmallestPowerOfTwoHoldingTheAlphabet) {
+  struct Case {
+    int levels, bits, digits_per_word;
+  };
+  for (const auto& c : std::vector<Case>{{2, 1, 32},
+                                         {3, 2, 16},
+                                         {4, 2, 16},
+                                         {5, 4, 8},
+                                         {16, 4, 8},
+                                         {17, 8, 4},
+                                         {256, 8, 4}}) {
+    DigitMatrix m(64, c.levels);
+    EXPECT_EQ(m.bits_per_digit(), c.bits) << "levels=" << c.levels;
+    EXPECT_EQ(m.digits_per_word(), c.digits_per_word) << "levels=" << c.levels;
+    EXPECT_EQ(m.words_per_row(), 64 / c.digits_per_word);
+  }
+  // The paper's operating point: 2-bit digits pack 16 to a 32-bit word.
+  EXPECT_EQ(DigitMatrix(1024, 4).words_per_row(), 64);
+}
+
+TEST(DigitMatrix, PartialLastWordRoundsUp) {
+  DigitMatrix m(17, 4);  // 16 digits/word -> 2 words, second nearly empty
+  EXPECT_EQ(m.words_per_row(), 2);
+  std::vector<int> digits(17, 3);
+  m.append(digits);
+  EXPECT_EQ(m.unpack_row(0), digits);
+  EXPECT_EQ(m.row_words(0).size(), 2u);
+}
+
+TEST(DigitMatrix, AppendUnpackRoundTripAndClear) {
+  DigitMatrix m(40, 4);
+  Rng rng(11);
+  std::vector<std::vector<int>> stored;
+  for (int r = 0; r < 25; ++r) {
+    stored.push_back(random_digits(rng, 40, 4));
+    EXPECT_EQ(m.append(stored.back()), r);
+  }
+  EXPECT_EQ(m.rows(), 25);
+  for (int r = 0; r < 25; ++r) {
+    EXPECT_EQ(m.unpack_row(r), stored[static_cast<std::size_t>(r)]);
+    for (int c = 0; c < 40; ++c)
+      EXPECT_EQ(m.digit(r, c),
+                stored[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+  }
+  m.clear();
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_THROW(m.row_words(0), std::out_of_range);
+  // Still usable after clear.
+  m.append(stored[0]);
+  EXPECT_EQ(m.unpack_row(0), stored[0]);
+}
+
+TEST(DigitMatrix, ValidatesConstructionAndDigits) {
+  EXPECT_THROW(DigitMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(DigitMatrix(8, 1), std::invalid_argument);
+  EXPECT_THROW(DigitMatrix(8, 257), std::invalid_argument);
+
+  DigitMatrix m(4, 4);
+  EXPECT_THROW(m.append(std::vector<int>{0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(m.append(std::vector<int>{0, 1, 2, 3, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(m.append(std::vector<int>{0, 1, 2, 4}), std::invalid_argument);
+  EXPECT_THROW(m.append(std::vector<int>{0, -1, 2, 3}), std::invalid_argument);
+  EXPECT_EQ(m.rows(), 0);  // failed appends must not commit partial rows
+
+  // The error names the offending digit, its position and the valid range.
+  try {
+    m.append(std::vector<int>{0, 1, 7, 3});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("7"), std::string::npos);
+    EXPECT_NE(msg.find("position 2"), std::string::npos);
+    EXPECT_NE(msg.find("[0, 4)"), std::string::npos);
+  }
+
+  EXPECT_THROW(m.pack(std::vector<int>{0, 1, 2, 5}), std::invalid_argument);
+  EXPECT_THROW(m.digit(0, 0), std::out_of_range);  // no rows yet
+  m.append(std::vector<int>{0, 1, 2, 3});
+  EXPECT_THROW(m.digit(0, 4), std::out_of_range);
+  EXPECT_THROW(m.digit(1, 0), std::out_of_range);
+}
+
+TEST(DigitMatrix, MismatchDistanceMatchesBruteForceAcrossAlphabets) {
+  Rng rng(21);
+  for (int levels : {2, 3, 4, 8, 16, 100, 256}) {
+    for (int cols : {1, 15, 16, 17, 64, 100}) {
+      DigitMatrix m(cols, levels);
+      std::vector<std::vector<int>> stored;
+      for (int r = 0; r < 12; ++r) {
+        stored.push_back(random_digits(rng, cols, levels));
+        m.append(stored.back());
+      }
+      const auto query = random_digits(rng, cols, levels);
+      const auto packed = m.pack(query);
+      for (int r = 0; r < 12; ++r)
+        EXPECT_EQ(m.mismatch_distance(r, packed),
+                  brute_mismatch(stored[static_cast<std::size_t>(r)], query))
+            << "levels=" << levels << " cols=" << cols << " row=" << r;
+    }
+  }
+}
+
+TEST(DigitMatrix, MismatchDistanceEdges) {
+  DigitMatrix m(32, 4);
+  const std::vector<int> zeros(32, 0), threes(32, 3);
+  m.append(zeros);
+  m.append(threes);
+  EXPECT_EQ(m.mismatch_distance(0, m.pack(zeros)), 0);
+  EXPECT_EQ(m.mismatch_distance(0, m.pack(threes)), 32);
+  EXPECT_EQ(m.mismatch_distance(1, m.pack(threes)), 0);
+  EXPECT_THROW(m.mismatch_distance(0, std::vector<std::uint32_t>{1u}),
+               std::invalid_argument);
+}
+
+TEST(DigitMatrix, L1DistanceMatchesBruteForce) {
+  Rng rng(31);
+  DigitMatrix m(30, 8);
+  std::vector<std::vector<int>> stored;
+  for (int r = 0; r < 10; ++r) {
+    stored.push_back(random_digits(rng, 30, 8));
+    m.append(stored.back());
+  }
+  const auto query = random_digits(rng, 30, 8);
+  for (int r = 0; r < 10; ++r)
+    EXPECT_EQ(m.l1_distance(r, query),
+              brute_l1(stored[static_cast<std::size_t>(r)], query));
+  EXPECT_EQ(m.l1_distance(0, stored[0]), 0);
+  EXPECT_THROW(m.l1_distance(0, std::vector<int>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(DigitMatrix, ResidentBytesTrackThePackedPayload) {
+  // 2-bit digits: 64 digits -> 16 bytes/row, vs 256 bytes unpacked.
+  DigitMatrix m(64, 4);
+  EXPECT_EQ(m.packed_row_bytes(), 16u);
+  Rng rng(41);
+  constexpr int kRows = 2048;
+  for (int r = 0; r < kRows; ++r) m.append(random_digits(rng, 64, 4));
+  const auto payload = static_cast<double>(kRows) * 16.0;
+  const auto resident = static_cast<double>(m.resident_bytes());
+  EXPECT_GE(resident, payload);
+  // vector capacity growth plus the object header — nowhere near the 16x
+  // blow-up an unpacked int store would cost.
+  EXPECT_LE(resident, 2.0 * payload + 1024.0);
+}
+
+}  // namespace
+}  // namespace tdam::core

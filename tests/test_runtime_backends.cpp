@@ -1,0 +1,229 @@
+// Backend-parity and bridge tests: every backend in runtime::default_registry
+// must be an exact drop-in for the others behind the sharded serving path,
+// and hdc digit vectors must classify identically on any of them.
+#include "runtime/backends.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "am/calibration.h"
+#include "am/words.h"
+#include "core/exact_backend.h"
+#include "hdc/backend_bridge.h"
+#include "hdc/model.h"
+#include "runtime/engine.h"
+#include "runtime/sharded_index.h"
+#include "util/rng.h"
+
+namespace tdam {
+namespace {
+
+constexpr int kLevels = 4;  // 2-bit digits, matching ChainConfig defaults
+
+const am::CalibrationResult& calibration() {
+  static const am::CalibrationResult cal = [] {
+    Rng rng(19);
+    return am::calibrate_chain(am::ChainConfig{}, rng);
+  }();
+  return cal;
+}
+
+TEST(DefaultRegistry, RegistersTheFourBuiltins) {
+  const auto reg = runtime::default_registry(calibration(), {.stages = 16});
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"behavioral", "cam",
+                                                   "digital", "exact"}));
+  for (const auto& name : reg.names()) {
+    const auto backend = reg.create(name);
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_EQ(backend->metric(), core::DigitMetric::kMismatchCount);
+    EXPECT_EQ(backend->stages(), 16);
+    EXPECT_EQ(backend->levels(), kLevels);  // 1 << cal.bits
+    EXPECT_EQ(backend->rows(), 0);
+  }
+  EXPECT_THROW(runtime::default_registry(calibration(), {.stages = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      runtime::default_registry(calibration(),
+                                {.stages = 16, .array_rows = 0}),
+      std::invalid_argument);
+}
+
+// The satellite check: identical (distance, global row) top-k from every
+// registered backend on a shared random workload through the identical
+// sharded serving path.
+TEST(BackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
+  constexpr int kStages = 48, kRows = 120, kQueries = 24, kTopK = 7;
+  const auto reg = runtime::default_registry(calibration(), {.stages = kStages});
+
+  Rng rng(101);
+  std::vector<std::vector<int>> stored, queries;
+  for (int r = 0; r < kRows; ++r)
+    stored.push_back(am::random_word(rng, kStages, kLevels));
+  for (int q = 0; q < kQueries; ++q)
+    queries.push_back(am::random_word(rng, kStages, kLevels));
+
+  std::map<std::string, std::vector<runtime::TopKResult>> results;
+  for (const auto& name : reg.names()) {
+    runtime::ShardedIndex index(reg, name, /*shards=*/3);
+    for (const auto& row : stored) index.store(row);
+    runtime::SearchEngine engine(index, {.threads = 2});
+    results[name] = engine.submit_batch(queries, kTopK);
+  }
+
+  const auto& reference = results.at("exact");
+  for (const auto& [name, res] : results) {
+    ASSERT_EQ(res.size(), reference.size()) << name;
+    for (std::size_t q = 0; q < res.size(); ++q)
+      EXPECT_EQ(res[q].entries, reference[q].entries)
+          << "backend=" << name << " query=" << q;
+  }
+}
+
+TEST(BackendParity, ThreadCountInvariantForEveryBackend) {
+  constexpr int kStages = 32, kRows = 64, kQueries = 16;
+  const auto reg = runtime::default_registry(calibration(), {.stages = kStages});
+  Rng rng(202);
+  std::vector<std::vector<int>> stored, queries;
+  for (int r = 0; r < kRows; ++r)
+    stored.push_back(am::random_word(rng, kStages, kLevels));
+  for (int q = 0; q < kQueries; ++q)
+    queries.push_back(am::random_word(rng, kStages, kLevels));
+
+  for (const auto& name : reg.names()) {
+    runtime::ShardedIndex index(reg, name, /*shards=*/4);
+    for (const auto& row : stored) index.store(row);
+    runtime::SearchEngine seq(index, {.threads = 1});
+    runtime::SearchEngine par(index, {.threads = 8});
+    const auto a = seq.submit_batch(queries, 5);
+    const auto b = par.submit_batch(queries, 5);
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t q = 0; q < a.size(); ++q) {
+      EXPECT_EQ(a[q].entries, b[q].entries) << "backend=" << name;
+      EXPECT_DOUBLE_EQ(a[q].modeled_latency, b[q].modeled_latency) << name;
+      EXPECT_DOUBLE_EQ(a[q].modeled_energy, b[q].modeled_energy) << name;
+    }
+  }
+}
+
+TEST(BackendCosts, PassFoldingMatchesArrayGeometry) {
+  // 10 stored rows on 4-row arrays: ceil(10/4) = 3 sequential passes for
+  // every hardware backend; the software reference always scans in one.
+  const auto reg = runtime::default_registry(
+      calibration(), {.stages = 16, .array_rows = 4, .array_stages = 16});
+  Rng rng(303);
+  for (const auto& name : reg.names()) {
+    auto backend = reg.create(name);
+    for (int r = 0; r < 10; ++r)
+      backend->store(am::random_word(rng, 16, kLevels));
+    const auto cost = backend->query_cost(0.25);
+    if (name == "exact") {
+      EXPECT_EQ(cost.passes, 1);
+      EXPECT_EQ(cost.latency, 0.0);
+      EXPECT_EQ(cost.energy, 0.0);
+    } else {
+      EXPECT_EQ(cost.passes, 3) << name;
+      EXPECT_GT(cost.latency, 0.0) << name;
+      EXPECT_GT(cost.energy, 0.0) << name;
+    }
+    EXPECT_THROW(backend->query_cost(-0.5), std::invalid_argument);
+    EXPECT_THROW(backend->query_cost(1.01), std::invalid_argument);
+  }
+}
+
+TEST(BackendCosts, EveryBackendValidatesStoredDigits) {
+  const auto reg = runtime::default_registry(calibration(), {.stages = 4});
+  for (const auto& name : reg.names()) {
+    auto backend = reg.create(name);
+    EXPECT_THROW(backend->store(std::vector<int>{0, 1, 2}),
+                 std::invalid_argument)
+        << name;
+    EXPECT_THROW(backend->store(std::vector<int>{0, 1, 2, kLevels}),
+                 std::invalid_argument)
+        << name;
+    EXPECT_EQ(backend->rows(), 0) << name;
+    backend->store(std::vector<int>{0, 1, 2, 3});
+    EXPECT_EQ(backend->row_digits(0), (std::vector<int>{0, 1, 2, 3})) << name;
+  }
+}
+
+class HdcBridgeTest : public ::testing::Test {
+ protected:
+  static constexpr int kDims = 64, kClasses = 5, kTrain = 60;
+
+  void SetUp() override {
+    // Synthetic class-clustered encodings: per-class gaussian centers with
+    // small within-class noise, enough structure for exact label agreement.
+    Rng rng(404);
+    std::vector<float> centers(kClasses * kDims);
+    for (auto& c : centers) c = static_cast<float>(rng.gaussian());
+    std::vector<float> enc(static_cast<std::size_t>(kTrain) * kDims);
+    labels_.resize(kTrain);
+    for (int i = 0; i < kTrain; ++i) {
+      const int label = i % kClasses;
+      labels_[static_cast<std::size_t>(i)] = label;
+      for (int d = 0; d < kDims; ++d)
+        enc[static_cast<std::size_t>(i) * kDims + static_cast<std::size_t>(d)] =
+            centers[static_cast<std::size_t>(label) * kDims +
+                    static_cast<std::size_t>(d)] +
+            0.3f * static_cast<float>(rng.gaussian());
+    }
+    hdc::HdcModel model(kClasses, kDims);
+    model.train(enc, labels_);
+    qmodel_ = std::make_unique<hdc::QuantizedModel>(model, /*bits=*/2);
+    for (int q = 0; q < 20; ++q) {
+      std::vector<float> v(kDims);
+      const int label = q % kClasses;
+      for (int d = 0; d < kDims; ++d)
+        v[static_cast<std::size_t>(d)] =
+            centers[static_cast<std::size_t>(label) * kDims +
+                    static_cast<std::size_t>(d)] +
+            0.3f * static_cast<float>(rng.gaussian());
+      query_digits_.push_back(qmodel_->quantize_query(v.data()));
+    }
+  }
+
+  std::vector<int> labels_;
+  std::unique_ptr<hdc::QuantizedModel> qmodel_;
+  std::vector<std::vector<int>> query_digits_;
+};
+
+TEST_F(HdcBridgeTest, ClassifiesIdenticallyOnEveryBackend) {
+  const auto reg = runtime::default_registry(calibration(), {.stages = kDims});
+  for (const auto& name : reg.names()) {
+    auto backend = reg.create(name);
+    hdc::load_classes(*qmodel_, *backend);
+    EXPECT_EQ(backend->rows(), kClasses) << name;
+    for (const auto& digits : query_digits_)
+      EXPECT_EQ(hdc::classify(*backend, digits),
+                qmodel_->predict_digits(digits))
+          << name;
+  }
+}
+
+TEST_F(HdcBridgeTest, LoadClassesValidates) {
+  const auto reg = runtime::default_registry(calibration(), {.stages = kDims});
+  auto backend = reg.create("exact");
+  hdc::load_classes(*qmodel_, *backend);
+  // Already loaded: a second load must refuse rather than double-store.
+  EXPECT_THROW(hdc::load_classes(*qmodel_, *backend), std::invalid_argument);
+
+  // Width mismatch.
+  const auto narrow = runtime::default_registry(calibration(),
+                                                {.stages = kDims / 2});
+  auto bad = narrow.create("exact");
+  EXPECT_THROW(hdc::load_classes(*qmodel_, *bad), std::invalid_argument);
+
+  // Alphabet too small for the model's digits.
+  core::ExactL1Backend tiny(kDims, /*levels=*/2);
+  EXPECT_THROW(hdc::load_classes(*qmodel_, tiny), std::invalid_argument);
+
+  EXPECT_EQ(hdc::classify(tiny, query_digits_.front()), -1);  // empty backend
+}
+
+}  // namespace
+}  // namespace tdam

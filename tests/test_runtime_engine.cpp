@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "am/behavioral.h"
 #include "am/calibration.h"
 #include "am/words.h"
+#include "runtime/backends.h"
 #include "runtime/sharded_index.h"
 
 namespace tdam::runtime {
@@ -23,12 +25,23 @@ am::CalibrationResult calibration() {
 
 constexpr int kLevels = 4;  // 2-bit digits, matching ChainConfig defaults
 
+ShardedIndex make_index(int shards, int stages,
+                        Placement placement = Placement::kRoundRobin,
+                        const std::string& backend = "behavioral",
+                        int array_rows = 128, int array_stages = 128) {
+  const auto registry = default_registry(
+      calibration(), {.stages = stages,
+                      .array_rows = array_rows,
+                      .array_stages = array_stages});
+  return ShardedIndex(registry, backend, shards, placement);
+}
+
 // Brute-force reference: all (distance, row) pairs against a single
 // unsharded store, sorted by the engine's (distance, row) order.
-std::vector<am::TopKEntry> brute_force_topk(
+std::vector<core::TopKEntry> brute_force_topk(
     const std::vector<std::vector<int>>& stored, std::span<const int> query,
     int k) {
-  std::vector<am::TopKEntry> all;
+  std::vector<core::TopKEntry> all;
   for (std::size_t r = 0; r < stored.size(); ++r)
     all.push_back({static_cast<int>(r), am::hamming(stored[r], query)});
   std::sort(all.begin(), all.end());
@@ -45,7 +58,7 @@ struct Workload {
 Workload make_workload(int shards, int stages, int rows, int num_queries,
                        std::uint64_t seed,
                        Placement placement = Placement::kRoundRobin) {
-  Workload w{ShardedIndex(calibration(), shards, stages, placement), {}, {}};
+  Workload w{make_index(shards, stages, placement), {}, {}};
   Rng rng(seed);
   for (int r = 0; r < rows; ++r) {
     w.stored.push_back(am::random_word(rng, stages, kLevels));
@@ -57,7 +70,7 @@ Workload make_workload(int shards, int stages, int rows, int num_queries,
 }
 
 TEST(ShardedIndex, RoundRobinPlacementAndGlobalIds) {
-  ShardedIndex index(calibration(), 3, 4);
+  auto index = make_index(3, 4);
   Rng rng(5);
   for (int i = 0; i < 8; ++i)
     EXPECT_EQ(index.store(am::random_word(rng, 4, kLevels)), i);
@@ -73,7 +86,7 @@ TEST(ShardedIndex, RoundRobinPlacementAndGlobalIds) {
 }
 
 TEST(ShardedIndex, LeastLoadedStaysBalanced) {
-  ShardedIndex index(calibration(), 4, 4, Placement::kLeastLoaded);
+  auto index = make_index(4, 4, Placement::kLeastLoaded);
   Rng rng(6);
   for (int i = 0; i < 10; ++i) index.store(am::random_word(rng, 4, kLevels));
   int lo = index.shard_size(0), hi = index.shard_size(0);
@@ -84,9 +97,50 @@ TEST(ShardedIndex, LeastLoadedStaysBalanced) {
   EXPECT_LE(hi - lo, 1);
 }
 
+TEST(ShardedIndex, LeastLoadedRebalancesAcrossInterleavedClears) {
+  // Satellite check: the balance property must survive clear()/store()
+  // interleavings, not just one monotone fill.
+  auto index = make_index(4, 4, Placement::kLeastLoaded);
+  Rng rng(61);
+  for (int round = 0; round < 3; ++round) {
+    const int n = 5 + round * 4;  // 5, 9, 13 — never a multiple of 4
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(index.store(am::random_word(rng, 4, kLevels)), i);
+    int lo = index.shard_size(0), hi = index.shard_size(0);
+    for (int s = 1; s < 4; ++s) {
+      lo = std::min(lo, index.shard_size(s));
+      hi = std::max(hi, index.shard_size(s));
+    }
+    EXPECT_LE(hi - lo, 1) << "round " << round;
+    EXPECT_EQ(index.size(), n);
+    index.clear();
+    EXPECT_EQ(index.size(), 0);
+  }
+}
+
 TEST(ShardedIndex, SnapshotRoundTrips) {
   auto w = make_workload(3, 8, 11, 0, 17);
   EXPECT_EQ(w.index.snapshot(), w.stored);
+  EXPECT_EQ(w.index.row(4), w.stored[4]);
+}
+
+TEST(ShardedIndex, NoDuplicateRowStorage) {
+  // Satellite check: stored bytes per vector must stay within a small
+  // constant factor of the packed payload — the index may not keep an
+  // unpacked duplicate of every vector (4 bytes/digit) next to the packed
+  // shard storage (2 bits/digit).
+  constexpr int kStages = 64;   // 64 2-bit digits -> 16 packed bytes/vector
+  constexpr int kRows = 4096;
+  auto index = make_index(4, kStages);
+  Rng rng(71);
+  for (int r = 0; r < kRows; ++r)
+    index.store(am::random_word(rng, kStages, kLevels));
+  const double packed_bytes = kRows * (kStages / 16) * 4.0;
+  const auto resident = static_cast<double>(index.resident_bytes());
+  EXPECT_GE(resident, packed_bytes);
+  // capacity slack + per-shard fixed headers; an unpacked duplicate would
+  // add 16x the payload and blow far past this bound.
+  EXPECT_LE(resident, 2.0 * packed_bytes + 4 * 1024.0);
 }
 
 TEST(SearchEngine, MatchesBruteForceReference) {
@@ -119,7 +173,7 @@ TEST(SearchEngine, ThreadCountDoesNotChangeResults) {
 TEST(SearchEngine, DeterministicTieBreakAcrossShards) {
   // Duplicated rows spread round-robin over shards: every duplicate has the
   // same distance, so the merge must order them by global row id.
-  ShardedIndex index(calibration(), 4, 8);
+  auto index = make_index(4, 8);
   Rng rng(300);
   const auto word = am::random_word(rng, 8, kLevels);
   for (int i = 0; i < 8; ++i) index.store(word);
@@ -134,7 +188,7 @@ TEST(SearchEngine, DeterministicTieBreakAcrossShards) {
 }
 
 TEST(SearchEngine, EmptyIndexAndOversizedK) {
-  ShardedIndex index(calibration(), 3, 8);
+  auto index = make_index(3, 8);
   SearchEngine engine(index, {.threads = 2});
   Rng rng(44);
   const auto q = am::random_word(rng, 8, kLevels);
@@ -150,13 +204,21 @@ TEST(SearchEngine, EmptyIndexAndOversizedK) {
 }
 
 TEST(SearchEngine, ModeledCostsReflectParallelBanks) {
-  auto w = make_workload(4, 16, 40, 4, 500);
-  SearchEngine engine(w.index, {.threads = 1, .array_rows = 8, .array_stages = 16});
-  const auto res = engine.submit_batch(w.queries, 1);
+  auto index = make_index(4, 16, Placement::kRoundRobin, "behavioral",
+                          /*array_rows=*/8, /*array_stages=*/16);
+  Rng rng(500);
+  std::vector<std::vector<int>> queries;
+  for (int r = 0; r < 40; ++r)
+    index.store(am::random_word(rng, 16, kLevels));
+  for (int q = 0; q < 4; ++q)
+    queries.push_back(am::random_word(rng, 16, kLevels));
+  SearchEngine engine(index, {.threads = 1});
+  const auto res = engine.submit_batch(queries, 1);
   // 10 rows per shard on an 8-row bank: 2 folded passes per bank.
   am::AmSystemModel bank(calibration(), 8, 16);
   for (const auto& r : res) {
     EXPECT_GT(r.modeled_energy, 0.0);
+    EXPECT_EQ(r.modeled_passes, 2);
     EXPECT_GE(r.modeled_latency, 2.0 * bank.pass_cycle_time() - 1e-15);
     // Parallel banks: total latency well below a serial scan of all rows.
     EXPECT_LT(r.modeled_latency, 8.0 * bank.pass_cycle_time());
@@ -174,21 +236,27 @@ TEST(SearchEngine, MetricsAccumulate) {
   EXPECT_GT(m.wall_seconds(), 0.0);
   EXPECT_GT(m.qps(), 0.0);
   EXPECT_GT(m.modeled_energy_total(), 0.0);
+  EXPECT_EQ(m.resident_index_bytes(), w.index.resident_bytes());
   EXPECT_GE(m.wall_quantile(0.99), m.wall_quantile(0.50));
   const auto table = m.summary_table();
   EXPECT_NE(table.find("throughput"), std::string::npos);
+  EXPECT_NE(table.find("resident index"), std::string::npos);
   engine.reset_metrics();
   EXPECT_EQ(engine.metrics().queries(), 0u);
+  EXPECT_EQ(engine.metrics().resident_index_bytes(), 0u);
 }
 
 TEST(SearchEngine, Validation) {
-  ShardedIndex index(calibration(), 2, 8);
+  auto index = make_index(2, 8);
   EXPECT_THROW(SearchEngine(index, {.threads = 0}), std::invalid_argument);
   SearchEngine engine(index, {.threads = 1});
   Rng rng(7);
   const std::vector<std::vector<int>> queries{am::random_word(rng, 8, kLevels)};
   EXPECT_THROW(engine.submit_batch(queries, 0), std::invalid_argument);
-  EXPECT_THROW(ShardedIndex(calibration(), 0, 8), std::invalid_argument);
+  const auto registry = default_registry(calibration(), {.stages = 8});
+  EXPECT_THROW(ShardedIndex(registry, "behavioral", 0), std::invalid_argument);
+  EXPECT_THROW(ShardedIndex(registry, "no-such-backend", 2),
+               std::invalid_argument);
 }
 
 }  // namespace
