@@ -5,16 +5,30 @@
 // Pipeline: train + quantize an HDC model, store its class hypervectors
 // across the shards of a runtime::ShardedIndex (global row id == class
 // label) built from the --backend registry entry, then serve the encoded
-// test set as fixed-size batches through runtime::SearchEngine and print the
-// serving metrics table — wall-clock throughput/latency on this host next to
-// the chosen backend's modeled hardware cost per query.  Accuracy is
-// backend-independent (all registered backends compute the identical
-// digit-mismatch distance); only the modeled hardware numbers move.
+// test set and print the serving metrics table — wall-clock
+// throughput/latency on this host next to the chosen backend's modeled
+// hardware cost per query.  Accuracy is backend-independent (all registered
+// backends compute the identical digit-mismatch distance); only the modeled
+// hardware numbers move.
+//
+// Two serving modes:
+//  * default — closed-loop: fixed-size batches through
+//    SearchEngine::submit_batch;
+//  * --async — the asynchronous front-end: every query goes through
+//    AmServer::submit (own future, optional deadline), dynamic
+//    micro-batching with a bounded admission queue.  Shed / rejected /
+//    expired queries are reported per status and are NOT errors — the
+//    process exits 0 as long as every future resolves.
 //
 //   $ ./serving [--backend=behavioral|digital|cam|exact] [--dims=1024]
 //               [--bits=2] [--shards=4] [--threads=4] [--batch=32] [--k=3]
 //               [--train=800] [--test=300]
+//   $ ./serving --async [--policy=block|reject|shed] [--queue-cap=1024]
+//               [--max-delay-us=2000] [--deadline-us=0]   # 0 = no deadline
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <string>
 #include <vector>
 
 #include "am/calibration.h"
@@ -23,10 +37,29 @@
 #include "hdc/model.h"
 #include "runtime/backends.h"
 #include "runtime/engine.h"
+#include "runtime/server.h"
 #include "runtime/sharded_index.h"
 #include "util/cli.h"
 
 using namespace tdam;
+
+namespace {
+
+runtime::AdmissionPolicy parse_policy(const std::string& name) {
+  if (name == "block") return runtime::AdmissionPolicy::kBlock;
+  if (name == "reject") return runtime::AdmissionPolicy::kReject;
+  if (name == "shed") return runtime::AdmissionPolicy::kShedOldest;
+  std::fprintf(stderr, "unknown --policy=%s (block|reject|shed)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+struct Tally {
+  int ok = 0, rejected = 0, shed = 0, expired = 0;
+  int top1 = 0, topk = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
@@ -39,6 +72,7 @@ int main(int argc, char** argv) {
   const int k = args.get_int("k", 3);
   const int train_n = args.get_int("train", 800);
   const int test_n = args.get_int("test", 300);
+  const bool async = args.get_bool("async", false);
 
   // --- train and quantize the classifier (as in hdc_classification) ---
   Rng rng(7);
@@ -63,7 +97,8 @@ int main(int argc, char** argv) {
   const auto cal = am::calibrate_chain(config, cal_rng);
   const auto registry =
       runtime::default_registry(cal, {.stages = dims});
-  runtime::ShardedIndex index(registry, backend, shards);
+  runtime::ShardedIndex index(registry,
+                              {.backend = backend, .shards = shards});
   for (int c = 0; c < qmodel.num_classes(); ++c)
     index.store(qmodel.class_digits(c));  // global row id == class label
   std::printf(
@@ -72,36 +107,99 @@ int main(int argc, char** argv) {
       index.size(), dims, bits, shards, index.backend_name().c_str(),
       static_cast<double>(index.resident_bytes()) / 1024.0);
 
-  // --- serve the test stream in batches ---
-  runtime::SearchEngine engine(index, {.threads = threads});
-  int top1 = 0, topk = 0, served = 0;
   std::vector<std::vector<int>> queries;
-  for (std::size_t i = 0; i < labels_test.size(); ++i) {
+  for (std::size_t i = 0; i < labels_test.size(); ++i)
     queries.push_back(qmodel.quantize_query(
         enc_test.data() + i * static_cast<std::size_t>(dims)));
-    const bool flush =
-        static_cast<int>(queries.size()) == batch || i + 1 == labels_test.size();
-    if (!flush) continue;
-    const auto results = engine.submit_batch(queries, k);
-    for (std::size_t q = 0; q < results.size(); ++q) {
-      const int label = labels_test[static_cast<std::size_t>(served) + q];
-      const auto& entries = results[q].entries;
-      if (!entries.empty() && entries.front().row == label) ++top1;
-      for (const auto& e : entries)
-        if (e.row == label) {
-          ++topk;
-          break;
-        }
+
+  Tally tally;
+  const auto score = [&](std::size_t q, const std::vector<core::TopKEntry>&
+                                             entries) {
+    const int label = labels_test[q];
+    if (!entries.empty() && entries.front().row == label) ++tally.top1;
+    for (const auto& e : entries)
+      if (e.row == label) {
+        ++tally.topk;
+        break;
+      }
+  };
+
+  if (async) {
+    // --- asynchronous front-end: per-query futures over AmServer ---
+    const auto policy = parse_policy(args.get("policy", "block"));
+    const int queue_cap = args.get_int("queue-cap", 1024);
+    const int max_delay_us = args.get_int("max-delay-us", 2000);
+    const int deadline_us = args.get_int("deadline-us", 0);
+    runtime::AmServer server(
+        index, {.engine = {.threads = threads},
+                .scheduler = {.max_batch = batch,
+                              .max_delay = max_delay_us * 1e-6,
+                              .queue_capacity = queue_cap,
+                              .policy = policy}});
+    std::vector<std::future<runtime::ServedResult>> futures;
+    futures.reserve(queries.size());
+    for (const auto& q : queries) {
+      const auto deadline =
+          deadline_us > 0
+              ? std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(deadline_us)
+              : runtime::AmServer::kNoDeadline;
+      futures.push_back(server.submit(q, k, deadline));
     }
+    for (std::size_t q = 0; q < futures.size(); ++q) {
+      const auto served = futures[q].get();
+      switch (served.status) {
+        case runtime::QueryStatus::kOk:
+          ++tally.ok;
+          score(q, served.result.entries);
+          break;
+        case runtime::QueryStatus::kRejected: ++tally.rejected; break;
+        case runtime::QueryStatus::kShed: ++tally.shed; break;
+        case runtime::QueryStatus::kDeadlineExpired: ++tally.expired; break;
+      }
+    }
+    server.shutdown();
+    std::printf(
+        "async-served %zu queries on '%s' (policy=%s, queue=%d, "
+        "max_batch=%d, max_delay=%dus, deadline=%dus)\n",
+        queries.size(), backend.c_str(), args.get("policy", "block").c_str(),
+        queue_cap, batch, max_delay_us, deadline_us);
+    std::printf("status: ok=%d rejected=%d shed=%d expired=%d\n", tally.ok,
+                tally.rejected, tally.shed, tally.expired);
+    if (tally.ok > 0)
+      std::printf("top-1 accuracy (answered): %.3f   top-%d hit rate: %.3f\n",
+                  static_cast<double>(tally.top1) /
+                      static_cast<double>(tally.ok),
+                  k,
+                  static_cast<double>(tally.topk) /
+                      static_cast<double>(tally.ok));
+    std::printf("%s", server.metrics().summary_table().c_str());
+    // Degraded queries are accounted, not errors; only an unresolved future
+    // (which would have thrown above) fails this smoke.
+    return 0;
+  }
+
+  // --- closed-loop: fixed-size batches straight into the engine ---
+  runtime::SearchEngine engine(index, {.threads = threads});
+  int served = 0;
+  std::vector<std::vector<int>> pending;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    pending.push_back(queries[i]);
+    const bool flush =
+        static_cast<int>(pending.size()) == batch || i + 1 == queries.size();
+    if (!flush) continue;
+    const auto results = engine.submit_batch(pending, k);
+    for (std::size_t q = 0; q < results.size(); ++q)
+      score(static_cast<std::size_t>(served) + q, results[q].entries);
     served += static_cast<int>(results.size());
-    queries.clear();
+    pending.clear();
   }
 
   std::printf("served %d queries on '%s' with %d threads (batch=%d, k=%d)\n",
               served, backend.c_str(), threads, batch, k);
   std::printf("top-1 accuracy: %.3f   top-%d hit rate: %.3f\n",
-              static_cast<double>(top1) / static_cast<double>(served), k,
-              static_cast<double>(topk) / static_cast<double>(served));
+              static_cast<double>(tally.top1) / static_cast<double>(served), k,
+              static_cast<double>(tally.topk) / static_cast<double>(served));
   std::printf("%s", engine.metrics().summary_table().c_str());
   return 0;
 }

@@ -94,8 +94,17 @@ int DigitMatrix::digit(int row, int col) const {
 }
 
 std::vector<int> DigitMatrix::unpack_row(int row) const {
-  const auto words = row_words(row);
   std::vector<int> out(static_cast<std::size_t>(cols_));
+  unpack_row_into(row, out);
+  return out;
+}
+
+void DigitMatrix::unpack_row_into(int row, std::span<int> out) const {
+  if (out.size() != static_cast<std::size_t>(cols_))
+    throw std::invalid_argument("DigitMatrix::unpack_row_into: buffer holds " +
+                                std::to_string(out.size()) + " digits, row has " +
+                                std::to_string(cols_));
+  const auto words = row_words(row);
   const int dpw = digits_per_word();
   const std::uint32_t field_mask = (1u << bits_) - 1u;
   for (int c = 0; c < cols_; ++c) {
@@ -103,7 +112,6 @@ std::vector<int> DigitMatrix::unpack_row(int row) const {
     out[static_cast<std::size_t>(c)] =
         static_cast<int>((word >> ((c % dpw) * bits_)) & field_mask);
   }
-  return out;
 }
 
 int DigitMatrix::mismatch_distance(

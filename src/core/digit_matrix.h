@@ -40,6 +40,9 @@ class DigitMatrix {
 
   int digit(int row, int col) const;
   std::vector<int> unpack_row(int row) const;
+  // Allocation-free unpack into a caller-owned buffer of exactly cols()
+  // digits (the serving engine reuses one arena across a whole batch).
+  void unpack_row_into(int row, std::span<int> out) const;
   std::span<const std::uint32_t> row_words(int row) const;
 
   // Packs a query for repeated distance evaluation.  Validates like append.

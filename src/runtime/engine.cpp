@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <stdexcept>
+#include <string>
 
 namespace tdam::runtime {
 
@@ -59,27 +60,47 @@ TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
 }
 
 std::vector<TopKResult> SearchEngine::submit_batch(
-    std::span<const std::vector<int>> queries, int k) {
+    const core::DigitMatrix& queries, int k) {
   if (k < 1)
     throw std::invalid_argument("SearchEngine::submit_batch: k must be >= 1");
+  if (queries.cols() != index_.stages())
+    throw std::invalid_argument(
+        "SearchEngine::submit_batch: queries have " +
+        std::to_string(queries.cols()) + " digits, index stores " +
+        std::to_string(index_.stages()));
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<TopKResult> results(queries.size());
+  const auto n = static_cast<std::size_t>(queries.rows());
+  const auto stages = static_cast<std::size_t>(queries.cols());
+  std::vector<TopKResult> results(n);
+  // One unpack arena for the whole batch: task i owns the disjoint slice
+  // [i*stages, (i+1)*stages), so no per-query heap allocation and no
+  // sharing between pool workers.
+  std::vector<int> arena(n * stages);
+  const auto digits_of = [&](std::size_t i) {
+    return std::span<int>(arena).subspan(i * stages, stages);
+  };
   if (pool_) {
     std::vector<std::future<void>> pending;
-    pending.reserve(queries.size());
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      pending.push_back(pool_->submit([this, &queries, &results, i, k] {
-        results[i] = run_query(queries[i], k);
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pending.push_back(pool_->submit([this, &queries, &results, &digits_of, i,
+                                       k] {
+        const auto digits = digits_of(i);
+        queries.unpack_row_into(static_cast<int>(i), digits);
+        results[i] = run_query(digits, k);
       }));
     }
     for (auto& f : pending) f.get();  // rethrows any task exception
   } else {
-    for (std::size_t i = 0; i < queries.size(); ++i)
-      results[i] = run_query(queries[i], k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto digits = digits_of(i);
+      queries.unpack_row_into(static_cast<int>(i), digits);
+      results[i] = run_query(digits, k);
+    }
   }
 
   BatchStats stats;
-  stats.queries = static_cast<int>(queries.size());
+  stats.queries = static_cast<int>(n);
   stats.wall_seconds = seconds_since(t0);
   for (const auto& r : results) {
     metrics_.record_query_wall(r.wall_seconds);
@@ -89,6 +110,13 @@ std::vector<TopKResult> SearchEngine::submit_batch(
   metrics_.record_batch(stats);
   metrics_.set_resident_index_bytes(index_.resident_bytes());
   return results;
+}
+
+std::vector<TopKResult> SearchEngine::submit_batch(
+    std::span<const std::vector<int>> queries, int k) {
+  core::DigitMatrix packed(index_.stages(), index_.levels());
+  for (const auto& q : queries) packed.append(q);  // validates digit range
+  return submit_batch(packed, k);
 }
 
 }  // namespace tdam::runtime

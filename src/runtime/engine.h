@@ -10,6 +10,12 @@
 // pool entirely and is the sequential reference the determinism tests pin
 // against.
 //
+// Query representation: the primary entry point takes queries packed in a
+// core::DigitMatrix (one contiguous buffer per batch; tasks unpack rows
+// into a shared arena, zero heap allocations per query).  The
+// span<const vector<int>> overload is a thin adapter that packs and
+// delegates, kept for callers that hold unpacked digits.
+//
 // Cost accounting per query:
 //  * wall   — host time for the query task (recorded into ServingMetrics'
 //    latency histogram; batch wall time drives the QPS counter);
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/digit_matrix.h"
 #include "runtime/metrics.h"
 #include "runtime/sharded_index.h"
 #include "runtime/thread_pool.h"
@@ -52,19 +59,29 @@ struct TopKResult {
 class SearchEngine {
  public:
   // The engine serves queries against `index`; the index must not be
-  // mutated while a submit_batch call is in flight.
+  // mutated while a submit_batch call is in flight (AmServer mediates this
+  // with its serving lock).
   SearchEngine(const ShardedIndex& index, EngineOptions options = {});
 
   int threads() const { return options_.threads; }
   const ShardedIndex& index() const { return index_; }
 
-  // Answers every query (each of index().stages() digits) with its global
-  // top-k.  k must be >= 1; fewer than k entries come back when the index
-  // holds fewer rows.  Updates the serving metrics as a side effect.
+  // Answers every row of `queries` (cols() must equal index().stages())
+  // with its global top-k.  k must be >= 1; fewer than k entries come back
+  // when the index holds fewer rows.  Updates the serving metrics as a
+  // side effect.  This is the allocation-lean hot path.
+  std::vector<TopKResult> submit_batch(const core::DigitMatrix& queries,
+                                       int k);
+
+  // Adapter for unpacked queries (each of index().stages() digits): packs
+  // into a DigitMatrix — which validates digit range — and delegates.
   std::vector<TopKResult> submit_batch(
       std::span<const std::vector<int>> queries, int k);
 
   const ServingMetrics& metrics() const { return metrics_; }
+  // The metrics object is internally synchronized; AmServer records its
+  // admission outcomes into the same instance through this accessor.
+  ServingMetrics& metrics() { return metrics_; }
   void reset_metrics() { metrics_.reset(); }
 
  private:

@@ -1,62 +1,189 @@
 #include "runtime/metrics.h"
 
+#include <algorithm>
+
 #include "util/table.h"
 
 namespace tdam::runtime {
 
-ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins)
-    : wall_(0.0, latency_hi, bins) {}
+ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins,
+                               std::size_t batch_hi)
+    : wall_(0.0, latency_hi, bins),
+      batch_sizes_(0.0, static_cast<double>(batch_hi), batch_hi) {}
 
-void ServingMetrics::record_query_wall(double seconds) { wall_.add(seconds); }
+void ServingMetrics::record_query_wall(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wall_.add(seconds);
+}
 
 void ServingMetrics::record_batch(const BatchStats& batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++batches_;
   queries_ += static_cast<std::size_t>(batch.queries);
   wall_seconds_ += batch.wall_seconds;
   modeled_latency_ += batch.modeled_latency;
   modeled_energy_ += batch.modeled_energy;
+  batch_sizes_.add(static_cast<double>(batch.queries));
+}
+
+void ServingMetrics::record_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void ServingMetrics::record_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_;
+}
+
+void ServingMetrics::record_expired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++expired_;
+}
+
+void ServingMetrics::set_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_ = depth;
+  peak_queue_depth_ = std::max(peak_queue_depth_, depth);
+}
+
+void ServingMetrics::set_resident_index_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resident_index_bytes_ = bytes;
 }
 
 void ServingMetrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   wall_ = Histogram(wall_.lo(), wall_.hi(), wall_.bins());
+  batch_sizes_ =
+      Histogram(batch_sizes_.lo(), batch_sizes_.hi(), batch_sizes_.bins());
   queries_ = 0;
   batches_ = 0;
   wall_seconds_ = 0.0;
   modeled_latency_ = 0.0;
   modeled_energy_ = 0.0;
+  rejected_ = 0;
+  shed_ = 0;
+  expired_ = 0;
+  queue_depth_ = 0;
+  peak_queue_depth_ = 0;
   resident_index_bytes_ = 0;
 }
 
+std::size_t ServingMetrics::queries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queries_;
+}
+
+std::size_t ServingMetrics::batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+double ServingMetrics::wall_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wall_seconds_;
+}
+
 double ServingMetrics::qps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (wall_seconds_ <= 0.0) return 0.0;
   return static_cast<double>(queries_) / wall_seconds_;
 }
 
+double ServingMetrics::wall_quantile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wall_.quantile(p);
+}
+
+double ServingMetrics::batch_size_quantile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_sizes_.quantile(p);
+}
+
+std::size_t ServingMetrics::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+std::size_t ServingMetrics::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::size_t ServingMetrics::expired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expired_;
+}
+
+std::size_t ServingMetrics::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_depth_;
+}
+
+std::size_t ServingMetrics::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_queue_depth_;
+}
+
+std::size_t ServingMetrics::resident_index_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_index_bytes_;
+}
+
+double ServingMetrics::modeled_latency_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return modeled_latency_;
+}
+
+double ServingMetrics::modeled_energy_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return modeled_energy_;
+}
+
 double ServingMetrics::modeled_latency_per_query() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (queries_ == 0) return 0.0;
   return modeled_latency_ / static_cast<double>(queries_);
 }
 
 double ServingMetrics::modeled_energy_per_query() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (queries_ == 0) return 0.0;
   return modeled_energy_ / static_cast<double>(queries_);
 }
 
 std::string ServingMetrics::summary_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Table t({"metric", "value"});
   t.add_row({"queries", std::to_string(queries_)});
   t.add_row({"batches", std::to_string(batches_)});
   t.add_row({"wall time (s)", Table::fmt(wall_seconds_)});
-  t.add_row({"throughput (QPS)", Table::fmt(qps())});
-  t.add_row({"wall p50 (us)", Table::fmt(wall_quantile(0.50) * 1e6)});
-  t.add_row({"wall p95 (us)", Table::fmt(wall_quantile(0.95) * 1e6)});
-  t.add_row({"wall p99 (us)", Table::fmt(wall_quantile(0.99) * 1e6)});
+  const double qps = wall_seconds_ > 0.0
+                         ? static_cast<double>(queries_) / wall_seconds_
+                         : 0.0;
+  t.add_row({"throughput (QPS)", Table::fmt(qps)});
+  t.add_row({"wall p50 (us)", Table::fmt(wall_.quantile(0.50) * 1e6)});
+  t.add_row({"wall p95 (us)", Table::fmt(wall_.quantile(0.95) * 1e6)});
+  t.add_row({"wall p99 (us)", Table::fmt(wall_.quantile(0.99) * 1e6)});
+  t.add_row({"batch size p50", Table::fmt(batch_sizes_.quantile(0.50))});
+  t.add_row({"batch size p99", Table::fmt(batch_sizes_.quantile(0.99))});
+  t.add_row({"queue depth (now/peak)", std::to_string(queue_depth_) + "/" +
+                                           std::to_string(peak_queue_depth_)});
+  t.add_row({"rejected", std::to_string(rejected_)});
+  t.add_row({"shed", std::to_string(shed_)});
+  t.add_row({"deadline expired", std::to_string(expired_)});
   t.add_row({"modeled HW latency/query (ns)",
-             Table::fmt(modeled_latency_per_query() * 1e9)});
+             Table::fmt(queries_ == 0 ? 0.0
+                                      : modeled_latency_ /
+                                            static_cast<double>(queries_) *
+                                            1e9)});
   t.add_row({"modeled HW energy/query (pJ)",
-             Table::fmt(modeled_energy_per_query() * 1e12)});
-  t.add_row({"modeled HW energy total (nJ)",
-             Table::fmt(modeled_energy_total() * 1e9)});
+             Table::fmt(queries_ == 0 ? 0.0
+                                      : modeled_energy_ /
+                                            static_cast<double>(queries_) *
+                                            1e12)});
+  t.add_row({"modeled HW energy total (nJ)", Table::fmt(modeled_energy_ * 1e9)});
   t.add_row({"resident index (KiB)",
              Table::fmt(static_cast<double>(resident_index_bytes_) / 1024.0)});
   return t.render();

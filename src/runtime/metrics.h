@@ -10,9 +10,16 @@
 // Keeping both visible side by side is the point: the software numbers
 // validate the serving architecture, the hardware numbers carry the paper's
 // efficiency claim.
+//
+// For the asynchronous front-end the same object also records the
+// degradation surface: a queue-depth gauge (current + peak), a micro-batch
+// size histogram, and rejected/shed/expired admission counters.  All
+// methods are internally synchronized — AmServer's dispatcher, its
+// submitters, and a metrics reader may touch one instance concurrently.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 
 #include "util/histogram.h"
@@ -31,30 +38,47 @@ class ServingMetrics {
  public:
   // Per-query wall latencies are binned over [0, latency_hi) seconds;
   // slower queries land in the histogram overflow and quantiles clamp.
-  explicit ServingMetrics(double latency_hi = 0.25, std::size_t bins = 4096);
+  // Batch sizes are binned one-per-bin over [0, batch_hi).
+  explicit ServingMetrics(double latency_hi = 0.25, std::size_t bins = 4096,
+                          std::size_t batch_hi = 1024);
 
   void record_query_wall(double seconds);
   void record_batch(const BatchStats& batch);
+  // Admission-control outcomes (AmServer): a query bounced by kReject, a
+  // queued query evicted by kShedOldest, a query whose deadline passed
+  // before dispatch.
+  void record_rejected();
+  void record_shed();
+  void record_expired();
+  // Gauge: queries currently waiting in the admission queue.  Also tracks
+  // the high-water mark since the last reset.
+  void set_queue_depth(std::size_t depth);
   // Resident bytes of the served index (packed backend storage); the engine
   // refreshes this after every batch so the summary shows what the stored
   // set actually costs in memory.
-  void set_resident_index_bytes(std::size_t bytes) {
-    resident_index_bytes_ = bytes;
-  }
+  void set_resident_index_bytes(std::size_t bytes);
   void reset();
 
-  std::size_t queries() const { return queries_; }
-  std::size_t batches() const { return batches_; }
-  double wall_seconds() const { return wall_seconds_; }
+  std::size_t queries() const;
+  std::size_t batches() const;
+  double wall_seconds() const;
   // Cumulative throughput over all recorded batches.
   double qps() const;
   // p in [0, 1]; per-query wall-latency quantile in seconds.
-  double wall_quantile(double p) const { return wall_.quantile(p); }
+  double wall_quantile(double p) const;
+  // p in [0, 1]; micro-batch size quantile in queries per batch.
+  double batch_size_quantile(double p) const;
 
-  std::size_t resident_index_bytes() const { return resident_index_bytes_; }
+  std::size_t rejected() const;
+  std::size_t shed() const;
+  std::size_t expired() const;
+  std::size_t queue_depth() const;
+  std::size_t peak_queue_depth() const;
 
-  double modeled_latency_total() const { return modeled_latency_; }
-  double modeled_energy_total() const { return modeled_energy_; }
+  std::size_t resident_index_bytes() const;
+
+  double modeled_latency_total() const;
+  double modeled_energy_total() const;
   double modeled_latency_per_query() const;
   double modeled_energy_per_query() const;
 
@@ -62,12 +86,19 @@ class ServingMetrics {
   std::string summary_table() const;
 
  private:
+  mutable std::mutex mutex_;
   Histogram wall_;
+  Histogram batch_sizes_;
   std::size_t queries_ = 0;
   std::size_t batches_ = 0;
   double wall_seconds_ = 0.0;
   double modeled_latency_ = 0.0;
   double modeled_energy_ = 0.0;
+  std::size_t rejected_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t expired_ = 0;
+  std::size_t queue_depth_ = 0;
+  std::size_t peak_queue_depth_ = 0;
   std::size_t resident_index_bytes_ = 0;
 };
 

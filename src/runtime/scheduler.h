@@ -1,0 +1,121 @@
+// Micro-batching admission queue for the asynchronous serving front-end.
+//
+// The Scheduler is the synchronization core of AmServer, factored out so it
+// can be unit-tested without an engine: callers enqueue individual queries
+// (each carrying its own top-k, deadline, and completion promise), a single
+// dispatcher thread pulls dynamic micro-batches, and a bounded queue applies
+// one of three admission policies when the dispatcher falls behind:
+//
+//  * kBlock     — enqueue waits for space (backpressure onto the caller);
+//  * kReject    — the NEW query completes immediately with
+//                 QueryStatus::kRejected (fail-fast);
+//  * kShedOldest — the OLDEST queued query completes with
+//                 QueryStatus::kShed and the new one is admitted (the head
+//                 of the queue has burned the most of its deadline, so it
+//                 is the least likely to still be useful).
+//
+// Batch formation is the classic dynamic rule: flush as soon as max_batch
+// queries pend, or as soon as the oldest pending query has waited
+// max_delay, whichever comes first.  close() flushes whatever pends,
+// releases blocked producers (their queries are rejected), and makes
+// next_batch() return empty once drained.
+//
+// Deadlines are NOT enforced here — the scheduler only transports them.
+// AmServer checks them at dequeue so an expired query is answered with
+// kDeadlineExpired without ever touching the shards.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/metrics.h"
+
+namespace tdam::runtime {
+
+// Terminal state of one asynchronously served query.  Every status other
+// than kOk means the shards were never consulted.
+enum class QueryStatus {
+  kOk,               // answered; ServedResult::result is valid
+  kRejected,         // bounced at admission (kReject policy, or shutdown)
+  kShed,             // evicted from the queue by a newer query (kShedOldest)
+  kDeadlineExpired,  // deadline passed before dispatch
+};
+
+enum class AdmissionPolicy { kBlock, kReject, kShedOldest };
+
+// What a submit() future resolves to.
+struct ServedResult {
+  QueryStatus status = QueryStatus::kRejected;
+  TopKResult result;           // populated iff status == kOk
+  double queue_seconds = 0.0;  // enqueue -> terminal transition
+  // ShardedIndex::generation() the answer was computed against (kOk only);
+  // lets a caller correlate answers with concurrent stores/clears.
+  std::uint64_t generation = 0;
+};
+
+struct SchedulerOptions {
+  int max_batch = 32;            // flush when this many queries pend
+  double max_delay = 2e-3;       // s; flush when the oldest waited this long
+  int queue_capacity = 1024;     // bound on pending queries
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+};
+
+// One pending query in flight between submit() and the dispatcher.
+struct PendingQuery {
+  std::vector<int> digits;
+  int k = 1;
+  // steady_clock::time_point::max() == no deadline.
+  std::chrono::steady_clock::time_point deadline;
+  std::chrono::steady_clock::time_point enqueued;
+  std::promise<ServedResult> promise;
+};
+
+class Scheduler {
+ public:
+  // Validates options (max_batch/queue_capacity >= 1, max_delay >= 0,
+  // max_batch <= queue_capacity would deadlock kBlock producers — allowed,
+  // batches simply flush at queue_capacity).  Metrics may be null; when
+  // set, rejected/shed counters and the queue-depth gauge are recorded.
+  explicit Scheduler(SchedulerOptions options,
+                     ServingMetrics* metrics = nullptr);
+
+  const SchedulerOptions& options() const { return options_; }
+
+  // Hands one query to the scheduler, applying the admission policy.  The
+  // query's promise is always eventually fulfilled: by the dispatcher, by
+  // shedding, or by rejection (including enqueue-after-close).
+  void enqueue(PendingQuery query);
+
+  // Blocks until a micro-batch is ready (max_batch pending, max_delay
+  // elapsed on the oldest, or close() with queries still queued) and pops
+  // up to max_batch queries in arrival order.  Returns an empty vector
+  // exactly when the scheduler is closed and fully drained — the
+  // dispatcher's exit condition.
+  std::vector<PendingQuery> next_batch();
+
+  // Stops admission (subsequent/blocked enqueues reject), wakes the
+  // dispatcher to drain what pends.
+  void close();
+  bool closed() const;
+
+  // Queries currently pending.
+  int depth() const;
+
+ private:
+  void publish_depth_locked();
+
+  SchedulerOptions options_;
+  ServingMetrics* metrics_;
+  mutable std::mutex mutex_;
+  std::condition_variable batch_ready_;   // dispatcher waits here
+  std::condition_variable space_free_;    // kBlock producers wait here
+  std::deque<PendingQuery> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace tdam::runtime

@@ -1,0 +1,147 @@
+#include "runtime/server.h"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tdam::runtime {
+
+namespace {
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+AmServer::AmServer(ShardedIndex& index, ServerOptions options)
+    : index_(index),
+      options_(options),
+      engine_(index, options.engine),
+      scheduler_(options.scheduler, &engine_.metrics()),
+      dispatcher_([this] { serve_loop(); }) {}
+
+AmServer::~AmServer() { shutdown(); }
+
+void AmServer::shutdown() {
+  scheduler_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<ServedResult> AmServer::submit(
+    std::span<const int> query, int k,
+    std::chrono::steady_clock::time_point deadline) {
+  if (k < 1)
+    throw std::invalid_argument("AmServer::submit: k must be >= 1");
+  if (static_cast<int>(query.size()) != index_.stages())
+    throw std::invalid_argument(
+        "AmServer::submit: query has " + std::to_string(query.size()) +
+        " digits, index stores " + std::to_string(index_.stages()));
+  for (std::size_t i = 0; i < query.size(); ++i)
+    if (query[i] < 0 || query[i] >= index_.levels())
+      throw std::invalid_argument(
+          "AmServer::submit: digit " + std::to_string(query[i]) +
+          " at position " + std::to_string(i) + " outside [0, " +
+          std::to_string(index_.levels()) + ")");
+  PendingQuery pending;
+  pending.digits.assign(query.begin(), query.end());
+  pending.k = k;
+  pending.deadline = deadline;
+  pending.enqueued = std::chrono::steady_clock::now();
+  auto future = pending.promise.get_future();
+  scheduler_.enqueue(std::move(pending));
+  return future;
+}
+
+std::vector<std::future<ServedResult>> AmServer::submit(
+    const core::DigitMatrix& queries, int k,
+    std::chrono::steady_clock::time_point deadline) {
+  if (queries.cols() != index_.stages())
+    throw std::invalid_argument(
+        "AmServer::submit: queries have " + std::to_string(queries.cols()) +
+        " digits, index stores " + std::to_string(index_.stages()));
+  std::vector<std::future<ServedResult>> futures;
+  futures.reserve(static_cast<std::size_t>(queries.rows()));
+  for (int r = 0; r < queries.rows(); ++r)
+    futures.push_back(submit(queries.unpack_row(r), k, deadline));
+  return futures;
+}
+
+int AmServer::store(std::span<const int> digits) {
+  std::unique_lock<std::shared_mutex> lock(serving_mutex_);
+  return index_.store(digits);  // bumps the generation
+}
+
+void AmServer::clear() {
+  std::unique_lock<std::shared_mutex> lock(serving_mutex_);
+  index_.clear();  // bumps the generation
+}
+
+std::uint64_t AmServer::generation() const {
+  std::shared_lock<std::shared_mutex> lock(serving_mutex_);
+  return index_.generation();
+}
+
+void AmServer::serve_loop() {
+  for (;;) {
+    auto batch = scheduler_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    run_batch(std::move(batch));
+  }
+}
+
+void AmServer::run_batch(std::vector<PendingQuery> batch) {
+  const auto now = std::chrono::steady_clock::now();
+  // Deadline check at dequeue: an expired query is answered without ever
+  // touching the shards — the cheapest possible form of load shedding.
+  std::vector<PendingQuery> live;
+  live.reserve(batch.size());
+  for (auto& query : batch) {
+    if (query.deadline <= now) {
+      engine_.metrics().record_expired();
+      ServedResult out;
+      out.status = QueryStatus::kDeadlineExpired;
+      out.queue_seconds = seconds_between(query.enqueued, now);
+      query.promise.set_value(std::move(out));
+    } else {
+      live.push_back(std::move(query));
+    }
+  }
+  if (live.empty()) return;
+
+  // One engine call per distinct k (queries in a micro-batch may disagree
+  // on k); arrival order is preserved within each group, and the engine is
+  // deterministic, so coalescing never changes any query's answer.
+  std::map<int, std::vector<std::size_t>> by_k;
+  for (std::size_t i = 0; i < live.size(); ++i)
+    by_k[live[i].k].push_back(i);
+
+  // Shared serving lock: store()/clear() take it exclusively, so a writer
+  // waits for this micro-batch to drain and every answer below was
+  // computed against one consistent index generation.
+  std::shared_lock<std::shared_mutex> lock(serving_mutex_);
+  const auto generation = index_.generation();
+  for (auto& [k, members] : by_k) {
+    core::DigitMatrix packed(index_.stages(), index_.levels());
+    for (const auto i : members) packed.append(live[i].digits);
+    std::vector<TopKResult> results;
+    try {
+      results = engine_.submit_batch(packed, k);
+    } catch (...) {
+      for (const auto i : members)
+        live[i].promise.set_exception(std::current_exception());
+      continue;
+    }
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      auto& query = live[members[j]];
+      ServedResult out;
+      out.status = QueryStatus::kOk;
+      out.result = std::move(results[j]);
+      out.queue_seconds = seconds_between(query.enqueued, now);
+      out.generation = generation;
+      query.promise.set_value(std::move(out));
+    }
+  }
+}
+
+}  // namespace tdam::runtime

@@ -1,0 +1,108 @@
+// Asynchronous serving front-end over the sharded TD-AM engine.
+//
+// The paper answers one query in a single pulse propagation across M
+// parallel chains; the serving layer must therefore never serialize callers
+// behind a blocking batch API.  AmServer accepts individual queries from
+// any number of threads (`submit` returns a std::future immediately),
+// coalesces them into dynamic micro-batches on a Scheduler (flush on
+// max_batch or max_delay, whichever first), and runs each batch on the
+// owned SearchEngine from a single dispatcher thread.
+//
+// Degradation is explicit, observable, and per-query:
+//  * admission   — the Scheduler's bounded queue applies kBlock / kReject /
+//    kShedOldest; bounced queries resolve with QueryStatus::kRejected /
+//    kShed and count in ServingMetrics;
+//  * deadlines   — checked at dequeue: a query whose deadline passed while
+//    queued resolves with QueryStatus::kDeadlineExpired WITHOUT touching
+//    the shards (load shedding proper), and counts in metrics;
+//  * answered    — QueryStatus::kOk with the engine's TopKResult, stamped
+//    with the index generation it was computed against.
+//
+// Mutation while live is reconciled with an epoch/generation guard: store()
+// and clear() take the serving lock exclusively, so they wait for the
+// in-flight micro-batch to drain, mutate (which bumps
+// ShardedIndex::generation()), and release; the dispatcher holds the lock
+// shared for the duration of each batch.  Queries dispatched after the
+// write see the new epoch — their results carry the new generation.
+//
+// shutdown() (and the destructor) closes admission, drains every queued
+// query (answered or expired, never silently dropped), and joins the
+// dispatcher.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/digit_matrix.h"
+#include "runtime/engine.h"
+#include "runtime/scheduler.h"
+#include "runtime/sharded_index.h"
+
+namespace tdam::runtime {
+
+struct ServerOptions {
+  EngineOptions engine;         // worker threads inside each micro-batch
+  SchedulerOptions scheduler;   // batching + admission control
+};
+
+class AmServer {
+ public:
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  // The server serves (and mediates mutation of) `index`; the index must
+  // not be touched except through this server while it is live.
+  AmServer(ShardedIndex& index, ServerOptions options = {});
+  ~AmServer();
+
+  AmServer(const AmServer&) = delete;
+  AmServer& operator=(const AmServer&) = delete;
+
+  // Asynchronously answers one query of index().stages() digits with its
+  // global top-k.  Validates digits/k synchronously (throws
+  // std::invalid_argument); admission-control and deadline outcomes arrive
+  // through the future's QueryStatus instead.  Thread-safe.
+  std::future<ServedResult> submit(
+      std::span<const int> query, int k,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
+
+  // Packed form: one future per row of `queries` (validated against the
+  // index geometry), all sharing one deadline.
+  std::vector<std::future<ServedResult>> submit(
+      const core::DigitMatrix& queries, int k,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
+
+  // Mutations drain the in-flight micro-batch, then apply (bumping the
+  // index generation).  Safe while serving; throws what the index throws.
+  int store(std::span<const int> digits);
+  void clear();
+  std::uint64_t generation() const;
+
+  const ShardedIndex& index() const { return index_; }
+  const ServingMetrics& metrics() const { return engine_.metrics(); }
+  const ServerOptions& options() const { return options_; }
+
+  // Closes admission, serves/expires everything still queued, joins the
+  // dispatcher.  Idempotent; called by the destructor.
+  void shutdown();
+
+ private:
+  void serve_loop();
+  void run_batch(std::vector<PendingQuery> batch);
+
+  ShardedIndex& index_;
+  ServerOptions options_;
+  SearchEngine engine_;
+  Scheduler scheduler_;
+  // Shared: dispatcher executing a micro-batch; exclusive: store/clear and
+  // generation reads from other threads.
+  mutable std::shared_mutex serving_mutex_;
+  std::thread dispatcher_;
+};
+
+}  // namespace tdam::runtime

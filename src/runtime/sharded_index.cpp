@@ -5,18 +5,19 @@
 namespace tdam::runtime {
 
 ShardedIndex::ShardedIndex(const core::BackendRegistry& registry,
-                           const std::string& backend, int shards,
-                           Placement placement)
-    : backend_name_(backend), placement_(placement) {
-  if (shards < 1)
-    throw std::invalid_argument("ShardedIndex: shards must be >= 1");
-  shards_.reserve(static_cast<std::size_t>(shards));
-  for (int s = 0; s < shards; ++s) shards_.push_back(registry.create(backend));
-  global_ids_.resize(static_cast<std::size_t>(shards));
+                           ShardedIndexOptions options)
+    : options_(std::move(options)) {
+  if (options_.shards < 1)
+    throw std::invalid_argument("ShardedIndex: shards must be >= 1 (got " +
+                                std::to_string(options_.shards) + ")");
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s)
+    shards_.push_back(registry.create(options_.backend));
+  global_ids_.resize(static_cast<std::size_t>(options_.shards));
 }
 
 int ShardedIndex::pick_shard() const {
-  if (placement_ == Placement::kRoundRobin)
+  if (options_.placement == Placement::kRoundRobin)
     return static_cast<int>(locations_.size()) % num_shards();
   int best = 0;
   for (int s = 1; s < num_shards(); ++s)
@@ -33,6 +34,7 @@ int ShardedIndex::store(std::span<const int> digits) {
       shards_[static_cast<std::size_t>(s)]->store(digits);  // validates
   global_ids_[static_cast<std::size_t>(s)].push_back(global);
   locations_.emplace_back(s, local);
+  ++generation_;
   return global;
 }
 
@@ -40,6 +42,7 @@ void ShardedIndex::clear() {
   for (auto& s : shards_) s->clear();
   for (auto& ids : global_ids_) ids.clear();
   locations_.clear();
+  ++generation_;
 }
 
 const core::SimilarityBackend& ShardedIndex::shard(int s) const {

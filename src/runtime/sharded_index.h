@@ -12,8 +12,15 @@
 // stored vectors (the pre-refactor version held every digit twice), only the
 // 8-byte location record per row.  Snapshots read back through the shards'
 // packed matrices.
+//
+// The index is not internally synchronized.  For concurrent serving it
+// carries a generation counter: every mutation (store/clear) bumps it, and
+// AmServer uses a writer lock to drain in-flight batches before mutating —
+// a query result stamped with generation G was computed against exactly the
+// store state after the G-th mutation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,19 +38,37 @@ namespace tdam::runtime {
 //    (capacity-aware: keeps banks balanced under interleaved clears/stores).
 enum class Placement { kRoundRobin, kLeastLoaded };
 
+// Construction knobs, mirroring BackendOptions/EngineOptions: which registry
+// entry to instantiate, how many shards, and where stores land.
+struct ShardedIndexOptions {
+  std::string backend = "behavioral";
+  int shards = 1;
+  Placement placement = Placement::kRoundRobin;
+};
+
 class ShardedIndex {
  public:
-  // Creates `shards` fresh instances of `backend` through the registry.
+  // Creates `options.shards` fresh instances of `options.backend` through
+  // the registry.  Throws std::invalid_argument (naming the offending
+  // value) when shards < 1, and whatever the registry throws for an
+  // unknown backend.
+  ShardedIndex(const core::BackendRegistry& registry,
+               ShardedIndexOptions options);
+
+  // Pre-options-struct calling convention, kept for one release.
+  [[deprecated("pass ShardedIndexOptions{backend, shards, placement}")]]
   ShardedIndex(const core::BackendRegistry& registry,
                const std::string& backend, int shards,
-               Placement placement = Placement::kRoundRobin);
+               Placement placement = Placement::kRoundRobin)
+      : ShardedIndex(registry,
+                     ShardedIndexOptions{backend, shards, placement}) {}
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int stages() const { return shards_.front()->stages(); }
   int levels() const { return shards_.front()->levels(); }
   int size() const { return static_cast<int>(locations_.size()); }
-  const std::string& backend_name() const { return backend_name_; }
-  Placement placement() const { return placement_; }
+  const std::string& backend_name() const { return options_.backend; }
+  Placement placement() const { return options_.placement; }
 
   // Stores one digit vector; returns its global row id.  The backend
   // validates length and digit range.
@@ -51,6 +76,11 @@ class ShardedIndex {
 
   // Drops every stored vector from every shard.
   void clear();
+
+  // Count of mutations (store/clear) applied so far.  Not synchronized —
+  // readers that race writers must hold whatever lock mediates mutation
+  // (AmServer::generation() reads it under the serving lock).
+  std::uint64_t generation() const { return generation_; }
 
   const core::SimilarityBackend& shard(int s) const;
   // Rows held by shard `s`.
@@ -72,11 +102,11 @@ class ShardedIndex {
  private:
   int pick_shard() const;
 
-  std::string backend_name_;
-  Placement placement_;
+  ShardedIndexOptions options_;
   std::vector<std::unique_ptr<core::SimilarityBackend>> shards_;
   std::vector<std::vector<int>> global_ids_;        // per shard: local -> global
   std::vector<std::pair<int, int>> locations_;      // global -> (shard, local)
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace tdam::runtime

@@ -69,7 +69,7 @@ TEST(BackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
 
   std::map<std::string, std::vector<runtime::TopKResult>> results;
   for (const auto& name : reg.names()) {
-    runtime::ShardedIndex index(reg, name, /*shards=*/3);
+    runtime::ShardedIndex index(reg, {.backend = name, .shards = 3});
     for (const auto& row : stored) index.store(row);
     runtime::SearchEngine engine(index, {.threads = 2});
     results[name] = engine.submit_batch(queries, kTopK);
@@ -95,7 +95,7 @@ TEST(BackendParity, ThreadCountInvariantForEveryBackend) {
     queries.push_back(am::random_word(rng, kStages, kLevels));
 
   for (const auto& name : reg.names()) {
-    runtime::ShardedIndex index(reg, name, /*shards=*/4);
+    runtime::ShardedIndex index(reg, {.backend = name, .shards = 4});
     for (const auto& row : stored) index.store(row);
     runtime::SearchEngine seq(index, {.threads = 1});
     runtime::SearchEngine par(index, {.threads = 8});
@@ -106,6 +106,39 @@ TEST(BackendParity, ThreadCountInvariantForEveryBackend) {
       EXPECT_EQ(a[q].entries, b[q].entries) << "backend=" << name;
       EXPECT_DOUBLE_EQ(a[q].modeled_latency, b[q].modeled_latency) << name;
       EXPECT_DOUBLE_EQ(a[q].modeled_energy, b[q].modeled_energy) << name;
+    }
+  }
+}
+
+TEST(BackendParity, PackedAndUnpackedSubmissionBitIdentical) {
+  // Satellite property: submitting the same queries packed in a
+  // core::DigitMatrix and unpacked as vector<int> must return bit-identical
+  // (distance, global row) top-k on every registered backend, sequentially
+  // and on a pool.
+  constexpr int kStages = 40, kRows = 90, kQueries = 20, kTopK = 6;
+  const auto reg = runtime::default_registry(calibration(), {.stages = kStages});
+  Rng rng(505);
+  std::vector<std::vector<int>> stored, queries;
+  for (int r = 0; r < kRows; ++r)
+    stored.push_back(am::random_word(rng, kStages, kLevels));
+  for (int q = 0; q < kQueries; ++q)
+    queries.push_back(am::random_word(rng, kStages, kLevels));
+  core::DigitMatrix packed(kStages, kLevels);
+  for (const auto& q : queries) packed.append(q);
+
+  for (const auto& name : reg.names()) {
+    runtime::ShardedIndex index(reg, {.backend = name, .shards = 3});
+    for (const auto& row : stored) index.store(row);
+    for (int threads : {1, 8}) {
+      runtime::SearchEngine engine(index, {.threads = threads});
+      const auto a = engine.submit_batch(packed, kTopK);
+      const auto b = engine.submit_batch(queries, kTopK);
+      ASSERT_EQ(a.size(), b.size()) << name;
+      for (std::size_t q = 0; q < a.size(); ++q) {
+        EXPECT_EQ(a[q].entries, b[q].entries)
+            << "backend=" << name << " threads=" << threads << " query=" << q;
+        EXPECT_FALSE(a[q].entries.empty()) << name;
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "am/behavioral.h"
@@ -33,7 +34,9 @@ ShardedIndex make_index(int shards, int stages,
       calibration(), {.stages = stages,
                       .array_rows = array_rows,
                       .array_stages = array_stages});
-  return ShardedIndex(registry, backend, shards, placement);
+  return ShardedIndex(registry, {.backend = backend,
+                                 .shards = shards,
+                                 .placement = placement});
 }
 
 // Brute-force reference: all (distance, row) pairs against a single
@@ -254,9 +257,64 @@ TEST(SearchEngine, Validation) {
   const std::vector<std::vector<int>> queries{am::random_word(rng, 8, kLevels)};
   EXPECT_THROW(engine.submit_batch(queries, 0), std::invalid_argument);
   const auto registry = default_registry(calibration(), {.stages = 8});
-  EXPECT_THROW(ShardedIndex(registry, "behavioral", 0), std::invalid_argument);
-  EXPECT_THROW(ShardedIndex(registry, "no-such-backend", 2),
+  EXPECT_THROW(ShardedIndex(registry, {.backend = "no-such-backend",
+                                       .shards = 2}),
                std::invalid_argument);
+}
+
+TEST(ShardedIndex, RejectsNonPositiveShardCountNamingTheValue) {
+  // Satellite bugfix: stages()/levels() dereference shards_.front(), so a
+  // shardless index must be refused up front — and the error must name the
+  // offending value.
+  const auto registry = default_registry(calibration(), {.stages = 8});
+  for (int shards : {0, -3}) {
+    try {
+      ShardedIndex index(registry, {.backend = "behavioral", .shards = shards});
+      FAIL() << "shards=" << shards << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("got " + std::to_string(shards)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ShardedIndex, GenerationCountsMutations) {
+  auto index = make_index(2, 8);
+  EXPECT_EQ(index.generation(), 0u);
+  Rng rng(9);
+  index.store(am::random_word(rng, 8, kLevels));
+  index.store(am::random_word(rng, 8, kLevels));
+  EXPECT_EQ(index.generation(), 2u);
+  index.clear();
+  EXPECT_EQ(index.generation(), 3u);
+}
+
+TEST(ShardedIndex, DeprecatedConstructorForwardsToOptions) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto registry = default_registry(calibration(), {.stages = 8});
+  ShardedIndex legacy(registry, "exact", 3, Placement::kLeastLoaded);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(legacy.num_shards(), 3);
+  EXPECT_EQ(legacy.backend_name(), "exact");
+  EXPECT_EQ(legacy.placement(), Placement::kLeastLoaded);
+}
+
+TEST(SearchEngine, PackedBatchMatchesUnpackedAdapter) {
+  auto w = make_workload(3, 12, 40, 16, 700);
+  SearchEngine engine(w.index, {.threads = 2});
+  core::DigitMatrix packed(12, kLevels);
+  for (const auto& q : w.queries) packed.append(q);
+  const auto a = engine.submit_batch(packed, 4);
+  const auto b = engine.submit_batch(w.queries, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q)
+    EXPECT_EQ(a[q].entries, b[q].entries);
+  // Geometry mismatch is refused up front.
+  core::DigitMatrix narrow(6, kLevels);
+  narrow.append(std::vector<int>{0, 1, 2, 3, 0, 1});
+  EXPECT_THROW(engine.submit_batch(narrow, 2), std::invalid_argument);
 }
 
 }  // namespace
