@@ -1,10 +1,15 @@
 // Shared scaffolding for the per-figure harnesses: consistent headers, unit
-// formatting, and a CSV output directory.
+// formatting, a CSV output directory, and a minimal JSON writer for the
+// BENCH_*.json perf baselines that CI validates and archives.
 #pragma once
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace tdam::bench {
 
@@ -25,5 +30,126 @@ inline double ps(double seconds) { return seconds * 1e12; }
 inline double ns(double seconds) { return seconds * 1e9; }
 inline double fj(double joules) { return joules * 1e15; }
 inline double pj(double joules) { return joules * 1e12; }
+
+// Minimal streaming JSON writer — just enough structure for the BENCH_*.json
+// files (objects, arrays, string/number/bool fields) so the harnesses don't
+// need a JSON dependency.  Commas are managed by a nesting stack; keys and
+// string values are escaped.  Misnested begin/end calls throw.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(State::kTop); }
+
+  JsonWriter& begin_object() { return open('{', State::kObjectFirst); }
+  JsonWriter& end_object() { return close('}', State::kObjectFirst, State::kObject); }
+  JsonWriter& begin_array() { return open('[', State::kArrayFirst); }
+  JsonWriter& end_array() { return close(']', State::kArrayFirst, State::kArray); }
+
+  // Named fields (inside an object).
+  JsonWriter& key(const std::string& name) {
+    comma();
+    out_ << '"' << escaped(name) << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& field(const std::string& name, const std::string& v) {
+    return key(name).value(v);
+  }
+  JsonWriter& field(const std::string& name, const char* v) {
+    return key(name).value(std::string(v));
+  }
+  JsonWriter& field(const std::string& name, double v) {
+    return key(name).value(v);
+  }
+  JsonWriter& field(const std::string& name, long v) { return key(name).value(v); }
+  JsonWriter& field(const std::string& name, int v) {
+    return key(name).value(static_cast<long>(v));
+  }
+  JsonWriter& field(const std::string& name, bool v) { return key(name).value(v); }
+
+  // Bare values (inside an array, or after key()).
+  JsonWriter& value(const std::string& v) {
+    comma();
+    out_ << '"' << escaped(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+    return *this;
+  }
+  JsonWriter& value(long v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  std::string str() const {
+    if (stack_.size() != 1)
+      throw std::logic_error("JsonWriter: unclosed object or array");
+    return out_.str();
+  }
+
+  void write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("JsonWriter: cannot open " + path);
+    f << str() << '\n';
+  }
+
+ private:
+  enum class State { kTop, kObjectFirst, kObject, kArrayFirst, kArray };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // key() already emitted the separator
+      return;
+    }
+    State& top = stack_.back();
+    if (top == State::kObject || top == State::kArray) out_ << ',';
+    if (top == State::kObjectFirst) top = State::kObject;
+    if (top == State::kArrayFirst) top = State::kArray;
+  }
+
+  JsonWriter& open(char c, State fresh) {
+    comma();
+    out_ << c;
+    stack_.push_back(fresh);
+    return *this;
+  }
+
+  JsonWriter& close(char c, State fresh, State used) {
+    if (stack_.size() < 2 ||
+        (stack_.back() != fresh && stack_.back() != used))
+      throw std::logic_error("JsonWriter: mismatched close");
+    stack_.pop_back();
+    out_ << c;
+    return *this;
+  }
+
+  std::ostringstream out_;
+  std::vector<State> stack_;
+  bool pending_value_ = false;
+};
 
 }  // namespace tdam::bench

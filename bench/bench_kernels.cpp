@@ -1,0 +1,235 @@
+// Deterministic microbench for the Layer-0.5 distance kernels.
+//
+// Pinned shapes (the repo's perf baseline): 2-bit digits x {256, 1k, 8k}
+// digits x {1k, 64k} rows, both kernels (mismatch count and kL1), every
+// compiled+supported dispatch path forced explicitly.  Data is generated
+// from fixed seeds, and before timing each path its distances are checked
+// bit-identical against the scalar reference — a bench run that would
+// publish numbers for a wrong kernel aborts instead.
+//
+// Output: a human table on stdout and BENCH_kernels.json (see
+// scripts/check_bench_json.py for the schema), the file CI validates and
+// archives so every later perf PR has a trajectory to compare against.
+//
+//   $ ./bench_kernels [--quick] [--out=BENCH_kernels.json]
+//
+// --quick drops the 64k-row shapes (CI's bench-smoke budget); the 8k-digit
+// shape — the one the >= 2x vectorized-speedup acceptance gate reads — is
+// kept in both modes.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/digit_matrix.h"
+#include "core/kernels/kernels.h"
+#include "util/rng.h"
+
+namespace {
+
+using tdam::Rng;
+using tdam::core::DigitMatrix;
+namespace kernels = tdam::core::kernels;
+
+constexpr int kLevels = 4;  // the paper's 2-bit digit alphabet
+
+struct Shape {
+  int digits;
+  int rows;
+};
+
+struct Workload {
+  DigitMatrix matrix;
+  std::vector<std::vector<std::uint32_t>> packed_queries;
+};
+
+Workload make_workload(const Shape& shape, int queries, std::uint64_t seed) {
+  Workload w{DigitMatrix(shape.digits, kLevels), {}};
+  Rng rng(seed);
+  std::vector<int> digits(static_cast<std::size_t>(shape.digits));
+  for (int r = 0; r < shape.rows; ++r) {
+    for (auto& d : digits) d = rng.uniform_int(0, kLevels - 1);
+    w.matrix.append(digits);
+  }
+  for (int q = 0; q < queries; ++q) {
+    for (auto& d : digits) d = rng.uniform_int(0, kLevels - 1);
+    w.packed_queries.push_back(w.matrix.pack(digits));
+  }
+  return w;
+}
+
+using BatchFn = void (*)(const DigitMatrix&,
+                         std::span<const std::uint32_t>,
+                         std::span<std::int32_t>, const kernels::KernelTable&);
+
+double seconds_for_pass(const Workload& w, BatchFn fn,
+                        const kernels::KernelTable& table,
+                        std::vector<std::int32_t>& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& q : w.packed_queries) fn(w.matrix, q, out, table);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Best-of-N timing with rep count calibrated to ~0.25 s of measurement.
+double best_seconds(const Workload& w, BatchFn fn,
+                    const kernels::KernelTable& table) {
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(w.matrix.rows()));
+  double t = seconds_for_pass(w, fn, table, out);  // warmup + calibration
+  int reps = 3;
+  if (t > 0.0) {
+    const double want = 0.25 / t;
+    reps = want < 3.0 ? 3 : want > 200.0 ? 200 : static_cast<int>(want);
+  }
+  double best = t;
+  for (int r = 0; r < reps; ++r)
+    best = std::min(best, seconds_for_pass(w, fn, table, out));
+  return best;
+}
+
+bool distances_match(const Workload& w, BatchFn fn,
+                     const kernels::KernelTable& table,
+                     const kernels::KernelTable& reference) {
+  std::vector<std::int32_t> got(static_cast<std::size_t>(w.matrix.rows()));
+  std::vector<std::int32_t> want(got.size());
+  for (const auto& q : w.packed_queries) {
+    fn(w.matrix, q, got, table);
+    fn(w.matrix, q, want, reference);
+    if (got != want) return false;
+  }
+  return true;
+}
+
+struct Result {
+  std::string kernel;
+  std::string path;
+  Shape shape;
+  int queries;
+  double ns_per_op;  // one row-vs-query distance
+  double speedup_vs_scalar;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  tdam::bench::banner(
+      "Distance-kernel microbench (Layer 0.5)",
+      "software baseline for the paper's throughput comparison (Fig. 8)");
+
+  const int queries = quick ? 2 : 4;
+  std::vector<Shape> shapes;
+  for (int digits : {256, 1024, 8192}) {
+    shapes.push_back({digits, 1024});
+    if (!quick) shapes.push_back({digits, 64 * 1024});
+  }
+
+  // Time scalar first so every vectorized row can report its speedup.
+  std::vector<kernels::Isa> isas = {kernels::Isa::kScalar};
+  for (auto isa : kernels::supported_isas())
+    if (isa != kernels::Isa::kScalar) isas.push_back(isa);
+  const auto& scalar = kernels::table(kernels::Isa::kScalar);
+  const auto& chosen = kernels::reselect_from_env();
+  std::printf("compiled+supported paths:");
+  for (auto isa : isas) std::printf(" %s", kernels::isa_name(isa));
+  std::printf("   (active: %s%s)\n\n", chosen.name,
+              std::getenv("TDAM_KERNEL") ? " via TDAM_KERNEL" : "");
+
+  struct NamedKernel {
+    const char* name;
+    BatchFn fn;
+  };
+  const NamedKernel named[] = {
+      {"mismatch",
+       [](const DigitMatrix& m, std::span<const std::uint32_t> q,
+          std::span<std::int32_t> o, const kernels::KernelTable& t) {
+         kernels::mismatch_count_batch(m, q, o, t);
+       }},
+      {"l1",
+       [](const DigitMatrix& m, std::span<const std::uint32_t> q,
+          std::span<std::int32_t> o, const kernels::KernelTable& t) {
+         kernels::l1_distance_batch(m, q, o, t);
+       }},
+  };
+
+  std::vector<Result> results;
+  std::printf("%-10s %-7s %8s %8s %12s %10s\n", "kernel", "path", "digits",
+              "rows", "ns/op", "vs scalar");
+  std::uint64_t seed = 0x5eed2b17u;
+  for (const auto& shape : shapes) {
+    const auto w = make_workload(shape, queries, seed++);
+    for (const auto& nk : named) {
+      double scalar_ns = 0.0;
+      for (auto isa : isas) {
+        const auto& table = kernels::table(isa);
+        if (!distances_match(w, nk.fn, table, scalar)) {
+          std::fprintf(stderr,
+                       "FATAL: %s/%s disagrees with the scalar reference at "
+                       "digits=%d rows=%d\n",
+                       nk.name, table.name, shape.digits, shape.rows);
+          return 1;
+        }
+        const double best = best_seconds(w, nk.fn, table);
+        const double ops =
+            static_cast<double>(shape.rows) * static_cast<double>(queries);
+        const double ns_per_op = best * 1e9 / ops;
+        if (isa == kernels::Isa::kScalar) scalar_ns = ns_per_op;
+        const double speedup =
+            ns_per_op > 0.0 && scalar_ns > 0.0 ? scalar_ns / ns_per_op : 0.0;
+        results.push_back({nk.name, table.name, shape, queries, ns_per_op,
+                           speedup});
+        std::printf("%-10s %-7s %8d %8d %12.2f %9.2fx\n", nk.name, table.name,
+                    shape.digits, shape.rows, ns_per_op, speedup);
+      }
+    }
+  }
+
+  tdam::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "bench_kernels")
+      .field("quick", quick)
+      .field("levels", kLevels)
+      .field("active_path", chosen.name)
+      .key("host")
+      .begin_object()
+      .field("sse42", kernels::cpu_supports(kernels::Isa::kSse42))
+      .field("avx2", kernels::cpu_supports(kernels::Isa::kAvx2))
+      .end_object()
+      .key("results")
+      .begin_array();
+  for (const auto& r : results) {
+    json.begin_object()
+        .field("kernel", r.kernel)
+        .field("path", r.path)
+        .key("shape")
+        .begin_object()
+        .field("bits", 2)
+        .field("levels", kLevels)
+        .field("digits", r.shape.digits)
+        .field("rows", r.shape.rows)
+        .field("queries", r.queries)
+        .end_object()
+        .field("ns_per_op", r.ns_per_op)
+        .field("speedup_vs_scalar", r.speedup_vs_scalar)
+        .end_object();
+  }
+  json.end_array().end_object();
+  json.write_file(out_path);
+  std::printf("\nwrote %s (%zu results)\n", out_path.c_str(), results.size());
+  return 0;
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf-baseline files before CI archives them.
+
+Two accepted formats:
+
+* tdam kernel-bench format (bench/bench_kernels.cpp): a top-level object
+  with ``bench``, ``active_path``, ``host`` and a ``results`` array whose
+  entries each carry ``kernel``, ``path``, ``shape`` (bits/levels/digits/
+  rows/queries) and ``ns_per_op``.
+* google-benchmark ``--benchmark_out`` format: an object with a
+  ``benchmarks`` array whose entries carry ``name`` and a time field.
+
+Exit code is non-zero on a malformed file, so the bench-smoke job fails
+when a harness silently stops emitting valid numbers.
+
+``--min-avx2-speedup X`` additionally enforces the repo's vectorization
+gate on kernel-bench files: at the pinned 2-bit / 8192-digit shape the
+best vectorized path must be at least ``X`` times faster than scalar —
+but only when the producing host reported AVX2 support; elsewhere the
+ratio is printed report-only.
+"""
+
+import argparse
+import json
+import sys
+
+SHAPE_KEYS = {"bits", "levels", "digits", "rows", "queries"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_kernel_result(i: int, r: object) -> None:
+    if not isinstance(r, dict):
+        fail(f"results[{i}] is not an object")
+    for key in ("kernel", "path", "shape", "ns_per_op"):
+        if key not in r:
+            fail(f"results[{i}] missing key '{key}'")
+    if not isinstance(r["kernel"], str) or not r["kernel"]:
+        fail(f"results[{i}].kernel is not a non-empty string")
+    if not isinstance(r["path"], str) or not r["path"]:
+        fail(f"results[{i}].path is not a non-empty string")
+    shape = r["shape"]
+    if not isinstance(shape, dict) or not SHAPE_KEYS.issubset(shape):
+        fail(f"results[{i}].shape missing keys {sorted(SHAPE_KEYS - set(shape))}"
+             if isinstance(shape, dict) else f"results[{i}].shape not an object")
+    for key in SHAPE_KEYS:
+        if not isinstance(shape[key], int) or shape[key] < 1:
+            fail(f"results[{i}].shape.{key} is not a positive integer")
+    ns = r["ns_per_op"]
+    if not isinstance(ns, (int, float)) or ns <= 0:
+        fail(f"results[{i}].ns_per_op is not a positive number")
+
+
+def check_kernel_bench(doc: dict, min_avx2_speedup: float | None) -> int:
+    for key in ("bench", "active_path", "host", "results"):
+        if key not in doc:
+            fail(f"kernel-bench file missing key '{key}'")
+    host = doc["host"]
+    if not isinstance(host, dict) or not {"sse42", "avx2"}.issubset(host):
+        fail("host must be an object with 'sse42' and 'avx2' booleans")
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty array")
+    for i, r in enumerate(results):
+        check_kernel_result(i, r)
+
+    # The vectorization gate reads the pinned acceptance shape.
+    gate = [r for r in results
+            if r["kernel"] == "mismatch" and r["shape"]["bits"] == 2
+            and r["shape"]["digits"] == 8192]
+    scalar = [r for r in gate if r["path"] == "scalar"]
+    vector = [r for r in gate if r["path"] != "scalar"]
+    if scalar and vector:
+        scalar_ns = min(r["ns_per_op"] for r in scalar)
+        best = min(vector, key=lambda r: r["ns_per_op"])
+        speedup = scalar_ns / best["ns_per_op"]
+        enforced = min_avx2_speedup is not None and host["avx2"]
+        print(f"check_bench_json: mismatch @ 2-bit/8192-digit: best vectorized "
+              f"path '{best['path']}' is {speedup:.2f}x scalar"
+              + ("" if enforced else " (report-only)"))
+        if enforced and speedup < min_avx2_speedup:
+            fail(f"vectorized speedup {speedup:.2f}x is below the required "
+                 f"{min_avx2_speedup:.2f}x on an AVX2 host")
+    elif min_avx2_speedup is not None:
+        print("check_bench_json: pinned gate shape not present (quick/partial "
+              "run without scalar+vector rows) — speedup gate skipped")
+    return len(results)
+
+
+def check_google_benchmark(doc: dict) -> int:
+    benchmarks = doc["benchmarks"]
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail("'benchmarks' must be a non-empty array")
+    for i, b in enumerate(benchmarks):
+        if not isinstance(b, dict) or "name" not in b:
+            fail(f"benchmarks[{i}] missing 'name'")
+        if not any(k in b for k in ("real_time", "cpu_time")):
+            fail(f"benchmarks[{i}] ('{b['name']}') has no time field")
+    return len(benchmarks)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", help="BENCH_*.json files to validate")
+    ap.add_argument("--min-avx2-speedup", type=float, default=None,
+                    help="required vectorized/scalar ratio at the pinned "
+                         "2-bit/8192-digit mismatch shape (AVX2 hosts only)")
+    args = ap.parse_args()
+
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}")
+        if not isinstance(doc, dict):
+            fail(f"{path}: top level is not an object")
+        if "benchmarks" in doc:
+            n = check_google_benchmark(doc)
+            kind = "google-benchmark"
+        else:
+            n = check_kernel_bench(doc, args.min_avx2_speedup)
+            kind = "kernel-bench"
+        print(f"check_bench_json: OK: {path} ({kind}, {n} entries)")
+
+
+if __name__ == "__main__":
+    main()

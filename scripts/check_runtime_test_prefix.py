@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Assert the Runtime* test-suite naming convention.
+
+The TSan CI job runs the threaded surface with --gtest_filter='Runtime*'
+instead of a hand-maintained suite list (which silently dropped new suites
+twice).  The convention that makes that filter complete:
+
+* every TEST/TEST_F suite in tests/test_runtime_*.cpp starts with
+  ``Runtime`` (so the filter picks it up), and
+* no test outside those files uses the ``Runtime`` prefix (so the TSan job
+  doesn't waste its budget on single-threaded suites).
+
+Registered as a ctest, so adding a runtime suite with the wrong name fails
+the plain test job long before anyone inspects TSan coverage.
+"""
+
+import pathlib
+import re
+import sys
+
+SUITE_RE = re.compile(r"^\s*TEST(?:_F)?\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*,", re.M)
+
+
+def main() -> None:
+    tests_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent / "tests"
+    if not tests_dir.is_dir():
+        print(f"check_runtime_test_prefix: FAIL: no such directory {tests_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    errors = []
+    suites_seen = 0
+    for path in sorted(tests_dir.glob("*.cpp")):
+        is_runtime_file = path.name.startswith("test_runtime_")
+        for suite in SUITE_RE.findall(path.read_text(encoding="utf-8")):
+            suites_seen += 1
+            if is_runtime_file and not suite.startswith("Runtime"):
+                errors.append(
+                    f"{path.name}: suite '{suite}' must start with 'Runtime' "
+                    "so the TSan job's --gtest_filter='Runtime*' covers it")
+            if not is_runtime_file and suite.startswith("Runtime"):
+                errors.append(
+                    f"{path.name}: suite '{suite}' uses the 'Runtime' prefix "
+                    "reserved for tests/test_runtime_*.cpp (TSan coverage)")
+
+    if suites_seen == 0:
+        errors.append(f"no TEST/TEST_F suites found under {tests_dir}")
+    for e in errors:
+        print(f"check_runtime_test_prefix: FAIL: {e}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"check_runtime_test_prefix: OK ({suites_seen} suites checked)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels/kernels.h"
+
 namespace tdam::am {
 
 namespace {
@@ -51,9 +53,12 @@ double BehavioralAm::chain_energy(int mismatches) const {
 BehavioralSearch BehavioralAm::search(std::span<const int> query) const {
   const auto packed = matrix_.pack(query);  // validates length and range
   BehavioralSearch out;
-  out.distances.reserve(static_cast<std::size_t>(matrix_.rows()));
-  for (int r = 0; r < matrix_.rows(); ++r) {
-    const int mis = matrix_.mismatch_distance(r, packed);
+  const auto rows = static_cast<std::size_t>(matrix_.rows());
+  std::vector<std::int32_t> mismatches(rows);
+  core::kernels::mismatch_count_batch(matrix_, packed, mismatches);
+  out.distances.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int mis = mismatches[r];
     // The physical chain reports the TDC-digitised delay; at nominal
     // calibration this equals the true mismatch count.
     const double delay = cal_.predict_delay(stages_, mis);
@@ -73,14 +78,26 @@ BehavioralTopK BehavioralAm::search_topk(std::span<const int> query,
   if (k < 1)
     throw std::invalid_argument("BehavioralAm::search_topk: k must be >= 1");
   const auto packed = matrix_.pack(query);  // validates length and range
+  return search_topk_packed(packed, k);
+}
+
+BehavioralTopK BehavioralAm::search_topk_packed(
+    std::span<const std::uint32_t> packed, int k) const {
+  if (k < 1)
+    throw std::invalid_argument("BehavioralAm::search_topk: k must be >= 1");
+  const auto rows = static_cast<std::size_t>(matrix_.rows());
+  std::vector<std::int32_t> mismatches(rows);
+  // One row-blocked kernel batch call over the packed store (validates the
+  // packed word count); the calibrated model maps counts to delay/energy.
+  core::kernels::mismatch_count_batch(matrix_, packed, mismatches);
   BehavioralTopK out;
-  out.entries.reserve(static_cast<std::size_t>(matrix_.rows()));
+  out.entries.reserve(rows);
   long sum = 0;
-  for (int r = 0; r < matrix_.rows(); ++r) {
-    const int mis = matrix_.mismatch_distance(r, packed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int mis = mismatches[r];
     const double delay = cal_.predict_delay(stages_, mis);
     const int dist = tdc_.convert(delay);
-    out.entries.push_back({r, dist});
+    out.entries.push_back({static_cast<int>(r), dist});
     sum += dist;
     out.latency = std::max(out.latency, delay);
     out.energy += cal_.predict_energy(stages_, mis);

@@ -77,6 +77,12 @@ class BehavioralAm final : public core::SimilarityBackend {
   BehavioralTopK search_topk(std::span<const int> query,
                              int k) const override;
 
+  // Packed-query fast path (core::SimilarityBackend contract): the mismatch
+  // counts come from one kernel-layer batch call over the packed store; the
+  // calibrated delay/energy/TDC model is applied per row on top.
+  BehavioralTopK search_topk_packed(std::span<const std::uint32_t> packed,
+                                    int k) const override;
+
   // Modeled cost of one query over the stored rows on the configured
   // physical bank (AmSystemModel pass folding applied).
   core::QueryCost query_cost(double mismatch_fraction) const override;

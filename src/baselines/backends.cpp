@@ -31,6 +31,12 @@ core::BackendTopK DigitalPopcountBackend::search_topk(
                                core::DigitMetric::kMismatchCount);
 }
 
+core::BackendTopK DigitalPopcountBackend::search_topk_packed(
+    std::span<const std::uint32_t> packed, int k) const {
+  return core::exhaustive_topk_packed(matrix_, packed, k,
+                                      core::DigitMetric::kMismatchCount);
+}
+
 core::QueryCost DigitalPopcountBackend::query_cost(
     double mismatch_fraction) const {
   if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)
@@ -58,6 +64,12 @@ core::BackendTopK CrossbarCamBackend::search_topk(std::span<const int> query,
                                                   int k) const {
   return core::exhaustive_topk(matrix_, query, k,
                                core::DigitMetric::kMismatchCount);
+}
+
+core::BackendTopK CrossbarCamBackend::search_topk_packed(
+    std::span<const std::uint32_t> packed, int k) const {
+  return core::exhaustive_topk_packed(matrix_, packed, k,
+                                      core::DigitMetric::kMismatchCount);
 }
 
 core::QueryCost CrossbarCamBackend::query_cost(

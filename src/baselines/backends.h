@@ -42,6 +42,8 @@ class DigitalPopcountBackend final : public core::SimilarityBackend {
 
   core::BackendTopK search_topk(std::span<const int> query,
                                 int k) const override;
+  core::BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
+                                       int k) const override;
 
   core::QueryCost query_cost(double mismatch_fraction) const override;
 
@@ -84,6 +86,8 @@ class CrossbarCamBackend final : public core::SimilarityBackend {
 
   core::BackendTopK search_topk(std::span<const int> query,
                                 int k) const override;
+  core::BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
+                                       int k) const override;
 
   core::QueryCost query_cost(double mismatch_fraction) const override;
 

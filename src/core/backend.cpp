@@ -2,33 +2,32 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/digit_matrix.h"
+#include "core/kernels/kernels.h"
 
 namespace tdam::core {
 
-BackendTopK exhaustive_topk(const DigitMatrix& matrix,
-                            std::span<const int> query, int k,
-                            DigitMetric metric) {
-  if (k < 1) throw std::invalid_argument("exhaustive_topk: k must be >= 1");
+BackendTopK exhaustive_topk_packed(const DigitMatrix& matrix,
+                                   std::span<const std::uint32_t> packed,
+                                   int k, DigitMetric metric) {
+  if (k < 1)
+    throw std::invalid_argument("exhaustive_topk: k must be >= 1");
   BackendTopK out;
   const int rows = matrix.rows();
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(rows));
+  if (metric == DigitMetric::kMismatchCount) {
+    kernels::mismatch_count_batch(matrix, packed, dist);
+  } else {
+    kernels::l1_distance_batch(matrix, packed, dist);
+  }
   out.entries.reserve(static_cast<std::size_t>(rows));
   long sum = 0;
-  if (metric == DigitMetric::kMismatchCount) {
-    const auto packed = matrix.pack(query);  // validates the query
-    for (int r = 0; r < rows; ++r) {
-      const int d = matrix.mismatch_distance(r, packed);
-      out.entries.push_back({r, d});
-      sum += d;
-    }
-  } else {
-    for (int r = 0; r < rows; ++r) {
-      const int d = matrix.l1_distance(r, query);
-      out.entries.push_back({r, d});
-      sum += d;
-    }
-    if (rows == 0) matrix.pack(query);  // still validate on an empty store
+  for (int r = 0; r < rows; ++r) {
+    const int d = dist[static_cast<std::size_t>(r)];
+    out.entries.push_back({r, d});
+    sum += d;
   }
   if (rows > 0)
     out.mean_distance = static_cast<double>(sum) / static_cast<double>(rows);
@@ -39,6 +38,38 @@ BackendTopK exhaustive_topk(const DigitMatrix& matrix,
                     out.entries.end());
   out.entries.resize(keep);
   return out;
+}
+
+BackendTopK exhaustive_topk(const DigitMatrix& matrix,
+                            std::span<const int> query, int k,
+                            DigitMetric metric) {
+  // pack() validates digit count and range for both metrics, including on
+  // an empty store.
+  const auto packed = matrix.pack(query);
+  return exhaustive_topk_packed(matrix, packed, k, metric);
+}
+
+BackendTopK SimilarityBackend::search_topk_packed(
+    std::span<const std::uint32_t> packed, int k) const {
+  // Generic fallback: decode the packed fields (stages()/levels() fix the
+  // packing exactly as DigitMatrix does) and run the unpacked search.
+  const int bits = DigitMatrix::field_bits(levels());
+  const int dpw = 32 / bits;
+  const int expect_words = (stages() + dpw - 1) / dpw;
+  if (packed.size() != static_cast<std::size_t>(expect_words))
+    throw std::invalid_argument(
+        "SimilarityBackend::search_topk_packed: query has " +
+        std::to_string(packed.size()) + " packed words, expected " +
+        std::to_string(expect_words));
+  const std::uint32_t field_mask =
+      (bits == 32) ? ~0u : ((std::uint32_t{1} << bits) - 1u);
+  std::vector<int> digits(static_cast<std::size_t>(stages()));
+  for (int c = 0; c < stages(); ++c) {
+    const std::uint32_t word = packed[static_cast<std::size_t>(c / dpw)];
+    digits[static_cast<std::size_t>(c)] =
+        static_cast<int>((word >> ((c % dpw) * bits)) & field_mask);
+  }
+  return search_topk(digits, k);
 }
 
 }  // namespace tdam::core

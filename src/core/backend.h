@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -94,6 +95,16 @@ class SimilarityBackend {
   virtual BackendTopK search_topk(std::span<const int> query,
                                   int k) const = 0;
 
+  // Packed-query fast path: `packed` holds the query packed exactly as a
+  // DigitMatrix(stages(), levels()) packs a row (see DigitMatrix::pack).
+  // The serving engine hands packed batch rows straight through here, so
+  // the hot path never unpacks and re-packs digits.  The default decodes
+  // the digits and delegates to search_topk; packed backends override it to
+  // feed the kernel batch API directly.  Throws std::invalid_argument on a
+  // wrong packed word count.
+  virtual BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
+                                         int k) const;
+
   // QueryCostModel hook: modeled hardware cost of one query over the
   // current rows() at the given average digit-mismatch fraction.
   virtual QueryCost query_cost(double mismatch_fraction) const = 0;
@@ -103,9 +114,18 @@ class SimilarityBackend {
 };
 
 // Shared brute-force scan for exact backends: distances from `matrix` under
-// `metric`, deterministic (distance, row) order, mean over all rows.
+// `metric`, deterministic (distance, row) order, mean over all rows.  The
+// whole scan goes through the dispatched kernel layer
+// (core::kernels::active()) — one row-blocked batch call, not a per-row
+// word loop.
 BackendTopK exhaustive_topk(const class DigitMatrix& matrix,
                             std::span<const int> query, int k,
                             DigitMetric metric);
+
+// Same scan for a query already packed as `matrix` packs rows (the serving
+// engine's zero-unpack path).
+BackendTopK exhaustive_topk_packed(const class DigitMatrix& matrix,
+                                   std::span<const std::uint32_t> packed,
+                                   int k, DigitMetric metric);
 
 }  // namespace tdam::core

@@ -1,21 +1,14 @@
 #include "core/digit_matrix.h"
 
-#include <bit>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "core/kernels/kernels.h"
+
 namespace tdam::core {
 
 namespace {
-
-int field_bits_for(int levels) {
-  if (levels < 2 || levels > 256)
-    throw std::invalid_argument("DigitMatrix: levels must be in [2, 256]");
-  for (int bits : {1, 2, 4, 8})
-    if ((1 << bits) >= levels) return bits;
-  return 8;  // unreachable
-}
 
 std::uint32_t lsb_mask_for(int bits) {
   std::uint32_t mask = 0;
@@ -23,15 +16,32 @@ std::uint32_t lsb_mask_for(int bits) {
   return mask;
 }
 
+std::uint32_t tail_mask_for(int cols, int bits) {
+  if (cols < 1) return ~0u;  // the constructor rejects cols < 1 after init
+  const int dpw = 32 / bits;
+  const int used = cols % dpw;  // digits in the final word; 0 = full word
+  if (used == 0) return ~0u;
+  return (std::uint32_t{1} << (used * bits)) - 1u;
+}
+
 }  // namespace
+
+int DigitMatrix::field_bits(int levels) {
+  if (levels < 2 || levels > 256)
+    throw std::invalid_argument("DigitMatrix: levels must be in [2, 256]");
+  for (int bits : {1, 2, 4, 8})
+    if ((1 << bits) >= levels) return bits;
+  return 8;  // unreachable
+}
 
 DigitMatrix::DigitMatrix(int cols, int levels)
     : cols_(cols),
       levels_(levels),
-      bits_(field_bits_for(levels)),
-      words_per_row_((cols + 32 / field_bits_for(levels) - 1) /
-                     (32 / field_bits_for(levels))),
-      lsb_mask_(lsb_mask_for(bits_)) {
+      bits_(field_bits(levels)),
+      words_per_row_((cols + 32 / field_bits(levels) - 1) /
+                     (32 / field_bits(levels))),
+      lsb_mask_(lsb_mask_for(bits_)),
+      tail_mask_(tail_mask_for(cols, bits_)) {
   if (cols < 1) throw std::invalid_argument("DigitMatrix: cols must be >= 1");
 }
 
@@ -118,15 +128,18 @@ int DigitMatrix::mismatch_distance(
     int row, std::span<const std::uint32_t> packed) const {
   if (packed.size() != static_cast<std::size_t>(words_per_row_))
     throw std::invalid_argument("DigitMatrix::mismatch_distance: bad query");
-  const auto words = row_words(row);
-  int mis = 0;
-  for (std::size_t w = 0; w < words.size(); ++w) {
-    // OR-fold every field onto its LSB: a field is nonzero iff the digits
-    // differ, so the masked popcount is the mismatch count.
-    std::uint32_t x = words[w] ^ packed[w];
-    for (int s = 1; s < bits_; s <<= 1) x |= x >> s;
-    mis += std::popcount(x & lsb_mask_);
-  }
+  const auto words = row_words(row);  // validates the row index
+  // Single-row view through the dispatched kernel layer: same OR-fold +
+  // popcount semantics, answered by whichever ISA path is active.
+  kernels::PackedRowsView view;
+  view.words = words.data();
+  view.rows = 1;
+  view.words_per_row = words_per_row_;
+  view.bits = bits_;
+  view.lsb_mask = lsb_mask_;
+  view.tail_mask = tail_mask_;
+  std::int32_t mis = 0;
+  kernels::active().mismatch_batch(view, packed.data(), &mis);
   return mis;
 }
 

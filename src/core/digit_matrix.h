@@ -38,6 +38,23 @@ class DigitMatrix {
   int append(std::span<const int> digits);
   void clear();
 
+  // The smallest power-of-two field width holding `levels` digits (1/2/4/8
+  // bits for levels in [2, 256]); throws on levels outside that range.  Two
+  // stores pack identically iff their cols and field widths match.
+  static int field_bits(int levels);
+
+  // Bit 0 of every digit field in a word (the OR-fold target).
+  std::uint32_t lsb_mask() const { return lsb_mask_; }
+  // The digit fields of each row's final word that are actually in use —
+  // all-ones when cols() fills the word exactly.  Distance kernels AND the
+  // final word with this before the OR-fold / field extraction, so unused
+  // tail fields can never contribute phantom mismatches (and vector paths
+  // may load the full word without scrubbing it first).
+  std::uint32_t tail_mask() const { return tail_mask_; }
+  // The packed payload: rows() * words_per_row() contiguous words (the
+  // kernel layer's row-blocked scan input).
+  const std::uint32_t* words_data() const { return words_.data(); }
+
   int digit(int row, int col) const;
   std::vector<int> unpack_row(int row) const;
   // Allocation-free unpack into a caller-owned buffer of exactly cols()
@@ -74,7 +91,8 @@ class DigitMatrix {
   int levels_;
   int bits_;           // power-of-two field width
   int words_per_row_;
-  std::uint32_t lsb_mask_;  // bit 0 of every field
+  std::uint32_t lsb_mask_;   // bit 0 of every field
+  std::uint32_t tail_mask_;  // used fields of the final word per row
   int rows_ = 0;
   std::vector<std::uint32_t> words_;
 };

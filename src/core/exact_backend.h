@@ -37,6 +37,10 @@ class ExactL1Backend final : public SimilarityBackend {
   BackendTopK search_topk(std::span<const int> query, int k) const override {
     return exhaustive_topk(matrix_, query, k, metric_);
   }
+  BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
+                                 int k) const override {
+    return exhaustive_topk_packed(matrix_, packed, k, metric_);
+  }
 
   // Software reference: no modeled hardware.  One "pass" (the scan), zero
   // joules and seconds on the modeled-cost axis.

@@ -1,0 +1,262 @@
+#include "core/kernels/kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/digit_matrix.h"
+#include "core/kernels/kernels_impl.h"
+
+namespace tdam::core::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.  These ARE the semantics: every vector path must
+// reproduce them bit-for-bit, and the parity suite holds them to it.
+// ---------------------------------------------------------------------------
+
+inline int mismatch_one_row(const std::uint32_t* row, const std::uint32_t* query,
+                            int words, int bits, std::uint32_t lsb_mask,
+                            std::uint32_t tail_mask) {
+  int mis = 0;
+  for (int w = 0; w < words; ++w) {
+    // OR-fold every field onto its LSB: a field is nonzero iff the digits
+    // differ, so the masked popcount is the mismatch count.  The final
+    // word's unused fields are masked out before the fold.
+    std::uint32_t x = row[w] ^ query[w];
+    if (w == words - 1) x &= tail_mask;
+    for (int s = 1; s < bits; s <<= 1) x |= x >> s;
+    mis += std::popcount(x & lsb_mask);
+  }
+  return mis;
+}
+
+inline int l1_one_row(const std::uint32_t* row, const std::uint32_t* query,
+                      int words, int bits, std::uint32_t tail_mask) {
+  const std::uint32_t field_mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+  int dist = 0;
+  for (int w = 0; w < words; ++w) {
+    std::uint32_t a = row[w];
+    std::uint32_t b = query[w];
+    if (w == words - 1) {
+      a &= tail_mask;
+      b &= tail_mask;
+    }
+    for (int off = 0; off < 32; off += bits) {
+      const int da = static_cast<int>((a >> off) & field_mask);
+      const int db = static_cast<int>((b >> off) & field_mask);
+      dist += da > db ? da - db : db - da;
+    }
+  }
+  return dist;
+}
+
+void scalar_mismatch_batch(const PackedRowsView& view,
+                           const std::uint32_t* query, std::int32_t* out) {
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row) {
+    out[r] = mismatch_one_row(row, query, view.words_per_row, view.bits,
+                              view.lsb_mask, view.tail_mask);
+  }
+}
+
+void scalar_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
+                     std::int32_t* out) {
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row) {
+    out[r] = l1_one_row(row, query, view.words_per_row, view.bits,
+                        view.tail_mask);
+  }
+}
+
+constexpr KernelTable kScalarTable{Isa::kScalar, "scalar",
+                                   &scalar_mismatch_batch, &scalar_l1_batch};
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+#if defined(TDAM_KERNELS_X86)
+constexpr Isa kCompiled[] = {Isa::kAvx2, Isa::kSse42, Isa::kScalar};
+#else
+constexpr Isa kCompiled[] = {Isa::kScalar};
+#endif
+
+const KernelTable* table_if_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &detail::scalar_table();
+#if defined(TDAM_KERNELS_X86)
+    case Isa::kSse42:
+      return &detail::sse42_table();
+    case Isa::kAvx2:
+      return &detail::avx2_table();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+const KernelTable* parse_forced(const char* name) {
+  const std::string s(name);
+  if (s == "scalar") return table_if_compiled(Isa::kScalar);
+  if (s == "sse42" && cpu_supports(Isa::kSse42))
+    return table_if_compiled(Isa::kSse42);
+  if (s == "avx2" && cpu_supports(Isa::kAvx2))
+    return table_if_compiled(Isa::kAvx2);
+  return nullptr;
+}
+
+const KernelTable* select(const char* override_name) {
+  if (override_name != nullptr && *override_name != '\0' &&
+      std::strcmp(override_name, "auto") != 0) {
+    if (const KernelTable* forced = parse_forced(override_name))
+      return forced;
+    std::fprintf(stderr,
+                 "tdam: TDAM_KERNEL=%s is not a compiled+supported kernel "
+                 "path (have: scalar%s%s); falling back to auto-selection\n",
+                 override_name,
+                 cpu_supports(Isa::kSse42) ? ", sse42" : "",
+                 cpu_supports(Isa::kAvx2) ? ", avx2" : "");
+  }
+  for (Isa isa : kCompiled)
+    if (cpu_supports(isa)) return table_if_compiled(isa);
+  return &kScalarTable;  // unreachable: scalar is always supported
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+namespace detail {
+const KernelTable& scalar_table() { return kScalarTable; }
+}  // namespace detail
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse42:
+      return "sse42";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::span<const Isa> compiled_isas() { return kCompiled; }
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(TDAM_KERNELS_X86)
+    case Isa::kSse42:
+      return __builtin_cpu_supports("sse4.2") != 0 &&
+             __builtin_cpu_supports("popcnt") != 0;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+#endif
+    default:
+      return false;
+  }
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : kCompiled)
+    if (cpu_supports(isa)) out.push_back(isa);
+  return out;
+}
+
+const KernelTable& table(Isa isa) {
+  if (!cpu_supports(isa))
+    throw std::invalid_argument(std::string("kernels::table: ") +
+                                isa_name(isa) +
+                                " is not compiled in or not supported by "
+                                "this CPU");
+  return *table_if_compiled(isa);
+}
+
+const KernelTable& active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  return reselect_from_env();
+}
+
+const KernelTable& reselect(const char* override_name) {
+  const KernelTable* t = select(override_name);
+  g_active.store(t, std::memory_order_release);
+  return *t;
+}
+
+const KernelTable& reselect_from_env() {
+  return reselect(std::getenv("TDAM_KERNEL"));
+}
+
+PackedRowsView view_of(const DigitMatrix& matrix) {
+  PackedRowsView view;
+  view.words = matrix.words_data();
+  view.rows = matrix.rows();
+  view.words_per_row = matrix.words_per_row();
+  view.bits = matrix.bits_per_digit();
+  view.lsb_mask = matrix.lsb_mask();
+  view.tail_mask = matrix.tail_mask();
+  return view;
+}
+
+namespace {
+
+void check_batch_args(const DigitMatrix& matrix,
+                      std::span<const std::uint32_t> packed_query,
+                      std::span<std::int32_t> out, const char* who) {
+  if (packed_query.size() != static_cast<std::size_t>(matrix.words_per_row()))
+    throw std::invalid_argument(std::string(who) + ": query has " +
+                                std::to_string(packed_query.size()) +
+                                " packed words, rows have " +
+                                std::to_string(matrix.words_per_row()));
+  if (out.size() != static_cast<std::size_t>(matrix.rows()))
+    throw std::invalid_argument(std::string(who) + ": out holds " +
+                                std::to_string(out.size()) +
+                                " slots, matrix has " +
+                                std::to_string(matrix.rows()) + " rows");
+}
+
+}  // namespace
+
+void mismatch_count_batch(const DigitMatrix& matrix,
+                          std::span<const std::uint32_t> packed_query,
+                          std::span<std::int32_t> out,
+                          const KernelTable& kernels) {
+  check_batch_args(matrix, packed_query, out, "kernels::mismatch_count_batch");
+  if (matrix.rows() == 0) return;
+  kernels.mismatch_batch(view_of(matrix), packed_query.data(), out.data());
+}
+
+void mismatch_count_batch(const DigitMatrix& matrix,
+                          std::span<const std::uint32_t> packed_query,
+                          std::span<std::int32_t> out) {
+  mismatch_count_batch(matrix, packed_query, out, active());
+}
+
+void l1_distance_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int32_t> out,
+                       const KernelTable& kernels) {
+  check_batch_args(matrix, packed_query, out, "kernels::l1_distance_batch");
+  if (matrix.rows() == 0) return;
+  kernels.l1_batch(view_of(matrix), packed_query.data(), out.data());
+}
+
+void l1_distance_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int32_t> out) {
+  l1_distance_batch(matrix, packed_query, out, active());
+}
+
+}  // namespace tdam::core::kernels

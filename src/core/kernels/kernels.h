@@ -1,0 +1,127 @@
+// Layer 0.5 — runtime-dispatched distance kernels over packed digit rows.
+//
+// Every backend reduces the same inner loop: XOR a stored row against a
+// packed query, OR-fold each digit field onto its LSB, popcount (mismatch
+// count), or extract fields and accumulate |a-b| (kL1).  This layer owns
+// that loop, once, in three implementations:
+//
+//   * scalar — the portable reference (exactly the historical
+//     DigitMatrix word loop); always compiled, always supported.
+//   * sse42  — 64-bit words + POPCNT (`__builtin_popcountll`), SSE2
+//     byte-lane kL1; compiled on x86 only.
+//   * avx2   — 256-bit VPSHUFB nibble-popcount with OR-fold mismatch and
+//     lane-accumulated (PSADBW) kL1; compiled on x86 only.
+//
+// One path is selected at startup from CPUID (best supported wins), and the
+// `TDAM_KERNEL={scalar|sse42|avx2}` environment variable forces a specific
+// path (falling back to auto-selection, with a stderr warning, when the
+// forced path is not compiled in or the CPU lacks it).  All paths are
+// bit-identical: the parity suite asserts it for every compiled path across
+// levels and ragged digit counts, so callers never need to know which path
+// answered.
+//
+// Entry points are row-blocked batches — one query against every stored row
+// — because that is the shape every backend's search loop has: the
+// dispatch indirection is paid once per scan, not once per row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tdam::core {
+class DigitMatrix;
+}
+
+namespace tdam::core::kernels {
+
+// Geometry of a packed digit store — everything a kernel needs to scan rows
+// without seeing DigitMatrix itself.  `words` holds `rows * words_per_row`
+// contiguous 32-bit words; digit fields are `bits` wide and never straddle a
+// word.  `tail_mask` covers the digit fields of each row's final word that
+// are actually in use (all-ones when the row fills its last word exactly);
+// kernels apply it before the OR-fold / field extraction so padding fields
+// can never contribute phantom mismatches.
+struct PackedRowsView {
+  const std::uint32_t* words = nullptr;
+  int rows = 0;
+  int words_per_row = 0;
+  int bits = 0;                   // field width: 1, 2, 4 or 8
+  std::uint32_t lsb_mask = 0;     // bit 0 of every field in a word
+  std::uint32_t tail_mask = ~0u;  // used fields of each row's final word
+};
+
+enum class Isa {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+// One dispatchable implementation: both batch kernels plus identity.
+// `mismatch_batch` writes out[r] = # digit positions where row r differs
+// from the query; `l1_batch` writes out[r] = sum over digits |row - query|.
+// `query` points at `words_per_row` packed words; `out` at `rows` slots.
+struct KernelTable {
+  Isa isa;
+  const char* name;  // "scalar" | "sse42" | "avx2"
+  void (*mismatch_batch)(const PackedRowsView& view,
+                         const std::uint32_t* query, std::int32_t* out);
+  void (*l1_batch)(const PackedRowsView& view, const std::uint32_t* query,
+                   std::int32_t* out);
+};
+
+const char* isa_name(Isa isa);
+
+// Paths compiled into this binary, best-first.  Always contains kScalar.
+std::span<const Isa> compiled_isas();
+
+// True when the running CPU can execute `isa` (kScalar is always true;
+// compiled-out paths are always false).
+bool cpu_supports(Isa isa);
+
+// Compiled AND runtime-supported, best-first — what parity tests and the
+// kernel bench iterate to force every usable path.
+std::vector<Isa> supported_isas();
+
+// The table for a specific path.  Throws std::invalid_argument when the
+// path is not compiled in or the CPU lacks it.
+const KernelTable& table(Isa isa);
+
+// The process-wide selection: on first use, picks the best supported path
+// unless TDAM_KERNEL forces one.  Subsequent calls are a single atomic load.
+const KernelTable& active();
+
+// Re-runs selection against an explicit override name (nullptr or "auto"
+// means CPUID auto-selection) and installs the result as active().  Unknown
+// or unsupported names warn on stderr and fall back to auto.  Exposed so
+// tests and benches can exercise the TDAM_KERNEL resolution logic
+// deterministically in-process.
+const KernelTable& reselect(const char* override_name);
+
+// reselect() with the current TDAM_KERNEL environment value.
+const KernelTable& reselect_from_env();
+
+// Adapts a DigitMatrix to the kernel view (no copy).
+PackedRowsView view_of(const DigitMatrix& matrix);
+
+// Batch entry points over a DigitMatrix: `packed_query` is the query packed
+// exactly as the matrix packs rows (DigitMatrix::pack), `out` receives one
+// distance per stored row.  Throws std::invalid_argument on a size
+// mismatch.  The two-argument forms use active(); the table forms force a
+// path (parity tests / bench).
+void mismatch_count_batch(const DigitMatrix& matrix,
+                          std::span<const std::uint32_t> packed_query,
+                          std::span<std::int32_t> out);
+void mismatch_count_batch(const DigitMatrix& matrix,
+                          std::span<const std::uint32_t> packed_query,
+                          std::span<std::int32_t> out,
+                          const KernelTable& kernels);
+void l1_distance_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int32_t> out);
+void l1_distance_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int32_t> out,
+                       const KernelTable& kernels);
+
+}  // namespace tdam::core::kernels

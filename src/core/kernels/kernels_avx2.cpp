@@ -1,0 +1,228 @@
+// AVX2 path: 256-bit row blocks, VPSHUFB nibble-popcount for the OR-fold
+// mismatch kernel and PSADBW lane-accumulated kL1.  Ragged rows (words not
+// a multiple of 8) still use full-vector loads via VPMASKMOVD, which never
+// touches masked-out lanes, so no row padding is required; the final word's
+// unused digit fields are masked out before the fold (DigitMatrix::
+// tail_mask), so padding fields can never contribute phantom mismatches.
+// Semantics are pinned to the scalar reference; the parity suite asserts
+// bit-identical results on every shape.
+#include "core/kernels/kernels_impl.h"
+
+#if defined(TDAM_KERNELS_X86)
+
+#include <immintrin.h>
+
+namespace tdam::core::kernels::detail {
+
+namespace {
+
+// Per-call constants shared by every row of a scan.
+struct BlockPlan {
+  int full_blocks;   // complete 8-word vectors per row
+  int rem;           // leftover words (0..7), loaded via maskload
+  __m256i load_mask; // lanes < rem enabled
+  __m256i tail_vec;  // AND-mask for the block holding the row's final word
+};
+
+BlockPlan make_plan(int words_per_row, std::uint32_t tail_mask) {
+  BlockPlan plan;
+  plan.full_blocks = words_per_row / 8;
+  plan.rem = words_per_row % 8;
+  alignas(32) int load[8];
+  alignas(32) int tail[8];
+  for (int lane = 0; lane < 8; ++lane) {
+    load[lane] = lane < plan.rem ? -1 : 0;
+    if (plan.rem == 0) {
+      // Final word is lane 7 of the last full block.
+      tail[lane] = lane == 7 ? static_cast<int>(tail_mask) : -1;
+    } else {
+      // Final word is lane rem-1 of the maskloaded remainder block; lanes
+      // at or beyond rem read as zero and stay zero under the mask.
+      tail[lane] = lane < plan.rem - 1 ? -1
+                   : lane == plan.rem - 1 ? static_cast<int>(tail_mask)
+                                          : 0;
+    }
+  }
+  plan.load_mask = _mm256_load_si256(reinterpret_cast<const __m256i*>(load));
+  plan.tail_vec = _mm256_load_si256(reinterpret_cast<const __m256i*>(tail));
+  return plan;
+}
+
+inline std::int64_t hsum_epi64(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(s) + _mm_cvtsi128_si64(_mm_srli_si128(s, 8));
+}
+
+// --- mismatch: OR-fold + VPSHUFB nibble popcount ---------------------------
+
+template <int BITS>
+inline __m256i fold_to_lsb(__m256i x) {
+  if constexpr (BITS > 1) x = _mm256_or_si256(x, _mm256_srli_epi32(x, 1));
+  if constexpr (BITS > 2) x = _mm256_or_si256(x, _mm256_srli_epi32(x, 2));
+  if constexpr (BITS > 4) x = _mm256_or_si256(x, _mm256_srli_epi32(x, 4));
+  return x;
+}
+
+inline __m256i popcount_bytes(__m256i x) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low4 = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, low4);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), low4);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+template <int BITS>
+int mismatch_row_avx2(const std::uint32_t* row, const std::uint32_t* query,
+                      const BlockPlan& plan, __m256i lsb_vec) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row + 8 * blk));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(query + 8 * blk));
+    __m256i x = _mm256_xor_si256(a, b);
+    if (plan.rem == 0 && blk == plan.full_blocks - 1)
+      x = _mm256_and_si256(x, plan.tail_vec);
+    x = _mm256_and_si256(fold_to_lsb<BITS>(x), lsb_vec);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(popcount_bytes(x), zero));
+  }
+  if (plan.rem != 0) {
+    const int base = 8 * plan.full_blocks;
+    const __m256i a = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(row + base), plan.load_mask);
+    const __m256i b = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(query + base), plan.load_mask);
+    __m256i x = _mm256_and_si256(_mm256_xor_si256(a, b), plan.tail_vec);
+    x = _mm256_and_si256(fold_to_lsb<BITS>(x), lsb_vec);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(popcount_bytes(x), zero));
+  }
+  return static_cast<int>(hsum_epi64(acc));
+}
+
+template <int BITS>
+void mismatch_batch_avx2(const PackedRowsView& view,
+                         const std::uint32_t* query, std::int32_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m256i lsb_vec =
+      _mm256_set1_epi32(static_cast<int>(view.lsb_mask));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = mismatch_row_avx2<BITS>(row, query, plan, lsb_vec);
+}
+
+void avx2_mismatch_batch(const PackedRowsView& view,
+                         const std::uint32_t* query, std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      mismatch_batch_avx2<1>(view, query, out);
+      return;
+    case 2:
+      mismatch_batch_avx2<2>(view, query, out);
+      return;
+    case 4:
+      mismatch_batch_avx2<4>(view, query, out);
+      return;
+    default:
+      mismatch_batch_avx2<8>(view, query, out);
+      return;
+  }
+}
+
+// --- kL1: byte-lane |a-b| with PSADBW accumulation -------------------------
+
+// Phase p extracts the field at in-byte bit offset p*BITS of every byte into
+// a byte lane (fields never straddle bytes because BITS divides 8); |a-b| is
+// the OR of the two saturating unsigned subtractions, horizontally summed by
+// PSADBW into four 64-bit lanes.
+template <int BITS>
+inline __m256i l1_block(__m256i a, __m256i b, __m256i byte_mask,
+                        __m256i zero) {
+  __m256i sums = zero;
+  for (int p = 0; p < 8 / BITS; ++p) {
+    const __m256i fa =
+        _mm256_and_si256(_mm256_srli_epi32(a, p * BITS), byte_mask);
+    const __m256i fb =
+        _mm256_and_si256(_mm256_srli_epi32(b, p * BITS), byte_mask);
+    const __m256i d = _mm256_or_si256(_mm256_subs_epu8(fa, fb),
+                                      _mm256_subs_epu8(fb, fa));
+    sums = _mm256_add_epi64(sums, _mm256_sad_epu8(d, zero));
+  }
+  return sums;
+}
+
+template <int BITS>
+int l1_row_avx2(const std::uint32_t* row, const std::uint32_t* query,
+                const BlockPlan& plan, __m256i byte_mask) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row + 8 * blk));
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(query + 8 * blk));
+    if (plan.rem == 0 && blk == plan.full_blocks - 1) {
+      a = _mm256_and_si256(a, plan.tail_vec);
+      b = _mm256_and_si256(b, plan.tail_vec);
+    }
+    acc = _mm256_add_epi64(acc, l1_block<BITS>(a, b, byte_mask, zero));
+  }
+  if (plan.rem != 0) {
+    const int base = 8 * plan.full_blocks;
+    const __m256i a = _mm256_and_si256(
+        _mm256_maskload_epi32(reinterpret_cast<const int*>(row + base),
+                              plan.load_mask),
+        plan.tail_vec);
+    const __m256i b = _mm256_and_si256(
+        _mm256_maskload_epi32(reinterpret_cast<const int*>(query + base),
+                              plan.load_mask),
+        plan.tail_vec);
+    acc = _mm256_add_epi64(acc, l1_block<BITS>(a, b, byte_mask, zero));
+  }
+  return static_cast<int>(hsum_epi64(acc));
+}
+
+template <int BITS>
+void l1_batch_avx2(const PackedRowsView& view, const std::uint32_t* query,
+                   std::int32_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m256i byte_mask =
+      _mm256_set1_epi8(static_cast<char>((1u << BITS) - 1u));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = l1_row_avx2<BITS>(row, query, plan, byte_mask);
+}
+
+void avx2_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
+                   std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      l1_batch_avx2<1>(view, query, out);
+      return;
+    case 2:
+      l1_batch_avx2<2>(view, query, out);
+      return;
+    case 4:
+      l1_batch_avx2<4>(view, query, out);
+      return;
+    default:
+      l1_batch_avx2<8>(view, query, out);
+      return;
+  }
+}
+
+constexpr KernelTable kAvx2Table{Isa::kAvx2, "avx2", &avx2_mismatch_batch,
+                                 &avx2_l1_batch};
+
+}  // namespace
+
+const KernelTable& avx2_table() { return kAvx2Table; }
+
+}  // namespace tdam::core::kernels::detail
+
+#endif  // TDAM_KERNELS_X86

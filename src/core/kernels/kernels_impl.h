@@ -1,0 +1,17 @@
+// Internal registration surface between the dispatcher (kernels.cpp) and
+// the per-ISA translation units.  TDAM_KERNELS_X86 is a private compile
+// definition of tdam_core — this header must not leak into public headers.
+#pragma once
+
+#include "core/kernels/kernels.h"
+
+namespace tdam::core::kernels::detail {
+
+const KernelTable& scalar_table();
+
+#if defined(TDAM_KERNELS_X86)
+const KernelTable& sse42_table();
+const KernelTable& avx2_table();
+#endif
+
+}  // namespace tdam::core::kernels::detail

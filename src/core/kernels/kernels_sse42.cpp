@@ -1,0 +1,177 @@
+// SSE4.2-era path: mismatch counting over 64-bit words with the POPCNT
+// instruction (`__builtin_popcountll`, this TU is compiled with
+// -msse4.2 -mpopcnt), and kL1 over SSE2 byte lanes with PSADBW
+// accumulation.  Semantics are pinned to the scalar reference in
+// kernels.cpp; the parity suite asserts bit-identical results.
+#include "core/kernels/kernels_impl.h"
+
+#if defined(TDAM_KERNELS_X86)
+
+#include <emmintrin.h>
+
+#include <bit>
+#include <cstring>
+
+namespace tdam::core::kernels::detail {
+
+namespace {
+
+// --- mismatch: 64-bit XOR + OR-fold + POPCNT -------------------------------
+
+template <int BITS>
+int mismatch_row64(const std::uint32_t* row, const std::uint32_t* query,
+                   int words, std::uint64_t lsb64, std::uint32_t lsb_mask,
+                   std::uint32_t tail_mask) {
+  int mis = 0;
+  int w = 0;
+  for (; w + 2 <= words; w += 2) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, row + w, sizeof(a));
+    std::memcpy(&b, query + w, sizeof(b));
+    std::uint64_t x = a ^ b;
+    if (w + 2 == words) {
+      // Final word is the high half: mask its unused digit fields.
+      x &= (static_cast<std::uint64_t>(tail_mask) << 32) | 0xffffffffULL;
+    }
+    for (int s = 1; s < BITS; s <<= 1) x |= x >> s;
+    mis += std::popcount(x & lsb64);
+  }
+  if (w < words) {
+    std::uint32_t x = (row[w] ^ query[w]) & tail_mask;
+    for (int s = 1; s < BITS; s <<= 1) x |= x >> s;
+    mis += std::popcount(x & lsb_mask);
+  }
+  return mis;
+}
+
+template <int BITS>
+void mismatch_batch64(const PackedRowsView& view, const std::uint32_t* query,
+                      std::int32_t* out) {
+  const std::uint64_t lsb64 =
+      (static_cast<std::uint64_t>(view.lsb_mask) << 32) | view.lsb_mask;
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row) {
+    out[r] = mismatch_row64<BITS>(row, query, view.words_per_row, lsb64,
+                                  view.lsb_mask, view.tail_mask);
+  }
+}
+
+void sse42_mismatch_batch(const PackedRowsView& view,
+                          const std::uint32_t* query, std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      mismatch_batch64<1>(view, query, out);
+      return;
+    case 2:
+      mismatch_batch64<2>(view, query, out);
+      return;
+    case 4:
+      mismatch_batch64<4>(view, query, out);
+      return;
+    default:
+      mismatch_batch64<8>(view, query, out);
+      return;
+  }
+}
+
+// --- kL1: SSE2 byte-lane |a-b| with PSADBW ---------------------------------
+
+// Extract digit fields phase by phase into byte lanes: phase p pulls the
+// field at in-byte bit offset p*BITS of every byte via a right shift and a
+// per-byte mask, then |a-b| = max(a-b, b-a) in saturating unsigned bytes,
+// horizontally summed by PSADBW.  8/BITS phases cover every field exactly
+// once; fields never straddle bytes because BITS divides 8.
+template <int BITS>
+int l1_row_sse2(const std::uint32_t* row, const std::uint32_t* query,
+                int words, std::uint32_t tail_mask) {
+  const __m128i byte_mask =
+      _mm_set1_epi8(static_cast<char>((1u << BITS) - 1u));
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+
+  const int full_blocks = words / 4;
+  const int rem = words % 4;
+  for (int blk = 0; blk < full_blocks; ++blk) {
+    __m128i a = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(row + 4 * blk));
+    __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(query + 4 * blk));
+    if (rem == 0 && blk == full_blocks - 1) {
+      // Final word sits in lane 3 of this block: mask unused fields in
+      // both operands so they difference to zero.
+      const __m128i tmask =
+          _mm_set_epi32(static_cast<int>(tail_mask), -1, -1, -1);
+      a = _mm_and_si128(a, tmask);
+      b = _mm_and_si128(b, tmask);
+    }
+    for (int p = 0; p < 8 / BITS; ++p) {
+      const __m128i fa =
+          _mm_and_si128(_mm_srli_epi32(a, p * BITS), byte_mask);
+      const __m128i fb =
+          _mm_and_si128(_mm_srli_epi32(b, p * BITS), byte_mask);
+      const __m128i d =
+          _mm_or_si128(_mm_subs_epu8(fa, fb), _mm_subs_epu8(fb, fa));
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(d, zero));
+    }
+  }
+
+  int dist = static_cast<int>(_mm_cvtsi128_si64(acc) +
+                              _mm_cvtsi128_si64(_mm_srli_si128(acc, 8)));
+
+  // Remaining 1-3 words (the one holding tail_mask included) go field by
+  // field, exactly like the scalar reference.
+  const std::uint32_t field_mask = (1u << BITS) - 1u;
+  for (int w = 4 * full_blocks; w < words; ++w) {
+    std::uint32_t a = row[w];
+    std::uint32_t b = query[w];
+    if (w == words - 1) {
+      a &= tail_mask;
+      b &= tail_mask;
+    }
+    for (int off = 0; off < 32; off += BITS) {
+      const int da = static_cast<int>((a >> off) & field_mask);
+      const int db = static_cast<int>((b >> off) & field_mask);
+      dist += da > db ? da - db : db - da;
+    }
+  }
+  return dist;
+}
+
+template <int BITS>
+void l1_batch_sse2(const PackedRowsView& view, const std::uint32_t* query,
+                   std::int32_t* out) {
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row) {
+    out[r] = l1_row_sse2<BITS>(row, query, view.words_per_row, view.tail_mask);
+  }
+}
+
+void sse42_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
+                    std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      l1_batch_sse2<1>(view, query, out);
+      return;
+    case 2:
+      l1_batch_sse2<2>(view, query, out);
+      return;
+    case 4:
+      l1_batch_sse2<4>(view, query, out);
+      return;
+    default:
+      l1_batch_sse2<8>(view, query, out);
+      return;
+  }
+}
+
+constexpr KernelTable kSse42Table{Isa::kSse42, "sse42", &sse42_mismatch_batch,
+                                  &sse42_l1_batch};
+
+}  // namespace
+
+const KernelTable& sse42_table() { return kSse42Table; }
+
+}  // namespace tdam::core::kernels::detail
+
+#endif  // TDAM_KERNELS_X86

@@ -22,19 +22,26 @@ SearchEngine::SearchEngine(const ShardedIndex& index, EngineOptions options)
   if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
 }
 
-TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
+namespace {
+
+// Shard broadcast + deterministic global merge, parameterised over how one
+// shard answers (unpacked digits or packed words — both land in the same
+// kernel layer inside the backend).
+template <typename SearchShard>
+TopKResult merged_topk(const ShardedIndex& index, int k,
+                       SearchShard&& search_shard) {
   const auto t0 = std::chrono::steady_clock::now();
   TopKResult out;
   std::vector<core::TopKEntry> merged;
   merged.reserve(static_cast<std::size_t>(k) *
-                 static_cast<std::size_t>(index_.num_shards()));
-  const double stages = static_cast<double>(index_.stages());
-  for (int s = 0; s < index_.num_shards(); ++s) {
-    const auto& shard = index_.shard(s);
+                 static_cast<std::size_t>(index.num_shards()));
+  const double stages = static_cast<double>(index.stages());
+  for (int s = 0; s < index.num_shards(); ++s) {
+    const auto& shard = index.shard(s);
     if (shard.rows() == 0) continue;
-    const auto local = shard.search_topk(query, k);
+    const auto local = search_shard(shard, k);
     for (const auto& e : local.entries)
-      merged.push_back({index_.global_row(s, e.row), e.distance});
+      merged.push_back({index.global_row(s, e.row), e.distance});
     // Modeled hardware: each shard is one physical bank answering in
     // parallel, costed by its own QueryCostModel hook at the measured
     // mismatch fraction (clamped — an L1-metric backend can report a mean
@@ -59,6 +66,23 @@ TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
   return out;
 }
 
+}  // namespace
+
+TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
+  return merged_topk(index_, k,
+                     [&](const core::SimilarityBackend& shard, int kk) {
+                       return shard.search_topk(query, kk);
+                     });
+}
+
+TopKResult SearchEngine::run_query_packed(
+    std::span<const std::uint32_t> packed, int k) const {
+  return merged_topk(index_, k,
+                     [&](const core::SimilarityBackend& shard, int kk) {
+                       return shard.search_topk_packed(packed, kk);
+                     });
+}
+
 std::vector<TopKResult> SearchEngine::submit_batch(
     const core::DigitMatrix& queries, int k) {
   if (k < 1)
@@ -72,30 +96,56 @@ std::vector<TopKResult> SearchEngine::submit_batch(
   const auto n = static_cast<std::size_t>(queries.rows());
   const auto stages = static_cast<std::size_t>(queries.cols());
   std::vector<TopKResult> results(n);
-  // One unpack arena for the whole batch: task i owns the disjoint slice
-  // [i*stages, (i+1)*stages), so no per-query heap allocation and no
-  // sharing between pool workers.
-  std::vector<int> arena(n * stages);
-  const auto digits_of = [&](std::size_t i) {
-    return std::span<int>(arena).subspan(i * stages, stages);
-  };
-  if (pool_) {
-    std::vector<std::future<void>> pending;
-    pending.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      pending.push_back(pool_->submit([this, &queries, &results, &digits_of, i,
-                                       k] {
+  // Packed fast path: when the batch's field width matches the index's
+  // packing (and its digit alphabet fits), every query row is already the
+  // exact word sequence the shards' kernel scans consume — hand the packed
+  // words straight through, no unpack, no re-pack.
+  const bool packed_compatible =
+      queries.bits_per_digit() ==
+          core::DigitMatrix::field_bits(index_.levels()) &&
+      queries.levels() <= index_.levels();
+  if (packed_compatible) {
+    if (pool_) {
+      std::vector<std::future<void>> pending;
+      pending.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        pending.push_back(pool_->submit([this, &queries, &results, i, k] {
+          results[i] = run_query_packed(
+              queries.row_words(static_cast<int>(i)), k);
+        }));
+      }
+      for (auto& f : pending) f.get();  // rethrows any task exception
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        results[i] =
+            run_query_packed(queries.row_words(static_cast<int>(i)), k);
+    }
+  } else {
+    // One unpack arena for the whole batch: task i owns the disjoint slice
+    // [i*stages, (i+1)*stages), so no per-query heap allocation and no
+    // sharing between pool workers.
+    std::vector<int> arena(n * stages);
+    const auto digits_of = [&](std::size_t i) {
+      return std::span<int>(arena).subspan(i * stages, stages);
+    };
+    if (pool_) {
+      std::vector<std::future<void>> pending;
+      pending.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        pending.push_back(pool_->submit([this, &queries, &results, &digits_of,
+                                         i, k] {
+          const auto digits = digits_of(i);
+          queries.unpack_row_into(static_cast<int>(i), digits);
+          results[i] = run_query(digits, k);
+        }));
+      }
+      for (auto& f : pending) f.get();  // rethrows any task exception
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
         const auto digits = digits_of(i);
         queries.unpack_row_into(static_cast<int>(i), digits);
         results[i] = run_query(digits, k);
-      }));
-    }
-    for (auto& f : pending) f.get();  // rethrows any task exception
-  } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto digits = digits_of(i);
-      queries.unpack_row_into(static_cast<int>(i), digits);
-      results[i] = run_query(digits, k);
+      }
     }
   }
 

@@ -69,7 +69,10 @@ class SearchEngine {
   // Answers every row of `queries` (cols() must equal index().stages())
   // with its global top-k.  k must be >= 1; fewer than k entries come back
   // when the index holds fewer rows.  Updates the serving metrics as a
-  // side effect.  This is the allocation-lean hot path.
+  // side effect.  This is the allocation-lean hot path: when the batch is
+  // packed with the index's field width, each query row is handed to the
+  // shards as packed words (SimilarityBackend::search_topk_packed), so the
+  // kernel layer scans without ever unpacking or re-packing digits.
   std::vector<TopKResult> submit_batch(const core::DigitMatrix& queries,
                                        int k);
 
@@ -86,6 +89,8 @@ class SearchEngine {
 
  private:
   TopKResult run_query(std::span<const int> query, int k) const;
+  TopKResult run_query_packed(std::span<const std::uint32_t> packed,
+                              int k) const;
 
   const ShardedIndex& index_;
   EngineOptions options_;

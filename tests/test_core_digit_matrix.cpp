@@ -161,6 +161,34 @@ TEST(DigitMatrix, L1DistanceMatchesBruteForce) {
                std::invalid_argument);
 }
 
+// Regression: a ragged final word (cols not a multiple of digits_per_word)
+// must never contribute phantom mismatches from its unused tail fields, even
+// when every used field holds the maximum digit value.  tail_mask() is the
+// contract the distance kernels rely on to load the full word safely.
+TEST(DigitMatrix, RaggedTailWordContributesNoPhantomMismatches) {
+  for (int levels : {2, 4, 16, 256}) {
+    const int per_word = 32 / DigitMatrix::field_bits(levels);
+    const int cols = per_word + 1;  // exactly one used field in word 2
+    DigitMatrix m(cols, levels);
+    const std::vector<int> all_max(static_cast<std::size_t>(cols), levels - 1);
+    m.append(all_max);
+    // tail_mask covers exactly the one used field.
+    EXPECT_EQ(m.tail_mask(),
+              (1u << DigitMatrix::field_bits(levels)) - 1u)
+        << "levels=" << levels;
+    EXPECT_EQ(m.mismatch_distance(0, m.pack(all_max)), 0) << "levels=" << levels;
+    EXPECT_EQ(m.l1_distance(0, all_max), 0) << "levels=" << levels;
+    const std::vector<int> zeros(static_cast<std::size_t>(cols), 0);
+    EXPECT_EQ(m.mismatch_distance(0, m.pack(zeros)), cols)
+        << "levels=" << levels;
+    EXPECT_EQ(m.l1_distance(0, zeros), cols * (levels - 1))
+        << "levels=" << levels;
+  }
+  // Exact fit: the mask degenerates to all-ones.
+  DigitMatrix exact(16, 4);
+  EXPECT_EQ(exact.tail_mask(), ~0u);
+}
+
 TEST(DigitMatrix, ResidentBytesTrackThePackedPayload) {
   // 2-bit digits: 64 digits -> 16 bytes/row, vs 256 bytes unpacked.
   DigitMatrix m(64, 4);

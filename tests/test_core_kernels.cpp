@@ -1,0 +1,212 @@
+// Parity and dispatch tests for the Layer-0.5 distance kernels.
+//
+// The contract under test: every compiled+supported ISA path is
+// bit-identical to the scalar reference (which is itself checked against a
+// brute-force digit loop), for both kernels, across field widths and ragged
+// digit counts — so callers never need to know which path answered.
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/digit_matrix.h"
+#include "core/kernels/kernels.h"
+#include "util/rng.h"
+
+namespace {
+
+using tdam::Rng;
+using tdam::core::DigitMatrix;
+namespace kernels = tdam::core::kernels;
+
+// Restores auto-selection when a test that forces a path exits.
+struct ScopedAutoSelect {
+  ~ScopedAutoSelect() { kernels::reselect(nullptr); }
+};
+
+struct Fixture {
+  DigitMatrix matrix;
+  std::vector<std::vector<int>> rows;
+  std::vector<int> query;
+  std::vector<std::uint32_t> packed;
+};
+
+Fixture make_fixture(int digits, int levels, int rows, std::uint64_t seed) {
+  Fixture f{DigitMatrix(digits, levels), {}, {}, {}};
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<int> d(static_cast<std::size_t>(digits));
+    for (auto& x : d) x = rng.uniform_int(0, levels - 1);
+    f.matrix.append(d);
+    f.rows.push_back(std::move(d));
+  }
+  f.query.resize(static_cast<std::size_t>(digits));
+  for (auto& x : f.query) x = rng.uniform_int(0, levels - 1);
+  f.packed = f.matrix.pack(f.query);
+  return f;
+}
+
+TEST(CoreKernels, ScalarMatchesBruteForce) {
+  for (int levels : {2, 4, 16, 256}) {
+    auto f = make_fixture(33, levels, 24, 0x100u + static_cast<unsigned>(levels));
+    std::vector<std::int32_t> mis(24), l1(24);
+    const auto& scalar = kernels::table(kernels::Isa::kScalar);
+    kernels::mismatch_count_batch(f.matrix, f.packed, mis, scalar);
+    kernels::l1_distance_batch(f.matrix, f.packed, l1, scalar);
+    for (int r = 0; r < 24; ++r) {
+      int want_mis = 0, want_l1 = 0;
+      for (std::size_t c = 0; c < f.query.size(); ++c) {
+        want_mis += f.rows[static_cast<std::size_t>(r)][c] != f.query[c];
+        want_l1 += std::abs(f.rows[static_cast<std::size_t>(r)][c] - f.query[c]);
+      }
+      EXPECT_EQ(mis[static_cast<std::size_t>(r)], want_mis)
+          << "levels=" << levels << " row=" << r;
+      EXPECT_EQ(l1[static_cast<std::size_t>(r)], want_l1)
+          << "levels=" << levels << " row=" << r;
+    }
+  }
+}
+
+// The tentpole guarantee: every usable path agrees with scalar bit for bit,
+// over every field width and a spread of ragged digit counts (tails of 1..31
+// used bits in the final word, plus exact word fits).
+TEST(CoreKernels, AllPathsBitIdenticalToScalar) {
+  const auto isas = kernels::supported_isas();
+  ASSERT_FALSE(isas.empty());
+  const auto& scalar = kernels::table(kernels::Isa::kScalar);
+  std::uint64_t seed = 0xfee7u;
+  for (int levels : {2, 4, 16, 256}) {
+    for (int digits : {1, 7, 16, 31, 32, 33, 65, 257, 1000}) {
+      const int rows = digits > 256 ? 64 : 128;
+      auto f = make_fixture(digits, levels, rows, seed++);
+      std::vector<std::int32_t> want_mis(static_cast<std::size_t>(rows));
+      std::vector<std::int32_t> want_l1(want_mis.size());
+      kernels::mismatch_count_batch(f.matrix, f.packed, want_mis, scalar);
+      kernels::l1_distance_batch(f.matrix, f.packed, want_l1, scalar);
+      for (auto isa : isas) {
+        const auto& t = kernels::table(isa);
+        std::vector<std::int32_t> mis(want_mis.size()), l1(want_mis.size());
+        kernels::mismatch_count_batch(f.matrix, f.packed, mis, t);
+        kernels::l1_distance_batch(f.matrix, f.packed, l1, t);
+        EXPECT_EQ(mis, want_mis) << t.name << " mismatch, levels=" << levels
+                                 << " digits=" << digits;
+        EXPECT_EQ(l1, want_l1) << t.name << " l1, levels=" << levels
+                               << " digits=" << digits;
+      }
+    }
+  }
+}
+
+// Worst case for a vector path that loads whole words: every stored digit at
+// its maximum value, a query of zeros, and a ragged final word.  Any kernel
+// that folds unused tail fields would over-count here.
+TEST(CoreKernels, RaggedTailAllMaxDigitsNoPhantoms) {
+  for (int levels : {2, 4, 16, 256}) {
+    const int bits = DigitMatrix::field_bits(levels);
+    const int per_word = 32 / bits;
+    const int digits = 2 * per_word + 1;  // one used field in the last word
+    DigitMatrix m(digits, levels);
+    std::vector<int> all_max(static_cast<std::size_t>(digits), levels - 1);
+    for (int r = 0; r < 9; ++r) m.append(all_max);
+    const auto packed_zero =
+        m.pack(std::vector<int>(static_cast<std::size_t>(digits), 0));
+    const auto packed_max = m.pack(all_max);
+    for (auto isa : kernels::supported_isas()) {
+      const auto& t = kernels::table(isa);
+      std::vector<std::int32_t> mis(9), l1(9);
+      kernels::mismatch_count_batch(m, packed_zero, mis, t);
+      kernels::l1_distance_batch(m, packed_zero, l1, t);
+      for (int r = 0; r < 9; ++r) {
+        EXPECT_EQ(mis[static_cast<std::size_t>(r)], digits)
+            << t.name << " levels=" << levels;
+        EXPECT_EQ(l1[static_cast<std::size_t>(r)], digits * (levels - 1))
+            << t.name << " levels=" << levels;
+      }
+      kernels::mismatch_count_batch(m, packed_max, mis, t);
+      kernels::l1_distance_batch(m, packed_max, l1, t);
+      for (int r = 0; r < 9; ++r) {
+        EXPECT_EQ(mis[static_cast<std::size_t>(r)], 0)
+            << t.name << " levels=" << levels;
+        EXPECT_EQ(l1[static_cast<std::size_t>(r)], 0)
+            << t.name << " levels=" << levels;
+      }
+    }
+  }
+}
+
+TEST(CoreKernels, CompiledAndSupportedSets) {
+  const auto compiled = kernels::compiled_isas();
+  ASSERT_FALSE(compiled.empty());
+  bool has_scalar = false;
+  for (auto isa : compiled) has_scalar |= isa == kernels::Isa::kScalar;
+  EXPECT_TRUE(has_scalar);
+  EXPECT_TRUE(kernels::cpu_supports(kernels::Isa::kScalar));
+  // supported ⊆ compiled, and every supported path has a working table.
+  for (auto isa : kernels::supported_isas()) {
+    bool in_compiled = false;
+    for (auto c : compiled) in_compiled |= c == isa;
+    EXPECT_TRUE(in_compiled) << kernels::isa_name(isa);
+    EXPECT_STREQ(kernels::table(isa).name, kernels::isa_name(isa));
+  }
+}
+
+TEST(CoreKernels, ForcedSelectionResolvesEachSupportedPath) {
+  ScopedAutoSelect restore;
+  for (auto isa : kernels::supported_isas()) {
+    const auto& t = kernels::reselect(kernels::isa_name(isa));
+    EXPECT_EQ(t.isa, isa);
+    EXPECT_EQ(&kernels::active(), &t);
+  }
+}
+
+TEST(CoreKernels, UnknownOrUnsupportedOverrideFallsBackToAuto) {
+  ScopedAutoSelect restore;
+  const auto& best = kernels::reselect(nullptr);
+  EXPECT_EQ(&kernels::reselect("definitely-not-an-isa"), &best);
+  EXPECT_EQ(&kernels::reselect("auto"), &best);
+  EXPECT_EQ(&kernels::reselect(""), &best);
+}
+
+TEST(CoreKernels, TableThrowsForUnavailablePath) {
+  bool all_supported = true;
+  for (auto isa : {kernels::Isa::kSse42, kernels::Isa::kAvx2})
+    if (!kernels::cpu_supports(isa)) {
+      all_supported = false;
+      EXPECT_THROW(kernels::table(isa), std::invalid_argument);
+    }
+  if (all_supported) GTEST_SKIP() << "all compiled paths supported here";
+}
+
+TEST(CoreKernels, BatchArgumentValidation) {
+  auto f = make_fixture(10, 4, 3, 0xBADu);
+  std::vector<std::int32_t> out(3);
+  std::vector<std::uint32_t> short_query(f.packed.begin(), f.packed.end() - 1);
+  EXPECT_THROW(kernels::mismatch_count_batch(f.matrix, short_query, out),
+               std::invalid_argument);
+  std::vector<std::int32_t> short_out(2);
+  EXPECT_THROW(kernels::l1_distance_batch(f.matrix, f.packed, short_out),
+               std::invalid_argument);
+  // Empty store: no output required, no work done.
+  DigitMatrix empty(10, 4);
+  std::vector<std::int32_t> none;
+  kernels::mismatch_count_batch(empty, empty.pack(f.query), none);
+}
+
+// The packed entry points feed every backend; a quick cross-check that the
+// matrix-level wrapper agrees with DigitMatrix's own per-row methods.
+TEST(CoreKernels, MatrixWrappersMatchPerRowMethods) {
+  auto f = make_fixture(77, 16, 40, 0x77u);
+  std::vector<std::int32_t> mis(40), l1(40);
+  kernels::mismatch_count_batch(f.matrix, f.packed, mis);
+  kernels::l1_distance_batch(f.matrix, f.packed, l1);
+  for (int r = 0; r < 40; ++r) {
+    EXPECT_EQ(mis[static_cast<std::size_t>(r)],
+              f.matrix.mismatch_distance(r, f.packed));
+    EXPECT_EQ(l1[static_cast<std::size_t>(r)],
+              f.matrix.l1_distance(r, f.query));
+  }
+}
+
+}  // namespace

@@ -33,7 +33,7 @@ const am::CalibrationResult& calibration() {
   return cal;
 }
 
-TEST(DefaultRegistry, RegistersTheFourBuiltins) {
+TEST(RuntimeDefaultRegistry, RegistersTheFourBuiltins) {
   const auto reg = runtime::default_registry(calibration(), {.stages = 16});
   EXPECT_EQ(reg.names(), (std::vector<std::string>{"behavioral", "cam",
                                                    "digital", "exact"}));
@@ -56,7 +56,7 @@ TEST(DefaultRegistry, RegistersTheFourBuiltins) {
 // The satellite check: identical (distance, global row) top-k from every
 // registered backend on a shared random workload through the identical
 // sharded serving path.
-TEST(BackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
+TEST(RuntimeBackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
   constexpr int kStages = 48, kRows = 120, kQueries = 24, kTopK = 7;
   const auto reg = runtime::default_registry(calibration(), {.stages = kStages});
 
@@ -84,7 +84,7 @@ TEST(BackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
   }
 }
 
-TEST(BackendParity, ThreadCountInvariantForEveryBackend) {
+TEST(RuntimeBackendParity, ThreadCountInvariantForEveryBackend) {
   constexpr int kStages = 32, kRows = 64, kQueries = 16;
   const auto reg = runtime::default_registry(calibration(), {.stages = kStages});
   Rng rng(202);
@@ -110,7 +110,7 @@ TEST(BackendParity, ThreadCountInvariantForEveryBackend) {
   }
 }
 
-TEST(BackendParity, PackedAndUnpackedSubmissionBitIdentical) {
+TEST(RuntimeBackendParity, PackedAndUnpackedSubmissionBitIdentical) {
   // Satellite property: submitting the same queries packed in a
   // core::DigitMatrix and unpacked as vector<int> must return bit-identical
   // (distance, global row) top-k on every registered backend, sequentially
@@ -143,7 +143,7 @@ TEST(BackendParity, PackedAndUnpackedSubmissionBitIdentical) {
   }
 }
 
-TEST(BackendCosts, PassFoldingMatchesArrayGeometry) {
+TEST(RuntimeBackendCosts, PassFoldingMatchesArrayGeometry) {
   // 10 stored rows on 4-row arrays: ceil(10/4) = 3 sequential passes for
   // every hardware backend; the software reference always scans in one.
   const auto reg = runtime::default_registry(
@@ -168,7 +168,7 @@ TEST(BackendCosts, PassFoldingMatchesArrayGeometry) {
   }
 }
 
-TEST(BackendCosts, EveryBackendValidatesStoredDigits) {
+TEST(RuntimeBackendCosts, EveryBackendValidatesStoredDigits) {
   const auto reg = runtime::default_registry(calibration(), {.stages = 4});
   for (const auto& name : reg.names()) {
     auto backend = reg.create(name);
@@ -184,7 +184,7 @@ TEST(BackendCosts, EveryBackendValidatesStoredDigits) {
   }
 }
 
-class HdcBridgeTest : public ::testing::Test {
+class RuntimeHdcBridge : public ::testing::Test {
  protected:
   static constexpr int kDims = 64, kClasses = 5, kTrain = 60;
 
@@ -225,7 +225,7 @@ class HdcBridgeTest : public ::testing::Test {
   std::vector<std::vector<int>> query_digits_;
 };
 
-TEST_F(HdcBridgeTest, ClassifiesIdenticallyOnEveryBackend) {
+TEST_F(RuntimeHdcBridge, ClassifiesIdenticallyOnEveryBackend) {
   const auto reg = runtime::default_registry(calibration(), {.stages = kDims});
   for (const auto& name : reg.names()) {
     auto backend = reg.create(name);
@@ -238,7 +238,7 @@ TEST_F(HdcBridgeTest, ClassifiesIdenticallyOnEveryBackend) {
   }
 }
 
-TEST_F(HdcBridgeTest, LoadClassesValidates) {
+TEST_F(RuntimeHdcBridge, LoadClassesValidates) {
   const auto reg = runtime::default_registry(calibration(), {.stages = kDims});
   auto backend = reg.create("exact");
   hdc::load_classes(*qmodel_, *backend);

@@ -72,7 +72,7 @@ Workload make_workload(int shards, int stages, int rows, int num_queries,
   return w;
 }
 
-TEST(ShardedIndex, RoundRobinPlacementAndGlobalIds) {
+TEST(RuntimeShardedIndex, RoundRobinPlacementAndGlobalIds) {
   auto index = make_index(3, 4);
   Rng rng(5);
   for (int i = 0; i < 8; ++i)
@@ -88,7 +88,7 @@ TEST(ShardedIndex, RoundRobinPlacementAndGlobalIds) {
   EXPECT_EQ(index.shard_size(1), 0);
 }
 
-TEST(ShardedIndex, LeastLoadedStaysBalanced) {
+TEST(RuntimeShardedIndex, LeastLoadedStaysBalanced) {
   auto index = make_index(4, 4, Placement::kLeastLoaded);
   Rng rng(6);
   for (int i = 0; i < 10; ++i) index.store(am::random_word(rng, 4, kLevels));
@@ -100,7 +100,7 @@ TEST(ShardedIndex, LeastLoadedStaysBalanced) {
   EXPECT_LE(hi - lo, 1);
 }
 
-TEST(ShardedIndex, LeastLoadedRebalancesAcrossInterleavedClears) {
+TEST(RuntimeShardedIndex, LeastLoadedRebalancesAcrossInterleavedClears) {
   // Satellite check: the balance property must survive clear()/store()
   // interleavings, not just one monotone fill.
   auto index = make_index(4, 4, Placement::kLeastLoaded);
@@ -121,13 +121,13 @@ TEST(ShardedIndex, LeastLoadedRebalancesAcrossInterleavedClears) {
   }
 }
 
-TEST(ShardedIndex, SnapshotRoundTrips) {
+TEST(RuntimeShardedIndex, SnapshotRoundTrips) {
   auto w = make_workload(3, 8, 11, 0, 17);
   EXPECT_EQ(w.index.snapshot(), w.stored);
   EXPECT_EQ(w.index.row(4), w.stored[4]);
 }
 
-TEST(ShardedIndex, NoDuplicateRowStorage) {
+TEST(RuntimeShardedIndex, NoDuplicateRowStorage) {
   // Satellite check: stored bytes per vector must stay within a small
   // constant factor of the packed payload — the index may not keep an
   // unpacked duplicate of every vector (4 bytes/digit) next to the packed
@@ -146,7 +146,7 @@ TEST(ShardedIndex, NoDuplicateRowStorage) {
   EXPECT_LE(resident, 2.0 * packed_bytes + 4 * 1024.0);
 }
 
-TEST(SearchEngine, MatchesBruteForceReference) {
+TEST(RuntimeSearchEngine, MatchesBruteForceReference) {
   for (int shards : {1, 4, 7}) {
     auto w = make_workload(shards, 16, 60, 20, 100 + static_cast<std::uint64_t>(shards));
     SearchEngine engine(w.index, {.threads = 1});
@@ -159,7 +159,7 @@ TEST(SearchEngine, MatchesBruteForceReference) {
   }
 }
 
-TEST(SearchEngine, ThreadCountDoesNotChangeResults) {
+TEST(RuntimeSearchEngine, ThreadCountDoesNotChangeResults) {
   auto w = make_workload(4, 16, 80, 32, 200);
   SearchEngine seq(w.index, {.threads = 1});
   SearchEngine par(w.index, {.threads = 8});
@@ -173,7 +173,7 @@ TEST(SearchEngine, ThreadCountDoesNotChangeResults) {
   }
 }
 
-TEST(SearchEngine, DeterministicTieBreakAcrossShards) {
+TEST(RuntimeSearchEngine, DeterministicTieBreakAcrossShards) {
   // Duplicated rows spread round-robin over shards: every duplicate has the
   // same distance, so the merge must order them by global row id.
   auto index = make_index(4, 8);
@@ -190,7 +190,7 @@ TEST(SearchEngine, DeterministicTieBreakAcrossShards) {
   }
 }
 
-TEST(SearchEngine, EmptyIndexAndOversizedK) {
+TEST(RuntimeSearchEngine, EmptyIndexAndOversizedK) {
   auto index = make_index(3, 8);
   SearchEngine engine(index, {.threads = 2});
   Rng rng(44);
@@ -206,7 +206,7 @@ TEST(SearchEngine, EmptyIndexAndOversizedK) {
   EXPECT_EQ(res[0].entries, brute_force_topk(w.stored, w.queries[0], 50));
 }
 
-TEST(SearchEngine, ModeledCostsReflectParallelBanks) {
+TEST(RuntimeSearchEngine, ModeledCostsReflectParallelBanks) {
   auto index = make_index(4, 16, Placement::kRoundRobin, "behavioral",
                           /*array_rows=*/8, /*array_stages=*/16);
   Rng rng(500);
@@ -228,7 +228,7 @@ TEST(SearchEngine, ModeledCostsReflectParallelBanks) {
   }
 }
 
-TEST(SearchEngine, MetricsAccumulate) {
+TEST(RuntimeSearchEngine, MetricsAccumulate) {
   auto w = make_workload(2, 8, 20, 10, 600);
   SearchEngine engine(w.index, {.threads = 4});
   engine.submit_batch(w.queries, 2);
@@ -249,7 +249,7 @@ TEST(SearchEngine, MetricsAccumulate) {
   EXPECT_EQ(engine.metrics().resident_index_bytes(), 0u);
 }
 
-TEST(SearchEngine, Validation) {
+TEST(RuntimeSearchEngine, Validation) {
   auto index = make_index(2, 8);
   EXPECT_THROW(SearchEngine(index, {.threads = 0}), std::invalid_argument);
   SearchEngine engine(index, {.threads = 1});
@@ -262,7 +262,7 @@ TEST(SearchEngine, Validation) {
                std::invalid_argument);
 }
 
-TEST(ShardedIndex, RejectsNonPositiveShardCountNamingTheValue) {
+TEST(RuntimeShardedIndex, RejectsNonPositiveShardCountNamingTheValue) {
   // Satellite bugfix: stages()/levels() dereference shards_.front(), so a
   // shardless index must be refused up front — and the error must name the
   // offending value.
@@ -279,7 +279,7 @@ TEST(ShardedIndex, RejectsNonPositiveShardCountNamingTheValue) {
   }
 }
 
-TEST(ShardedIndex, GenerationCountsMutations) {
+TEST(RuntimeShardedIndex, GenerationCountsMutations) {
   auto index = make_index(2, 8);
   EXPECT_EQ(index.generation(), 0u);
   Rng rng(9);
@@ -290,7 +290,7 @@ TEST(ShardedIndex, GenerationCountsMutations) {
   EXPECT_EQ(index.generation(), 3u);
 }
 
-TEST(ShardedIndex, DeprecatedConstructorForwardsToOptions) {
+TEST(RuntimeShardedIndex, DeprecatedConstructorForwardsToOptions) {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto registry = default_registry(calibration(), {.stages = 8});
@@ -301,7 +301,7 @@ TEST(ShardedIndex, DeprecatedConstructorForwardsToOptions) {
   EXPECT_EQ(legacy.placement(), Placement::kLeastLoaded);
 }
 
-TEST(SearchEngine, PackedBatchMatchesUnpackedAdapter) {
+TEST(RuntimeSearchEngine, PackedBatchMatchesUnpackedAdapter) {
   auto w = make_workload(3, 12, 40, 16, 700);
   SearchEngine engine(w.index, {.threads = 2});
   core::DigitMatrix packed(12, kLevels);

@@ -52,7 +52,7 @@ PendingQuery pending(std::vector<int> digits, int k = 1,
 
 // --- Scheduler: pure queue/batching/admission semantics, no engine ---
 
-TEST(Scheduler, FlushesImmediatelyAtMaxBatch) {
+TEST(RuntimeScheduler, FlushesImmediatelyAtMaxBatch) {
   Scheduler s({.max_batch = 4, .max_delay = 60.0, .queue_capacity = 64});
   for (int i = 0; i < 4; ++i) s.enqueue(pending({i}));
   // max_delay is a minute: only the max_batch trigger can flush this fast.
@@ -63,7 +63,7 @@ TEST(Scheduler, FlushesImmediatelyAtMaxBatch) {
   EXPECT_EQ(s.depth(), 0);
 }
 
-TEST(Scheduler, FlushesPartialBatchAfterMaxDelay) {
+TEST(RuntimeScheduler, FlushesPartialBatchAfterMaxDelay) {
   Scheduler s({.max_batch = 32, .max_delay = 0.01, .queue_capacity = 64});
   const auto t0 = steady_clock::now();
   s.enqueue(pending({1}));
@@ -74,7 +74,7 @@ TEST(Scheduler, FlushesPartialBatchAfterMaxDelay) {
   EXPECT_GE(waited, 0.009);  // the flush really came from the delay trigger
 }
 
-TEST(Scheduler, RejectPolicyFailsTheNewQueryWhenFull) {
+TEST(RuntimeScheduler, RejectPolicyFailsTheNewQueryWhenFull) {
   Scheduler s({.max_batch = 8,
                .max_delay = 60.0,
                .queue_capacity = 2,
@@ -92,7 +92,7 @@ TEST(Scheduler, RejectPolicyFailsTheNewQueryWhenFull) {
   EXPECT_EQ(s.depth(), 2);
 }
 
-TEST(Scheduler, ShedOldestEvictsTheHeadAndAdmitsTheNewQuery) {
+TEST(RuntimeScheduler, ShedOldestEvictsTheHeadAndAdmitsTheNewQuery) {
   Scheduler s({.max_batch = 2,
                .max_delay = 60.0,
                .queue_capacity = 2,
@@ -110,7 +110,7 @@ TEST(Scheduler, ShedOldestEvictsTheHeadAndAdmitsTheNewQuery) {
   EXPECT_EQ(batch[1].digits, std::vector<int>{2});
 }
 
-TEST(Scheduler, BlockPolicyAppliesBackpressureUntilSpaceFrees) {
+TEST(RuntimeScheduler, BlockPolicyAppliesBackpressureUntilSpaceFrees) {
   Scheduler s({.max_batch = 1,
                .max_delay = 60.0,
                .queue_capacity = 1,
@@ -134,7 +134,7 @@ TEST(Scheduler, BlockPolicyAppliesBackpressureUntilSpaceFrees) {
   EXPECT_EQ(second[0].digits, std::vector<int>{1});
 }
 
-TEST(Scheduler, CloseFlushesPendingThenReturnsEmptyAndRejectsNewWork) {
+TEST(RuntimeScheduler, CloseFlushesPendingThenReturnsEmptyAndRejectsNewWork) {
   Scheduler s({.max_batch = 32, .max_delay = 60.0, .queue_capacity = 8});
   s.enqueue(pending({0}));
   s.enqueue(pending({1}));
@@ -149,7 +149,7 @@ TEST(Scheduler, CloseFlushesPendingThenReturnsEmptyAndRejectsNewWork) {
   EXPECT_EQ(f.get().status, QueryStatus::kRejected);
 }
 
-TEST(Scheduler, RecordsAdmissionOutcomesInMetrics) {
+TEST(RuntimeScheduler, RecordsAdmissionOutcomesInMetrics) {
   ServingMetrics metrics;
   Scheduler s({.max_batch = 8,
                .max_delay = 60.0,
@@ -167,7 +167,7 @@ TEST(Scheduler, RecordsAdmissionOutcomesInMetrics) {
   EXPECT_EQ(metrics.rejected(), 1u);
 }
 
-TEST(Scheduler, ValidatesOptions) {
+TEST(RuntimeScheduler, ValidatesOptions) {
   EXPECT_THROW(Scheduler({.max_batch = 0}), std::invalid_argument);
   EXPECT_THROW(Scheduler({.queue_capacity = 0}), std::invalid_argument);
   EXPECT_THROW(Scheduler({.max_delay = -1.0}), std::invalid_argument);
@@ -200,7 +200,7 @@ ServerWorkload make_workload(const core::BackendRegistry& reg,
 
 // Acceptance pin: async answers are bit-identical to a direct synchronous
 // submit_batch on the same index, for every registered backend.
-TEST(Server, MatchesDirectEngineForEveryBackend) {
+TEST(RuntimeServer, MatchesDirectEngineForEveryBackend) {
   constexpr int kStages = 24, kRows = 50, kQueries = 30, kTopK = 5;
   const auto reg = registry_for(kStages);
   for (const auto& name : reg.names()) {
@@ -225,7 +225,7 @@ TEST(Server, MatchesDirectEngineForEveryBackend) {
   }
 }
 
-TEST(Server, PackedSubmitMatchesPerQuerySubmit) {
+TEST(RuntimeServer, PackedSubmitMatchesPerQuerySubmit) {
   constexpr int kStages = 16, kTopK = 3;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 2, kStages, 40, 12, 1000);
@@ -244,7 +244,7 @@ TEST(Server, PackedSubmitMatchesPerQuerySubmit) {
   }
 }
 
-TEST(Server, ExpiredDeadlineShortCircuitsWithoutTouchingShards) {
+TEST(RuntimeServer, ExpiredDeadlineShortCircuitsWithoutTouchingShards) {
   constexpr int kStages = 8;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 2, kStages, 10, 4, 1100);
@@ -265,7 +265,7 @@ TEST(Server, ExpiredDeadlineShortCircuitsWithoutTouchingShards) {
   EXPECT_GE(server.metrics().expired(), 1u);
 }
 
-TEST(Server, MixedKWithinOneMicroBatch) {
+TEST(RuntimeServer, MixedKWithinOneMicroBatch) {
   constexpr int kStages = 12;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 2, kStages, 30, 6, 1200);
@@ -285,7 +285,7 @@ TEST(Server, MixedKWithinOneMicroBatch) {
   }
 }
 
-TEST(Server, StoreWhileLiveDrainsBatchesAndBumpsGeneration) {
+TEST(RuntimeServer, StoreWhileLiveDrainsBatchesAndBumpsGeneration) {
   constexpr int kStages = 10;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 2, kStages, 20, 8, 1300);
@@ -319,7 +319,7 @@ TEST(Server, StoreWhileLiveDrainsBatchesAndBumpsGeneration) {
   EXPECT_EQ(hit.generation, base_generation + 1);
 }
 
-TEST(Server, ShutdownDrainsQueuedQueriesAndRejectsLateSubmits) {
+TEST(RuntimeServer, ShutdownDrainsQueuedQueriesAndRejectsLateSubmits) {
   constexpr int kStages = 8;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 2, kStages, 15, 10, 1500);
@@ -340,7 +340,7 @@ TEST(Server, ShutdownDrainsQueuedQueriesAndRejectsLateSubmits) {
   EXPECT_GE(server.metrics().rejected(), 1u);
 }
 
-TEST(Server, ValidatesQueriesSynchronously) {
+TEST(RuntimeServer, ValidatesQueriesSynchronously) {
   constexpr int kStages = 6;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 1, kStages, 5, 1, 1600);
@@ -355,7 +355,7 @@ TEST(Server, ValidatesQueriesSynchronously) {
   EXPECT_THROW(server.submit(narrow, 1), std::invalid_argument);
 }
 
-TEST(Server, MetricsExposeBatchSizesAndQueueDepth) {
+TEST(RuntimeServer, MetricsExposeBatchSizesAndQueueDepth) {
   constexpr int kStages = 8;
   const auto reg = registry_for(kStages);
   auto w = make_workload(reg, "exact", 2, kStages, 12, 16, 1700);

@@ -11,7 +11,7 @@
 namespace tdam::runtime {
 namespace {
 
-TEST(ThreadPool, RunsEveryTask) {
+TEST(RuntimeThreadPool, RunsEveryTask) {
   ThreadPool pool(4);
   std::atomic<int> ran{0};
   std::vector<std::future<void>> pending;
@@ -22,7 +22,7 @@ TEST(ThreadPool, RunsEveryTask) {
   EXPECT_EQ(pool.completed(), 200u);
 }
 
-TEST(ThreadPool, ReturnsTaskValues) {
+TEST(RuntimeThreadPool, ReturnsTaskValues) {
   ThreadPool pool(2);
   std::vector<std::future<int>> pending;
   for (int i = 0; i < 32; ++i)
@@ -31,7 +31,7 @@ TEST(ThreadPool, ReturnsTaskValues) {
     EXPECT_EQ(pending[static_cast<std::size_t>(i)].get(), i * i);
 }
 
-TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+TEST(RuntimeThreadPool, ExceptionsPropagateThroughFutures) {
   ThreadPool pool(2);
   auto bad = pool.submit([]() -> int {
     throw std::runtime_error("task failed");
@@ -41,7 +41,7 @@ TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
   EXPECT_EQ(good.get(), 7);  // one failing task does not poison the pool
 }
 
-TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+TEST(RuntimeThreadPool, ShutdownDrainsQueuedWork) {
   std::atomic<int> ran{0};
   {
     ThreadPool pool(2);
@@ -57,7 +57,7 @@ TEST(ThreadPool, ShutdownDrainsQueuedWork) {
   EXPECT_EQ(ran.load(), 64);
 }
 
-TEST(ThreadPool, Validation) {
+TEST(RuntimeThreadPool, Validation) {
   EXPECT_THROW(ThreadPool(0), std::invalid_argument);
   EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
   ThreadPool pool(3);
