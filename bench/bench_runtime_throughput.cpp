@@ -23,7 +23,11 @@
 //       [--ol-vectors=16384] [--ol-shards=4] [--ol-threads=4]
 //       [--ol-queries=4000] [--ol-batch=32] [--ol-max-delay-us=1000]
 //       [--ol-deadline-us=20000] [--ol-queue-cap=256]
-//       [--ol-policy=block|reject|shed]
+//       [--ol-policy=block|reject|shed] [--ol-out=BENCH_runtime.json]
+//
+// --ol-out writes the open-loop sweep as BENCH_runtime.json (schema
+// validated by scripts/check_bench_json.py): one result row per target
+// rate with achieved QPS, p50/p99 latency and the shed rate.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "am/calibration.h"
+#include "bench_common.h"
 #include "am/words.h"
 #include "runtime/backends.h"
 #include "runtime/engine.h"
@@ -121,6 +126,17 @@ std::vector<double> parse_qps_list(const std::string& csv) {
   return out;
 }
 
+// One open-loop sweep row, kept so --ol-out can replay the table into
+// BENCH_runtime.json after the sweep finishes.
+struct OpenLoopRow {
+  double target_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;
+  long ok = 0, rejected = 0, shed = 0, expired = 0;
+};
+
 int run_open_loop(const tdam::CliArgs& args) {
   using Clock = std::chrono::steady_clock;
   const int vectors = args.get_int("ol-vectors", 16384);
@@ -132,6 +148,7 @@ int run_open_loop(const tdam::CliArgs& args) {
   const int deadline_us = args.get_int("ol-deadline-us", 20000);
   const int queue_cap = args.get_int("ol-queue-cap", 256);
   const auto policy = args.get("ol-policy", "shed");
+  const auto out_path = args.get("ol-out", "");
   const auto targets =
       parse_qps_list(args.get("ol-qps", "1000,2000,5000,10000,20000,50000"));
 
@@ -144,6 +161,7 @@ int run_open_loop(const tdam::CliArgs& args) {
 
   tdam::Table table({"target QPS", "achieved QPS", "p50 (ms)", "p99 (ms)",
                      "shed rate", "ok/rej/shed/exp"});
+  std::vector<OpenLoopRow> rows;
   for (const double target : targets) {
     runtime::AmServer server(
         w.index, {.engine = {.threads = threads},
@@ -211,17 +229,65 @@ int run_open_loop(const tdam::CliArgs& args) {
       return latency_ok[idx];
     };
     const double offered = static_cast<double>(queries);
-    table.add_row({tdam::Table::fmt(target),
-                   tdam::Table::fmt(static_cast<double>(ok) / wall),
-                   tdam::Table::fmt(quantile(0.50) * 1e3),
-                   tdam::Table::fmt(quantile(0.99) * 1e3),
-                   tdam::Table::fmt(
-                       static_cast<double>(rejected + shed + expired) /
-                       offered),
+    OpenLoopRow row;
+    row.target_qps = target;
+    row.achieved_qps = static_cast<double>(ok) / wall;
+    row.p50_ms = quantile(0.50) * 1e3;
+    row.p99_ms = quantile(0.99) * 1e3;
+    row.shed_rate = static_cast<double>(rejected + shed + expired) / offered;
+    row.ok = static_cast<long>(ok);
+    row.rejected = static_cast<long>(rejected);
+    row.shed = static_cast<long>(shed);
+    row.expired = static_cast<long>(expired);
+    rows.push_back(row);
+    table.add_row({tdam::Table::fmt(row.target_qps),
+                   tdam::Table::fmt(row.achieved_qps),
+                   tdam::Table::fmt(row.p50_ms),
+                   tdam::Table::fmt(row.p99_ms),
+                   tdam::Table::fmt(row.shed_rate),
                    std::to_string(ok) + "/" + std::to_string(rejected) + "/" +
                        std::to_string(shed) + "/" + std::to_string(expired)});
   }
   std::printf("%s", table.render().c_str());
+
+  if (!out_path.empty()) {
+    bench::JsonWriter json;
+    json.begin_object()
+        .field("bench", "runtime_throughput")
+        .field("mode", "open_loop")
+        .field("backend", g_backend)
+        .key("config")
+        .begin_object()
+        .field("vectors", vectors)
+        .field("shards", shards)
+        .field("threads", threads)
+        .field("queries", queries)
+        .field("batch", batch)
+        .field("max_delay_us", max_delay_us)
+        .field("deadline_us", deadline_us)
+        .field("queue_capacity", queue_cap)
+        .field("policy", policy)
+        .end_object()
+        .key("results")
+        .begin_array();
+    for (const auto& r : rows) {
+      json.begin_object()
+          .field("target_qps", r.target_qps)
+          .field("achieved_qps", r.achieved_qps)
+          .field("p50_ms", r.p50_ms)
+          .field("p99_ms", r.p99_ms)
+          .field("shed_rate", r.shed_rate)
+          .field("ok", r.ok)
+          .field("rejected", r.rejected)
+          .field("shed", r.shed)
+          .field("expired", r.expired)
+          .end_object();
+    }
+    json.end_array().end_object();
+    json.write_file(out_path);
+    std::printf("wrote %s (%zu configurations)\n", out_path.c_str(),
+                rows.size());
+  }
   return 0;
 }
 

@@ -20,13 +20,24 @@
 //    expired queries are reported per status and are NOT errors — the
 //    process exits 0 as long as every future resolves.
 //
+// Observability:
+//  * --stats        — additionally print the per-stage latency breakdown
+//    (queue wait / batch wait / scan / merge; async mode populates all four,
+//    closed-loop only scan/merge since queries never queue);
+//  * --export=prom|json|both [--export-path=serving_metrics] — write the
+//    metrics registry as Prometheus text / JSON snapshot files
+//    (<prefix>.prom / <prefix>.json; the JSON also carries the sampled
+//    flight-recorder spans in async mode).  Validated in CI by
+//    scripts/check_metrics_export.py.
+//
 //   $ ./serving [--backend=behavioral|digital|cam|exact] [--dims=1024]
 //               [--bits=2] [--shards=4] [--threads=4] [--batch=32] [--k=3]
-//               [--train=800] [--test=300]
+//               [--train=800] [--test=300] [--stats] [--export=prom|json|both]
 //   $ ./serving --async [--policy=block|reject|shed] [--queue-cap=1024]
 //               [--max-delay-us=2000] [--deadline-us=0]   # 0 = no deadline
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
@@ -35,6 +46,7 @@
 #include "hdc/dataset.h"
 #include "hdc/encoder.h"
 #include "hdc/model.h"
+#include "obs/export.h"
 #include "runtime/backends.h"
 #include "runtime/engine.h"
 #include "runtime/server.h"
@@ -59,6 +71,33 @@ struct Tally {
   int top1 = 0, topk = 0;
 };
 
+// Writes <prefix>.prom and/or <prefix>.json per --export; recorder may be
+// null (closed-loop mode has no flight recorder).
+void write_exports(const std::string& mode, const std::string& prefix,
+                   const runtime::ServingMetrics& metrics,
+                   const obs::FlightRecorder* recorder) {
+  if (mode.empty()) return;
+  const bool prom = mode == "prom" || mode == "both";
+  const bool json = mode == "json" || mode == "both";
+  if (!prom && !json) {
+    std::fprintf(stderr, "unknown --export=%s (prom|json|both)\n",
+                 mode.c_str());
+    std::exit(1);
+  }
+  if (prom) {
+    const auto path = prefix + ".prom";
+    std::ofstream out(path);
+    obs::export_prometheus(out, metrics.registry());
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (json) {
+    const auto path = prefix + ".json";
+    std::ofstream out(path);
+    obs::export_json(out, metrics.registry(), recorder);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +112,9 @@ int main(int argc, char** argv) {
   const int train_n = args.get_int("train", 800);
   const int test_n = args.get_int("test", 300);
   const bool async = args.get_bool("async", false);
+  const bool stats = args.get_bool("stats", false);
+  const std::string export_mode = args.get("export", "");
+  const std::string export_path = args.get("export-path", "serving_metrics");
 
   // --- train and quantize the classifier (as in hdc_classification) ---
   Rng rng(7);
@@ -174,6 +216,19 @@ int main(int argc, char** argv) {
                   static_cast<double>(tally.topk) /
                       static_cast<double>(tally.ok));
     std::printf("%s", server.metrics().summary_table().c_str());
+    if (stats) {
+      std::printf("per-stage latency breakdown:\n%s",
+                  server.metrics().stage_table().c_str());
+      std::printf("flight recorder: mode=%s recorded=%llu retained=%zu\n",
+                  server.recorder().mode() == obs::TraceMode::kFull
+                      ? "full"
+                      : (server.recorder().enabled() ? "sampled" : "off"),
+                  static_cast<unsigned long long>(
+                      server.recorder().recorded()),
+                  server.recorder().snapshot().size());
+    }
+    write_exports(export_mode, export_path, server.metrics(),
+                  &server.recorder());
     // Degraded queries are accounted, not errors; only an unresolved future
     // (which would have thrown above) fails this smoke.
     return 0;
@@ -201,5 +256,9 @@ int main(int argc, char** argv) {
               static_cast<double>(tally.top1) / static_cast<double>(served), k,
               static_cast<double>(tally.topk) / static_cast<double>(served));
   std::printf("%s", engine.metrics().summary_table().c_str());
+  if (stats)
+    std::printf("per-stage latency breakdown:\n%s",
+                engine.metrics().stage_table().c_str());
+  write_exports(export_mode, export_path, engine.metrics(), nullptr);
   return 0;
 }

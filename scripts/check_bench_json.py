@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json perf-baseline files before CI archives them.
 
-Two accepted formats:
+Three accepted formats:
 
 * tdam kernel-bench format (bench/bench_kernels.cpp): a top-level object
   with ``bench``, ``active_path``, ``host`` and a ``results`` array whose
   entries each carry ``kernel``, ``path``, ``shape`` (bits/levels/digits/
   rows/queries) and ``ns_per_op``.
+* tdam runtime-throughput format (bench/bench_runtime_throughput.cpp
+  ``--open-loop --ol-out=...``): ``bench`` == ``runtime_throughput`` with
+  ``mode``, ``backend``, a ``config`` object, and a ``results`` array of
+  per-target rows (``target_qps``, ``achieved_qps``, ``p50_ms``,
+  ``p99_ms``, ``shed_rate``, and ok/rejected/shed/expired counts).
 * google-benchmark ``--benchmark_out`` format: an object with a
   ``benchmarks`` array whose entries carry ``name`` and a time field.
 
@@ -90,6 +95,45 @@ def check_kernel_bench(doc: dict, min_avx2_speedup: float | None) -> int:
     return len(results)
 
 
+RUNTIME_COUNT_KEYS = ("ok", "rejected", "shed", "expired")
+RUNTIME_RATE_KEYS = ("target_qps", "achieved_qps", "p50_ms", "p99_ms",
+                     "shed_rate")
+RUNTIME_CONFIG_KEYS = {"vectors", "shards", "threads", "queries", "batch",
+                       "max_delay_us", "deadline_us", "queue_capacity",
+                       "policy"}
+
+
+def check_runtime_throughput(doc: dict) -> int:
+    for key in ("mode", "backend", "config", "results"):
+        if key not in doc:
+            fail(f"runtime-throughput file missing key '{key}'")
+    if not isinstance(doc["backend"], str) or not doc["backend"]:
+        fail("backend is not a non-empty string")
+    config = doc["config"]
+    if not isinstance(config, dict) or not RUNTIME_CONFIG_KEYS.issubset(config):
+        fail(f"config missing keys {sorted(RUNTIME_CONFIG_KEYS - set(config))}"
+             if isinstance(config, dict) else "config is not an object")
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty array")
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            fail(f"results[{i}] is not an object")
+        for key in RUNTIME_RATE_KEYS:
+            if not isinstance(r.get(key), (int, float)):
+                fail(f"results[{i}].{key} is not a number")
+        if not 0.0 <= r["shed_rate"] <= 1.0:
+            fail(f"results[{i}].shed_rate {r['shed_rate']} outside [0, 1]")
+        for key in RUNTIME_COUNT_KEYS:
+            if not isinstance(r.get(key), int) or r[key] < 0:
+                fail(f"results[{i}].{key} is not a non-negative integer")
+        answered = sum(r[k] for k in RUNTIME_COUNT_KEYS)
+        if answered != config["queries"]:
+            fail(f"results[{i}] status counts sum to {answered}, "
+                 f"config says {config['queries']} queries were offered")
+    return len(results)
+
+
 def check_google_benchmark(doc: dict) -> int:
     benchmarks = doc["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
@@ -121,6 +165,9 @@ def main() -> None:
         if "benchmarks" in doc:
             n = check_google_benchmark(doc)
             kind = "google-benchmark"
+        elif doc.get("bench") == "runtime_throughput":
+            n = check_runtime_throughput(doc)
+            kind = "runtime-throughput"
         else:
             n = check_kernel_bench(doc, args.min_avx2_speedup)
             kind = "kernel-bench"

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Validate the metrics exports written by `examples/serving --export=...`.
+
+Takes the ``.prom`` and/or ``.json`` files (type inferred from extension)
+and exits non-zero when either is malformed, so CI catches a drifting
+exporter instead of archiving garbage:
+
+* ``.prom`` — Prometheus text format: every sample line parses, every
+  family has # HELP / # TYPE before its first sample, histogram families
+  expose cumulative ``_bucket`` series ending in ``le="+Inf"`` with
+  ``_count`` equal to the +Inf bucket, and the serving instruments the
+  runtime registers (``tdam_serving_queries_total``, the wall-latency and
+  stage histograms) are present.
+* ``.json`` — parses, has ``counters``/``gauges``/``histograms`` arrays,
+  every histogram's ``count`` equals binned + underflow + overflow mass,
+  and any ``spans`` array respects the recorder's stated capacity.
+
+When both files are given the query counters must agree, and
+``--require-stages`` additionally demands populated queue_wait/batch_wait
+stage histograms (what `serving --async` must produce).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})? '
+    r'(?P<value>[^ ]+)$')
+LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"')
+
+REQUIRED_SERVING_METRICS = (
+    "tdam_serving_queries_total",
+    "tdam_serving_batches_total",
+    "tdam_serving_wall_seconds_total",
+    "tdam_serving_wall_latency_seconds",
+    "tdam_serving_stage_seconds",
+)
+STAGES = ("queue_wait", "batch_wait", "scan", "merge")
+
+
+def fail(msg: str) -> None:
+    print(f"check_metrics_export: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_labels(raw: str) -> dict:
+    out = {}
+    for m in LABEL_RE.finditer(raw or ""):
+        out[m.group("key")] = m.group("val")
+    return out
+
+
+def base_family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prom(path: str) -> dict:
+    """Returns {family: {frozenset(non-le labels): [(labels, value)]}}."""
+    helped, typed = set(), set()
+    samples = []  # (name, labels, value)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helped.add(line.split(" ", 3)[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                       "histogram"):
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line}")
+                typed.add(parts[2])
+                continue
+            if line.startswith("#"):
+                fail(f"{path}:{lineno}: unknown comment form: {line}")
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: unparseable sample line: {line}")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                fail(f"{path}:{lineno}: non-numeric value: {line}")
+            family = base_family(m.group("name"))
+            if family not in helped or family not in typed:
+                fail(f"{path}:{lineno}: sample for '{family}' before its "
+                     "# HELP / # TYPE header")
+            samples.append((m.group("name"), parse_labels(m.group("labels")),
+                            value))
+    if not samples:
+        fail(f"{path}: no samples at all")
+
+    # Histogram contract: per (family, labels-without-le), buckets are
+    # cumulative, end at +Inf, and _count equals the +Inf bucket.
+    series = {}
+    for name, labels, value in samples:
+        family = base_family(name)
+        key = (family, frozenset((k, v) for k, v in labels.items()
+                                 if k != "le"))
+        slot = series.setdefault(key, {"buckets": [], "count": None,
+                                       "sum": None, "plain": None})
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(f"{path}: bucket sample without le label: {name}")
+            slot["buckets"].append((labels["le"], value))
+        elif name.endswith("_count"):
+            slot["count"] = value
+        elif name.endswith("_sum"):
+            slot["sum"] = value
+        else:
+            slot["plain"] = value
+    for (family, label_key), slot in series.items():
+        if not slot["buckets"]:
+            continue
+        les = [le for le, _ in slot["buckets"]]
+        if les[-1] != "+Inf":
+            fail(f"{path}: histogram '{family}' last bucket is le=\"{les[-1]}\","
+                 " not +Inf")
+        values = [v for _, v in slot["buckets"]]
+        if any(b > a for b, a in zip(values, values[1:])):
+            fail(f"{path}: histogram '{family}' buckets are not cumulative")
+        finite = sorted(float(le) for le in les[:-1])
+        if finite != [float(le) for le in les[:-1]]:
+            fail(f"{path}: histogram '{family}' bucket edges out of order")
+        if slot["count"] is None or slot["sum"] is None:
+            fail(f"{path}: histogram '{family}' missing _count or _sum")
+        if slot["count"] != values[-1]:
+            fail(f"{path}: histogram '{family}' _count {slot['count']} != "
+                 f"+Inf bucket {values[-1]}")
+
+    families = {base_family(name) for name, _, _ in samples}
+    for required in REQUIRED_SERVING_METRICS:
+        if required not in families:
+            fail(f"{path}: serving metric '{required}' not exported")
+    print(f"check_metrics_export: OK: {path} ({len(samples)} samples, "
+          f"{len(families)} families)")
+    return series
+
+
+def check_json(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(key), list):
+            fail(f"{path}: '{key}' missing or not an array")
+    for kind in ("counters", "gauges"):
+        for i, inst in enumerate(doc[kind]):
+            if not isinstance(inst.get("name"), str) or not inst["name"]:
+                fail(f"{path}: {kind}[{i}] missing name")
+            if not isinstance(inst.get("value"), (int, float)):
+                fail(f"{path}: {kind}[{i}] missing numeric value")
+    for i, h in enumerate(doc["histograms"]):
+        for key in ("name", "lo", "hi", "bins", "underflow", "overflow",
+                    "sum", "count", "counts"):
+            if key not in h:
+                fail(f"{path}: histograms[{i}] missing '{key}'")
+        if len(h["counts"]) != h["bins"]:
+            fail(f"{path}: histograms[{i}] ('{h['name']}') has {len(h['counts'])}"
+                 f" counts for {h['bins']} bins")
+        mass = sum(h["counts"]) + h["underflow"] + h["overflow"]
+        if mass != h["count"]:
+            fail(f"{path}: histograms[{i}] ('{h['name']}') count {h['count']} "
+                 f"!= binned+under+over mass {mass}")
+    if "spans" in doc:
+        trace = doc.get("trace")
+        if not isinstance(trace, dict):
+            fail(f"{path}: 'spans' present without a 'trace' object")
+        if len(doc["spans"]) > trace.get("capacity", 0):
+            fail(f"{path}: {len(doc['spans'])} spans exceed recorder capacity "
+                 f"{trace.get('capacity')}")
+        for i, s in enumerate(doc["spans"]):
+            if not isinstance(s.get("trace_id"), int) or s["trace_id"] < 1:
+                fail(f"{path}: spans[{i}] has invalid trace_id")
+    counters = {c["name"]: c["value"] for c in doc["counters"]}
+    for required in ("tdam_serving_queries_total", "tdam_serving_batches_total"):
+        if required not in counters:
+            fail(f"{path}: counter '{required}' not exported")
+    print(f"check_metrics_export: OK: {path} ({len(doc['counters'])} counters,"
+          f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms,"
+          f" {len(doc.get('spans', []))} spans)")
+    return doc
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+",
+                    help=".prom / .json exports from examples/serving")
+    ap.add_argument("--require-stages", action="store_true",
+                    help="demand populated queue_wait/batch_wait stage "
+                         "histograms (serving --async output)")
+    ap.add_argument("--min-queries", type=int, default=1,
+                    help="minimum tdam_serving_queries_total value")
+    args = ap.parse_args()
+
+    prom_series, json_doc = None, None
+    for path in args.files:
+        if path.endswith(".prom"):
+            prom_series = check_prom(path)
+        elif path.endswith(".json"):
+            json_doc = check_json(path)
+        else:
+            fail(f"{path}: expected a .prom or .json extension")
+
+    queries = {}
+    if prom_series is not None:
+        slot = prom_series.get(("tdam_serving_queries_total", frozenset()))
+        if slot is None or slot["plain"] is None:
+            fail("prom export lost tdam_serving_queries_total")
+        queries["prom"] = slot["plain"]
+        if args.require_stages:
+            for stage in STAGES:
+                slot = prom_series.get(("tdam_serving_stage_seconds",
+                                        frozenset({("stage", stage)})))
+                if slot is None or not slot["buckets"]:
+                    fail(f"stage histogram '{stage}' not exported")
+                if slot["count"] == 0 and stage in ("queue_wait", "scan"):
+                    fail(f"stage histogram '{stage}' is empty in async mode")
+    if json_doc is not None:
+        queries["json"] = next(c["value"] for c in json_doc["counters"]
+                               if c["name"] == "tdam_serving_queries_total")
+    if len(set(queries.values())) > 1:
+        fail(f"query counters disagree across exports: {queries}")
+    if queries and max(queries.values()) < args.min_queries:
+        fail(f"queries_total {max(queries.values())} below the required "
+             f"{args.min_queries}")
+    print("check_metrics_export: all exports consistent"
+          + (f" (queries_total={max(queries.values())})" if queries else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tdam::obs {
+
+namespace {
+
+// Environment parsing warns once per process, not once per server.  Both
+// helpers are unreachable when tracing is compiled out.
+[[maybe_unused]] void warn_once(const char* var, const char* got) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true))
+    std::fprintf(stderr,
+                 "tdam::obs: ignoring unrecognized %s='%s' "
+                 "(expected off|sampled|full / a positive integer)\n",
+                 var, got);
+}
+
+[[maybe_unused]] bool parse_positive(const char* text, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < 1) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+TraceConfig TraceConfig::from_env() {
+  TraceConfig config;
+#ifdef TDAM_TRACE_DISABLED
+  config.mode = TraceMode::kOff;
+  return config;
+#else
+  if (const char* mode = std::getenv("TDAM_TRACE")) {
+    if (std::strcmp(mode, "off") == 0 || std::strcmp(mode, "0") == 0)
+      config.mode = TraceMode::kOff;
+    else if (std::strcmp(mode, "sampled") == 0)
+      config.mode = TraceMode::kSampled;
+    else if (std::strcmp(mode, "full") == 0)
+      config.mode = TraceMode::kFull;
+    else
+      warn_once("TDAM_TRACE", mode);
+  }
+  if (const char* stride = std::getenv("TDAM_TRACE_SAMPLE")) {
+    long v = 0;
+    if (parse_positive(stride, &v))
+      config.sample_every = static_cast<int>(v);
+    else
+      warn_once("TDAM_TRACE_SAMPLE", stride);
+  }
+  if (const char* cap = std::getenv("TDAM_TRACE_CAPACITY")) {
+    long v = 0;
+    if (parse_positive(cap, &v))
+      config.capacity = static_cast<std::size_t>(v);
+    else
+      warn_once("TDAM_TRACE_CAPACITY", cap);
+  }
+  return config;
+#endif
+}
+
+FlightRecorder::FlightRecorder(TraceConfig config) : config_(config) {
+#ifdef TDAM_TRACE_DISABLED
+  config_.mode = TraceMode::kOff;  // the compile-time switch always wins
+#endif
+  if (config_.sample_every < 1) config_.sample_every = 1;
+  if (config_.capacity < 1) config_.capacity = 1;
+  ring_.resize(config_.capacity);  // zero heap allocation per span later
+}
+
+void FlightRecorder::record(const SpanRecord& span) {
+  if (!span.traced() || span.trace_id == 0 || !sampled(span.trace_id)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_] = span;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<SpanRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  const std::size_t held =
+      total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+  out.reserve(held);
+  // Oldest first: when the ring has wrapped, head_ points at the oldest.
+  const std::size_t start = total_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < held; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace tdam::obs

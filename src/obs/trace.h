@@ -1,0 +1,134 @@
+// Per-query tracing for the serving stack: spans + a sampled flight
+// recorder.
+//
+// Every query admitted to AmServer is assigned a monotonically increasing
+// trace_id, and a SpanRecord rides along with it through Scheduler →
+// SearchEngine → shard tasks, collecting stage timestamps: enqueue (absolute
+// monotonic ns), then admit / batch-form / dispatch / fulfill as ns offsets
+// from enqueue, plus the scan and merge *durations* measured inside the
+// query's engine task (those two run at thread-pool-determined absolute
+// times, so durations are the honest representation).  A span is plain data
+// with fixed layout — no heap allocation is ever performed per span.
+//
+// Completed spans land in a FlightRecorder: a fixed-capacity ring buffer
+// (preallocated; oldest overwritten) holding 1-in-N sampled spans.  Sampling
+// is by trace_id (`id % sample_every == 0`), so which queries are recorded
+// is deterministic for a deterministic submission order — the property the
+// sampling tests pin.
+//
+// Kill switch, strongest first:
+//  * compile-time — building with TDAM_TRACE_DISABLED (CMake option
+//    TDAM_DISABLE_TRACING) pins the mode to kOff regardless of environment
+//    or per-server configuration;
+//  * runtime — TDAM_TRACE=off|sampled|full (TraceConfig::from_env, the
+//    default for ServerOptions::trace), with TDAM_TRACE_SAMPLE=N and
+//    TDAM_TRACE_CAPACITY=M for the sampling stride and ring size;
+//  * per-server — ServerOptions::trace overrides the environment.
+//
+// In kOff mode no stage clock is ever read and the recorder drops
+// everything; in kSampled mode every query is stamped (stage histograms in
+// ServingMetrics see all traffic) but only sampled spans enter the ring; in
+// kFull mode every span is recorded — a debugging mode whose overhead is
+// accepted.  bench_obs_overhead measures the off-vs-sampled wall-QPS cost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tdam::obs {
+
+enum class TraceMode { kOff, kSampled, kFull };
+
+struct TraceConfig {
+  TraceMode mode = TraceMode::kSampled;
+  int sample_every = 16;        // kSampled: record spans with id % N == 0
+  std::size_t capacity = 1024;  // ring slots (spans retained)
+
+  // Reads TDAM_TRACE / TDAM_TRACE_SAMPLE / TDAM_TRACE_CAPACITY; unknown or
+  // malformed values warn once on stderr and fall back to the defaults
+  // above.  Compiled with TDAM_TRACE_DISABLED this always returns kOff.
+  static TraceConfig from_env();
+};
+
+// Monotonic-clock "now" in integer nanoseconds — the span timebase.
+inline std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One query's trajectory through the serving stack.  -1 marks a stage the
+// query never reached (e.g. a rejected query has no dispatch).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  int status = -1;                // runtime::QueryStatus value; -1 unfinished
+  std::int64_t enqueue_ns = -1;   // absolute steady-clock ns at submit
+  std::int64_t admit_ns = -1;     // offsets from enqueue_ns …
+  std::int64_t batch_form_ns = -1;
+  std::int64_t dispatch_ns = -1;
+  std::int64_t fulfill_ns = -1;
+  std::int64_t scan_ns = -1;      // … except these two: stage durations
+  std::int64_t merge_ns = -1;
+
+  bool traced() const { return enqueue_ns >= 0; }
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(TraceConfig config = TraceConfig::from_env());
+
+  // Effective mode (the compile-time kill switch may have forced kOff).
+  TraceMode mode() const { return config_.mode; }
+  const TraceConfig& config() const { return config_; }
+  bool enabled() const { return config_.mode != TraceMode::kOff; }
+
+  // Next query's trace id; ids start at 1 and never repeat.  Always live
+  // (even in kOff mode results still carry correlatable ids) — one relaxed
+  // fetch_add.
+  std::uint64_t next_trace_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Whether a span with this id belongs in the ring.  Deterministic:
+  // kFull → all, kSampled → id % sample_every == 0, kOff → none.
+  bool sampled(std::uint64_t trace_id) const {
+    switch (config_.mode) {
+      case TraceMode::kOff: return false;
+      case TraceMode::kFull: return true;
+      case TraceMode::kSampled:
+        return trace_id % static_cast<std::uint64_t>(config_.sample_every) ==
+               0;
+    }
+    return false;
+  }
+
+  // Stores the span if it is traced and sampled (no-op otherwise).  The
+  // ring itself is mutex-guarded — by construction only sampled spans reach
+  // the lock, so in kSampled mode 1-in-N queries pay one uncontended
+  // lock+copy and the rest pay a branch.
+  void record(const SpanRecord& span);
+
+  // Retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  // Spans accepted over the recorder's lifetime (>= snapshot().size();
+  // the difference is what the ring overwrote).
+  std::uint64_t recorded() const;
+  std::size_t capacity() const { return config_.capacity; }
+
+  void clear();
+
+ private:
+  TraceConfig config_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;  // preallocated to capacity
+  std::size_t head_ = 0;          // next slot to write
+  std::uint64_t total_ = 0;       // accepted spans
+};
+
+}  // namespace tdam::obs

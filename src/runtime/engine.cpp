@@ -53,8 +53,10 @@ TopKResult merged_topk(const ShardedIndex& index, int k,
     out.modeled_energy += cost.energy;
     out.modeled_passes = std::max(out.modeled_passes, cost.passes);
   }
+  out.scan_seconds = seconds_since(t0);
   // Global merge under the same total order the shards used: lower
   // distance wins, global row id breaks ties.
+  const auto t1 = std::chrono::steady_clock::now();
   const auto keep =
       std::min<std::size_t>(static_cast<std::size_t>(k), merged.size());
   std::partial_sort(merged.begin(),
@@ -62,6 +64,7 @@ TopKResult merged_topk(const ShardedIndex& index, int k,
                     merged.end());
   merged.resize(keep);
   out.entries = std::move(merged);
+  out.merge_seconds = seconds_since(t1);
   out.wall_seconds = seconds_since(t0);
   return out;
 }
@@ -154,6 +157,12 @@ std::vector<TopKResult> SearchEngine::submit_batch(
   stats.wall_seconds = seconds_since(t0);
   for (const auto& r : results) {
     metrics_.record_query_wall(r.wall_seconds);
+    // The engine owns the scan/merge stage histograms (it has the only
+    // honest clocks for them); AmServer adds queue_wait/batch_wait on top.
+    StageTimings stage_times;
+    stage_times.scan = r.scan_seconds;
+    stage_times.merge = r.merge_seconds;
+    metrics_.record_stage_times(stage_times);
     stats.modeled_latency += r.modeled_latency;
     stats.modeled_energy += r.modeled_energy;
   }

@@ -54,6 +54,11 @@ struct TopKResult {
   double modeled_energy = 0.0;   // all banks (J)
   int modeled_passes = 0;        // worst bank's sequential array passes
   double wall_seconds = 0.0;     // host time for this query
+  // Stage split of wall_seconds for tracing: the shard broadcast and the
+  // global top-k merge (durations — the task runs at a pool-determined
+  // absolute time).
+  double scan_seconds = 0.0;
+  double merge_seconds = 0.0;
 };
 
 class SearchEngine {

@@ -1,191 +1,172 @@
 #include "runtime/metrics.h"
 
-#include <algorithm>
-
 #include "util/table.h"
 
 namespace tdam::runtime {
 
 ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins,
-                               std::size_t batch_hi)
-    : wall_(0.0, latency_hi, bins),
-      batch_sizes_(0.0, static_cast<double>(batch_hi), batch_hi) {}
+                               std::size_t batch_hi) {
+  queries_ = &registry_.counter("tdam_serving_queries_total",
+                                "Queries completed by the engine");
+  batches_ = &registry_.counter("tdam_serving_batches_total",
+                                "Micro-batches dispatched to the engine");
+  wall_seconds_ = &registry_.counter(
+      "tdam_serving_wall_seconds_total",
+      "Cumulative batch wall time (submit to last result)");
+  rejected_ = &registry_.counter("tdam_serving_rejected_total",
+                                 "Queries bounced by admission control");
+  shed_ = &registry_.counter("tdam_serving_shed_total",
+                             "Queued queries evicted by shed-oldest");
+  expired_ = &registry_.counter("tdam_serving_deadline_expired_total",
+                                "Queries whose deadline passed before dispatch");
+  modeled_latency_ = &registry_.counter(
+      "tdam_serving_modeled_latency_seconds_total",
+      "Summed modeled TD-AM hardware latency");
+  modeled_energy_ = &registry_.counter(
+      "tdam_serving_modeled_energy_joules_total",
+      "Summed modeled TD-AM hardware energy");
+  queue_depth_ = &registry_.gauge("tdam_serving_queue_depth",
+                                  "Queries waiting in the admission queue");
+  peak_queue_depth_ =
+      &registry_.gauge("tdam_serving_queue_depth_peak",
+                       "Admission-queue high-water mark since reset");
+  resident_index_bytes_ =
+      &registry_.gauge("tdam_serving_resident_index_bytes",
+                       "Resident bytes of the served (packed) index");
+  wall_ = &registry_.histogram("tdam_serving_wall_latency_seconds",
+                               "Per-query wall latency", 0.0, latency_hi,
+                               bins);
+  batch_sizes_ = &registry_.histogram("tdam_serving_batch_size",
+                                      "Queries per micro-batch", 0.0,
+                                      static_cast<double>(batch_hi), batch_hi);
+  const char* stage_help = "Per-query serving-stage duration";
+  queue_wait_ =
+      &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
+                           latency_hi, bins, {{"stage", "queue_wait"}});
+  batch_wait_ =
+      &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
+                           latency_hi, bins, {{"stage", "batch_wait"}});
+  scan_ = &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
+                               latency_hi, bins, {{"stage", "scan"}});
+  merge_ = &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
+                                latency_hi, bins, {{"stage", "merge"}});
+}
 
 void ServingMetrics::record_query_wall(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  wall_.add(seconds);
+  wall_->observe(seconds);
+}
+
+void ServingMetrics::record_stage_times(const StageTimings& stages) {
+  if (stages.queue_wait >= 0.0) queue_wait_->observe(stages.queue_wait);
+  if (stages.batch_wait >= 0.0) batch_wait_->observe(stages.batch_wait);
+  if (stages.scan >= 0.0) scan_->observe(stages.scan);
+  if (stages.merge >= 0.0) merge_->observe(stages.merge);
 }
 
 void ServingMetrics::record_batch(const BatchStats& batch) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++batches_;
-  queries_ += static_cast<std::size_t>(batch.queries);
-  wall_seconds_ += batch.wall_seconds;
-  modeled_latency_ += batch.modeled_latency;
-  modeled_energy_ += batch.modeled_energy;
-  batch_sizes_.add(static_cast<double>(batch.queries));
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  batches_->add(1.0);
+  queries_->add(static_cast<double>(batch.queries));
+  wall_seconds_->add(batch.wall_seconds);
+  modeled_latency_->add(batch.modeled_latency);
+  modeled_energy_->add(batch.modeled_energy);
+  batch_sizes_->observe(static_cast<double>(batch.queries));
 }
 
-void ServingMetrics::record_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++rejected_;
-}
+void ServingMetrics::record_rejected() { rejected_->add(1.0); }
 
-void ServingMetrics::record_shed() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++shed_;
-}
+void ServingMetrics::record_shed() { shed_->add(1.0); }
 
-void ServingMetrics::record_expired() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++expired_;
-}
+void ServingMetrics::record_expired() { expired_->add(1.0); }
 
 void ServingMetrics::set_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_depth_ = depth;
-  peak_queue_depth_ = std::max(peak_queue_depth_, depth);
+  const auto d = static_cast<double>(depth);
+  queue_depth_->set(d);
+  peak_queue_depth_->max(d);
 }
 
 void ServingMetrics::set_resident_index_bytes(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  resident_index_bytes_ = bytes;
+  resident_index_bytes_->set(static_cast<double>(bytes));
 }
 
 void ServingMetrics::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  wall_ = Histogram(wall_.lo(), wall_.hi(), wall_.bins());
-  batch_sizes_ =
-      Histogram(batch_sizes_.lo(), batch_sizes_.hi(), batch_sizes_.bins());
-  queries_ = 0;
-  batches_ = 0;
-  wall_seconds_ = 0.0;
-  modeled_latency_ = 0.0;
-  modeled_energy_ = 0.0;
-  rejected_ = 0;
-  shed_ = 0;
-  expired_ = 0;
-  queue_depth_ = 0;
-  peak_queue_depth_ = 0;
-  resident_index_bytes_ = 0;
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  registry_.reset();
 }
 
-std::size_t ServingMetrics::queries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queries_;
-}
-
-std::size_t ServingMetrics::batches() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batches_;
-}
-
-double ServingMetrics::wall_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return wall_seconds_;
-}
-
-double ServingMetrics::qps() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (wall_seconds_ <= 0.0) return 0.0;
-  return static_cast<double>(queries_) / wall_seconds_;
-}
-
-double ServingMetrics::wall_quantile(double p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return wall_.quantile(p);
-}
-
-double ServingMetrics::batch_size_quantile(double p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batch_sizes_.quantile(p);
-}
-
-std::size_t ServingMetrics::rejected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return rejected_;
-}
-
-std::size_t ServingMetrics::shed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return shed_;
-}
-
-std::size_t ServingMetrics::expired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return expired_;
-}
-
-std::size_t ServingMetrics::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_depth_;
-}
-
-std::size_t ServingMetrics::peak_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return peak_queue_depth_;
-}
-
-std::size_t ServingMetrics::resident_index_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return resident_index_bytes_;
-}
-
-double ServingMetrics::modeled_latency_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return modeled_latency_;
-}
-
-double ServingMetrics::modeled_energy_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return modeled_energy_;
-}
-
-double ServingMetrics::modeled_latency_per_query() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (queries_ == 0) return 0.0;
-  return modeled_latency_ / static_cast<double>(queries_);
-}
-
-double ServingMetrics::modeled_energy_per_query() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (queries_ == 0) return 0.0;
-  return modeled_energy_ / static_cast<double>(queries_);
+ServingMetrics::Snapshot ServingMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  Snapshot s;
+  s.queries = static_cast<std::size_t>(queries_->value());
+  s.batches = static_cast<std::size_t>(batches_->value());
+  s.wall_seconds = wall_seconds_->value();
+  s.qps = s.wall_seconds > 0.0
+              ? static_cast<double>(s.queries) / s.wall_seconds
+              : 0.0;
+  s.rejected = static_cast<std::size_t>(rejected_->value());
+  s.shed = static_cast<std::size_t>(shed_->value());
+  s.expired = static_cast<std::size_t>(expired_->value());
+  s.queue_depth = static_cast<std::size_t>(queue_depth_->value());
+  s.peak_queue_depth = static_cast<std::size_t>(peak_queue_depth_->value());
+  s.resident_index_bytes =
+      static_cast<std::size_t>(resident_index_bytes_->value());
+  s.modeled_latency_total = modeled_latency_->value();
+  s.modeled_energy_total = modeled_energy_->value();
+  s.wall = wall_->snapshot();
+  s.batch_sizes = batch_sizes_->snapshot();
+  s.queue_wait = queue_wait_->snapshot();
+  s.batch_wait = batch_wait_->snapshot();
+  s.scan = scan_->snapshot();
+  s.merge = merge_->snapshot();
+  return s;
 }
 
 std::string ServingMetrics::summary_table() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const Snapshot s = snapshot();
   Table t({"metric", "value"});
-  t.add_row({"queries", std::to_string(queries_)});
-  t.add_row({"batches", std::to_string(batches_)});
-  t.add_row({"wall time (s)", Table::fmt(wall_seconds_)});
-  const double qps = wall_seconds_ > 0.0
-                         ? static_cast<double>(queries_) / wall_seconds_
-                         : 0.0;
-  t.add_row({"throughput (QPS)", Table::fmt(qps)});
-  t.add_row({"wall p50 (us)", Table::fmt(wall_.quantile(0.50) * 1e6)});
-  t.add_row({"wall p95 (us)", Table::fmt(wall_.quantile(0.95) * 1e6)});
-  t.add_row({"wall p99 (us)", Table::fmt(wall_.quantile(0.99) * 1e6)});
-  t.add_row({"batch size p50", Table::fmt(batch_sizes_.quantile(0.50))});
-  t.add_row({"batch size p99", Table::fmt(batch_sizes_.quantile(0.99))});
-  t.add_row({"queue depth (now/peak)", std::to_string(queue_depth_) + "/" +
-                                           std::to_string(peak_queue_depth_)});
-  t.add_row({"rejected", std::to_string(rejected_)});
-  t.add_row({"shed", std::to_string(shed_)});
-  t.add_row({"deadline expired", std::to_string(expired_)});
+  t.add_row({"queries", std::to_string(s.queries)});
+  t.add_row({"batches", std::to_string(s.batches)});
+  t.add_row({"wall time (s)", Table::fmt(s.wall_seconds)});
+  t.add_row({"throughput (QPS)", Table::fmt(s.qps)});
+  t.add_row({"wall p50 (us)", Table::fmt(s.wall_quantile(0.50) * 1e6)});
+  t.add_row({"wall p95 (us)", Table::fmt(s.wall_quantile(0.95) * 1e6)});
+  t.add_row({"wall p99 (us)", Table::fmt(s.wall_quantile(0.99) * 1e6)});
+  t.add_row({"batch size p50", Table::fmt(s.batch_size_quantile(0.50))});
+  t.add_row({"batch size p99", Table::fmt(s.batch_size_quantile(0.99))});
+  t.add_row({"queue depth (now/peak)",
+             std::to_string(s.queue_depth) + "/" +
+                 std::to_string(s.peak_queue_depth)});
+  t.add_row({"rejected", std::to_string(s.rejected)});
+  t.add_row({"shed", std::to_string(s.shed)});
+  t.add_row({"deadline expired", std::to_string(s.expired)});
   t.add_row({"modeled HW latency/query (ns)",
-             Table::fmt(queries_ == 0 ? 0.0
-                                      : modeled_latency_ /
-                                            static_cast<double>(queries_) *
-                                            1e9)});
+             Table::fmt(s.modeled_latency_per_query() * 1e9)});
   t.add_row({"modeled HW energy/query (pJ)",
-             Table::fmt(queries_ == 0 ? 0.0
-                                      : modeled_energy_ /
-                                            static_cast<double>(queries_) *
-                                            1e12)});
-  t.add_row({"modeled HW energy total (nJ)", Table::fmt(modeled_energy_ * 1e9)});
+             Table::fmt(s.modeled_energy_per_query() * 1e12)});
+  t.add_row(
+      {"modeled HW energy total (nJ)", Table::fmt(s.modeled_energy_total * 1e9)});
   t.add_row({"resident index (KiB)",
-             Table::fmt(static_cast<double>(resident_index_bytes_) / 1024.0)});
+             Table::fmt(static_cast<double>(s.resident_index_bytes) / 1024.0)});
+  return t.render();
+}
+
+std::string ServingMetrics::stage_table() const {
+  const Snapshot s = snapshot();
+  Table t({"stage", "count", "p50 (us)", "p95 (us)", "p99 (us)"});
+  const auto row = [&t](const char* name, const obs::HistogramSnapshot& h) {
+    if (h.total() == 0) {
+      t.add_row({name, "0", "-", "-", "-"});
+      return;
+    }
+    t.add_row({name, std::to_string(h.total()),
+               Table::fmt(h.quantile(0.50) * 1e6),
+               Table::fmt(h.quantile(0.95) * 1e6),
+               Table::fmt(h.quantile(0.99) * 1e6)});
+  };
+  row("queue wait", s.queue_wait);
+  row("batch wait", s.batch_wait);
+  row("scan", s.scan);
+  row("merge", s.merge);
   return t.render();
 }
 

@@ -1,7 +1,7 @@
 // Serving metrics with a deliberate split between two clocks:
 //
 //  * wall-clock — what this software engine actually achieves on the host
-//    (throughput, per-query latency quantiles from util::Histogram); and
+//    (throughput, per-query latency quantiles); and
 //  * modeled hardware — what the calibrated TD-AM circuit model says the
 //    physical banks would cost for the same workload (latency from the
 //    slowest parallel bank, energy summed over banks, AmSystemModel pass
@@ -11,18 +11,26 @@
 // validate the serving architecture, the hardware numbers carry the paper's
 // efficiency claim.
 //
-// For the asynchronous front-end the same object also records the
-// degradation surface: a queue-depth gauge (current + peak), a micro-batch
-// size histogram, and rejected/shed/expired admission counters.  All
-// methods are internally synchronized — AmServer's dispatcher, its
-// submitters, and a metrics reader may touch one instance concurrently.
+// Since the obs refactor this class is a facade over obs::MetricsRegistry
+// instruments (striped counters, gauges, atomic-bin histograms), so the
+// per-query record paths — record_query_wall, record_stage_times,
+// record_rejected/shed/expired, set_queue_depth — are lock-free.  The only
+// mutex left guards the multi-field batch section (record_batch) against
+// snapshot(), and both run once per *batch*, not per query.
+//
+// Reads go through snapshot(): one consistent Snapshot struct captured
+// under a single lock acquisition, replacing the old getter-per-field API
+// (each getter took the mutex separately, so derived values like qps could
+// mix counters from different instants).  The registry() accessor exposes
+// the underlying instruments for Prometheus/JSON export.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
-#include "util/histogram.h"
+#include "obs/metrics_registry.h"
 
 namespace tdam::runtime {
 
@@ -34,15 +42,69 @@ struct BatchStats {
   double modeled_energy = 0.0;    // summed per-query modeled HW energy (J)
 };
 
+// Per-query serving-stage durations in seconds; -1 marks a stage the query
+// never reached (a rejected query has no scan).  queue_wait and batch_wait
+// partition the pre-dispatch latency: enqueue → batch formation and batch
+// formation → dispatch.  scan and merge are measured inside the engine.
+struct StageTimings {
+  double queue_wait = -1.0;
+  double batch_wait = -1.0;
+  double scan = -1.0;
+  double merge = -1.0;
+};
+
 class ServingMetrics {
  public:
-  // Per-query wall latencies are binned over [0, latency_hi) seconds;
-  // slower queries land in the histogram overflow and quantiles clamp.
-  // Batch sizes are binned one-per-bin over [0, batch_hi).
+  // Point-in-time, internally consistent view of every metric; captured by
+  // snapshot() under one lock acquisition.
+  struct Snapshot {
+    std::size_t queries = 0;
+    std::size_t batches = 0;
+    double wall_seconds = 0.0;
+    double qps = 0.0;  // cumulative throughput over all recorded batches
+    std::size_t rejected = 0;
+    std::size_t shed = 0;
+    std::size_t expired = 0;
+    std::size_t queue_depth = 0;
+    std::size_t peak_queue_depth = 0;
+    std::size_t resident_index_bytes = 0;
+    double modeled_latency_total = 0.0;
+    double modeled_energy_total = 0.0;
+    obs::HistogramSnapshot wall;         // per-query wall latency (s)
+    obs::HistogramSnapshot batch_sizes;  // queries per micro-batch
+    obs::HistogramSnapshot queue_wait;   // stage histograms (s)
+    obs::HistogramSnapshot batch_wait;
+    obs::HistogramSnapshot scan;
+    obs::HistogramSnapshot merge;
+
+    // p in [0, 1]; per-query wall-latency quantile in seconds.
+    double wall_quantile(double p) const { return wall.quantile(p); }
+    // p in [0, 1]; micro-batch size quantile in queries per batch.
+    double batch_size_quantile(double p) const {
+      return batch_sizes.quantile(p);
+    }
+    double modeled_latency_per_query() const {
+      return queries == 0
+                 ? 0.0
+                 : modeled_latency_total / static_cast<double>(queries);
+    }
+    double modeled_energy_per_query() const {
+      return queries == 0
+                 ? 0.0
+                 : modeled_energy_total / static_cast<double>(queries);
+    }
+  };
+
+  // Per-query wall latencies and stage durations are binned over
+  // [0, latency_hi) seconds; slower samples land in the histogram overflow
+  // and quantiles clamp to latency_hi.  Batch sizes are binned one-per-bin
+  // over [0, batch_hi).
   explicit ServingMetrics(double latency_hi = 0.25, std::size_t bins = 4096,
                           std::size_t batch_hi = 1024);
 
   void record_query_wall(double seconds);
+  // Observes every stage with a non-negative duration; lock-free.
+  void record_stage_times(const StageTimings& stages);
   void record_batch(const BatchStats& batch);
   // Admission-control outcomes (AmServer): a query bounced by kReject, a
   // queued query evicted by kShedOldest, a query whose deadline passed
@@ -59,47 +121,43 @@ class ServingMetrics {
   void set_resident_index_bytes(std::size_t bytes);
   void reset();
 
-  std::size_t queries() const;
-  std::size_t batches() const;
-  double wall_seconds() const;
-  // Cumulative throughput over all recorded batches.
-  double qps() const;
-  // p in [0, 1]; per-query wall-latency quantile in seconds.
-  double wall_quantile(double p) const;
-  // p in [0, 1]; micro-batch size quantile in queries per batch.
-  double batch_size_quantile(double p) const;
+  // One lock acquisition; every field in the result is from the same
+  // instant relative to record_batch.
+  Snapshot snapshot() const;
 
-  std::size_t rejected() const;
-  std::size_t shed() const;
-  std::size_t expired() const;
-  std::size_t queue_depth() const;
-  std::size_t peak_queue_depth() const;
+  // The backing instruments, for obs::export_prometheus / export_json.
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
 
-  std::size_t resident_index_bytes() const;
-
-  double modeled_latency_total() const;
-  double modeled_energy_total() const;
-  double modeled_latency_per_query() const;
-  double modeled_energy_per_query() const;
-
-  // Two-column summary (util::Table) of everything above.
+  // Two-column summary (util::Table) of the snapshot.
   std::string summary_table() const;
+  // Per-stage latency breakdown (queue wait / batch wait / scan / merge):
+  // count, p50/p95/p99 in microseconds.
+  std::string stage_table() const;
 
  private:
-  mutable std::mutex mutex_;
-  Histogram wall_;
-  Histogram batch_sizes_;
-  std::size_t queries_ = 0;
-  std::size_t batches_ = 0;
-  double wall_seconds_ = 0.0;
-  double modeled_latency_ = 0.0;
-  double modeled_energy_ = 0.0;
-  std::size_t rejected_ = 0;
-  std::size_t shed_ = 0;
-  std::size_t expired_ = 0;
-  std::size_t queue_depth_ = 0;
-  std::size_t peak_queue_depth_ = 0;
-  std::size_t resident_index_bytes_ = 0;
+  obs::MetricsRegistry registry_;
+  obs::Counter* queries_;
+  obs::Counter* batches_;
+  obs::Counter* wall_seconds_;
+  obs::Counter* rejected_;
+  obs::Counter* shed_;
+  obs::Counter* expired_;
+  obs::Counter* modeled_latency_;
+  obs::Counter* modeled_energy_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* peak_queue_depth_;
+  obs::Gauge* resident_index_bytes_;
+  obs::LinearHistogram* wall_;
+  obs::LinearHistogram* batch_sizes_;
+  obs::LinearHistogram* queue_wait_;
+  obs::LinearHistogram* batch_wait_;
+  obs::LinearHistogram* scan_;
+  obs::LinearHistogram* merge_;
+  // Guards the multi-instrument batch section against snapshot() so the
+  // (queries, batches, wall_seconds) triple — and the qps derived from it —
+  // is never observed mid-update.  Touched once per batch and per scrape.
+  mutable std::mutex batch_mutex_;
 };
 
 }  // namespace tdam::runtime

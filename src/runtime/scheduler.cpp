@@ -9,20 +9,29 @@ namespace tdam::runtime {
 
 namespace {
 
-// Fulfil a query's promise with a shards-never-touched terminal status.
-void finish(PendingQuery& query, QueryStatus status) {
+// Fulfil a query's promise with a shards-never-touched terminal status,
+// closing out its trace span if the query carries one.
+void finish(PendingQuery& query, QueryStatus status,
+            obs::FlightRecorder* recorder) {
   ServedResult out;
   out.status = status;
   out.queue_seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - query.enqueued)
                           .count();
+  out.trace_id = query.span.trace_id;
+  if (query.span.traced()) {
+    query.span.status = static_cast<int>(status);
+    query.span.fulfill_ns = obs::steady_now_ns() - query.span.enqueue_ns;
+    if (recorder) recorder->record(query.span);
+  }
   query.promise.set_value(std::move(out));
 }
 
 }  // namespace
 
-Scheduler::Scheduler(SchedulerOptions options, ServingMetrics* metrics)
-    : options_(options), metrics_(metrics) {
+Scheduler::Scheduler(SchedulerOptions options, ServingMetrics* metrics,
+                     obs::FlightRecorder* recorder)
+    : options_(options), metrics_(metrics), recorder_(recorder) {
   if (options_.max_batch < 1)
     throw std::invalid_argument("Scheduler: max_batch must be >= 1 (got " +
                                 std::to_string(options_.max_batch) + ")");
@@ -55,7 +64,7 @@ void Scheduler::enqueue(PendingQuery query) {
         case AdmissionPolicy::kReject:
           if (metrics_) metrics_->record_rejected();
           lock.unlock();
-          finish(query, QueryStatus::kRejected);
+          finish(query, QueryStatus::kRejected, recorder_);
           return;
         case AdmissionPolicy::kShedOldest:
           victim = std::move(queue_.front());
@@ -68,14 +77,16 @@ void Scheduler::enqueue(PendingQuery query) {
     if (closed_) {
       if (metrics_) metrics_->record_rejected();
       lock.unlock();
-      finish(query, QueryStatus::kRejected);
+      finish(query, QueryStatus::kRejected, recorder_);
       return;
     }
+    if (query.span.traced())  // admission cleared (kBlock may have waited)
+      query.span.admit_ns = obs::steady_now_ns() - query.span.enqueue_ns;
     queue_.push_back(std::move(query));
     publish_depth_locked();
   }
   batch_ready_.notify_one();
-  if (have_victim) finish(victim, QueryStatus::kShed);
+  if (have_victim) finish(victim, QueryStatus::kShed, recorder_);
 }
 
 std::vector<PendingQuery> Scheduler::next_batch() {
@@ -104,9 +115,12 @@ std::vector<PendingQuery> Scheduler::next_batch() {
   const auto take = std::min(queue_.size(),
                              static_cast<std::size_t>(options_.max_batch));
   batch.reserve(take);
+  const std::int64_t formed = obs::steady_now_ns();
   for (std::size_t i = 0; i < take; ++i) {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    auto& span = batch.back().span;
+    if (span.traced()) span.batch_form_ns = formed - span.enqueue_ns;
   }
   publish_depth_locked();
   lock.unlock();

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/metrics.h"
 
@@ -56,6 +57,13 @@ struct ServedResult {
   // ShardedIndex::generation() the answer was computed against (kOk only);
   // lets a caller correlate answers with concurrent stores/clears.
   std::uint64_t generation = 0;
+  // Per-query trace id assigned at submit (0 when the server has no
+  // recorder, e.g. queries driven through a bare Scheduler in tests);
+  // correlates with flight-recorder spans and log lines.
+  std::uint64_t trace_id = 0;
+  // Stage durations for this query; stages never reached stay -1 (tracing
+  // off, or a non-kOk status).
+  StageTimings stages;
 };
 
 struct SchedulerOptions {
@@ -73,6 +81,10 @@ struct PendingQuery {
   std::chrono::steady_clock::time_point deadline;
   std::chrono::steady_clock::time_point enqueued;
   std::promise<ServedResult> promise;
+  // Trace span riding along with the query; untraced (enqueue_ns == -1)
+  // unless AmServer stamped it at submit, and every stamp below is guarded
+  // on that, so scheduler-only tests pay nothing.
+  obs::SpanRecord span;
 };
 
 class Scheduler {
@@ -81,8 +93,11 @@ class Scheduler {
   // max_batch <= queue_capacity would deadlock kBlock producers — allowed,
   // batches simply flush at queue_capacity).  Metrics may be null; when
   // set, rejected/shed counters and the queue-depth gauge are recorded.
+  // Recorder may be null; when set, queries terminated here (rejected,
+  // shed) have their spans stamped and recorded.
   explicit Scheduler(SchedulerOptions options,
-                     ServingMetrics* metrics = nullptr);
+                     ServingMetrics* metrics = nullptr,
+                     obs::FlightRecorder* recorder = nullptr);
 
   const SchedulerOptions& options() const { return options_; }
 
@@ -111,6 +126,7 @@ class Scheduler {
 
   SchedulerOptions options_;
   ServingMetrics* metrics_;
+  obs::FlightRecorder* recorder_;
   mutable std::mutex mutex_;
   std::condition_variable batch_ready_;   // dispatcher waits here
   std::condition_variable space_free_;    // kBlock producers wait here

@@ -18,7 +18,8 @@ AmServer::AmServer(ShardedIndex& index, ServerOptions options)
     : index_(index),
       options_(options),
       engine_(index, options.engine),
-      scheduler_(options.scheduler, &engine_.metrics()),
+      recorder_(options.trace),
+      scheduler_(options.scheduler, &engine_.metrics(), &recorder_),
       dispatcher_([this] { serve_loop(); }) {}
 
 AmServer::~AmServer() { shutdown(); }
@@ -48,6 +49,15 @@ std::future<ServedResult> AmServer::submit(
   pending.k = k;
   pending.deadline = deadline;
   pending.enqueued = std::chrono::steady_clock::now();
+  // Ids are assigned even with tracing off so every ServedResult is
+  // correlatable; the enqueue stamp (which arms all later stage stamps) is
+  // only taken when tracing is on.
+  pending.span.trace_id = recorder_.next_trace_id();
+  if (recorder_.enabled())
+    pending.span.enqueue_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            pending.enqueued.time_since_epoch())
+            .count();
   auto future = pending.promise.get_future();
   scheduler_.enqueue(std::move(pending));
   return future;
@@ -102,6 +112,16 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
       ServedResult out;
       out.status = QueryStatus::kDeadlineExpired;
       out.queue_seconds = seconds_between(query.enqueued, now);
+      out.trace_id = query.span.trace_id;
+      if (query.span.traced()) {
+        if (query.span.batch_form_ns >= 0)
+          out.stages.queue_wait =
+              static_cast<double>(query.span.batch_form_ns) * 1e-9;
+        query.span.status = static_cast<int>(QueryStatus::kDeadlineExpired);
+        query.span.fulfill_ns =
+            obs::steady_now_ns() - query.span.enqueue_ns;
+        recorder_.record(query.span);
+      }
       query.promise.set_value(std::move(out));
     } else {
       live.push_back(std::move(query));
@@ -124,6 +144,12 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
   for (auto& [k, members] : by_k) {
     core::DigitMatrix packed(index_.stages(), index_.levels());
     for (const auto i : members) packed.append(live[i].digits);
+    // Dispatch stamp: the moment this k-group's engine call starts.
+    const std::int64_t dispatched = obs::steady_now_ns();
+    for (const auto i : members) {
+      auto& span = live[i].span;
+      if (span.traced()) span.dispatch_ns = dispatched - span.enqueue_ns;
+    }
     std::vector<TopKResult> results;
     try {
       results = engine_.submit_batch(packed, k);
@@ -139,6 +165,32 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
       out.result = std::move(results[j]);
       out.queue_seconds = seconds_between(query.enqueued, now);
       out.generation = generation;
+      out.trace_id = query.span.trace_id;
+      out.stages.scan = out.result.scan_seconds;
+      out.stages.merge = out.result.merge_seconds;
+      auto& span = query.span;
+      if (span.traced()) {
+        if (span.batch_form_ns >= 0)
+          out.stages.queue_wait =
+              static_cast<double>(span.batch_form_ns) * 1e-9;
+        if (span.batch_form_ns >= 0 && span.dispatch_ns >= span.batch_form_ns)
+          out.stages.batch_wait =
+              static_cast<double>(span.dispatch_ns - span.batch_form_ns) *
+              1e-9;
+        span.scan_ns =
+            static_cast<std::int64_t>(out.result.scan_seconds * 1e9);
+        span.merge_ns =
+            static_cast<std::int64_t>(out.result.merge_seconds * 1e9);
+        span.status = static_cast<int>(QueryStatus::kOk);
+        span.fulfill_ns = obs::steady_now_ns() - span.enqueue_ns;
+        recorder_.record(span);
+      }
+      // scan/merge were already recorded by the engine inside submit_batch;
+      // only the queueing stages are this layer's to report.
+      StageTimings pre = out.stages;
+      pre.scan = -1.0;
+      pre.merge = -1.0;
+      engine_.metrics().record_stage_times(pre);
       query.promise.set_value(std::move(out));
     }
   }

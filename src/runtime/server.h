@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/digit_matrix.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/scheduler.h"
 #include "runtime/sharded_index.h"
@@ -48,6 +49,11 @@ namespace tdam::runtime {
 struct ServerOptions {
   EngineOptions engine;         // worker threads inside each micro-batch
   SchedulerOptions scheduler;   // batching + admission control
+  // Tracing mode / sampling / ring capacity; defaults come from the
+  // TDAM_TRACE* environment (see obs::TraceConfig::from_env) so deployments
+  // flip tracing without code changes, and an explicit value here overrides
+  // the environment per server.
+  obs::TraceConfig trace = obs::TraceConfig::from_env();
 };
 
 class AmServer {
@@ -85,6 +91,9 @@ class AmServer {
 
   const ShardedIndex& index() const { return index_; }
   const ServingMetrics& metrics() const { return engine_.metrics(); }
+  // Sampled per-query spans (enqueue → admit → batch-form → dispatch →
+  // scan/merge → fulfill); see obs::FlightRecorder for the sampling rules.
+  const obs::FlightRecorder& recorder() const { return recorder_; }
   const ServerOptions& options() const { return options_; }
 
   // Closes admission, serves/expires everything still queued, joins the
@@ -98,6 +107,7 @@ class AmServer {
   ShardedIndex& index_;
   ServerOptions options_;
   SearchEngine engine_;
+  obs::FlightRecorder recorder_;  // before scheduler_: it holds a pointer
   Scheduler scheduler_;
   // Shared: dispatcher executing a micro-batch; exclusive: store/clear and
   // generation reads from other threads.

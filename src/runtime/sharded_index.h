@@ -55,14 +55,6 @@ class ShardedIndex {
   ShardedIndex(const core::BackendRegistry& registry,
                ShardedIndexOptions options);
 
-  // Pre-options-struct calling convention, kept for one release.
-  [[deprecated("pass ShardedIndexOptions{backend, shards, placement}")]]
-  ShardedIndex(const core::BackendRegistry& registry,
-               const std::string& backend, int shards,
-               Placement placement = Placement::kRoundRobin)
-      : ShardedIndex(registry,
-                     ShardedIndexOptions{backend, shards, placement}) {}
-
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int stages() const { return shards_.front()->stages(); }
   int levels() const { return shards_.front()->levels(); }

@@ -233,20 +233,22 @@ TEST(RuntimeSearchEngine, MetricsAccumulate) {
   SearchEngine engine(w.index, {.threads = 4});
   engine.submit_batch(w.queries, 2);
   engine.submit_batch(w.queries, 2);
-  const auto& m = engine.metrics();
-  EXPECT_EQ(m.queries(), 20u);
-  EXPECT_EQ(m.batches(), 2u);
-  EXPECT_GT(m.wall_seconds(), 0.0);
-  EXPECT_GT(m.qps(), 0.0);
-  EXPECT_GT(m.modeled_energy_total(), 0.0);
-  EXPECT_EQ(m.resident_index_bytes(), w.index.resident_bytes());
+  const auto m = engine.metrics().snapshot();
+  EXPECT_EQ(m.queries, 20u);
+  EXPECT_EQ(m.batches, 2u);
+  EXPECT_GT(m.wall_seconds, 0.0);
+  EXPECT_GT(m.qps, 0.0);
+  EXPECT_GT(m.modeled_energy_total, 0.0);
+  EXPECT_EQ(m.resident_index_bytes, w.index.resident_bytes());
   EXPECT_GE(m.wall_quantile(0.99), m.wall_quantile(0.50));
-  const auto table = m.summary_table();
+  EXPECT_EQ(m.wall.total(), 20u);
+  const auto table = engine.metrics().summary_table();
   EXPECT_NE(table.find("throughput"), std::string::npos);
   EXPECT_NE(table.find("resident index"), std::string::npos);
   engine.reset_metrics();
-  EXPECT_EQ(engine.metrics().queries(), 0u);
-  EXPECT_EQ(engine.metrics().resident_index_bytes(), 0u);
+  const auto zeroed = engine.metrics().snapshot();
+  EXPECT_EQ(zeroed.queries, 0u);
+  EXPECT_EQ(zeroed.resident_index_bytes, 0u);
 }
 
 TEST(RuntimeSearchEngine, Validation) {
@@ -288,17 +290,6 @@ TEST(RuntimeShardedIndex, GenerationCountsMutations) {
   EXPECT_EQ(index.generation(), 2u);
   index.clear();
   EXPECT_EQ(index.generation(), 3u);
-}
-
-TEST(RuntimeShardedIndex, DeprecatedConstructorForwardsToOptions) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto registry = default_registry(calibration(), {.stages = 8});
-  ShardedIndex legacy(registry, "exact", 3, Placement::kLeastLoaded);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(legacy.num_shards(), 3);
-  EXPECT_EQ(legacy.backend_name(), "exact");
-  EXPECT_EQ(legacy.placement(), Placement::kLeastLoaded);
 }
 
 TEST(RuntimeSearchEngine, PackedBatchMatchesUnpackedAdapter) {

@@ -157,14 +157,15 @@ TEST(RuntimeScheduler, RecordsAdmissionOutcomesInMetrics) {
                .policy = AdmissionPolicy::kShedOldest},
               &metrics);
   s.enqueue(pending({0}));
-  EXPECT_EQ(metrics.queue_depth(), 1u);
+  EXPECT_EQ(metrics.snapshot().queue_depth, 1u);
   s.enqueue(pending({1}));  // sheds {0}
-  EXPECT_EQ(metrics.shed(), 1u);
-  EXPECT_EQ(metrics.peak_queue_depth(), 1u);
+  const auto after_shed = metrics.snapshot();
+  EXPECT_EQ(after_shed.shed, 1u);
+  EXPECT_EQ(after_shed.peak_queue_depth, 1u);
   s.close();
   auto late = pending({2});
   s.enqueue(std::move(late));
-  EXPECT_EQ(metrics.rejected(), 1u);
+  EXPECT_EQ(metrics.snapshot().rejected, 1u);
 }
 
 TEST(RuntimeScheduler, ValidatesOptions) {
@@ -262,7 +263,7 @@ TEST(RuntimeServer, ExpiredDeadlineShortCircuitsWithoutTouchingShards) {
   const auto ok = alive.get();
   EXPECT_EQ(ok.status, QueryStatus::kOk);
   EXPECT_FALSE(ok.result.entries.empty());
-  EXPECT_GE(server.metrics().expired(), 1u);
+  EXPECT_GE(server.metrics().snapshot().expired, 1u);
 }
 
 TEST(RuntimeServer, MixedKWithinOneMicroBatch) {
@@ -337,7 +338,7 @@ TEST(RuntimeServer, ShutdownDrainsQueuedQueriesAndRejectsLateSubmits) {
   }
   auto late = server.submit(w.queries[0], 2);
   EXPECT_EQ(late.get().status, QueryStatus::kRejected);
-  EXPECT_GE(server.metrics().rejected(), 1u);
+  EXPECT_GE(server.metrics().snapshot().rejected, 1u);
 }
 
 TEST(RuntimeServer, ValidatesQueriesSynchronously) {
@@ -364,14 +365,78 @@ TEST(RuntimeServer, MetricsExposeBatchSizesAndQueueDepth) {
   std::vector<std::future<ServedResult>> futures;
   for (const auto& q : w.queries) futures.push_back(server.submit(q, 2));
   for (auto& f : futures) EXPECT_EQ(f.get().status, QueryStatus::kOk);
-  const auto& m = server.metrics();
-  EXPECT_EQ(m.queries(), w.queries.size());
-  EXPECT_GE(m.batches(), (w.queries.size() + 3) / 4);
+  const auto m = server.metrics().snapshot();
+  EXPECT_EQ(m.queries, w.queries.size());
+  EXPECT_GE(m.batches, (w.queries.size() + 3) / 4);
   EXPECT_GT(m.batch_size_quantile(0.5), 0.0);
   EXPECT_LE(m.batch_size_quantile(1.0), 4.0 + 1.0);  // bin-interpolated
-  const auto table = m.summary_table();
+  const auto table = server.metrics().summary_table();
   EXPECT_NE(table.find("queue depth"), std::string::npos);
   EXPECT_NE(table.find("deadline expired"), std::string::npos);
+}
+
+TEST(RuntimeServer, ResultsCarryTraceIdsAndStageTimings) {
+  constexpr int kStages = 8;
+  const auto reg = registry_for(kStages);
+  auto w = make_workload(reg, "exact", 2, kStages, 12, 8, 1800);
+  AmServer server(w.index,
+                  {.scheduler = {.max_batch = 4, .max_delay = 1e-4},
+                   .trace = {.mode = obs::TraceMode::kFull,
+                             .capacity = 64}});
+  std::vector<std::future<ServedResult>> futures;
+  for (const auto& q : w.queries) futures.push_back(server.submit(q, 2));
+  std::vector<std::uint64_t> ids;
+  for (auto& f : futures) {
+    const auto served = f.get();
+    ASSERT_EQ(served.status, QueryStatus::kOk);
+    EXPECT_GT(served.trace_id, 0u);
+    ids.push_back(served.trace_id);
+    // Every stage was reached and timed for an answered, traced query.
+    EXPECT_GE(served.stages.queue_wait, 0.0);
+    EXPECT_GE(served.stages.batch_wait, 0.0);
+    EXPECT_GE(served.stages.scan, 0.0);
+    EXPECT_GE(served.stages.merge, 0.0);
+  }
+  // Ids are unique and assigned in submit order starting at 1.
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  EXPECT_EQ(ids.front(), 1u);
+  // kFull records every span; each recorded span is internally ordered.
+  EXPECT_EQ(server.recorder().recorded(), w.queries.size());
+  for (const auto& span : server.recorder().snapshot()) {
+    EXPECT_EQ(span.status, static_cast<int>(QueryStatus::kOk));
+    EXPECT_LE(span.admit_ns, span.batch_form_ns);
+    EXPECT_LE(span.batch_form_ns, span.dispatch_ns);
+    EXPECT_LE(span.dispatch_ns, span.fulfill_ns);
+  }
+  // The stage histograms in the serving metrics saw the same traffic.
+  const auto m = server.metrics().snapshot();
+  EXPECT_EQ(m.queue_wait.total(), w.queries.size());
+  EXPECT_EQ(m.scan.total(), w.queries.size());
+  const auto stage_table = server.metrics().stage_table();
+  EXPECT_NE(stage_table.find("queue wait"), std::string::npos);
+  EXPECT_NE(stage_table.find("merge"), std::string::npos);
+}
+
+TEST(RuntimeServer, TracingOffStillAssignsIdsButRecordsNothing) {
+  constexpr int kStages = 8;
+  const auto reg = registry_for(kStages);
+  auto w = make_workload(reg, "exact", 1, kStages, 6, 4, 1900);
+  AmServer server(w.index,
+                  {.scheduler = {.max_batch = 2, .max_delay = 1e-4},
+                   .trace = {.mode = obs::TraceMode::kOff}});
+  std::vector<std::future<ServedResult>> futures;
+  for (const auto& q : w.queries) futures.push_back(server.submit(q, 1));
+  for (auto& f : futures) {
+    const auto served = f.get();
+    ASSERT_EQ(served.status, QueryStatus::kOk);
+    EXPECT_GT(served.trace_id, 0u);       // ids stay correlatable
+    EXPECT_LT(served.stages.queue_wait, 0.0);  // but no stage stamps
+    // scan/merge come from the engine's own clocks regardless of tracing.
+    EXPECT_GE(served.stages.scan, 0.0);
+  }
+  EXPECT_EQ(server.recorder().recorded(), 0u);
+  EXPECT_TRUE(server.recorder().snapshot().empty());
 }
 
 }  // namespace

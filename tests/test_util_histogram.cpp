@@ -106,6 +106,50 @@ TEST(Histogram, QuantileEdgeCases) {
                std::invalid_argument);
 }
 
+TEST(Histogram, QuantileAllOverflowClampsToHi) {
+  // Every sample beyond hi: the clamping contract says any quantile of a
+  // histogram whose whole mass is overflow resolves to hi() — the binned
+  // range cannot say anything sharper.
+  Histogram h(0.0, 1.0, 8);
+  for (int i = 0; i < 5; ++i) h.add(10.0 + i);
+  EXPECT_EQ(h.overflow(), 5u);
+  EXPECT_EQ(h.total(), 5u);
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(p), 1.0);
+  // Symmetric case: all-underflow clamps every quantile to lo().
+  Histogram u(2.0, 3.0, 8);
+  for (int i = 0; i < 3; ++i) u.add(-1.0);
+  EXPECT_EQ(u.underflow(), 3u);
+  for (double p : {0.0, 0.5, 1.0}) EXPECT_EQ(u.quantile(p), 2.0);
+}
+
+TEST(Histogram, QuantileSingleBinCoversWholeRange) {
+  // One bin spanning [lo, hi): quantiles interpolate across the full range
+  // regardless of where inside the bin the samples actually fell.
+  Histogram h(0.0, 4.0, 1);
+  h.add(1.0);
+  h.add(1.1);
+  h.add(3.9);
+  h.add(3.95);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 4.0, 1e-12);
+  // A lone sample in a single bin still spans the bin uniformly.
+  Histogram lone(0.0, 2.0, 1);
+  lone.add(0.3);
+  EXPECT_NEAR(lone.quantile(0.5), 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyReportsZeroesEverywhere) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.count(b), 0u);
+  EXPECT_EQ(h.fraction_within(0.0, 1.0), 0.0);
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
