@@ -1,0 +1,318 @@
+// Open-loop multi-client load generator for the Layer-8 TCP front door.
+//
+// Drives N concurrent pipelined connections at a sequence of target QPS
+// points (arrival times are fixed on a global schedule before the run, so a
+// slow server cannot slow the offered load — the open-loop discipline that
+// exposes queueing collapse, same as bench_runtime_throughput's in-process
+// sweep but over a real socket).  Each connection pairs a sender thread
+// (sleeps until each arrival, pipelines the QUERY) with a receiver thread
+// (records wall latency per reply and tallies the WireCode).  Reported per
+// target: achieved QPS, p50/p99 wall latency, and per-code counts — a
+// degraded reply (rejected/shed/expired) counts as a reply, never an error.
+//
+// Two ways to point it at a server:
+//  * --host/--port      — any running serve_tcp instance;
+//  * --self-host        — builds a random index in-process, starts an
+//    AmTcpServer on an ephemeral loopback port, and drives that.  No
+//    process coordination, so CI and ctest can run the full stack in one
+//    command.
+//
+// Emits a BENCH JSON (bench="net_loadgen", default BENCH_runtime_net.json)
+// validated by scripts/check_bench_json.py and archived by CI, extending
+// the perf trajectory over the wire.
+//
+//   $ ./loadgen --self-host [--vectors=1024] [--stages=64] [--shards=2]
+//               [--threads=2] [--connections=4] [--queries=2000] [--k=3]
+//               [--deadline-us=0] [--qps-list=1000,2000,4000]
+//               [--out=BENCH_runtime_net.json]
+//   $ ./loadgen --host=127.0.0.1 --port=7844 --connections=8 ...
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "am/calibration.h"
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "runtime/backends.h"
+#include "runtime/server.h"
+#include "runtime/sharded_index.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace tdam;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Tally {
+  long ok = 0, rejected = 0, shed = 0, expired = 0, protocol_error = 0;
+  long total() const { return ok + rejected + shed + expired + protocol_error; }
+  void count(net::WireCode code) {
+    switch (code) {
+      case net::WireCode::kOk: ++ok; return;
+      case net::WireCode::kRejected: ++rejected; return;
+      case net::WireCode::kShed: ++shed; return;
+      case net::WireCode::kDeadlineExpired: ++expired; return;
+      default: ++protocol_error; return;
+    }
+  }
+};
+
+struct SweepRow {
+  double target_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  Tally tally;
+};
+
+double quantile_ms(std::vector<double>& sorted_s, double p) {
+  if (sorted_s.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_s.size() - 1) + 0.5);
+  return sorted_s[std::min(rank, sorted_s.size() - 1)] * 1e3;
+}
+
+// One sweep point: `queries` QUERY frames across `connections` pipelined
+// connections on a fixed global arrival schedule at `target_qps`.
+SweepRow run_sweep(const std::string& host, int port, int connections,
+                   long queries, int k, int deadline_us, double target_qps,
+                   int stages, int levels) {
+  SweepRow row;
+  row.target_qps = target_qps;
+
+  struct Conn {
+    std::unique_ptr<net::AmClient> client;
+    long assigned = 0;
+    // request_id -> send instant; sender inserts before the send, receiver
+    // erases — the only state the full-duplex pair shares.
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, Clock::time_point> sent;
+    std::vector<double> latencies_s;
+    Tally tally;
+  };
+  std::vector<std::unique_ptr<Conn>> conns;
+  for (int c = 0; c < connections; ++c) {
+    auto conn = std::make_unique<Conn>();
+    conn->client = std::make_unique<net::AmClient>(host, port);
+    conn->assigned = queries / connections +
+                     (c < static_cast<int>(queries % connections) ? 1 : 0);
+    conns.push_back(std::move(conn));
+  }
+
+  const auto start = Clock::now() + std::chrono::milliseconds(20);
+  const auto interarrival = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / target_qps));
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    Conn& conn = *conns[c];
+    // Sender: global slots c, c+C, c+2C, ... keep the offered load at
+    // target_qps in aggregate regardless of per-connection pacing.
+    threads.emplace_back([&, c] {
+      Rng rng(0x10adu + static_cast<std::uint64_t>(c));
+      std::vector<std::uint16_t> digits(static_cast<std::size_t>(stages));
+      for (long i = 0; i < conn.assigned; ++i) {
+        const long slot = c + i * connections;
+        std::this_thread::sleep_until(start + interarrival * slot);
+        for (auto& d : digits)
+          d = static_cast<std::uint16_t>(
+              rng.uniform_below(static_cast<std::uint64_t>(levels)));
+        {
+          // Reserve the id before the bytes hit the wire so the receiver
+          // can never see a reply for an unknown id.
+          std::lock_guard<std::mutex> lock(conn.mutex);
+          conn.sent.emplace(conn.client->send_query(
+                                digits, static_cast<std::uint32_t>(k),
+                                static_cast<std::uint32_t>(deadline_us)),
+                            Clock::now());
+        }
+      }
+    });
+    threads.emplace_back([&] {
+      net::AmClient::Reply reply;
+      for (long i = 0; i < conn.assigned; ++i) {
+        if (!conn.client->recv(reply)) {
+          std::fprintf(stderr, "loadgen: server closed the connection\n");
+          std::exit(1);
+        }
+        const auto now = Clock::now();
+        std::optional<Clock::time_point> sent_at;
+        {
+          std::lock_guard<std::mutex> lock(conn.mutex);
+          if (const auto it = conn.sent.find(reply.request_id);
+              it != conn.sent.end()) {
+            sent_at = it->second;
+            conn.sent.erase(it);
+          }
+        }
+        if (sent_at)
+          conn.latencies_s.push_back(
+              std::chrono::duration<double>(now - *sent_at).count());
+        conn.tally.count(reply.type == net::MsgType::kQueryReply
+                             ? reply.query.code
+                             : reply.error.code);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  for (auto& conn : conns) {
+    latencies.insert(latencies.end(), conn->latencies_s.begin(),
+                     conn->latencies_s.end());
+    row.tally.ok += conn->tally.ok;
+    row.tally.rejected += conn->tally.rejected;
+    row.tally.shed += conn->tally.shed;
+    row.tally.expired += conn->tally.expired;
+    row.tally.protocol_error += conn->tally.protocol_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  row.achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(row.tally.total()) / elapsed : 0.0;
+  row.p50_ms = quantile_ms(latencies, 0.50);
+  row.p99_ms = quantile_ms(latencies, 0.99);
+  return row;
+}
+
+std::vector<double> parse_qps_list(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const auto token =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) out.push_back(std::stod(token));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool self_host = args.get_bool("self-host", false);
+  std::string host = args.get("host", "127.0.0.1");
+  int port = args.get_int("port", 0);
+  const int connections = args.get_int("connections", 4);
+  const long queries = args.get_int("queries", 2000);
+  const int k = args.get_int("k", 3);
+  const int deadline_us = args.get_int("deadline-us", 0);
+  const int vectors = args.get_int("vectors", 1024);
+  const int stages_opt = args.get_int("stages", 64);
+  const int bits = args.get_int("bits", 2);
+  const int shards = args.get_int("shards", 2);
+  const int threads = args.get_int("threads", 2);
+  const std::string backend = args.get("backend", "behavioral");
+  const auto qps_list = parse_qps_list(args.get("qps-list", "1000,2000,4000"));
+  const std::string out_path = args.get("out", "BENCH_runtime_net.json");
+  if (connections < 1 || queries < 1 || qps_list.empty()) {
+    std::fprintf(stderr,
+                 "loadgen: need >= 1 connection, >= 1 query, and a non-empty "
+                 "--qps-list\n");
+    return 1;
+  }
+
+  // --- optional in-process server (CI / ctest path) ---
+  std::unique_ptr<runtime::ShardedIndex> index;
+  std::unique_ptr<runtime::AmServer> am;
+  std::unique_ptr<net::AmTcpServer> tcp;
+  if (self_host) {
+    am::ChainConfig config;
+    config.encoding = am::Encoding(bits);
+    Rng cal_rng(8);
+    const auto cal = am::calibrate_chain(config, cal_rng);
+    const auto registry =
+        runtime::default_registry(cal, {.stages = stages_opt});
+    index = std::make_unique<runtime::ShardedIndex>(
+        registry,
+        runtime::ShardedIndexOptions{.backend = backend, .shards = shards});
+    Rng rng(11);
+    std::vector<int> digits(static_cast<std::size_t>(stages_opt));
+    for (int v = 0; v < vectors; ++v) {
+      for (auto& d : digits)
+        d = static_cast<int>(rng.uniform_below(
+            static_cast<std::uint64_t>(index->levels())));
+      index->store(digits);
+    }
+    am = std::make_unique<runtime::AmServer>(
+        *index, runtime::ServerOptions{.engine = {.threads = threads}});
+    tcp = std::make_unique<net::AmTcpServer>(*am);
+    host = "127.0.0.1";
+    port = tcp->port();
+    std::printf("self-hosting %d '%s' vectors on 127.0.0.1:%d\n", vectors,
+                backend.c_str(), port);
+  } else if (port <= 0) {
+    std::fprintf(stderr, "loadgen: --port is required without --self-host\n");
+    return 1;
+  }
+
+  // Geometry comes from the server, so remote mode needs no flags.
+  net::AmClient probe(host, port);
+  const auto hello = probe.hello();
+  const int stages = static_cast<int>(hello.stages);
+  const int levels = static_cast<int>(hello.levels);
+  std::printf(
+      "server: backend=%s stages=%d levels=%d generation=%llu "
+      "max_frame=%u\n",
+      hello.backend.c_str(), stages, levels,
+      static_cast<unsigned long long>(hello.generation),
+      hello.max_frame_bytes);
+
+  std::printf("\n%10s %12s %9s %9s %7s %9s %6s %8s %7s\n", "target", "achieved",
+              "p50_ms", "p99_ms", "ok", "rejected", "shed", "expired", "err");
+  std::vector<SweepRow> rows;
+  for (const double target : qps_list) {
+    rows.push_back(run_sweep(host, port, connections, queries, k, deadline_us,
+                             target, stages, levels));
+    const auto& r = rows.back();
+    std::printf("%10.0f %12.1f %9.3f %9.3f %7ld %9ld %6ld %8ld %7ld\n",
+                r.target_qps, r.achieved_qps, r.p50_ms, r.p99_ms, r.tally.ok,
+                r.tally.rejected, r.tally.shed, r.tally.expired,
+                r.tally.protocol_error);
+  }
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "net_loadgen")
+      .key("config")
+      .begin_object()
+      .field("connections", connections)
+      .field("vectors", vectors)
+      .field("shards", shards)
+      .field("threads", threads)
+      .field("queries", static_cast<long>(queries))
+      .field("k", k)
+      .field("deadline_us", deadline_us)
+      .end_object()
+      .key("results")
+      .begin_array();
+  for (const auto& r : rows) {
+    json.begin_object()
+        .field("target_qps", r.target_qps)
+        .field("achieved_qps", r.achieved_qps)
+        .field("p50_ms", r.p50_ms)
+        .field("p99_ms", r.p99_ms)
+        .field("ok", r.tally.ok)
+        .field("rejected", r.tally.rejected)
+        .field("shed", r.tally.shed)
+        .field("expired", r.tally.expired)
+        .field("protocol_error", r.tally.protocol_error)
+        .end_object();
+  }
+  json.end_array().end_object().write_file(out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Standalone TD-AM search server: the full serving stack — ShardedIndex over
+// any registered backend, asynchronous AmServer, Layer-8 AmTcpServer — bound
+// to a TCP port and populated with a random stored set, ready for AmClient /
+// loadgen traffic from other processes.
+//
+// Runs until SIGINT/SIGTERM (or for --duration seconds, for scripted
+// smokes), then shuts down gracefully: in-flight queries drain, replies
+// flush, and the final serving metrics print.
+//
+//   $ ./serve_tcp --port=7844 --vectors=4096 --stages=64 --shards=4
+//                 --threads=4 [--backend=behavioral|digital|cam|exact]
+//                 [--bits=2] [--io-threads=2] [--policy=block|reject|shed]
+//                 [--queue-cap=1024] [--duration=0]
+//
+// Then, from another terminal:
+//   $ ./loadgen --port=7844 --connections=8 --queries=20000 \
+//               --qps-list=2000,8000,32000
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "am/calibration.h"
+#include "net/tcp_server.h"
+#include "runtime/backends.h"
+#include "runtime/server.h"
+#include "runtime/sharded_index.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace tdam;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+
+runtime::AdmissionPolicy parse_policy(const std::string& name) {
+  if (name == "block") return runtime::AdmissionPolicy::kBlock;
+  if (name == "reject") return runtime::AdmissionPolicy::kReject;
+  if (name == "shed") return runtime::AdmissionPolicy::kShedOldest;
+  std::fprintf(stderr, "unknown --policy=%s (block|reject|shed)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int port = args.get_int("port", 7844);
+  const int vectors = args.get_int("vectors", 4096);
+  const int stages = args.get_int("stages", 64);
+  const int bits = args.get_int("bits", 2);
+  const int shards = args.get_int("shards", 4);
+  const int threads = args.get_int("threads", 4);
+  const int io_threads = args.get_int("io-threads", 2);
+  const int queue_cap = args.get_int("queue-cap", 1024);
+  const int duration = args.get_int("duration", 0);
+  const std::string backend = args.get("backend", "behavioral");
+  const auto policy = parse_policy(args.get("policy", "block"));
+
+  am::ChainConfig config;
+  config.encoding = am::Encoding(bits);
+  Rng cal_rng(8);
+  const auto cal = am::calibrate_chain(config, cal_rng);
+  const auto registry = runtime::default_registry(cal, {.stages = stages});
+  runtime::ShardedIndex index(registry,
+                              {.backend = backend, .shards = shards});
+  Rng rng(11);
+  std::vector<int> digits(static_cast<std::size_t>(stages));
+  for (int v = 0; v < vectors; ++v) {
+    for (auto& d : digits)
+      d = static_cast<int>(
+          rng.uniform_below(static_cast<std::uint64_t>(index.levels())));
+    index.store(digits);
+  }
+
+  runtime::AmServer server(
+      index, {.engine = {.threads = threads},
+              .scheduler = {.queue_capacity = queue_cap, .policy = policy}});
+  net::AmTcpServer tcp(server, {.port = port, .io_threads = io_threads});
+  std::printf(
+      "serving %d '%s' vectors of %d %d-bit digits on 127.0.0.1:%d "
+      "(%d shards, %d engine threads, %d io threads)\n",
+      index.size(), backend.c_str(), stages, bits, tcp.port(), shards,
+      threads, io_threads);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(duration > 0 ? duration : 0);
+  while (!g_stop.load()) {
+    if (duration > 0 && std::chrono::steady_clock::now() >= stop_at) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutting down (%d connections open)\n", tcp.connections());
+  tcp.stop();
+  server.shutdown();
+  std::printf("%s", server.metrics().summary_table().c_str());
+  return 0;
+}

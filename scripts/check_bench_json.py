@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json perf-baseline files before CI archives them.
 
-Three accepted formats:
+Four accepted formats:
 
 * tdam kernel-bench format (bench/bench_kernels.cpp): a top-level object
   with ``bench``, ``active_path``, ``host`` and a ``results`` array whose
@@ -12,6 +12,12 @@ Three accepted formats:
   ``mode``, ``backend``, a ``config`` object, and a ``results`` array of
   per-target rows (``target_qps``, ``achieved_qps``, ``p50_ms``,
   ``p99_ms``, ``shed_rate``, and ok/rejected/shed/expired counts).
+* tdam net-loadgen format (bench/loadgen.cpp): ``bench`` == ``net_loadgen``
+  with a ``config`` object (connections/vectors/shards/threads/queries/k/
+  deadline_us) and a ``results`` array of per-target over-the-wire rows
+  (``target_qps``, ``achieved_qps``, ``p50_ms``, ``p99_ms``, and
+  ok/rejected/shed/expired/protocol_error counts summing to the offered
+  query count).
 * google-benchmark ``--benchmark_out`` format: an object with a
   ``benchmarks`` array whose entries carry ``name`` and a time field.
 
@@ -134,6 +140,41 @@ def check_runtime_throughput(doc: dict) -> int:
     return len(results)
 
 
+NET_COUNT_KEYS = ("ok", "rejected", "shed", "expired", "protocol_error")
+NET_RATE_KEYS = ("target_qps", "achieved_qps", "p50_ms", "p99_ms")
+NET_CONFIG_KEYS = {"connections", "vectors", "shards", "threads", "queries",
+                   "k", "deadline_us"}
+
+
+def check_net_loadgen(doc: dict) -> int:
+    if "config" not in doc or "results" not in doc:
+        fail("net-loadgen file missing 'config' or 'results'")
+    config = doc["config"]
+    if not isinstance(config, dict) or not NET_CONFIG_KEYS.issubset(config):
+        fail(f"config missing keys {sorted(NET_CONFIG_KEYS - set(config))}"
+             if isinstance(config, dict) else "config is not an object")
+    for key in NET_CONFIG_KEYS:
+        if not isinstance(config[key], int) or config[key] < 0:
+            fail(f"config.{key} is not a non-negative integer")
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty array")
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            fail(f"results[{i}] is not an object")
+        for key in NET_RATE_KEYS:
+            if not isinstance(r.get(key), (int, float)) or r[key] < 0:
+                fail(f"results[{i}].{key} is not a non-negative number")
+        for key in NET_COUNT_KEYS:
+            if not isinstance(r.get(key), int) or r[key] < 0:
+                fail(f"results[{i}].{key} is not a non-negative integer")
+        replied = sum(r[k] for k in NET_COUNT_KEYS)
+        if replied != config["queries"]:
+            fail(f"results[{i}] reply counts sum to {replied}, "
+                 f"config says {config['queries']} queries were offered")
+    return len(results)
+
+
 def check_google_benchmark(doc: dict) -> int:
     benchmarks = doc["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
@@ -168,6 +209,9 @@ def main() -> None:
         elif doc.get("bench") == "runtime_throughput":
             n = check_runtime_throughput(doc)
             kind = "runtime-throughput"
+        elif doc.get("bench") == "net_loadgen":
+            n = check_net_loadgen(doc)
+            kind = "net-loadgen"
         else:
             n = check_kernel_bench(doc, args.min_avx2_speedup)
             kind = "kernel-bench"

@@ -1,0 +1,96 @@
+// Layer 8 transport: an epoll-based non-blocking TCP front door for
+// runtime::AmServer.
+//
+// Thread model (no thread ever blocks another layer's thread):
+//
+//   acceptor/I-O threads — `io_threads` epoll loops.  Thread 0 owns the
+//     listening socket; accepted connections are assigned round-robin
+//     across the loops.  I/O threads only read bytes, split/validate
+//     frames, and write queued reply bytes — they never call into the
+//     engine and never wait on a future.
+//   submit thread        — drains decoded requests, calls
+//     AmServer::submit / store / clear, and hands each query's future to
+//     the completion queue.  Admission backpressure (a kBlock scheduler)
+//     therefore stalls this thread, not the sockets.
+//   completion thread    — drains the completion queue in FIFO order,
+//     waits each future (the AmServer dispatcher always fulfills every
+//     promise), encodes the QUERY_REPLY — request_id echoed, trace_id in
+//     the reply header, degraded QueryStatus mapped to its WireCode — and
+//     appends it to the connection's outbox, waking the owning I/O loop
+//     through an eventfd.
+//
+// Protocol errors are replies, not disconnects: an oversized frame is
+// answered with ERROR/kOversizedFrame and its payload discarded from the
+// stream; a frame whose payload fails to decode is answered with
+// ERROR/kMalformedFrame; both leave the connection serving.  Each
+// connection carries its own error counter — a peer exceeding
+// `max_protocol_errors` is disconnected after the final error reply
+// flushes.  Only an unsynchronizable stream (bad magic / unsupported
+// version, where framing itself is lost) closes the connection, again
+// after an ERROR reply is flushed.
+//
+// Graceful shutdown (stop(), also run by the destructor): the listener
+// closes and reads stop; the submit thread drains every already-decoded
+// request; the completion thread drains every in-flight future; reply
+// bytes are flushed to every socket (bounded by drain_timeout); then the
+// I/O loops close their connections and exit.  No accepted query is
+// silently dropped.
+//
+// Observability: the server registers instruments in the AmServer's
+// MetricsRegistry (exported by the existing Prometheus/JSON scrapers):
+// tdam_net_connections / _connections_total, tdam_net_bytes_{in,out}_total,
+// tdam_net_frames_{in,out}_total, and tdam_net_protocol_errors_total with a
+// per-WireCode `code` label.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/protocol.h"
+#include "runtime/server.h"
+
+namespace tdam::net {
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";  // bind address ("0.0.0.0" for all)
+  int port = 0;                    // 0 = ephemeral; see AmTcpServer::port()
+  int io_threads = 2;
+  // Hard cap on payload_len; larger frames are answered with
+  // ERROR/kOversizedFrame and skipped.  Must be positive (the constructor
+  // throws std::invalid_argument otherwise).
+  int max_frame_bytes = static_cast<int>(kDefaultMaxFrameBytes);
+  // Per-connection protocol-error budget before the server hangs up.
+  int max_protocol_errors = 16;
+  // stop(): seconds to wait for reply bytes to flush before closing.
+  double drain_timeout = 5.0;
+};
+
+class AmTcpServer {
+ public:
+  // Binds, listens, and starts the serving threads; throws
+  // std::invalid_argument on bad options and std::runtime_error on socket
+  // failures.  `server` must outlive this object.
+  AmTcpServer(runtime::AmServer& server, TcpServerOptions options = {});
+  ~AmTcpServer();
+
+  AmTcpServer(const AmTcpServer&) = delete;
+  AmTcpServer& operator=(const AmTcpServer&) = delete;
+
+  // The bound port (resolves option port == 0 to the kernel-assigned one).
+  int port() const;
+  const TcpServerOptions& options() const;
+
+  // Currently open client connections.
+  int connections() const;
+
+  // Graceful shutdown as described above.  Idempotent; run by the
+  // destructor.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tdam::net

@@ -42,6 +42,17 @@ Scheduler::Scheduler(SchedulerOptions options, ServingMetrics* metrics,
     throw std::invalid_argument("Scheduler: max_delay must be >= 0");
 }
 
+Scheduler::~Scheduler() {
+  close();
+  std::deque<PendingQuery> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans.swap(queue_);
+    publish_depth_locked();
+  }
+  for (auto& query : orphans) finish(query, QueryStatus::kRejected, recorder_);
+}
+
 void Scheduler::publish_depth_locked() {
   if (metrics_) metrics_->set_queue_depth(queue_.size());
 }

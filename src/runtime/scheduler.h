@@ -99,6 +99,12 @@ class Scheduler {
                      ServingMetrics* metrics = nullptr,
                      obs::FlightRecorder* recorder = nullptr);
 
+  // Safety net for owners destroyed with queries still queued (a dispatcher
+  // that never drained, an owner whose constructor threw): closes admission
+  // and fulfils every pending promise with kRejected, so a submit() future
+  // never observes std::future_error/broken_promise.
+  ~Scheduler();
+
   const SchedulerOptions& options() const { return options_; }
 
   // Hands one query to the scheduler, applying the admission policy.  The

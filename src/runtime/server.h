@@ -91,6 +91,10 @@ class AmServer {
 
   const ShardedIndex& index() const { return index_; }
   const ServingMetrics& metrics() const { return engine_.metrics(); }
+  // Mutable view, letting co-located components (e.g. the Layer-8 TCP
+  // front-end) register their own instruments in the same registry so one
+  // scrape covers the whole serving stack.
+  ServingMetrics& metrics() { return engine_.metrics(); }
   // Sampled per-query spans (enqueue → admit → batch-form → dispatch →
   // scan/merge → fulfill); see obs::FlightRecorder for the sampling rules.
   const obs::FlightRecorder& recorder() const { return recorder_; }

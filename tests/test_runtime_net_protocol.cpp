@@ -1,0 +1,267 @@
+// Wire-protocol layer: header and payload encode/decode round-trips
+// (including ragged digit counts and a max-size frame), plus the hostile
+// inputs a server must survive — truncation, bad magic/version, inflated
+// inner counts, trailing garbage.  Suite carries the Runtime prefix so the
+// TSan CI job picks it up with the rest of the serving stack.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdam::net {
+namespace {
+
+// Split an encoded frame into (header, payload-view) the way a transport
+// would.
+FrameHeader split(const std::vector<std::uint8_t>& bytes,
+                  const std::uint8_t** payload) {
+  const FrameHeader header = decode_header(bytes.data(), bytes.size());
+  EXPECT_EQ(bytes.size(), kHeaderBytes + header.payload_len);
+  *payload = bytes.data() + kHeaderBytes;
+  return header;
+}
+
+TEST(RuntimeNetProtocol, HeaderRoundTripCarriesAllFields) {
+  FrameHeader in;
+  in.type = MsgType::kQueryReply;
+  in.payload_len = 0xDEADBEEF;
+  in.request_id = 0x0123456789ABCDEFull;
+  in.trace_id = 0xFEDCBA9876543210ull;
+  std::vector<std::uint8_t> bytes;
+  encode_header(in, bytes);
+  ASSERT_EQ(bytes.size(), kHeaderBytes);
+  const FrameHeader out = decode_header(bytes.data(), bytes.size());
+  EXPECT_EQ(out.magic, kMagic);
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.type, MsgType::kQueryReply);
+  EXPECT_EQ(out.payload_len, 0xDEADBEEFu);
+  EXPECT_EQ(out.request_id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(out.trace_id, 0xFEDCBA9876543210ull);
+}
+
+TEST(RuntimeNetProtocol, HeaderRejectsTruncationBadMagicBadVersion) {
+  std::vector<std::uint8_t> bytes;
+  encode_header(FrameHeader{}, bytes);
+
+  try {
+    decode_header(bytes.data(), kHeaderBytes - 1);
+    FAIL() << "truncated header decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+  }
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  try {
+    decode_header(bad_magic.data(), bad_magic.size());
+    FAIL() << "bad magic decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+  }
+
+  auto bad_version = bytes;
+  bad_version[2] = kProtocolVersion + 1;
+  try {
+    decode_header(bad_version.data(), bad_version.size());
+    FAIL() << "future version decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kUnsupportedVersion);
+  }
+}
+
+TEST(RuntimeNetProtocol, QueryRoundTripRaggedSizes) {
+  // 0 digits through a few hundred, including odd (ragged) counts that
+  // leave the payload unaligned.
+  for (const std::size_t n : {0u, 1u, 3u, 7u, 31u, 64u, 257u}) {
+    QueryRequest in;
+    in.k = 5;
+    in.deadline_us = 1234;
+    for (std::size_t i = 0; i < n; ++i)
+      in.digits.push_back(static_cast<std::uint16_t>(i * 7 % 65536));
+    const auto bytes = encode_query(42, in);
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    EXPECT_EQ(header.type, MsgType::kQuery);
+    EXPECT_EQ(header.request_id, 42u);
+    const auto out = decode_query(payload, header.payload_len);
+    EXPECT_EQ(out.k, in.k);
+    EXPECT_EQ(out.deadline_us, in.deadline_us);
+    EXPECT_EQ(out.digits, in.digits);
+  }
+}
+
+TEST(RuntimeNetProtocol, QueryReplyRoundTripAllCodes) {
+  for (const auto code : {WireCode::kOk, WireCode::kRejected, WireCode::kShed,
+                          WireCode::kDeadlineExpired}) {
+    QueryReply in;
+    in.code = code;
+    in.generation = 99;
+    if (code == WireCode::kOk)
+      for (int i = 0; i < 5; ++i)
+        in.entries.push_back({.row = 1000 - i, .distance = i * 3});
+    const auto bytes = encode_query_reply(7, 0xABCDull, in);
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    EXPECT_EQ(header.trace_id, 0xABCDull);
+    const auto out = decode_query_reply(payload, header.payload_len);
+    EXPECT_EQ(out.code, in.code);
+    EXPECT_EQ(out.generation, in.generation);
+    ASSERT_EQ(out.entries.size(), in.entries.size());
+    for (std::size_t i = 0; i < in.entries.size(); ++i) {
+      EXPECT_EQ(out.entries[i].row, in.entries[i].row);
+      EXPECT_EQ(out.entries[i].distance, in.entries[i].distance);
+    }
+  }
+}
+
+TEST(RuntimeNetProtocol, MaxSizeFrameRoundTrips) {
+  // A query whose frame reaches exactly the default cap: the u32 digit
+  // count leaves (cap - 12) bytes of u16 digits.
+  const std::size_t n = (kDefaultMaxFrameBytes - 12) / 2;
+  QueryRequest in;
+  in.k = 1;
+  in.digits.assign(n, 0x1234);
+  const auto bytes = encode_query(1, in);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 12 + 2 * n);
+  ASSERT_LE(bytes.size() - kHeaderBytes, kDefaultMaxFrameBytes);
+  const std::uint8_t* payload = nullptr;
+  const auto header = split(bytes, &payload);
+  const auto out = decode_query(payload, header.payload_len);
+  EXPECT_EQ(out.digits.size(), n);
+  EXPECT_EQ(out.digits.front(), 0x1234);
+  EXPECT_EQ(out.digits.back(), 0x1234);
+}
+
+TEST(RuntimeNetProtocol, HelloStoreClearStatsErrorRoundTrip) {
+  HelloReply hello;
+  hello.stages = 64;
+  hello.levels = 4;
+  hello.max_frame_bytes = kDefaultMaxFrameBytes;
+  hello.generation = 17;
+  hello.backend = "behavioral";
+  {
+    const auto bytes = encode_hello_reply(3, hello);
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    const auto out = decode_hello_reply(payload, header.payload_len);
+    EXPECT_EQ(out.stages, hello.stages);
+    EXPECT_EQ(out.levels, hello.levels);
+    EXPECT_EQ(out.backend, hello.backend);
+    EXPECT_EQ(out.generation, hello.generation);
+  }
+  {
+    StoreRequest in;
+    in.digits = {1, 2, 3};
+    const auto bytes = encode_store(4, in);
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    EXPECT_EQ(decode_store(payload, header.payload_len).digits, in.digits);
+  }
+  {
+    const auto bytes = encode_store_reply(5, {.row = 41, .generation = 42});
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    const auto out = decode_store_reply(payload, header.payload_len);
+    EXPECT_EQ(out.row, 41);
+    EXPECT_EQ(out.generation, 42u);
+  }
+  {
+    const auto bytes = encode_clear_reply(6, {.generation = 43});
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    EXPECT_EQ(decode_clear_reply(payload, header.payload_len).generation, 43u);
+  }
+  {
+    StatsReply in;
+    in.queries = 100;
+    in.rejected = 3;
+    in.rows = 1024;
+    in.connections = 8;
+    in.qps = 1234.5;
+    in.p99_s = 0.0125;
+    const auto bytes = encode_stats_reply(7, in);
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    const auto out = decode_stats_reply(payload, header.payload_len);
+    EXPECT_EQ(out.queries, in.queries);
+    EXPECT_EQ(out.rejected, in.rejected);
+    EXPECT_EQ(out.rows, in.rows);
+    EXPECT_EQ(out.connections, in.connections);
+    EXPECT_DOUBLE_EQ(out.qps, in.qps);
+    EXPECT_DOUBLE_EQ(out.p99_s, in.p99_s);
+  }
+  {
+    const auto bytes = encode_error(
+        8, {.code = WireCode::kOversizedFrame, .message = "too big"});
+    const std::uint8_t* payload = nullptr;
+    const auto header = split(bytes, &payload);
+    const auto out = decode_error(payload, header.payload_len);
+    EXPECT_EQ(out.code, WireCode::kOversizedFrame);
+    EXPECT_EQ(out.message, "too big");
+  }
+}
+
+TEST(RuntimeNetProtocol, TruncatedPayloadThrowsMalformed) {
+  QueryRequest in;
+  in.k = 3;
+  in.digits = {1, 2, 3, 4};
+  const auto bytes = encode_query(1, in);
+  // Every strict prefix of the payload must throw, never crash or succeed.
+  for (std::size_t cut = 0; cut < bytes.size() - kHeaderBytes; ++cut) {
+    try {
+      decode_query(bytes.data() + kHeaderBytes, cut);
+      FAIL() << "decoded from " << cut << " of "
+             << bytes.size() - kHeaderBytes << " payload bytes";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+    }
+  }
+}
+
+TEST(RuntimeNetProtocol, HostileDigitCountIsRejectedWithoutAllocating) {
+  // Claim 2^31 digits in a 16-byte payload: check_count must trip on the
+  // declared count vs. remaining bytes, before any reserve.
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u32(1);           // k
+  w.u32(0);           // deadline_us
+  w.u32(0x80000000u); // digit count
+  w.u32(0);           // 4 bytes where 2^32 were promised
+  try {
+    decode_query(payload.data(), payload.size());
+    FAIL() << "hostile count accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+    EXPECT_NE(std::string(e.what()).find("digit_count"), std::string::npos);
+  }
+}
+
+TEST(RuntimeNetProtocol, TrailingBytesAreRejected) {
+  QueryRequest in;
+  in.digits = {9};
+  auto bytes = encode_query(1, in);
+  bytes.push_back(0x00);  // one byte past the declared payload
+  try {
+    decode_query(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+    FAIL() << "trailing garbage accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+  }
+}
+
+TEST(RuntimeNetProtocol, StatusMappingIsTotalAndStable) {
+  EXPECT_EQ(to_wire_code(runtime::QueryStatus::kOk), WireCode::kOk);
+  EXPECT_EQ(to_wire_code(runtime::QueryStatus::kRejected),
+            WireCode::kRejected);
+  EXPECT_EQ(to_wire_code(runtime::QueryStatus::kShed), WireCode::kShed);
+  EXPECT_EQ(to_wire_code(runtime::QueryStatus::kDeadlineExpired),
+            WireCode::kDeadlineExpired);
+  EXPECT_STREQ(wire_code_name(WireCode::kShed), "shed");
+  EXPECT_STREQ(wire_code_name(static_cast<WireCode>(200)), "unknown");
+}
+
+}  // namespace
+}  // namespace tdam::net

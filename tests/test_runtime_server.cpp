@@ -439,5 +439,41 @@ TEST(RuntimeServer, TracingOffStillAssignsIdsButRecordsNothing) {
   EXPECT_TRUE(server.recorder().snapshot().empty());
 }
 
+TEST(RuntimeServer, DestructionWithQueriesInFlightNeverBreaksAPromise) {
+  // Destroy the server while queries are still queued (a minute of batching
+  // delay guarantees they are): every future must resolve with a terminal
+  // status — kOk or kRejected — and none may throw broken_promise.
+  constexpr int kStages = 8, kQueries = 40;
+  const auto reg = registry_for(kStages);
+  auto w = make_workload(reg, "exact", 1, kStages, 6, kQueries, 2100);
+  std::vector<std::future<ServedResult>> futures;
+  {
+    AmServer server(w.index,
+                    {.scheduler = {.max_batch = 64, .max_delay = 60.0}});
+    for (const auto& q : w.queries) futures.push_back(server.submit(q, 1));
+  }  // ~AmServer with the whole workload still pending
+  for (auto& f : futures) {
+    const auto served = f.get();  // broken promise would throw future_error
+    EXPECT_TRUE(served.status == QueryStatus::kOk ||
+                served.status == QueryStatus::kRejected);
+  }
+}
+
+TEST(RuntimeScheduler, DestructorRejectsStillQueuedQueries) {
+  // A scheduler destroyed before any dispatcher drains it must fulfil the
+  // orphaned promises itself (kRejected), never abandon them.
+  std::vector<std::future<ServedResult>> futures;
+  {
+    Scheduler s({.max_batch = 64, .max_delay = 60.0, .queue_capacity = 64});
+    for (int i = 0; i < 5; ++i) {
+      auto q = pending({i});
+      futures.push_back(q.promise.get_future());
+      s.enqueue(std::move(q));
+    }
+  }  // ~Scheduler with 5 queries queued and no dispatcher
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, QueryStatus::kRejected);
+}
+
 }  // namespace
 }  // namespace tdam::runtime
