@@ -21,12 +21,24 @@
 // validated by scripts/check_bench_json.py and archived by CI, extending
 // the perf trajectory over the wire.
 //
+// With --store-qps=N (rows/second) each sweep point becomes a mixed
+// read+write measurement: a read-only pass first establishes the baseline
+// read p99, then the same read sweep re-runs while a dedicated writer
+// connection streams STORE_BATCH frames (--store-batch rows each) at the
+// requested row rate.  The writer paces frames on a fixed schedule but
+// waits for each reply (write latency = frame round-trip), and the row
+// reports read p50/p99 vs baseline, write p50/p99, the achieved ingest
+// rate, and the server's segment/compaction counters from STATS.  Output
+// switches to bench="runtime_ingest" (default BENCH_runtime_ingest.json).
+//
 //   $ ./loadgen --self-host [--vectors=1024] [--stages=64] [--shards=2]
 //               [--threads=2] [--connections=4] [--queries=2000] [--k=3]
 //               [--deadline-us=0] [--qps-list=1000,2000,4000]
+//               [--store-qps=0] [--store-batch=16]
 //               [--out=BENCH_runtime_net.json]
 //   $ ./loadgen --host=127.0.0.1 --port=7844 --connections=8 ...
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -185,6 +197,95 @@ SweepRow run_sweep(const std::string& host, int port, int connections,
   return row;
 }
 
+// One writer connection streaming STORE_BATCH frames until `stop`.  Frames
+// leave on a fixed schedule (store_qps rows/s => store_qps/store_batch
+// frames/s) but each waits for its reply, so write latency is the frame
+// round-trip; a slow server makes the writer fall behind schedule, which
+// shows up honestly as a lower achieved ingest rate.
+struct WriterResult {
+  std::vector<double> latencies_s;
+  long rows = 0;
+  double elapsed_s = 0.0;
+};
+
+WriterResult run_writer(const std::string& host, int port, double store_qps,
+                        int store_batch, int stages, int levels,
+                        const std::atomic<bool>& stop) {
+  WriterResult out;
+  net::AmClient client(host, port);
+  Rng rng(0x57013eu);
+  std::vector<std::uint16_t> digits(
+      static_cast<std::size_t>(stages) * static_cast<std::size_t>(store_batch));
+  const auto start = Clock::now();
+  const auto interarrival = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(store_batch) /
+                                    store_qps));
+  for (long frame = 0; !stop.load(std::memory_order_relaxed); ++frame) {
+    std::this_thread::sleep_until(start + interarrival * frame);
+    if (stop.load(std::memory_order_relaxed)) break;
+    for (auto& d : digits)
+      d = static_cast<std::uint16_t>(
+          rng.uniform_below(static_cast<std::uint64_t>(levels)));
+    const auto sent = Clock::now();
+    const auto reply =
+        client.store_batch(digits, static_cast<std::uint32_t>(stages));
+    out.latencies_s.push_back(
+        std::chrono::duration<double>(Clock::now() - sent).count());
+    if (reply.type == net::MsgType::kStoreBatchReply)
+      out.rows += static_cast<long>(reply.store_batch.rows);
+  }
+  out.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+// One mixed sweep point: the read sweep from run_sweep with a concurrent
+// STORE_BATCH writer, bracketed by a read-only baseline and STATS probes.
+struct IngestRow {
+  SweepRow baseline;
+  SweepRow read;
+  double write_p50_ms = 0.0;
+  double write_p99_ms = 0.0;
+  double rows_per_s = 0.0;
+  long rows_written = 0;
+  long segments = 0;
+  long delta_rows = 0;
+  long compactions = 0;  // delta across this point
+};
+
+IngestRow run_ingest_point(const std::string& host, int port, int connections,
+                           long queries, int k, int deadline_us,
+                           double target_qps, int stages, int levels,
+                           double store_qps, int store_batch,
+                           net::AmClient& probe) {
+  IngestRow row;
+  row.baseline = run_sweep(host, port, connections, queries, k, deadline_us,
+                           target_qps, stages, levels);
+  const auto before = probe.stats();
+  std::atomic<bool> stop{false};
+  WriterResult writes;
+  std::thread writer([&] {
+    writes = run_writer(host, port, store_qps, store_batch, stages, levels,
+                        stop);
+  });
+  row.read = run_sweep(host, port, connections, queries, k, deadline_us,
+                       target_qps, stages, levels);
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  const auto after = probe.stats();
+  std::sort(writes.latencies_s.begin(), writes.latencies_s.end());
+  row.write_p50_ms = quantile_ms(writes.latencies_s, 0.50);
+  row.write_p99_ms = quantile_ms(writes.latencies_s, 0.99);
+  row.rows_written = writes.rows;
+  row.rows_per_s = writes.elapsed_s > 0.0
+                       ? static_cast<double>(writes.rows) / writes.elapsed_s
+                       : 0.0;
+  row.segments = static_cast<long>(after.segments);
+  row.delta_rows = static_cast<long>(after.delta_rows);
+  row.compactions =
+      static_cast<long>(after.compactions - before.compactions);
+  return row;
+}
+
 std::vector<double> parse_qps_list(const std::string& spec) {
   std::vector<double> out;
   std::size_t pos = 0;
@@ -217,11 +318,21 @@ int main(int argc, char** argv) {
   const int threads = args.get_int("threads", 2);
   const std::string backend = args.get("backend", "behavioral");
   const auto qps_list = parse_qps_list(args.get("qps-list", "1000,2000,4000"));
-  const std::string out_path = args.get("out", "BENCH_runtime_net.json");
+  const double store_qps = args.get_double("store-qps", 0.0);
+  const int store_batch = args.get_int("store-batch", 16);
+  const bool ingest = store_qps > 0.0;
+  const std::string out_path =
+      args.get("out", ingest ? "BENCH_runtime_ingest.json"
+                             : "BENCH_runtime_net.json");
   if (connections < 1 || queries < 1 || qps_list.empty()) {
     std::fprintf(stderr,
                  "loadgen: need >= 1 connection, >= 1 query, and a non-empty "
                  "--qps-list\n");
+    return 1;
+  }
+  if (store_qps < 0.0 || store_batch < 1) {
+    std::fprintf(stderr,
+                 "loadgen: --store-qps must be >= 0 and --store-batch >= 1\n");
     return 1;
   }
 
@@ -270,6 +381,69 @@ int main(int argc, char** argv) {
       hello.backend.c_str(), stages, levels,
       static_cast<unsigned long long>(hello.generation),
       hello.max_frame_bytes);
+
+  if (ingest) {
+    std::printf("\nmixed read+write: %.0f rows/s in STORE_BATCH frames of %d\n",
+                store_qps, store_batch);
+    std::printf("%10s %12s %9s %9s %9s %9s %9s %10s %9s %6s\n", "target",
+                "achieved", "rd_p50", "rd_p99", "base_p99", "wr_p50", "wr_p99",
+                "rows_per_s", "segments", "compct");
+    std::vector<IngestRow> rows;
+    for (const double target : qps_list) {
+      rows.push_back(run_ingest_point(host, port, connections, queries, k,
+                                      deadline_us, target, stages, levels,
+                                      store_qps, store_batch, probe));
+      const auto& r = rows.back();
+      std::printf(
+          "%10.0f %12.1f %9.3f %9.3f %9.3f %9.3f %9.3f %10.1f %9ld %6ld\n",
+          r.read.target_qps, r.read.achieved_qps, r.read.p50_ms, r.read.p99_ms,
+          r.baseline.p99_ms, r.write_p50_ms, r.write_p99_ms, r.rows_per_s,
+          r.segments, r.compactions);
+    }
+
+    bench::JsonWriter json;
+    json.begin_object()
+        .field("bench", "runtime_ingest")
+        .key("config")
+        .begin_object()
+        .field("connections", connections)
+        .field("vectors", vectors)
+        .field("shards", shards)
+        .field("threads", threads)
+        .field("queries", static_cast<long>(queries))
+        .field("k", k)
+        .field("deadline_us", deadline_us)
+        .field("store_qps", store_qps)
+        .field("store_batch", store_batch)
+        .end_object()
+        .key("results")
+        .begin_array();
+    for (const auto& r : rows) {
+      json.begin_object()
+          .field("target_qps", r.read.target_qps)
+          .field("achieved_qps", r.read.achieved_qps)
+          .field("read_p50_ms", r.read.p50_ms)
+          .field("read_p99_ms", r.read.p99_ms)
+          .field("baseline_p50_ms", r.baseline.p50_ms)
+          .field("baseline_p99_ms", r.baseline.p99_ms)
+          .field("write_p50_ms", r.write_p50_ms)
+          .field("write_p99_ms", r.write_p99_ms)
+          .field("rows_per_s", r.rows_per_s)
+          .field("rows_written", r.rows_written)
+          .field("segments", r.segments)
+          .field("delta_rows", r.delta_rows)
+          .field("compactions", r.compactions)
+          .field("ok", r.read.tally.ok)
+          .field("rejected", r.read.tally.rejected)
+          .field("shed", r.read.tally.shed)
+          .field("expired", r.read.tally.expired)
+          .field("protocol_error", r.read.tally.protocol_error)
+          .end_object();
+    }
+    json.end_array().end_object().write_file(out_path);
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+  }
 
   std::printf("\n%10s %12s %9s %9s %7s %9s %6s %8s %7s\n", "target", "achieved",
               "p50_ms", "p99_ms", "ok", "rejected", "shed", "expired", "err");

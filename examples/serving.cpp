@@ -35,11 +35,19 @@
 //               [--train=800] [--test=300] [--stats] [--export=prom|json|both]
 //   $ ./serving --async [--policy=block|reject|shed] [--queue-cap=1024]
 //               [--max-delay-us=2000] [--deadline-us=0]   # 0 = no deadline
+//               [--store-rate=0]  # rows/s stored live while queries run
+//
+// --store-rate=N (async only) streams N random stores per second from a
+// background thread for the whole serving run — the sanitizer-CI smoke for
+// the lock-free read path: queries, stores, and background compaction all
+// race on the same index.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "am/calibration.h"
@@ -172,12 +180,38 @@ int main(int argc, char** argv) {
     const int queue_cap = args.get_int("queue-cap", 1024);
     const int max_delay_us = args.get_int("max-delay-us", 2000);
     const int deadline_us = args.get_int("deadline-us", 0);
+    const int store_rate = args.get_int("store-rate", 0);
     runtime::AmServer server(
         index, {.engine = {.threads = threads},
                 .scheduler = {.max_batch = batch,
                               .max_delay = max_delay_us * 1e-6,
                               .queue_capacity = queue_cap,
                               .policy = policy}});
+    // Live ingest stream: paced random stores racing the queries below.
+    // Rows land beyond the class labels, so they can only dilute top-k —
+    // accuracy is reported, not asserted, in this smoke.
+    std::atomic<bool> stop_stores{false};
+    std::atomic<long> stores_done{0};
+    std::thread store_thread;
+    if (store_rate > 0) {
+      store_thread = std::thread([&] {
+        Rng srng(99);
+        std::vector<int> digits(static_cast<std::size_t>(dims));
+        const auto start = std::chrono::steady_clock::now();
+        const auto step =
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(1.0 / store_rate));
+        for (long i = 0; !stop_stores.load(std::memory_order_relaxed); ++i) {
+          std::this_thread::sleep_until(start + step * i);
+          if (stop_stores.load(std::memory_order_relaxed)) break;
+          for (auto& d : digits)
+            d = static_cast<int>(srng.uniform_below(
+                static_cast<std::uint64_t>(index.levels())));
+          server.store(digits);
+          stores_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
     std::vector<std::future<runtime::ServedResult>> futures;
     futures.reserve(queries.size());
     for (const auto& q : queries) {
@@ -199,6 +233,15 @@ int main(int argc, char** argv) {
         case runtime::QueryStatus::kShed: ++tally.shed; break;
         case runtime::QueryStatus::kDeadlineExpired: ++tally.expired; break;
       }
+    }
+    if (store_thread.joinable()) {
+      stop_stores.store(true, std::memory_order_relaxed);
+      store_thread.join();
+      std::printf("live ingest: %ld rows stored at %d rows/s "
+                  "(generation %llu, %d rows resident)\n",
+                  stores_done.load(), store_rate,
+                  static_cast<unsigned long long>(server.generation()),
+                  index.size());
     }
     server.shutdown();
     std::printf(

@@ -18,6 +18,11 @@ Four accepted formats:
   (``target_qps``, ``achieved_qps``, ``p50_ms``, ``p99_ms``, and
   ok/rejected/shed/expired/protocol_error counts summing to the offered
   query count).
+* tdam runtime-ingest format (bench/loadgen.cpp ``--store-qps=N``):
+  ``bench`` == ``runtime_ingest`` with the net-loadgen config plus
+  ``store_qps``/``store_batch`` and per-target rows carrying mixed-mode
+  read latencies, the read-only baseline, write latencies, the achieved
+  ingest rate, and segment/compaction counters.
 * google-benchmark ``--benchmark_out`` format: an object with a
   ``benchmarks`` array whose entries carry ``name`` and a time field.
 
@@ -175,6 +180,49 @@ def check_net_loadgen(doc: dict) -> int:
     return len(results)
 
 
+INGEST_RATE_KEYS = ("target_qps", "achieved_qps", "read_p50_ms", "read_p99_ms",
+                    "baseline_p50_ms", "baseline_p99_ms", "write_p50_ms",
+                    "write_p99_ms", "rows_per_s")
+INGEST_COUNT_KEYS = ("rows_written", "segments", "delta_rows", "compactions",
+                     "ok", "rejected", "shed", "expired", "protocol_error")
+
+
+def check_runtime_ingest(doc: dict) -> int:
+    if "config" not in doc or "results" not in doc:
+        fail("runtime-ingest file missing 'config' or 'results'")
+    config = doc["config"]
+    wanted = NET_CONFIG_KEYS | {"store_batch"}
+    if not isinstance(config, dict) or not wanted.issubset(config):
+        fail(f"config missing keys {sorted(wanted - set(config))}"
+             if isinstance(config, dict) else "config is not an object")
+    for key in wanted:
+        if not isinstance(config[key], int) or config[key] < 0:
+            fail(f"config.{key} is not a non-negative integer")
+    if not isinstance(config.get("store_qps"), (int, float)) \
+            or config["store_qps"] <= 0:
+        fail("config.store_qps is not a positive number")
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty array")
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            fail(f"results[{i}] is not an object")
+        for key in INGEST_RATE_KEYS:
+            if not isinstance(r.get(key), (int, float)) or r[key] < 0:
+                fail(f"results[{i}].{key} is not a non-negative number")
+        for key in INGEST_COUNT_KEYS:
+            if not isinstance(r.get(key), int) or r[key] < 0:
+                fail(f"results[{i}].{key} is not a non-negative integer")
+        replied = sum(r[k] for k in NET_COUNT_KEYS)
+        if replied != config["queries"]:
+            fail(f"results[{i}] reply counts sum to {replied}, "
+                 f"config says {config['queries']} queries were offered")
+        if r["rows_written"] == 0:
+            fail(f"results[{i}] wrote no rows — the STORE_BATCH writer "
+                 f"never landed a frame")
+    return len(results)
+
+
 def check_google_benchmark(doc: dict) -> int:
     benchmarks = doc["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
@@ -212,6 +260,9 @@ def main() -> None:
         elif doc.get("bench") == "net_loadgen":
             n = check_net_loadgen(doc)
             kind = "net-loadgen"
+        elif doc.get("bench") == "runtime_ingest":
+            n = check_runtime_ingest(doc)
+            kind = "runtime-ingest"
         else:
             n = check_kernel_bench(doc, args.min_avx2_speedup)
             kind = "kernel-bench"

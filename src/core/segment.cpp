@@ -1,0 +1,62 @@
+#include "core/segment.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tdam::core {
+
+Segment::Segment(std::unique_ptr<SimilarityBackend> backend,
+                 std::vector<int> ids)
+    : backend_(std::move(backend)), ids_(std::move(ids)) {
+  if (!backend_) throw std::invalid_argument("Segment: null backend");
+  if (backend_->rows() != static_cast<int>(ids_.size()))
+    throw std::invalid_argument("Segment: backend holds " +
+                                std::to_string(backend_->rows()) +
+                                " rows but " + std::to_string(ids_.size()) +
+                                " global ids were given");
+  for (std::size_t i = 1; i < ids_.size(); ++i)
+    if (ids_[i] <= ids_[i - 1])
+      throw std::invalid_argument(
+          "Segment: global ids must be strictly ascending");
+}
+
+int Segment::find_global(int global) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), global);
+  if (it == ids_.end() || *it != global) return -1;
+  return static_cast<int>(it - ids_.begin());
+}
+
+std::size_t Segment::resident_bytes() const {
+  return backend_->resident_bytes() + ids_.capacity() * sizeof(int);
+}
+
+SegmentBuilder::SegmentBuilder(const BackendRegistry& registry,
+                               const std::string& backend)
+    : backend_(registry.create(backend)) {}
+
+void SegmentBuilder::append(std::span<const int> digits, int global_id) {
+  if (!ids_.empty() && global_id <= ids_.back())
+    throw std::invalid_argument(
+        "SegmentBuilder::append: global ids must be strictly ascending");
+  backend_->store(digits);  // validates digits before we commit the id
+  ids_.push_back(global_id);
+}
+
+std::shared_ptr<const Segment> SegmentBuilder::seal() {
+  return std::make_shared<const Segment>(std::move(backend_),
+                                         std::move(ids_));
+}
+
+std::shared_ptr<const Segment> merge_segments(
+    const BackendRegistry& registry, const std::string& backend,
+    std::span<const std::shared_ptr<const Segment>> parts) {
+  SegmentBuilder builder(registry, backend);
+  for (const auto& part : parts)
+    for (int local = 0; local < part->rows(); ++local)
+      builder.append(part->backend().row_digits(local),
+                     part->global_id(local));
+  return builder.seal();
+}
+
+}  // namespace tdam::core

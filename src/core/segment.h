@@ -1,0 +1,85 @@
+// Immutable segments: the unit of epoch-published index storage.
+//
+// The serving runtime stores rows in *segments* — a similarity backend
+// instance frozen after construction, paired with the global row ids of the
+// rows it holds.  A segment is never mutated once built: live ingest works
+// by publishing a *new* segment list (copy-on-write on the small active
+// delta), so readers can scan a segment without any synchronisation beyond
+// holding a shared_ptr to it.  Sealed segments carry packed DigitMatrix
+// runs and route through the exact same kernel fast path as the seed's
+// single bank; compaction merges many small segments into one large one
+// without changing any (id, digits) pair.
+//
+// Global ids within a segment are strictly ascending (stores assign
+// monotonically increasing ids and compaction concatenates in id order),
+// which keeps find_global a binary search.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/registry.h"
+
+namespace tdam::core {
+
+class Segment {
+ public:
+  // Takes ownership of a frozen backend plus the per-row global ids
+  // (ids[local] is the global id of backend row `local`).  Throws
+  // std::invalid_argument when the id count does not match the backend's
+  // rows or the ids are not strictly ascending.
+  Segment(std::unique_ptr<SimilarityBackend> backend, std::vector<int> ids);
+
+  const SimilarityBackend& backend() const { return *backend_; }
+  int rows() const { return static_cast<int>(ids_.size()); }
+  int global_id(int local) const { return ids_[static_cast<size_t>(local)]; }
+  std::span<const int> global_ids() const { return ids_; }
+
+  // Local row holding `global`, or -1 when this segment does not contain
+  // it.  Binary search over the ascending id run.
+  int find_global(int global) const;
+
+  // Packed payload + id bookkeeping for this segment.
+  std::size_t resident_bytes() const;
+
+ private:
+  std::unique_ptr<SimilarityBackend> backend_;
+  std::vector<int> ids_;  // strictly ascending
+};
+
+// Accumulates rows into a fresh backend instance and freezes the result.
+// append() validates through SimilarityBackend::store, so a bad row throws
+// before the builder hands anything to a Segment.  A builder is single-use:
+// seal() transfers ownership and leaves it empty.
+class SegmentBuilder {
+ public:
+  // Creates the backing instance through the registry (throws
+  // std::invalid_argument on an unknown backend name).
+  SegmentBuilder(const BackendRegistry& registry, const std::string& backend);
+
+  // Appends one row with its global id.  Throws std::invalid_argument on
+  // wrong digit count, out-of-range digits, or a non-ascending id.
+  void append(std::span<const int> digits, int global_id);
+
+  int rows() const { return static_cast<int>(ids_.size()); }
+
+  // Freezes the accumulated rows into an immutable Segment.
+  std::shared_ptr<const Segment> seal();
+
+ private:
+  std::unique_ptr<SimilarityBackend> backend_;
+  std::vector<int> ids_;
+};
+
+// Rebuilds the concatenation of `parts` (in order) as one segment on a
+// fresh backend instance — the compaction merge.  Parts must chain in
+// ascending global-id order.
+std::shared_ptr<const Segment> merge_segments(
+    const BackendRegistry& registry, const std::string& backend,
+    std::span<const std::shared_ptr<const Segment>> parts);
+
+}  // namespace tdam::core

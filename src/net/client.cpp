@@ -137,6 +137,17 @@ std::uint64_t AmClient::send_store(const std::vector<std::uint16_t>& digits) {
   return id;
 }
 
+std::uint64_t AmClient::send_store_batch(
+    const std::vector<std::uint16_t>& digits, std::uint32_t digits_per_row) {
+  const auto id = next_id();
+  StoreBatchRequest request;
+  request.digits_per_row = digits_per_row;
+  request.digits = digits;
+  const auto frame = encode_store_batch(id, request);
+  write_all(frame.data(), frame.size());
+  return id;
+}
+
 std::uint64_t AmClient::send_stats() {
   const auto id = next_id();
   const auto frame = encode_stats(id);
@@ -163,6 +174,9 @@ bool AmClient::recv(Reply& out) {
       return true;
     case MsgType::kStoreReply:
       out.store = decode_store_reply(payload.data(), payload.size());
+      return true;
+    case MsgType::kStoreBatchReply:
+      out.store_batch = decode_store_batch_reply(payload.data(), payload.size());
       return true;
     case MsgType::kClearReply:
       out.clear = decode_clear_reply(payload.data(), payload.size());
@@ -210,6 +224,11 @@ AmClient::Reply AmClient::query(const std::vector<std::uint16_t>& digits,
 
 AmClient::Reply AmClient::store(const std::vector<std::uint16_t>& digits) {
   return wait_for(send_store(digits));
+}
+
+AmClient::Reply AmClient::store_batch(
+    const std::vector<std::uint16_t>& digits, std::uint32_t digits_per_row) {
+  return wait_for(send_store_batch(digits, digits_per_row));
 }
 
 AmClient::Reply AmClient::clear() {

@@ -55,6 +55,7 @@ class AmClient {
     HelloReply hello;
     QueryReply query;
     StoreReply store;
+    StoreBatchReply store_batch;
     ClearReply clear;
     StatsReply stats;
     ErrorReply error;
@@ -68,6 +69,12 @@ class AmClient {
   Reply query(const std::vector<std::uint16_t>& digits, std::uint32_t k,
               std::uint32_t deadline_us = 0);
   Reply store(const std::vector<std::uint16_t>& digits);
+  // Stores digits.size()/digits_per_row rows in one frame; digits is
+  // row-major.  The reply reports how many rows landed and the id of the
+  // first one (consecutive only under a single-writer protocol — concurrent
+  // writers interleave ids).
+  Reply store_batch(const std::vector<std::uint16_t>& digits,
+                    std::uint32_t digits_per_row);
   Reply clear();
   StatsReply stats();
 
@@ -78,6 +85,8 @@ class AmClient {
   std::uint64_t send_query(const std::vector<std::uint16_t>& digits,
                            std::uint32_t k, std::uint32_t deadline_us = 0);
   std::uint64_t send_store(const std::vector<std::uint16_t>& digits);
+  std::uint64_t send_store_batch(const std::vector<std::uint16_t>& digits,
+                                 std::uint32_t digits_per_row);
   std::uint64_t send_stats();
 
   // Blocks for the next reply frame in arrival order.  Returns false on

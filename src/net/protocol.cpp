@@ -189,6 +189,26 @@ std::vector<std::uint8_t> encode_store_reply(std::uint64_t request_id,
   return frame(MsgType::kStoreReply, request_id, 0, payload);
 }
 
+std::vector<std::uint8_t> encode_store_batch(
+    std::uint64_t request_id, const StoreBatchRequest& request) {
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u32(request.rows());
+  w.u32(request.digits_per_row);
+  for (const auto d : request.digits) w.u16(d);
+  return frame(MsgType::kStoreBatch, request_id, 0, payload);
+}
+
+std::vector<std::uint8_t> encode_store_batch_reply(
+    std::uint64_t request_id, const StoreBatchReply& reply) {
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u32(reply.rows);
+  w.i32(reply.first_row);
+  w.u64(reply.generation);
+  return frame(MsgType::kStoreBatchReply, request_id, 0, payload);
+}
+
 std::vector<std::uint8_t> encode_clear(std::uint64_t request_id) {
   return empty_frame(MsgType::kClear, request_id);
 }
@@ -218,6 +238,9 @@ std::vector<std::uint8_t> encode_stats_reply(std::uint64_t request_id,
   w.u64(reply.connections);
   w.u64(reply.frames_in);
   w.u64(reply.protocol_errors);
+  w.u64(reply.segments);
+  w.u64(reply.delta_rows);
+  w.u64(reply.compactions);
   w.f64(reply.qps);
   w.f64(reply.p50_s);
   w.f64(reply.p99_s);
@@ -301,6 +324,40 @@ StoreReply decode_store_reply(const std::uint8_t* payload, std::size_t size) {
   return reply;
 }
 
+StoreBatchRequest decode_store_batch(const std::uint8_t* payload,
+                                     std::size_t size) {
+  WireReader r(payload, size);
+  StoreBatchRequest request;
+  const std::uint32_t rows = r.u32("store_batch.row_count");
+  request.digits_per_row = r.u32("store_batch.digits_per_row");
+  if (rows > 0 && request.digits_per_row == 0)
+    throw ProtocolError(WireCode::kMalformedFrame,
+                        "store_batch.digits_per_row: 0 digits per row with " +
+                            std::to_string(rows) + " rows");
+  // Row-count bound works per-row so rows * digits_per_row cannot overflow
+  // before the check trips.
+  check_count(rows, 2 * static_cast<std::size_t>(request.digits_per_row),
+              r.remaining(), "store_batch.row_count");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(rows) * request.digits_per_row;
+  request.digits.reserve(total);
+  for (std::uint64_t i = 0; i < total; ++i)
+    request.digits.push_back(r.u16("store_batch.digits"));
+  r.expect_empty("store_batch");
+  return request;
+}
+
+StoreBatchReply decode_store_batch_reply(const std::uint8_t* payload,
+                                         std::size_t size) {
+  WireReader r(payload, size);
+  StoreBatchReply reply;
+  reply.rows = r.u32("store_batch_reply.rows");
+  reply.first_row = r.i32("store_batch_reply.first_row");
+  reply.generation = r.u64("store_batch_reply.generation");
+  r.expect_empty("store_batch_reply");
+  return reply;
+}
+
 ClearReply decode_clear_reply(const std::uint8_t* payload, std::size_t size) {
   WireReader r(payload, size);
   ClearReply reply;
@@ -321,6 +378,9 @@ StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size) {
   reply.connections = r.u64("stats.connections");
   reply.frames_in = r.u64("stats.frames_in");
   reply.protocol_errors = r.u64("stats.protocol_errors");
+  reply.segments = r.u64("stats.segments");
+  reply.delta_rows = r.u64("stats.delta_rows");
+  reply.compactions = r.u64("stats.compactions");
   reply.qps = r.f64("stats.qps");
   reply.p50_s = r.f64("stats.p50_s");
   reply.p99_s = r.f64("stats.p99_s");

@@ -18,7 +18,8 @@
 //                               non-query replies
 //
 // Requests:  HELLO (empty), QUERY (k, deadline_us, digits), STORE (digits),
-//            CLEAR (empty), STATS (empty).
+//            STORE_BATCH (row-major digit rows), CLEAR (empty),
+//            STATS (empty).
 // Replies:   one per request type, plus ERROR for requests the server could
 //            not act on (malformed/oversized frames, invalid arguments).
 //
@@ -65,6 +66,8 @@ enum class MsgType : std::uint8_t {
   kStats = 9,
   kStatsReply = 10,
   kError = 11,
+  kStoreBatch = 12,
+  kStoreBatchReply = 13,
 };
 
 // Terminal outcome of a request, as seen on the wire.  The first four values
@@ -137,6 +140,26 @@ struct StoreReply {
   std::uint64_t generation = 0;
 };
 
+// Multi-row write, so a write stream costs one round-trip per batch rather
+// than per row.  `digits` is row-major, rows() * digits_per_row entries;
+// rows are stored in request order.
+struct StoreBatchRequest {
+  std::uint32_t digits_per_row = 0;
+  std::vector<std::uint16_t> digits;
+
+  std::uint32_t rows() const {
+    return digits_per_row == 0
+               ? 0
+               : static_cast<std::uint32_t>(digits.size() / digits_per_row);
+  }
+};
+
+struct StoreBatchReply {
+  std::uint32_t rows = 0;       // rows this request stored
+  std::int32_t first_row = -1;  // global id of the first stored row, -1 if none
+  std::uint64_t generation = 0; // published epoch after the last store
+};
+
 struct ClearReply {
   std::uint64_t generation = 0;
 };
@@ -151,6 +174,9 @@ struct StatsReply {
   std::uint64_t connections = 0;      // currently open TCP connections
   std::uint64_t frames_in = 0;        // frames decoded over server lifetime
   std::uint64_t protocol_errors = 0;  // error frames sent over lifetime
+  std::uint64_t segments = 0;         // segments in the published snapshot
+  std::uint64_t delta_rows = 0;       // rows in unsealed delta segments
+  std::uint64_t compactions = 0;      // compaction merges completed
   double qps = 0.0;    // cumulative engine throughput
   double p50_s = 0.0;  // per-query wall latency quantiles (engine-side)
   double p99_s = 0.0;
@@ -265,6 +291,10 @@ std::vector<std::uint8_t> encode_store(std::uint64_t request_id,
                                        const StoreRequest& request);
 std::vector<std::uint8_t> encode_store_reply(std::uint64_t request_id,
                                              const StoreReply& reply);
+std::vector<std::uint8_t> encode_store_batch(std::uint64_t request_id,
+                                             const StoreBatchRequest& request);
+std::vector<std::uint8_t> encode_store_batch_reply(
+    std::uint64_t request_id, const StoreBatchReply& reply);
 std::vector<std::uint8_t> encode_clear(std::uint64_t request_id);
 std::vector<std::uint8_t> encode_clear_reply(std::uint64_t request_id,
                                              const ClearReply& reply);
@@ -282,6 +312,10 @@ QueryRequest decode_query(const std::uint8_t* payload, std::size_t size);
 QueryReply decode_query_reply(const std::uint8_t* payload, std::size_t size);
 StoreRequest decode_store(const std::uint8_t* payload, std::size_t size);
 StoreReply decode_store_reply(const std::uint8_t* payload, std::size_t size);
+StoreBatchRequest decode_store_batch(const std::uint8_t* payload,
+                                     std::size_t size);
+StoreBatchReply decode_store_batch_reply(const std::uint8_t* payload,
+                                         std::size_t size);
 ClearReply decode_clear_reply(const std::uint8_t* payload, std::size_t size);
 StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size);
 ErrorReply decode_error(const std::uint8_t* payload, std::size_t size);

@@ -118,8 +118,9 @@ struct AmTcpServer::Impl {
     std::shared_ptr<Connection> conn;
     MsgType type = MsgType::kHello;
     std::uint64_t request_id = 0;
-    QueryRequest query;  // kQuery only
-    StoreRequest store;  // kStore only
+    QueryRequest query;            // kQuery only
+    StoreRequest store;            // kStore only
+    StoreBatchRequest store_batch; // kStoreBatch only
   };
 
   struct Completion {
@@ -574,6 +575,9 @@ struct AmTcpServer::Impl {
         case MsgType::kStore:
           request.store = decode_store(payload, size);
           break;
+        case MsgType::kStoreBatch:
+          request.store_batch = decode_store_batch(payload, size);
+          break;
         default:
           throw ProtocolError(
               WireCode::kUnknownType,
@@ -672,6 +676,32 @@ struct AmTcpServer::Impl {
         }
         return;
       }
+      case MsgType::kStoreBatch: {
+        const auto& batch = request.store_batch;
+        const auto dpr = static_cast<std::size_t>(batch.digits_per_row);
+        StoreBatchReply reply;
+        std::vector<int> digits(dpr);
+        try {
+          for (std::uint32_t row = 0; row < batch.rows(); ++row) {
+            const auto* src = batch.digits.data() + row * dpr;
+            std::copy(src, src + dpr, digits.begin());
+            const int id = am.store(digits);
+            if (reply.rows == 0) reply.first_row = static_cast<std::int32_t>(id);
+            ++reply.rows;
+          }
+          reply.generation = am.generation();
+          send_frame(request.conn,
+                     encode_store_batch_reply(request.request_id, reply));
+        } catch (const std::invalid_argument& e) {
+          // Rows before the bad one are already stored; the error names the
+          // offending row so the client can account for the partial write.
+          protocol_error(request.conn, request.request_id,
+                         WireCode::kInvalidArgument,
+                         "store_batch row " + std::to_string(reply.rows) +
+                             ": " + e.what());
+        }
+        return;
+      }
       case MsgType::kClear: {
         am.clear();
         send_frame(request.conn, encode_clear_reply(request.request_id,
@@ -692,6 +722,9 @@ struct AmTcpServer::Impl {
         reply.frames_in = static_cast<std::uint64_t>(frames_in->value());
         reply.protocol_errors =
             static_cast<std::uint64_t>(protocol_errors_total->value());
+        reply.segments = snap.segments;
+        reply.delta_rows = snap.delta_rows;
+        reply.compactions = snap.compactions;
         reply.qps = snap.qps;
         reply.p50_s = snap.wall_quantile(0.50);
         reply.p99_s = snap.wall_quantile(0.99);
@@ -700,7 +733,7 @@ struct AmTcpServer::Impl {
         return;
       }
       default:
-        // dispatch_frame only forwards the five request types.
+        // dispatch_frame only forwards the six request types.
         protocol_error(request.conn, request.request_id,
                        WireCode::kUnknownType, "unroutable request");
         return;

@@ -5,6 +5,7 @@
 #include <future>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tdam::runtime {
 
@@ -24,37 +25,47 @@ SearchEngine::SearchEngine(const ShardedIndex& index, EngineOptions options)
 
 namespace {
 
-// Shard broadcast + deterministic global merge, parameterised over how one
-// shard answers (unpacked digits or packed words — both land in the same
-// kernel layer inside the backend).
-template <typename SearchShard>
-TopKResult merged_topk(const ShardedIndex& index, int k,
-                       SearchShard&& search_shard) {
+// Segment broadcast + deterministic global merge, parameterised over how
+// one segment answers (unpacked digits or packed words — both land in the
+// same kernel layer inside the backend).  The snapshot is immutable, so
+// this reads it with no synchronisation at all.
+template <typename SearchSegment>
+TopKResult merged_topk(const IndexSnapshot& snap, int index_stages, int k,
+                       SearchSegment&& search_segment) {
   const auto t0 = std::chrono::steady_clock::now();
   TopKResult out;
   std::vector<core::TopKEntry> merged;
   merged.reserve(static_cast<std::size_t>(k) *
-                 static_cast<std::size_t>(index.num_shards()));
-  const double stages = static_cast<double>(index.stages());
-  for (int s = 0; s < index.num_shards(); ++s) {
-    const auto& shard = index.shard(s);
-    if (shard.rows() == 0) continue;
-    const auto local = search_shard(shard, k);
-    for (const auto& e : local.entries)
-      merged.push_back({index.global_row(s, e.row), e.distance});
-    // Modeled hardware: each shard is one physical bank answering in
-    // parallel, costed by its own QueryCostModel hook at the measured
-    // mismatch fraction (clamped — an L1-metric backend can report a mean
-    // distance above one per digit).
-    const double mismatch_fraction =
-        std::clamp(local.mean_distance / stages, 0.0, 1.0);
-    const auto cost = shard.query_cost(mismatch_fraction);
-    out.modeled_latency = std::max(out.modeled_latency, cost.latency);
-    out.modeled_energy += cost.energy;
-    out.modeled_passes = std::max(out.modeled_passes, cost.passes);
+                 static_cast<std::size_t>(snap.segments));
+  const double stages = static_cast<double>(index_stages);
+  for (const auto& shard : snap.shards) {
+    // A shard's segments share one physical bank: the bank answers them as
+    // sequential passes, so latency/energy/passes add up within the shard.
+    double shard_latency = 0.0, shard_energy = 0.0;
+    int shard_passes = 0;
+    for (const auto& seg : shard) {
+      if (seg->rows() == 0) continue;
+      const auto local = search_segment(seg->backend(), k);
+      for (const auto& e : local.entries)
+        merged.push_back({seg->global_id(e.row), e.distance});
+      // Modeled hardware: each segment is costed by its own QueryCostModel
+      // hook at the measured mismatch fraction (clamped — an L1-metric
+      // backend can report a mean distance above one per digit).
+      const double mismatch_fraction =
+          std::clamp(local.mean_distance / stages, 0.0, 1.0);
+      const auto cost = seg->backend().query_cost(mismatch_fraction);
+      shard_latency += cost.latency;
+      shard_energy += cost.energy;
+      shard_passes += cost.passes;
+    }
+    // Shards are physically parallel banks: latency is the slowest bank,
+    // energy sums over banks, passes report the worst bank's fold count.
+    out.modeled_latency = std::max(out.modeled_latency, shard_latency);
+    out.modeled_energy += shard_energy;
+    out.modeled_passes = std::max(out.modeled_passes, shard_passes);
   }
   out.scan_seconds = seconds_since(t0);
-  // Global merge under the same total order the shards used: lower
+  // Global merge under the same total order the segments used: lower
   // distance wins, global row id breaks ties.
   const auto t1 = std::chrono::steady_clock::now();
   const auto keep =
@@ -71,22 +82,30 @@ TopKResult merged_topk(const ShardedIndex& index, int k,
 
 }  // namespace
 
-TopKResult SearchEngine::run_query(std::span<const int> query, int k) const {
-  return merged_topk(index_, k,
-                     [&](const core::SimilarityBackend& shard, int kk) {
-                       return shard.search_topk(query, kk);
+TopKResult SearchEngine::run_query(const IndexSnapshot& snap,
+                                   std::span<const int> query, int k) const {
+  return merged_topk(snap, index_.stages(), k,
+                     [&](const core::SimilarityBackend& segment, int kk) {
+                       return segment.search_topk(query, kk);
                      });
 }
 
 TopKResult SearchEngine::run_query_packed(
-    std::span<const std::uint32_t> packed, int k) const {
-  return merged_topk(index_, k,
-                     [&](const core::SimilarityBackend& shard, int kk) {
-                       return shard.search_topk_packed(packed, kk);
+    const IndexSnapshot& snap, std::span<const std::uint32_t> packed,
+    int k) const {
+  return merged_topk(snap, index_.stages(), k,
+                     [&](const core::SimilarityBackend& segment, int kk) {
+                       return segment.search_topk_packed(packed, kk);
                      });
 }
 
 std::vector<TopKResult> SearchEngine::submit_batch(
+    const core::DigitMatrix& queries, int k) {
+  return submit_batch(index_.pin(), queries, k);
+}
+
+std::vector<TopKResult> SearchEngine::submit_batch(
+    const std::shared_ptr<const IndexSnapshot>& snap,
     const core::DigitMatrix& queries, int k) {
   if (k < 1)
     throw std::invalid_argument("SearchEngine::submit_batch: k must be >= 1");
@@ -98,11 +117,12 @@ std::vector<TopKResult> SearchEngine::submit_batch(
   const auto t0 = std::chrono::steady_clock::now();
   const auto n = static_cast<std::size_t>(queries.rows());
   const auto stages = static_cast<std::size_t>(queries.cols());
+  const IndexSnapshot& view = *snap;
   std::vector<TopKResult> results(n);
   // Packed fast path: when the batch's field width matches the index's
   // packing (and its digit alphabet fits), every query row is already the
-  // exact word sequence the shards' kernel scans consume — hand the packed
-  // words straight through, no unpack, no re-pack.
+  // exact word sequence the segments' kernel scans consume — hand the
+  // packed words straight through, no unpack, no re-pack.
   const bool packed_compatible =
       queries.bits_per_digit() ==
           core::DigitMatrix::field_bits(index_.levels()) &&
@@ -112,16 +132,17 @@ std::vector<TopKResult> SearchEngine::submit_batch(
       std::vector<std::future<void>> pending;
       pending.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        pending.push_back(pool_->submit([this, &queries, &results, i, k] {
+        pending.push_back(pool_->submit([this, &view, &queries, &results, i,
+                                         k] {
           results[i] = run_query_packed(
-              queries.row_words(static_cast<int>(i)), k);
+              view, queries.row_words(static_cast<int>(i)), k);
         }));
       }
       for (auto& f : pending) f.get();  // rethrows any task exception
     } else {
       for (std::size_t i = 0; i < n; ++i)
-        results[i] =
-            run_query_packed(queries.row_words(static_cast<int>(i)), k);
+        results[i] = run_query_packed(
+            view, queries.row_words(static_cast<int>(i)), k);
     }
   } else {
     // One unpack arena for the whole batch: task i owns the disjoint slice
@@ -135,11 +156,11 @@ std::vector<TopKResult> SearchEngine::submit_batch(
       std::vector<std::future<void>> pending;
       pending.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        pending.push_back(pool_->submit([this, &queries, &results, &digits_of,
-                                         i, k] {
+        pending.push_back(pool_->submit([this, &view, &queries, &results,
+                                         &digits_of, i, k] {
           const auto digits = digits_of(i);
           queries.unpack_row_into(static_cast<int>(i), digits);
-          results[i] = run_query(digits, k);
+          results[i] = run_query(view, digits, k);
         }));
       }
       for (auto& f : pending) f.get();  // rethrows any task exception
@@ -147,7 +168,7 @@ std::vector<TopKResult> SearchEngine::submit_batch(
       for (std::size_t i = 0; i < n; ++i) {
         const auto digits = digits_of(i);
         queries.unpack_row_into(static_cast<int>(i), digits);
-        results[i] = run_query(digits, k);
+        results[i] = run_query(view, digits, k);
       }
     }
   }
@@ -167,7 +188,7 @@ std::vector<TopKResult> SearchEngine::submit_batch(
     stats.modeled_energy += r.modeled_energy;
   }
   metrics_.record_batch(stats);
-  metrics_.set_resident_index_bytes(index_.resident_bytes());
+  metrics_.set_resident_index_bytes(view.resident_bytes());
   return results;
 }
 

@@ -1,14 +1,22 @@
 // Batched top-k query serving over a ShardedIndex — backend-agnostic.
 //
 // Execution model: one task per query; the task broadcasts the query to
-// every shard (core::SimilarityBackend::search_topk), translates local rows
-// to global ids, and merges per-shard candidates into a global top-k with
-// the deterministic tie-break (lower distance, then lower global row id).
-// Queries within a batch run concurrently on a fixed ThreadPool; each
-// query's result is written to its own preallocated slot, so the returned
-// batch is bit-identical for any thread count.  `threads = 1` bypasses the
-// pool entirely and is the sequential reference the determinism tests pin
-// against.
+// every segment of every shard (core::SimilarityBackend::search_topk),
+// translates segment-local rows to global ids, and merges the candidates
+// into a global top-k with the deterministic tie-break (lower distance,
+// then lower global row id).  Queries within a batch run concurrently on a
+// fixed ThreadPool; each query's result is written to its own preallocated
+// slot, so the returned batch is bit-identical for any thread count.
+// `threads = 1` bypasses the pool entirely and is the sequential reference
+// the determinism tests pin against.
+//
+// Concurrency: a batch runs against one pinned IndexSnapshot — a single
+// atomic load, no lock — so stores, clears and compactions land freely
+// while the batch scans.  Every query in the batch sees the same epoch;
+// AmServer pins once per micro-batch and stamps that snapshot's generation
+// on the results.  Because segment lists are immutable, the merge order
+// (and therefore the result) for a quiesced index is bit-identical to the
+// seed's single-bank engine.
 //
 // Query representation: the primary entry point takes queries packed in a
 // core::DigitMatrix (one contiguous buffer per batch; tasks unpack rows
@@ -19,11 +27,12 @@
 // Cost accounting per query:
 //  * wall   — host time for the query task (recorded into ServingMetrics'
 //    latency histogram; batch wall time drives the QPS counter);
-//  * modeled hardware — each shard's QueryCostModel hook
-//    (core::SimilarityBackend::query_cost) at the *measured* per-shard
-//    mismatch fraction.  Shards are physically parallel banks: modeled
-//    latency is the slowest bank, modeled energy sums over banks, passes
-//    report the worst bank's fold count.
+//  * modeled hardware — each segment's QueryCostModel hook
+//    (core::SimilarityBackend::query_cost) at the *measured* per-segment
+//    mismatch fraction.  A shard's segments share one physical bank, so
+//    their costs add up as sequential passes; shards are parallel banks:
+//    modeled latency is the slowest bank, modeled energy sums over banks,
+//    passes report the worst bank's fold count.
 //
 // The engine never names a concrete backend — it compiles against the
 // core interface only, so a registry entry is all a new engine needs to be
@@ -63,23 +72,31 @@ struct TopKResult {
 
 class SearchEngine {
  public:
-  // The engine serves queries against `index`; the index must not be
-  // mutated while a submit_batch call is in flight (AmServer mediates this
-  // with its serving lock).
+  // The engine serves queries against `index`.  Live mutation is fine:
+  // each batch pins the index's published snapshot (or scans one the
+  // caller already pinned) and never touches writer state.
   SearchEngine(const ShardedIndex& index, EngineOptions options = {});
 
   int threads() const { return options_.threads; }
   const ShardedIndex& index() const { return index_; }
 
   // Answers every row of `queries` (cols() must equal index().stages())
-  // with its global top-k.  k must be >= 1; fewer than k entries come back
-  // when the index holds fewer rows.  Updates the serving metrics as a
-  // side effect.  This is the allocation-lean hot path: when the batch is
-  // packed with the index's field width, each query row is handed to the
-  // shards as packed words (SimilarityBackend::search_topk_packed), so the
-  // kernel layer scans without ever unpacking or re-packing digits.
+  // with its global top-k against the current published snapshot.  k must
+  // be >= 1; fewer than k entries come back when the index holds fewer
+  // rows.  Updates the serving metrics as a side effect.  This is the
+  // allocation-lean hot path: when the batch is packed with the index's
+  // field width, each query row is handed to the segments as packed words
+  // (SimilarityBackend::search_topk_packed), so the kernel layer scans
+  // without ever unpacking or re-packing digits.
   std::vector<TopKResult> submit_batch(const core::DigitMatrix& queries,
                                        int k);
+
+  // Same, against a caller-pinned snapshot — what AmServer uses so every
+  // query of one micro-batch (across its per-k sub-batches) sees a single
+  // epoch.
+  std::vector<TopKResult> submit_batch(
+      const std::shared_ptr<const IndexSnapshot>& snap,
+      const core::DigitMatrix& queries, int k);
 
   // Adapter for unpacked queries (each of index().stages() digits): packs
   // into a DigitMatrix — which validates digit range — and delegates.
@@ -93,8 +110,10 @@ class SearchEngine {
   void reset_metrics() { metrics_.reset(); }
 
  private:
-  TopKResult run_query(std::span<const int> query, int k) const;
-  TopKResult run_query_packed(std::span<const std::uint32_t> packed,
+  TopKResult run_query(const IndexSnapshot& snap, std::span<const int> query,
+                       int k) const;
+  TopKResult run_query_packed(const IndexSnapshot& snap,
+                              std::span<const std::uint32_t> packed,
                               int k) const;
 
   const ShardedIndex& index_;

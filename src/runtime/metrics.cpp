@@ -33,6 +33,18 @@ ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins,
   resident_index_bytes_ =
       &registry_.gauge("tdam_serving_resident_index_bytes",
                        "Resident bytes of the served (packed) index");
+  segments_ = &registry_.gauge("tdam_serving_segments",
+                               "Segments in the published index snapshot");
+  delta_rows_ = &registry_.gauge("tdam_serving_delta_rows",
+                                 "Rows in unsealed delta segments");
+  compactions_ = &registry_.counter("tdam_serving_compactions_total",
+                                    "Segment compaction merges completed");
+  compacted_rows_ = &registry_.counter(
+      "tdam_serving_compacted_rows_total",
+      "Rows rewritten into merged segments by compaction");
+  compaction_ = &registry_.histogram("tdam_serving_compaction_seconds",
+                                     "Per-merge compaction duration", 0.0,
+                                     1.0, bins);
   wall_ = &registry_.histogram("tdam_serving_wall_latency_seconds",
                                "Per-query wall latency", 0.0, latency_hi,
                                bins);
@@ -89,6 +101,18 @@ void ServingMetrics::set_resident_index_bytes(std::size_t bytes) {
   resident_index_bytes_->set(static_cast<double>(bytes));
 }
 
+void ServingMetrics::set_segment_stats(std::size_t segments,
+                                       std::size_t delta_rows) {
+  segments_->set(static_cast<double>(segments));
+  delta_rows_->set(static_cast<double>(delta_rows));
+}
+
+void ServingMetrics::record_compaction(double seconds, std::size_t rows) {
+  compactions_->add(1.0);
+  compacted_rows_->add(static_cast<double>(rows));
+  compaction_->observe(seconds);
+}
+
 void ServingMetrics::reset() {
   std::lock_guard<std::mutex> lock(batch_mutex_);
   registry_.reset();
@@ -110,6 +134,10 @@ ServingMetrics::Snapshot ServingMetrics::snapshot() const {
   s.peak_queue_depth = static_cast<std::size_t>(peak_queue_depth_->value());
   s.resident_index_bytes =
       static_cast<std::size_t>(resident_index_bytes_->value());
+  s.segments = static_cast<std::size_t>(segments_->value());
+  s.delta_rows = static_cast<std::size_t>(delta_rows_->value());
+  s.compactions = static_cast<std::size_t>(compactions_->value());
+  s.compacted_rows = static_cast<std::size_t>(compacted_rows_->value());
   s.modeled_latency_total = modeled_latency_->value();
   s.modeled_energy_total = modeled_energy_->value();
   s.wall = wall_->snapshot();
@@ -118,6 +146,7 @@ ServingMetrics::Snapshot ServingMetrics::snapshot() const {
   s.batch_wait = batch_wait_->snapshot();
   s.scan = scan_->snapshot();
   s.merge = merge_->snapshot();
+  s.compaction = compaction_->snapshot();
   return s;
 }
 
@@ -147,6 +176,12 @@ std::string ServingMetrics::summary_table() const {
       {"modeled HW energy total (nJ)", Table::fmt(s.modeled_energy_total * 1e9)});
   t.add_row({"resident index (KiB)",
              Table::fmt(static_cast<double>(s.resident_index_bytes) / 1024.0)});
+  t.add_row({"segments (delta rows)",
+             std::to_string(s.segments) + " (" +
+                 std::to_string(s.delta_rows) + ")"});
+  t.add_row({"compactions (rows)", std::to_string(s.compactions) + " (" +
+                                       std::to_string(s.compacted_rows) +
+                                       ")"});
   return t.render();
 }
 

@@ -68,6 +68,10 @@ class ServingMetrics {
     std::size_t queue_depth = 0;
     std::size_t peak_queue_depth = 0;
     std::size_t resident_index_bytes = 0;
+    std::size_t segments = 0;        // published segments across shards
+    std::size_t delta_rows = 0;      // rows still in unsealed deltas
+    std::size_t compactions = 0;     // background + forced merges completed
+    std::size_t compacted_rows = 0;  // rows rewritten by those merges
     double modeled_latency_total = 0.0;
     double modeled_energy_total = 0.0;
     obs::HistogramSnapshot wall;         // per-query wall latency (s)
@@ -76,6 +80,7 @@ class ServingMetrics {
     obs::HistogramSnapshot batch_wait;
     obs::HistogramSnapshot scan;
     obs::HistogramSnapshot merge;
+    obs::HistogramSnapshot compaction;   // per-merge duration (s)
 
     // p in [0, 1]; per-query wall-latency quantile in seconds.
     double wall_quantile(double p) const { return wall.quantile(p); }
@@ -119,6 +124,12 @@ class ServingMetrics {
   // refreshes this after every batch so the summary shows what the stored
   // set actually costs in memory.
   void set_resident_index_bytes(std::size_t bytes);
+  // Segment-lifecycle gauges: how many segments the published snapshot
+  // holds across shards and how many rows sit in unsealed deltas.  The
+  // index pushes these on every publish (store/clear/seal/compaction).
+  void set_segment_stats(std::size_t segments, std::size_t delta_rows);
+  // One compaction merge finished: duration and rows rewritten.
+  void record_compaction(double seconds, std::size_t rows);
   void reset();
 
   // One lock acquisition; every field in the result is from the same
@@ -148,6 +159,11 @@ class ServingMetrics {
   obs::Gauge* queue_depth_;
   obs::Gauge* peak_queue_depth_;
   obs::Gauge* resident_index_bytes_;
+  obs::Gauge* segments_;
+  obs::Gauge* delta_rows_;
+  obs::Counter* compactions_;
+  obs::Counter* compacted_rows_;
+  obs::LinearHistogram* compaction_;
   obs::LinearHistogram* wall_;
   obs::LinearHistogram* batch_sizes_;
   obs::LinearHistogram* queue_wait_;

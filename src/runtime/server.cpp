@@ -20,9 +20,18 @@ AmServer::AmServer(ShardedIndex& index, ServerOptions options)
       engine_(index, options.engine),
       recorder_(options.trace),
       scheduler_(options.scheduler, &engine_.metrics(), &recorder_),
-      dispatcher_([this] { serve_loop(); }) {}
+      dispatcher_([this] { serve_loop(); }) {
+  // Segment gauges and compaction timings land in this server's registry,
+  // so one scrape covers admission, engine, and index lifecycle.
+  index_.set_metrics(&engine_.metrics());
+}
 
-AmServer::~AmServer() { shutdown(); }
+AmServer::~AmServer() {
+  shutdown();
+  // Detach before engine_ (and its metrics) is destroyed — the index and
+  // its compaction thread may outlive this server.
+  index_.set_metrics(nullptr);
+}
 
 void AmServer::shutdown() {
   scheduler_.close();
@@ -78,19 +87,14 @@ std::vector<std::future<ServedResult>> AmServer::submit(
 }
 
 int AmServer::store(std::span<const int> digits) {
-  std::unique_lock<std::shared_mutex> lock(serving_mutex_);
-  return index_.store(digits);  // bumps the generation
+  return index_.store(digits);  // publishes a new epoch; never blocks reads
 }
 
 void AmServer::clear() {
-  std::unique_lock<std::shared_mutex> lock(serving_mutex_);
-  index_.clear();  // bumps the generation
+  index_.clear();  // publishes a new epoch; never blocks reads
 }
 
-std::uint64_t AmServer::generation() const {
-  std::shared_lock<std::shared_mutex> lock(serving_mutex_);
-  return index_.generation();
-}
+std::uint64_t AmServer::generation() const { return index_.generation(); }
 
 void AmServer::serve_loop() {
   for (;;) {
@@ -136,11 +140,11 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
   for (std::size_t i = 0; i < live.size(); ++i)
     by_k[live[i].k].push_back(i);
 
-  // Shared serving lock: store()/clear() take it exclusively, so a writer
-  // waits for this micro-batch to drain and every answer below was
-  // computed against one consistent index generation.
-  std::shared_lock<std::shared_mutex> lock(serving_mutex_);
-  const auto generation = index_.generation();
+  // Pin one snapshot for the whole micro-batch: every answer below —
+  // across all per-k engine calls — is computed against this one epoch,
+  // while writers publish new epochs freely in parallel.
+  const auto snap = index_.pin();
+  const auto generation = snap->generation;
   for (auto& [k, members] : by_k) {
     core::DigitMatrix packed(index_.stages(), index_.levels());
     for (const auto i : members) packed.append(live[i].digits);
@@ -152,7 +156,7 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
     }
     std::vector<TopKResult> results;
     try {
-      results = engine_.submit_batch(packed, k);
+      results = engine_.submit_batch(snap, packed, k);
     } catch (...) {
       for (const auto i : members)
         live[i].promise.set_exception(std::current_exception());

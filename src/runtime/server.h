@@ -18,12 +18,14 @@
 //  * answered    — QueryStatus::kOk with the engine's TopKResult, stamped
 //    with the index generation it was computed against.
 //
-// Mutation while live is reconciled with an epoch/generation guard: store()
-// and clear() take the serving lock exclusively, so they wait for the
-// in-flight micro-batch to drain, mutate (which bumps
-// ShardedIndex::generation()), and release; the dispatcher holds the lock
-// shared for the duration of each batch.  Queries dispatched after the
-// write see the new epoch — their results carry the new generation.
+// Mutation while live needs no lock at this layer: the segmented index
+// publishes immutable snapshots, so store() and clear() forward straight
+// to it and return without waiting for the in-flight micro-batch — and the
+// batch never waits for them.  The dispatcher pins one snapshot per
+// micro-batch (a single atomic load) and stamps its generation on every
+// answer, so a result with generation G was computed against exactly the
+// store state after the G-th mutation; queries dispatched after a write
+// see the new epoch.
 //
 // shutdown() (and the destructor) closes admission, drains every queued
 // query (answered or expired, never silently dropped), and joins the
@@ -33,7 +35,6 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -61,8 +62,10 @@ class AmServer {
   static constexpr std::chrono::steady_clock::time_point kNoDeadline =
       std::chrono::steady_clock::time_point::max();
 
-  // The server serves (and mediates mutation of) `index`; the index must
-  // not be touched except through this server while it is live.
+  // The server serves `index` and registers the index's segment/compaction
+  // instruments in its metrics registry.  The index is internally
+  // synchronized, so concurrent mutation through other references is safe;
+  // this server's result generations simply interleave with it.
   AmServer(ShardedIndex& index, ServerOptions options = {});
   ~AmServer();
 
@@ -83,10 +86,12 @@ class AmServer {
       const core::DigitMatrix& queries, int k,
       std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
-  // Mutations drain the in-flight micro-batch, then apply (bumping the
-  // index generation).  Safe while serving; throws what the index throws.
+  // Mutations apply immediately (bumping the index generation) without
+  // draining — or being blocked by — the in-flight micro-batch.  Safe
+  // while serving; throws what the index throws.
   int store(std::span<const int> digits);
   void clear();
+  // The published epoch: lock-free, one atomic snapshot load.
   std::uint64_t generation() const;
 
   const ShardedIndex& index() const { return index_; }
@@ -113,9 +118,6 @@ class AmServer {
   SearchEngine engine_;
   obs::FlightRecorder recorder_;  // before scheduler_: it holds a pointer
   Scheduler scheduler_;
-  // Shared: dispatcher executing a micro-batch; exclusive: store/clear and
-  // generation reads from other threads.
-  mutable std::shared_mutex serving_mutex_;
   std::thread dispatcher_;
 };
 

@@ -1,36 +1,49 @@
-// A stored-vector set partitioned across N similarity backends.
+// A stored-vector set partitioned across N similarity-backend shards, with
+// an epoch-published segment list per shard for lock-free reads under live
+// ingest.
 //
 // Each shard models one physically independent bank of whatever engine the
 // registry built ("behavioral" TD-AM chains, "digital" comparator lanes,
 // "cam" crossbars, the "exact" software reference), so a query can be
-// broadcast to all shards at once (in hardware: in parallel; in software: on
-// the engine's thread pool) and the per-shard winners merged.  The index
-// owns the global-row-id <-> (shard, local row) mapping; ids are assigned in
-// store order starting at 0 and are what SearchEngine reports back.
+// broadcast to all shards at once and the per-shard winners merged.  The
+// index owns the global-row-id assignment; ids are assigned in store order
+// starting at 0 and are what SearchEngine reports back.
 //
-// The shards ARE the storage: the index keeps no unpacked duplicate of the
-// stored vectors (the pre-refactor version held every digit twice), only the
-// 8-byte location record per row.  Snapshots read back through the shards'
-// packed matrices.
+// Storage is segmented: a shard is a list of immutable *sealed* segments
+// (packed DigitMatrix runs, each routed through the same kernel fast path
+// as a single bank) plus one small *active delta* segment absorbing
+// store() calls.  Mutation is copy-on-write on the delta only — store()
+// rebuilds the delta segment with the new row, then publishes a fresh
+// IndexSnapshot through one atomic shared_ptr.  Readers pin() a snapshot
+// with a single atomic load and scan it with no lock whatsoever; the last
+// reader to release a retired segment frees it (shared_ptr refcount is the
+// epoch-reclamation scheme).  store() never waits for in-flight queries
+// and queries never wait for store().
 //
-// The index is not internally synchronized.  For concurrent serving it
-// carries a generation counter: every mutation (store/clear) bumps it, and
-// AmServer uses a writer lock to drain in-flight batches before mutating —
-// a query result stamped with generation G was computed against exactly the
-// store state after the G-th mutation.
+// When the delta reaches `seal_rows` it is moved — already immutable, no
+// rebuild — onto the sealed list, and a background compaction thread
+// merges sealed runs back into one large segment once a shard accumulates
+// `compact_min_segments` of them.  Compaction changes layout, not
+// contents: the published generation does not move, and a quiesced,
+// compacted shard is bit-identical to the seed's single mutable bank.
+//
+// The snapshot's generation counts mutations (store/clear) and is the
+// epoch AmServer stamps on every ServedResult: a result with generation G
+// was computed against exactly the store state after the G-th mutation.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "core/backend.h"
 #include "core/registry.h"
+#include "core/segment.h"
 
 namespace tdam::runtime {
+
+class ServingMetrics;
 
 // Where the next stored vector lands.
 //  * kRoundRobin     — shard = global_id % num_shards (deterministic strides).
@@ -39,45 +52,97 @@ namespace tdam::runtime {
 enum class Placement { kRoundRobin, kLeastLoaded };
 
 // Construction knobs, mirroring BackendOptions/EngineOptions: which registry
-// entry to instantiate, how many shards, and where stores land.
+// entry to instantiate, how many shards, where stores land, and the segment
+// lifecycle thresholds.
 struct ShardedIndexOptions {
   std::string backend = "behavioral";
   int shards = 1;
   Placement placement = Placement::kRoundRobin;
+  // Delta rows that trigger sealing.  Also bounds the copy-on-write cost of
+  // one store() (the delta is rebuilt per store, never the sealed runs).
+  int seal_rows = 1024;
+  // Sealed segments per shard that wake the background compactor.
+  int compact_min_segments = 4;
+  // Tests that want a deterministic segment layout disable the background
+  // thread and call compact_now() themselves.
+  bool background_compaction = true;
+};
+
+// One immutable view of the whole index: per-shard segment lists plus the
+// epoch they were published under.  Everything a query touches lives here,
+// so holding the shared_ptr is the only pin a reader needs.
+struct IndexSnapshot {
+  // shards[s] lists shard s's segments in ascending global-id order
+  // (sealed runs first, the unsealed delta — if any — last).
+  std::vector<std::vector<std::shared_ptr<const core::Segment>>> shards;
+  std::uint64_t generation = 0;  // mutations applied when this was published
+  int rows = 0;                  // global ids are exactly [0, rows)
+  int segments = 0;              // total segments across shards
+  int delta_rows = 0;            // rows still in unsealed delta segments
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  // Bytes resident in the shards' packed storage (same accounting as the
+  // seed's single-bank index: backend payload, not id bookkeeping).
+  std::size_t resident_bytes() const;
 };
 
 class ShardedIndex {
  public:
-  // Creates `options.shards` fresh instances of `options.backend` through
-  // the registry.  Throws std::invalid_argument (naming the offending
-  // value) when shards < 1, and whatever the registry throws for an
-  // unknown backend.
+  // Creates an empty index of `options.shards` shards of `options.backend`.
+  // Throws std::invalid_argument (naming the offending value) when a knob
+  // is out of range, and whatever the registry throws for an unknown
+  // backend.  Starts the compaction thread unless background_compaction is
+  // off.
   ShardedIndex(const core::BackendRegistry& registry,
                ShardedIndexOptions options);
+  ~ShardedIndex();
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  int stages() const { return shards_.front()->stages(); }
-  int levels() const { return shards_.front()->levels(); }
-  int size() const { return static_cast<int>(locations_.size()); }
-  const std::string& backend_name() const { return options_.backend; }
-  Placement placement() const { return options_.placement; }
+  ShardedIndex(ShardedIndex&&) noexcept;
+  ShardedIndex& operator=(ShardedIndex&&) noexcept;
+
+  int num_shards() const;
+  int stages() const;
+  int levels() const;
+  int size() const;
+  const std::string& backend_name() const;
+  Placement placement() const;
+
+  // Pins the current published snapshot: one atomic shared_ptr load, no
+  // lock.  The returned view is immutable and stays valid for as long as
+  // the pointer is held, no matter how many stores/clears/compactions land
+  // after it.
+  std::shared_ptr<const IndexSnapshot> pin() const;
 
   // Stores one digit vector; returns its global row id.  The backend
-  // validates length and digit range.
+  // validates length and digit range before any state changes.  Safe to
+  // call concurrently with pin()/queries (writers serialize on an internal
+  // mutex; readers are never blocked).
   int store(std::span<const int> digits);
 
-  // Drops every stored vector from every shard.
+  // Drops every stored vector from every shard.  Ids restart at 0;
+  // already-pinned snapshots keep serving the old rows.
   void clear();
 
-  // Count of mutations (store/clear) applied so far.  Not synchronized —
-  // readers that race writers must hold whatever lock mediates mutation
-  // (AmServer::generation() reads it under the serving lock).
-  std::uint64_t generation() const { return generation_; }
+  // Count of mutations (store/clear) applied so far — the published epoch.
+  // Lock-free: reads the current snapshot.
+  std::uint64_t generation() const;
 
-  const core::SimilarityBackend& shard(int s) const;
+  // Synchronously merges every shard down to one sealed segment (the
+  // deterministic layout tests and maintenance windows want).  Contents
+  // and generation are unchanged.
+  void compact_now();
+
+  // Background + compact_now() merges completed so far.
+  std::uint64_t compactions() const;
+
+  // Sink for segment gauges and compaction timings; pass nullptr to
+  // detach.  AmServer attaches its engine's metrics here.
+  void set_metrics(ServingMetrics* metrics);
+
   // Rows held by shard `s`.
   int shard_size(int s) const;
-  // Global id of local row `local` in shard `s`.
+  // Global id of local row `local` in shard `s` (locals count across the
+  // shard's segments in published order).
   int global_row(int s, int local) const;
 
   // Read-back of one stored vector by global row id (through its shard's
@@ -92,13 +157,8 @@ class ShardedIndex {
   std::size_t resident_bytes() const;
 
  private:
-  int pick_shard() const;
-
-  ShardedIndexOptions options_;
-  std::vector<std::unique_ptr<core::SimilarityBackend>> shards_;
-  std::vector<std::vector<int>> global_ids_;        // per shard: local -> global
-  std::vector<std::pair<int, int>> locations_;      // global -> (shard, local)
-  std::uint64_t generation_ = 0;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace tdam::runtime

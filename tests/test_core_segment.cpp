@@ -1,0 +1,145 @@
+// Immutable segments (core/segment.h): the unit of epoch-published index
+// storage.  Covers builder append/seal, ctor validation (id count, strict
+// ascent), binary-search id lookup, and the compaction merge preserving
+// every (id, digits) pair in order.
+#include "core/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/exact_backend.h"
+#include "core/registry.h"
+
+namespace tdam::core {
+namespace {
+
+constexpr int kStages = 8;
+constexpr int kLevels = 4;
+
+BackendRegistry make_registry() {
+  BackendRegistry reg;
+  reg.add("exact",
+          [] { return std::make_unique<ExactL1Backend>(kStages, kLevels); });
+  return reg;
+}
+
+std::vector<int> row_pattern(int seed) {
+  std::vector<int> out(kStages);
+  for (int i = 0; i < kStages; ++i) out[i] = (seed + i) % kLevels;
+  return out;
+}
+
+TEST(CoreSegment, BuilderSealsRowsWithTheirGlobalIds) {
+  const auto reg = make_registry();
+  SegmentBuilder builder(reg, "exact");
+  EXPECT_EQ(builder.rows(), 0);
+  builder.append(row_pattern(0), 0);
+  builder.append(row_pattern(1), 2);
+  builder.append(row_pattern(2), 5);
+  EXPECT_EQ(builder.rows(), 3);
+
+  const auto seg = builder.seal();
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->rows(), 3);
+  EXPECT_EQ(seg->backend().rows(), 3);
+  EXPECT_EQ(seg->global_id(0), 0);
+  EXPECT_EQ(seg->global_id(1), 2);
+  EXPECT_EQ(seg->global_id(2), 5);
+  for (int local = 0; local < 3; ++local)
+    EXPECT_EQ(seg->backend().row_digits(local), row_pattern(local));
+  EXPECT_GT(seg->resident_bytes(), 0u);
+}
+
+TEST(CoreSegment, FindGlobalIsExactOnHitsAndMinusOneOnMisses) {
+  const auto reg = make_registry();
+  SegmentBuilder builder(reg, "exact");
+  for (const int id : {1, 4, 9, 16, 25})
+    builder.append(row_pattern(id), id);
+  const auto seg = builder.seal();
+  EXPECT_EQ(seg->find_global(1), 0);
+  EXPECT_EQ(seg->find_global(9), 2);
+  EXPECT_EQ(seg->find_global(25), 4);
+  for (const int miss : {-1, 0, 2, 10, 26, 1000})
+    EXPECT_EQ(seg->find_global(miss), -1) << "miss=" << miss;
+}
+
+TEST(CoreSegment, ConstructorValidatesBackendAndIds) {
+  EXPECT_THROW(Segment(nullptr, {}), std::invalid_argument);
+
+  // Id count must match the backend's rows.
+  auto backend = std::make_unique<ExactL1Backend>(kStages, kLevels);
+  backend->store(row_pattern(0));
+  backend->store(row_pattern(1));
+  EXPECT_THROW(Segment(std::move(backend), {0}), std::invalid_argument);
+
+  // Ids must be strictly ascending — duplicates and inversions both throw.
+  for (const std::vector<int> bad : {std::vector<int>{3, 3},
+                                     std::vector<int>{5, 4}}) {
+    auto b = std::make_unique<ExactL1Backend>(kStages, kLevels);
+    b->store(row_pattern(0));
+    b->store(row_pattern(1));
+    EXPECT_THROW(Segment(std::move(b), bad), std::invalid_argument);
+  }
+}
+
+TEST(CoreSegment, BuilderRejectsBadRowsWithoutCommittingState) {
+  const auto reg = make_registry();
+  SegmentBuilder builder(reg, "exact");
+  builder.append(row_pattern(0), 0);
+
+  // Wrong digit count, out-of-range digit, non-ascending id: each throws
+  // and leaves the builder consistent (no half-appended row).
+  EXPECT_THROW(builder.append(std::vector<int>(kStages - 1, 0), 1),
+               std::invalid_argument);
+  std::vector<int> hot = row_pattern(1);
+  hot[3] = kLevels;
+  EXPECT_THROW(builder.append(hot, 1), std::invalid_argument);
+  EXPECT_THROW(builder.append(row_pattern(1), 0), std::invalid_argument);
+  EXPECT_EQ(builder.rows(), 1);
+
+  builder.append(row_pattern(1), 7);
+  const auto seg = builder.seal();
+  EXPECT_EQ(seg->rows(), 2);
+  EXPECT_EQ(seg->backend().rows(), 2);
+  EXPECT_EQ(seg->global_id(1), 7);
+
+  EXPECT_THROW(SegmentBuilder(reg, "no-such-backend"), std::invalid_argument);
+}
+
+TEST(CoreSegment, MergePreservesEveryRowAndIdInOrder) {
+  const auto reg = make_registry();
+  std::vector<std::shared_ptr<const Segment>> parts;
+  int id = 0;
+  for (int p = 0; p < 3; ++p) {
+    SegmentBuilder builder(reg, "exact");
+    for (int r = 0; r < 2 + p; ++r) {
+      builder.append(row_pattern(id), id);
+      ++id;
+    }
+    parts.push_back(builder.seal());
+  }
+
+  const auto merged = merge_segments(reg, "exact", parts);
+  ASSERT_EQ(merged->rows(), id);
+  for (int g = 0; g < id; ++g) {
+    const int local = merged->find_global(g);
+    ASSERT_GE(local, 0) << "global id " << g << " lost in merge";
+    EXPECT_EQ(merged->global_id(local), g);
+    EXPECT_EQ(merged->backend().row_digits(local), row_pattern(g));
+  }
+
+  // Merging nothing is a valid empty segment.
+  EXPECT_EQ(merge_segments(reg, "exact", {})->rows(), 0);
+
+  // Parts that do not chain in ascending id order are rejected.
+  const std::vector<std::shared_ptr<const Segment>> reversed{parts[1],
+                                                             parts[0]};
+  EXPECT_THROW(merge_segments(reg, "exact", reversed), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::core

@@ -180,6 +180,9 @@ TEST(RuntimeNetProtocol, HelloStoreClearStatsErrorRoundTrip) {
     in.rejected = 3;
     in.rows = 1024;
     in.connections = 8;
+    in.segments = 6;
+    in.delta_rows = 120;
+    in.compactions = 2;
     in.qps = 1234.5;
     in.p99_s = 0.0125;
     const auto bytes = encode_stats_reply(7, in);
@@ -190,6 +193,9 @@ TEST(RuntimeNetProtocol, HelloStoreClearStatsErrorRoundTrip) {
     EXPECT_EQ(out.rejected, in.rejected);
     EXPECT_EQ(out.rows, in.rows);
     EXPECT_EQ(out.connections, in.connections);
+    EXPECT_EQ(out.segments, in.segments);
+    EXPECT_EQ(out.delta_rows, in.delta_rows);
+    EXPECT_EQ(out.compactions, in.compactions);
     EXPECT_DOUBLE_EQ(out.qps, in.qps);
     EXPECT_DOUBLE_EQ(out.p99_s, in.p99_s);
   }
@@ -246,6 +252,94 @@ TEST(RuntimeNetProtocol, TrailingBytesAreRejected) {
   bytes.push_back(0x00);  // one byte past the declared payload
   try {
     decode_query(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+    FAIL() << "trailing garbage accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+  }
+}
+
+TEST(RuntimeNetProtocol, StoreBatchRoundTripRaggedShapes) {
+  for (const std::uint32_t rows : {0u, 1u, 3u, 7u, 64u}) {
+    for (const std::uint32_t dpr : {1u, 5u, 64u}) {
+      StoreBatchRequest in;
+      in.digits_per_row = dpr;
+      for (std::uint32_t i = 0; i < rows * dpr; ++i)
+        in.digits.push_back(static_cast<std::uint16_t>(i % 7));
+      ASSERT_EQ(in.rows(), rows);
+      const auto bytes = encode_store_batch(9, in);
+      const std::uint8_t* payload = nullptr;
+      const auto header = split(bytes, &payload);
+      const auto out = decode_store_batch(payload, header.payload_len);
+      EXPECT_EQ(out.digits_per_row, dpr);
+      EXPECT_EQ(out.rows(), rows);
+      EXPECT_EQ(out.digits, in.digits);
+    }
+  }
+}
+
+TEST(RuntimeNetProtocol, StoreBatchReplyRoundTrip) {
+  const auto bytes = encode_store_batch_reply(
+      10, {.rows = 16, .first_row = 1024, .generation = 99});
+  const std::uint8_t* payload = nullptr;
+  const auto header = split(bytes, &payload);
+  const auto out = decode_store_batch_reply(payload, header.payload_len);
+  EXPECT_EQ(out.rows, 16u);
+  EXPECT_EQ(out.first_row, 1024);
+  EXPECT_EQ(out.generation, 99u);
+}
+
+TEST(RuntimeNetProtocol, StoreBatchRejectsZeroDigitsPerRowWithRows) {
+  // rows > 0 with digits_per_row == 0 describes an infinite stream of
+  // empty rows; the decoder must reject it instead of looping or storing.
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u32(3);  // row_count
+  w.u32(0);  // digits_per_row
+  try {
+    decode_store_batch(payload.data(), payload.size());
+    FAIL() << "zero digits_per_row accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+    EXPECT_NE(std::string(e.what()).find("digits_per_row"),
+              std::string::npos);
+  }
+}
+
+TEST(RuntimeNetProtocol, StoreBatchHostileRowCountIsRejected) {
+  // 2^31 rows of 64 digits claimed in a 12-byte payload: the declared
+  // byte total must trip check_count before any allocation.
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u32(0x80000000u);  // row_count
+  w.u32(64);           // digits_per_row
+  w.u32(0);            // 4 bytes where 2^38 were promised
+  try {
+    decode_store_batch(payload.data(), payload.size());
+    FAIL() << "hostile row count accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+    EXPECT_NE(std::string(e.what()).find("row_count"), std::string::npos);
+  }
+}
+
+TEST(RuntimeNetProtocol, StoreBatchTruncationAndTrailingAreRejected) {
+  StoreBatchRequest in;
+  in.digits_per_row = 3;
+  in.digits = {1, 2, 3, 4, 5, 6};
+  auto bytes = encode_store_batch(1, in);
+  for (std::size_t cut = 0; cut < bytes.size() - kHeaderBytes; ++cut) {
+    try {
+      decode_store_batch(bytes.data() + kHeaderBytes, cut);
+      FAIL() << "decoded from " << cut << " of "
+             << bytes.size() - kHeaderBytes << " payload bytes";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+    }
+  }
+  bytes.push_back(0x00);
+  try {
+    decode_store_batch(bytes.data() + kHeaderBytes,
+                       bytes.size() - kHeaderBytes);
     FAIL() << "trailing garbage accepted";
   } catch (const ProtocolError& e) {
     EXPECT_EQ(e.code, WireCode::kMalformedFrame);

@@ -154,6 +154,62 @@ TEST(RuntimeNetServer, StoreQueryClearOverTheWire) {
   EXPECT_GE(stats.queries, 1u);
 }
 
+TEST(RuntimeNetServer, StoreBatchOverTheWire) {
+  Stack stack("exact", /*vectors=*/8);
+  auto client = stack.connect();
+  const auto before = client.hello();
+
+  // Four rows in one frame, each a constant pattern for exact-match probes.
+  std::vector<std::uint16_t> digits;
+  for (int r = 0; r < 4; ++r)
+    for (int s = 0; s < kStages; ++s)
+      digits.push_back(static_cast<std::uint16_t>(r));
+  const auto stored = client.store_batch(digits, kStages);
+  ASSERT_EQ(stored.type, MsgType::kStoreBatchReply);
+  EXPECT_EQ(stored.store_batch.rows, 4u);
+  EXPECT_EQ(stored.store_batch.first_row, 8);  // rows 0..7 pre-populated
+  EXPECT_EQ(stored.store_batch.generation, before.generation + 4);
+
+  for (int r = 0; r < 4; ++r) {
+    const std::vector<std::uint16_t> probe(
+        kStages, static_cast<std::uint16_t>(r));
+    const auto reply = client.query(probe, 1);
+    ASSERT_EQ(reply.query.code, WireCode::kOk);
+    ASSERT_EQ(reply.query.entries.size(), 1u);
+    EXPECT_EQ(reply.query.entries.front().row, 8 + r);
+    EXPECT_EQ(reply.query.entries.front().distance, 0);
+  }
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.rows, 12u);
+  EXPECT_GE(stats.segments, 1u);
+  EXPECT_EQ(stats.delta_rows, 12u);
+
+  // An empty batch is a no-op that still gets its reply.
+  const auto empty = client.store_batch({}, kStages);
+  ASSERT_EQ(empty.type, MsgType::kStoreBatchReply);
+  EXPECT_EQ(empty.store_batch.rows, 0u);
+  EXPECT_EQ(empty.store_batch.first_row, -1);
+}
+
+TEST(RuntimeNetServer, StoreBatchWithBadDigitGetsErrorNamingTheRow) {
+  Stack stack("exact", /*vectors=*/2);
+  auto client = stack.connect();
+  // Row 1 carries an out-of-range digit: the reply is an ERROR that names
+  // the offending row, the rows before it are already stored, and the
+  // connection survives.
+  std::vector<std::uint16_t> digits(2 * kStages, 1);
+  digits[kStages] = 999;
+  const auto reply = client.store_batch(digits, kStages);
+  ASSERT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.error.code, WireCode::kInvalidArgument);
+  EXPECT_NE(reply.error.message.find("row 1"), std::string::npos);
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.rows, 3u);  // 2 preloaded + the good row 0
+  EXPECT_EQ(client.hello().stages, static_cast<std::uint32_t>(kStages));
+}
+
 // --- degraded statuses are wire codes, not disconnects -------------------
 
 TEST(RuntimeNetServer, RejectedQueriesSurfaceAsWireCode) {
