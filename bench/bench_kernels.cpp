@@ -60,13 +60,19 @@ Workload make_workload(const Shape& shape, int queries, std::uint64_t seed) {
   return w;
 }
 
+// Batch kernels come in two output widths: int32 for the distance metrics,
+// int64 for the dot product (8-bit digits at large stage counts overflow
+// 32 bits).  The timing/parity helpers are templated over that width so
+// all three kernels ride the identical measurement loop.
+template <typename OutT>
 using BatchFn = void (*)(const DigitMatrix&,
                          std::span<const std::uint32_t>,
-                         std::span<std::int32_t>, const kernels::KernelTable&);
+                         std::span<OutT>, const kernels::KernelTable&);
 
-double seconds_for_pass(const Workload& w, BatchFn fn,
+template <typename OutT>
+double seconds_for_pass(const Workload& w, BatchFn<OutT> fn,
                         const kernels::KernelTable& table,
-                        std::vector<std::int32_t>& out) {
+                        std::vector<OutT>& out) {
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& q : w.packed_queries) fn(w.matrix, q, out, table);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -74,10 +80,10 @@ double seconds_for_pass(const Workload& w, BatchFn fn,
 }
 
 // Best-of-N timing with rep count calibrated to ~0.25 s of measurement.
-double best_seconds(const Workload& w, BatchFn fn,
+template <typename OutT>
+double best_seconds(const Workload& w, BatchFn<OutT> fn,
                     const kernels::KernelTable& table) {
-  std::vector<std::int32_t> out(
-      static_cast<std::size_t>(w.matrix.rows()));
+  std::vector<OutT> out(static_cast<std::size_t>(w.matrix.rows()));
   double t = seconds_for_pass(w, fn, table, out);  // warmup + calibration
   int reps = 3;
   if (t > 0.0) {
@@ -90,11 +96,12 @@ double best_seconds(const Workload& w, BatchFn fn,
   return best;
 }
 
-bool distances_match(const Workload& w, BatchFn fn,
+template <typename OutT>
+bool distances_match(const Workload& w, BatchFn<OutT> fn,
                      const kernels::KernelTable& table,
                      const kernels::KernelTable& reference) {
-  std::vector<std::int32_t> got(static_cast<std::size_t>(w.matrix.rows()));
-  std::vector<std::int32_t> want(got.size());
+  std::vector<OutT> got(static_cast<std::size_t>(w.matrix.rows()));
+  std::vector<OutT> want(got.size());
   for (const auto& q : w.packed_queries) {
     fn(w.matrix, q, got, table);
     fn(w.matrix, q, want, reference);
@@ -111,6 +118,39 @@ struct Result {
   double ns_per_op;  // one row-vs-query distance
   double speedup_vs_scalar;
 };
+
+// Times one kernel at one shape across every path, checking each path
+// bit-identical against scalar first.  Returns false on a parity failure
+// (the bench must abort rather than publish numbers for a wrong kernel).
+template <typename OutT>
+bool bench_kernel(const char* name, BatchFn<OutT> fn, const Workload& w,
+                  const Shape& shape, int queries,
+                  const std::vector<kernels::Isa>& isas,
+                  const kernels::KernelTable& scalar,
+                  std::vector<Result>& results) {
+  double scalar_ns = 0.0;
+  for (auto isa : isas) {
+    const auto& table = kernels::table(isa);
+    if (!distances_match(w, fn, table, scalar)) {
+      std::fprintf(stderr,
+                   "FATAL: %s/%s disagrees with the scalar reference at "
+                   "digits=%d rows=%d\n",
+                   name, table.name, shape.digits, shape.rows);
+      return false;
+    }
+    const double best = best_seconds(w, fn, table);
+    const double ops =
+        static_cast<double>(shape.rows) * static_cast<double>(queries);
+    const double ns_per_op = best * 1e9 / ops;
+    if (isa == kernels::Isa::kScalar) scalar_ns = ns_per_op;
+    const double speedup =
+        ns_per_op > 0.0 && scalar_ns > 0.0 ? scalar_ns / ns_per_op : 0.0;
+    results.push_back({name, table.name, shape, queries, ns_per_op, speedup});
+    std::printf("%-10s %-7s %8d %8d %12.2f %9.2fx\n", name, table.name,
+                shape.digits, shape.rows, ns_per_op, speedup);
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -150,22 +190,21 @@ int main(int argc, char** argv) {
   std::printf("   (active: %s%s)\n\n", chosen.name,
               std::getenv("TDAM_KERNEL") ? " via TDAM_KERNEL" : "");
 
-  struct NamedKernel {
-    const char* name;
-    BatchFn fn;
-  };
-  const NamedKernel named[] = {
-      {"mismatch",
-       [](const DigitMatrix& m, std::span<const std::uint32_t> q,
-          std::span<std::int32_t> o, const kernels::KernelTable& t) {
-         kernels::mismatch_count_batch(m, q, o, t);
-       }},
-      {"l1",
-       [](const DigitMatrix& m, std::span<const std::uint32_t> q,
-          std::span<std::int32_t> o, const kernels::KernelTable& t) {
-         kernels::l1_distance_batch(m, q, o, t);
-       }},
-  };
+  const BatchFn<std::int32_t> mismatch_fn =
+      [](const DigitMatrix& m, std::span<const std::uint32_t> q,
+         std::span<std::int32_t> o, const kernels::KernelTable& t) {
+        kernels::mismatch_count_batch(m, q, o, t);
+      };
+  const BatchFn<std::int32_t> l1_fn =
+      [](const DigitMatrix& m, std::span<const std::uint32_t> q,
+         std::span<std::int32_t> o, const kernels::KernelTable& t) {
+        kernels::l1_distance_batch(m, q, o, t);
+      };
+  const BatchFn<std::int64_t> dot_fn =
+      [](const DigitMatrix& m, std::span<const std::uint32_t> q,
+         std::span<std::int64_t> o, const kernels::KernelTable& t) {
+        kernels::dot_product_batch(m, q, o, t);
+      };
 
   std::vector<Result> results;
   std::printf("%-10s %-7s %8s %8s %12s %10s\n", "kernel", "path", "digits",
@@ -173,30 +212,11 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5eed2b17u;
   for (const auto& shape : shapes) {
     const auto w = make_workload(shape, queries, seed++);
-    for (const auto& nk : named) {
-      double scalar_ns = 0.0;
-      for (auto isa : isas) {
-        const auto& table = kernels::table(isa);
-        if (!distances_match(w, nk.fn, table, scalar)) {
-          std::fprintf(stderr,
-                       "FATAL: %s/%s disagrees with the scalar reference at "
-                       "digits=%d rows=%d\n",
-                       nk.name, table.name, shape.digits, shape.rows);
-          return 1;
-        }
-        const double best = best_seconds(w, nk.fn, table);
-        const double ops =
-            static_cast<double>(shape.rows) * static_cast<double>(queries);
-        const double ns_per_op = best * 1e9 / ops;
-        if (isa == kernels::Isa::kScalar) scalar_ns = ns_per_op;
-        const double speedup =
-            ns_per_op > 0.0 && scalar_ns > 0.0 ? scalar_ns / ns_per_op : 0.0;
-        results.push_back({nk.name, table.name, shape, queries, ns_per_op,
-                           speedup});
-        std::printf("%-10s %-7s %8d %8d %12.2f %9.2fx\n", nk.name, table.name,
-                    shape.digits, shape.rows, ns_per_op, speedup);
-      }
-    }
+    if (!bench_kernel("mismatch", mismatch_fn, w, shape, queries, isas, scalar,
+                      results) ||
+        !bench_kernel("l1", l1_fn, w, shape, queries, isas, scalar, results) ||
+        !bench_kernel("dot", dot_fn, w, shape, queries, isas, scalar, results))
+      return 1;
   }
 
   tdam::bench::JsonWriter json;

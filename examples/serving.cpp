@@ -7,9 +7,10 @@
 // label) built from the --backend registry entry, then serve the encoded
 // test set and print the serving metrics table — wall-clock
 // throughput/latency on this host next to the chosen backend's modeled
-// hardware cost per query.  Accuracy is backend-independent (all registered
-// backends compute the identical digit-mismatch distance); only the modeled
-// hardware numbers move.
+// hardware cost per query.  Accuracy is identical across the
+// mismatch-family backends (they compute the same digit-mismatch
+// distance); the similarity backends rank by their own metric, so their
+// accuracy — and the modeled hardware numbers — can differ.
 //
 // Two serving modes:
 //  * default — closed-loop: fixed-size batches through
@@ -30,12 +31,22 @@
 //    flight-recorder spans in async mode).  Validated in CI by
 //    scripts/check_metrics_export.py.
 //
-//   $ ./serving [--backend=behavioral|digital|cam|exact] [--dims=1024]
+//   $ ./serving [--backend=behavioral|digital|cam|exact|cosine|dot]
+//               [--dims=1024]
 //               [--bits=2] [--shards=4] [--threads=4] [--batch=32] [--k=3]
 //               [--train=800] [--test=300] [--stats] [--export=prom|json|both]
 //   $ ./serving --async [--policy=block|reject|shed] [--queue-cap=1024]
 //               [--max-delay-us=2000] [--deadline-us=0]   # 0 = no deadline
 //               [--store-rate=0]  # rows/s stored live while queries run
+//   $ ./serving --backend=cosine --mvm   # also demo y = A·x on the same rows
+//
+// Similarity backends (--backend=cosine / dot) rank by descending score;
+// accuracy is reported for them too (cosine usually lands close to the
+// mismatch backends on this workload, raw dot is biased toward long
+// vectors).  --mvm additionally runs the matrix-vector entry point
+// (core::mvm) over the identical class-vector rows with the first test
+// query — the TD-CiM homogeneous-array claim: one packed store serving
+// both associative search and MVM.
 //
 // --store-rate=N (async only) streams N random stores per second from a
 // background thread for the whole serving run — the sanitizer-CI smoke for
@@ -51,6 +62,7 @@
 #include <vector>
 
 #include "am/calibration.h"
+#include "core/mvm.h"
 #include "hdc/dataset.h"
 #include "hdc/encoder.h"
 #include "hdc/model.h"
@@ -161,6 +173,28 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < labels_test.size(); ++i)
     queries.push_back(qmodel.quantize_query(
         enc_test.data() + i * static_cast<std::size_t>(dims)));
+
+  if (args.get_bool("mvm", false) && !queries.empty()) {
+    // MVM demo: the identical packed rows the index serves top-k from also
+    // answer y = A·x through the same dispatched dot kernel.
+    core::DigitMatrix matrix(dims, index.levels());
+    for (int c = 0; c < qmodel.num_classes(); ++c)
+      matrix.append(qmodel.class_digits(c));
+    const auto product = core::mvm(matrix, queries.front());
+    std::int64_t best = 0;
+    int best_row = -1;
+    for (std::size_t r = 0; r < product.values.size(); ++r)
+      if (best_row < 0 || product.values[r] > best) {
+        best = product.values[r];
+        best_row = static_cast<int>(r);
+      }
+    std::printf(
+        "mvm: y = A·x over %d rows x %d digits -> argmax y[%d] = %lld "
+        "(query label %d; modeled: %d passes, %.1f ns, %.2f pJ)\n",
+        matrix.rows(), dims, best_row, static_cast<long long>(best),
+        labels_test.front(), product.cost.passes, product.cost.latency * 1e9,
+        product.cost.energy * 1e12);
+  }
 
   Tally tally;
   const auto score = [&](std::size_t q, const std::vector<core::TopKEntry>&

@@ -34,6 +34,12 @@ gate on kernel-bench files: at the pinned 2-bit / 8192-digit shape the
 best vectorized path must be at least ``X`` times faster than scalar —
 but only when the producing host reported AVX2 support; elsewhere the
 ratio is printed report-only.
+
+``--require-kernel NAME`` (repeatable) demands that at least one
+kernel-bench result row carries that kernel, and ``--require-backend
+NAME`` (repeatable) demands that at least one runtime-throughput file was
+produced by that backend — so the bench-smoke job fails when the dot
+shape or the cosine serving slice silently drops out of the run.
 """
 
 import argparse
@@ -41,6 +47,10 @@ import json
 import sys
 
 SHAPE_KEYS = {"bits", "levels", "digits", "rows", "queries"}
+
+# The Layer-0.5 batch kernels bench_kernels knows how to time.  A row with
+# any other name means the bench and this validator have drifted apart.
+KNOWN_KERNELS = {"mismatch", "l1", "dot"}
 
 
 def fail(msg: str) -> None:
@@ -56,6 +66,9 @@ def check_kernel_result(i: int, r: object) -> None:
             fail(f"results[{i}] missing key '{key}'")
     if not isinstance(r["kernel"], str) or not r["kernel"]:
         fail(f"results[{i}].kernel is not a non-empty string")
+    if r["kernel"] not in KNOWN_KERNELS:
+        fail(f"results[{i}].kernel '{r['kernel']}' is not one of "
+             f"{sorted(KNOWN_KERNELS)}")
     if not isinstance(r["path"], str) or not r["path"]:
         fail(f"results[{i}].path is not a non-empty string")
     shape = r["shape"]
@@ -241,8 +254,18 @@ def main() -> None:
     ap.add_argument("--min-avx2-speedup", type=float, default=None,
                     help="required vectorized/scalar ratio at the pinned "
                          "2-bit/8192-digit mismatch shape (AVX2 hosts only)")
+    ap.add_argument("--require-kernel", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a kernel-bench result row carries this "
+                         "kernel (repeatable)")
+    ap.add_argument("--require-backend", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a runtime-throughput file was produced "
+                         "by this backend (repeatable)")
     args = ap.parse_args()
 
+    seen_kernels: set[str] = set()
+    seen_backends: set[str] = set()
     for path in args.files:
         try:
             with open(path, encoding="utf-8") as f:
@@ -257,6 +280,7 @@ def main() -> None:
         elif doc.get("bench") == "runtime_throughput":
             n = check_runtime_throughput(doc)
             kind = "runtime-throughput"
+            seen_backends.add(doc["backend"])
         elif doc.get("bench") == "net_loadgen":
             n = check_net_loadgen(doc)
             kind = "net-loadgen"
@@ -266,7 +290,17 @@ def main() -> None:
         else:
             n = check_kernel_bench(doc, args.min_avx2_speedup)
             kind = "kernel-bench"
+            seen_kernels.update(r["kernel"] for r in doc["results"])
         print(f"check_bench_json: OK: {path} ({kind}, {n} entries)")
+
+    for kernel in args.require_kernel:
+        if kernel not in seen_kernels:
+            fail(f"required kernel '{kernel}' has no result rows "
+                 f"(saw {sorted(seen_kernels)})")
+    for backend in args.require_backend:
+        if backend not in seen_backends:
+            fail(f"required backend '{backend}' produced no runtime file "
+                 f"(saw {sorted(seen_backends)})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Assert no in-tree caller uses the deprecated integer-distance score API.
+
+The score redesign (double ``score`` + per-metric ScoreOrder) kept thin
+``[[deprecated]]`` adapters — ``core::search_topk_int``,
+``core::search_topk_packed_int``, ``LegacyTopK``/``LegacyTopKEntry`` with
+their ``distance``/``mean_distance`` fields — strictly for out-of-tree
+callers mid-migration.  In-tree code must stay on the double API: the
+adapters truncate scores and only make sense for mismatch-family metrics.
+
+Registered as a ctest so a new in-tree call fails the plain test job.  The
+allowlist covers the adapters' own definition and the one test that pins
+their behavior.
+"""
+
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+EXTENSIONS = {".h", ".cpp", ".cc", ".hpp"}
+
+TOKENS = [
+    "search_topk_int",
+    "search_topk_packed_int",
+    "LegacyTopK",
+    "mean_distance",
+]
+TOKEN_RE = re.compile(r"\b(" + "|".join(TOKENS) + r")\b")
+
+# Where the deprecated surface may legitimately appear.
+ALLOWLIST = {
+    "src/core/backend.h",        # the adapters' declaration
+    "src/core/backend.cpp",      # the adapters' definition
+    "tests/test_core_score_contract.cpp",  # pins the adapters' behavior
+}
+
+
+def main() -> None:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"check_no_deprecated_calls: FAIL: no such directory {root}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    errors = []
+    files_scanned = 0
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS:
+                continue
+            rel = path.relative_to(root).as_posix()
+            files_scanned += 1
+            if rel in ALLOWLIST:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                m = TOKEN_RE.search(line)
+                if m:
+                    errors.append(
+                        f"{rel}:{lineno}: uses deprecated score API "
+                        f"'{m.group(1)}' — migrate to the double-score "
+                        "search_topk / mean_score surface")
+
+    if files_scanned == 0:
+        errors.append(f"no C++ sources found under {root}")
+    for e in errors:
+        print(f"check_no_deprecated_calls: FAIL: {e}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"check_no_deprecated_calls: OK ({files_scanned} files scanned)")
+
+
+if __name__ == "__main__":
+    main()

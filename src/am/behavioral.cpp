@@ -97,20 +97,21 @@ BehavioralTopK BehavioralAm::search_topk_packed(
     const int mis = mismatches[r];
     const double delay = cal_.predict_delay(stages_, mis);
     const int dist = tdc_.convert(delay);
-    out.entries.push_back({static_cast<int>(r), dist});
+    out.entries.push_back({static_cast<int>(r), static_cast<double>(dist)});
     sum += dist;
     out.latency = std::max(out.latency, delay);
     out.energy += cal_.predict_energy(stages_, mis);
   }
   if (!out.entries.empty()) {
-    out.mean_distance =
+    out.mean_score =
         static_cast<double>(sum) / static_cast<double>(out.entries.size());
   }
   const auto keep = std::min<std::size_t>(static_cast<std::size_t>(k),
                                           out.entries.size());
   std::partial_sort(out.entries.begin(),
                     out.entries.begin() + static_cast<std::ptrdiff_t>(keep),
-                    out.entries.end());
+                    out.entries.end(),
+                    core::ScoreComparator{core::ScoreOrder::kAscending});
   out.entries.resize(keep);
   return out;
 }

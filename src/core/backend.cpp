@@ -9,6 +9,66 @@
 
 namespace tdam::core {
 
+const char* metric_name(DigitMetric metric) {
+  switch (metric) {
+    case DigitMetric::kMismatchCount:
+      return "mismatch";
+    case DigitMetric::kL1:
+      return "l1";
+    case DigitMetric::kCosine:
+      return "cosine";
+    case DigitMetric::kDot:
+      return "dot";
+  }
+  return "unknown";
+}
+
+DigitMetric metric_from_wire(std::uint8_t id) {
+  switch (id) {
+    case 0:
+      return DigitMetric::kMismatchCount;
+    case 1:
+      return DigitMetric::kL1;
+    case 2:
+      return DigitMetric::kCosine;
+    case 3:
+      return DigitMetric::kDot;
+    default:
+      throw std::invalid_argument("metric_from_wire: unknown metric id " +
+                                  std::to_string(int{id}));
+  }
+}
+
+std::int64_t packed_norm_sq(std::span<const std::uint32_t> words, int bits,
+                            std::uint32_t tail_mask) {
+  const std::uint32_t field_mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+  std::int64_t sum = 0;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint32_t word = words[w];
+    if (w == words.size() - 1) word &= tail_mask;
+    for (int off = 0; off < 32; off += bits) {
+      const auto field = static_cast<std::int64_t>((word >> off) & field_mask);
+      sum += field * field;
+    }
+  }
+  return sum;
+}
+
+namespace {
+
+// Sorts the best `k` hits to the front in the metric's deterministic
+// (score, row) order and drops the rest.
+void keep_topk(BackendTopK& out, int k, DigitMetric metric) {
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                          out.entries.size());
+  std::partial_sort(out.entries.begin(),
+                    out.entries.begin() + static_cast<std::ptrdiff_t>(keep),
+                    out.entries.end(), ScoreComparator{metric_order(metric)});
+  out.entries.resize(keep);
+}
+
+}  // namespace
+
 BackendTopK exhaustive_topk_packed(const DigitMatrix& matrix,
                                    std::span<const std::uint32_t> packed,
                                    int k, DigitMetric metric) {
@@ -16,34 +76,55 @@ BackendTopK exhaustive_topk_packed(const DigitMatrix& matrix,
     throw std::invalid_argument("exhaustive_topk: k must be >= 1");
   BackendTopK out;
   const int rows = matrix.rows();
-  std::vector<std::int32_t> dist(static_cast<std::size_t>(rows));
-  if (metric == DigitMetric::kMismatchCount) {
-    kernels::mismatch_count_batch(matrix, packed, dist);
-  } else {
-    kernels::l1_distance_batch(matrix, packed, dist);
-  }
   out.entries.reserve(static_cast<std::size_t>(rows));
-  long sum = 0;
-  for (int r = 0; r < rows; ++r) {
-    const int d = dist[static_cast<std::size_t>(r)];
-    out.entries.push_back({r, d});
-    sum += d;
+  double sum = 0.0;
+  if (metric_is_mismatch_family(metric)) {
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(rows));
+    if (metric == DigitMetric::kMismatchCount) {
+      kernels::mismatch_count_batch(matrix, packed, dist);
+    } else {
+      kernels::l1_distance_batch(matrix, packed, dist);
+    }
+    long isum = 0;
+    for (int r = 0; r < rows; ++r) {
+      const int d = dist[static_cast<std::size_t>(r)];
+      out.entries.push_back({r, static_cast<double>(d)});
+      isum += d;
+    }
+    sum = static_cast<double>(isum);
+  } else {
+    std::vector<std::int64_t> dots(static_cast<std::size_t>(rows));
+    kernels::dot_product_batch(matrix, packed, dots);
+    if (metric == DigitMetric::kDot) {
+      for (int r = 0; r < rows; ++r) {
+        const auto score =
+            static_cast<double>(dots[static_cast<std::size_t>(r)]);
+        out.entries.push_back({r, score});
+        sum += score;
+      }
+    } else {  // kCosine
+      const std::int64_t query_sq = packed_norm_sq(
+          packed, matrix.bits_per_digit(), matrix.tail_mask());
+      for (int r = 0; r < rows; ++r) {
+        const std::int64_t row_sq =
+            packed_norm_sq(matrix.row_words(r), matrix.bits_per_digit(),
+                           matrix.tail_mask());
+        const double score = cosine_score(dots[static_cast<std::size_t>(r)],
+                                          row_sq, query_sq);
+        out.entries.push_back({r, score});
+        sum += score;
+      }
+    }
   }
-  if (rows > 0)
-    out.mean_distance = static_cast<double>(sum) / static_cast<double>(rows);
-  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(k),
-                                          out.entries.size());
-  std::partial_sort(out.entries.begin(),
-                    out.entries.begin() + static_cast<std::ptrdiff_t>(keep),
-                    out.entries.end());
-  out.entries.resize(keep);
+  if (rows > 0) out.mean_score = sum / static_cast<double>(rows);
+  keep_topk(out, k, metric);
   return out;
 }
 
 BackendTopK exhaustive_topk(const DigitMatrix& matrix,
                             std::span<const int> query, int k,
                             DigitMetric metric) {
-  // pack() validates digit count and range for both metrics, including on
+  // pack() validates digit count and range for every metric, including on
   // an empty store.
   const auto packed = matrix.pack(query);
   return exhaustive_topk_packed(matrix, packed, k, metric);
@@ -71,5 +152,39 @@ BackendTopK SimilarityBackend::search_topk_packed(
   }
   return search_topk(digits, k);
 }
+
+// --- deprecated integer-distance adapters ----------------------------------
+// The definitions themselves must reference the deprecated declarations, so
+// silence the self-inflicted warning locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace {
+
+LegacyTopK to_legacy(BackendTopK modern) {
+  LegacyTopK out;
+  out.entries.reserve(modern.entries.size());
+  for (const auto& e : modern.entries)
+    out.entries.push_back({e.row, static_cast<int>(e.score)});
+  out.latency = modern.latency;
+  out.energy = modern.energy;
+  out.mean_distance = modern.mean_score;
+  return out;
+}
+
+}  // namespace
+
+LegacyTopK search_topk_int(const SimilarityBackend& backend,
+                           std::span<const int> query, int k) {
+  return to_legacy(backend.search_topk(query, k));
+}
+
+LegacyTopK search_topk_packed_int(const SimilarityBackend& backend,
+                                  std::span<const std::uint32_t> packed,
+                                  int k) {
+  return to_legacy(backend.search_topk_packed(packed, k));
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace tdam::core

@@ -1,13 +1,23 @@
 // The backend-agnostic similarity-search contract.
 //
-// Every distance engine in this repo — the calibrated TD-AM model, the
+// Every score engine in this repo — the calibrated TD-AM model, the
 // all-digital popcount comparator, the current-domain crossbar CAM, the
-// pure-software reference — answers the same question: store digit vectors,
-// then return the k nearest stored rows to a query under a digit distance.
-// SimilarityBackend is that question as an interface, so the serving runtime
-// (runtime::ShardedIndex / SearchEngine) can shard and batch over any of
-// them interchangeably, and one bench run can compare TD-AM serving against
-// its Table-I rivals on the identical workload.
+// pure-software reference, the cosine/dot-product similarity engines —
+// answers the same question: store digit vectors, then return the k best
+// stored rows to a query under a digit metric.  SimilarityBackend is that
+// question as an interface, so the serving runtime (runtime::ShardedIndex /
+// SearchEngine) can shard and batch over any of them interchangeably, and
+// one bench run can compare TD-AM serving against its Table-I rivals on the
+// identical workload.
+//
+// The score contract (Layer 0 invariant):
+//  * every hit carries a double `score`;
+//  * each metric declares its ordering direction (ScoreOrder) — distances
+//    sort ascending (lower is better), similarities sort descending;
+//  * ties break on the lower row index, so the total order
+//    (score direction-aware, then row) is deterministic.  Every backend and
+//    the runtime's cross-shard merge use exactly this order, which is what
+//    makes results thread-count-, shard-count- and backend-invariant.
 //
 // Two cost views per backend:
 //  * search_topk reports the backend's *native per-search* latency/energy
@@ -15,9 +25,11 @@
 //  * query_cost is the QueryCostModel hook: modeled latency/energy/passes
 //    for one full query over the currently stored rows on the backend's
 //    physical array, given a measured mismatch fraction — what the serving
-//    metrics aggregate.
+//    metrics aggregate.  Only mismatch-family metrics have a meaningful
+//    mismatch fraction; similarity backends are always costed at 0.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -26,32 +38,94 @@
 
 namespace tdam::core {
 
-// One (row, distance) hit.  Ordering is total and deterministic: lower
-// distance first, then lower row index — every backend and the runtime's
-// cross-shard merge use exactly this order, which is what makes results
-// thread-count- and backend-invariant.
+// Which way a metric's scores sort: kAscending for distances (lower is
+// better: mismatch count, L1), kDescending for similarities (higher is
+// better: cosine, dot product).
+enum class ScoreOrder {
+  kAscending,
+  kDescending,
+};
+
+// The digit metric a backend computes.  Backends sharing a metric are exact
+// drop-in replacements for each other (identical (score, row) top-k);
+// metrics only differ, never backends within one.  Enumerator values are
+// the wire ids carried by v2 QUERY replies — append-only, never renumber.
+enum class DigitMetric : std::uint8_t {
+  kMismatchCount = 0,  // # of differing digits — the AM's native kernel
+  kL1 = 1,             // sum |a-b| — what thermometer-coded storage realises
+  kCosine = 2,         // dot/(|a||b|) over digit values — COSIME-style AM
+  kDot = 3,            // raw integer dot product — the TD-CiM MVM primitive
+};
+
+// Sort direction of a metric's scores.
+constexpr ScoreOrder metric_order(DigitMetric metric) {
+  switch (metric) {
+    case DigitMetric::kMismatchCount:
+    case DigitMetric::kL1:
+      return ScoreOrder::kAscending;
+    case DigitMetric::kCosine:
+    case DigitMetric::kDot:
+      return ScoreOrder::kDescending;
+  }
+  return ScoreOrder::kAscending;  // unreachable; keeps -Wreturn-type quiet
+}
+
+// True for metrics whose mean score over the stored set is a digit-mismatch
+// surrogate the hardware cost models understand (pulse-kill probability in
+// the TD chains).  Similarity metrics must NOT be folded into those models.
+constexpr bool metric_is_mismatch_family(DigitMetric metric) {
+  return metric == DigitMetric::kMismatchCount || metric == DigitMetric::kL1;
+}
+
+// Stable lower-case metric name for logs, JSON and Prometheus labels.
+const char* metric_name(DigitMetric metric);
+
+// Inverse of the wire id in DigitMetric's enumerator values; throws
+// std::invalid_argument on an id no metric claims.
+DigitMetric metric_from_wire(std::uint8_t id);
+
+// One (row, score) hit.
 struct TopKEntry {
   int row = -1;
-  int distance = 0;
+  double score = 0.0;
 
-  friend bool operator<(const TopKEntry& a, const TopKEntry& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.row < b.row;
-  }
   friend bool operator==(const TopKEntry& a, const TopKEntry& b) {
-    return a.row == b.row && a.distance == b.distance;
+    return a.row == b.row && a.score == b.score;
   }
 };
 
-// Top-k search outcome: min(k, rows) hits sorted by (distance, row).
-// latency/energy are the backend's native per-search model (all rows are
-// evaluated regardless of k); mean_distance averages over ALL rows, which is
-// how the runtime measures the workload's mismatch fraction.
+// The deterministic total order on hits: score in the metric's direction,
+// then lower row index.  This is THE comparator — every backend's
+// partial_sort and the runtime's cross-shard merge call it, never a raw
+// score compare.
+constexpr bool score_before(const TopKEntry& a, const TopKEntry& b,
+                            ScoreOrder order) {
+  if (a.score != b.score) {
+    return order == ScoreOrder::kAscending ? a.score < b.score
+                                           : a.score > b.score;
+  }
+  return a.row < b.row;
+}
+
+// score_before as a stateful comparator for the <algorithm> sorts.
+struct ScoreComparator {
+  ScoreOrder order = ScoreOrder::kAscending;
+  constexpr bool operator()(const TopKEntry& a, const TopKEntry& b) const {
+    return score_before(a, b, order);
+  }
+};
+
+// Top-k search outcome: min(k, rows) hits in (score direction-aware, row)
+// order.  latency/energy are the backend's native per-search model (all
+// rows are evaluated regardless of k); mean_score averages the metric's
+// score over ALL rows.  For mismatch-family metrics that mean is the
+// workload's mismatch level and feeds the HW cost models; for similarity
+// metrics it is reporting-only.
 struct BackendTopK {
   std::vector<TopKEntry> entries;
   double latency = 0.0;
   double energy = 0.0;
-  double mean_distance = 0.0;
+  double mean_score = 0.0;
 };
 
 // Modeled cost of one query over the stored set on the backend's physical
@@ -61,14 +135,6 @@ struct QueryCost {
   double latency = 0.0;  // s
   double energy = 0.0;   // J
   int passes = 0;
-};
-
-// The digit distance a backend computes.  Backends sharing a metric are
-// exact drop-in replacements for each other (identical (distance, row)
-// top-k); metrics only differ, never backends within one.
-enum class DigitMetric {
-  kMismatchCount,  // # of differing digits — the AM's native kernel
-  kL1,             // sum |a-b| — what thermometer-coded storage realises
 };
 
 class SimilarityBackend {
@@ -81,6 +147,9 @@ class SimilarityBackend {
   virtual int levels() const = 0;  // digit alphabet size
   virtual int rows() const = 0;
 
+  // The metric's sort direction; what every consumer should order by.
+  ScoreOrder order() const { return metric_order(metric()); }
+
   // Stores one vector of stages() digits in [0, levels()); returns the new
   // row index.  Throws std::invalid_argument on wrong length or
   // out-of-range digits.
@@ -91,7 +160,8 @@ class SimilarityBackend {
   // backends need no duplicate unpacked copy).
   virtual std::vector<int> row_digits(int row) const = 0;
 
-  // The min(k, rows()) nearest stored rows; k must be >= 1.
+  // The min(k, rows()) best stored rows in (score, row) order; k must be
+  // >= 1.
   virtual BackendTopK search_topk(std::span<const int> query,
                                   int k) const = 0;
 
@@ -106,18 +176,40 @@ class SimilarityBackend {
                                          int k) const;
 
   // QueryCostModel hook: modeled hardware cost of one query over the
-  // current rows() at the given average digit-mismatch fraction.
+  // current rows() at the given average digit-mismatch fraction.  Callers
+  // must pass 0.0 for non-mismatch-family metrics (the fraction is
+  // meaningless there); see metric_is_mismatch_family.
   virtual QueryCost query_cost(double mismatch_fraction) const = 0;
 
   // Bytes resident for the stored set (packed payload + bookkeeping).
   virtual std::size_t resident_bytes() const = 0;
 };
 
-// Shared brute-force scan for exact backends: distances from `matrix` under
-// `metric`, deterministic (distance, row) order, mean over all rows.  The
-// whole scan goes through the dispatched kernel layer
-// (core::kernels::active()) — one row-blocked batch call, not a per-row
-// word loop.
+// THE canonical cosine score: dot/(|a||b|) from the integer dot product and
+// integer squared norms, 0.0 when either vector is all-zero.  Every cosine
+// path (CosineBackend, exhaustive_topk, test references) must go through
+// this one expression so the double rounding is identical everywhere and
+// (score, row) order stays bit-identical across threads, shards and
+// compaction.
+inline double cosine_score(std::int64_t dot, std::int64_t a_norm_sq,
+                           std::int64_t b_norm_sq) {
+  if (a_norm_sq == 0 || b_norm_sq == 0) return 0.0;
+  return static_cast<double>(dot) /
+         (std::sqrt(static_cast<double>(a_norm_sq)) *
+          std::sqrt(static_cast<double>(b_norm_sq)));
+}
+
+// Sum of squared digit values over one row of packed words (the final
+// word's unused fields masked out) — the integer norm input of
+// cosine_score.  `bits`/`tail_mask` come from the owning DigitMatrix.
+std::int64_t packed_norm_sq(std::span<const std::uint32_t> words, int bits,
+                            std::uint32_t tail_mask);
+
+// Shared brute-force scan for exact backends: scores from `matrix` under
+// `metric`, deterministic (score, row) order in the metric's direction,
+// mean over all rows.  The whole scan goes through the dispatched kernel
+// layer (core::kernels::active()) — one row-blocked batch call, not a
+// per-row word loop.
 BackendTopK exhaustive_topk(const class DigitMatrix& matrix,
                             std::span<const int> query, int k,
                             DigitMetric metric);
@@ -127,5 +219,33 @@ BackendTopK exhaustive_topk(const class DigitMatrix& matrix,
 BackendTopK exhaustive_topk_packed(const class DigitMatrix& matrix,
                                    std::span<const std::uint32_t> packed,
                                    int k, DigitMetric metric);
+
+// ---------------------------------------------------------------------------
+// Pre-redesign integer-distance API, kept as thin adapters so out-of-tree
+// callers keep compiling during migration.  In-tree code must not use these
+// (scripts/check_no_deprecated_calls.py enforces it in ctest); they truncate
+// double scores to int and only make sense for mismatch-family metrics.
+
+struct LegacyTopKEntry {
+  int row = -1;
+  int distance = 0;
+};
+
+struct LegacyTopK {
+  std::vector<LegacyTopKEntry> entries;
+  double latency = 0.0;
+  double energy = 0.0;
+  double mean_distance = 0.0;
+};
+
+[[deprecated("use SimilarityBackend::search_topk; scores are double now")]]
+LegacyTopK search_topk_int(const SimilarityBackend& backend,
+                           std::span<const int> query, int k);
+
+[[deprecated(
+    "use SimilarityBackend::search_topk_packed; scores are double now")]]
+LegacyTopK search_topk_packed_int(const SimilarityBackend& backend,
+                                  std::span<const std::uint32_t> packed,
+                                  int k);
 
 }  // namespace tdam::core

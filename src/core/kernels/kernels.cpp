@@ -74,8 +74,38 @@ void scalar_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
   }
 }
 
+inline std::int64_t dot_one_row(const std::uint32_t* row,
+                                const std::uint32_t* query, int words,
+                                int bits, std::uint32_t tail_mask) {
+  const std::uint32_t field_mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+  std::int64_t dot = 0;
+  for (int w = 0; w < words; ++w) {
+    std::uint32_t a = row[w];
+    std::uint32_t b = query[w];
+    if (w == words - 1) {
+      a &= tail_mask;
+      b &= tail_mask;
+    }
+    for (int off = 0; off < 32; off += bits) {
+      dot += static_cast<std::int64_t>((a >> off) & field_mask) *
+             static_cast<std::int64_t>((b >> off) & field_mask);
+    }
+  }
+  return dot;
+}
+
+void scalar_dot_batch(const PackedRowsView& view, const std::uint32_t* query,
+                      std::int64_t* out) {
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row) {
+    out[r] = dot_one_row(row, query, view.words_per_row, view.bits,
+                         view.tail_mask);
+  }
+}
+
 constexpr KernelTable kScalarTable{Isa::kScalar, "scalar",
-                                   &scalar_mismatch_batch, &scalar_l1_batch};
+                                   &scalar_mismatch_batch, &scalar_l1_batch,
+                                   &scalar_dot_batch};
 
 // ---------------------------------------------------------------------------
 // Dispatch.
@@ -212,9 +242,10 @@ PackedRowsView view_of(const DigitMatrix& matrix) {
 
 namespace {
 
+template <typename Out>
 void check_batch_args(const DigitMatrix& matrix,
                       std::span<const std::uint32_t> packed_query,
-                      std::span<std::int32_t> out, const char* who) {
+                      std::span<Out> out, const char* who) {
   if (packed_query.size() != static_cast<std::size_t>(matrix.words_per_row()))
     throw std::invalid_argument(std::string(who) + ": query has " +
                                 std::to_string(packed_query.size()) +
@@ -257,6 +288,21 @@ void l1_distance_batch(const DigitMatrix& matrix,
                        std::span<const std::uint32_t> packed_query,
                        std::span<std::int32_t> out) {
   l1_distance_batch(matrix, packed_query, out, active());
+}
+
+void dot_product_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int64_t> out,
+                       const KernelTable& kernels) {
+  check_batch_args(matrix, packed_query, out, "kernels::dot_product_batch");
+  if (matrix.rows() == 0) return;
+  kernels.dot_batch(view_of(matrix), packed_query.data(), out.data());
+}
+
+void dot_product_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int64_t> out) {
+  dot_product_batch(matrix, packed_query, out, active());
 }
 
 }  // namespace tdam::core::kernels

@@ -2,8 +2,9 @@
 //
 // Every backend reduces the same inner loop: XOR a stored row against a
 // packed query, OR-fold each digit field onto its LSB, popcount (mismatch
-// count), or extract fields and accumulate |a-b| (kL1).  This layer owns
-// that loop, once, in three implementations:
+// count), extract fields and accumulate |a-b| (kL1), or extract fields and
+// accumulate a*b (the integer dot product behind kCosine/kDot and the MVM
+// entry point).  This layer owns that loop, once, in three implementations:
 //
 //   * scalar — the portable reference (exactly the historical
 //     DigitMatrix word loop); always compiled, always supported.
@@ -57,10 +58,12 @@ enum class Isa {
   kAvx2 = 2,
 };
 
-// One dispatchable implementation: both batch kernels plus identity.
+// One dispatchable implementation: the batch kernels plus identity.
 // `mismatch_batch` writes out[r] = # digit positions where row r differs
-// from the query; `l1_batch` writes out[r] = sum over digits |row - query|.
-// `query` points at `words_per_row` packed words; `out` at `rows` slots.
+// from the query; `l1_batch` writes out[r] = sum over digits |row - query|;
+// `dot_batch` writes out[r] = sum over digits row*query (64-bit: 8-bit
+// digits at large stage counts overflow 32 bits).  `query` points at
+// `words_per_row` packed words; `out` at `rows` slots.
 struct KernelTable {
   Isa isa;
   const char* name;  // "scalar" | "sse42" | "avx2"
@@ -68,6 +71,8 @@ struct KernelTable {
                          const std::uint32_t* query, std::int32_t* out);
   void (*l1_batch)(const PackedRowsView& view, const std::uint32_t* query,
                    std::int32_t* out);
+  void (*dot_batch)(const PackedRowsView& view, const std::uint32_t* query,
+                    std::int64_t* out);
 };
 
 const char* isa_name(Isa isa);
@@ -122,6 +127,13 @@ void l1_distance_batch(const DigitMatrix& matrix,
 void l1_distance_batch(const DigitMatrix& matrix,
                        std::span<const std::uint32_t> packed_query,
                        std::span<std::int32_t> out,
+                       const KernelTable& kernels);
+void dot_product_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int64_t> out);
+void dot_product_batch(const DigitMatrix& matrix,
+                       std::span<const std::uint32_t> packed_query,
+                       std::span<std::int64_t> out,
                        const KernelTable& kernels);
 
 }  // namespace tdam::core::kernels

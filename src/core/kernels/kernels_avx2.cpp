@@ -216,8 +216,92 @@ void avx2_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
   }
 }
 
+// --- dot: 16-bit-lane field extraction + VPMADDWD --------------------------
+
+// Phase p extracts the fields at in-16-bit-lane bit offset p*BITS into
+// 16-bit lanes (a 32-bit shift never smears across the lane boundary
+// because p*BITS + BITS <= 16); VPMADDWD multiplies the extracted fields
+// pairwise and sums adjacent pairs into 32-bit lanes (max 2 * 255^2), which
+// are widened into the 64-bit accumulator every phase so the row total is
+// exact at any stage count.
+template <int BITS>
+inline __m256i dot_block(__m256i a, __m256i b, __m256i lane_mask,
+                         __m256i zero) {
+  __m256i sums = zero;
+  for (int p = 0; p < 16 / BITS; ++p) {
+    const __m256i fa =
+        _mm256_and_si256(_mm256_srli_epi32(a, p * BITS), lane_mask);
+    const __m256i fb =
+        _mm256_and_si256(_mm256_srli_epi32(b, p * BITS), lane_mask);
+    const __m256i prod = _mm256_madd_epi16(fa, fb);
+    sums = _mm256_add_epi64(sums, _mm256_unpacklo_epi32(prod, zero));
+    sums = _mm256_add_epi64(sums, _mm256_unpackhi_epi32(prod, zero));
+  }
+  return sums;
+}
+
+template <int BITS>
+std::int64_t dot_row_avx2(const std::uint32_t* row, const std::uint32_t* query,
+                          const BlockPlan& plan, __m256i lane_mask) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row + 8 * blk));
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(query + 8 * blk));
+    if (plan.rem == 0 && blk == plan.full_blocks - 1) {
+      a = _mm256_and_si256(a, plan.tail_vec);
+      b = _mm256_and_si256(b, plan.tail_vec);
+    }
+    acc = _mm256_add_epi64(acc, dot_block<BITS>(a, b, lane_mask, zero));
+  }
+  if (plan.rem != 0) {
+    const int base = 8 * plan.full_blocks;
+    const __m256i a = _mm256_and_si256(
+        _mm256_maskload_epi32(reinterpret_cast<const int*>(row + base),
+                              plan.load_mask),
+        plan.tail_vec);
+    const __m256i b = _mm256_and_si256(
+        _mm256_maskload_epi32(reinterpret_cast<const int*>(query + base),
+                              plan.load_mask),
+        plan.tail_vec);
+    acc = _mm256_add_epi64(acc, dot_block<BITS>(a, b, lane_mask, zero));
+  }
+  return hsum_epi64(acc);
+}
+
+template <int BITS>
+void dot_batch_avx2(const PackedRowsView& view, const std::uint32_t* query,
+                    std::int64_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m256i lane_mask =
+      _mm256_set1_epi16(static_cast<short>((1u << BITS) - 1u));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = dot_row_avx2<BITS>(row, query, plan, lane_mask);
+}
+
+void avx2_dot_batch(const PackedRowsView& view, const std::uint32_t* query,
+                    std::int64_t* out) {
+  switch (view.bits) {
+    case 1:
+      dot_batch_avx2<1>(view, query, out);
+      return;
+    case 2:
+      dot_batch_avx2<2>(view, query, out);
+      return;
+    case 4:
+      dot_batch_avx2<4>(view, query, out);
+      return;
+    default:
+      dot_batch_avx2<8>(view, query, out);
+      return;
+  }
+}
+
 constexpr KernelTable kAvx2Table{Isa::kAvx2, "avx2", &avx2_mismatch_batch,
-                                 &avx2_l1_batch};
+                                 &avx2_l1_batch, &avx2_dot_batch};
 
 }  // namespace
 

@@ -165,8 +165,95 @@ void sse42_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
   }
 }
 
+// --- dot: 16-bit-lane field extraction + PMADDWD ---------------------------
+
+// Phase p pulls the fields at in-16-bit-lane bit offset p*BITS of every
+// 16-bit lane (a 32-bit shift never smears across the lane boundary because
+// p*BITS + BITS <= 16), so 16/BITS phases cover every field exactly once.
+// PMADDWD multiplies the extracted 16-bit fields pairwise and sums adjacent
+// pairs into 32-bit lanes (max 2 * 255^2, no overflow); each phase product
+// is immediately widened into the 64-bit accumulator so the row total is
+// exact at any stage count.
+template <int BITS>
+std::int64_t dot_row_sse(const std::uint32_t* row, const std::uint32_t* query,
+                         int words, std::uint32_t tail_mask) {
+  const __m128i lane_mask =
+      _mm_set1_epi16(static_cast<short>((1u << BITS) - 1u));
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+
+  const int full_blocks = words / 4;
+  const int rem = words % 4;
+  for (int blk = 0; blk < full_blocks; ++blk) {
+    __m128i a = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(row + 4 * blk));
+    __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(query + 4 * blk));
+    if (rem == 0 && blk == full_blocks - 1) {
+      const __m128i tmask =
+          _mm_set_epi32(static_cast<int>(tail_mask), -1, -1, -1);
+      a = _mm_and_si128(a, tmask);
+      b = _mm_and_si128(b, tmask);
+    }
+    for (int p = 0; p < 16 / BITS; ++p) {
+      const __m128i fa =
+          _mm_and_si128(_mm_srli_epi32(a, p * BITS), lane_mask);
+      const __m128i fb =
+          _mm_and_si128(_mm_srli_epi32(b, p * BITS), lane_mask);
+      const __m128i prod = _mm_madd_epi16(fa, fb);
+      acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(prod, zero));
+      acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(prod, zero));
+    }
+  }
+
+  std::int64_t dot = _mm_cvtsi128_si64(acc) +
+                     _mm_cvtsi128_si64(_mm_srli_si128(acc, 8));
+
+  const std::uint32_t field_mask = (1u << BITS) - 1u;
+  for (int w = 4 * full_blocks; w < words; ++w) {
+    std::uint32_t a = row[w];
+    std::uint32_t b = query[w];
+    if (w == words - 1) {
+      a &= tail_mask;
+      b &= tail_mask;
+    }
+    for (int off = 0; off < 32; off += BITS) {
+      dot += static_cast<std::int64_t>((a >> off) & field_mask) *
+             static_cast<std::int64_t>((b >> off) & field_mask);
+    }
+  }
+  return dot;
+}
+
+template <int BITS>
+void dot_batch_sse(const PackedRowsView& view, const std::uint32_t* query,
+                   std::int64_t* out) {
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row) {
+    out[r] = dot_row_sse<BITS>(row, query, view.words_per_row, view.tail_mask);
+  }
+}
+
+void sse42_dot_batch(const PackedRowsView& view, const std::uint32_t* query,
+                     std::int64_t* out) {
+  switch (view.bits) {
+    case 1:
+      dot_batch_sse<1>(view, query, out);
+      return;
+    case 2:
+      dot_batch_sse<2>(view, query, out);
+      return;
+    case 4:
+      dot_batch_sse<4>(view, query, out);
+      return;
+    default:
+      dot_batch_sse<8>(view, query, out);
+      return;
+  }
+}
+
 constexpr KernelTable kSse42Table{Isa::kSse42, "sse42", &sse42_mismatch_batch,
-                                  &sse42_l1_batch};
+                                  &sse42_l1_batch, &sse42_dot_batch};
 
 }  // namespace
 

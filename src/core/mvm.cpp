@@ -1,0 +1,23 @@
+#include "core/mvm.h"
+
+#include "core/kernels/kernels.h"
+
+namespace tdam::core {
+
+MvmResult mvm_packed(const DigitMatrix& matrix,
+                     std::span<const std::uint32_t> packed_x,
+                     SimilarityArrayModel model) {
+  MvmResult out;
+  out.values.resize(static_cast<std::size_t>(matrix.rows()));
+  // Validates the packed word count against the matrix geometry.
+  kernels::dot_product_batch(matrix, packed_x, out.values);
+  out.cost = similarity_query_cost(model, matrix.rows(), matrix.cols());
+  return out;
+}
+
+MvmResult mvm(const DigitMatrix& matrix, std::span<const int> x,
+              SimilarityArrayModel model) {
+  return mvm_packed(matrix, matrix.pack(x), model);
+}
+
+}  // namespace tdam::core

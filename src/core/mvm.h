@@ -1,0 +1,44 @@
+// Matrix-vector multiplication on the packed DigitMatrix storage.
+//
+// The TD-CiM fabric (arXiv:2209.11971) serves MVM and associative search
+// from one homogeneous array; this is the software face of that claim: the
+// SAME packed rows a SimilarityBackend scans for top-k answer y = A·x
+// through the SAME dispatched dot kernel (scalar/SSE4.2/AVX2,
+// bit-identical).  Digits are unsigned integers in [0, levels), so every
+// product is exact in int64 at any stage count.
+//
+// The modeled cost is the SimilarityArrayModel pass fold — rows/array_rows
+// sequential array passes of stages MACs each — i.e. what the physical
+// array would charge for the product, independent of which SIMD path the
+// software used.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cosine_backend.h"
+#include "core/digit_matrix.h"
+
+namespace tdam::core {
+
+// y = A·x with y[r] = sum over digits A[r][d] * x[d], plus the modeled
+// array cost of producing it.
+struct MvmResult {
+  std::vector<std::int64_t> values;  // one product per stored row
+  QueryCost cost;
+};
+
+// x holds matrix.cols() digits in [0, matrix.levels()); throws
+// std::invalid_argument on wrong length or out-of-range digits (via
+// DigitMatrix::pack).
+MvmResult mvm(const DigitMatrix& matrix, std::span<const int> x,
+              SimilarityArrayModel model = {});
+
+// Zero-unpack form: `packed_x` is x packed exactly as `matrix` packs a row
+// (DigitMatrix::pack); throws std::invalid_argument on a wrong word count.
+MvmResult mvm_packed(const DigitMatrix& matrix,
+                     std::span<const std::uint32_t> packed_x,
+                     SimilarityArrayModel model = {});
+
+}  // namespace tdam::core

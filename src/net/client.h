@@ -36,8 +36,13 @@ namespace tdam::net {
 class AmClient {
  public:
   // Connects (blocking) and enables TCP_NODELAY; throws std::runtime_error
-  // on failure.
-  AmClient(const std::string& host, int port);
+  // on failure.  `protocol_version` is the dialect this client stamps on
+  // every request — the server answers each request in the same dialect, so
+  // passing 1 here exercises the legacy integer-score encoding end to end
+  // (the compatibility path the cross-version tests pin down).  Out-of-range
+  // versions throw std::invalid_argument.
+  AmClient(const std::string& host, int port,
+           std::uint8_t protocol_version = kProtocolVersion);
   ~AmClient();
 
   AmClient(const AmClient&) = delete;
@@ -104,6 +109,7 @@ class AmClient {
   void shutdown_write();
 
   int fd() const { return fd_; }
+  std::uint8_t protocol_version() const { return version_; }
 
  private:
   std::uint64_t next_id() { return next_request_id_++; }
@@ -113,6 +119,7 @@ class AmClient {
   Reply wait_for(std::uint64_t request_id);
 
   int fd_ = -1;
+  std::uint8_t version_ = kProtocolVersion;
   std::uint64_t next_request_id_ = 1;
 };
 

@@ -117,6 +117,9 @@ struct AmTcpServer::Impl {
   struct Request {
     std::shared_ptr<Connection> conn;
     MsgType type = MsgType::kHello;
+    // The version the request frame carried; every reply to it is encoded
+    // in this dialect, so v1 clients keep hearing v1 frames.
+    std::uint8_t version = kProtocolVersion;
     std::uint64_t request_id = 0;
     QueryRequest query;            // kQuery only
     StoreRequest store;            // kStore only
@@ -125,6 +128,7 @@ struct AmTcpServer::Impl {
 
   struct Completion {
     std::shared_ptr<Connection> conn;
+    std::uint8_t version = kProtocolVersion;
     std::uint64_t request_id = 0;
     std::future<runtime::ServedResult> future;
   };
@@ -321,7 +325,8 @@ struct AmTcpServer::Impl {
   // continue (kMalformedFrame payloads can; a lost frame boundary cannot).
   void protocol_error(const std::shared_ptr<Connection>& conn,
                       std::uint64_t request_id, WireCode code,
-                      const std::string& message) {
+                      const std::string& message,
+                      std::uint8_t version = kProtocolVersion) {
     protocol_errors_total->add(1.0);
     if (const auto it =
             protocol_errors_by_code.find(static_cast<std::uint8_t>(code));
@@ -330,7 +335,7 @@ struct AmTcpServer::Impl {
     ++conn->protocol_errors;
     if (conn->protocol_errors >= opts.max_protocol_errors)
       conn->closing = true;  // hang up once this final reply flushes
-    send_frame(conn, encode_error(request_id, {code, message}));
+    send_frame(conn, encode_error(request_id, {code, message}, version));
   }
 
   // --- I/O loop -----------------------------------------------------------
@@ -559,6 +564,7 @@ struct AmTcpServer::Impl {
     Request request;
     request.conn = conn;
     request.type = header.type;
+    request.version = header.version;
     request.request_id = header.request_id;
     try {
       switch (header.type) {
@@ -585,12 +591,13 @@ struct AmTcpServer::Impl {
                   std::to_string(static_cast<int>(header.type)));
       }
     } catch (const ProtocolError& e) {
-      protocol_error(conn, header.request_id, e.code, e.what());
+      protocol_error(conn, header.request_id, e.code, e.what(),
+                     header.version);
       return;  // connection survives a bad payload
     }
     if (!requests.push(std::move(request)))
       protocol_error(conn, header.request_id, WireCode::kRejected,
-                     "server shutting down");
+                     "server shutting down", header.version);
   }
 
   void handle_write(IoThread& t, const std::shared_ptr<Connection>& conn) {
@@ -639,7 +646,8 @@ struct AmTcpServer::Impl {
             static_cast<std::uint32_t>(opts.max_frame_bytes);
         reply.generation = am.generation();
         reply.backend = am.index().backend_name();
-        send_frame(request.conn, encode_hello_reply(request.request_id, reply));
+        send_frame(request.conn, encode_hello_reply(request.request_id, reply,
+                                                    request.version));
         return;
       }
       case MsgType::kQuery: {
@@ -653,11 +661,12 @@ struct AmTcpServer::Impl {
         try {
           auto future = am.submit(digits,
                                   static_cast<int>(request.query.k), deadline);
-          completions.push(Completion{std::move(request.conn),
+          completions.push(Completion{std::move(request.conn), request.version,
                                       request.request_id, std::move(future)});
         } catch (const std::invalid_argument& e) {
           protocol_error(request.conn, request.request_id,
-                         WireCode::kInvalidArgument, e.what());
+                         WireCode::kInvalidArgument, e.what(),
+                         request.version);
         }
         return;
       }
@@ -668,11 +677,12 @@ struct AmTcpServer::Impl {
           StoreReply reply;
           reply.row = static_cast<std::int32_t>(am.store(digits));
           reply.generation = am.generation();
-          send_frame(request.conn,
-                     encode_store_reply(request.request_id, reply));
+          send_frame(request.conn, encode_store_reply(request.request_id,
+                                                      reply, request.version));
         } catch (const std::invalid_argument& e) {
           protocol_error(request.conn, request.request_id,
-                         WireCode::kInvalidArgument, e.what());
+                         WireCode::kInvalidArgument, e.what(),
+                         request.version);
         }
         return;
       }
@@ -691,21 +701,24 @@ struct AmTcpServer::Impl {
           }
           reply.generation = am.generation();
           send_frame(request.conn,
-                     encode_store_batch_reply(request.request_id, reply));
+                     encode_store_batch_reply(request.request_id, reply,
+                                              request.version));
         } catch (const std::invalid_argument& e) {
           // Rows before the bad one are already stored; the error names the
           // offending row so the client can account for the partial write.
           protocol_error(request.conn, request.request_id,
                          WireCode::kInvalidArgument,
                          "store_batch row " + std::to_string(reply.rows) +
-                             ": " + e.what());
+                             ": " + e.what(),
+                         request.version);
         }
         return;
       }
       case MsgType::kClear: {
         am.clear();
-        send_frame(request.conn, encode_clear_reply(request.request_id,
-                                                    {am.generation()}));
+        send_frame(request.conn,
+                   encode_clear_reply(request.request_id, {am.generation()},
+                                      request.version));
         return;
       }
       case MsgType::kStats: {
@@ -728,21 +741,24 @@ struct AmTcpServer::Impl {
         reply.qps = snap.qps;
         reply.p50_s = snap.wall_quantile(0.50);
         reply.p99_s = snap.wall_quantile(0.99);
-        send_frame(request.conn,
-                   encode_stats_reply(request.request_id, reply));
+        send_frame(request.conn, encode_stats_reply(request.request_id, reply,
+                                                    request.version));
         return;
       }
       default:
         // dispatch_frame only forwards the six request types.
         protocol_error(request.conn, request.request_id,
-                       WireCode::kUnknownType, "unroutable request");
+                       WireCode::kUnknownType, "unroutable request",
+                       request.version);
         return;
     }
   }
 
   void completion_loop() {
+    const core::DigitMetric metric = am.index().metric();
     while (auto completion = completions.pop()) {
       QueryReply reply;
+      reply.metric = metric;
       std::uint64_t trace_id = 0;
       try {
         auto served = completion->future.get();
@@ -753,11 +769,12 @@ struct AmTcpServer::Impl {
           reply.entries = std::move(served.result.entries);
       } catch (const std::exception& e) {
         protocol_error(completion->conn, completion->request_id,
-                       WireCode::kInternal, e.what());
+                       WireCode::kInternal, e.what(), completion->version);
         continue;
       }
       send_frame(completion->conn,
-                 encode_query_reply(completion->request_id, trace_id, reply));
+                 encode_query_reply(completion->request_id, trace_id, reply,
+                                    completion->version));
     }
   }
 

@@ -5,6 +5,7 @@
 
 #include "am/behavioral.h"
 #include "baselines/backends.h"
+#include "core/cosine_backend.h"
 #include "core/exact_backend.h"
 
 namespace tdam::runtime {
@@ -32,6 +33,18 @@ core::BackendRegistry default_registry(const am::CalibrationResult& cal,
   reg.add("exact", [options, levels] {
     return std::make_unique<core::ExactL1Backend>(
         options.stages, levels, core::DigitMetric::kMismatchCount);
+  });
+  // Similarity metrics over the same packed core + dot kernel; both fold
+  // passes over the shared array_rows geometry.
+  reg.add("cosine", [options, levels] {
+    return std::make_unique<core::CosineBackend>(
+        options.stages, levels,
+        core::SimilarityArrayModel{.array_rows = options.array_rows});
+  });
+  reg.add("dot", [options, levels] {
+    return std::make_unique<core::DotProductBackend>(
+        options.stages, levels,
+        core::SimilarityArrayModel{.array_rows = options.array_rows});
   });
   return reg;
 }

@@ -5,13 +5,17 @@
 //                pass folding behind the cost hook;
 //   digital    — all-digital XNOR+popcount comparator array;
 //   cam        — current-domain multi-bit crossbar CAM + per-row ADC;
-//   exact      — pure-software reference (no hardware cost model).
+//   exact      — pure-software reference (no hardware cost model);
+//   cosine     — COSIME-style cosine similarity, norms cached at store;
+//   dot        — raw integer dot product (the TD-CiM MVM primitive).
 //
-// All four compute the identical digit-mismatch distance, so they are
-// interchangeable behind runtime::ShardedIndex: same (distance, global row)
-// top-k, different modeled hardware.  This translation unit is the only
-// place the runtime names concrete backend types — ShardedIndex and
-// SearchEngine see nothing but core::SimilarityBackend.
+// The first four compute the identical digit-mismatch distance, so they are
+// interchangeable behind runtime::ShardedIndex: same (score, global row)
+// top-k, different modeled hardware.  cosine/dot score descending (see
+// core::metric_order) and ride the identical sharded path.  This
+// translation unit is the only place the runtime names concrete backend
+// types — ShardedIndex and SearchEngine see nothing but
+// core::SimilarityBackend.
 #pragma once
 
 #include "am/calibration.h"
@@ -27,8 +31,8 @@ struct BackendOptions {
   int array_stages = 128;  // AM chain stages per physical bank
 };
 
-// Registry with the four built-ins, each closed over `cal` (which fixes the
-// digit alphabet to 2^cal.bits levels) and `options`.
+// Registry with the built-ins above, each closed over `cal` (which fixes
+// the digit alphabet to 2^cal.bits levels) and `options`.
 core::BackendRegistry default_registry(const am::CalibrationResult& cal,
                                        const BackendOptions& options);
 

@@ -30,7 +30,8 @@ namespace {
 // same kernel layer inside the backend).  The snapshot is immutable, so
 // this reads it with no synchronisation at all.
 template <typename SearchSegment>
-TopKResult merged_topk(const IndexSnapshot& snap, int index_stages, int k,
+TopKResult merged_topk(const IndexSnapshot& snap, int index_stages,
+                       core::DigitMetric metric, int k,
                        SearchSegment&& search_segment) {
   const auto t0 = std::chrono::steady_clock::now();
   TopKResult out;
@@ -47,12 +48,17 @@ TopKResult merged_topk(const IndexSnapshot& snap, int index_stages, int k,
       if (seg->rows() == 0) continue;
       const auto local = search_segment(seg->backend(), k);
       for (const auto& e : local.entries)
-        merged.push_back({seg->global_id(e.row), e.distance});
-      // Modeled hardware: each segment is costed by its own QueryCostModel
-      // hook at the measured mismatch fraction (clamped — an L1-metric
-      // backend can report a mean distance above one per digit).
+        merged.push_back({seg->global_id(e.row), e.score});
+      // Modeled hardware: for mismatch-family metrics each segment is
+      // costed by its own QueryCostModel hook at the measured mismatch
+      // fraction (clamped — an L1-metric backend can report a mean score
+      // above one per digit).  Similarity metrics have no mismatch
+      // fraction, so their segments are costed at 0 — similarity backends
+      // throw on anything else.
       const double mismatch_fraction =
-          std::clamp(local.mean_distance / stages, 0.0, 1.0);
+          core::metric_is_mismatch_family(metric)
+              ? std::clamp(local.mean_score / stages, 0.0, 1.0)
+              : 0.0;
       const auto cost = seg->backend().query_cost(mismatch_fraction);
       shard_latency += cost.latency;
       shard_energy += cost.energy;
@@ -65,14 +71,15 @@ TopKResult merged_topk(const IndexSnapshot& snap, int index_stages, int k,
     out.modeled_passes = std::max(out.modeled_passes, shard_passes);
   }
   out.scan_seconds = seconds_since(t0);
-  // Global merge under the same total order the segments used: lower
-  // distance wins, global row id breaks ties.
+  // Global merge under the same total order the segments used: score in the
+  // metric's direction, global row id breaks ties.
   const auto t1 = std::chrono::steady_clock::now();
   const auto keep =
       std::min<std::size_t>(static_cast<std::size_t>(k), merged.size());
   std::partial_sort(merged.begin(),
                     merged.begin() + static_cast<std::ptrdiff_t>(keep),
-                    merged.end());
+                    merged.end(),
+                    core::ScoreComparator{core::metric_order(metric)});
   merged.resize(keep);
   out.entries = std::move(merged);
   out.merge_seconds = seconds_since(t1);
@@ -84,7 +91,7 @@ TopKResult merged_topk(const IndexSnapshot& snap, int index_stages, int k,
 
 TopKResult SearchEngine::run_query(const IndexSnapshot& snap,
                                    std::span<const int> query, int k) const {
-  return merged_topk(snap, index_.stages(), k,
+  return merged_topk(snap, index_.stages(), index_.metric(), k,
                      [&](const core::SimilarityBackend& segment, int kk) {
                        return segment.search_topk(query, kk);
                      });
@@ -93,7 +100,7 @@ TopKResult SearchEngine::run_query(const IndexSnapshot& snap,
 TopKResult SearchEngine::run_query_packed(
     const IndexSnapshot& snap, std::span<const std::uint32_t> packed,
     int k) const {
-  return merged_topk(snap, index_.stages(), k,
+  return merged_topk(snap, index_.stages(), index_.metric(), k,
                      [&](const core::SimilarityBackend& segment, int kk) {
                        return segment.search_topk_packed(packed, kk);
                      });

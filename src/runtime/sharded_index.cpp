@@ -44,6 +44,7 @@ class ShardedIndex::Impl {
     const auto probe = registry_.create(options_.backend);
     stages_ = probe->stages();
     levels_ = probe->levels();
+    metric_ = probe->metric();
     writers_.resize(static_cast<std::size_t>(options_.shards));
     publish_locked();  // the empty epoch-0 snapshot
     if (options_.background_compaction)
@@ -64,6 +65,7 @@ class ShardedIndex::Impl {
   const ShardedIndexOptions& options() const { return options_; }
   int stages() const { return stages_; }
   int levels() const { return levels_; }
+  core::DigitMetric metric() const { return metric_; }
 
   std::shared_ptr<const IndexSnapshot> pin() const {
     return snapshot_.load(std::memory_order_acquire);
@@ -276,6 +278,7 @@ class ShardedIndex::Impl {
   core::BackendRegistry registry_;  // by value: factories outlive callers
   int stages_ = 0;
   int levels_ = 0;
+  core::DigitMetric metric_ = core::DigitMetric::kMismatchCount;
 
   std::atomic<std::shared_ptr<const IndexSnapshot>> snapshot_;
 
@@ -302,6 +305,7 @@ ShardedIndex& ShardedIndex::operator=(ShardedIndex&&) noexcept = default;
 int ShardedIndex::num_shards() const { return impl_->options().shards; }
 int ShardedIndex::stages() const { return impl_->stages(); }
 int ShardedIndex::levels() const { return impl_->levels(); }
+core::DigitMetric ShardedIndex::metric() const { return impl_->metric(); }
 int ShardedIndex::size() const { return impl_->pin()->rows; }
 
 const std::string& ShardedIndex::backend_name() const {

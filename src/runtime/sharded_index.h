@@ -103,6 +103,9 @@ class ShardedIndex {
   int num_shards() const;
   int stages() const;
   int levels() const;
+  // The backend's digit metric — fixes the score ordering every consumer
+  // (engine merge, wire replies, benches) must use for this index.
+  core::DigitMetric metric() const;
   int size() const;
   const std::string& backend_name() const;
   Placement placement() const;

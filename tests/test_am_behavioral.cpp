@@ -72,8 +72,10 @@ TEST(BehavioralAm, TopKMatchesFullSort) {
   const auto q = random_word(rng, 12, 4);
   std::vector<TopKEntry> ref;
   for (std::size_t r = 0; r < stored.size(); ++r)
-    ref.push_back({static_cast<int>(r), hamming(stored[r], q)});
-  std::sort(ref.begin(), ref.end());
+    ref.push_back({static_cast<int>(r),
+                   static_cast<double>(hamming(stored[r], q))});
+  std::sort(ref.begin(), ref.end(),
+            core::ScoreComparator{core::ScoreOrder::kAscending});
   for (int k : {1, 5, 20}) {
     const auto res = am.search_topk(q, k);
     ASSERT_EQ(res.entries.size(), static_cast<std::size_t>(k));
@@ -91,7 +93,7 @@ TEST(BehavioralAm, TopKTieBreaksOnLowerRow) {
   ASSERT_EQ(res.entries.size(), 3u);
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(res.entries[static_cast<std::size_t>(i)].row, i);
-    EXPECT_EQ(res.entries[static_cast<std::size_t>(i)].distance, 0);
+    EXPECT_EQ(res.entries[static_cast<std::size_t>(i)].score, 0.0);
   }
 }
 
@@ -108,7 +110,7 @@ TEST(BehavioralAm, TopKCostsMatchFullSearch) {
   EXPECT_DOUBLE_EQ(topk.energy, full.energy);
   double sum = 0.0;
   for (int d : full.distances) sum += d;
-  EXPECT_DOUBLE_EQ(topk.mean_distance,
+  EXPECT_DOUBLE_EQ(topk.mean_score,
                    sum / static_cast<double>(full.distances.size()));
 }
 

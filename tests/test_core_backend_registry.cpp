@@ -77,9 +77,9 @@ TEST(ExactBackend, StoreSearchAndRowReadback) {
 
   const auto top = backend.search_topk(std::vector<int>{0, 0, 0, 0, 0, 3}, 2);
   ASSERT_EQ(top.entries.size(), 2u);
-  EXPECT_EQ(top.entries[0], (TopKEntry{0, 1}));  // one mismatching digit
-  EXPECT_EQ(top.entries[1], (TopKEntry{2, 2}));
-  EXPECT_DOUBLE_EQ(top.mean_distance, (1.0 + 5.0 + 2.0) / 3.0);
+  EXPECT_EQ(top.entries[0], (TopKEntry{0, 1.0}));  // one mismatching digit
+  EXPECT_EQ(top.entries[1], (TopKEntry{2, 2.0}));
+  EXPECT_DOUBLE_EQ(top.mean_score, (1.0 + 5.0 + 2.0) / 3.0);
   EXPECT_EQ(top.latency, 0.0);  // software reference models no hardware
   EXPECT_EQ(top.energy, 0.0);
 
@@ -98,8 +98,8 @@ TEST(ExactBackend, MetricsDisagreeOnlyBeyondOneStep) {
   mis.store(stored);
   l1.store(stored);
   const std::vector<int> query{3, 1, 2, 0};
-  EXPECT_EQ(mis.search_topk(query, 1).entries[0].distance, 2);
-  EXPECT_EQ(l1.search_topk(query, 1).entries[0].distance, 6);
+  EXPECT_EQ(mis.search_topk(query, 1).entries[0].score, 2.0);
+  EXPECT_EQ(l1.search_topk(query, 1).entries[0].score, 6.0);
 }
 
 TEST(ExactBackend, QueryCostIsFreeSoftware) {
@@ -133,9 +133,9 @@ TEST(ExhaustiveTopK, SortsByDistanceThenRowAndCapsK) {
   const auto top =
       exhaustive_topk(matrix, query, 10, DigitMetric::kMismatchCount);
   ASSERT_EQ(top.entries.size(), 3u);  // k capped at rows
-  EXPECT_EQ(top.entries[0], (TopKEntry{0, 0}));
-  EXPECT_EQ(top.entries[1], (TopKEntry{1, 1}));  // tie broken by row id
-  EXPECT_EQ(top.entries[2], (TopKEntry{2, 1}));
+  EXPECT_EQ(top.entries[0], (TopKEntry{0, 0.0}));
+  EXPECT_EQ(top.entries[1], (TopKEntry{1, 1.0}));  // tie broken by row id
+  EXPECT_EQ(top.entries[2], (TopKEntry{2, 1.0}));
 
   // Validation still applies on an empty store.
   DigitMatrix empty(4, 4);

@@ -52,18 +52,26 @@ TEST(CoreKernels, ScalarMatchesBruteForce) {
   for (int levels : {2, 4, 16, 256}) {
     auto f = make_fixture(33, levels, 24, 0x100u + static_cast<unsigned>(levels));
     std::vector<std::int32_t> mis(24), l1(24);
+    std::vector<std::int64_t> dot(24);
     const auto& scalar = kernels::table(kernels::Isa::kScalar);
     kernels::mismatch_count_batch(f.matrix, f.packed, mis, scalar);
     kernels::l1_distance_batch(f.matrix, f.packed, l1, scalar);
+    kernels::dot_product_batch(f.matrix, f.packed, dot, scalar);
     for (int r = 0; r < 24; ++r) {
       int want_mis = 0, want_l1 = 0;
+      std::int64_t want_dot = 0;
       for (std::size_t c = 0; c < f.query.size(); ++c) {
         want_mis += f.rows[static_cast<std::size_t>(r)][c] != f.query[c];
         want_l1 += std::abs(f.rows[static_cast<std::size_t>(r)][c] - f.query[c]);
+        want_dot += static_cast<std::int64_t>(
+                        f.rows[static_cast<std::size_t>(r)][c]) *
+                    static_cast<std::int64_t>(f.query[c]);
       }
       EXPECT_EQ(mis[static_cast<std::size_t>(r)], want_mis)
           << "levels=" << levels << " row=" << r;
       EXPECT_EQ(l1[static_cast<std::size_t>(r)], want_l1)
+          << "levels=" << levels << " row=" << r;
+      EXPECT_EQ(dot[static_cast<std::size_t>(r)], want_dot)
           << "levels=" << levels << " row=" << r;
     }
   }
@@ -83,17 +91,23 @@ TEST(CoreKernels, AllPathsBitIdenticalToScalar) {
       auto f = make_fixture(digits, levels, rows, seed++);
       std::vector<std::int32_t> want_mis(static_cast<std::size_t>(rows));
       std::vector<std::int32_t> want_l1(want_mis.size());
+      std::vector<std::int64_t> want_dot(want_mis.size());
       kernels::mismatch_count_batch(f.matrix, f.packed, want_mis, scalar);
       kernels::l1_distance_batch(f.matrix, f.packed, want_l1, scalar);
+      kernels::dot_product_batch(f.matrix, f.packed, want_dot, scalar);
       for (auto isa : isas) {
         const auto& t = kernels::table(isa);
         std::vector<std::int32_t> mis(want_mis.size()), l1(want_mis.size());
+        std::vector<std::int64_t> dot(want_mis.size());
         kernels::mismatch_count_batch(f.matrix, f.packed, mis, t);
         kernels::l1_distance_batch(f.matrix, f.packed, l1, t);
+        kernels::dot_product_batch(f.matrix, f.packed, dot, t);
         EXPECT_EQ(mis, want_mis) << t.name << " mismatch, levels=" << levels
                                  << " digits=" << digits;
         EXPECT_EQ(l1, want_l1) << t.name << " l1, levels=" << levels
                                << " digits=" << digits;
+        EXPECT_EQ(dot, want_dot) << t.name << " dot, levels=" << levels
+                                 << " digits=" << digits;
       }
     }
   }
@@ -116,20 +130,29 @@ TEST(CoreKernels, RaggedTailAllMaxDigitsNoPhantoms) {
     for (auto isa : kernels::supported_isas()) {
       const auto& t = kernels::table(isa);
       std::vector<std::int32_t> mis(9), l1(9);
+      std::vector<std::int64_t> dot(9);
       kernels::mismatch_count_batch(m, packed_zero, mis, t);
       kernels::l1_distance_batch(m, packed_zero, l1, t);
+      kernels::dot_product_batch(m, packed_zero, dot, t);
       for (int r = 0; r < 9; ++r) {
         EXPECT_EQ(mis[static_cast<std::size_t>(r)], digits)
             << t.name << " levels=" << levels;
         EXPECT_EQ(l1[static_cast<std::size_t>(r)], digits * (levels - 1))
             << t.name << " levels=" << levels;
+        EXPECT_EQ(dot[static_cast<std::size_t>(r)], 0)
+            << t.name << " levels=" << levels;
       }
       kernels::mismatch_count_batch(m, packed_max, mis, t);
       kernels::l1_distance_batch(m, packed_max, l1, t);
+      kernels::dot_product_batch(m, packed_max, dot, t);
+      const auto want_dot = static_cast<std::int64_t>(digits) * (levels - 1) *
+                            (levels - 1);
       for (int r = 0; r < 9; ++r) {
         EXPECT_EQ(mis[static_cast<std::size_t>(r)], 0)
             << t.name << " levels=" << levels;
         EXPECT_EQ(l1[static_cast<std::size_t>(r)], 0)
+            << t.name << " levels=" << levels;
+        EXPECT_EQ(dot[static_cast<std::size_t>(r)], want_dot)
             << t.name << " levels=" << levels;
       }
     }
@@ -187,6 +210,12 @@ TEST(CoreKernels, BatchArgumentValidation) {
                std::invalid_argument);
   std::vector<std::int32_t> short_out(2);
   EXPECT_THROW(kernels::l1_distance_batch(f.matrix, f.packed, short_out),
+               std::invalid_argument);
+  std::vector<std::int64_t> short_dot(2);
+  EXPECT_THROW(kernels::dot_product_batch(f.matrix, f.packed, short_dot),
+               std::invalid_argument);
+  std::vector<std::int64_t> full_dot(3);
+  EXPECT_THROW(kernels::dot_product_batch(f.matrix, short_query, full_dot),
                std::invalid_argument);
   // Empty store: no output required, no work done.
   DigitMatrix empty(10, 4);

@@ -1,0 +1,109 @@
+// MVM parity tests: core::mvm on the packed DigitMatrix must reproduce a
+// naive int64 matrix-vector product exactly, at every packed digit width
+// (levels 2/4/16/256 -> 1/2/4/8-bit fields) including ragged final words,
+// and the packed-query form must be bit-identical to the unpacked one.
+#include "core/mvm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/digit_matrix.h"
+#include "util/rng.h"
+
+namespace tdam::core {
+namespace {
+
+std::vector<int> random_digits(Rng& rng, int cols, int levels) {
+  std::vector<int> out(static_cast<std::size_t>(cols));
+  for (auto& d : out) d = rng.uniform_int(0, levels - 1);
+  return out;
+}
+
+std::vector<std::int64_t> naive_mvm(const std::vector<std::vector<int>>& rows,
+                                    const std::vector<int>& x) {
+  std::vector<std::int64_t> y;
+  y.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::int64_t acc = 0;
+    for (std::size_t d = 0; d < row.size(); ++d)
+      acc += static_cast<std::int64_t>(row[d]) *
+             static_cast<std::int64_t>(x[d]);
+    y.push_back(acc);
+  }
+  return y;
+}
+
+TEST(CoreMvm, MatchesNaiveMatmulAcrossLevelsAndRaggedTails) {
+  Rng rng(907);
+  // cols chosen so every digit width sees both word-aligned and ragged
+  // final words (32/bits digits per word: 32, 16, 8, 4).
+  for (int levels : {2, 4, 16, 256}) {
+    for (int cols : {1, 7, 16, 32, 33, 61}) {
+      DigitMatrix matrix(cols, levels);
+      std::vector<std::vector<int>> stored;
+      for (int r = 0; r < 23; ++r) {
+        stored.push_back(random_digits(rng, cols, levels));
+        matrix.append(stored.back());
+      }
+      const auto x = random_digits(rng, cols, levels);
+      const auto expected = naive_mvm(stored, x);
+
+      const auto result = mvm(matrix, x);
+      ASSERT_EQ(result.values.size(), expected.size())
+          << "levels=" << levels << " cols=" << cols;
+      for (std::size_t r = 0; r < expected.size(); ++r)
+        EXPECT_EQ(result.values[r], expected[r])
+            << "levels=" << levels << " cols=" << cols << " row=" << r;
+
+      const auto packed = mvm_packed(matrix, matrix.pack(x));
+      EXPECT_EQ(packed.values, result.values);
+      EXPECT_EQ(packed.cost.passes, result.cost.passes);
+    }
+  }
+}
+
+TEST(CoreMvm, SaturatedDigitsStayExactInInt64) {
+  // Worst case per digit: 255 * 255 at 8-bit fields; 64 digits of that must
+  // accumulate without any rounding (mvm is integer all the way through).
+  constexpr int kCols = 64, kLevels = 256;
+  DigitMatrix matrix(kCols, kLevels);
+  const std::vector<int> maxed(kCols, kLevels - 1);
+  matrix.append(maxed);
+  const auto result = mvm(matrix, maxed);
+  ASSERT_EQ(result.values.size(), 1u);
+  EXPECT_EQ(result.values[0],
+            static_cast<std::int64_t>(kCols) * (kLevels - 1) * (kLevels - 1));
+}
+
+TEST(CoreMvm, CostFoldsRowsIntoArrayPasses) {
+  DigitMatrix matrix(16, 4);
+  Rng rng(908);
+  for (int r = 0; r < 10; ++r) matrix.append(random_digits(rng, 16, 4));
+  const SimilarityArrayModel model{.array_rows = 4};
+  const auto result = mvm(matrix, random_digits(rng, 16, 4), model);
+  EXPECT_EQ(result.cost.passes, 3);  // ceil(10 rows / 4-row array)
+  EXPECT_DOUBLE_EQ(result.cost.latency, 3 * model.pass_latency);
+  EXPECT_DOUBLE_EQ(result.cost.energy, 10.0 * 16.0 * model.mac_energy);
+}
+
+TEST(CoreMvm, EmptyMatrixAndValidation) {
+  DigitMatrix matrix(8, 4);
+  const std::vector<int> x(8, 1);
+  const auto empty = mvm(matrix, x);
+  EXPECT_TRUE(empty.values.empty());
+  EXPECT_EQ(empty.cost.passes, 0);
+  EXPECT_EQ(empty.cost.energy, 0.0);
+
+  matrix.append(x);
+  EXPECT_THROW(mvm(matrix, std::vector<int>(7, 1)), std::invalid_argument);
+  EXPECT_THROW(mvm(matrix, std::vector<int>{0, 1, 2, 3, 0, 1, 2, 9}),
+               std::invalid_argument);
+  EXPECT_THROW(mvm_packed(matrix, std::vector<std::uint32_t>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam::core

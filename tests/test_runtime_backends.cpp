@@ -33,14 +33,24 @@ const am::CalibrationResult& calibration() {
   return cal;
 }
 
-TEST(RuntimeDefaultRegistry, RegistersTheFourBuiltins) {
+TEST(RuntimeDefaultRegistry, RegistersTheSixBuiltins) {
   const auto reg = runtime::default_registry(calibration(), {.stages = 16});
-  EXPECT_EQ(reg.names(), (std::vector<std::string>{"behavioral", "cam",
-                                                   "digital", "exact"}));
+  EXPECT_EQ(reg.names(),
+            (std::vector<std::string>{"behavioral", "cam", "cosine", "digital",
+                                      "dot", "exact"}));
+  const std::map<std::string, core::DigitMetric> expected_metric = {
+      {"behavioral", core::DigitMetric::kMismatchCount},
+      {"cam", core::DigitMetric::kMismatchCount},
+      {"cosine", core::DigitMetric::kCosine},
+      {"digital", core::DigitMetric::kMismatchCount},
+      {"dot", core::DigitMetric::kDot},
+      {"exact", core::DigitMetric::kMismatchCount},
+  };
   for (const auto& name : reg.names()) {
     const auto backend = reg.create(name);
     EXPECT_EQ(backend->name(), name);
-    EXPECT_EQ(backend->metric(), core::DigitMetric::kMismatchCount);
+    EXPECT_EQ(backend->metric(), expected_metric.at(name)) << name;
+    EXPECT_EQ(backend->order(), core::metric_order(backend->metric()));
     EXPECT_EQ(backend->stages(), 16);
     EXPECT_EQ(backend->levels(), kLevels);  // 1 << cal.bits
     EXPECT_EQ(backend->rows(), 0);
@@ -53,9 +63,11 @@ TEST(RuntimeDefaultRegistry, RegistersTheFourBuiltins) {
       std::invalid_argument);
 }
 
-// The satellite check: identical (distance, global row) top-k from every
-// registered backend on a shared random workload through the identical
-// sharded serving path.
+// The satellite check: identical (score, global row) top-k from every
+// registered mismatch-family backend on a shared random workload through
+// the identical sharded serving path.  Similarity backends (cosine/dot)
+// rank by a different metric, so they are covered by their own
+// brute-force-reference tests instead.
 TEST(RuntimeBackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
   constexpr int kStages = 48, kRows = 120, kQueries = 24, kTopK = 7;
   const auto reg = runtime::default_registry(calibration(), {.stages = kStages});
@@ -69,12 +81,15 @@ TEST(RuntimeBackendParity, IdenticalTopKAcrossAllRegisteredBackends) {
 
   std::map<std::string, std::vector<runtime::TopKResult>> results;
   for (const auto& name : reg.names()) {
+    if (!core::metric_is_mismatch_family(reg.create(name)->metric()))
+      continue;
     runtime::ShardedIndex index(reg, {.backend = name, .shards = 3});
     for (const auto& row : stored) index.store(row);
     runtime::SearchEngine engine(index, {.threads = 2});
     results[name] = engine.submit_batch(queries, kTopK);
   }
 
+  ASSERT_EQ(results.size(), 4u);  // behavioral, cam, digital, exact
   const auto& reference = results.at("exact");
   for (const auto& [name, res] : results) {
     ASSERT_EQ(res.size(), reference.size()) << name;
@@ -153,6 +168,19 @@ TEST(RuntimeBackendCosts, PassFoldingMatchesArrayGeometry) {
     auto backend = reg.create(name);
     for (int r = 0; r < 10; ++r)
       backend->store(am::random_word(rng, 16, kLevels));
+    if (!core::metric_is_mismatch_family(backend->metric())) {
+      // Similarity backends have no mismatch fraction; the cost hook folds
+      // the same array geometry but only accepts the 0.0 the engine sends
+      // for non-mismatch metrics — a guard that would have caught the
+      // mean-score folding bug.
+      const auto cost = backend->query_cost(0.0);
+      EXPECT_EQ(cost.passes, 3) << name;
+      EXPECT_GT(cost.latency, 0.0) << name;
+      EXPECT_GT(cost.energy, 0.0) << name;
+      EXPECT_THROW(backend->query_cost(0.25), std::invalid_argument);
+      EXPECT_THROW(backend->query_cost(-0.5), std::invalid_argument);
+      continue;
+    }
     const auto cost = backend->query_cost(0.25);
     if (name == "exact") {
       EXPECT_EQ(cost.passes, 1);
@@ -226,9 +254,12 @@ class RuntimeHdcBridge : public ::testing::Test {
 };
 
 TEST_F(RuntimeHdcBridge, ClassifiesIdenticallyOnEveryBackend) {
+  // Mismatch-family backends only: predict_digits is a mismatch-count
+  // argmin, which cosine/dot rankings legitimately disagree with.
   const auto reg = runtime::default_registry(calibration(), {.stages = kDims});
   for (const auto& name : reg.names()) {
     auto backend = reg.create(name);
+    if (!core::metric_is_mismatch_family(backend->metric())) continue;
     hdc::load_classes(*qmodel_, *backend);
     EXPECT_EQ(backend->rows(), kClasses) << name;
     for (const auto& digits : query_digits_)

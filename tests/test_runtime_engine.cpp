@@ -39,15 +39,17 @@ ShardedIndex make_index(int shards, int stages,
                                  .placement = placement});
 }
 
-// Brute-force reference: all (distance, row) pairs against a single
-// unsharded store, sorted by the engine's (distance, row) order.
+// Brute-force reference: all (score, row) pairs against a single unsharded
+// store, sorted by the engine's direction-aware (score, row) order.
 std::vector<core::TopKEntry> brute_force_topk(
     const std::vector<std::vector<int>>& stored, std::span<const int> query,
     int k) {
   std::vector<core::TopKEntry> all;
   for (std::size_t r = 0; r < stored.size(); ++r)
-    all.push_back({static_cast<int>(r), am::hamming(stored[r], query)});
-  std::sort(all.begin(), all.end());
+    all.push_back({static_cast<int>(r),
+                   static_cast<double>(am::hamming(stored[r], query))});
+  std::sort(all.begin(), all.end(),
+            core::ScoreComparator{core::ScoreOrder::kAscending});
   all.resize(std::min<std::size_t>(static_cast<std::size_t>(k), all.size()));
   return all;
 }
@@ -186,7 +188,7 @@ TEST(RuntimeSearchEngine, DeterministicTieBreakAcrossShards) {
   ASSERT_EQ(res[0].entries.size(), 5u);
   for (int i = 0; i < 5; ++i) {
     EXPECT_EQ(res[0].entries[static_cast<std::size_t>(i)].row, i);
-    EXPECT_EQ(res[0].entries[static_cast<std::size_t>(i)].distance, 0);
+    EXPECT_EQ(res[0].entries[static_cast<std::size_t>(i)].score, 0.0);
   }
 }
 
@@ -290,6 +292,87 @@ TEST(RuntimeShardedIndex, GenerationCountsMutations) {
   EXPECT_EQ(index.generation(), 2u);
   index.clear();
   EXPECT_EQ(index.generation(), 3u);
+}
+
+// Double-precision brute-force cosine/dot reference: integer dot products
+// and norms, combined through the canonical core::cosine_score expression —
+// the scores the packed backends must reproduce bit-for-bit.
+std::vector<core::TopKEntry> brute_force_similarity(
+    const std::vector<std::vector<int>>& stored,
+    const std::vector<int>& query, int k, core::DigitMetric metric) {
+  std::int64_t query_sq = 0;
+  for (const int d : query) query_sq += static_cast<std::int64_t>(d) * d;
+  std::vector<core::TopKEntry> all;
+  for (std::size_t r = 0; r < stored.size(); ++r) {
+    std::int64_t dot = 0, row_sq = 0;
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      dot += static_cast<std::int64_t>(stored[r][i]) * query[i];
+      row_sq += static_cast<std::int64_t>(stored[r][i]) * stored[r][i];
+    }
+    const double score = metric == core::DigitMetric::kCosine
+                             ? core::cosine_score(dot, query_sq, row_sq)
+                             : static_cast<double>(dot);
+    all.push_back({static_cast<int>(r), score});
+  }
+  std::sort(all.begin(), all.end(),
+            core::ScoreComparator{core::ScoreOrder::kDescending});
+  all.resize(std::min<std::size_t>(static_cast<std::size_t>(k), all.size()));
+  return all;
+}
+
+TEST(RuntimeSearchEngine, CosineAndDotMatchBruteForceAcrossThreadsAndShards) {
+  // The tentpole determinism claim: similarity metrics serve the identical
+  // (score, row) top-k for every thread count x shard count x segment
+  // layout, and that top-k equals the double-precision brute force.
+  constexpr int kStages = 16, kRows = 80, kQueries = 16, kK = 7;
+  for (const std::string backend : {"cosine", "dot"}) {
+    const auto registry =
+        default_registry(calibration(), {.stages = kStages});
+    for (const int shards : {1, 4}) {
+      SCOPED_TRACE("backend=" + backend + " shards=" +
+                   std::to_string(shards));
+      ShardedIndex index(registry, {.backend = backend,
+                                    .shards = shards,
+                                    .seal_rows = 8,
+                                    .background_compaction = false});
+      Rng rng(900 + static_cast<std::uint64_t>(shards));
+      std::vector<std::vector<int>> stored, queries;
+      for (int r = 0; r < kRows; ++r) {
+        stored.push_back(am::random_word(rng, kStages, kLevels));
+        index.store(stored.back());
+      }
+      for (int q = 0; q < kQueries; ++q)
+        queries.push_back(am::random_word(rng, kStages, kLevels));
+
+      const auto check = [&](const std::string& when) {
+        SearchEngine seq(index, {.threads = 1});
+        SearchEngine par(index, {.threads = 8});
+        const auto a = seq.submit_batch(queries, kK);
+        const auto b = par.submit_batch(queries, kK);
+        ASSERT_EQ(a.size(), queries.size());
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          SCOPED_TRACE(when + " query " + std::to_string(q));
+          // threads=1 and threads=8 bit-identical…
+          EXPECT_EQ(a[q].entries, b[q].entries);
+          // …and both equal to the double-precision reference.
+          const auto ref = brute_force_similarity(stored, queries[q], kK,
+                                                  index.metric());
+          ASSERT_EQ(a[q].entries.size(), ref.size());
+          for (std::size_t e = 0; e < ref.size(); ++e) {
+            EXPECT_EQ(a[q].entries[e].row, ref[e].row);
+            EXPECT_EQ(a[q].entries[e].score, ref[e].score);  // exact
+          }
+          // Similarity backends fold the array-pass cost model; the engine
+          // must never feed them a mismatch fraction (they throw on one).
+          EXPECT_GT(a[q].modeled_latency, 0.0);
+          EXPECT_GT(a[q].modeled_energy, 0.0);
+        }
+      };
+      check("pre-compaction");
+      index.compact_now();
+      check("post-compaction");
+    }
+  }
 }
 
 TEST(RuntimeSearchEngine, PackedBatchMatchesUnpackedAdapter) {

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
@@ -45,13 +46,40 @@ core::BackendRegistry registry() {
   return default_registry(calibration(), {.stages = kStages});
 }
 
+// Metric-aware reference score, built from plain integer arithmetic plus
+// the canonical core::cosine_score expression — the same exact values every
+// backend must reproduce.
+double reference_score(const std::vector<int>& row, std::span<const int> query,
+                       core::DigitMetric metric) {
+  std::int64_t dot = 0, row_sq = 0, query_sq = 0;
+  int mismatches = 0;
+  std::int64_t l1 = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    dot += static_cast<std::int64_t>(row[i]) * query[i];
+    row_sq += static_cast<std::int64_t>(row[i]) * row[i];
+    query_sq += static_cast<std::int64_t>(query[i]) * query[i];
+    mismatches += row[i] != query[i];
+    l1 += std::abs(row[i] - query[i]);
+  }
+  switch (metric) {
+    case core::DigitMetric::kMismatchCount: return mismatches;
+    case core::DigitMetric::kL1: return static_cast<double>(l1);
+    case core::DigitMetric::kCosine:
+      return core::cosine_score(dot, query_sq, row_sq);
+    case core::DigitMetric::kDot: return static_cast<double>(dot);
+  }
+  return 0.0;
+}
+
 std::vector<core::TopKEntry> brute_force_topk(
     const std::vector<std::vector<int>>& stored, std::span<const int> query,
-    int k) {
+    int k, core::DigitMetric metric = core::DigitMetric::kMismatchCount) {
   std::vector<core::TopKEntry> all;
   for (std::size_t r = 0; r < stored.size(); ++r)
-    all.push_back({static_cast<int>(r), am::hamming(stored[r], query)});
-  std::sort(all.begin(), all.end());
+    all.push_back(
+        {static_cast<int>(r), reference_score(stored[r], query, metric)});
+  std::sort(all.begin(), all.end(),
+            core::ScoreComparator{core::metric_order(metric)});
   all.resize(std::min<std::size_t>(static_cast<std::size_t>(k), all.size()));
   return all;
 }
@@ -98,13 +126,14 @@ TEST(RuntimeIngest, SegmentedTopKBitIdenticalToSingleBankOnAllBackends) {
         ASSERT_EQ(a[q].entries.size(), b[q].entries.size());
         for (std::size_t e = 0; e < a[q].entries.size(); ++e) {
           EXPECT_EQ(a[q].entries[e].row, b[q].entries[e].row);
-          EXPECT_EQ(a[q].entries[e].distance, b[q].entries[e].distance);
+          EXPECT_EQ(a[q].entries[e].score, b[q].entries[e].score);
         }
-        const auto truth = brute_force_topk(stored, queries[q], kK);
+        const auto truth =
+            brute_force_topk(stored, queries[q], kK, segmented.metric());
         ASSERT_EQ(a[q].entries.size(), truth.size());
         for (std::size_t e = 0; e < truth.size(); ++e) {
           EXPECT_EQ(a[q].entries[e].row, truth[e].row);
-          EXPECT_EQ(a[q].entries[e].distance, truth[e].distance);
+          EXPECT_EQ(a[q].entries[e].score, truth[e].score);
         }
       }
     };
@@ -189,7 +218,7 @@ TEST(RuntimeIngest, BackgroundCompactorEventuallyMergesSealedSegments) {
   ASSERT_EQ(result[0].entries.size(), truth.size());
   for (std::size_t e = 0; e < truth.size(); ++e) {
     EXPECT_EQ(result[0].entries[e].row, truth[e].row);
-    EXPECT_EQ(result[0].entries[e].distance, truth[e].distance);
+    EXPECT_EQ(result[0].entries[e].score, truth[e].score);
   }
 }
 
@@ -262,7 +291,7 @@ TEST(RuntimeIngest, HammerWritersReadersCompactionSeeConsistentEpochs) {
   // Epoch consistency, verified post-hoc against the recorded rows:
   //  * generation G means exactly G rows were published, so the answer
   //    must carry min(k, G) entries, every one a row id below G;
-  //  * each distance must equal the true distance to that stored row.
+  //  * each score must equal the true distance to that stored row.
   for (const auto& per_reader : answers) {
     for (const auto& a : per_reader) {
       const auto expect_entries = std::min<std::uint64_t>(kK, a.generation);
@@ -270,7 +299,8 @@ TEST(RuntimeIngest, HammerWritersReadersCompactionSeeConsistentEpochs) {
           << "generation " << a.generation;
       for (const auto& e : a.entries) {
         ASSERT_LT(static_cast<std::uint64_t>(e.row), a.generation);
-        ASSERT_EQ(e.distance, am::hamming(stored.at(e.row), a.query));
+        ASSERT_EQ(e.score,
+                  static_cast<double>(am::hamming(stored.at(e.row), a.query)));
       }
     }
   }
@@ -283,7 +313,7 @@ TEST(RuntimeIngest, HammerWritersReadersCompactionSeeConsistentEpochs) {
   const auto result =
       engine.submit_batch(std::vector<std::vector<int>>{probe_digits}, 1);
   ASSERT_EQ(result[0].entries.size(), 1u);
-  EXPECT_EQ(result[0].entries[0].distance, 0);
+  EXPECT_EQ(result[0].entries[0].score, 0.0);
 }
 
 }  // namespace

@@ -70,6 +70,26 @@ TEST(RuntimeNetProtocol, HeaderRejectsTruncationBadMagicBadVersion) {
   } catch (const ProtocolError& e) {
     EXPECT_EQ(e.code, WireCode::kUnsupportedVersion);
   }
+
+  auto below_min = bytes;
+  below_min[2] = kMinProtocolVersion - 1;
+  try {
+    decode_header(below_min.data(), below_min.size());
+    FAIL() << "pre-v1 version decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kUnsupportedVersion);
+  }
+}
+
+TEST(RuntimeNetProtocol, HeaderAcceptsEveryCurrentlySpokenVersion) {
+  // v1 frames from old clients must keep decoding on a v2 server.
+  for (std::uint8_t v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+    std::vector<std::uint8_t> bytes;
+    FrameHeader in;
+    in.version = v;
+    encode_header(in, bytes);
+    EXPECT_EQ(decode_header(bytes.data(), bytes.size()).version, v);
+  }
 }
 
 TEST(RuntimeNetProtocol, QueryRoundTripRaggedSizes) {
@@ -99,21 +119,67 @@ TEST(RuntimeNetProtocol, QueryReplyRoundTripAllCodes) {
     QueryReply in;
     in.code = code;
     in.generation = 99;
+    in.metric = core::DigitMetric::kCosine;
     if (code == WireCode::kOk)
       for (int i = 0; i < 5; ++i)
-        in.entries.push_back({.row = 1000 - i, .distance = i * 3});
+        in.entries.push_back({.row = 1000 - i, .score = 1.0 - i * 0.125});
     const auto bytes = encode_query_reply(7, 0xABCDull, in);
     const std::uint8_t* payload = nullptr;
     const auto header = split(bytes, &payload);
     EXPECT_EQ(header.trace_id, 0xABCDull);
-    const auto out = decode_query_reply(payload, header.payload_len);
+    EXPECT_EQ(header.version, kProtocolVersion);
+    const auto out =
+        decode_query_reply(payload, header.payload_len, header.version);
     EXPECT_EQ(out.code, in.code);
     EXPECT_EQ(out.generation, in.generation);
+    EXPECT_EQ(out.metric, core::DigitMetric::kCosine);
     ASSERT_EQ(out.entries.size(), in.entries.size());
     for (std::size_t i = 0; i < in.entries.size(); ++i) {
       EXPECT_EQ(out.entries[i].row, in.entries[i].row);
-      EXPECT_EQ(out.entries[i].distance, in.entries[i].distance);
+      // f64 on the wire is the bit pattern: exact, not approximate.
+      EXPECT_EQ(out.entries[i].score, in.entries[i].score);
     }
+  }
+}
+
+TEST(RuntimeNetProtocol, QueryReplyV1RoundTripTruncatesScores) {
+  // The v1 dialect: integer distances, no metric byte.  Integer-valued
+  // mismatch scores survive exactly; fractional parts truncate toward zero.
+  QueryReply in;
+  in.code = WireCode::kOk;
+  in.generation = 7;
+  in.metric = core::DigitMetric::kMismatchCount;
+  in.entries = {{.row = 3, .score = 4.0}, {.row = 9, .score = 6.75}};
+  const auto bytes = encode_query_reply(11, 0, in, /*version=*/1);
+  const std::uint8_t* payload = nullptr;
+  const auto header = split(bytes, &payload);
+  EXPECT_EQ(header.version, 1);
+  // 1 code + 8 generation + 4 count + 2 * 8 bytes/entry: no metric byte.
+  EXPECT_EQ(header.payload_len, 1u + 8u + 4u + 2u * 8u);
+  const auto out = decode_query_reply(payload, header.payload_len, 1);
+  EXPECT_EQ(out.metric, core::DigitMetric::kMismatchCount);  // wire default
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].row, 3);
+  EXPECT_EQ(out.entries[0].score, 4.0);
+  EXPECT_EQ(out.entries[1].row, 9);
+  EXPECT_EQ(out.entries[1].score, 6.0);  // 6.75 truncated by the v1 encode
+}
+
+TEST(RuntimeNetProtocol, QueryReplyRejectsUnknownMetricId) {
+  QueryReply in;
+  in.code = WireCode::kOk;
+  in.generation = 1;
+  const auto bytes = encode_query_reply(1, 0, in);
+  // The metric byte sits right after code (1) + generation (8).
+  auto payload = std::vector<std::uint8_t>(bytes.begin() + kHeaderBytes,
+                                           bytes.end());
+  payload[9] = 0xEE;
+  try {
+    decode_query_reply(payload.data(), payload.size(), kProtocolVersion);
+    FAIL() << "unknown metric id accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, WireCode::kMalformedFrame);
+    EXPECT_NE(std::string(e.what()).find("metric"), std::string::npos);
   }
 }
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -122,10 +123,72 @@ TEST(RuntimeNetServer, TopKBitIdenticalToSearchEngineOnAllBackends) {
       for (std::size_t i = 0; i < expected[q].size(); ++i) {
         EXPECT_EQ(reply.query.entries[i].row, expected[q][i].row)
             << "query " << q << " entry " << i;
-        EXPECT_EQ(reply.query.entries[i].distance, expected[q][i].distance)
+        EXPECT_EQ(reply.query.entries[i].score, expected[q][i].score)
             << "query " << q << " entry " << i;
       }
     }
+  }
+}
+
+TEST(RuntimeNetServer, V1ClientDecodesIntegerRepliesFromV2Server) {
+  // A legacy client stamping version 1 on its frames must keep working
+  // against the v2 server: same rows, integer-truncated scores, and every
+  // reply frame carries version 1 so the old decoder never sees v2 bytes.
+  Stack stack("behavioral", /*vectors=*/64);
+  AmClient v2("127.0.0.1", stack.tcp->port());
+  AmClient v1("127.0.0.1", stack.tcp->port(), /*protocol_version=*/1);
+  EXPECT_EQ(v1.protocol_version(), 1);
+
+  const auto hello = v1.hello();
+  EXPECT_EQ(hello.stages, static_cast<std::uint32_t>(kStages));
+  // HELLO advertises the server's newest dialect even to v1 callers.
+  EXPECT_EQ(hello.protocol_version, kProtocolVersion);
+
+  Rng rng(23);
+  for (int q = 0; q < 8; ++q) {
+    const auto digits =
+        to_wire(random_digits(rng, kStages, stack.index->levels()));
+    const auto modern = v2.query(digits, 5);
+    const auto legacy = v1.query(digits, 5);
+    ASSERT_EQ(modern.query.code, WireCode::kOk);
+    ASSERT_EQ(legacy.query.code, WireCode::kOk);
+    EXPECT_EQ(modern.query.metric, core::DigitMetric::kMismatchCount);
+    ASSERT_EQ(legacy.query.entries.size(), modern.query.entries.size());
+    for (std::size_t i = 0; i < modern.query.entries.size(); ++i) {
+      EXPECT_EQ(legacy.query.entries[i].row, modern.query.entries[i].row);
+      // Mismatch scores are integer-valued, so the v1 truncation is exact.
+      EXPECT_EQ(legacy.query.entries[i].score,
+                std::trunc(modern.query.entries[i].score));
+    }
+  }
+
+  // The whole v1 request set round-trips: store, batch, clear, stats.
+  const auto stored = v1.store(std::vector<std::uint16_t>(kStages, 2));
+  ASSERT_EQ(stored.type, MsgType::kStoreReply);
+  EXPECT_EQ(stored.store.row, 64);
+  const auto stats = v1.stats();
+  EXPECT_EQ(stats.rows, 65u);
+  const auto cleared = v1.clear();
+  ASSERT_EQ(cleared.type, MsgType::kClearReply);
+}
+
+TEST(RuntimeNetServer, CosineRepliesCarryMetricIdAndFloatScores) {
+  Stack stack("cosine", /*vectors=*/32);
+  auto client = stack.connect();
+  EXPECT_EQ(client.hello().backend, "cosine");
+  Rng rng(29);
+  const auto reply = client.query(
+      to_wire(random_digits(rng, kStages, stack.index->levels())), 5);
+  ASSERT_EQ(reply.query.code, WireCode::kOk);
+  EXPECT_EQ(reply.query.metric, core::DigitMetric::kCosine);
+  ASSERT_EQ(reply.query.entries.size(), 5u);
+  // Cosine scores arrive descending, in (0, 1] for non-degenerate vectors.
+  for (std::size_t i = 0; i < reply.query.entries.size(); ++i) {
+    EXPECT_GT(reply.query.entries[i].score, 0.0);
+    EXPECT_LE(reply.query.entries[i].score, 1.0);
+    if (i > 0)
+      EXPECT_GE(reply.query.entries[i - 1].score,
+                reply.query.entries[i].score);
   }
 }
 
@@ -145,7 +208,7 @@ TEST(RuntimeNetServer, StoreQueryClearOverTheWire) {
   ASSERT_EQ(reply.query.code, WireCode::kOk);
   ASSERT_EQ(reply.query.entries.size(), 1u);
   EXPECT_EQ(reply.query.entries.front().row, 8);
-  EXPECT_EQ(reply.query.entries.front().distance, 0);
+  EXPECT_EQ(reply.query.entries.front().score, 0.0);
 
   const auto cleared = client.clear();
   ASSERT_EQ(cleared.type, MsgType::kClearReply);
@@ -177,7 +240,7 @@ TEST(RuntimeNetServer, StoreBatchOverTheWire) {
     ASSERT_EQ(reply.query.code, WireCode::kOk);
     ASSERT_EQ(reply.query.entries.size(), 1u);
     EXPECT_EQ(reply.query.entries.front().row, 8 + r);
-    EXPECT_EQ(reply.query.entries.front().distance, 0);
+    EXPECT_EQ(reply.query.entries.front().score, 0.0);
   }
 
   const auto stats = client.stats();

@@ -316,7 +316,7 @@ TEST(RuntimeServer, StoreWhileLiveDrainsBatchesAndBumpsGeneration) {
   ASSERT_EQ(hit.status, QueryStatus::kOk);
   ASSERT_EQ(hit.result.entries.size(), 1u);
   EXPECT_EQ(hit.result.entries[0].row, fresh_id);
-  EXPECT_EQ(hit.result.entries[0].distance, 0);
+  EXPECT_EQ(hit.result.entries[0].score, 0.0);
   EXPECT_EQ(hit.generation, base_generation + 1);
 }
 
