@@ -11,11 +11,13 @@
 // scripts/check_bench_json.py for the schema), the file CI validates and
 // archives so every later perf PR has a trajectory to compare against.
 //
-//   $ ./bench_kernels [--quick] [--out=BENCH_kernels.json]
+//   $ ./bench_kernels [--quick] [--parity-only] [--out=BENCH_kernels.json]
 //
 // --quick drops the 64k-row shapes (CI's bench-smoke budget); the 8k-digit
 // shape — the one the >= 2x vectorized-speedup acceptance gate reads — is
-// kept in both modes.
+// kept in both modes.  --parity-only runs just the bit-identical check at
+// every shape/path and writes no JSON — cheap enough for CI to loop it
+// under each forced TDAM_KERNEL value.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -126,7 +128,7 @@ template <typename OutT>
 bool bench_kernel(const char* name, BatchFn<OutT> fn, const Workload& w,
                   const Shape& shape, int queries,
                   const std::vector<kernels::Isa>& isas,
-                  const kernels::KernelTable& scalar,
+                  const kernels::KernelTable& scalar, bool parity_only,
                   std::vector<Result>& results) {
   double scalar_ns = 0.0;
   for (auto isa : isas) {
@@ -137,6 +139,11 @@ bool bench_kernel(const char* name, BatchFn<OutT> fn, const Workload& w,
                    "digits=%d rows=%d\n",
                    name, table.name, shape.digits, shape.rows);
       return false;
+    }
+    if (parity_only) {
+      std::printf("%-10s %-7s %8d %8d %12s\n", name, table.name, shape.digits,
+                  shape.rows, "parity OK");
+      continue;
     }
     const double best = best_seconds(w, fn, table);
     const double ops =
@@ -156,14 +163,18 @@ bool bench_kernel(const char* name, BatchFn<OutT> fn, const Workload& w,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool parity_only = false;
   std::string out_path = "BENCH_kernels.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--parity-only") == 0) {
+      parity_only = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--parity-only] [--out=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -213,10 +224,16 @@ int main(int argc, char** argv) {
   for (const auto& shape : shapes) {
     const auto w = make_workload(shape, queries, seed++);
     if (!bench_kernel("mismatch", mismatch_fn, w, shape, queries, isas, scalar,
+                      parity_only, results) ||
+        !bench_kernel("l1", l1_fn, w, shape, queries, isas, scalar, parity_only,
                       results) ||
-        !bench_kernel("l1", l1_fn, w, shape, queries, isas, scalar, results) ||
-        !bench_kernel("dot", dot_fn, w, shape, queries, isas, scalar, results))
+        !bench_kernel("dot", dot_fn, w, shape, queries, isas, scalar,
+                      parity_only, results))
       return 1;
+  }
+  if (parity_only) {
+    std::printf("\nparity OK on every compiled+supported path (no JSON)\n");
+    return 0;
   }
 
   tdam::bench::JsonWriter json;
@@ -229,6 +246,8 @@ int main(int argc, char** argv) {
       .begin_object()
       .field("sse42", kernels::cpu_supports(kernels::Isa::kSse42))
       .field("avx2", kernels::cpu_supports(kernels::Isa::kAvx2))
+      .field("avx512", kernels::cpu_supports(kernels::Isa::kAvx512))
+      .field("avx512_vpopcntdq", kernels::avx512_uses_vpopcntdq())
       .end_object()
       .key("results")
       .begin_array();

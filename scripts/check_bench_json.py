@@ -33,7 +33,10 @@ when a harness silently stops emitting valid numbers.
 gate on kernel-bench files: at the pinned 2-bit / 8192-digit shape the
 best vectorized path must be at least ``X`` times faster than scalar —
 but only when the producing host reported AVX2 support; elsewhere the
-ratio is printed report-only.
+ratio is printed report-only.  The same flag arms the AVX-512 gate: on a
+host reporting ``avx512`` the 512-bit path must not lose to AVX2 at the
+pinned shape, and the shape must carry avx512 rows at all (a supporting
+host whose avx512 rows vanished is a silent dispatch regression).
 
 ``--require-kernel NAME`` (repeatable) demands that at least one
 kernel-bench result row carries that kernel, and ``--require-backend
@@ -88,8 +91,14 @@ def check_kernel_bench(doc: dict, min_avx2_speedup: float | None) -> int:
         if key not in doc:
             fail(f"kernel-bench file missing key '{key}'")
     host = doc["host"]
-    if not isinstance(host, dict) or not {"sse42", "avx2"}.issubset(host):
-        fail("host must be an object with 'sse42' and 'avx2' booleans")
+    host_keys = {"sse42", "avx2", "avx512", "avx512_vpopcntdq"}
+    if not isinstance(host, dict) or not host_keys.issubset(host):
+        fail(f"host must be an object with booleans {sorted(host_keys)}")
+    for key in host_keys:
+        if not isinstance(host[key], bool):
+            fail(f"host.{key} is not a boolean")
+    if host["avx512_vpopcntdq"] and not host["avx512"]:
+        fail("host reports avx512_vpopcntdq without avx512")
     results = doc["results"]
     if not isinstance(results, list) or not results:
         fail("results must be a non-empty array")
@@ -116,6 +125,23 @@ def check_kernel_bench(doc: dict, min_avx2_speedup: float | None) -> int:
     elif min_avx2_speedup is not None:
         print("check_bench_json: pinned gate shape not present (quick/partial "
               "run without scalar+vector rows) — speedup gate skipped")
+
+    # On an AVX-512 host the 512-bit path must not lose to AVX2 at the same
+    # pinned shape (report-only off the gate, same as the scalar ratio).
+    avx2 = [r for r in gate if r["path"] == "avx2"]
+    avx512 = [r for r in gate if r["path"] == "avx512"]
+    if avx2 and avx512:
+        ratio = (min(r["ns_per_op"] for r in avx2)
+                 / min(r["ns_per_op"] for r in avx512))
+        enforced = min_avx2_speedup is not None and host["avx512"]
+        print(f"check_bench_json: mismatch @ 2-bit/8192-digit: avx512 is "
+              f"{ratio:.2f}x avx2" + ("" if enforced else " (report-only)"))
+        if enforced and ratio < 1.0:
+            fail(f"avx512 path is {ratio:.2f}x avx2 at the pinned shape — "
+                 f"the 512-bit path must not regress below AVX2")
+    elif host.get("avx512"):
+        fail("host reports avx512 support but the gate shape has no avx512 "
+             "rows — the path silently dropped out of the run")
     return len(results)
 
 

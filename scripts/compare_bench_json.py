@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Diff the current BENCH_*.json files against a baseline set.
+
+CI's bench-smoke job downloads the ``bench-baselines-*`` artifact from the
+latest successful main run into a directory, regenerates the current
+BENCH_*.json files, and runs::
+
+    compare_bench_json.py --baseline-dir bench-baseline --current-dir .
+
+Files are paired by basename (the baseline directory is searched
+recursively, since artifact downloads nest files under the artifact name).
+For every metric present in both files the per-metric percentage delta is
+printed, signed so that positive always means "worse":
+
+* latency-like metrics (``ns_per_op``, ``p50_ms``, ``p99_ms``, ...) —
+  lower is better, so the printed delta is the raw percentage change;
+* throughput-like metrics (``achieved_qps``, ``rows_per_s``) — higher is
+  better, so the sign is flipped.
+
+By default the script is report-only and always exits 0: shared CI runners
+are too noisy to gate on a few percent of wall time.  On a quiet host pass
+``--gate=<pct>`` to exit non-zero when any metric regresses by more than
+that percentage.
+
+Missing input is never an error: an absent/empty baseline directory (first
+run on a branch, expired artifact) or an unpaired file prints a notice and
+the script exits 0 — the gate must not fail before a trajectory exists.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def eprint(msg: str) -> None:
+    print(msg, file=sys.stderr)
+
+
+def find_bench_files(root: str, exclude: str | None = None) -> dict:
+    """Map basename -> path for every BENCH_*.json under ``root``.
+
+    ``exclude`` prunes one subtree from the walk — CI scans the checkout
+    root for current files with the baseline downloaded into a
+    subdirectory, and the baseline copies must not shadow them.
+    """
+    found: dict = {}
+    if not os.path.isdir(root):
+        return found
+    skip = os.path.abspath(exclude) if exclude else None
+    for dirpath, dirnames, filenames in os.walk(root):
+        if skip:
+            dirnames[:] = [d for d in dirnames
+                           if os.path.abspath(os.path.join(dirpath, d)) != skip]
+        for name in sorted(filenames):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                # First hit wins on duplicate basenames (artifact roots may
+                # shadow each other); duplicates are identical in practice.
+                found.setdefault(name, os.path.join(dirpath, name))
+    return found
+
+
+# metric name -> True when higher is better (sign-flip the delta).
+HIGHER_IS_BETTER = {"achieved_qps", "rows_per_s"}
+
+
+def extract_metrics(doc: object) -> dict:
+    """Flatten one bench document into {metric key: float value}.
+
+    Key shapes mirror the formats accepted by check_bench_json.py; an
+    unrecognised document yields no metrics (compare just reports it).
+    """
+    metrics: dict = {}
+    if not isinstance(doc, dict):
+        return metrics
+
+    def put(key: str, value: object) -> None:
+        if isinstance(value, (int, float)) and value > 0:
+            metrics[key] = float(value)
+
+    if "benchmarks" in doc:  # google-benchmark --benchmark_out
+        for b in doc.get("benchmarks", []):
+            if isinstance(b, dict) and "name" in b:
+                put(f"{b['name']}/real_time",
+                    b.get("real_time", b.get("cpu_time")))
+        return metrics
+
+    bench = doc.get("bench")
+    results = doc.get("results", [])
+    if not isinstance(results, list):
+        return metrics
+
+    if bench == "bench_kernels":
+        for r in results:
+            if not isinstance(r, dict) or not isinstance(r.get("shape"), dict):
+                continue
+            s = r["shape"]
+            key = (f"{r.get('kernel')}/{r.get('path')}"
+                   f"/d{s.get('digits')}/r{s.get('rows')}")
+            put(f"{key}/ns_per_op", r.get("ns_per_op"))
+        return metrics
+
+    if bench in ("runtime_throughput", "net_loadgen", "runtime_ingest"):
+        rate_keys = {
+            "runtime_throughput": ("achieved_qps", "p50_ms", "p99_ms"),
+            "net_loadgen": ("achieved_qps", "p50_ms", "p99_ms"),
+            "runtime_ingest": ("achieved_qps", "read_p50_ms", "read_p99_ms",
+                               "write_p50_ms", "write_p99_ms", "rows_per_s"),
+        }[bench]
+        for r in results:
+            if not isinstance(r, dict):
+                continue
+            target = r.get("target_qps", "?")
+            for key in rate_keys:
+                put(f"qps{target}/{key}", r.get(key))
+        return metrics
+
+    return metrics
+
+
+def compare_file(name: str, base_path: str, cur_path: str,
+                 gate: float | None) -> int:
+    """Print per-metric deltas for one file pair; return regression count."""
+    try:
+        with open(base_path, encoding="utf-8") as f:
+            base = extract_metrics(json.load(f))
+        with open(cur_path, encoding="utf-8") as f:
+            cur = extract_metrics(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        eprint(f"compare_bench_json: {name}: unreadable ({e}) — skipped")
+        return 0
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print(f"== {name}: no comparable metrics "
+              f"(baseline {len(base)}, current {len(cur)})")
+        return 0
+
+    regressions = 0
+    print(f"== {name}: {len(shared)} metrics "
+          f"({len(cur) - len(shared)} new, {len(base) - len(shared)} gone)")
+    for key in shared:
+        raw = (cur[key] - base[key]) / base[key] * 100.0
+        leaf = key.rsplit("/", 1)[-1]
+        delta = -raw if leaf in HIGHER_IS_BETTER else raw
+        gated = gate is not None and delta > gate
+        if gated:
+            regressions += 1
+        tag = "  REGRESSION" if gated else ""
+        print(f"  {key:58s} {base[key]:12.3f} -> {cur[key]:12.3f} "
+              f"{delta:+7.1f}%{tag}")
+    return regressions
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", required=True,
+                    help="directory holding the downloaded baseline artifact "
+                         "(searched recursively)")
+    ap.add_argument("--current-dir", default=".",
+                    help="directory holding the freshly generated "
+                         "BENCH_*.json files (searched recursively)")
+    ap.add_argument("--gate", type=float, default=None, metavar="PCT",
+                    help="exit non-zero when any metric regresses by more "
+                         "than PCT percent (default: report-only)")
+    args = ap.parse_args()
+
+    current = find_bench_files(args.current_dir, exclude=args.baseline_dir)
+    if not current:
+        eprint(f"compare_bench_json: no BENCH_*.json under "
+               f"{args.current_dir!r} — nothing to compare")
+        return 0
+    baseline = find_bench_files(args.baseline_dir)
+    if not baseline:
+        print(f"compare_bench_json: no baseline under "
+              f"{args.baseline_dir!r} (first run or expired artifact) — "
+              f"report skipped, exit 0")
+        return 0
+
+    regressions = 0
+    paired = 0
+    for name, cur_path in sorted(current.items()):
+        if name not in baseline:
+            print(f"== {name}: no baseline counterpart — skipped")
+            continue
+        paired += 1
+        regressions += compare_file(name, baseline[name], cur_path, args.gate)
+
+    if paired == 0:
+        print("compare_bench_json: no basename overlap with the baseline — "
+              "report skipped, exit 0")
+        return 0
+    if args.gate is not None and regressions:
+        eprint(f"compare_bench_json: FAIL: {regressions} metric(s) regressed "
+               f"beyond the {args.gate:.1f}% gate")
+        return 1
+    print(f"compare_bench_json: OK: {paired} file(s) compared"
+          + ("" if args.gate is None else f", gate {args.gate:.1f}% passed"))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # |head closed the pipe — not a compare failure
+        os._exit(0)

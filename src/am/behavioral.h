@@ -83,6 +83,16 @@ class BehavioralAm final : public core::SimilarityBackend {
   BehavioralTopK search_topk_packed(std::span<const std::uint32_t> packed,
                                     int k) const override;
 
+  // mmap-load support: swap in a pre-packed store wholesale (geometry is
+  // validated; calibration and bank model are unchanged).  Keeps the default
+  // per-query batch loop — every behavioural result carries native modeled
+  // latency/energy, so there is no pure-software tiled scan to route through.
+  void adopt_matrix(core::DigitMatrix matrix) override {
+    core::check_adopt_geometry(*this, matrix, "BehavioralAm::adopt_matrix");
+    matrix_ = std::move(matrix);
+  }
+  const core::DigitMatrix* packed_view() const override { return &matrix_; }
+
   // Modeled cost of one query over the stored rows on the configured
   // physical bank (AmSystemModel pass folding applied).
   core::QueryCost query_cost(double mismatch_fraction) const override;

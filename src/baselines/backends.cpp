@@ -14,11 +14,13 @@ int operand_bits_for(int levels) {
 
 DigitalPopcountBackend::DigitalPopcountBackend(int stages, int levels,
                                                int lanes,
-                                               DigitalPopcountParams params)
+                                               DigitalPopcountParams params,
+                                               core::ScanOptions scan)
     : matrix_(stages, levels),
       lanes_(lanes),
       digit_bits_(operand_bits_for(levels)),
-      model_(params) {
+      model_(params),
+      scan_(scan) {
   if (lanes < 1)
     throw std::invalid_argument("DigitalPopcountBackend: lanes must be >= 1");
 }
@@ -37,6 +39,21 @@ core::BackendTopK DigitalPopcountBackend::search_topk_packed(
                                       core::DigitMetric::kMismatchCount);
 }
 
+std::vector<core::BackendTopK> DigitalPopcountBackend::search_topk_packed_batch(
+    const core::DigitMatrix& queries, int first, int count, int k) const {
+  // Exhaustive results carry no native latency/energy (costs come from the
+  // query_cost hook), so the tiled software scan is semantics-preserving.
+  return core::exhaustive_topk_packed_batch(
+      matrix_, queries, first, count, k, core::DigitMetric::kMismatchCount,
+      scan_);
+}
+
+void DigitalPopcountBackend::adopt_matrix(core::DigitMatrix matrix) {
+  core::check_adopt_geometry(*this, matrix,
+                             "DigitalPopcountBackend::adopt_matrix");
+  matrix_ = std::move(matrix);
+}
+
 core::QueryCost DigitalPopcountBackend::query_cost(
     double mismatch_fraction) const {
   if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)
@@ -53,8 +70,12 @@ core::QueryCost DigitalPopcountBackend::query_cost(
 }
 
 CrossbarCamBackend::CrossbarCamBackend(int stages, int levels, int array_rows,
-                                       CrossbarCamParams params)
-    : matrix_(stages, levels), array_rows_(array_rows), model_(params) {
+                                       CrossbarCamParams params,
+                                       core::ScanOptions scan)
+    : matrix_(stages, levels),
+      array_rows_(array_rows),
+      model_(params),
+      scan_(scan) {
   if (array_rows < 1)
     throw std::invalid_argument(
         "CrossbarCamBackend: array_rows must be >= 1");
@@ -70,6 +91,19 @@ core::BackendTopK CrossbarCamBackend::search_topk_packed(
     std::span<const std::uint32_t> packed, int k) const {
   return core::exhaustive_topk_packed(matrix_, packed, k,
                                       core::DigitMetric::kMismatchCount);
+}
+
+std::vector<core::BackendTopK> CrossbarCamBackend::search_topk_packed_batch(
+    const core::DigitMatrix& queries, int first, int count, int k) const {
+  return core::exhaustive_topk_packed_batch(
+      matrix_, queries, first, count, k, core::DigitMetric::kMismatchCount,
+      scan_);
+}
+
+void CrossbarCamBackend::adopt_matrix(core::DigitMatrix matrix) {
+  core::check_adopt_geometry(*this, matrix,
+                             "CrossbarCamBackend::adopt_matrix");
+  matrix_ = std::move(matrix);
 }
 
 core::QueryCost CrossbarCamBackend::query_cost(

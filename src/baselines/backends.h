@@ -22,7 +22,8 @@ namespace tdam::baselines {
 class DigitalPopcountBackend final : public core::SimilarityBackend {
  public:
   DigitalPopcountBackend(int stages, int levels, int lanes = 128,
-                         DigitalPopcountParams params = {});
+                         DigitalPopcountParams params = {},
+                         core::ScanOptions scan = {});
 
   std::string name() const override { return "digital"; }
   core::DigitMetric metric() const override {
@@ -44,6 +45,13 @@ class DigitalPopcountBackend final : public core::SimilarityBackend {
                                 int k) const override;
   core::BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
                                        int k) const override;
+  std::vector<core::BackendTopK> search_topk_packed_batch(
+      const core::DigitMatrix& queries, int first, int count,
+      int k) const override;
+  int query_tile() const override { return scan_.query_tile; }
+
+  void adopt_matrix(core::DigitMatrix matrix) override;
+  const core::DigitMatrix* packed_view() const override { return &matrix_; }
 
   core::QueryCost query_cost(double mismatch_fraction) const override;
 
@@ -58,6 +66,7 @@ class DigitalPopcountBackend final : public core::SimilarityBackend {
   int lanes_;
   int digit_bits_;  // true operand width (not the padded storage width)
   DigitalPopcountModel model_;
+  core::ScanOptions scan_;
 };
 
 // Current-domain crossbar CAM: one multi-bit cell per digit, summed
@@ -66,7 +75,8 @@ class DigitalPopcountBackend final : public core::SimilarityBackend {
 class CrossbarCamBackend final : public core::SimilarityBackend {
  public:
   CrossbarCamBackend(int stages, int levels, int array_rows = 128,
-                     CrossbarCamParams params = {});
+                     CrossbarCamParams params = {},
+                     core::ScanOptions scan = {});
 
   std::string name() const override { return "cam"; }
   core::DigitMetric metric() const override {
@@ -88,6 +98,13 @@ class CrossbarCamBackend final : public core::SimilarityBackend {
                                 int k) const override;
   core::BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
                                        int k) const override;
+  std::vector<core::BackendTopK> search_topk_packed_batch(
+      const core::DigitMatrix& queries, int first, int count,
+      int k) const override;
+  int query_tile() const override { return scan_.query_tile; }
+
+  void adopt_matrix(core::DigitMatrix matrix) override;
+  const core::DigitMatrix* packed_view() const override { return &matrix_; }
 
   core::QueryCost query_cost(double mismatch_fraction) const override;
 
@@ -101,6 +118,7 @@ class CrossbarCamBackend final : public core::SimilarityBackend {
   core::DigitMatrix matrix_;
   int array_rows_;
   CrossbarCamModel model_;
+  core::ScanOptions scan_;
 };
 
 }  // namespace tdam::baselines

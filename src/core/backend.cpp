@@ -67,6 +67,60 @@ void keep_topk(BackendTopK& out, int k, DigitMetric metric) {
   out.entries.resize(keep);
 }
 
+// One query's scored column -> BackendTopK.  These finalizers are the ONLY
+// place scan scores become (entries, mean_score), so the single-query and
+// tiled paths cannot drift.
+
+BackendTopK topk_from_distances(std::span<const std::int32_t> dist, int k,
+                                DigitMetric metric) {
+  BackendTopK out;
+  const int rows = static_cast<int>(dist.size());
+  out.entries.reserve(dist.size());
+  long isum = 0;
+  for (int r = 0; r < rows; ++r) {
+    const int d = dist[static_cast<std::size_t>(r)];
+    out.entries.push_back({r, static_cast<double>(d)});
+    isum += d;
+  }
+  if (rows > 0)
+    out.mean_score = static_cast<double>(isum) / static_cast<double>(rows);
+  keep_topk(out, k, metric);
+  return out;
+}
+
+BackendTopK topk_from_dots(std::span<const std::int64_t> dots, int k) {
+  BackendTopK out;
+  const int rows = static_cast<int>(dots.size());
+  out.entries.reserve(dots.size());
+  double sum = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const auto score = static_cast<double>(dots[static_cast<std::size_t>(r)]);
+    out.entries.push_back({r, score});
+    sum += score;
+  }
+  if (rows > 0) out.mean_score = sum / static_cast<double>(rows);
+  keep_topk(out, k, DigitMetric::kDot);
+  return out;
+}
+
+BackendTopK topk_from_cosine(std::span<const std::int64_t> dots,
+                             std::span<const std::int64_t> row_sq,
+                             std::int64_t query_sq, int k) {
+  BackendTopK out;
+  const int rows = static_cast<int>(dots.size());
+  out.entries.reserve(dots.size());
+  double sum = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const double score = cosine_score(dots[i], row_sq[i], query_sq);
+    out.entries.push_back({r, score});
+    sum += score;
+  }
+  if (rows > 0) out.mean_score = sum / static_cast<double>(rows);
+  keep_topk(out, k, DigitMetric::kCosine);
+  return out;
+}
+
 }  // namespace
 
 BackendTopK exhaustive_topk_packed(const DigitMatrix& matrix,
@@ -74,10 +128,7 @@ BackendTopK exhaustive_topk_packed(const DigitMatrix& matrix,
                                    int k, DigitMetric metric) {
   if (k < 1)
     throw std::invalid_argument("exhaustive_topk: k must be >= 1");
-  BackendTopK out;
   const int rows = matrix.rows();
-  out.entries.reserve(static_cast<std::size_t>(rows));
-  double sum = 0.0;
   if (metric_is_mismatch_family(metric)) {
     std::vector<std::int32_t> dist(static_cast<std::size_t>(rows));
     if (metric == DigitMetric::kMismatchCount) {
@@ -85,39 +136,72 @@ BackendTopK exhaustive_topk_packed(const DigitMatrix& matrix,
     } else {
       kernels::l1_distance_batch(matrix, packed, dist);
     }
-    long isum = 0;
-    for (int r = 0; r < rows; ++r) {
-      const int d = dist[static_cast<std::size_t>(r)];
-      out.entries.push_back({r, static_cast<double>(d)});
-      isum += d;
-    }
-    sum = static_cast<double>(isum);
-  } else {
-    std::vector<std::int64_t> dots(static_cast<std::size_t>(rows));
-    kernels::dot_product_batch(matrix, packed, dots);
-    if (metric == DigitMetric::kDot) {
-      for (int r = 0; r < rows; ++r) {
-        const auto score =
-            static_cast<double>(dots[static_cast<std::size_t>(r)]);
-        out.entries.push_back({r, score});
-        sum += score;
-      }
-    } else {  // kCosine
-      const std::int64_t query_sq = packed_norm_sq(
-          packed, matrix.bits_per_digit(), matrix.tail_mask());
-      for (int r = 0; r < rows; ++r) {
-        const std::int64_t row_sq =
-            packed_norm_sq(matrix.row_words(r), matrix.bits_per_digit(),
-                           matrix.tail_mask());
-        const double score = cosine_score(dots[static_cast<std::size_t>(r)],
-                                          row_sq, query_sq);
-        out.entries.push_back({r, score});
-        sum += score;
-      }
-    }
+    return topk_from_distances(dist, k, metric);
   }
-  if (rows > 0) out.mean_score = sum / static_cast<double>(rows);
-  keep_topk(out, k, metric);
+  std::vector<std::int64_t> dots(static_cast<std::size_t>(rows));
+  kernels::dot_product_batch(matrix, packed, dots);
+  if (metric == DigitMetric::kDot) return topk_from_dots(dots, k);
+  // kCosine
+  const std::int64_t query_sq =
+      packed_norm_sq(packed, matrix.bits_per_digit(), matrix.tail_mask());
+  std::vector<std::int64_t> row_sq(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r)
+    row_sq[static_cast<std::size_t>(r)] = packed_norm_sq(
+        matrix.row_words(r), matrix.bits_per_digit(), matrix.tail_mask());
+  return topk_from_cosine(dots, row_sq, query_sq, k);
+}
+
+std::vector<BackendTopK> exhaustive_topk_packed_batch(
+    const DigitMatrix& matrix, const DigitMatrix& queries, int first,
+    int count, int k, DigitMetric metric, const ScanOptions& scan) {
+  if (k < 1)
+    throw std::invalid_argument(
+        "exhaustive_topk_packed_batch: k must be >= 1");
+  const auto rows = static_cast<std::size_t>(matrix.rows());
+  std::vector<BackendTopK> out;
+  out.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+  if (metric_is_mismatch_family(metric)) {
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(count) * rows);
+    if (metric == DigitMetric::kMismatchCount) {
+      kernels::mismatch_count_tile(matrix, queries, first, count, dist,
+                                   scan.row_block);
+    } else {
+      kernels::l1_distance_tile(matrix, queries, first, count, dist,
+                                scan.row_block);
+    }
+    for (int q = 0; q < count; ++q)
+      out.push_back(topk_from_distances(
+          std::span<const std::int32_t>(dist).subspan(
+              static_cast<std::size_t>(q) * rows, rows),
+          k, metric));
+    return out;
+  }
+  std::vector<std::int64_t> dots(static_cast<std::size_t>(count) * rows);
+  kernels::dot_product_tile(matrix, queries, first, count, dots,
+                            scan.row_block);
+  if (metric == DigitMetric::kDot) {
+    for (int q = 0; q < count; ++q)
+      out.push_back(topk_from_dots(
+          std::span<const std::int64_t>(dots).subspan(
+              static_cast<std::size_t>(q) * rows, rows),
+          k));
+    return out;
+  }
+  // kCosine: stored-row norms are tile-invariant — compute them once per
+  // call, not once per query.
+  std::vector<std::int64_t> row_sq(rows);
+  for (int r = 0; r < matrix.rows(); ++r)
+    row_sq[static_cast<std::size_t>(r)] = packed_norm_sq(
+        matrix.row_words(r), matrix.bits_per_digit(), matrix.tail_mask());
+  for (int q = 0; q < count; ++q) {
+    const std::int64_t query_sq =
+        packed_norm_sq(queries.row_words(first + q), matrix.bits_per_digit(),
+                       matrix.tail_mask());
+    out.push_back(topk_from_cosine(
+        std::span<const std::int64_t>(dots).subspan(
+            static_cast<std::size_t>(q) * rows, rows),
+        row_sq, query_sq, k));
+  }
   return out;
 }
 
@@ -151,6 +235,46 @@ BackendTopK SimilarityBackend::search_topk_packed(
         static_cast<int>((word >> ((c % dpw) * bits)) & field_mask);
   }
   return search_topk(digits, k);
+}
+
+std::vector<BackendTopK> SimilarityBackend::search_topk_packed_batch(
+    const DigitMatrix& queries, int first, int count, int k) const {
+  // Generic fallback: the per-query loop the tiled overrides must be
+  // bit-identical to.
+  if (first < 0 || count < 0 || first + count > queries.rows())
+    throw std::invalid_argument(
+        "SimilarityBackend::search_topk_packed_batch: query range [" +
+        std::to_string(first) + ", " + std::to_string(first + count) +
+        ") outside the batch's " + std::to_string(queries.rows()) + " rows");
+  std::vector<BackendTopK> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int q = 0; q < count; ++q)
+    out.push_back(search_topk_packed(queries.row_words(first + q), k));
+  return out;
+}
+
+void check_adopt_geometry(const SimilarityBackend& backend,
+                          const DigitMatrix& matrix, const char* who) {
+  if (matrix.cols() != backend.stages() ||
+      matrix.levels() != backend.levels())
+    throw std::invalid_argument(
+        std::string(who) + ": matrix holds " + std::to_string(matrix.cols()) +
+        "-digit rows over " + std::to_string(matrix.levels()) +
+        " levels, backend stores " + std::to_string(backend.stages()) +
+        " digits over " + std::to_string(backend.levels()) + " levels");
+}
+
+void SimilarityBackend::adopt_matrix(DigitMatrix matrix) {
+  // Generic fallback: replay the rows through store().  Correct for any
+  // backend (including ones with derived per-row state); packed backends
+  // override with a move.
+  check_adopt_geometry(*this, matrix, "SimilarityBackend::adopt_matrix");
+  clear();
+  std::vector<int> digits(static_cast<std::size_t>(stages()));
+  for (int r = 0; r < matrix.rows(); ++r) {
+    matrix.unpack_row_into(r, digits);
+    store(digits);
+  }
 }
 
 // --- deprecated integer-distance adapters ----------------------------------

@@ -137,6 +137,16 @@ struct QueryCost {
   int passes = 0;
 };
 
+// Memory-hierarchy tuning for the packed exhaustive scans: how many queries
+// of a batch ride one streaming pass over the stored rows (query_tile), and
+// how many stored rows form one cache-resident block (row_block; 0 = auto,
+// ~256 KiB of packed payload).  Pure performance knobs — results are
+// bit-identical for any values.
+struct ScanOptions {
+  int query_tile = 8;
+  int row_block = 0;
+};
+
 class SimilarityBackend {
  public:
   virtual ~SimilarityBackend() = default;
@@ -174,6 +184,37 @@ class SimilarityBackend {
   // wrong packed word count.
   virtual BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
                                          int k) const;
+
+  // Multi-query packed fast path: answers query rows [first, first+count)
+  // of `queries` (packed exactly as this backend packs rows), one
+  // BackendTopK per query in batch order.  The contract is bit-identical
+  // results to `count` search_topk_packed calls — this hook exists so
+  // packed backends can stream each stored row block once per query tile
+  // (see exhaustive_topk_packed_batch) instead of once per query.  The
+  // default does exactly the per-query loop, so custom backends stay
+  // correct without opting in.
+  virtual std::vector<BackendTopK> search_topk_packed_batch(
+      const class DigitMatrix& queries, int first, int count, int k) const;
+
+  // How many queries the serving engine should group into one
+  // search_topk_packed_batch call.  Backends whose batch path is the
+  // default per-query loop report 1 (no reuse to exploit); tiled backends
+  // report their ScanOptions::query_tile.
+  virtual int query_tile() const { return 1; }
+
+  // Replaces the stored set wholesale with `matrix`, which must match this
+  // backend's geometry (stages/levels fix the packing) — the mmap load
+  // path.  The default unpacks and re-stores row by row, correct for any
+  // backend; packed backends override with a move (plus any cache rebuild,
+  // e.g. cosine norms) so loading a multi-GB segment is O(rows) integer
+  // work at worst, never a digit-by-digit revalidation.  Throws
+  // std::invalid_argument on a geometry mismatch.
+  virtual void adopt_matrix(class DigitMatrix matrix);
+
+  // The backend's packed row store when it keeps one (every built-in does)
+  // — what index persistence snapshots without unpacking a single digit.
+  // nullptr means "no packed matrix"; savers then re-pack via row_digits.
+  virtual const class DigitMatrix* packed_view() const { return nullptr; }
 
   // QueryCostModel hook: modeled hardware cost of one query over the
   // current rows() at the given average digit-mismatch fraction.  Callers
@@ -219,6 +260,23 @@ BackendTopK exhaustive_topk(const class DigitMatrix& matrix,
 BackendTopK exhaustive_topk_packed(const class DigitMatrix& matrix,
                                    std::span<const std::uint32_t> packed,
                                    int k, DigitMetric metric);
+
+// Throws std::invalid_argument (naming both geometries) unless `matrix`
+// matches `backend`'s stages/levels exactly — the adopt_matrix precondition
+// every override shares.
+void check_adopt_geometry(const SimilarityBackend& backend,
+                          const class DigitMatrix& matrix, const char* who);
+
+// Query-block tiled scan: answers query rows [first, first+count) of
+// `queries` against `matrix` under `metric`, streaming each row block of
+// the stored set once per tile (kernels::*_tile) instead of once per
+// query.  Bit-identical to count exhaustive_topk_packed calls for any
+// ScanOptions; for kCosine the stored-row norms are computed once per call
+// instead of once per query.
+std::vector<BackendTopK> exhaustive_topk_packed_batch(
+    const class DigitMatrix& matrix, const class DigitMatrix& queries,
+    int first, int count, int k, DigitMetric metric,
+    const ScanOptions& scan = {});
 
 // ---------------------------------------------------------------------------
 // Pre-redesign integer-distance API, kept as thin adapters so out-of-tree

@@ -32,9 +32,9 @@ QueryCost similarity_query_cost(const SimilarityArrayModel& model, int rows,
   return cost;
 }
 
-CosineBackend::CosineBackend(int stages, int levels,
-                             SimilarityArrayModel model)
-    : matrix_(stages, levels), model_(model) {}
+CosineBackend::CosineBackend(int stages, int levels, SimilarityArrayModel model,
+                             ScanOptions scan)
+    : matrix_(stages, levels), model_(model), scan_(scan) {}
 
 int CosineBackend::store(std::span<const int> digits) {
   const int row = matrix_.append(digits);  // validates length and range
@@ -54,19 +54,12 @@ BackendTopK CosineBackend::search_topk(std::span<const int> query,
   return search_topk_packed(matrix_.pack(query), k);
 }
 
-BackendTopK CosineBackend::search_topk_packed(
-    std::span<const std::uint32_t> packed, int k) const {
-  if (k < 1)
-    throw std::invalid_argument("CosineBackend::search_topk: k must be >= 1");
-  const int rows = matrix_.rows();
-  std::vector<std::int64_t> dots(static_cast<std::size_t>(rows));
-  // Validates the packed word count against the matrix geometry.
-  kernels::dot_product_batch(matrix_, packed, dots);
-  const std::int64_t query_sq =
-      packed_norm_sq(packed, matrix_.bits_per_digit(), matrix_.tail_mask());
-
+BackendTopK CosineBackend::topk_from_dots(std::span<const std::int64_t> dots,
+                                          std::int64_t query_sq,
+                                          int k) const {
   BackendTopK out;
-  out.entries.reserve(static_cast<std::size_t>(rows));
+  const int rows = static_cast<int>(dots.size());
+  out.entries.reserve(dots.size());
   double sum = 0.0;
   for (int r = 0; r < rows; ++r) {
     const auto i = static_cast<std::size_t>(r);
@@ -85,6 +78,52 @@ BackendTopK CosineBackend::search_topk_packed(
   return out;
 }
 
+BackendTopK CosineBackend::search_topk_packed(
+    std::span<const std::uint32_t> packed, int k) const {
+  if (k < 1)
+    throw std::invalid_argument("CosineBackend::search_topk: k must be >= 1");
+  const int rows = matrix_.rows();
+  std::vector<std::int64_t> dots(static_cast<std::size_t>(rows));
+  // Validates the packed word count against the matrix geometry.
+  kernels::dot_product_batch(matrix_, packed, dots);
+  const std::int64_t query_sq =
+      packed_norm_sq(packed, matrix_.bits_per_digit(), matrix_.tail_mask());
+  return topk_from_dots(dots, query_sq, k);
+}
+
+std::vector<BackendTopK> CosineBackend::search_topk_packed_batch(
+    const DigitMatrix& queries, int first, int count, int k) const {
+  if (k < 1)
+    throw std::invalid_argument("CosineBackend::search_topk: k must be >= 1");
+  const auto rows = static_cast<std::size_t>(matrix_.rows());
+  std::vector<std::int64_t> dots(static_cast<std::size_t>(count) * rows);
+  // Validates the query packing and the [first, first+count) range.
+  kernels::dot_product_tile(matrix_, queries, first, count, dots,
+                            scan_.row_block);
+  std::vector<BackendTopK> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int q = 0; q < count; ++q) {
+    const std::int64_t query_sq =
+        packed_norm_sq(queries.row_words(first + q), matrix_.bits_per_digit(),
+                       matrix_.tail_mask());
+    out.push_back(topk_from_dots(
+        std::span<const std::int64_t>(dots).subspan(
+            static_cast<std::size_t>(q) * rows, rows),
+        query_sq, k));
+  }
+  return out;
+}
+
+void CosineBackend::adopt_matrix(DigitMatrix matrix) {
+  check_adopt_geometry(*this, matrix, "CosineBackend::adopt_matrix");
+  matrix_ = std::move(matrix);
+  norms_sq_.assign(static_cast<std::size_t>(matrix_.rows()), 0);
+  for (int r = 0; r < matrix_.rows(); ++r)
+    norms_sq_[static_cast<std::size_t>(r)] =
+        packed_norm_sq(matrix_.row_words(r), matrix_.bits_per_digit(),
+                       matrix_.tail_mask());
+}
+
 QueryCost CosineBackend::query_cost(double mismatch_fraction) const {
   check_similarity_fraction("CosineBackend::query_cost", mismatch_fraction);
   return similarity_query_cost(model_, rows(), stages());
@@ -96,8 +135,9 @@ std::size_t CosineBackend::resident_bytes() const {
 }
 
 DotProductBackend::DotProductBackend(int stages, int levels,
-                                     SimilarityArrayModel model)
-    : matrix_(stages, levels), model_(model) {}
+                                     SimilarityArrayModel model,
+                                     ScanOptions scan)
+    : matrix_(stages, levels), model_(model), scan_(scan) {}
 
 QueryCost DotProductBackend::query_cost(double mismatch_fraction) const {
   check_similarity_fraction("DotProductBackend::query_cost",

@@ -39,7 +39,8 @@ QueryCost similarity_query_cost(const SimilarityArrayModel& model, int rows,
 
 class CosineBackend final : public SimilarityBackend {
  public:
-  CosineBackend(int stages, int levels, SimilarityArrayModel model = {});
+  CosineBackend(int stages, int levels, SimilarityArrayModel model = {},
+                ScanOptions scan = {});
 
   std::string name() const override { return "cosine"; }
   DigitMetric metric() const override { return DigitMetric::kCosine; }
@@ -58,6 +59,17 @@ class CosineBackend final : public SimilarityBackend {
   BackendTopK search_topk(std::span<const int> query, int k) const override;
   BackendTopK search_topk_packed(std::span<const std::uint32_t> packed,
                                  int k) const override;
+  // Tiled override: one dot-kernel tile over the stored rows for the whole
+  // query block, cached norms on top — never recomputes a row norm.
+  std::vector<BackendTopK> search_topk_packed_batch(const DigitMatrix& queries,
+                                                    int first, int count,
+                                                    int k) const override;
+  int query_tile() const override { return scan_.query_tile; }
+
+  // Moves the matrix in and rebuilds the norm cache in one packed pass (no
+  // per-digit re-validation, no re-store).
+  void adopt_matrix(DigitMatrix matrix) override;
+  const DigitMatrix* packed_view() const override { return &matrix_; }
 
   // Throws std::invalid_argument on a nonzero mismatch fraction: cosine has
   // no mismatch fraction, and callers must cost it at 0.0.
@@ -66,14 +78,21 @@ class CosineBackend final : public SimilarityBackend {
   std::size_t resident_bytes() const override;
 
  private:
+  // (dots, query norm) -> sorted top-k against the cached row norms; the
+  // single shared finalizer of both packed paths.
+  BackendTopK topk_from_dots(std::span<const std::int64_t> dots,
+                             std::int64_t query_sq, int k) const;
+
   DigitMatrix matrix_;
   std::vector<std::int64_t> norms_sq_;  // one squared norm per stored row
   SimilarityArrayModel model_;
+  ScanOptions scan_;
 };
 
 class DotProductBackend final : public SimilarityBackend {
  public:
-  DotProductBackend(int stages, int levels, SimilarityArrayModel model = {});
+  DotProductBackend(int stages, int levels, SimilarityArrayModel model = {},
+                    ScanOptions scan = {});
 
   std::string name() const override { return "dot"; }
   DigitMetric metric() const override { return DigitMetric::kDot; }
@@ -96,6 +115,19 @@ class DotProductBackend final : public SimilarityBackend {
                                  int k) const override {
     return exhaustive_topk_packed(matrix_, packed, k, DigitMetric::kDot);
   }
+  std::vector<BackendTopK> search_topk_packed_batch(const DigitMatrix& queries,
+                                                    int first, int count,
+                                                    int k) const override {
+    return exhaustive_topk_packed_batch(matrix_, queries, first, count, k,
+                                        DigitMetric::kDot, scan_);
+  }
+  int query_tile() const override { return scan_.query_tile; }
+
+  void adopt_matrix(DigitMatrix matrix) override {
+    check_adopt_geometry(*this, matrix, "DotProductBackend::adopt_matrix");
+    matrix_ = std::move(matrix);
+  }
+  const DigitMatrix* packed_view() const override { return &matrix_; }
 
   // Throws std::invalid_argument on a nonzero mismatch fraction, like
   // CosineBackend.
@@ -108,6 +140,7 @@ class DotProductBackend final : public SimilarityBackend {
  private:
   DigitMatrix matrix_;
   SimilarityArrayModel model_;
+  ScanOptions scan_;
 };
 
 }  // namespace tdam::core

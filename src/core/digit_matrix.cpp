@@ -73,22 +73,41 @@ std::vector<std::uint32_t> DigitMatrix::pack(
 }
 
 int DigitMatrix::append(std::span<const int> digits) {
+  if (external_)
+    throw std::logic_error(
+        "DigitMatrix::append: frozen external storage is immutable");
   auto packed = pack(digits);  // validates
   words_.insert(words_.end(), packed.begin(), packed.end());
   return rows_++;
 }
 
 void DigitMatrix::clear() {
+  if (external_)
+    throw std::logic_error(
+        "DigitMatrix::clear: frozen external storage is immutable");
   words_.clear();
   rows_ = 0;
+}
+
+DigitMatrix DigitMatrix::from_external(int cols, int levels, int rows,
+                                       const std::uint32_t* words) {
+  DigitMatrix m(cols, levels);  // validates cols and levels
+  if (rows < 0)
+    throw std::invalid_argument("DigitMatrix::from_external: rows must be >= 0");
+  if (rows > 0 && words == nullptr)
+    throw std::invalid_argument(
+        "DigitMatrix::from_external: null payload for " +
+        std::to_string(rows) + " rows");
+  m.rows_ = rows;
+  m.external_ = words;
+  return m;
 }
 
 std::span<const std::uint32_t> DigitMatrix::row_words(int row) const {
   if (row < 0 || row >= rows_)
     throw std::out_of_range("DigitMatrix::row_words: bad row");
-  return {words_.data() +
-              static_cast<std::size_t>(row) *
-                  static_cast<std::size_t>(words_per_row_),
+  return {words_data() + static_cast<std::size_t>(row) *
+                             static_cast<std::size_t>(words_per_row_),
           static_cast<std::size_t>(words_per_row_)};
 }
 

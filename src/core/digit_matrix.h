@@ -34,9 +34,20 @@ class DigitMatrix {
   int words_per_row() const { return words_per_row_; }
 
   // Appends one row; returns its index.  Throws std::invalid_argument on a
-  // wrong digit count or any digit outside [0, levels).
+  // wrong digit count or any digit outside [0, levels), and std::logic_error
+  // on a frozen external-storage matrix.
   int append(std::span<const int> digits);
   void clear();
+
+  // Wraps an externally-owned packed payload (e.g. an mmap'd index file)
+  // without copying: `words` must hold rows * words_per_row() words laid
+  // out exactly as append() packs them, and must stay valid for the
+  // matrix's lifetime (core::Segment's keep-alive pin is how the runtime
+  // guarantees that).  The result is frozen — append()/clear() throw — but
+  // reads, kernels and searches are indistinguishable from owned storage.
+  static DigitMatrix from_external(int cols, int levels, int rows,
+                                   const std::uint32_t* words);
+  bool frozen() const { return external_ != nullptr; }
 
   // The smallest power-of-two field width holding `levels` digits (1/2/4/8
   // bits for levels in [2, 256]); throws on levels outside that range.  Two
@@ -53,7 +64,9 @@ class DigitMatrix {
   std::uint32_t tail_mask() const { return tail_mask_; }
   // The packed payload: rows() * words_per_row() contiguous words (the
   // kernel layer's row-blocked scan input).
-  const std::uint32_t* words_data() const { return words_.data(); }
+  const std::uint32_t* words_data() const {
+    return external_ ? external_ : words_.data();
+  }
 
   int digit(int row, int col) const;
   std::vector<int> unpack_row(int row) const;
@@ -74,9 +87,15 @@ class DigitMatrix {
   int l1_distance(int row, std::span<const int> query) const;
 
   // Bytes held by the packed store (capacity, i.e. what is actually
-  // resident) plus the fixed object header.
+  // resident) plus the fixed object header.  External storage counts its
+  // mapped payload — the address-space cost of serving it.
   std::size_t resident_bytes() const {
-    return words_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+    const std::size_t payload =
+        external_ ? static_cast<std::size_t>(rows_) *
+                        static_cast<std::size_t>(words_per_row_) *
+                        sizeof(std::uint32_t)
+                  : words_.capacity() * sizeof(std::uint32_t);
+    return payload + sizeof(*this);
   }
   // Payload bytes of one packed row — the "packed size" a storage-efficiency
   // check should compare resident_bytes() against.
@@ -95,6 +114,7 @@ class DigitMatrix {
   std::uint32_t tail_mask_;  // used fields of the final word per row
   int rows_ = 0;
   std::vector<std::uint32_t> words_;
+  const std::uint32_t* external_ = nullptr;  // non-null: frozen mapped payload
 };
 
 }  // namespace tdam::core

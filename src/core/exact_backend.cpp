@@ -4,8 +4,9 @@
 
 namespace tdam::core {
 
-ExactL1Backend::ExactL1Backend(int stages, int levels, DigitMetric metric)
-    : metric_(metric), matrix_(stages, levels) {}
+ExactL1Backend::ExactL1Backend(int stages, int levels, DigitMetric metric,
+                               ScanOptions scan)
+    : metric_(metric), matrix_(stages, levels), scan_(scan) {}
 
 QueryCost ExactL1Backend::query_cost(double mismatch_fraction) const {
   if (mismatch_fraction < 0.0 || mismatch_fraction > 1.0)

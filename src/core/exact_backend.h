@@ -16,7 +16,8 @@ namespace tdam::core {
 class ExactL1Backend final : public SimilarityBackend {
  public:
   ExactL1Backend(int stages, int levels,
-                 DigitMetric metric = DigitMetric::kMismatchCount);
+                 DigitMetric metric = DigitMetric::kMismatchCount,
+                 ScanOptions scan = {});
 
   std::string name() const override {
     return metric_ == DigitMetric::kMismatchCount ? "exact" : "exact-l1";
@@ -41,6 +42,19 @@ class ExactL1Backend final : public SimilarityBackend {
                                  int k) const override {
     return exhaustive_topk_packed(matrix_, packed, k, metric_);
   }
+  std::vector<BackendTopK> search_topk_packed_batch(const DigitMatrix& queries,
+                                                    int first, int count,
+                                                    int k) const override {
+    return exhaustive_topk_packed_batch(matrix_, queries, first, count, k,
+                                        metric_, scan_);
+  }
+  int query_tile() const override { return scan_.query_tile; }
+
+  void adopt_matrix(DigitMatrix matrix) override {
+    check_adopt_geometry(*this, matrix, "ExactL1Backend::adopt_matrix");
+    matrix_ = std::move(matrix);
+  }
+  const DigitMatrix* packed_view() const override { return &matrix_; }
 
   // Software reference: no modeled hardware.  One "pass" (the scan), zero
   // joules and seconds on the modeled-cost axis.
@@ -53,6 +67,7 @@ class ExactL1Backend final : public SimilarityBackend {
  private:
   DigitMetric metric_;
   DigitMatrix matrix_;
+  ScanOptions scan_;
 };
 
 }  // namespace tdam::core

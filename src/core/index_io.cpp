@@ -1,0 +1,358 @@
+#include "core/index_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tdam::core {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "index_io: the file format is little-endian and is mapped "
+              "without byte-swapping");
+
+constexpr std::uint32_t kMagic = 0x4D414454u;  // "TDAM" read as a LE u32
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kTableEntryBytes = 24;
+constexpr std::uint64_t kFnvSeed = 14695981039346656037ull;
+
+// Named header offsets — every rejection message cites one of these.
+constexpr std::size_t kMagicOffset = 0;
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kStagesOffset = 8;
+constexpr std::size_t kLevelsOffset = 12;
+constexpr std::size_t kShardsOffset = 16;
+constexpr std::size_t kNameLenOffset = 20;
+constexpr std::size_t kRowsOffset = 24;
+constexpr std::size_t kSegmentsOffset = 32;
+constexpr std::size_t kFileBytesOffset = 40;
+constexpr std::size_t kTableChecksumOffset = 48;
+constexpr std::size_t kPayloadChecksumOffset = 56;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::size_t align_up(std::size_t x, std::size_t a) {
+  return (x + a - 1) / a * a;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("index_io: " + what);
+}
+
+// Append-only little-endian byte buffer for the header + table prefix.
+struct ByteBuffer {
+  std::vector<unsigned char> bytes;
+
+  template <typename T>
+  void put(T v) {
+    const auto at = bytes.size();
+    bytes.resize(at + sizeof(T));
+    std::memcpy(bytes.data() + at, &v, sizeof(T));
+  }
+  template <typename T>
+  void put_at(std::size_t at, T v) {
+    std::memcpy(bytes.data() + at, &v, sizeof(T));
+  }
+  void pad_to(std::size_t at) { bytes.resize(at, 0); }
+};
+
+// Per-segment placement computed once and shared by saver and checksummer.
+struct SegmentLayout {
+  std::size_t ids_offset = 0;
+  std::size_t words_offset = 0;
+};
+
+template <typename T>
+T read_at(const unsigned char* base, std::size_t off) {
+  T v;
+  std::memcpy(&v, base + off, sizeof(T));
+  return v;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+void save_index_file(const std::string& path, const IndexFileInfo& info,
+                     std::span<const SavedSegment> segments) {
+  if (info.stages < 1 || info.levels < 2 || info.levels > 256 ||
+      info.shards < 1)
+    throw std::invalid_argument("index_io: bad geometry to save (stages " +
+                                std::to_string(info.stages) + ", levels " +
+                                std::to_string(info.levels) + ", shards " +
+                                std::to_string(info.shards) + ")");
+  const auto wpr = static_cast<std::size_t>(
+      DigitMatrix(info.stages, info.levels).words_per_row());
+
+  // Lay the file out first: header, name, table, then 64-byte-aligned
+  // ids/words runs per segment.
+  const std::size_t table_offset =
+      align_up(kHeaderBytes + info.backend.size(), 8);
+  std::size_t cursor = table_offset + segments.size() * kTableEntryBytes;
+  std::vector<SegmentLayout> layout(segments.size());
+  std::uint64_t total_rows = 0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto rows = segments[s].ids.size();
+    if (segments[s].words.size() != rows * wpr)
+      throw std::invalid_argument(
+          "index_io: segment " + std::to_string(s) + " has " +
+          std::to_string(rows) + " ids but " +
+          std::to_string(segments[s].words.size()) + " packed words (want " +
+          std::to_string(rows * wpr) + ")");
+    total_rows += rows;
+    layout[s].ids_offset = align_up(cursor, 64);
+    cursor = layout[s].ids_offset + rows * sizeof(std::int32_t);
+    layout[s].words_offset = align_up(cursor, 64);
+    cursor = layout[s].words_offset + rows * wpr * sizeof(std::uint32_t);
+  }
+  if (total_rows > info.rows)
+    throw std::invalid_argument("index_io: segments hold " +
+                                std::to_string(total_rows) +
+                                " rows, more than the declared " +
+                                std::to_string(info.rows));
+  const std::uint64_t file_bytes = cursor;
+
+  // Table bytes + checksums before the header can be written.
+  ByteBuffer table;
+  std::uint64_t payload_checksum = kFnvSeed;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    table.put<std::int32_t>(segments[s].shard);
+    table.put<std::int32_t>(static_cast<std::int32_t>(segments[s].ids.size()));
+    table.put<std::uint64_t>(layout[s].ids_offset);
+    table.put<std::uint64_t>(layout[s].words_offset);
+    payload_checksum =
+        fnv1a(payload_checksum, segments[s].ids.data(),
+              segments[s].ids.size_bytes());
+    payload_checksum = fnv1a(payload_checksum, segments[s].words.data(),
+                             segments[s].words.size_bytes());
+  }
+  const std::uint64_t table_checksum =
+      fnv1a(kFnvSeed, table.bytes.data(), table.bytes.size());
+
+  ByteBuffer head;
+  head.put<std::uint32_t>(kMagic);
+  head.put<std::uint32_t>(kVersion);
+  head.put<std::int32_t>(info.stages);
+  head.put<std::int32_t>(info.levels);
+  head.put<std::int32_t>(info.shards);
+  head.put<std::uint32_t>(static_cast<std::uint32_t>(info.backend.size()));
+  head.put<std::uint64_t>(info.rows);
+  head.put<std::uint64_t>(static_cast<std::uint64_t>(segments.size()));
+  head.put<std::uint64_t>(file_bytes);
+  head.put<std::uint64_t>(table_checksum);
+  head.put<std::uint64_t>(payload_checksum);
+  head.pad_to(kHeaderBytes);
+  head.bytes.insert(head.bytes.end(), info.backend.begin(),
+                    info.backend.end());
+  head.pad_to(table_offset);
+  head.bytes.insert(head.bytes.end(), table.bytes.begin(), table.bytes.end());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(head.bytes.data()),
+            static_cast<std::streamsize>(head.bytes.size()));
+  std::size_t written = head.bytes.size();
+  const auto pad_to = [&](std::size_t at) {
+    static constexpr char kZeros[64] = {};
+    while (written < at) {
+      const auto n = std::min<std::size_t>(at - written, sizeof(kZeros));
+      out.write(kZeros, static_cast<std::streamsize>(n));
+      written += n;
+    }
+  };
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    pad_to(layout[s].ids_offset);
+    out.write(reinterpret_cast<const char*>(segments[s].ids.data()),
+              static_cast<std::streamsize>(segments[s].ids.size_bytes()));
+    written += segments[s].ids.size_bytes();
+    pad_to(layout[s].words_offset);
+    out.write(reinterpret_cast<const char*>(segments[s].words.data()),
+              static_cast<std::streamsize>(segments[s].words.size_bytes()));
+    written += segments[s].words.size_bytes();
+  }
+  out.flush();
+  if (!out) fail("write to " + path + " failed");
+}
+
+LoadedIndex load_index_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    fail("cannot open " + path + ": " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("cannot stat " + path + ": " + std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    fail("truncated header: " + path + " is " + std::to_string(size) +
+         " bytes, a v1 header needs " + std::to_string(kHeaderBytes) +
+         " (offset " + std::to_string(kMagicOffset) + ")");
+  }
+  void* raw = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);
+  if (raw == MAP_FAILED)
+    fail("mmap of " + path + " failed: " + std::strerror(map_err));
+  std::shared_ptr<const void> mapping(
+      static_cast<const void*>(raw),
+      [size](const void* p) { ::munmap(const_cast<void*>(p), size); });
+  const auto* base = static_cast<const unsigned char*>(raw);
+
+  const auto magic = read_at<std::uint32_t>(base, kMagicOffset);
+  if (magic != kMagic)
+    fail("bad magic at offset " + std::to_string(kMagicOffset) + ": got " +
+         hex(magic) + ", want " + hex(kMagic) + " (\"TDAM\")");
+  const auto version = read_at<std::uint32_t>(base, kVersionOffset);
+  if (version != kVersion)
+    fail("unsupported version at offset " + std::to_string(kVersionOffset) +
+         ": got " + std::to_string(version) + ", want " +
+         std::to_string(kVersion));
+
+  LoadedIndex out;
+  out.info.stages = read_at<std::int32_t>(base, kStagesOffset);
+  out.info.levels = read_at<std::int32_t>(base, kLevelsOffset);
+  out.info.shards = read_at<std::int32_t>(base, kShardsOffset);
+  if (out.info.stages < 1)
+    fail("bad stages at offset " + std::to_string(kStagesOffset) + ": " +
+         std::to_string(out.info.stages));
+  if (out.info.levels < 2 || out.info.levels > 256)
+    fail("bad levels at offset " + std::to_string(kLevelsOffset) + ": " +
+         std::to_string(out.info.levels) + " outside [2, 256]");
+  if (out.info.shards < 1)
+    fail("bad shards at offset " + std::to_string(kShardsOffset) + ": " +
+         std::to_string(out.info.shards));
+  out.info.rows = read_at<std::uint64_t>(base, kRowsOffset);
+  const auto segments = read_at<std::uint64_t>(base, kSegmentsOffset);
+  const auto file_bytes = read_at<std::uint64_t>(base, kFileBytesOffset);
+  if (file_bytes != size)
+    fail("truncated or padded file: " + path + " is " + std::to_string(size) +
+         " bytes but the header at offset " + std::to_string(kFileBytesOffset) +
+         " declares " + std::to_string(file_bytes));
+
+  const auto name_len =
+      static_cast<std::size_t>(read_at<std::uint32_t>(base, kNameLenOffset));
+  if (name_len > 255 || kHeaderBytes + name_len > size)
+    fail("bad backend name length at offset " +
+         std::to_string(kNameLenOffset) + ": " + std::to_string(name_len));
+  out.info.backend.assign(reinterpret_cast<const char*>(base) + kHeaderBytes,
+                          name_len);
+
+  const std::size_t table_offset = align_up(kHeaderBytes + name_len, 8);
+  const std::size_t table_bytes =
+      static_cast<std::size_t>(segments) * kTableEntryBytes;
+  if (table_offset > size || table_bytes > size - table_offset)
+    fail("segment table out of bounds: " + std::to_string(segments) +
+         " segments at offset " + std::to_string(table_offset) +
+         " exceed the " + std::to_string(size) + "-byte file");
+  const auto table_checksum =
+      read_at<std::uint64_t>(base, kTableChecksumOffset);
+  const auto computed_table = fnv1a(kFnvSeed, base + table_offset, table_bytes);
+  if (computed_table != table_checksum)
+    fail("segment table checksum mismatch (header offset " +
+         std::to_string(kTableChecksumOffset) + "): stored " +
+         hex(table_checksum) + ", computed " + hex(computed_table));
+
+  const auto wpr = static_cast<std::size_t>(
+      DigitMatrix(out.info.stages, out.info.levels).words_per_row());
+  const auto payload_checksum =
+      read_at<std::uint64_t>(base, kPayloadChecksumOffset);
+  std::uint64_t computed_payload = kFnvSeed;
+  std::uint64_t total_rows = 0;
+  out.segments.reserve(static_cast<std::size_t>(segments));
+  for (std::uint64_t s = 0; s < segments; ++s) {
+    const std::size_t entry =
+        table_offset + static_cast<std::size_t>(s) * kTableEntryBytes;
+    const auto shard = read_at<std::int32_t>(base, entry);
+    const auto rows = read_at<std::int32_t>(base, entry + 4);
+    const auto ids_offset = read_at<std::uint64_t>(base, entry + 8);
+    const auto words_offset = read_at<std::uint64_t>(base, entry + 16);
+    if (shard < 0 || shard >= out.info.shards)
+      fail("segment " + std::to_string(s) + ": shard " +
+           std::to_string(shard) + " outside [0, " +
+           std::to_string(out.info.shards) + ") (table offset " +
+           std::to_string(entry) + ")");
+    if (rows < 0)
+      fail("segment " + std::to_string(s) + ": negative row count " +
+           std::to_string(rows) + " (table offset " +
+           std::to_string(entry + 4) + ")");
+    const auto ids_bytes =
+        static_cast<std::size_t>(rows) * sizeof(std::int32_t);
+    const auto words_bytes =
+        static_cast<std::size_t>(rows) * wpr * sizeof(std::uint32_t);
+    if (ids_offset % alignof(std::int32_t) != 0 || ids_offset > size ||
+        ids_bytes > size - ids_offset)
+      fail("segment " + std::to_string(s) + ": ids run [" +
+           std::to_string(ids_offset) + ", +" + std::to_string(ids_bytes) +
+           ") outside the " + std::to_string(size) + "-byte file (table "
+           "offset " + std::to_string(entry + 8) + ")");
+    if (words_offset % alignof(std::uint32_t) != 0 || words_offset > size ||
+        words_bytes > size - words_offset)
+      fail("segment " + std::to_string(s) + ": packed words run [" +
+           std::to_string(words_offset) + ", +" +
+           std::to_string(words_bytes) + ") outside the " +
+           std::to_string(size) + "-byte file (table offset " +
+           std::to_string(entry + 16) + ")");
+    computed_payload = fnv1a(computed_payload, base + ids_offset, ids_bytes);
+    computed_payload =
+        fnv1a(computed_payload, base + words_offset, words_bytes);
+    total_rows += static_cast<std::uint64_t>(rows);
+
+    LoadedSegment seg{
+        shard,
+        std::vector<int>(static_cast<std::size_t>(rows)),
+        DigitMatrix::from_external(
+            out.info.stages, out.info.levels, rows,
+            reinterpret_cast<const std::uint32_t*>(base + words_offset))};
+    std::memcpy(seg.ids.data(), base + ids_offset, ids_bytes);
+    for (std::size_t i = 0; i < seg.ids.size(); ++i) {
+      const bool ascending = i == 0 || seg.ids[i] > seg.ids[i - 1];
+      if (!ascending || seg.ids[i] < 0 ||
+          static_cast<std::uint64_t>(seg.ids[i]) >= out.info.rows)
+        fail("segment " + std::to_string(s) + ": global id " +
+             std::to_string(seg.ids[i]) + " at local row " +
+             std::to_string(i) + " is not strictly ascending in [0, " +
+             std::to_string(out.info.rows) + ") (ids offset " +
+             std::to_string(ids_offset + i * sizeof(std::int32_t)) + ")");
+    }
+    out.segments.push_back(std::move(seg));
+  }
+  if (computed_payload != payload_checksum)
+    fail("payload checksum mismatch (header offset " +
+         std::to_string(kPayloadChecksumOffset) + "): stored " +
+         hex(payload_checksum) + ", computed " + hex(computed_payload));
+  if (total_rows > out.info.rows)
+    fail("segments hold " + std::to_string(total_rows) +
+         " rows, more than the declared " + std::to_string(out.info.rows) +
+         " (header offset " + std::to_string(kRowsOffset) + ")");
+
+  out.mapping = std::move(mapping);
+  return out;
+}
+
+}  // namespace tdam::core

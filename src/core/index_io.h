@@ -1,0 +1,98 @@
+// mmap-persisted segment files: cold multi-GB indexes back in milliseconds.
+//
+// A sealed runtime::ShardedIndex is a set of immutable segments — packed
+// DigitMatrix runs plus ascending global-id lists.  save_index_file lays
+// those bytes out verbatim in one flat file; load_index_file maps the file
+// read-only (POSIX mmap) and wraps each segment's packed payload in a
+// frozen DigitMatrix::from_external view, so "loading" never copies or
+// re-validates a single digit — the kernel scans run straight off the page
+// cache, and the mapping lives exactly as long as the last Segment pinning
+// it (see core::Segment's keep-alive pin).
+//
+// Format (version 1, little-endian, like every binary artifact this repo
+// writes; hdc/serialize's text snapshots stay text because they are meant
+// to be diffed, this file is meant to be mapped):
+//
+//   offset  size  field
+//   ------  ----  -----
+//        0     4  magic "TDAM" (0x4D414454 as a LE u32)
+//        4     4  version (1)
+//        8     4  stages  (digits per row, i32)
+//       12     4  levels  (digit alphabet, i32)
+//       16     4  shards  (i32)
+//       20     4  backend name length (u32)
+//       24     8  rows     (total stored rows, u64; global ids are [0,rows))
+//       32     8  segments (u64)
+//       40     8  file_bytes (total file size, u64 — the truncation check)
+//       48     8  table_checksum   (FNV-1a 64 over the segment table bytes)
+//       56     8  payload_checksum (FNV-1a 64 over every segment's ids then
+//                                   words bytes, in table order)
+//       64     —  backend name bytes (no terminator)
+//        …     —  segment table, 8-byte aligned: per segment
+//                 { shard i32, rows i32, ids_offset u64, words_offset u64 }
+//        …     —  payload: per segment, 64-byte-aligned ids (rows x i32)
+//                 then 64-byte-aligned packed words (rows x words_per_row
+//                 x u32, exactly as DigitMatrix packs them)
+//
+// Every load-time rejection is a std::runtime_error naming the offending
+// field and its byte offset, so a truncated copy or a flipped bit points at
+// itself instead of at a kernel crash three layers later.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/digit_matrix.h"
+
+namespace tdam::core {
+
+// Header facts of an index file (what a loader needs before building
+// anything, and what save_index_file is told to write).
+struct IndexFileInfo {
+  std::string backend;
+  int stages = 0;
+  int levels = 0;
+  int shards = 0;
+  std::uint64_t rows = 0;  // global ids are exactly [0, rows)
+};
+
+// One segment's bytes, as the saver sees them: which shard it belongs to,
+// its ascending global ids, and its packed payload
+// (ids.size() * words_per_row words).
+struct SavedSegment {
+  int shard = 0;
+  std::span<const int> ids;
+  std::span<const std::uint32_t> words;
+};
+
+// Writes the file atomically enough for a serving host: to `path` directly,
+// failing with std::runtime_error on any I/O error.  Segment spans must
+// outlive the call only.
+void save_index_file(const std::string& path, const IndexFileInfo& info,
+                     std::span<const SavedSegment> segments);
+
+// One loaded segment: the ids are copied out (small), the matrix is a
+// frozen zero-copy view into the mapping.
+struct LoadedSegment {
+  int shard = 0;
+  std::vector<int> ids;
+  DigitMatrix matrix;
+};
+
+struct LoadedIndex {
+  IndexFileInfo info;
+  std::vector<LoadedSegment> segments;
+  // The mapping keep-alive: every consumer of a segment matrix must hold
+  // this (Segment's pin) until it is done reading.
+  std::shared_ptr<const void> mapping;
+};
+
+// Maps `path` and validates magic, version, declared size vs. actual size,
+// table/payload checksums, offset bounds and geometry before returning.
+// Throws std::runtime_error naming the bad field and offset.
+LoadedIndex load_index_file(const std::string& path);
+
+}  // namespace tdam::core

@@ -1,5 +1,6 @@
 #include "core/kernels/kernels.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdio>
@@ -112,7 +113,8 @@ constexpr KernelTable kScalarTable{Isa::kScalar, "scalar",
 // ---------------------------------------------------------------------------
 
 #if defined(TDAM_KERNELS_X86)
-constexpr Isa kCompiled[] = {Isa::kAvx2, Isa::kSse42, Isa::kScalar};
+constexpr Isa kCompiled[] = {Isa::kAvx512, Isa::kAvx2, Isa::kSse42,
+                             Isa::kScalar};
 #else
 constexpr Isa kCompiled[] = {Isa::kScalar};
 #endif
@@ -126,6 +128,8 @@ const KernelTable* table_if_compiled(Isa isa) {
       return &detail::sse42_table();
     case Isa::kAvx2:
       return &detail::avx2_table();
+    case Isa::kAvx512:
+      return &detail::avx512_table();
 #endif
     default:
       return nullptr;
@@ -139,6 +143,8 @@ const KernelTable* parse_forced(const char* name) {
     return table_if_compiled(Isa::kSse42);
   if (s == "avx2" && cpu_supports(Isa::kAvx2))
     return table_if_compiled(Isa::kAvx2);
+  if (s == "avx512" && cpu_supports(Isa::kAvx512))
+    return table_if_compiled(Isa::kAvx512);
   return nullptr;
 }
 
@@ -149,10 +155,11 @@ const KernelTable* select(const char* override_name) {
       return forced;
     std::fprintf(stderr,
                  "tdam: TDAM_KERNEL=%s is not a compiled+supported kernel "
-                 "path (have: scalar%s%s); falling back to auto-selection\n",
+                 "path (have: scalar%s%s%s); falling back to auto-selection\n",
                  override_name,
                  cpu_supports(Isa::kSse42) ? ", sse42" : "",
-                 cpu_supports(Isa::kAvx2) ? ", avx2" : "");
+                 cpu_supports(Isa::kAvx2) ? ", avx2" : "",
+                 cpu_supports(Isa::kAvx512) ? ", avx512" : "");
   }
   for (Isa isa : kCompiled)
     if (cpu_supports(isa)) return table_if_compiled(isa);
@@ -175,6 +182,8 @@ const char* isa_name(Isa isa) {
       return "sse42";
     case Isa::kAvx2:
       return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -191,10 +200,23 @@ bool cpu_supports(Isa isa) {
              __builtin_cpu_supports("popcnt") != 0;
     case Isa::kAvx2:
       return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
 #endif
     default:
       return false;
   }
+}
+
+bool avx512_uses_vpopcntdq() {
+#if defined(TDAM_KERNELS_X86)
+  return cpu_supports(Isa::kAvx512) &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+  return false;
+#endif
 }
 
 std::vector<Isa> supported_isas() {
@@ -303,6 +325,128 @@ void dot_product_batch(const DigitMatrix& matrix,
                        std::span<const std::uint32_t> packed_query,
                        std::span<std::int64_t> out) {
   dot_product_batch(matrix, packed_query, out, active());
+}
+
+namespace {
+
+template <typename Out>
+void check_tile_args(const DigitMatrix& matrix, const DigitMatrix& queries,
+                     int first, int count, std::span<Out> out,
+                     const char* who) {
+  if (queries.words_per_row() != matrix.words_per_row() ||
+      queries.bits_per_digit() != matrix.bits_per_digit())
+    throw std::invalid_argument(
+        std::string(who) + ": queries pack to " +
+        std::to_string(queries.words_per_row()) + " words of " +
+        std::to_string(queries.bits_per_digit()) + "-bit fields, rows to " +
+        std::to_string(matrix.words_per_row()) + " words of " +
+        std::to_string(matrix.bits_per_digit()) + "-bit fields");
+  if (first < 0 || count < 0 || first + count > queries.rows())
+    throw std::invalid_argument(
+        std::string(who) + ": query range [" + std::to_string(first) + ", " +
+        std::to_string(first + count) + ") outside the batch's " +
+        std::to_string(queries.rows()) + " rows");
+  if (out.size() != static_cast<std::size_t>(count) *
+                        static_cast<std::size_t>(matrix.rows()))
+    throw std::invalid_argument(
+        std::string(who) + ": out holds " + std::to_string(out.size()) +
+        " slots, tile needs " + std::to_string(count) + " x " +
+        std::to_string(matrix.rows()));
+}
+
+// Rows per block when the caller asks for auto sizing: ~256 KiB of packed
+// payload, so a block stays resident in L2 while the whole tile rescans it.
+int resolve_row_block(const DigitMatrix& matrix, int row_block) {
+  if (row_block > 0) return row_block;
+  constexpr std::size_t kBlockBytes = 256 * 1024;
+  const std::size_t per_row = matrix.packed_row_bytes();
+  const auto rows = static_cast<int>(kBlockBytes / (per_row ? per_row : 1));
+  return std::max(rows, 16);
+}
+
+// The shared row-block x tile-query loop: each block of stored rows is
+// scanned once per tile query while cache-hot, each query writing its own
+// column slice of `out`.
+template <typename Out, typename BatchFn>
+void tile_scan(const DigitMatrix& matrix, const DigitMatrix& queries,
+               int first, int count, Out* out, int row_block,
+               BatchFn&& batch) {
+  const int rows = matrix.rows();
+  if (rows == 0 || count == 0) return;
+  const int words_per_row = matrix.words_per_row();
+  const int block = resolve_row_block(matrix, row_block);
+  const PackedRowsView whole = view_of(matrix);
+  for (int base = 0; base < rows; base += block) {
+    const int block_rows = std::min(block, rows - base);
+    PackedRowsView view = whole;
+    view.words = whole.words + static_cast<std::size_t>(base) *
+                                   static_cast<std::size_t>(words_per_row);
+    view.rows = block_rows;
+#if defined(__GNUC__)
+    // Warm the head of the next block while this one is rescanned per
+    // query: a handful of lines is enough to hide the DRAM turnaround at
+    // the block boundary (the hardware prefetcher streams the rest).
+    if (base + block_rows < rows) {
+      const std::uint32_t* next =
+          whole.words + static_cast<std::size_t>(base + block_rows) *
+                            static_cast<std::size_t>(words_per_row);
+      for (int line = 0; line < 8; ++line)
+        __builtin_prefetch(next + line * 16, 0, 0);
+    }
+#endif
+    for (int q = 0; q < count; ++q) {
+      batch(view, queries.row_words(first + q).data(),
+            out + static_cast<std::size_t>(q) * static_cast<std::size_t>(rows) +
+                static_cast<std::size_t>(base));
+    }
+  }
+}
+
+}  // namespace
+
+void mismatch_count_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                         int first, int count, std::span<std::int32_t> out,
+                         int row_block, const KernelTable& kernels) {
+  check_tile_args(matrix, queries, first, count, out,
+                  "kernels::mismatch_count_tile");
+  tile_scan(matrix, queries, first, count, out.data(), row_block,
+            kernels.mismatch_batch);
+}
+
+void mismatch_count_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                         int first, int count, std::span<std::int32_t> out,
+                         int row_block) {
+  mismatch_count_tile(matrix, queries, first, count, out, row_block, active());
+}
+
+void l1_distance_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int32_t> out,
+                      int row_block, const KernelTable& kernels) {
+  check_tile_args(matrix, queries, first, count, out,
+                  "kernels::l1_distance_tile");
+  tile_scan(matrix, queries, first, count, out.data(), row_block,
+            kernels.l1_batch);
+}
+
+void l1_distance_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int32_t> out,
+                      int row_block) {
+  l1_distance_tile(matrix, queries, first, count, out, row_block, active());
+}
+
+void dot_product_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int64_t> out,
+                      int row_block, const KernelTable& kernels) {
+  check_tile_args(matrix, queries, first, count, out,
+                  "kernels::dot_product_tile");
+  tile_scan(matrix, queries, first, count, out.data(), row_block,
+            kernels.dot_batch);
+}
+
+void dot_product_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int64_t> out,
+                      int row_block) {
+  dot_product_tile(matrix, queries, first, count, out, row_block, active());
 }
 
 }  // namespace tdam::core::kernels

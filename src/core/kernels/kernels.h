@@ -12,11 +12,14 @@
 //     byte-lane kL1; compiled on x86 only.
 //   * avx2   — 256-bit VPSHUFB nibble-popcount with OR-fold mismatch and
 //     lane-accumulated (PSADBW) kL1; compiled on x86 only.
+//   * avx512 — 512-bit blocks (AVX-512F/BW/VL); mismatch popcount upgrades
+//     to VPOPCNTDQ when the CPU has it, else the VPSHUFB nibble LUT;
+//     compiled on x86 only.
 //
 // One path is selected at startup from CPUID (best supported wins), and the
-// `TDAM_KERNEL={scalar|sse42|avx2}` environment variable forces a specific
-// path (falling back to auto-selection, with a stderr warning, when the
-// forced path is not compiled in or the CPU lacks it).  All paths are
+// `TDAM_KERNEL={scalar|sse42|avx2|avx512}` environment variable forces a
+// specific path (falling back to auto-selection, with a stderr warning, when
+// the forced path is not compiled in or the CPU lacks it).  All paths are
 // bit-identical: the parity suite asserts it for every compiled path across
 // levels and ragged digit counts, so callers never need to know which path
 // answered.
@@ -56,6 +59,7 @@ enum class Isa {
   kScalar = 0,
   kSse42 = 1,
   kAvx2 = 2,
+  kAvx512 = 3,
 };
 
 // One dispatchable implementation: the batch kernels plus identity.
@@ -66,7 +70,7 @@ enum class Isa {
 // `words_per_row` packed words; `out` at `rows` slots.
 struct KernelTable {
   Isa isa;
-  const char* name;  // "scalar" | "sse42" | "avx2"
+  const char* name;  // "scalar" | "sse42" | "avx2" | "avx512"
   void (*mismatch_batch)(const PackedRowsView& view,
                          const std::uint32_t* query, std::int32_t* out);
   void (*l1_batch)(const PackedRowsView& view, const std::uint32_t* query,
@@ -83,6 +87,12 @@ std::span<const Isa> compiled_isas();
 // True when the running CPU can execute `isa` (kScalar is always true;
 // compiled-out paths are always false).
 bool cpu_supports(Isa isa);
+
+// True when the avx512 path is usable on this CPU AND its mismatch kernel
+// runs on VPOPCNTDQ rather than the VPSHUFB nibble-LUT fallback.  Reported
+// in the kernel bench host record so baselines from the two flavours are
+// distinguishable.
+bool avx512_uses_vpopcntdq();
 
 // Compiled AND runtime-supported, best-first — what parity tests and the
 // kernel bench iterate to force every usable path.
@@ -135,5 +145,35 @@ void dot_product_batch(const DigitMatrix& matrix,
                        std::span<const std::uint32_t> packed_query,
                        std::span<std::int64_t> out,
                        const KernelTable& kernels);
+
+// Tiled multi-query scans: score query rows [first, first+count) of
+// `queries` (packed identically to `matrix` — same field width and words
+// per row) against every stored row, writing out[q * rows + r] for tile
+// query q against stored row r.  The stored rows are streamed in row blocks
+// of `row_block` rows (0 = auto, ~256 KiB of packed payload per block) and
+// every block is scanned for the whole tile while it is cache-hot, so a
+// multi-query batch reads each stored row from DRAM once per tile instead
+// of once per query; the next block is software-prefetched at each block
+// boundary.  Results are bit-identical to `count` single-query batch calls
+// for any row_block.  Throws std::invalid_argument on a packing mismatch,
+// an out-of-range query range, or a wrong `out` size.
+void mismatch_count_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                         int first, int count, std::span<std::int32_t> out,
+                         int row_block);
+void mismatch_count_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                         int first, int count, std::span<std::int32_t> out,
+                         int row_block, const KernelTable& kernels);
+void l1_distance_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int32_t> out,
+                      int row_block);
+void l1_distance_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int32_t> out,
+                      int row_block, const KernelTable& kernels);
+void dot_product_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int64_t> out,
+                      int row_block);
+void dot_product_tile(const DigitMatrix& matrix, const DigitMatrix& queries,
+                      int first, int count, std::span<std::int64_t> out,
+                      int row_block, const KernelTable& kernels);
 
 }  // namespace tdam::core::kernels

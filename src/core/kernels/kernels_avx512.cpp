@@ -1,0 +1,371 @@
+// AVX-512 path: 512-bit row blocks (16 packed words per vector).  Mismatch
+// uses the OR-fold plus either VPOPCNTDQ (when the CPU has it) or the same
+// VPSHUFB nibble-LUT popcount as the AVX2 path; kL1 is byte-lane |a-b| with
+// VPSADBW accumulation; dot is 16-bit-lane extraction with VPMADDWD.  Both
+// mismatch variants share one Isa (kAvx512) and one table name ("avx512"):
+// avx512_table() picks the VPOPCNTDQ flavour at first use from CPUID, so
+// dispatch, TDAM_KERNEL and the parity suite see a single path.
+//
+// Ragged rows (words not a multiple of 16) use __mmask16 zero-masked loads,
+// which never touch masked-out lanes, so no row padding is required; the
+// final word's unused digit fields are masked out before the fold
+// (DigitMatrix::tail_mask), so padding fields can never contribute phantom
+// mismatches.  Semantics are pinned to the scalar reference; the parity
+// suite asserts bit-identical results on every shape.
+//
+// The translation unit is compiled with -mavx512f/bw/vl only; the VPOPCNTDQ
+// kernels carry a target("avx512vpopcntdq") attribute and are reached only
+// behind the runtime CPUID check.
+#include "core/kernels/kernels_impl.h"
+
+#if defined(TDAM_KERNELS_X86)
+
+#include <immintrin.h>
+
+namespace tdam::core::kernels::detail {
+
+namespace {
+
+// Per-call constants shared by every row of a scan.
+struct BlockPlan {
+  int full_blocks;     // complete 16-word vectors per row
+  int rem;             // leftover words (0..15), loaded via maskz load
+  __mmask16 load_mask; // lanes < rem enabled
+  __m512i tail_vec;    // AND-mask for the block holding the row's final word
+};
+
+BlockPlan make_plan(int words_per_row, std::uint32_t tail_mask) {
+  BlockPlan plan;
+  plan.full_blocks = words_per_row / 16;
+  plan.rem = words_per_row % 16;
+  plan.load_mask = static_cast<__mmask16>((1u << plan.rem) - 1u);
+  alignas(64) int tail[16];
+  for (int lane = 0; lane < 16; ++lane) {
+    if (plan.rem == 0) {
+      // Final word is lane 15 of the last full block.
+      tail[lane] = lane == 15 ? static_cast<int>(tail_mask) : -1;
+    } else {
+      // Final word is lane rem-1 of the maskz-loaded remainder block; lanes
+      // at or beyond rem read as zero and stay zero under the mask.
+      tail[lane] = lane < plan.rem - 1 ? -1
+                   : lane == plan.rem - 1 ? static_cast<int>(tail_mask)
+                                          : 0;
+    }
+  }
+  plan.tail_vec = _mm512_load_si512(tail);
+  return plan;
+}
+
+// --- mismatch: OR-fold + popcount (VPSHUFB LUT or VPOPCNTDQ) ---------------
+
+template <int BITS>
+inline __m512i fold_to_lsb(__m512i x) {
+  if constexpr (BITS > 1) x = _mm512_or_si512(x, _mm512_srli_epi32(x, 1));
+  if constexpr (BITS > 2) x = _mm512_or_si512(x, _mm512_srli_epi32(x, 2));
+  if constexpr (BITS > 4) x = _mm512_or_si512(x, _mm512_srli_epi32(x, 4));
+  return x;
+}
+
+inline __m512i popcount_bytes(__m512i x) {
+  const __m512i lut = _mm512_set_epi8(
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0);
+  const __m512i low4 = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_and_si512(x, low4);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(x, 4), low4);
+  return _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                         _mm512_shuffle_epi8(lut, hi));
+}
+
+template <int BITS>
+int mismatch_row_lut(const std::uint32_t* row, const std::uint32_t* query,
+                     const BlockPlan& plan, __m512i lsb_vec) {
+  const __m512i zero = _mm512_setzero_si512();
+  __m512i acc = zero;
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    const __m512i a = _mm512_loadu_si512(row + 16 * blk);
+    const __m512i b = _mm512_loadu_si512(query + 16 * blk);
+    __m512i x = _mm512_xor_si512(a, b);
+    if (plan.rem == 0 && blk == plan.full_blocks - 1)
+      x = _mm512_and_si512(x, plan.tail_vec);
+    x = _mm512_and_si512(fold_to_lsb<BITS>(x), lsb_vec);
+    acc = _mm512_add_epi64(acc, _mm512_sad_epu8(popcount_bytes(x), zero));
+  }
+  if (plan.rem != 0) {
+    const int base = 16 * plan.full_blocks;
+    const __m512i a = _mm512_maskz_loadu_epi32(plan.load_mask, row + base);
+    const __m512i b = _mm512_maskz_loadu_epi32(plan.load_mask, query + base);
+    __m512i x = _mm512_and_si512(_mm512_xor_si512(a, b), plan.tail_vec);
+    x = _mm512_and_si512(fold_to_lsb<BITS>(x), lsb_vec);
+    acc = _mm512_add_epi64(acc, _mm512_sad_epu8(popcount_bytes(x), zero));
+  }
+  return static_cast<int>(_mm512_reduce_add_epi64(acc));
+}
+
+template <int BITS>
+void mismatch_batch_lut(const PackedRowsView& view, const std::uint32_t* query,
+                        std::int32_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m512i lsb_vec = _mm512_set1_epi32(static_cast<int>(view.lsb_mask));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = mismatch_row_lut<BITS>(row, query, plan, lsb_vec);
+}
+
+void avx512_mismatch_batch(const PackedRowsView& view,
+                           const std::uint32_t* query, std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      mismatch_batch_lut<1>(view, query, out);
+      return;
+    case 2:
+      mismatch_batch_lut<2>(view, query, out);
+      return;
+    case 4:
+      mismatch_batch_lut<4>(view, query, out);
+      return;
+    default:
+      mismatch_batch_lut<8>(view, query, out);
+      return;
+  }
+}
+
+template <int BITS>
+__attribute__((target("avx512vpopcntdq"))) int mismatch_row_vpopcnt(
+    const std::uint32_t* row, const std::uint32_t* query,
+    const BlockPlan& plan, __m512i lsb_vec) {
+  __m512i acc = _mm512_setzero_si512();
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    const __m512i a = _mm512_loadu_si512(row + 16 * blk);
+    const __m512i b = _mm512_loadu_si512(query + 16 * blk);
+    __m512i x = _mm512_xor_si512(a, b);
+    if (plan.rem == 0 && blk == plan.full_blocks - 1)
+      x = _mm512_and_si512(x, plan.tail_vec);
+    x = _mm512_and_si512(fold_to_lsb<BITS>(x), lsb_vec);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  if (plan.rem != 0) {
+    const int base = 16 * plan.full_blocks;
+    const __m512i a = _mm512_maskz_loadu_epi32(plan.load_mask, row + base);
+    const __m512i b = _mm512_maskz_loadu_epi32(plan.load_mask, query + base);
+    __m512i x = _mm512_and_si512(_mm512_xor_si512(a, b), plan.tail_vec);
+    x = _mm512_and_si512(fold_to_lsb<BITS>(x), lsb_vec);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  return static_cast<int>(_mm512_reduce_add_epi64(acc));
+}
+
+template <int BITS>
+__attribute__((target("avx512vpopcntdq"))) void mismatch_batch_vpopcnt(
+    const PackedRowsView& view, const std::uint32_t* query,
+    std::int32_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m512i lsb_vec = _mm512_set1_epi32(static_cast<int>(view.lsb_mask));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = mismatch_row_vpopcnt<BITS>(row, query, plan, lsb_vec);
+}
+
+void avx512_mismatch_batch_vpopcnt(const PackedRowsView& view,
+                                   const std::uint32_t* query,
+                                   std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      mismatch_batch_vpopcnt<1>(view, query, out);
+      return;
+    case 2:
+      mismatch_batch_vpopcnt<2>(view, query, out);
+      return;
+    case 4:
+      mismatch_batch_vpopcnt<4>(view, query, out);
+      return;
+    default:
+      mismatch_batch_vpopcnt<8>(view, query, out);
+      return;
+  }
+}
+
+// --- kL1: byte-lane |a-b| with VPSADBW accumulation ------------------------
+
+// Phase p extracts the field at in-byte bit offset p*BITS of every byte into
+// a byte lane (fields never straddle bytes because BITS divides 8); |a-b| is
+// the OR of the two saturating unsigned subtractions, horizontally summed by
+// VPSADBW into eight 64-bit lanes.
+template <int BITS>
+inline __m512i l1_block(__m512i a, __m512i b, __m512i byte_mask,
+                        __m512i zero) {
+  __m512i sums = zero;
+  for (int p = 0; p < 8 / BITS; ++p) {
+    const __m512i fa =
+        _mm512_and_si512(_mm512_srli_epi32(a, static_cast<unsigned>(p * BITS)),
+                         byte_mask);
+    const __m512i fb =
+        _mm512_and_si512(_mm512_srli_epi32(b, static_cast<unsigned>(p * BITS)),
+                         byte_mask);
+    const __m512i d = _mm512_or_si512(_mm512_subs_epu8(fa, fb),
+                                      _mm512_subs_epu8(fb, fa));
+    sums = _mm512_add_epi64(sums, _mm512_sad_epu8(d, zero));
+  }
+  return sums;
+}
+
+template <int BITS>
+int l1_row_avx512(const std::uint32_t* row, const std::uint32_t* query,
+                  const BlockPlan& plan, __m512i byte_mask) {
+  const __m512i zero = _mm512_setzero_si512();
+  __m512i acc = zero;
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    __m512i a = _mm512_loadu_si512(row + 16 * blk);
+    __m512i b = _mm512_loadu_si512(query + 16 * blk);
+    if (plan.rem == 0 && blk == plan.full_blocks - 1) {
+      a = _mm512_and_si512(a, plan.tail_vec);
+      b = _mm512_and_si512(b, plan.tail_vec);
+    }
+    acc = _mm512_add_epi64(acc, l1_block<BITS>(a, b, byte_mask, zero));
+  }
+  if (plan.rem != 0) {
+    const int base = 16 * plan.full_blocks;
+    const __m512i a = _mm512_and_si512(
+        _mm512_maskz_loadu_epi32(plan.load_mask, row + base), plan.tail_vec);
+    const __m512i b = _mm512_and_si512(
+        _mm512_maskz_loadu_epi32(plan.load_mask, query + base), plan.tail_vec);
+    acc = _mm512_add_epi64(acc, l1_block<BITS>(a, b, byte_mask, zero));
+  }
+  return static_cast<int>(_mm512_reduce_add_epi64(acc));
+}
+
+template <int BITS>
+void l1_batch_avx512(const PackedRowsView& view, const std::uint32_t* query,
+                     std::int32_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m512i byte_mask =
+      _mm512_set1_epi8(static_cast<char>((1u << BITS) - 1u));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = l1_row_avx512<BITS>(row, query, plan, byte_mask);
+}
+
+void avx512_l1_batch(const PackedRowsView& view, const std::uint32_t* query,
+                     std::int32_t* out) {
+  switch (view.bits) {
+    case 1:
+      l1_batch_avx512<1>(view, query, out);
+      return;
+    case 2:
+      l1_batch_avx512<2>(view, query, out);
+      return;
+    case 4:
+      l1_batch_avx512<4>(view, query, out);
+      return;
+    default:
+      l1_batch_avx512<8>(view, query, out);
+      return;
+  }
+}
+
+// --- dot: 16-bit-lane field extraction + VPMADDWD --------------------------
+
+// Phase p extracts the fields at in-16-bit-lane bit offset p*BITS into
+// 16-bit lanes (a 32-bit shift never smears across the lane boundary
+// because p*BITS + BITS <= 16); VPMADDWD multiplies the extracted fields
+// pairwise and sums adjacent pairs into 32-bit lanes (max 2 * 255^2), which
+// are widened into the 64-bit accumulator every phase so the row total is
+// exact at any stage count.
+template <int BITS>
+inline __m512i dot_block(__m512i a, __m512i b, __m512i lane_mask,
+                         __m512i zero) {
+  __m512i sums = zero;
+  for (int p = 0; p < 16 / BITS; ++p) {
+    const __m512i fa =
+        _mm512_and_si512(_mm512_srli_epi32(a, static_cast<unsigned>(p * BITS)),
+                         lane_mask);
+    const __m512i fb =
+        _mm512_and_si512(_mm512_srli_epi32(b, static_cast<unsigned>(p * BITS)),
+                         lane_mask);
+    const __m512i prod = _mm512_madd_epi16(fa, fb);
+    sums = _mm512_add_epi64(sums, _mm512_unpacklo_epi32(prod, zero));
+    sums = _mm512_add_epi64(sums, _mm512_unpackhi_epi32(prod, zero));
+  }
+  return sums;
+}
+
+template <int BITS>
+std::int64_t dot_row_avx512(const std::uint32_t* row,
+                            const std::uint32_t* query, const BlockPlan& plan,
+                            __m512i lane_mask) {
+  const __m512i zero = _mm512_setzero_si512();
+  __m512i acc = zero;
+  for (int blk = 0; blk < plan.full_blocks; ++blk) {
+    __m512i a = _mm512_loadu_si512(row + 16 * blk);
+    __m512i b = _mm512_loadu_si512(query + 16 * blk);
+    if (plan.rem == 0 && blk == plan.full_blocks - 1) {
+      a = _mm512_and_si512(a, plan.tail_vec);
+      b = _mm512_and_si512(b, plan.tail_vec);
+    }
+    acc = _mm512_add_epi64(acc, dot_block<BITS>(a, b, lane_mask, zero));
+  }
+  if (plan.rem != 0) {
+    const int base = 16 * plan.full_blocks;
+    const __m512i a = _mm512_and_si512(
+        _mm512_maskz_loadu_epi32(plan.load_mask, row + base), plan.tail_vec);
+    const __m512i b = _mm512_and_si512(
+        _mm512_maskz_loadu_epi32(plan.load_mask, query + base), plan.tail_vec);
+    acc = _mm512_add_epi64(acc, dot_block<BITS>(a, b, lane_mask, zero));
+  }
+  return _mm512_reduce_add_epi64(acc);
+}
+
+template <int BITS>
+void dot_batch_avx512(const PackedRowsView& view, const std::uint32_t* query,
+                      std::int64_t* out) {
+  const BlockPlan plan = make_plan(view.words_per_row, view.tail_mask);
+  const __m512i lane_mask =
+      _mm512_set1_epi16(static_cast<short>((1u << BITS) - 1u));
+  const std::uint32_t* row = view.words;
+  for (int r = 0; r < view.rows; ++r, row += view.words_per_row)
+    out[r] = dot_row_avx512<BITS>(row, query, plan, lane_mask);
+}
+
+void avx512_dot_batch(const PackedRowsView& view, const std::uint32_t* query,
+                      std::int64_t* out) {
+  switch (view.bits) {
+    case 1:
+      dot_batch_avx512<1>(view, query, out);
+      return;
+    case 2:
+      dot_batch_avx512<2>(view, query, out);
+      return;
+    case 4:
+      dot_batch_avx512<4>(view, query, out);
+      return;
+    default:
+      dot_batch_avx512<8>(view, query, out);
+      return;
+  }
+}
+
+constexpr KernelTable kAvx512LutTable{Isa::kAvx512, "avx512",
+                                      &avx512_mismatch_batch, &avx512_l1_batch,
+                                      &avx512_dot_batch};
+
+constexpr KernelTable kAvx512VpopcntTable{
+    Isa::kAvx512, "avx512", &avx512_mismatch_batch_vpopcnt, &avx512_l1_batch,
+    &avx512_dot_batch};
+
+}  // namespace
+
+const KernelTable& avx512_table() {
+  // Both flavours are one dispatchable path; the mismatch kernel upgrades to
+  // VPOPCNTDQ when the CPU has it.  The choice is made once: table identity
+  // stays stable so `&active() == &table(isa)` comparisons hold.
+  static const KernelTable& chosen =
+      __builtin_cpu_supports("avx512vpopcntdq") != 0 ? kAvx512VpopcntTable
+                                                     : kAvx512LutTable;
+  return chosen;
+}
+
+}  // namespace tdam::core::kernels::detail
+
+#endif  // TDAM_KERNELS_X86

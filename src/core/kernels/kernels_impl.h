@@ -12,6 +12,7 @@ const KernelTable& scalar_table();
 #if defined(TDAM_KERNELS_X86)
 const KernelTable& sse42_table();
 const KernelTable& avx2_table();
+const KernelTable& avx512_table();
 #endif
 
 }  // namespace tdam::core::kernels::detail

@@ -7,8 +7,10 @@
 namespace tdam::core {
 
 Segment::Segment(std::unique_ptr<SimilarityBackend> backend,
-                 std::vector<int> ids)
-    : backend_(std::move(backend)), ids_(std::move(ids)) {
+                 std::vector<int> ids, std::shared_ptr<const void> pin)
+    : backend_(std::move(backend)),
+      ids_(std::move(ids)),
+      pin_(std::move(pin)) {
   if (!backend_) throw std::invalid_argument("Segment: null backend");
   if (backend_->rows() != static_cast<int>(ids_.size()))
     throw std::invalid_argument("Segment: backend holds " +

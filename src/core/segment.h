@@ -32,7 +32,14 @@ class Segment {
   // (ids[local] is the global id of backend row `local`).  Throws
   // std::invalid_argument when the id count does not match the backend's
   // rows or the ids are not strictly ascending.
-  Segment(std::unique_ptr<SimilarityBackend> backend, std::vector<int> ids);
+  //
+  // `pin` (optional) is an opaque keep-alive: a segment whose backend reads
+  // externally-owned storage (an mmap'd index file) holds the mapping
+  // through it, so the last reader to release the segment releases the
+  // mapping — the same epoch-reclamation shared_ptr scheme the snapshot
+  // uses for the segments themselves.
+  Segment(std::unique_ptr<SimilarityBackend> backend, std::vector<int> ids,
+          std::shared_ptr<const void> pin = nullptr);
 
   const SimilarityBackend& backend() const { return *backend_; }
   int rows() const { return static_cast<int>(ids_.size()); }
@@ -49,6 +56,7 @@ class Segment {
  private:
   std::unique_ptr<SimilarityBackend> backend_;
   std::vector<int> ids_;  // strictly ascending
+  std::shared_ptr<const void> pin_;  // external storage keep-alive (or null)
 };
 
 // Accumulates rows into a fresh backend instance and freezes the result.

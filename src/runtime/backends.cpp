@@ -16,35 +16,40 @@ core::BackendRegistry default_registry(const am::CalibrationResult& cal,
     throw std::invalid_argument("default_registry: stages must be >= 1");
   if (options.array_rows < 1 || options.array_stages < 1)
     throw std::invalid_argument("default_registry: bad array geometry");
+  if (options.query_tile < 1 || options.row_block < 0)
+    throw std::invalid_argument("default_registry: bad scan tiling");
   const int levels = 1 << cal.bits;  // calibrate_chain always sets bits
+  const core::ScanOptions scan{options.query_tile, options.row_block};
   core::BackendRegistry reg;
   reg.add("behavioral", [cal, options] {
     return std::make_unique<am::BehavioralAm>(
         cal, options.stages, options.array_rows, options.array_stages);
   });
-  reg.add("digital", [options, levels] {
+  reg.add("digital", [options, levels, scan] {
     return std::make_unique<baselines::DigitalPopcountBackend>(
-        options.stages, levels, options.array_rows);
+        options.stages, levels, options.array_rows,
+        baselines::DigitalPopcountParams{}, scan);
   });
-  reg.add("cam", [options, levels] {
+  reg.add("cam", [options, levels, scan] {
     return std::make_unique<baselines::CrossbarCamBackend>(
-        options.stages, levels, options.array_rows);
+        options.stages, levels, options.array_rows,
+        baselines::CrossbarCamParams{}, scan);
   });
-  reg.add("exact", [options, levels] {
+  reg.add("exact", [options, levels, scan] {
     return std::make_unique<core::ExactL1Backend>(
-        options.stages, levels, core::DigitMetric::kMismatchCount);
+        options.stages, levels, core::DigitMetric::kMismatchCount, scan);
   });
   // Similarity metrics over the same packed core + dot kernel; both fold
   // passes over the shared array_rows geometry.
-  reg.add("cosine", [options, levels] {
+  reg.add("cosine", [options, levels, scan] {
     return std::make_unique<core::CosineBackend>(
         options.stages, levels,
-        core::SimilarityArrayModel{.array_rows = options.array_rows});
+        core::SimilarityArrayModel{.array_rows = options.array_rows}, scan);
   });
-  reg.add("dot", [options, levels] {
+  reg.add("dot", [options, levels, scan] {
     return std::make_unique<core::DotProductBackend>(
         options.stages, levels,
-        core::SimilarityArrayModel{.array_rows = options.array_rows});
+        core::SimilarityArrayModel{.array_rows = options.array_rows}, scan);
   });
   return reg;
 }

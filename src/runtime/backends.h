@@ -29,6 +29,11 @@ struct BackendOptions {
   int array_rows = 128;  // physical rows per bank (AM bank rows, digital
                          // comparator lanes, CAM crossbar rows)
   int array_stages = 128;  // AM chain stages per physical bank
+  // Software-scan tiling (core::ScanOptions): queries per cache-hot tile of
+  // the batch path, and stored rows per scan block (0 = auto-size to L2).
+  // The behavioral backend ignores both (it has no pure-software scan).
+  int query_tile = 8;
+  int row_block = 0;
 };
 
 // Registry with the built-ins above, each closed over `cal` (which fixes

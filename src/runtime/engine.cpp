@@ -106,6 +106,74 @@ TopKResult SearchEngine::run_query_packed(
                      });
 }
 
+void SearchEngine::run_tile_packed(const IndexSnapshot& snap,
+                                   const core::DigitMatrix& queries, int first,
+                                   int count, int k,
+                                   std::span<TopKResult> out) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double stages = static_cast<double>(index_.stages());
+  const auto metric = index_.metric();
+  const auto n = static_cast<std::size_t>(count);
+  // Same cost folding as merged_topk, held per query: a shard's segments
+  // add up as sequential bank passes, shards fold as parallel banks.
+  std::vector<std::vector<core::TopKEntry>> merged(n);
+  for (auto& m : merged)
+    m.reserve(static_cast<std::size_t>(k) *
+              static_cast<std::size_t>(snap.segments));
+  std::vector<double> shard_latency(n), shard_energy(n);
+  std::vector<int> shard_passes(n);
+  for (const auto& shard : snap.shards) {
+    std::fill(shard_latency.begin(), shard_latency.end(), 0.0);
+    std::fill(shard_energy.begin(), shard_energy.end(), 0.0);
+    std::fill(shard_passes.begin(), shard_passes.end(), 0);
+    for (const auto& seg : shard) {
+      if (seg->rows() == 0) continue;
+      // The whole tile sweeps this segment in one call — the backend's
+      // tiled scan streams the stored rows once, rescanning each cache-hot
+      // block for every query of the tile.
+      const auto locals =
+          seg->backend().search_topk_packed_batch(queries, first, count, k);
+      for (std::size_t q = 0; q < n; ++q) {
+        const auto& local = locals[q];
+        for (const auto& e : local.entries)
+          merged[q].push_back({seg->global_id(e.row), e.score});
+        const double mismatch_fraction =
+            core::metric_is_mismatch_family(metric)
+                ? std::clamp(local.mean_score / stages, 0.0, 1.0)
+                : 0.0;
+        const auto cost = seg->backend().query_cost(mismatch_fraction);
+        shard_latency[q] += cost.latency;
+        shard_energy[q] += cost.energy;
+        shard_passes[q] += cost.passes;
+      }
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      out[q].modeled_latency = std::max(out[q].modeled_latency,
+                                        shard_latency[q]);
+      out[q].modeled_energy += shard_energy[q];
+      out[q].modeled_passes = std::max(out[q].modeled_passes,
+                                       shard_passes[q]);
+    }
+  }
+  // The scan served the whole tile at once; charge each query an even
+  // share so per-query stage histograms stay meaningful.
+  const double scan_share = seconds_since(t0) / static_cast<double>(count);
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto t1 = std::chrono::steady_clock::now();
+    auto& m = merged[q];
+    const auto keep =
+        std::min<std::size_t>(static_cast<std::size_t>(k), m.size());
+    std::partial_sort(m.begin(),
+                      m.begin() + static_cast<std::ptrdiff_t>(keep), m.end(),
+                      core::ScoreComparator{core::metric_order(metric)});
+    m.resize(keep);
+    out[q].entries = std::move(m);
+    out[q].scan_seconds = scan_share;
+    out[q].merge_seconds = seconds_since(t1);
+    out[q].wall_seconds = scan_share + out[q].merge_seconds;
+  }
+}
+
 std::vector<TopKResult> SearchEngine::submit_batch(
     const core::DigitMatrix& queries, int k) {
   return submit_batch(index_.pin(), queries, k);
@@ -134,7 +202,32 @@ std::vector<TopKResult> SearchEngine::submit_batch(
       queries.bits_per_digit() ==
           core::DigitMatrix::field_bits(index_.levels()) &&
       queries.levels() <= index_.levels();
-  if (packed_compatible) {
+  const auto tile = static_cast<std::size_t>(std::max(1, index_.query_tile()));
+  if (packed_compatible && tile > 1) {
+    // Tiled fast path: one task per query tile, each sweeping the segments
+    // once for its whole tile (results are bit-identical to the per-query
+    // path for any tile size — pinned by the runtime determinism tests).
+    const auto out = std::span<TopKResult>(results);
+    if (pool_) {
+      std::vector<std::future<void>> pending;
+      pending.reserve((n + tile - 1) / tile);
+      for (std::size_t i = 0; i < n; i += tile) {
+        const auto count = std::min(tile, n - i);
+        pending.push_back(pool_->submit([this, &view, &queries, out, i, count,
+                                         k] {
+          run_tile_packed(view, queries, static_cast<int>(i),
+                          static_cast<int>(count), k, out.subspan(i, count));
+        }));
+      }
+      for (auto& f : pending) f.get();  // rethrows any task exception
+    } else {
+      for (std::size_t i = 0; i < n; i += tile) {
+        const auto count = std::min(tile, n - i);
+        run_tile_packed(view, queries, static_cast<int>(i),
+                        static_cast<int>(count), k, out.subspan(i, count));
+      }
+    }
+  } else if (packed_compatible) {
     if (pool_) {
       std::vector<std::future<void>> pending;
       pending.reserve(n);

@@ -1,14 +1,19 @@
 // Batched top-k query serving over a ShardedIndex — backend-agnostic.
 //
-// Execution model: one task per query; the task broadcasts the query to
-// every segment of every shard (core::SimilarityBackend::search_topk),
-// translates segment-local rows to global ids, and merges the candidates
-// into a global top-k with the deterministic tie-break (lower distance,
-// then lower global row id).  Queries within a batch run concurrently on a
-// fixed ThreadPool; each query's result is written to its own preallocated
-// slot, so the returned batch is bit-identical for any thread count.
-// `threads = 1` bypasses the pool entirely and is the sequential reference
-// the determinism tests pin against.
+// Execution model: on the packed fast path, one task per *query tile*
+// (index().query_tile() queries, the backend's ScanOptions knob); the task
+// broadcasts the whole tile to every segment of every shard
+// (core::SimilarityBackend::search_topk_packed_batch), so each stored
+// segment is streamed through the cache once per tile instead of once per
+// query.  Rows are translated to global ids and merged per query into a
+// global top-k with the deterministic tie-break (lower distance, then
+// lower global row id).  The unpacked fallback (and backends with
+// query_tile() == 1, e.g. behavioral) keep one task per query.  Tiles run
+// concurrently on a fixed ThreadPool; each query's result is written to
+// its own preallocated slot, so the returned batch is bit-identical for
+// any thread count and any tile size.  `threads = 1` bypasses the pool
+// entirely and is the sequential reference the determinism tests pin
+// against.
 //
 // Concurrency: a batch runs against one pinned IndexSnapshot — a single
 // atomic load, no lock — so stores, clears and compactions land freely
@@ -115,6 +120,13 @@ class SearchEngine {
   TopKResult run_query_packed(const IndexSnapshot& snap,
                               std::span<const std::uint32_t> packed,
                               int k) const;
+  // Tile counterpart of run_query_packed: answers queries
+  // [first, first+count) in one segment sweep and writes results into
+  // `out` (count slots, default-initialised).  Scan time is shared evenly
+  // across the tile's queries; merge time is per query.
+  void run_tile_packed(const IndexSnapshot& snap,
+                       const core::DigitMatrix& queries, int first, int count,
+                       int k, std::span<TopKResult> out) const;
 
   const ShardedIndex& index_;
   EngineOptions options_;

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "core/index_io.h"
 #include "runtime/metrics.h"
 
 namespace tdam::runtime {
@@ -45,6 +47,7 @@ class ShardedIndex::Impl {
     stages_ = probe->stages();
     levels_ = probe->levels();
     metric_ = probe->metric();
+    query_tile_ = std::max(1, probe->query_tile());
     writers_.resize(static_cast<std::size_t>(options_.shards));
     publish_locked();  // the empty epoch-0 snapshot
     if (options_.background_compaction)
@@ -66,6 +69,7 @@ class ShardedIndex::Impl {
   int stages() const { return stages_; }
   int levels() const { return levels_; }
   core::DigitMetric metric() const { return metric_; }
+  int query_tile() const { return query_tile_; }
 
   std::shared_ptr<const IndexSnapshot> pin() const {
     return snapshot_.load(std::memory_order_acquire);
@@ -147,6 +151,77 @@ class ShardedIndex::Impl {
     std::lock_guard lock(write_mutex_);
     metrics_ = metrics;
     if (metrics_) push_gauges_locked();
+  }
+
+  void save(const std::string& path) const {
+    const auto snap = pin();  // the file is this snapshot, nothing newer
+    core::IndexFileInfo info;
+    info.backend = options_.backend;
+    info.stages = stages_;
+    info.levels = levels_;
+    info.shards = options_.shards;
+    info.rows = static_cast<std::uint64_t>(snap->rows);
+    std::vector<core::SavedSegment> saved;
+    saved.reserve(static_cast<std::size_t>(snap->segments));
+    // Fallback packs for backends without a packed_view (none in-tree);
+    // unique_ptrs so SavedSegment spans survive vector growth.
+    std::vector<std::unique_ptr<core::DigitMatrix>> repacked;
+    for (int s = 0; s < snap->num_shards(); ++s) {
+      for (const auto& seg : snap->shards[static_cast<std::size_t>(s)]) {
+        if (seg->rows() == 0) continue;
+        const core::DigitMatrix* m = seg->backend().packed_view();
+        if (m == nullptr) {
+          auto tmp = std::make_unique<core::DigitMatrix>(stages_, levels_);
+          for (int r = 0; r < seg->rows(); ++r)
+            tmp->append(seg->backend().row_digits(r));
+          repacked.push_back(std::move(tmp));
+          m = repacked.back().get();
+        }
+        saved.push_back(core::SavedSegment{
+            s, seg->global_ids(),
+            {m->words_data(), static_cast<std::size_t>(m->rows()) *
+                                  static_cast<std::size_t>(m->words_per_row())}});
+      }
+    }
+    core::save_index_file(path, info, saved);
+  }
+
+  // Adopts a freshly mapped file into the (still empty) writer state: one
+  // registry-built backend per segment referencing the mapping in place,
+  // every segment sealed.  The delta restarts empty; generation stays 0.
+  void install(core::LoadedIndex loaded) {
+    if (stages_ != loaded.info.stages || levels_ != loaded.info.levels)
+      throw std::runtime_error(
+          "ShardedIndex::load: the registry builds '" + options_.backend +
+          "' with stages=" + std::to_string(stages_) + " levels=" +
+          std::to_string(levels_) + ", but the file declares stages=" +
+          std::to_string(loaded.info.stages) + " levels=" +
+          std::to_string(loaded.info.levels));
+    if (loaded.info.rows >
+        static_cast<std::uint64_t>(std::numeric_limits<int>::max()))
+      throw std::runtime_error("ShardedIndex::load: file declares " +
+                               std::to_string(loaded.info.rows) +
+                               " rows, more than an int row id can address");
+    std::lock_guard lock(write_mutex_);
+    for (auto& seg : loaded.segments) {
+      const auto shard = static_cast<std::size_t>(seg.shard);
+      auto& w = writers_[shard];
+      if (!w.sealed.empty() && !seg.ids.empty() &&
+          seg.ids.front() <= w.sealed.back()->global_id(
+                                 w.sealed.back()->rows() - 1))
+        throw std::runtime_error(
+            "ShardedIndex::load: shard " + std::to_string(seg.shard) +
+            " segments do not chain in ascending global-id order");
+      auto backend = registry_.create(options_.backend);
+      backend->adopt_matrix(std::move(seg.matrix));
+      auto segment = std::make_shared<const core::Segment>(
+          std::move(backend), std::move(seg.ids), loaded.mapping);
+      w.sealed_rows += segment->rows();
+      w.sealed.push_back(std::move(segment));
+    }
+    next_global_ = static_cast<int>(loaded.info.rows);
+    publish_locked();
+    if (compaction_candidate_locked() >= 0) compact_cv_.notify_one();
   }
 
  private:
@@ -279,6 +354,7 @@ class ShardedIndex::Impl {
   int stages_ = 0;
   int levels_ = 0;
   core::DigitMetric metric_ = core::DigitMetric::kMismatchCount;
+  int query_tile_ = 1;
 
   std::atomic<std::shared_ptr<const IndexSnapshot>> snapshot_;
 
@@ -298,6 +374,21 @@ ShardedIndex::ShardedIndex(const core::BackendRegistry& registry,
                            ShardedIndexOptions options)
     : impl_(std::make_unique<Impl>(registry, std::move(options))) {}
 
+void ShardedIndex::save(const std::string& path) const { impl_->save(path); }
+
+ShardedIndex ShardedIndex::load(const core::BackendRegistry& registry,
+                                const std::string& path,
+                                ShardedIndexOptions options) {
+  auto loaded = core::load_index_file(path);
+  // The file owns identity (which backend, how many shards); the caller's
+  // options keep the operational knobs (placement, seal/compaction).
+  options.backend = loaded.info.backend;
+  options.shards = loaded.info.shards;
+  ShardedIndex index(registry, std::move(options));
+  index.impl_->install(std::move(loaded));
+  return index;
+}
+
 ShardedIndex::~ShardedIndex() = default;
 ShardedIndex::ShardedIndex(ShardedIndex&&) noexcept = default;
 ShardedIndex& ShardedIndex::operator=(ShardedIndex&&) noexcept = default;
@@ -306,6 +397,7 @@ int ShardedIndex::num_shards() const { return impl_->options().shards; }
 int ShardedIndex::stages() const { return impl_->stages(); }
 int ShardedIndex::levels() const { return impl_->levels(); }
 core::DigitMetric ShardedIndex::metric() const { return impl_->metric(); }
+int ShardedIndex::query_tile() const { return impl_->query_tile(); }
 int ShardedIndex::size() const { return impl_->pin()->rows; }
 
 const std::string& ShardedIndex::backend_name() const {

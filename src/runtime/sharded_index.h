@@ -97,6 +97,29 @@ class ShardedIndex {
                ShardedIndexOptions options);
   ~ShardedIndex();
 
+  // Persists the current published snapshot to `path` as one mmap-able
+  // segment file (core/index_io.h): every sealed segment's packed payload
+  // and id run verbatim, the unsealed delta as an ordinary segment (it
+  // loads back sealed).  Concurrent stores are fine — they land in later
+  // snapshots, not this file.  Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  // Rebuilds an index from a save()d file: maps it read-only and hands
+  // each segment's payload to a fresh backend by reference
+  // (SimilarityBackend::adopt_matrix over a frozen zero-copy
+  // DigitMatrix::from_external view), so a cold multi-GB index republishes
+  // in milliseconds — no digit is unpacked or copied.  The file fixes the
+  // backend name and shard count; `options` supplies the rest (placement,
+  // seal/compaction thresholds).  `registry` must build that backend with
+  // the file's stages/levels geometry, else this throws naming both.
+  // Queries serve straight off the page cache; the mapping is released
+  // when the last reader of its last segment lets go (compaction migrates
+  // segments into owned storage and then drops the pin).  The loaded index
+  // restarts at generation 0.
+  static ShardedIndex load(const core::BackendRegistry& registry,
+                           const std::string& path,
+                           ShardedIndexOptions options = {});
+
   ShardedIndex(ShardedIndex&&) noexcept;
   ShardedIndex& operator=(ShardedIndex&&) noexcept;
 
@@ -106,6 +129,10 @@ class ShardedIndex {
   // The backend's digit metric — fixes the score ordering every consumer
   // (engine merge, wire replies, benches) must use for this index.
   core::DigitMetric metric() const;
+  // Queries per cache-hot tile of the backend's batch scan (>= 1; 1 means
+  // the backend has no tiled path).  SearchEngine sizes its batch tasks by
+  // this so a multi-query batch streams each segment once per tile.
+  int query_tile() const;
   int size() const;
   const std::string& backend_name() const;
   Placement placement() const;

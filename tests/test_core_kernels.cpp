@@ -194,12 +194,86 @@ TEST(CoreKernels, UnknownOrUnsupportedOverrideFallsBackToAuto) {
 
 TEST(CoreKernels, TableThrowsForUnavailablePath) {
   bool all_supported = true;
-  for (auto isa : {kernels::Isa::kSse42, kernels::Isa::kAvx2})
+  for (auto isa :
+       {kernels::Isa::kSse42, kernels::Isa::kAvx2, kernels::Isa::kAvx512})
     if (!kernels::cpu_supports(isa)) {
       all_supported = false;
       EXPECT_THROW(kernels::table(isa), std::invalid_argument);
     }
   if (all_supported) GTEST_SKIP() << "all compiled paths supported here";
+}
+
+// The tiled entry points answer exactly like words-per-query batch calls,
+// for every path, any query-tile span and any row-block size (including
+// blocks smaller than, equal to and larger than the stored set).
+TEST(CoreKernels, TiledScanMatchesPerQueryBatch) {
+  const int digits = 67, levels = 16, rows = 53, queries = 7;
+  auto f = make_fixture(digits, levels, rows, 0x7114u);
+  DigitMatrix qm(digits, levels);
+  Rng rng(0x7115u);
+  for (int q = 0; q < queries; ++q) {
+    std::vector<int> d(static_cast<std::size_t>(digits));
+    for (auto& x : d) x = rng.uniform_int(0, levels - 1);
+    qm.append(d);
+  }
+  for (auto isa : kernels::supported_isas()) {
+    const auto& t = kernels::table(isa);
+    std::vector<std::int32_t> want_mis(static_cast<std::size_t>(rows));
+    std::vector<std::int32_t> want_l1(want_mis.size());
+    std::vector<std::int64_t> want_dot(want_mis.size());
+    for (int first : {0, 2}) {
+      const int count = queries - first - 1;
+      const auto n = static_cast<std::size_t>(count) *
+                     static_cast<std::size_t>(rows);
+      for (int row_block : {0, 1, 16, rows, rows + 100}) {
+        std::vector<std::int32_t> mis(n), l1(n);
+        std::vector<std::int64_t> dot(n);
+        kernels::mismatch_count_tile(f.matrix, qm, first, count, mis,
+                                     row_block, t);
+        kernels::l1_distance_tile(f.matrix, qm, first, count, l1, row_block,
+                                  t);
+        kernels::dot_product_tile(f.matrix, qm, first, count, dot, row_block,
+                                  t);
+        for (int q = 0; q < count; ++q) {
+          const auto packed = qm.row_words(first + q);
+          kernels::mismatch_count_batch(f.matrix, packed, want_mis, t);
+          kernels::l1_distance_batch(f.matrix, packed, want_l1, t);
+          kernels::dot_product_batch(f.matrix, packed, want_dot, t);
+          const auto off = static_cast<std::size_t>(q) *
+                           static_cast<std::size_t>(rows);
+          for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+            ASSERT_EQ(mis[off + r], want_mis[r])
+                << t.name << " q=" << q << " block=" << row_block;
+            ASSERT_EQ(l1[off + r], want_l1[r])
+                << t.name << " q=" << q << " block=" << row_block;
+            ASSERT_EQ(dot[off + r], want_dot[r])
+                << t.name << " q=" << q << " block=" << row_block;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CoreKernels, TiledScanArgumentValidation) {
+  auto f = make_fixture(32, 4, 5, 0xABCu);
+  DigitMatrix qm(32, 4);
+  qm.append(std::vector<int>(32, 1));
+  std::vector<std::int32_t> out(5);
+  // Bad query range.
+  EXPECT_THROW(kernels::mismatch_count_tile(f.matrix, qm, 0, 2, out, 0),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::mismatch_count_tile(f.matrix, qm, -1, 1, out, 0),
+               std::invalid_argument);
+  // Undersized output.
+  std::vector<std::int32_t> short_out(4);
+  EXPECT_THROW(kernels::l1_distance_tile(f.matrix, qm, 0, 1, short_out, 0),
+               std::invalid_argument);
+  // Packing mismatch (different field width).
+  DigitMatrix wide(32, 16);
+  wide.append(std::vector<int>(32, 1));
+  EXPECT_THROW(kernels::mismatch_count_tile(f.matrix, wide, 0, 1, out, 0),
+               std::invalid_argument);
 }
 
 TEST(CoreKernels, BatchArgumentValidation) {

@@ -158,6 +158,56 @@ TEST(RuntimeBackendParity, PackedAndUnpackedSubmissionBitIdentical) {
   }
 }
 
+TEST(RuntimeBackendParity, QueryTileSizeNeverChangesResults) {
+  // The memory-hierarchy knobs are pure performance knobs: any query_tile /
+  // row_block combination must return bit-identical entries and modeled
+  // costs on every registered backend, sequentially and on a pool.
+  constexpr int kStages = 40, kRows = 70, kQueries = 13, kTopK = 5;
+  Rng rng(707);
+  std::vector<std::vector<int>> stored, queries;
+  for (int r = 0; r < kRows; ++r)
+    stored.push_back(am::random_word(rng, kStages, kLevels));
+  for (int q = 0; q < kQueries; ++q)
+    queries.push_back(am::random_word(rng, kStages, kLevels));
+  core::DigitMatrix packed(kStages, kLevels);
+  for (const auto& q : queries) packed.append(q);
+
+  const auto reference_reg =
+      runtime::default_registry(calibration(), {.stages = kStages,
+                                                .query_tile = 1});
+  for (const auto& name : reference_reg.names()) {
+    std::vector<std::vector<runtime::TopKResult>> runs;
+    for (int tile : {1, 3, 8, 64}) {
+      for (int row_block : {0, 1, 32}) {
+        const auto reg = runtime::default_registry(
+            calibration(),
+            {.stages = kStages, .query_tile = tile, .row_block = row_block});
+        runtime::ShardedIndex index(reg, {.backend = name, .shards = 3});
+        for (const auto& row : stored) index.store(row);
+        runtime::SearchEngine engine(index,
+                                     {.threads = tile % 2 == 0 ? 4 : 1});
+        runs.push_back(engine.submit_batch(packed, kTopK));
+      }
+    }
+    const auto& reference = runs.front();
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      ASSERT_EQ(runs[i].size(), reference.size()) << name;
+      for (std::size_t q = 0; q < reference.size(); ++q) {
+        EXPECT_EQ(runs[i][q].entries, reference[q].entries)
+            << "backend=" << name << " run=" << i << " query=" << q;
+        EXPECT_DOUBLE_EQ(runs[i][q].modeled_latency,
+                         reference[q].modeled_latency)
+            << "backend=" << name << " run=" << i;
+        EXPECT_DOUBLE_EQ(runs[i][q].modeled_energy,
+                         reference[q].modeled_energy)
+            << "backend=" << name << " run=" << i;
+        EXPECT_EQ(runs[i][q].modeled_passes, reference[q].modeled_passes)
+            << "backend=" << name << " run=" << i;
+      }
+    }
+  }
+}
+
 TEST(RuntimeBackendCosts, PassFoldingMatchesArrayGeometry) {
   // 10 stored rows on 4-row arrays: ceil(10/4) = 3 sequential passes for
   // every hardware backend; the software reference always scans in one.

@@ -1,0 +1,301 @@
+// mmap persistence round-trip tests: a saved index, loaded back in a fresh
+// ShardedIndex (as a restarted process would), must serve bit-identical
+// top-k to the never-persisted original on every registered backend — and a
+// damaged file must be rejected up front with an error naming what broke,
+// never handed to a kernel.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "am/calibration.h"
+#include "am/words.h"
+#include "core/digit_matrix.h"
+#include "core/index_io.h"
+#include "runtime/backends.h"
+#include "runtime/engine.h"
+#include "runtime/sharded_index.h"
+#include "util/rng.h"
+
+namespace tdam {
+namespace {
+
+constexpr int kLevels = 4;
+constexpr int kStages = 48;
+
+const am::CalibrationResult& calibration() {
+  static const am::CalibrationResult cal = [] {
+    Rng rng(19);
+    return am::calibrate_chain(am::ChainConfig{}, rng);
+  }();
+  return cal;
+}
+
+core::BackendRegistry registry() {
+  return runtime::default_registry(calibration(), {.stages = kStages});
+}
+
+struct Workload {
+  std::vector<std::vector<int>> stored;
+  core::DigitMatrix queries{kStages, kLevels};
+};
+
+Workload make_workload(int rows, int queries, std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r)
+    w.stored.push_back(am::random_word(rng, kStages, kLevels));
+  for (int q = 0; q < queries; ++q)
+    w.queries.append(am::random_word(rng, kStages, kLevels));
+  return w;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+void expect_identical(const std::vector<runtime::TopKResult>& a,
+                      const std::vector<runtime::TopKResult>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t q = 0; q < a.size(); ++q)
+    EXPECT_EQ(a[q].entries, b[q].entries) << label << " query=" << q;
+}
+
+// The acceptance pin: save -> (new process stands in a fresh ShardedIndex)
+// -> load -> identical top-k on every registered backend, with the writer
+// left mid-delta and multiple shards so sealed and delta segments both
+// round-trip.
+TEST(RuntimePersist, RoundTripBitIdenticalTopKOnAllBackends) {
+  const auto reg = registry();
+  const auto w = make_workload(90, 16, 0xD15Cu);
+  for (const auto& name : reg.names()) {
+    runtime::ShardedIndex original(
+        reg, {.backend = name, .shards = 3, .seal_rows = 16,
+              .background_compaction = false});
+    for (const auto& row : w.stored) original.store(row);
+    runtime::SearchEngine engine(original, {.threads = 2});
+    const auto want = engine.submit_batch(w.queries, 6);
+
+    const auto path = temp_path("tdam_persist_" + name + ".tdam");
+    original.save(path);
+    auto loaded = runtime::ShardedIndex::load(
+        reg, path, {.background_compaction = false});
+    EXPECT_EQ(loaded.backend_name(), name);
+    EXPECT_EQ(loaded.num_shards(), 3);
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.stages(), kStages);
+    EXPECT_EQ(loaded.levels(), kLevels);
+    EXPECT_EQ(loaded.generation(), 0u);
+    EXPECT_EQ(loaded.snapshot(), original.snapshot()) << name;
+
+    runtime::SearchEngine loaded_engine(loaded, {.threads = 2});
+    expect_identical(loaded_engine.submit_batch(w.queries, 6), want, name);
+    std::remove(path.c_str());
+  }
+}
+
+// A loaded index is a full writer, not a read-only replica: further stores,
+// sealing and compaction must keep every invariant, and compaction must
+// migrate rows out of the mapping (merge re-stores into owned segments)
+// without changing a single (id, digits) pair.
+TEST(RuntimePersist, LoadedIndexKeepsIngestAndCompactionInvariants) {
+  const auto reg = registry();
+  const auto w = make_workload(60, 12, 0xF00Du);
+  runtime::ShardedIndex original(
+      reg, {.backend = "exact", .shards = 2, .seal_rows = 8,
+            .background_compaction = false});
+  for (const auto& row : w.stored) original.store(row);
+  const auto path = temp_path("tdam_persist_ingest.tdam");
+  original.save(path);
+
+  auto loaded = runtime::ShardedIndex::load(
+      reg, path, {.seal_rows = 8, .background_compaction = false});
+  std::remove(path.c_str());  // the mapping outlives the directory entry
+
+  // Ids continue exactly where the file left off.
+  Rng rng(0xF00Eu);
+  std::vector<std::vector<int>> extra;
+  for (int r = 0; r < 20; ++r) {
+    extra.push_back(am::random_word(rng, kStages, kLevels));
+    EXPECT_EQ(loaded.store(extra.back()), 60 + r);
+  }
+  ASSERT_EQ(loaded.size(), 80);
+
+  // Mirror of the full set the slow way; compaction must preserve it.
+  auto want_rows = w.stored;
+  want_rows.insert(want_rows.end(), extra.begin(), extra.end());
+  EXPECT_EQ(loaded.snapshot(), want_rows);
+
+  runtime::SearchEngine engine(loaded, {.threads = 1});
+  const auto before = engine.submit_batch(w.queries, 7);
+  loaded.compact_now();
+  EXPECT_LE(loaded.pin()->segments, 2);  // one sealed segment per shard
+  EXPECT_EQ(loaded.snapshot(), want_rows);
+  expect_identical(engine.submit_batch(w.queries, 7), before,
+                   "post-compaction");
+
+  // The compacted shards own their storage now; clear() must work (a frozen
+  // external matrix would throw) and restart ids at 0.
+  loaded.clear();
+  EXPECT_EQ(loaded.size(), 0);
+  EXPECT_EQ(loaded.store(extra.front()), 0);
+}
+
+TEST(RuntimePersist, TruncatedFileRejectedWithNamedError) {
+  const auto reg = registry();
+  const auto w = make_workload(40, 1, 0x7123u);
+  runtime::ShardedIndex original(reg, {.backend = "exact",
+                                       .background_compaction = false});
+  for (const auto& row : w.stored) original.store(row);
+  const auto path = temp_path("tdam_persist_trunc.tdam");
+  original.save(path);
+
+  // Chop the payload tail off.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 100u);
+    bytes.resize(bytes.size() - 64);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    runtime::ShardedIndex::load(reg, path, {.background_compaction = false});
+    FAIL() << "truncated file was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+
+  // Chop into the header.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("TDAM", 4);
+  }
+  try {
+    runtime::ShardedIndex::load(reg, path, {.background_compaction = false});
+    FAIL() << "header stub was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated header"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RuntimePersist, CorruptedFileRejectedWithNamedError) {
+  const auto reg = registry();
+  const auto w = make_workload(40, 1, 0x7124u);
+  runtime::ShardedIndex original(reg, {.backend = "exact",
+                                       .background_compaction = false});
+  for (const auto& row : w.stored) original.store(row);
+  const auto path = temp_path("tdam_persist_flip.tdam");
+  original.save(path);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> good((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+
+  const auto write_bytes = [&](const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const auto expect_rejected = [&](const std::string& needle) {
+    try {
+      runtime::ShardedIndex::load(reg, path,
+                                  {.background_compaction = false});
+      FAIL() << "corrupt file was accepted (wanted '" << needle << "')";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // Bad magic.
+  auto bad = good;
+  bad[0] = 'X';
+  write_bytes(bad);
+  expect_rejected("bad magic at offset 0");
+
+  // Unsupported version.
+  bad = good;
+  bad[4] = 9;
+  write_bytes(bad);
+  expect_rejected("unsupported version at offset 4");
+
+  // A single flipped bit in the packed payload (last byte of the file is
+  // payload words).
+  bad = good;
+  bad.back() = static_cast<char>(bad.back() ^ 0x10);
+  write_bytes(bad);
+  expect_rejected("payload checksum mismatch");
+
+  // A flipped bit in the segment table (first table byte sits right after
+  // the 8-byte-aligned backend name "exact" -> offset 72).
+  bad = good;
+  bad[72] = static_cast<char>(bad[72] ^ 0x01);
+  write_bytes(bad);
+  expect_rejected("segment table checksum mismatch");
+
+  std::remove(path.c_str());
+}
+
+TEST(RuntimePersist, LoadRejectsGeometryMismatchNamingBoth) {
+  const auto reg = registry();
+  const auto w = make_workload(10, 1, 0x7125u);
+  runtime::ShardedIndex original(reg, {.backend = "exact",
+                                       .background_compaction = false});
+  for (const auto& row : w.stored) original.store(row);
+  const auto path = temp_path("tdam_persist_geom.tdam");
+  original.save(path);
+
+  const auto narrow =
+      runtime::default_registry(calibration(), {.stages = kStages / 2});
+  try {
+    runtime::ShardedIndex::load(narrow, path,
+                                {.background_compaction = false});
+    FAIL() << "geometry mismatch was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stages=" + std::to_string(kStages / 2)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("stages=" + std::to_string(kStages)),
+              std::string::npos)
+        << what;
+  }
+  std::remove(path.c_str());
+}
+
+// Frozen external matrices are the zero-copy substrate of the load path;
+// their immutability contract is what makes sharing mapped bytes safe.
+TEST(RuntimePersist, ExternalMatrixIsFrozenAndZeroCopy) {
+  core::DigitMatrix owned(8, kLevels);
+  const std::vector<int> row_a{0, 1, 2, 3, 0, 1, 2, 3};
+  const std::vector<int> row_b{3, 2, 1, 0, 3, 2, 1, 0};
+  owned.append(row_a);
+  owned.append(row_b);
+  auto frozen = core::DigitMatrix::from_external(8, kLevels, owned.rows(),
+                                                 owned.words_data());
+  EXPECT_TRUE(frozen.frozen());
+  EXPECT_FALSE(owned.frozen());
+  EXPECT_EQ(frozen.words_data(), owned.words_data());  // no copy
+  EXPECT_EQ(frozen.unpack_row(0), owned.unpack_row(0));
+  EXPECT_EQ(frozen.unpack_row(1), owned.unpack_row(1));
+  EXPECT_THROW(frozen.append(row_a), std::logic_error);
+  EXPECT_THROW(frozen.clear(), std::logic_error);
+  EXPECT_THROW(
+      core::DigitMatrix::from_external(8, kLevels, 2, nullptr),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdam
