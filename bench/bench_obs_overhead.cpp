@@ -9,18 +9,26 @@
 //   $ ./bench_obs_overhead --check=0.05       # non-zero exit past the bar
 //   $ ./bench_obs_overhead                    # report-only
 //       [--vectors=4096] [--shards=2] [--threads=2] [--queries=2000]
-//       [--reps=5] [--batch=32]
+//       [--reps=5] [--batch=32] [--wire]
+//
+// --wire measures the same three modes over the full Layer-8 path instead:
+// a loopback AmTcpServer plus one pipelined AmClient, so the sampled-mode
+// budget also covers the wire-stage stamping (io_recv/decode/submit_queue/
+// completion_wait/encode/io_send) and the deferred record at io_send.
 //
 // In CI this runs report-only: shared runners are too noisy to gate on a
 // few percent of wall time, so the gate is meant for quiet local machines.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <vector>
 
 #include "am/calibration.h"
 #include "am/words.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
 #include "runtime/backends.h"
 #include "runtime/server.h"
 #include "runtime/sharded_index.h"
@@ -78,6 +86,51 @@ double run_once(Workload& w, const obs::TraceConfig& trace, int threads,
   return static_cast<double>(queries) / wall;
 }
 
+// The same pass over loopback TCP: an ephemeral-port AmTcpServer and one
+// pipelined AmClient keeping a bounded window in flight.  Wall-QPS now
+// includes framing, the three server thread hops, and — when tracing is on
+// — the wire-stage stamps and the io_send-time record.
+double run_once_wire(Workload& w, const obs::TraceConfig& trace, int threads,
+                     int queries, int batch) {
+  runtime::AmServer server(
+      w.index, {.engine = {.threads = threads},
+                .scheduler = {.max_batch = batch,
+                              .max_delay = 200e-6,
+                              .queue_capacity = 4096,
+                              .policy = runtime::AdmissionPolicy::kBlock},
+                .trace = trace});
+  net::AmTcpServer tcp(server, {.io_threads = 2});
+  net::AmClient client("127.0.0.1", tcp.port());
+  std::vector<std::vector<std::uint16_t>> wire_queries;
+  wire_queries.reserve(w.queries.size());
+  for (const auto& q : w.queries) {
+    auto& digits = wire_queries.emplace_back();
+    digits.reserve(q.size());
+    for (int d : q) digits.push_back(static_cast<std::uint16_t>(d));
+  }
+  constexpr int kWindow = 64;  // in-flight cap, same spirit as loadgen
+  int sent = 0;
+  int received = 0;
+  net::AmClient::Reply reply;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (received < queries) {
+    while (sent < queries && sent - received < kWindow) {
+      client.send_query(
+          wire_queries[static_cast<std::size_t>(sent) % wire_queries.size()],
+          kTopK);
+      ++sent;
+    }
+    if (!client.recv(reply)) break;  // server hung up — count what we have
+    ++received;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  tcp.stop();
+  server.shutdown();
+  return static_cast<double>(received) / wall;
+}
+
 double median(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
   const auto n = xs.size();
@@ -95,6 +148,7 @@ int main(int argc, char** argv) {
   const int reps = args.get_int("reps", 5);
   const int batch = args.get_int("batch", 32);
   const double check = args.get_double("check", -1.0);
+  const bool wire = args.has("wire");
 
   Rng rng(1);
   const auto cal = am::calibrate_chain(am::ChainConfig{}, rng);
@@ -116,15 +170,17 @@ int main(int argc, char** argv) {
       "below is pinned to off, overhead should read ~0\n");
 #endif
   std::printf(
-      "obs overhead: vectors=%d shards=%d threads=%d queries=%d reps=%d "
-      "batch=%d\n",
-      vectors, shards, threads, queries, reps, batch);
+      "obs overhead: path=%s vectors=%d shards=%d threads=%d queries=%d "
+      "reps=%d batch=%d\n",
+      wire ? "wire (loopback TCP)" : "in-process", vectors, shards, threads,
+      queries, reps, batch);
 
+  const auto run = wire ? run_once_wire : run_once;
   std::vector<double> qps[3];
-  run_once(w, modes[0].trace, threads, queries, batch);  // warm-up, discarded
+  run(w, modes[0].trace, threads, queries, batch);  // warm-up, discarded
   for (int r = 0; r < reps; ++r)
     for (std::size_t m = 0; m < 3; ++m)
-      qps[m].push_back(run_once(w, modes[m].trace, threads, queries, batch));
+      qps[m].push_back(run(w, modes[m].trace, threads, queries, batch));
 
   const double off_qps = median(qps[0]);
   Table table({"trace mode", "median QPS", "vs off"});

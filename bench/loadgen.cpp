@@ -19,7 +19,12 @@
 //
 // Emits a BENCH JSON (bench="net_loadgen", default BENCH_runtime_net.json)
 // validated by scripts/check_bench_json.py and archived by CI, extending
-// the perf trajectory over the wire.
+// the perf trajectory over the wire.  Each sweep row carries, next to the
+// aggregate client wall p50/p99, the client-side quantiles split per wire
+// code (a shed reply returns much faster than an answered one — mixing
+// them hides both) and the server's own per-stage p50/p99 from the v3
+// STATS reply, so one JSON reconciles what clients saw against where the
+// server says the time went.
 //
 // With --store-qps=N (rows/second) each sweep point becomes a mixed
 // read+write measurement: a read-only pass first establishes the baseline
@@ -38,6 +43,7 @@
 //               [--out=BENCH_runtime_net.json]
 //   $ ./loadgen --host=127.0.0.1 --port=7844 --connections=8 ...
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -78,11 +84,42 @@ struct Tally {
   }
 };
 
+// Latency classes a reply can land in, indexed per WireCode (degraded
+// replies return on a different path than answered ones, so their
+// latencies are reported separately).
+constexpr int kCodeClasses = 4;  // ok, rejected, shed, expired
+constexpr const char* kCodeClassName[kCodeClasses] = {"ok", "rejected",
+                                                      "shed", "expired"};
+
+int code_class(net::WireCode code) {
+  switch (code) {
+    case net::WireCode::kOk: return 0;
+    case net::WireCode::kRejected: return 1;
+    case net::WireCode::kShed: return 2;
+    case net::WireCode::kDeadlineExpired: return 3;
+    default: return -1;  // protocol errors: counted, not timed
+  }
+}
+
 struct SweepRow {
   double target_qps = 0.0;
   double achieved_qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  // Client-observed quantiles split per wire code (0 when that code never
+  // occurred at this point).
+  std::array<double, kCodeClasses> code_p50_ms{};
+  std::array<double, kCodeClasses> code_p99_ms{};
+  // Server-side per-stage quantiles from the v3 STATS probe taken right
+  // after this sweep point (cumulative over the server's lifetime).
+  double server_queue_wait_p50_ms = 0.0;
+  double server_queue_wait_p99_ms = 0.0;
+  double server_batch_wait_p50_ms = 0.0;
+  double server_batch_wait_p99_ms = 0.0;
+  double server_scan_p50_ms = 0.0;
+  double server_scan_p99_ms = 0.0;
+  double server_merge_p50_ms = 0.0;
+  double server_merge_p99_ms = 0.0;
   Tally tally;
 };
 
@@ -109,6 +146,7 @@ SweepRow run_sweep(const std::string& host, int port, int connections,
     std::mutex mutex;
     std::unordered_map<std::uint64_t, Clock::time_point> sent;
     std::vector<double> latencies_s;
+    std::array<std::vector<double>, kCodeClasses> latencies_by_code_s;
     Tally tally;
   };
   std::vector<std::unique_ptr<Conn>> conns;
@@ -166,12 +204,18 @@ SweepRow run_sweep(const std::string& host, int port, int connections,
             conn.sent.erase(it);
           }
         }
-        if (sent_at)
-          conn.latencies_s.push_back(
-              std::chrono::duration<double>(now - *sent_at).count());
-        conn.tally.count(reply.type == net::MsgType::kQueryReply
-                             ? reply.query.code
-                             : reply.error.code);
+        const auto code = reply.type == net::MsgType::kQueryReply
+                              ? reply.query.code
+                              : reply.error.code;
+        if (sent_at) {
+          const double latency_s =
+              std::chrono::duration<double>(now - *sent_at).count();
+          conn.latencies_s.push_back(latency_s);
+          if (const int cls = code_class(code); cls >= 0)
+            conn.latencies_by_code_s[static_cast<std::size_t>(cls)].push_back(
+                latency_s);
+        }
+        conn.tally.count(code);
       }
     });
   }
@@ -180,9 +224,16 @@ SweepRow run_sweep(const std::string& host, int port, int connections,
       std::chrono::duration<double>(Clock::now() - start).count();
 
   std::vector<double> latencies;
+  std::array<std::vector<double>, kCodeClasses> by_code;
   for (auto& conn : conns) {
     latencies.insert(latencies.end(), conn->latencies_s.begin(),
                      conn->latencies_s.end());
+    for (int cls = 0; cls < kCodeClasses; ++cls) {
+      auto& src = conn->latencies_by_code_s[static_cast<std::size_t>(cls)];
+      by_code[static_cast<std::size_t>(cls)].insert(
+          by_code[static_cast<std::size_t>(cls)].end(), src.begin(),
+          src.end());
+    }
     row.tally.ok += conn->tally.ok;
     row.tally.rejected += conn->tally.rejected;
     row.tally.shed += conn->tally.shed;
@@ -194,7 +245,26 @@ SweepRow run_sweep(const std::string& host, int port, int connections,
       elapsed > 0.0 ? static_cast<double>(row.tally.total()) / elapsed : 0.0;
   row.p50_ms = quantile_ms(latencies, 0.50);
   row.p99_ms = quantile_ms(latencies, 0.99);
+  for (int cls = 0; cls < kCodeClasses; ++cls) {
+    auto& v = by_code[static_cast<std::size_t>(cls)];
+    std::sort(v.begin(), v.end());
+    row.code_p50_ms[static_cast<std::size_t>(cls)] = quantile_ms(v, 0.50);
+    row.code_p99_ms[static_cast<std::size_t>(cls)] = quantile_ms(v, 0.99);
+  }
   return row;
+}
+
+// Fills the server-side stage quantiles from a v3 STATS reply (cumulative:
+// the probe samples the server's lifetime histograms right after a sweep).
+void attach_server_stages(SweepRow& row, const net::StatsReply& stats) {
+  row.server_queue_wait_p50_ms = stats.queue_wait_p50_s * 1e3;
+  row.server_queue_wait_p99_ms = stats.queue_wait_p99_s * 1e3;
+  row.server_batch_wait_p50_ms = stats.batch_wait_p50_s * 1e3;
+  row.server_batch_wait_p99_ms = stats.batch_wait_p99_s * 1e3;
+  row.server_scan_p50_ms = stats.scan_p50_s * 1e3;
+  row.server_scan_p99_ms = stats.scan_p99_s * 1e3;
+  row.server_merge_p50_ms = stats.merge_p50_s * 1e3;
+  row.server_merge_p99_ms = stats.merge_p99_s * 1e3;
 }
 
 // One writer connection streaming STORE_BATCH frames until `stop`.  Frames
@@ -451,11 +521,18 @@ int main(int argc, char** argv) {
   for (const double target : qps_list) {
     rows.push_back(run_sweep(host, port, connections, queries, k, deadline_us,
                              target, stages, levels));
+    attach_server_stages(rows.back(), probe.stats());
     const auto& r = rows.back();
     std::printf("%10.0f %12.1f %9.3f %9.3f %7ld %9ld %6ld %8ld %7ld\n",
                 r.target_qps, r.achieved_qps, r.p50_ms, r.p99_ms, r.tally.ok,
                 r.tally.rejected, r.tally.shed, r.tally.expired,
                 r.tally.protocol_error);
+    std::printf("%10s server stages (ms): queue %.3f/%.3f batch %.3f/%.3f "
+                "scan %.3f/%.3f merge %.3f/%.3f (p50/p99)\n",
+                "", r.server_queue_wait_p50_ms, r.server_queue_wait_p99_ms,
+                r.server_batch_wait_p50_ms, r.server_batch_wait_p99_ms,
+                r.server_scan_p50_ms, r.server_scan_p99_ms,
+                r.server_merge_p50_ms, r.server_merge_p99_ms);
   }
 
   bench::JsonWriter json;
@@ -478,7 +555,22 @@ int main(int argc, char** argv) {
         .field("target_qps", r.target_qps)
         .field("achieved_qps", r.achieved_qps)
         .field("p50_ms", r.p50_ms)
-        .field("p99_ms", r.p99_ms)
+        .field("p99_ms", r.p99_ms);
+    for (int cls = 0; cls < kCodeClasses; ++cls) {
+      const std::string name = kCodeClassName[cls];
+      json.field((name + "_p50_ms").c_str(),
+                 r.code_p50_ms[static_cast<std::size_t>(cls)]);
+      json.field((name + "_p99_ms").c_str(),
+                 r.code_p99_ms[static_cast<std::size_t>(cls)]);
+    }
+    json.field("server_queue_wait_p50_ms", r.server_queue_wait_p50_ms)
+        .field("server_queue_wait_p99_ms", r.server_queue_wait_p99_ms)
+        .field("server_batch_wait_p50_ms", r.server_batch_wait_p50_ms)
+        .field("server_batch_wait_p99_ms", r.server_batch_wait_p99_ms)
+        .field("server_scan_p50_ms", r.server_scan_p50_ms)
+        .field("server_scan_p99_ms", r.server_scan_p99_ms)
+        .field("server_merge_p50_ms", r.server_merge_p50_ms)
+        .field("server_merge_p99_ms", r.server_merge_p99_ms)
         .field("ok", r.tally.ok)
         .field("rejected", r.tally.rejected)
         .field("shed", r.tally.shed)

@@ -11,20 +11,40 @@
 //                 --threads=4 [--backend=behavioral|digital|cam|exact]
 //                 [--bits=2] [--io-threads=2] [--policy=block|reject|shed]
 //                 [--queue-cap=1024] [--duration=0]
+//                 [--http-port=-1] [--export=prom|json] [--export-every=0]
+//                 [--slow-ms=-1]
+//
+// Observability flags:
+//   --http-port=P     also serve GET /metrics (Prometheus text),
+//                     /metrics.json, and /traces on 127.0.0.1:P (0 =
+//                     ephemeral, printed at startup; default -1 = off), so
+//                     a stock Prometheus can scrape this process.
+//   --export=prom|json  with --export-every=S > 0, dump the registry to
+//                     stdout every S seconds (and once at shutdown).
+//   --slow-ms=M       capture every query slower than M milliseconds in
+//                     the slow-query flight recorder regardless of trace
+//                     sampling (fractional ok; exported under /traces and
+//                     the JSON dump).  Requires tracing (TDAM_TRACE=...).
 //
 // Then, from another terminal:
 //   $ ./loadgen --port=7844 --connections=8 --queries=20000 \
 //               --qps-list=2000,8000,32000
+//   $ curl -s localhost:9464/metrics | head        # with --http-port=9464
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "am/calibration.h"
+#include "net/http_server.h"
 #include "net/tcp_server.h"
+#include "obs/export.h"
 #include "runtime/backends.h"
 #include "runtime/server.h"
 #include "runtime/sharded_index.h"
@@ -62,6 +82,15 @@ int main(int argc, char** argv) {
   const int duration = args.get_int("duration", 0);
   const std::string backend = args.get("backend", "behavioral");
   const auto policy = parse_policy(args.get("policy", "block"));
+  const int http_port = args.get_int("http-port", -1);
+  const std::string export_format = args.get("export", "prom");
+  const double export_every = args.get_double("export-every", 0.0);
+  const double slow_ms = args.get_double("slow-ms", -1.0);
+  if (export_format != "prom" && export_format != "json") {
+    std::fprintf(stderr, "unknown --export=%s (prom|json)\n",
+                 export_format.c_str());
+    return 1;
+  }
 
   am::ChainConfig config;
   config.encoding = am::Encoding(bits);
@@ -79,28 +108,64 @@ int main(int argc, char** argv) {
     index.store(digits);
   }
 
-  runtime::AmServer server(
-      index, {.engine = {.threads = threads},
-              .scheduler = {.queue_capacity = queue_cap, .policy = policy}});
+  runtime::ServerOptions server_options{
+      .engine = {.threads = threads},
+      .scheduler = {.queue_capacity = queue_cap, .policy = policy}};
+  if (slow_ms >= 0.0)
+    server_options.trace.slow_threshold_ns =
+        static_cast<std::int64_t>(slow_ms * 1e6);
+  runtime::AmServer server(index, server_options);
   net::AmTcpServer tcp(server, {.port = port, .io_threads = io_threads});
   std::printf(
       "serving %d '%s' vectors of %d %d-bit digits on 127.0.0.1:%d "
       "(%d shards, %d engine threads, %d io threads)\n",
       index.size(), backend.c_str(), stages, bits, tcp.port(), shards,
       threads, io_threads);
+  std::unique_ptr<net::MetricsHttpServer> http;
+  if (http_port >= 0) {
+    http = std::make_unique<net::MetricsHttpServer>(
+        server, net::HttpServerOptions{.port = http_port});
+    std::printf("metrics on http://127.0.0.1:%d/metrics (also /metrics.json,"
+                " /traces)\n",
+                http->port());
+  }
+  std::fflush(stdout);
+
+  const auto dump_registry = [&] {
+    if (export_format == "json")
+      obs::export_json(std::cout, server.metrics().registry(),
+                       &server.recorder(), &server.slow_log());
+    else
+      obs::export_prometheus(std::cout, server.metrics().registry());
+    std::cout << std::flush;
+  };
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  const auto stop_at = std::chrono::steady_clock::now() +
-                       std::chrono::seconds(duration > 0 ? duration : 0);
+  const auto started = std::chrono::steady_clock::now();
+  const auto stop_at =
+      started + std::chrono::seconds(duration > 0 ? duration : 0);
+  auto next_export =
+      started + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        export_every > 0.0 ? export_every : 0.0));
   while (!g_stop.load()) {
-    if (duration > 0 && std::chrono::steady_clock::now() >= stop_at) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (duration > 0 && now >= stop_at) break;
+    if (export_every > 0.0 && now >= next_export) {
+      dump_registry();
+      next_export =
+          now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(export_every));
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
   std::printf("shutting down (%d connections open)\n", tcp.connections());
+  if (http) http->stop();
   tcp.stop();
   server.shutdown();
+  if (export_every > 0.0) dump_registry();  // final state, post-drain
   std::printf("%s", server.metrics().summary_table().c_str());
   return 0;
 }

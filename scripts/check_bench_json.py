@@ -15,7 +15,8 @@ Four accepted formats:
 * tdam net-loadgen format (bench/loadgen.cpp): ``bench`` == ``net_loadgen``
   with a ``config`` object (connections/vectors/shards/threads/queries/k/
   deadline_us) and a ``results`` array of per-target over-the-wire rows
-  (``target_qps``, ``achieved_qps``, ``p50_ms``, ``p99_ms``, and
+  (``target_qps``, ``achieved_qps``, ``p50_ms``, ``p99_ms``, per-wire-code
+  client quantiles, server-side stage quantiles from a v3 STATS probe, and
   ok/rejected/shed/expired/protocol_error counts summing to the offered
   query count).
 * tdam runtime-ingest format (bench/loadgen.cpp ``--store-qps=N``):
@@ -185,7 +186,17 @@ def check_runtime_throughput(doc: dict) -> int:
 
 
 NET_COUNT_KEYS = ("ok", "rejected", "shed", "expired", "protocol_error")
-NET_RATE_KEYS = ("target_qps", "achieved_qps", "p50_ms", "p99_ms")
+# Per-code client-side quantiles (zero when no reply of that class arrived)
+# and cumulative server-side stage quantiles sampled via a v3 STATS probe
+# after the sweep point — loadgen emits all of them on every row.
+NET_RATE_KEYS = ("target_qps", "achieved_qps", "p50_ms", "p99_ms",
+                 "ok_p50_ms", "ok_p99_ms", "rejected_p50_ms", "rejected_p99_ms",
+                 "shed_p50_ms", "shed_p99_ms", "expired_p50_ms",
+                 "expired_p99_ms", "server_queue_wait_p50_ms",
+                 "server_queue_wait_p99_ms", "server_batch_wait_p50_ms",
+                 "server_batch_wait_p99_ms", "server_scan_p50_ms",
+                 "server_scan_p99_ms", "server_merge_p50_ms",
+                 "server_merge_p99_ms")
 NET_CONFIG_KEYS = {"connections", "vectors", "shards", "threads", "queries",
                    "k", "deadline_us"}
 

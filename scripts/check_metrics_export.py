@@ -10,14 +10,26 @@ exporter instead of archiving garbage:
   expose cumulative ``_bucket`` series ending in ``le="+Inf"`` with
   ``_count`` equal to the +Inf bucket, and the serving instruments the
   runtime registers (``tdam_serving_queries_total``, the wall-latency and
-  stage histograms) are present.
+  stage histograms, the per-shard ``tdam_serving_shard_scan_seconds`` /
+  ``tdam_serving_shard_segments`` families) are present.  Latency families
+  must carry *exponential* bucket edges: successive finite ``le`` values
+  grow by a roughly constant ratio > 1, and the per-shard families must
+  cover a contiguous shard set 0..N-1 consistent across both families.
 * ``.json`` — parses, has ``counters``/``gauges``/``histograms`` arrays,
   every histogram's ``count`` equals binned + underflow + overflow mass,
-  and any ``spans`` array respects the recorder's stated capacity.
+  every histogram carries a ``kind`` (linear|exponential) plus an explicit
+  ``edges`` array of bins+1 monotone boundaries matching lo/hi (geometric
+  growth when kind == exponential), and any ``spans`` array respects the
+  recorder's stated capacity.
 
 When both files are given the query counters must agree, and
 ``--require-stages`` additionally demands populated queue_wait/batch_wait
 stage histograms (what `serving --async` must produce).
+
+The ``.prom`` input does not have to come from a file dump: CI also runs
+this against ``curl``-fetched text from a live ``serve_tcp --http-port``
+``/metrics`` endpoint (saved with a ``.prom`` extension), so the scrape
+path and the offline exporter are held to the same contract.
 """
 
 import argparse
@@ -37,8 +49,42 @@ REQUIRED_SERVING_METRICS = (
     "tdam_serving_wall_seconds_total",
     "tdam_serving_wall_latency_seconds",
     "tdam_serving_stage_seconds",
+    "tdam_serving_shard_scan_seconds",
+    "tdam_serving_shard_segments",
 )
 STAGES = ("queue_wait", "batch_wait", "scan", "merge")
+
+# Latency families the registry builds with exponential (geometric) bucket
+# edges; a linear grid reappearing here is the regression this script gates.
+EXPONENTIAL_FAMILIES = (
+    "tdam_serving_wall_latency_seconds",
+    "tdam_serving_stage_seconds",
+    "tdam_serving_shard_scan_seconds",
+    "tdam_serving_compaction_seconds",
+)
+
+
+def check_geometric_edges(where: str, name: str, edges: list) -> None:
+    """Edges must be positive, strictly increasing, with a roughly constant
+    growth ratio > 1 (the final edge may be snapped to the exact hi)."""
+    if len(edges) < 3:
+        fail(f"{where}: exponential histogram '{name}' has only "
+             f"{len(edges)} edges")
+    if any(e <= 0 for e in edges):
+        fail(f"{where}: exponential histogram '{name}' has a non-positive "
+             "bucket edge")
+    ratios = [b / a for a, b in zip(edges, edges[1:])]
+    if any(r <= 1.0 for r in ratios):
+        fail(f"{where}: exponential histogram '{name}' edges are not "
+             "strictly geometric (ratio <= 1 found)")
+    typical = sorted(ratios)[len(ratios) // 2]
+    # Formatting rounds the exported edges, so small grids see real ratio
+    # jitter; 20% of the median still rejects any linear ramp, whose ratios
+    # trend to 1 while its median stays well above.
+    if any(abs(r - typical) > 0.2 * typical for r in ratios):
+        fail(f"{where}: histogram '{name}' bucket growth is not geometric "
+             f"(ratios range {min(ratios):.4f}..{max(ratios):.4f} around "
+             f"median {typical:.4f}) — linear edges in an exponential family")
 
 
 def fail(msg: str) -> None:
@@ -135,6 +181,38 @@ def check_prom(path: str) -> dict:
             fail(f"{path}: histogram '{family}' _count {slot['count']} != "
                  f"+Inf bucket {values[-1]}")
 
+    # Exponential-edge contract: the registry's latency families must carry
+    # geometric bucket boundaries, per series (labels vary the edges only
+    # through lo/hi, never the growth law).
+    for (family, _), slot in series.items():
+        if slot["buckets"] and family in EXPONENTIAL_FAMILIES:
+            finite = [float(le) for le, _ in slot["buckets"] if le != "+Inf"]
+            check_geometric_edges(path, family, finite)
+
+    # Per-shard family contract: both families label every series with a
+    # numeric shard, the shard sets are contiguous 0..N-1, and they agree
+    # with each other (a shard present in scan times but missing its
+    # segment gauge means ensure_shards drifted).
+    shard_sets = {}
+    for family in ("tdam_serving_shard_scan_seconds",
+                   "tdam_serving_shard_segments"):
+        shards = set()
+        for (fam, label_key), _ in series.items():
+            if fam != family:
+                continue
+            labels = dict(label_key)
+            if not labels.get("shard", "").isdigit():
+                fail(f"{path}: '{family}' series without a numeric shard "
+                     f"label: {labels}")
+            shards.add(int(labels["shard"]))
+        if shards and shards != set(range(len(shards))):
+            fail(f"{path}: '{family}' shard labels {sorted(shards)} are not "
+                 f"contiguous 0..{len(shards) - 1}")
+        shard_sets[family] = shards
+    if len(set(map(frozenset, shard_sets.values()))) > 1:
+        fail(f"{path}: per-shard families disagree on the shard set: "
+             + ", ".join(f"{k}={sorted(v)}" for k, v in shard_sets.items()))
+
     families = {base_family(name) for name, _, _ in samples}
     for required in REQUIRED_SERVING_METRICS:
         if required not in families:
@@ -160,8 +238,8 @@ def check_json(path: str) -> dict:
             if not isinstance(inst.get("value"), (int, float)):
                 fail(f"{path}: {kind}[{i}] missing numeric value")
     for i, h in enumerate(doc["histograms"]):
-        for key in ("name", "lo", "hi", "bins", "underflow", "overflow",
-                    "sum", "count", "counts"):
+        for key in ("name", "lo", "hi", "bins", "kind", "edges", "underflow",
+                    "overflow", "sum", "count", "counts"):
             if key not in h:
                 fail(f"{path}: histograms[{i}] missing '{key}'")
         if len(h["counts"]) != h["bins"]:
@@ -171,6 +249,25 @@ def check_json(path: str) -> dict:
         if mass != h["count"]:
             fail(f"{path}: histograms[{i}] ('{h['name']}') count {h['count']} "
                  f"!= binned+under+over mass {mass}")
+        if h["kind"] not in ("linear", "exponential"):
+            fail(f"{path}: histograms[{i}] ('{h['name']}') has unknown kind "
+                 f"'{h['kind']}'")
+        edges = h["edges"]
+        if len(edges) != h["bins"] + 1:
+            fail(f"{path}: histograms[{i}] ('{h['name']}') has {len(edges)} "
+                 f"edges for {h['bins']} bins (want bins+1)")
+        if edges[0] != h["lo"] or edges[-1] != h["hi"]:
+            fail(f"{path}: histograms[{i}] ('{h['name']}') edges span "
+                 f"[{edges[0]}, {edges[-1]}], lo/hi say "
+                 f"[{h['lo']}, {h['hi']}]")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            fail(f"{path}: histograms[{i}] ('{h['name']}') edges are not "
+                 "strictly increasing")
+        if h["kind"] == "exponential":
+            check_geometric_edges(path, h["name"], edges)
+        if h["name"] in EXPONENTIAL_FAMILIES and h["kind"] != "exponential":
+            fail(f"{path}: '{h['name']}' is a latency family but exports "
+                 f"kind '{h['kind']}' — expected exponential buckets")
     if "spans" in doc:
         trace = doc.get("trace")
         if not isinstance(trace, dict):

@@ -165,6 +165,13 @@ std::uint64_t AmClient::send_stats() {
   return id;
 }
 
+std::uint64_t AmClient::send_metrics(MetricsFormat format) {
+  const auto id = next_id();
+  const auto frame = encode_metrics(id, MetricsRequest{format}, version_);
+  write_all(frame.data(), frame.size());
+  return id;
+}
+
 // --- receive ----------------------------------------------------------------
 
 bool AmClient::recv(Reply& out) {
@@ -195,7 +202,13 @@ bool AmClient::recv(Reply& out) {
       out.clear = decode_clear_reply(payload.data(), payload.size());
       return true;
     case MsgType::kStatsReply:
-      out.stats = decode_stats_reply(payload.data(), payload.size());
+      // Like query replies, the STATS payload is version-dependent (v3
+      // appended per-stage quantiles): decode by the frame's own version.
+      out.stats =
+          decode_stats_reply(payload.data(), payload.size(), header.version);
+      return true;
+    case MsgType::kMetricsReply:
+      out.metrics = decode_metrics_reply(payload.data(), payload.size());
       return true;
     case MsgType::kError:
       out.error = decode_error(payload.data(), payload.size());
@@ -257,6 +270,14 @@ StatsReply AmClient::stats() {
     throw ProtocolError(reply.error.code,
                         "AmClient: STATS failed: " + reply.error.message);
   return reply.stats;
+}
+
+MetricsReply AmClient::metrics(MetricsFormat format) {
+  const auto reply = wait_for(send_metrics(format));
+  if (reply.type != MsgType::kMetricsReply)
+    throw ProtocolError(reply.error.code,
+                        "AmClient: METRICS failed: " + reply.error.message);
+  return reply.metrics;
 }
 
 }  // namespace tdam::net

@@ -63,6 +63,7 @@ class AmClient {
     StoreBatchReply store_batch;
     ClearReply clear;
     StatsReply stats;
+    MetricsReply metrics;
     ErrorReply error;
   };
 
@@ -82,6 +83,11 @@ class AmClient {
                     std::uint32_t digits_per_row);
   Reply clear();
   StatsReply stats();
+  // Full observability export over the query socket (v3+): Prometheus
+  // text, registry JSON, or the trace/slow-query dump — the same bytes the
+  // embedded HTTP listener serves.  A v1/v2 client calling this gets the
+  // server's ERROR/kUnknownType back as a ProtocolError.
+  MetricsReply metrics(MetricsFormat format = MetricsFormat::kPrometheus);
 
   // --- pipelined calls ----------------------------------------------------
 
@@ -93,6 +99,7 @@ class AmClient {
   std::uint64_t send_store_batch(const std::vector<std::uint16_t>& digits,
                                  std::uint32_t digits_per_row);
   std::uint64_t send_stats();
+  std::uint64_t send_metrics(MetricsFormat format = MetricsFormat::kPrometheus);
 
   // Blocks for the next reply frame in arrival order.  Returns false on
   // clean EOF (server hung up with nothing buffered); throws on transport

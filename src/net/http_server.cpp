@@ -1,0 +1,230 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/export.h"
+
+namespace tdam::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("MetricsHttpServer: " + what + ": " +
+                           std::strerror(errno));
+}
+
+// Largest request head we accept; a scraper's GET line + headers fit in a
+// fraction of this, anything bigger is line noise.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK\r\n";
+    case 404: return "HTTP/1.1 404 Not Found\r\n";
+    case 405: return "HTTP/1.1 405 Method Not Allowed\r\n";
+    default:  return "HTTP/1.1 400 Bad Request\r\n";
+  }
+}
+
+std::string make_response(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = status_line(code);
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Writes the whole buffer, tolerating short writes and EINTR; the socket
+// carries SO_SNDTIMEO so a stalled peer eventually errors out.
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone or timed out: drop the rest
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct MetricsHttpServer::Impl {
+  runtime::AmServer& am;
+  HttpServerOptions opts;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::atomic<bool> stop_flag{false};
+  std::atomic<std::uint64_t> served{0};
+  std::thread thread;
+  std::mutex stop_mutex;
+  bool stopped = false;
+
+  Impl(runtime::AmServer& server, HttpServerOptions options)
+      : am(server), opts(std::move(options)) {
+    if (opts.port < 0 || opts.port > 65535)
+      throw std::invalid_argument(
+          "MetricsHttpServer: port must be in [0, 65535] (got " +
+          std::to_string(opts.port) + ")");
+    if (opts.io_timeout <= 0.0)
+      throw std::invalid_argument(
+          "MetricsHttpServer: io_timeout must be positive");
+    open_listener();
+    thread = std::thread([this] { accept_loop(); });
+  }
+
+  ~Impl() { stop(); }
+
+  void open_listener() {
+    listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd);
+      throw std::invalid_argument("MetricsHttpServer: bad bind address '" +
+                                  opts.host + "'");
+    }
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(listen_fd, 16) < 0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      errno = saved;
+      throw_errno("bind/listen on " + opts.host + ":" +
+                  std::to_string(opts.port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      errno = saved;
+      throw_errno("getsockname");
+    }
+    bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+
+  void accept_loop() {
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, 100);
+      if (r <= 0) continue;  // timeout / EINTR: re-check stop_flag
+      const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) continue;
+      serve_one(fd);
+      ::close(fd);
+    }
+    ::close(listen_fd);
+  }
+
+  void serve_one(int fd) {
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(opts.io_timeout);
+    tv.tv_usec = static_cast<long>((opts.io_timeout - static_cast<double>(
+                                                          tv.tv_sec)) *
+                                   1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+    // Read until the head terminator; scrape requests have no body.
+    std::string request;
+    char buf[2048];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < kMaxRequestBytes) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;  // peer gone or timed out before a full request head
+      }
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    // "<METHOD> <path> HTTP/1.x"
+    const auto method_end = request.find(' ');
+    const auto path_end = method_end == std::string::npos
+                              ? std::string::npos
+                              : request.find(' ', method_end + 1);
+    if (path_end == std::string::npos) {
+      write_all(fd, make_response(400, "text/plain",
+                                  "malformed request line\n"));
+      return;
+    }
+    const std::string method = request.substr(0, method_end);
+    std::string path =
+        request.substr(method_end + 1, path_end - method_end - 1);
+    if (const auto query = path.find('?'); query != std::string::npos)
+      path.resize(query);  // ignore query strings (Prometheus sends none)
+    if (method != "GET") {
+      write_all(fd, make_response(405, "text/plain",
+                                  "only GET is supported\n"));
+      return;
+    }
+
+    std::ostringstream body;
+    if (path == "/metrics") {
+      obs::export_prometheus(body, am.metrics().registry());
+      write_all(fd, make_response(
+                        200, "text/plain; version=0.0.4; charset=utf-8",
+                        body.str()));
+    } else if (path == "/metrics.json") {
+      obs::export_json(body, am.metrics().registry(), &am.recorder(),
+                       &am.slow_log());
+      write_all(fd, make_response(200, "application/json", body.str()));
+    } else if (path == "/traces") {
+      obs::export_traces_json(body, &am.recorder(), &am.slow_log());
+      write_all(fd, make_response(200, "application/json", body.str()));
+    } else {
+      write_all(fd, make_response(
+                        404, "text/plain",
+                        "unknown path (try /metrics, /metrics.json, "
+                        "/traces)\n"));
+    }
+  }
+
+  void stop() {
+    std::lock_guard<std::mutex> lock(stop_mutex);
+    if (stopped) return;
+    stop_flag.store(true, std::memory_order_release);
+    if (thread.joinable()) thread.join();
+    stopped = true;
+  }
+};
+
+MetricsHttpServer::MetricsHttpServer(runtime::AmServer& server,
+                                     HttpServerOptions options)
+    : impl_(std::make_unique<Impl>(server, std::move(options))) {}
+
+MetricsHttpServer::~MetricsHttpServer() = default;
+
+int MetricsHttpServer::port() const { return impl_->bound_port; }
+
+std::uint64_t MetricsHttpServer::requests_served() const {
+  return impl_->served.load(std::memory_order_relaxed);
+}
+
+void MetricsHttpServer::stop() { impl_->stop(); }
+
+}  // namespace tdam::net

@@ -1,0 +1,68 @@
+// Minimal embedded HTTP/1.1 listener for observability scrapes.
+//
+// Stock Prometheus speaks HTTP, not the TD-AM binary protocol, so a
+// serve_tcp deployment exposes a second, tiny port serving exactly three
+// read-only paths out of the co-located AmServer's registry:
+//
+//   GET /metrics       — Prometheus text exposition (obs::export_prometheus)
+//   GET /metrics.json  — full registry JSON, incl. trace + slow-query
+//                        sections (obs::export_json)
+//   GET /traces        — flight-recorder + slow-query dump only
+//                        (obs::export_traces_json)
+//
+// Anything else is answered 404; non-GET methods 405.  Every response
+// closes the connection (Connection: close), which keeps the server a
+// single accept-loop thread with no keep-alive state — a scraper hitting
+// it once per 15 s does not need more, and the serving hot path never
+// competes with it for a lock (the registry's snapshot paths are the same
+// ones the binary METRICS message uses).
+//
+// This is deliberately NOT a general HTTP server: no TLS, no chunked
+// bodies, no request payloads honoured.  Bind it to localhost or a
+// scrape-only interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/server.h"
+
+namespace tdam::net {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";  // bind address ("0.0.0.0" for all)
+  int port = 0;                    // 0 = ephemeral; see port()
+  // Per-connection socket timeout: a scraper that stalls mid-request is
+  // dropped after this many seconds so it cannot wedge the accept loop.
+  double io_timeout = 2.0;
+};
+
+class MetricsHttpServer {
+ public:
+  // Binds, listens, and starts the accept thread; throws
+  // std::invalid_argument on bad options and std::runtime_error on socket
+  // failures.  `server` must outlive this object.
+  MetricsHttpServer(runtime::AmServer& server, HttpServerOptions options = {});
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // The bound port (resolves option port == 0 to the kernel-assigned one).
+  int port() const;
+
+  // HTTP requests served over this object's lifetime (2xx and error
+  // responses alike); test hook.
+  std::uint64_t requests_served() const;
+
+  // Closes the listener and joins the accept thread.  Idempotent; run by
+  // the destructor.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tdam::net

@@ -273,7 +273,36 @@ std::vector<std::uint8_t> encode_stats_reply(std::uint64_t request_id,
   w.f64(reply.qps);
   w.f64(reply.p50_s);
   w.f64(reply.p99_s);
+  if (version >= 3) {
+    w.f64(reply.queue_wait_p50_s);
+    w.f64(reply.queue_wait_p99_s);
+    w.f64(reply.batch_wait_p50_s);
+    w.f64(reply.batch_wait_p99_s);
+    w.f64(reply.scan_p50_s);
+    w.f64(reply.scan_p99_s);
+    w.f64(reply.merge_p50_s);
+    w.f64(reply.merge_p99_s);
+  }
   return frame(MsgType::kStatsReply, request_id, 0, payload, version);
+}
+
+std::vector<std::uint8_t> encode_metrics(std::uint64_t request_id,
+                                         const MetricsRequest& request,
+                                         std::uint8_t version) {
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(request.format));
+  return frame(MsgType::kMetrics, request_id, 0, payload, version);
+}
+
+std::vector<std::uint8_t> encode_metrics_reply(std::uint64_t request_id,
+                                               const MetricsReply& reply,
+                                               std::uint8_t version) {
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(reply.format));
+  w.str(reply.text);
+  return frame(MsgType::kMetricsReply, request_id, 0, payload, version);
 }
 
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
@@ -416,7 +445,8 @@ ClearReply decode_clear_reply(const std::uint8_t* payload, std::size_t size) {
   return reply;
 }
 
-StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size) {
+StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size,
+                              std::uint8_t version) {
   WireReader r(payload, size);
   StatsReply reply;
   reply.queries = r.u64("stats.queries");
@@ -434,7 +464,45 @@ StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size) {
   reply.qps = r.f64("stats.qps");
   reply.p50_s = r.f64("stats.p50_s");
   reply.p99_s = r.f64("stats.p99_s");
+  if (version >= 3) {
+    reply.queue_wait_p50_s = r.f64("stats.queue_wait_p50_s");
+    reply.queue_wait_p99_s = r.f64("stats.queue_wait_p99_s");
+    reply.batch_wait_p50_s = r.f64("stats.batch_wait_p50_s");
+    reply.batch_wait_p99_s = r.f64("stats.batch_wait_p99_s");
+    reply.scan_p50_s = r.f64("stats.scan_p50_s");
+    reply.scan_p99_s = r.f64("stats.scan_p99_s");
+    reply.merge_p50_s = r.f64("stats.merge_p50_s");
+    reply.merge_p99_s = r.f64("stats.merge_p99_s");
+  }
   r.expect_empty("stats_reply");
+  return reply;
+}
+
+MetricsRequest decode_metrics(const std::uint8_t* payload, std::size_t size) {
+  WireReader r(payload, size);
+  MetricsRequest request;
+  const std::uint8_t format = r.u8("metrics.format");
+  if (format > static_cast<std::uint8_t>(MetricsFormat::kTraces))
+    throw ProtocolError(WireCode::kMalformedFrame,
+                        "metrics.format: unknown format " +
+                            std::to_string(format));
+  request.format = static_cast<MetricsFormat>(format);
+  r.expect_empty("metrics");
+  return request;
+}
+
+MetricsReply decode_metrics_reply(const std::uint8_t* payload,
+                                  std::size_t size) {
+  WireReader r(payload, size);
+  MetricsReply reply;
+  const std::uint8_t format = r.u8("metrics_reply.format");
+  if (format > static_cast<std::uint8_t>(MetricsFormat::kTraces))
+    throw ProtocolError(WireCode::kMalformedFrame,
+                        "metrics_reply.format: unknown format " +
+                            std::to_string(format));
+  reply.format = static_cast<MetricsFormat>(format);
+  reply.text = r.str("metrics_reply.text");
+  r.expect_empty("metrics_reply");
   return reply;
 }
 

@@ -22,7 +22,7 @@
 //
 // Requests:  HELLO (empty), QUERY (k, deadline_us, digits), STORE (digits),
 //            STORE_BATCH (row-major digit rows), CLEAR (empty),
-//            STATS (empty).
+//            STATS (empty), METRICS (u8 format selector).
 // Replies:   one per request type, plus ERROR for requests the server could
 //            not act on (malformed/oversized frames, invalid arguments).
 //
@@ -47,6 +47,14 @@
 //        the version its header carried: v1 clients still get the integer
 //        encoding (scores truncated toward zero), v2 clients get float64
 //        scores + metric id.
+//   v3 — observability: the METRICS/METRICS_REPLY pair (full registry
+//        export over the query socket — Prometheus text, JSON, or the
+//        trace/slow-query dump — so a scrape needs no second port), and
+//        STATS replies grow per-stage p50/p99 doubles (queue_wait,
+//        batch_wait, scan, merge) after the v2 fields.  v1/v2 STATS
+//        payloads are byte-identical to before; a METRICS request in a
+//        v1/v2 header is answered with kUnknownType, exactly as an old
+//        server would answer it.
 #pragma once
 
 #include <cstdint>
@@ -61,7 +69,7 @@
 namespace tdam::net {
 
 inline constexpr std::uint16_t kMagic = 0x54AD;
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 // Oldest version still decoded; servers answer v1 requests with v1 frames.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 24;
@@ -83,6 +91,15 @@ enum class MsgType : std::uint8_t {
   kError = 11,
   kStoreBatch = 12,
   kStoreBatchReply = 13,
+  kMetrics = 14,       // v3+: full observability export over the socket
+  kMetricsReply = 15,
+};
+
+// What a METRICS request asks the server to render.
+enum class MetricsFormat : std::uint8_t {
+  kPrometheus = 0,  // text exposition, same bytes as the HTTP /metrics path
+  kJson = 1,        // full registry JSON incl. trace + slow-query sections
+  kTraces = 2,      // flight-recorder + slow-query dump only (HTTP /traces)
 };
 
 // Terminal outcome of a request, as seen on the wire.  The first four values
@@ -198,6 +215,31 @@ struct StatsReply {
   double qps = 0.0;    // cumulative engine throughput
   double p50_s = 0.0;  // per-query wall latency quantiles (engine-side)
   double p99_s = 0.0;
+  // v3+: per-stage latency quantiles, so a dashboard can split a latency
+  // regression into queueing vs. scanning without scraping Prometheus.
+  // A v1/v2 decode leaves them 0.
+  double queue_wait_p50_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  double batch_wait_p50_s = 0.0;
+  double batch_wait_p99_s = 0.0;
+  double scan_p50_s = 0.0;
+  double scan_p99_s = 0.0;
+  double merge_p50_s = 0.0;
+  double merge_p99_s = 0.0;
+};
+
+// METRICS request/reply (v3+): the server renders its whole metrics
+// registry — plus trace/slow-query state where the format includes it — as
+// one text blob.  Large (can be hundreds of KiB with fine-grained
+// histograms): the reply is exempt from the server's inbound frame cap,
+// which only governs what clients send.
+struct MetricsRequest {
+  MetricsFormat format = MetricsFormat::kPrometheus;
+};
+
+struct MetricsReply {
+  MetricsFormat format = MetricsFormat::kPrometheus;
+  std::string text;
 };
 
 struct ErrorReply {
@@ -335,6 +377,12 @@ std::vector<std::uint8_t> encode_stats(std::uint64_t request_id,
 std::vector<std::uint8_t> encode_stats_reply(
     std::uint64_t request_id, const StatsReply& reply,
     std::uint8_t version = kProtocolVersion);
+std::vector<std::uint8_t> encode_metrics(
+    std::uint64_t request_id, const MetricsRequest& request,
+    std::uint8_t version = kProtocolVersion);
+std::vector<std::uint8_t> encode_metrics_reply(
+    std::uint64_t request_id, const MetricsReply& reply,
+    std::uint8_t version = kProtocolVersion);
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
                                        const ErrorReply& reply,
                                        std::uint8_t version = kProtocolVersion);
@@ -356,7 +404,13 @@ StoreBatchRequest decode_store_batch(const std::uint8_t* payload,
 StoreBatchReply decode_store_batch_reply(const std::uint8_t* payload,
                                          std::size_t size);
 ClearReply decode_clear_reply(const std::uint8_t* payload, std::size_t size);
-StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size);
+// The STATS reply payload grew in v3 (per-stage quantiles); pass the frame
+// header's version so the right suffix is expected.
+StatsReply decode_stats_reply(const std::uint8_t* payload, std::size_t size,
+                              std::uint8_t version = kProtocolVersion);
+MetricsRequest decode_metrics(const std::uint8_t* payload, std::size_t size);
+MetricsReply decode_metrics_reply(const std::uint8_t* payload,
+                                  std::size_t size);
 ErrorReply decode_error(const std::uint8_t* payload, std::size_t size);
 
 }  // namespace tdam::net

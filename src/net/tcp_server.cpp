@@ -18,11 +18,14 @@
 #include <future>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "obs/export.h"
 
 namespace tdam::net {
 
@@ -81,6 +84,17 @@ struct AmTcpServer::Impl {
 
   struct IoThread;
 
+  // One frame queued for writing.  A wire-traced QUERY reply carries its
+  // span here: the io_send stamp only exists once the frame's last byte
+  // reaches the kernel, so the span is finished — and recorded — at that
+  // moment, by the I/O thread.  Frames dropped by a dying connection lose
+  // their span (the client never saw the reply either).
+  struct OutFrame {
+    std::vector<std::uint8_t> bytes;
+    bool has_span = false;
+    obs::SpanRecord span;
+  };
+
   struct Connection {
     int fd = -1;
     IoThread* io = nullptr;  // owning epoll loop
@@ -95,7 +109,7 @@ struct AmTcpServer::Impl {
 
     // Write side — producers are the submit/completion/I-O threads.
     std::mutex out_mutex;
-    std::deque<std::vector<std::uint8_t>> outbox;
+    std::deque<OutFrame> outbox;
     std::size_t out_front_off = 0;      // bytes of outbox.front() written
     std::atomic<std::size_t> out_bytes{0};
     std::atomic<bool> closed{false};
@@ -124,6 +138,11 @@ struct AmTcpServer::Impl {
     QueryRequest query;            // kQuery only
     StoreRequest store;            // kStore only
     StoreBatchRequest store_batch; // kStoreBatch only
+    MetricsRequest metrics;        // kMetrics only
+    // kQuery with tracing on: the wire-side span seed.  enqueue_ns is the
+    // frame-receipt instant; io_recv/decode are stamped by the I/O thread,
+    // submit_queue by the submit thread just before AmServer::submit.
+    obs::SpanRecord seed;
   };
 
   struct Completion {
@@ -306,11 +325,30 @@ struct AmTcpServer::Impl {
   // writing.  Safe from any thread; silently drops if the peer is gone.
   void send_frame(const std::shared_ptr<Connection>& conn,
                   std::vector<std::uint8_t> bytes) {
+    OutFrame frame;
+    frame.bytes = std::move(bytes);
+    send_out_frame(conn, std::move(frame));
+  }
+
+  // Wire-traced variant: the span rides with the frame and is finished
+  // (io_send stamped) and recorded when the last byte reaches the kernel.
+  void send_frame(const std::shared_ptr<Connection>& conn,
+                  std::vector<std::uint8_t> bytes,
+                  const obs::SpanRecord& span) {
+    OutFrame frame;
+    frame.bytes = std::move(bytes);
+    frame.has_span = true;
+    frame.span = span;
+    send_out_frame(conn, std::move(frame));
+  }
+
+  void send_out_frame(const std::shared_ptr<Connection>& conn,
+                      OutFrame frame) {
     if (conn->closed.load(std::memory_order_acquire)) return;
     {
       std::lock_guard<std::mutex> lock(conn->out_mutex);
-      conn->out_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
-      conn->outbox.push_back(std::move(bytes));
+      conn->out_bytes.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
+      conn->outbox.push_back(std::move(frame));
     }
     frames_out->add(1.0);
     IoThread& t = *conn->io;
@@ -477,6 +515,10 @@ struct AmTcpServer::Impl {
   }
 
   void handle_read(IoThread& t, const std::shared_ptr<Connection>& conn) {
+    // Wire-trace base: the instant this read burst started.  Every frame
+    // parsed out of it anchors its span here, so io_recv covers the read
+    // syscalls and buffer splice that delivered the frame.
+    const std::int64_t recv_ns = obs::steady_now_ns();
     char buf[65536];
     for (;;) {
       const ssize_t n = ::read(conn->fd, buf, sizeof buf);
@@ -495,10 +537,11 @@ struct AmTcpServer::Impl {
       close_conn(t, conn);
       return;
     }
-    parse_frames(t, conn);
+    parse_frames(t, conn, recv_ns);
   }
 
-  void parse_frames(IoThread& t, const std::shared_ptr<Connection>& conn) {
+  void parse_frames(IoThread& t, const std::shared_ptr<Connection>& conn,
+                    std::int64_t recv_ns) {
     auto& in = conn->in;
     for (;;) {
       if (conn->discard_remaining > 0) {
@@ -541,7 +584,7 @@ struct AmTcpServer::Impl {
           in.data() + conn->in_consumed + kHeaderBytes;
       conn->in_consumed += kHeaderBytes + header.payload_len;
       frames_in->add(1.0);
-      dispatch_frame(conn, header, payload, header.payload_len);
+      dispatch_frame(conn, header, payload, header.payload_len, recv_ns);
       if (conn->closing) {
         update_interest(t, *conn, false);
         return;
@@ -560,7 +603,7 @@ struct AmTcpServer::Impl {
 
   void dispatch_frame(const std::shared_ptr<Connection>& conn,
                       const FrameHeader& header, const std::uint8_t* payload,
-                      std::size_t size) {
+                      std::size_t size, std::int64_t recv_ns) {
     Request request;
     request.conn = conn;
     request.type = header.type;
@@ -575,8 +618,23 @@ struct AmTcpServer::Impl {
             throw ProtocolError(WireCode::kMalformedFrame,
                                 "request carries an unexpected payload");
           break;
-        case MsgType::kQuery:
+        case MsgType::kQuery: {
+          const bool traced = am.recorder().enabled();
+          if (traced) {
+            request.seed.enqueue_ns = recv_ns;
+            request.seed.io_recv_ns = obs::steady_now_ns() - recv_ns;
+          }
           request.query = decode_query(payload, size);
+          if (traced)
+            request.seed.decode_ns = obs::steady_now_ns() - recv_ns;
+          break;
+        }
+        case MsgType::kMetrics:
+          if (header.version < 3)
+            throw ProtocolError(WireCode::kUnknownType,
+                                "METRICS requires protocol v3 (frame is v" +
+                                    std::to_string(header.version) + ")");
+          request.metrics = decode_metrics(payload, size);
           break;
         case MsgType::kStore:
           request.store = decode_store(payload, size);
@@ -604,9 +662,10 @@ struct AmTcpServer::Impl {
     std::lock_guard<std::mutex> lock(conn->out_mutex);
     while (!conn->outbox.empty()) {
       const auto& front = conn->outbox.front();
-      const std::size_t left = front.size() - conn->out_front_off;
-      const ssize_t n = ::send(conn->fd, front.data() + conn->out_front_off,
-                               left, MSG_NOSIGNAL);
+      const std::size_t left = front.bytes.size() - conn->out_front_off;
+      const ssize_t n =
+          ::send(conn->fd, front.bytes.data() + conn->out_front_off, left,
+                 MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // stay armed
         if (errno == EINTR) continue;
@@ -617,7 +676,18 @@ struct AmTcpServer::Impl {
       conn->out_bytes.fetch_sub(static_cast<std::size_t>(n),
                                 std::memory_order_relaxed);
       conn->out_front_off += static_cast<std::size_t>(n);
-      if (conn->out_front_off < front.size()) return;  // kernel buffer full
+      if (conn->out_front_off < front.bytes.size())
+        return;  // kernel buffer full
+      // The frame's last byte reached the kernel: the wire span is
+      // complete.  Record it now — this is the deferred recording the
+      // serving layers skipped for span.wire() spans, so /traces shows one
+      // span covering io_recv through io_send.
+      if (front.has_span) {
+        obs::SpanRecord span = front.span;
+        span.io_send_ns = obs::steady_now_ns() - span.enqueue_ns;
+        am.recorder().record(span);
+        am.slow_log().maybe_capture(span);
+      }
       conn->outbox.pop_front();
       conn->out_front_off = 0;
     }
@@ -659,8 +729,13 @@ struct AmTcpServer::Impl {
                       std::chrono::microseconds(request.query.deadline_us)
                 : runtime::AmServer::kNoDeadline;
         try {
-          auto future = am.submit(digits,
-                                  static_cast<int>(request.query.k), deadline);
+          // submit_queue: time spent in the decoded-request queue between
+          // the I/O thread and this submit thread.
+          if (request.seed.traced())
+            request.seed.submit_queue_ns =
+                obs::steady_now_ns() - request.seed.enqueue_ns;
+          auto future = am.submit(digits, static_cast<int>(request.query.k),
+                                  deadline, request.seed);
           completions.push(Completion{std::move(request.conn), request.version,
                                       request.request_id, std::move(future)});
         } catch (const std::invalid_argument& e) {
@@ -741,12 +816,44 @@ struct AmTcpServer::Impl {
         reply.qps = snap.qps;
         reply.p50_s = snap.wall_quantile(0.50);
         reply.p99_s = snap.wall_quantile(0.99);
+        const auto q = [](const obs::HistogramSnapshot& h, double p) {
+          return h.total() > 0 ? h.quantile(p) : 0.0;
+        };
+        reply.queue_wait_p50_s = q(snap.queue_wait, 0.50);
+        reply.queue_wait_p99_s = q(snap.queue_wait, 0.99);
+        reply.batch_wait_p50_s = q(snap.batch_wait, 0.50);
+        reply.batch_wait_p99_s = q(snap.batch_wait, 0.99);
+        reply.scan_p50_s = q(snap.scan, 0.50);
+        reply.scan_p99_s = q(snap.scan, 0.99);
+        reply.merge_p50_s = q(snap.merge, 0.50);
+        reply.merge_p99_s = q(snap.merge, 0.99);
         send_frame(request.conn, encode_stats_reply(request.request_id, reply,
                                                     request.version));
         return;
       }
+      case MsgType::kMetrics: {
+        MetricsReply reply;
+        reply.format = request.metrics.format;
+        std::ostringstream out;
+        switch (request.metrics.format) {
+          case MetricsFormat::kPrometheus:
+            obs::export_prometheus(out, am.metrics().registry());
+            break;
+          case MetricsFormat::kJson:
+            obs::export_json(out, am.metrics().registry(), &am.recorder(),
+                             &am.slow_log());
+            break;
+          case MetricsFormat::kTraces:
+            obs::export_traces_json(out, &am.recorder(), &am.slow_log());
+            break;
+        }
+        reply.text = out.str();
+        send_frame(request.conn, encode_metrics_reply(request.request_id,
+                                                      reply, request.version));
+        return;
+      }
       default:
-        // dispatch_frame only forwards the six request types.
+        // dispatch_frame only forwards the seven request types.
         protocol_error(request.conn, request.request_id,
                        WireCode::kUnknownType, "unroutable request",
                        request.version);
@@ -760,11 +867,13 @@ struct AmTcpServer::Impl {
       QueryReply reply;
       reply.metric = metric;
       std::uint64_t trace_id = 0;
+      obs::SpanRecord span;
       try {
         auto served = completion->future.get();
         reply.code = to_wire_code(served.status);
         reply.generation = served.generation;
         trace_id = served.trace_id;
+        span = served.span;
         if (served.status == runtime::QueryStatus::kOk)
           reply.entries = std::move(served.result.entries);
       } catch (const std::exception& e) {
@@ -772,9 +881,19 @@ struct AmTcpServer::Impl {
                        WireCode::kInternal, e.what(), completion->version);
         continue;
       }
-      send_frame(completion->conn,
-                 encode_query_reply(completion->request_id, trace_id, reply,
-                                    completion->version));
+      // completion_wait: fulfillment to this thread picking the future up
+      // (FIFO head-of-line wait included — that is the point of the stage).
+      const bool wire_traced = span.traced() && span.wire();
+      if (wire_traced)
+        span.completion_wait_ns = obs::steady_now_ns() - span.enqueue_ns;
+      auto bytes = encode_query_reply(completion->request_id, trace_id, reply,
+                                      completion->version);
+      if (wire_traced) {
+        span.encode_ns = obs::steady_now_ns() - span.enqueue_ns;
+        send_frame(completion->conn, std::move(bytes), span);
+      } else {
+        send_frame(completion->conn, std::move(bytes));
+      }
     }
   }
 

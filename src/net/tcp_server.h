@@ -41,6 +41,17 @@
 // tdam_net_connections / _connections_total, tdam_net_bytes_{in,out}_total,
 // tdam_net_frames_{in,out}_total, and tdam_net_protocol_errors_total with a
 // per-WireCode `code` label.
+//
+// Wire-level tracing: when the AmServer's flight recorder is on, every
+// QUERY frame's span is seeded at the I/O thread (enqueue base = the
+// frame-receipt instant) and stamped across all three thread hops —
+// io_recv → decode → submit_queue → [serving stages] → completion_wait →
+// encode → io_send — with io_send taken when the reply's last byte reaches
+// the kernel.  Such a span is recorded (flight-recorder sampling, plus the
+// AmServer's slow-query log regardless of sampling) only at that final
+// stamp, so one span reconciles client-observed latency against server
+// internals.  A v3 METRICS request returns the whole registry (Prometheus
+// text / JSON / trace dump) over the query socket.
 #pragma once
 
 #include <cstdint>

@@ -136,6 +136,62 @@ const char* mode_name(TraceMode mode) {
   return "off";
 }
 
+const char* kind_name(HistogramKind kind) {
+  return kind == HistogramKind::kExponential ? "exponential" : "linear";
+}
+
+// One span object; the original server-stage fields come first so
+// pre-wire-tracing consumers keep parsing, the wire stages and metadata
+// append after.
+void json_span(std::ostream& out, const SpanRecord& span) {
+  out << "{\"trace_id\":" << span.trace_id << ",\"status\":" << span.status
+      << ",\"enqueue_ns\":" << span.enqueue_ns << ",\"admit_ns\":"
+      << span.admit_ns << ",\"batch_form_ns\":" << span.batch_form_ns
+      << ",\"dispatch_ns\":" << span.dispatch_ns << ",\"fulfill_ns\":"
+      << span.fulfill_ns << ",\"scan_ns\":" << span.scan_ns
+      << ",\"merge_ns\":" << span.merge_ns << ",\"io_recv_ns\":"
+      << span.io_recv_ns << ",\"decode_ns\":" << span.decode_ns
+      << ",\"submit_queue_ns\":" << span.submit_queue_ns
+      << ",\"completion_wait_ns\":" << span.completion_wait_ns
+      << ",\"encode_ns\":" << span.encode_ns << ",\"io_send_ns\":"
+      << span.io_send_ns << ",\"wire\":" << (span.wire() ? "true" : "false")
+      << ",\"k\":" << span.k << ",\"generation\":" << span.generation << '}';
+}
+
+void json_span_array(std::ostream& out, const std::vector<SpanRecord>& spans) {
+  out << '[';
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    json_span(out, span);
+  }
+  out << ']';
+}
+
+// The recorder section body: "trace":{...},"spans":[...].
+void json_trace_section(std::ostream& out, const FlightRecorder& recorder) {
+  out << "\"trace\":{\"mode\":\"" << mode_name(recorder.mode())
+      << "\",\"sample_every\":" << recorder.config().sample_every
+      << ",\"capacity\":" << recorder.capacity()
+      << ",\"recorded\":" << recorder.recorded() << "},\"spans\":";
+  json_span_array(out, recorder.snapshot());
+}
+
+// The slow-log section body: "slow":{threshold, context, spans}.
+void json_slow_section(std::ostream& out, const SlowQueryLog& slow) {
+  const SlowQueryContext ctx = slow.context();
+  out << "\"slow\":{\"enabled\":" << (slow.enabled() ? "true" : "false")
+      << ",\"threshold_ns\":" << slow.threshold_ns()
+      << ",\"capacity\":" << slow.capacity()
+      << ",\"captured\":" << slow.captured() << ",\"backend\":\""
+      << json_escape(ctx.backend) << "\",\"metric\":\""
+      << json_escape(ctx.metric) << "\",\"shards\":" << ctx.shards
+      << ",\"spans\":";
+  json_span_array(out, slow.snapshot());
+  out << '}';
+}
+
 }  // namespace
 
 void export_prometheus(std::ostream& out, const MetricsRegistry& registry) {
@@ -155,22 +211,21 @@ void export_prometheus(std::ostream& out, const MetricsRegistry& registry) {
         << '\n';
   }
 
-  for (const LinearHistogram* h : registry.histograms()) {
+  for (const Histogram* h : registry.histograms()) {
     const std::string family = sanitize_name(h->name());
     emit_header(out, last_family, family, h->help(), "histogram");
     const HistogramSnapshot snap = h->snapshot();
 
-    // Cumulative buckets: the first edge (lo) absorbs underflow, interior
-    // edges follow the bin grid, and +Inf picks up overflow so _count
-    // equals the +Inf bucket as the format requires.
+    // Cumulative buckets follow the instrument's edge vector (uniform or
+    // geometric): the first edge (lo) absorbs underflow, and +Inf picks up
+    // overflow so _count equals the +Inf bucket as the format requires.
     std::uint64_t cum = snap.underflow;
-    const double width = snap.bin_width();
-    std::pair<std::string, std::string> le{"le", fmt_double(snap.lo)};
+    std::pair<std::string, std::string> le{"le", fmt_double(snap.edges[0])};
     out << family << "_bucket" << label_block(h->labels(), &le) << ' ' << cum
         << '\n';
     for (std::size_t i = 0; i < snap.counts.size(); ++i) {
       cum += snap.counts[i];
-      le.second = fmt_double(snap.lo + static_cast<double>(i + 1) * width);
+      le.second = fmt_double(snap.edges[i + 1]);
       out << family << "_bucket" << label_block(h->labels(), &le) << ' '
           << cum << '\n';
     }
@@ -186,7 +241,7 @@ void export_prometheus(std::ostream& out, const MetricsRegistry& registry) {
 }
 
 void export_json(std::ostream& out, const MetricsRegistry& registry,
-                 const FlightRecorder* recorder) {
+                 const FlightRecorder* recorder, const SlowQueryLog* slow) {
   out << "{\"counters\":[";
   bool first = true;
   for (const Counter* c : registry.counters()) {
@@ -209,7 +264,7 @@ void export_json(std::ostream& out, const MetricsRegistry& registry,
 
   out << "],\"histograms\":[";
   first = true;
-  for (const LinearHistogram* h : registry.histograms()) {
+  for (const Histogram* h : registry.histograms()) {
     if (!first) out << ',';
     first = false;
     const HistogramSnapshot snap = h->snapshot();
@@ -217,7 +272,12 @@ void export_json(std::ostream& out, const MetricsRegistry& registry,
     json_labels(out, h->labels());
     out << ",\"lo\":" << fmt_double(snap.lo) << ",\"hi\":"
         << fmt_double(snap.hi) << ",\"bins\":" << snap.counts.size()
-        << ",\"underflow\":" << snap.underflow << ",\"overflow\":"
+        << ",\"kind\":\"" << kind_name(snap.kind) << "\",\"edges\":[";
+    for (std::size_t i = 0; i < snap.edges.size(); ++i) {
+      if (i != 0) out << ',';
+      out << fmt_double(snap.edges[i]);
+    }
+    out << "],\"underflow\":" << snap.underflow << ",\"overflow\":"
         << snap.overflow << ",\"sum\":" << fmt_double(snap.sum)
         << ",\"count\":" << snap.total() << ",\"counts\":[";
     for (std::size_t i = 0; i < snap.counts.size(); ++i) {
@@ -229,24 +289,34 @@ void export_json(std::ostream& out, const MetricsRegistry& registry,
   out << ']';
 
   if (recorder != nullptr) {
-    out << ",\"trace\":{\"mode\":\"" << mode_name(recorder->mode())
-        << "\",\"sample_every\":" << recorder->config().sample_every
-        << ",\"capacity\":" << recorder->capacity()
-        << ",\"recorded\":" << recorder->recorded() << "},\"spans\":[";
-    first = true;
-    for (const SpanRecord& span : recorder->snapshot()) {
-      if (!first) out << ',';
-      first = false;
-      out << "{\"trace_id\":" << span.trace_id << ",\"status\":"
-          << span.status << ",\"enqueue_ns\":" << span.enqueue_ns
-          << ",\"admit_ns\":" << span.admit_ns << ",\"batch_form_ns\":"
-          << span.batch_form_ns << ",\"dispatch_ns\":" << span.dispatch_ns
-          << ",\"fulfill_ns\":" << span.fulfill_ns << ",\"scan_ns\":"
-          << span.scan_ns << ",\"merge_ns\":" << span.merge_ns << '}';
-    }
-    out << ']';
+    out << ',';
+    json_trace_section(out, *recorder);
+  }
+  if (slow != nullptr) {
+    out << ',';
+    json_slow_section(out, *slow);
   }
 
+  out << "}\n";
+}
+
+void export_traces_json(std::ostream& out, const FlightRecorder* recorder,
+                        const SlowQueryLog* slow) {
+  out << '{';
+  if (recorder != nullptr) {
+    json_trace_section(out, *recorder);
+  } else {
+    out << "\"trace\":{\"mode\":\"off\",\"sample_every\":0,\"capacity\":0,"
+           "\"recorded\":0},\"spans\":[]";
+  }
+  out << ',';
+  if (slow != nullptr) {
+    json_slow_section(out, *slow);
+  } else {
+    out << "\"slow\":{\"enabled\":false,\"threshold_ns\":-1,\"capacity\":0,"
+           "\"captured\":0,\"backend\":\"\",\"metric\":\"\",\"shards\":0,"
+           "\"spans\":[]}";
+  }
   out << "}\n";
 }
 

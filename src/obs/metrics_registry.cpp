@@ -26,10 +26,13 @@ double HistogramSnapshot::quantile(double p) const {
   const double rank = p * static_cast<double>(n);
   double cum = static_cast<double>(underflow);
   if (underflow > 0 && rank <= cum) return lo;
+  const bool have_edges = edges.size() == counts.size() + 1;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const double c = static_cast<double>(counts[i]);
     if (c > 0.0 && rank <= cum + c) {
       const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
+      if (have_edges)
+        return edges[i] + frac * (edges[i + 1] - edges[i]);
       return lo + (static_cast<double>(i) + frac) * bin_width();
     }
     cum += c;
@@ -37,22 +40,47 @@ double HistogramSnapshot::quantile(double p) const {
   return hi;  // remaining mass is overflow: clamp to the binned range
 }
 
-LinearHistogram::LinearHistogram(std::string name, std::string help,
-                                 Labels labels, double lo, double hi,
-                                 std::size_t bins)
-    : lo_(lo), hi_(hi), name_(std::move(name)), help_(std::move(help)),
-      labels_(std::move(labels)) {
+Histogram::Histogram(std::string name, std::string help, Labels labels,
+                     HistogramKind kind, double lo, double hi,
+                     std::size_t bins)
+    : kind_(kind), lo_(lo), hi_(hi), name_(std::move(name)),
+      help_(std::move(help)), labels_(std::move(labels)) {
   if (!(hi > lo))
-    throw std::invalid_argument("LinearHistogram: hi must exceed lo");
+    throw std::invalid_argument("Histogram: hi must exceed lo");
   if (bins == 0)
-    throw std::invalid_argument("LinearHistogram: need at least one bin");
+    throw std::invalid_argument("Histogram: need at least one bin");
+  edges_.reserve(bins + 1);
+  if (kind_ == HistogramKind::kLinear) {
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (std::size_t i = 0; i < bins; ++i)
+      edges_.push_back(lo + static_cast<double>(i) * width);
+  } else {
+    if (!(lo > 0.0))
+      throw std::invalid_argument(
+          "Histogram: exponential buckets need lo > 0");
+    const double log_growth = std::log(hi / lo) / static_cast<double>(bins);
+    inv_log_growth_ = 1.0 / log_growth;
+    for (std::size_t i = 0; i < bins; ++i)
+      edges_.push_back(lo * std::exp(log_growth * static_cast<double>(i)));
+  }
+  edges_.push_back(hi);  // exact, whatever rounding the grid accumulated
   for (std::size_t i = 0; i < bins; ++i) counts_.emplace_back(0);
 }
 
-HistogramSnapshot LinearHistogram::snapshot() const {
+std::size_t Histogram::exponential_bin(double x) const noexcept {
+  // Callers already excluded x < lo and x >= hi; log is safe and the
+  // result non-negative (modulo a last-ulp wobble the clamp in observe()
+  // absorbs on the high side and the max() here on the low side).
+  const double b = std::log(x / lo_) * inv_log_growth_;
+  return static_cast<std::size_t>(std::max(b, 0.0));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
   snap.lo = lo_;
   snap.hi = hi_;
+  snap.kind = kind_;
+  snap.edges = edges_;
   snap.counts.reserve(counts_.size());
   for (const auto& c : counts_)
     snap.counts.push_back(c.load(std::memory_order_relaxed));
@@ -62,7 +90,7 @@ HistogramSnapshot LinearHistogram::snapshot() const {
   return snap;
 }
 
-void LinearHistogram::reset() noexcept {
+void Histogram::reset() noexcept {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   underflow_.store(0, std::memory_order_relaxed);
   overflow_.store(0, std::memory_order_relaxed);
@@ -115,10 +143,11 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
   return *gauges_.back();
 }
 
-LinearHistogram& MetricsRegistry::histogram(const std::string& name,
-                                            const std::string& help, double lo,
-                                            double hi, std::size_t bins,
-                                            Labels labels) {
+Histogram& MetricsRegistry::histogram_impl(const std::string& name,
+                                           const std::string& help,
+                                           HistogramKind kind, double lo,
+                                           double hi, std::size_t bins,
+                                           Labels labels) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto key = identity(name, labels);
   for (const auto& [k, e] : order_)
@@ -127,16 +156,34 @@ LinearHistogram& MetricsRegistry::histogram(const std::string& name,
         throw std::invalid_argument("MetricsRegistry: '" + name +
                                     "' already registered as a non-histogram");
       auto& h = *histograms_[e.index];
-      if (h.lo() != lo || h.hi() != hi || h.bins() != bins)
+      if (h.kind() != kind || h.lo() != lo || h.hi() != hi ||
+          h.bins() != bins)
         throw std::invalid_argument(
             "MetricsRegistry: '" + name +
             "' re-registered with different histogram geometry");
       return h;
     }
-  histograms_.push_back(std::unique_ptr<LinearHistogram>(
-      new LinearHistogram(name, help, std::move(labels), lo, hi, bins)));
+  histograms_.push_back(std::unique_ptr<Histogram>(
+      new Histogram(name, help, std::move(labels), kind, lo, hi, bins)));
   order_.emplace_back(key, Entry{Kind::kHistogram, histograms_.size() - 1});
   return *histograms_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help, double lo,
+                                      double hi, std::size_t bins,
+                                      Labels labels) {
+  return histogram_impl(name, help, HistogramKind::kLinear, lo, hi, bins,
+                        std::move(labels));
+}
+
+Histogram& MetricsRegistry::exponential_histogram(const std::string& name,
+                                                  const std::string& help,
+                                                  double lo, double hi,
+                                                  std::size_t bins,
+                                                  Labels labels) {
+  return histogram_impl(name, help, HistogramKind::kExponential, lo, hi, bins,
+                        std::move(labels));
 }
 
 void MetricsRegistry::reset() {
@@ -162,9 +209,9 @@ std::vector<const Gauge*> MetricsRegistry::gauges() const {
   return out;
 }
 
-std::vector<const LinearHistogram*> MetricsRegistry::histograms() const {
+std::vector<const Histogram*> MetricsRegistry::histograms() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<const LinearHistogram*> out;
+  std::vector<const Histogram*> out;
   for (const auto& [key, e] : order_)
     if (e.kind == Kind::kHistogram) out.push_back(histograms_[e.index].get());
   return out;

@@ -12,12 +12,17 @@
 //    share a line.  value() sums the stripes on scrape.
 //  * Gauge      — one atomic double with set()/add()/max() — gauges are
 //    written whole, so striping buys nothing.
-//  * LinearHistogram — fixed bins over [lo, hi) with atomic per-bin counts,
+//  * Histogram  — fixed bins over [lo, hi) with atomic per-bin counts,
 //    under/overflow counts, and a running sum; observe() is one relaxed
-//    fetch_add plus one CAS-add.  snapshot() merges into a plain
+//    fetch_add plus one CAS-add.  Two bucket layouts share the class:
+//    kLinear (uniform width, the original geometry) and kExponential
+//    (geometric edges lo·g^i — constant *relative* resolution, so one
+//    instrument resolves p99s across the µs→s range that linear bins
+//    smear into a single bucket).  The exponential bin index is one log()
+//    call; both layouts stay lock-free.  snapshot() merges into a plain
 //    HistogramSnapshot whose quantile() mirrors util::Histogram semantics
 //    (uniform mass within a bin, clamps for under/overflow ranks, NaN when
-//    empty).
+//    empty), generalized to the snapshot's explicit edge vector.
 //
 // Instruments are created through the registry (creation takes a mutex —
 // cold path only) and identified by (name, labels); re-requesting the same
@@ -133,10 +138,17 @@ class Gauge {
   Labels labels_;
 };
 
-// Merged, plain-value view of a LinearHistogram at one scrape instant.
+// Bucket layout of a Histogram: uniform-width bins or geometric edges.
+enum class HistogramKind { kLinear, kExponential };
+
+// Merged, plain-value view of a Histogram at one scrape instant.  `edges`
+// always holds counts.size() + 1 monotone bucket boundaries (edges[0] == lo,
+// edges.back() == hi) so readers never need to re-derive the geometry.
 struct HistogramSnapshot {
   double lo = 0.0;
   double hi = 1.0;
+  HistogramKind kind = HistogramKind::kLinear;
+  std::vector<double> edges;
   std::vector<std::uint64_t> counts;
   std::uint64_t underflow = 0;
   std::uint64_t overflow = 0;
@@ -147,6 +159,8 @@ struct HistogramSnapshot {
     for (auto c : counts) t += c;
     return t;
   }
+  // Mean width; exact for linear layouts, a convenience for exponential
+  // ones (per-bucket widths live in `edges`).
   double bin_width() const {
     return (hi - lo) / static_cast<double>(counts.size());
   }
@@ -155,13 +169,15 @@ struct HistogramSnapshot {
     return t == 0 ? 0.0 : sum / static_cast<double>(t);
   }
   // p in [0, 1] (throws outside); same estimator and clamping contract as
-  // util::Histogram::quantile — uniform mass within a bin, under/overflow
-  // ranks clamp to lo/hi, NaN when empty.
+  // util::Histogram::quantile — uniform mass within a bucket (whatever its
+  // width), under/overflow ranks clamp to lo/hi, NaN when empty.
   double quantile(double p) const;
 };
 
-// Fixed-bin histogram with atomic cells: one fetch_add per observation.
-class LinearHistogram {
+// Fixed-bucket histogram with atomic cells: one fetch_add per observation.
+// The layout (linear or exponential edges) is fixed at creation; observe()
+// costs one division (linear) or one log() (exponential) to find the bin.
+class Histogram {
  public:
   void observe(double x) noexcept {
     detail::atomic_add(sum_, x);
@@ -173,28 +189,40 @@ class LinearHistogram {
       overflow_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
-                                        static_cast<double>(counts_.size()));
+    std::size_t bin;
+    if (kind_ == HistogramKind::kLinear) {
+      bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                     static_cast<double>(counts_.size()));
+    } else {
+      bin = exponential_bin(x);
+    }
     if (bin >= counts_.size()) bin = counts_.size() - 1;
     counts_[bin].fetch_add(1, std::memory_order_relaxed);
   }
 
   HistogramSnapshot snapshot() const;
 
+  HistogramKind kind() const { return kind_; }
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   std::size_t bins() const { return counts_.size(); }
+  // Bucket boundaries, bins() + 1 entries; edges()[0] == lo(), back() == hi().
+  const std::vector<double>& edges() const { return edges_; }
   const std::string& name() const { return name_; }
   const std::string& help() const { return help_; }
   const Labels& labels() const { return labels_; }
 
  private:
   friend class MetricsRegistry;
-  LinearHistogram(std::string name, std::string help, Labels labels,
-                  double lo, double hi, std::size_t bins);
+  Histogram(std::string name, std::string help, Labels labels,
+            HistogramKind kind, double lo, double hi, std::size_t bins);
   void reset() noexcept;
+  std::size_t exponential_bin(double x) const noexcept;
 
+  HistogramKind kind_;
   double lo_, hi_;
+  double inv_log_growth_ = 0.0;  // exponential: 1 / ln(edge growth factor)
+  std::vector<double> edges_;
   std::deque<std::atomic<std::uint64_t>> counts_;  // deque: atomics don't move
   std::atomic<std::uint64_t> underflow_{0};
   std::atomic<std::uint64_t> overflow_{0};
@@ -202,6 +230,10 @@ class LinearHistogram {
   std::string name_, help_;
   Labels labels_;
 };
+
+// The original class name, kept so call sites reading "linear histogram"
+// stay valid; the layout a given instrument uses is its kind().
+using LinearHistogram = Histogram;
 
 // Owns instruments; hands out stable pointers.  Creation/lookup serialize
 // on one mutex (cold); recording through the returned instruments never
@@ -214,16 +246,23 @@ class MetricsRegistry {
 
   // Idempotent by (name, labels): a second request with the same identity
   // returns the existing instrument; the same identity registered as a
-  // different kind (or a histogram with different geometry) throws
+  // different kind (or a histogram with different geometry/layout) throws
   // std::invalid_argument.  Names/labels are exported verbatim (the
   // Prometheus exporter sanitizes names and escapes label values).
   Counter& counter(const std::string& name, const std::string& help,
                    Labels labels = {});
   Gauge& gauge(const std::string& name, const std::string& help,
                Labels labels = {});
-  LinearHistogram& histogram(const std::string& name, const std::string& help,
-                             double lo, double hi, std::size_t bins,
-                             Labels labels = {});
+  // Uniform bins over [lo, hi).
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       double lo, double hi, std::size_t bins,
+                       Labels labels = {});
+  // Geometric buckets lo·g^i over [lo, hi), lo > 0; constant relative
+  // width, so the same instrument resolves microseconds and seconds.
+  Histogram& exponential_histogram(const std::string& name,
+                                   const std::string& help, double lo,
+                                   double hi, std::size_t bins,
+                                   Labels labels = {});
 
   // Zeroes every instrument (counts, gauges, bins).  Racing recorders may
   // land increments on either side of the reset — same contract a process
@@ -234,7 +273,7 @@ class MetricsRegistry {
   // valid for the registry's lifetime).
   std::vector<const Counter*> counters() const;
   std::vector<const Gauge*> gauges() const;
-  std::vector<const LinearHistogram*> histograms() const;
+  std::vector<const Histogram*> histograms() const;
   std::size_t size() const;
 
  private:
@@ -244,13 +283,16 @@ class MetricsRegistry {
     std::size_t index;  // into the kind's store
   };
   static std::string identity(const std::string& name, const Labels& labels);
+  Histogram& histogram_impl(const std::string& name, const std::string& help,
+                            HistogramKind kind, double lo, double hi,
+                            std::size_t bins, Labels labels);
 
   mutable std::mutex mutex_;
   // unique_ptr: instruments hold atomics, so they never move once created —
   // which is also what makes the handed-out references stable.
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<Gauge>> gauges_;
-  std::vector<std::unique_ptr<LinearHistogram>> histograms_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
   std::vector<std::pair<std::string, Entry>> order_;  // registration order
 };
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 namespace tdam::obs {
 
@@ -24,6 +25,14 @@ namespace {
   char* end = nullptr;
   const long v = std::strtol(text, &end, 10);
   if (end == text || *end != '\0' || v < 1) return false;
+  *out = v;
+  return true;
+}
+
+[[maybe_unused]] bool parse_non_negative(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v >= 0.0)) return false;
   *out = v;
   return true;
 }
@@ -59,6 +68,20 @@ TraceConfig TraceConfig::from_env() {
       config.capacity = static_cast<std::size_t>(v);
     else
       warn_once("TDAM_TRACE_CAPACITY", cap);
+  }
+  if (const char* slow = std::getenv("TDAM_SLOW_MS")) {
+    double ms = 0.0;  // fractional milliseconds are a legitimate threshold
+    if (parse_non_negative(slow, &ms))
+      config.slow_threshold_ns = static_cast<std::int64_t>(ms * 1e6);
+    else
+      warn_once("TDAM_SLOW_MS", slow);
+  }
+  if (const char* cap = std::getenv("TDAM_SLOW_CAPACITY")) {
+    long v = 0;
+    if (parse_positive(cap, &v))
+      config.slow_capacity = static_cast<std::size_t>(v);
+    else
+      warn_once("TDAM_SLOW_CAPACITY", cap);
   }
   return config;
 #endif
@@ -100,6 +123,55 @@ std::uint64_t FlightRecorder::recorded() const {
 }
 
 void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  total_ = 0;
+}
+
+SlowQueryLog::SlowQueryLog(std::int64_t threshold_ns, std::size_t capacity)
+    : threshold_ns_(threshold_ns), capacity_(capacity < 1 ? 1 : capacity) {
+  if (threshold_ns_ >= 0) ring_.resize(capacity_);
+}
+
+void SlowQueryLog::set_context(SlowQueryContext context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_ = std::move(context);
+}
+
+SlowQueryContext SlowQueryLog::context() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return context_;
+}
+
+void SlowQueryLog::maybe_capture(const SpanRecord& span) {
+  if (threshold_ns_ < 0 || !span.traced() || span.trace_id == 0) return;
+  const std::int64_t wall = span.wall_ns();
+  if (wall < 0 || wall < threshold_ns_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_] = span;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<SpanRecord> SlowQueryLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  if (ring_.empty()) return out;
+  const std::size_t held =
+      total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+  out.reserve(held);
+  const std::size_t start = total_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < held; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t SlowQueryLog::captured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void SlowQueryLog::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   head_ = 0;
   total_ = 0;

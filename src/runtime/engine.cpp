@@ -21,6 +21,9 @@ SearchEngine::SearchEngine(const ShardedIndex& index, EngineOptions options)
   if (options_.threads < 1)
     throw std::invalid_argument("SearchEngine: threads must be >= 1");
   if (options_.threads > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  // Pre-create the per-shard scan instruments so the per-query record path
+  // (pool workers) never takes the registry's creation mutex.
+  metrics_.ensure_shards(index_.num_shards());
 }
 
 namespace {
@@ -28,18 +31,22 @@ namespace {
 // Segment broadcast + deterministic global merge, parameterised over how
 // one segment answers (unpacked digits or packed words — both land in the
 // same kernel layer inside the backend).  The snapshot is immutable, so
-// this reads it with no synchronisation at all.
-template <typename SearchSegment>
+// this reads it with no synchronisation at all.  on_shard(index, seconds)
+// reports each shard's scan wall time to the per-shard metric families.
+template <typename SearchSegment, typename OnShard>
 TopKResult merged_topk(const IndexSnapshot& snap, int index_stages,
                        core::DigitMetric metric, int k,
-                       SearchSegment&& search_segment) {
+                       SearchSegment&& search_segment, OnShard&& on_shard) {
   const auto t0 = std::chrono::steady_clock::now();
   TopKResult out;
   std::vector<core::TopKEntry> merged;
   merged.reserve(static_cast<std::size_t>(k) *
                  static_cast<std::size_t>(snap.segments));
   const double stages = static_cast<double>(index_stages);
-  for (const auto& shard : snap.shards) {
+  for (std::size_t shard_idx = 0; shard_idx < snap.shards.size();
+       ++shard_idx) {
+    const auto& shard = snap.shards[shard_idx];
+    const auto shard_t0 = std::chrono::steady_clock::now();
     // A shard's segments share one physical bank: the bank answers them as
     // sequential passes, so latency/energy/passes add up within the shard.
     double shard_latency = 0.0, shard_energy = 0.0;
@@ -69,6 +76,7 @@ TopKResult merged_topk(const IndexSnapshot& snap, int index_stages,
     out.modeled_latency = std::max(out.modeled_latency, shard_latency);
     out.modeled_energy += shard_energy;
     out.modeled_passes = std::max(out.modeled_passes, shard_passes);
+    on_shard(static_cast<int>(shard_idx), seconds_since(shard_t0));
   }
   out.scan_seconds = seconds_since(t0);
   // Global merge under the same total order the segments used: score in the
@@ -94,6 +102,9 @@ TopKResult SearchEngine::run_query(const IndexSnapshot& snap,
   return merged_topk(snap, index_.stages(), index_.metric(), k,
                      [&](const core::SimilarityBackend& segment, int kk) {
                        return segment.search_topk(query, kk);
+                     },
+                     [this](int shard, double seconds) {
+                       metrics_.record_shard_scan(shard, seconds);
                      });
 }
 
@@ -103,6 +114,9 @@ TopKResult SearchEngine::run_query_packed(
   return merged_topk(snap, index_.stages(), index_.metric(), k,
                      [&](const core::SimilarityBackend& segment, int kk) {
                        return segment.search_topk_packed(packed, kk);
+                     },
+                     [this](int shard, double seconds) {
+                       metrics_.record_shard_scan(shard, seconds);
                      });
 }
 
@@ -122,7 +136,10 @@ void SearchEngine::run_tile_packed(const IndexSnapshot& snap,
               static_cast<std::size_t>(snap.segments));
   std::vector<double> shard_latency(n), shard_energy(n);
   std::vector<int> shard_passes(n);
-  for (const auto& shard : snap.shards) {
+  for (std::size_t shard_idx = 0; shard_idx < snap.shards.size();
+       ++shard_idx) {
+    const auto& shard = snap.shards[shard_idx];
+    const auto shard_t0 = std::chrono::steady_clock::now();
     std::fill(shard_latency.begin(), shard_latency.end(), 0.0);
     std::fill(shard_energy.begin(), shard_energy.end(), 0.0);
     std::fill(shard_passes.begin(), shard_passes.end(), 0);
@@ -154,6 +171,13 @@ void SearchEngine::run_tile_packed(const IndexSnapshot& snap,
       out[q].modeled_passes = std::max(out[q].modeled_passes,
                                        shard_passes[q]);
     }
+    // The tile swept this shard once; charge each query an even share so
+    // the per-shard family counts one observation per query, same as the
+    // per-query path.
+    const double shard_share =
+        seconds_since(shard_t0) / static_cast<double>(count);
+    for (int q = 0; q < count; ++q)
+      metrics_.record_shard_scan(static_cast<int>(shard_idx), shard_share);
   }
   // The scan served the whole tile at once; charge each query an even
   // share so per-query stage histograms stay meaningful.
@@ -289,6 +313,8 @@ std::vector<TopKResult> SearchEngine::submit_batch(
   }
   metrics_.record_batch(stats);
   metrics_.set_resident_index_bytes(view.resident_bytes());
+  for (std::size_t s = 0; s < view.shards.size(); ++s)
+    metrics_.set_shard_segments(static_cast<int>(s), view.shards[s].size());
   return results;
 }
 

@@ -131,7 +131,9 @@ class SearchEngine {
   const ShardedIndex& index_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
-  ServingMetrics metrics_;
+  // mutable: the const query paths record per-shard scan times (lock-free
+  // instrument writes — logically observation, not mutation).
+  mutable ServingMetrics metrics_;
 };
 
 }  // namespace tdam::runtime

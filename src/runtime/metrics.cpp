@@ -4,8 +4,16 @@
 
 namespace tdam::runtime {
 
+namespace {
+// Lower edge of every exponential latency histogram: 1 µs.  Faster samples
+// count as underflow (folded into the first Prometheus bucket), which is
+// exactly the "effectively instant" population.
+constexpr double kLatencyLo = 1e-6;
+}  // namespace
+
 ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins,
-                               std::size_t batch_hi) {
+                               std::size_t batch_hi)
+    : latency_hi_(latency_hi) {
   queries_ = &registry_.counter("tdam_serving_queries_total",
                                 "Queries completed by the engine");
   batches_ = &registry_.counter("tdam_serving_batches_total",
@@ -42,26 +50,28 @@ ServingMetrics::ServingMetrics(double latency_hi, std::size_t bins,
   compacted_rows_ = &registry_.counter(
       "tdam_serving_compacted_rows_total",
       "Rows rewritten into merged segments by compaction");
-  compaction_ = &registry_.histogram("tdam_serving_compaction_seconds",
-                                     "Per-merge compaction duration", 0.0,
-                                     1.0, bins);
-  wall_ = &registry_.histogram("tdam_serving_wall_latency_seconds",
-                               "Per-query wall latency", 0.0, latency_hi,
-                               bins);
+  compaction_ = &registry_.exponential_histogram(
+      "tdam_serving_compaction_seconds", "Per-merge compaction duration",
+      kLatencyLo, 1.0, bins);
+  wall_ = &registry_.exponential_histogram(
+      "tdam_serving_wall_latency_seconds", "Per-query wall latency",
+      kLatencyLo, latency_hi, bins);
   batch_sizes_ = &registry_.histogram("tdam_serving_batch_size",
                                       "Queries per micro-batch", 0.0,
                                       static_cast<double>(batch_hi), batch_hi);
   const char* stage_help = "Per-query serving-stage duration";
-  queue_wait_ =
-      &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
-                           latency_hi, bins, {{"stage", "queue_wait"}});
-  batch_wait_ =
-      &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
-                           latency_hi, bins, {{"stage", "batch_wait"}});
-  scan_ = &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
-                               latency_hi, bins, {{"stage", "scan"}});
-  merge_ = &registry_.histogram("tdam_serving_stage_seconds", stage_help, 0.0,
-                                latency_hi, bins, {{"stage", "merge"}});
+  queue_wait_ = &registry_.exponential_histogram(
+      "tdam_serving_stage_seconds", stage_help, kLatencyLo, latency_hi, bins,
+      {{"stage", "queue_wait"}});
+  batch_wait_ = &registry_.exponential_histogram(
+      "tdam_serving_stage_seconds", stage_help, kLatencyLo, latency_hi, bins,
+      {{"stage", "batch_wait"}});
+  scan_ = &registry_.exponential_histogram(
+      "tdam_serving_stage_seconds", stage_help, kLatencyLo, latency_hi, bins,
+      {{"stage", "scan"}});
+  merge_ = &registry_.exponential_histogram(
+      "tdam_serving_stage_seconds", stage_help, kLatencyLo, latency_hi, bins,
+      {{"stage", "merge"}});
 }
 
 void ServingMetrics::record_query_wall(double seconds) {
@@ -111,6 +121,37 @@ void ServingMetrics::record_compaction(double seconds, std::size_t rows) {
   compactions_->add(1.0);
   compacted_rows_->add(static_cast<double>(rows));
   compaction_->observe(seconds);
+}
+
+void ServingMetrics::ensure_shards(int shards) {
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  // Modest bucket count per shard: the per-shard families exist to expose
+  // tail *shape* (compaction's effect), not to re-derive exact quantiles,
+  // and a 32-shard index would otherwise dominate the scrape.
+  constexpr std::size_t kShardBins = 128;
+  for (int s = static_cast<int>(shard_scan_.size()); s < shards; ++s) {
+    const std::string label = std::to_string(s);
+    shard_scan_.push_back(&registry_.exponential_histogram(
+        "tdam_serving_shard_scan_seconds",
+        "Per-query scan time spent in one shard", kLatencyLo, latency_hi_,
+        kShardBins, {{"shard", label}}));
+    shard_segments_.push_back(&registry_.gauge(
+        "tdam_serving_shard_segments",
+        "Segments in one shard of the scanned snapshot", {{"shard", label}}));
+  }
+}
+
+void ServingMetrics::record_shard_scan(int shard, double seconds) {
+  if (shard < 0 || static_cast<std::size_t>(shard) >= shard_scan_.size())
+    return;
+  shard_scan_[static_cast<std::size_t>(shard)]->observe(seconds);
+}
+
+void ServingMetrics::set_shard_segments(int shard, std::size_t segments) {
+  if (shard < 0 || static_cast<std::size_t>(shard) >= shard_segments_.size())
+    return;
+  shard_segments_[static_cast<std::size_t>(shard)]->set(
+      static_cast<double>(segments));
 }
 
 void ServingMetrics::reset() {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/metrics_registry.h"
 
@@ -100,10 +101,13 @@ class ServingMetrics {
     }
   };
 
-  // Per-query wall latencies and stage durations are binned over
-  // [0, latency_hi) seconds; slower samples land in the histogram overflow
-  // and quantiles clamp to latency_hi.  Batch sizes are binned one-per-bin
-  // over [0, batch_hi).
+  // Per-query wall latencies and stage durations use *exponential* buckets
+  // over [1 µs, latency_hi) seconds — geometric edges give constant
+  // relative resolution, so one instrument resolves both the µs-scale scan
+  // stages and ms-scale tail latencies that uniform bins smear together.
+  // Samples slower than latency_hi land in the histogram overflow and
+  // quantiles clamp to latency_hi.  Batch sizes remain linear, binned
+  // one-per-bin over [0, batch_hi).
   explicit ServingMetrics(double latency_hi = 0.25, std::size_t bins = 4096,
                           std::size_t batch_hi = 1024);
 
@@ -130,6 +134,17 @@ class ServingMetrics {
   void set_segment_stats(std::size_t segments, std::size_t delta_rows);
   // One compaction merge finished: duration and rows rewritten.
   void record_compaction(double seconds, std::size_t rows);
+  // Pre-creates the per-shard instruments for shards [0, shards) —
+  // tdam_serving_shard_scan_seconds{shard="s"} (exponential) and
+  // tdam_serving_shard_segments{shard="s"} — so the per-query record path
+  // below never touches the registry mutex.  Idempotent; the engine calls
+  // it at construction, before any traffic.
+  void ensure_shards(int shards);
+  // Per-shard scan time for one query (seconds) and the segment count the
+  // scanned snapshot held for that shard.  Lock-free; out-of-range shard
+  // indices (ensure_shards not called / too small) are dropped.
+  void record_shard_scan(int shard, double seconds);
+  void set_shard_segments(int shard, std::size_t segments);
   void reset();
 
   // One lock acquisition; every field in the result is from the same
@@ -163,13 +178,19 @@ class ServingMetrics {
   obs::Gauge* delta_rows_;
   obs::Counter* compactions_;
   obs::Counter* compacted_rows_;
-  obs::LinearHistogram* compaction_;
-  obs::LinearHistogram* wall_;
-  obs::LinearHistogram* batch_sizes_;
-  obs::LinearHistogram* queue_wait_;
-  obs::LinearHistogram* batch_wait_;
-  obs::LinearHistogram* scan_;
-  obs::LinearHistogram* merge_;
+  obs::Histogram* compaction_;
+  obs::Histogram* wall_;
+  obs::Histogram* batch_sizes_;
+  obs::Histogram* queue_wait_;
+  obs::Histogram* batch_wait_;
+  obs::Histogram* scan_;
+  obs::Histogram* merge_;
+  double latency_hi_;
+  // Per-shard instruments, indexed by shard id; grown only by
+  // ensure_shards (under batch_mutex_, before traffic), so the per-query
+  // reads need no lock.
+  std::vector<obs::Histogram*> shard_scan_;
+  std::vector<obs::Gauge*> shard_segments_;
   // Guards the multi-instrument batch section against snapshot() so the
   // (queries, batches, wall_seconds) triple — and the qps derived from it —
   // is never observed mid-update.  Touched once per batch and per scrape.

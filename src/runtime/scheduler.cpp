@@ -10,9 +10,11 @@ namespace tdam::runtime {
 namespace {
 
 // Fulfil a query's promise with a shards-never-touched terminal status,
-// closing out its trace span if the query carries one.
+// closing out its trace span if the query carries one.  Wire spans are NOT
+// recorded here: the TCP server still owes them encode/io_send stamps, so
+// the stamped span travels back through ServedResult instead.
 void finish(PendingQuery& query, QueryStatus status,
-            obs::FlightRecorder* recorder) {
+            obs::FlightRecorder* recorder, obs::SlowQueryLog* slow) {
   ServedResult out;
   out.status = status;
   out.queue_seconds = std::chrono::duration<double>(
@@ -22,7 +24,11 @@ void finish(PendingQuery& query, QueryStatus status,
   if (query.span.traced()) {
     query.span.status = static_cast<int>(status);
     query.span.fulfill_ns = obs::steady_now_ns() - query.span.enqueue_ns;
-    if (recorder) recorder->record(query.span);
+    if (!query.span.wire()) {
+      if (recorder) recorder->record(query.span);
+      if (slow) slow->maybe_capture(query.span);
+    }
+    out.span = query.span;
   }
   query.promise.set_value(std::move(out));
 }
@@ -30,8 +36,8 @@ void finish(PendingQuery& query, QueryStatus status,
 }  // namespace
 
 Scheduler::Scheduler(SchedulerOptions options, ServingMetrics* metrics,
-                     obs::FlightRecorder* recorder)
-    : options_(options), metrics_(metrics), recorder_(recorder) {
+                     obs::FlightRecorder* recorder, obs::SlowQueryLog* slow)
+    : options_(options), metrics_(metrics), recorder_(recorder), slow_(slow) {
   if (options_.max_batch < 1)
     throw std::invalid_argument("Scheduler: max_batch must be >= 1 (got " +
                                 std::to_string(options_.max_batch) + ")");
@@ -50,7 +56,8 @@ Scheduler::~Scheduler() {
     orphans.swap(queue_);
     publish_depth_locked();
   }
-  for (auto& query : orphans) finish(query, QueryStatus::kRejected, recorder_);
+  for (auto& query : orphans)
+    finish(query, QueryStatus::kRejected, recorder_, slow_);
 }
 
 void Scheduler::publish_depth_locked() {
@@ -75,7 +82,7 @@ void Scheduler::enqueue(PendingQuery query) {
         case AdmissionPolicy::kReject:
           if (metrics_) metrics_->record_rejected();
           lock.unlock();
-          finish(query, QueryStatus::kRejected, recorder_);
+          finish(query, QueryStatus::kRejected, recorder_, slow_);
           return;
         case AdmissionPolicy::kShedOldest:
           victim = std::move(queue_.front());
@@ -88,7 +95,7 @@ void Scheduler::enqueue(PendingQuery query) {
     if (closed_) {
       if (metrics_) metrics_->record_rejected();
       lock.unlock();
-      finish(query, QueryStatus::kRejected, recorder_);
+      finish(query, QueryStatus::kRejected, recorder_, slow_);
       return;
     }
     if (query.span.traced())  // admission cleared (kBlock may have waited)
@@ -97,7 +104,7 @@ void Scheduler::enqueue(PendingQuery query) {
     publish_depth_locked();
   }
   batch_ready_.notify_one();
-  if (have_victim) finish(victim, QueryStatus::kShed, recorder_);
+  if (have_victim) finish(victim, QueryStatus::kShed, recorder_, slow_);
 }
 
 std::vector<PendingQuery> Scheduler::next_batch() {

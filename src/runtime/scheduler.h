@@ -64,6 +64,12 @@ struct ServedResult {
   // Stage durations for this query; stages never reached stay -1 (tracing
   // off, or a non-kOk status).
   StageTimings stages;
+  // The query's full trace span at its server-side terminal transition.
+  // For in-process queries the server already recorded it; for wire
+  // queries (span.wire()) recording is DEFERRED — AmTcpServer stamps the
+  // remaining wire stages (completion_wait/encode/io_send) onto this copy
+  // and records it once the reply bytes reach the kernel.
+  obs::SpanRecord span;
 };
 
 struct SchedulerOptions {
@@ -94,10 +100,13 @@ class Scheduler {
   // batches simply flush at queue_capacity).  Metrics may be null; when
   // set, rejected/shed counters and the queue-depth gauge are recorded.
   // Recorder may be null; when set, queries terminated here (rejected,
-  // shed) have their spans stamped and recorded.
+  // shed) have their spans stamped and recorded — except wire spans, whose
+  // recording AmTcpServer owns (see ServedResult::span).  The slow log,
+  // when set, captures slow in-process terminations the same way.
   explicit Scheduler(SchedulerOptions options,
                      ServingMetrics* metrics = nullptr,
-                     obs::FlightRecorder* recorder = nullptr);
+                     obs::FlightRecorder* recorder = nullptr,
+                     obs::SlowQueryLog* slow = nullptr);
 
   // Safety net for owners destroyed with queries still queued (a dispatcher
   // that never drained, an owner whose constructor threw): closes admission
@@ -133,6 +142,7 @@ class Scheduler {
   SchedulerOptions options_;
   ServingMetrics* metrics_;
   obs::FlightRecorder* recorder_;
+  obs::SlowQueryLog* slow_;
   mutable std::mutex mutex_;
   std::condition_variable batch_ready_;   // dispatcher waits here
   std::condition_variable space_free_;    // kBlock producers wait here

@@ -1,9 +1,12 @@
 #include "runtime/server.h"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "core/backend.h"
 
 namespace tdam::runtime {
 
@@ -12,6 +15,17 @@ double seconds_between(std::chrono::steady_clock::time_point a,
                        std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
+
+// Queue-wait duration for a span: batch-form minus the submit-queue stamp.
+// In-process queries have no submit_queue stamp (offset -1 → clamped to 0),
+// so their queue wait is the full enqueue→batch-form interval; wire queries
+// subtract the receive/decode/submit time that preceded scheduler admission,
+// keeping the queue_wait stage family a pure admission-queue measurement.
+double queue_wait_seconds(const obs::SpanRecord& span) {
+  return static_cast<double>(span.batch_form_ns -
+                             std::max<std::int64_t>(span.submit_queue_ns, 0)) *
+         1e-9;
+}
 }  // namespace
 
 AmServer::AmServer(ShardedIndex& index, ServerOptions options)
@@ -19,11 +33,15 @@ AmServer::AmServer(ShardedIndex& index, ServerOptions options)
       options_(options),
       engine_(index, options.engine),
       recorder_(options.trace),
-      scheduler_(options.scheduler, &engine_.metrics(), &recorder_),
+      slow_(options.trace.slow_threshold_ns, options.trace.slow_capacity),
+      scheduler_(options.scheduler, &engine_.metrics(), &recorder_, &slow_),
       dispatcher_([this] { serve_loop(); }) {
   // Segment gauges and compaction timings land in this server's registry,
   // so one scrape covers admission, engine, and index lifecycle.
   index_.set_metrics(&engine_.metrics());
+  slow_.set_context({index_.backend_name(),
+                     core::metric_name(index_.metric()),
+                     index_.num_shards()});
 }
 
 AmServer::~AmServer() {
@@ -41,6 +59,12 @@ void AmServer::shutdown() {
 std::future<ServedResult> AmServer::submit(
     std::span<const int> query, int k,
     std::chrono::steady_clock::time_point deadline) {
+  return submit(query, k, deadline, obs::SpanRecord{});
+}
+
+std::future<ServedResult> AmServer::submit(
+    std::span<const int> query, int k,
+    std::chrono::steady_clock::time_point deadline, obs::SpanRecord seed) {
   if (k < 1)
     throw std::invalid_argument("AmServer::submit: k must be >= 1");
   if (static_cast<int>(query.size()) != index_.stages())
@@ -60,9 +84,12 @@ std::future<ServedResult> AmServer::submit(
   pending.enqueued = std::chrono::steady_clock::now();
   // Ids are assigned even with tracing off so every ServedResult is
   // correlatable; the enqueue stamp (which arms all later stage stamps) is
-  // only taken when tracing is on.
+  // only taken when tracing is on.  A traced wire seed already carries its
+  // base (frame receipt) and pre-server stamps — keep them, so the span's
+  // offsets stay anchored to one instant.
+  pending.span = seed;
   pending.span.trace_id = recorder_.next_trace_id();
-  if (recorder_.enabled())
+  if (pending.span.enqueue_ns < 0 && recorder_.enabled())
     pending.span.enqueue_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             pending.enqueued.time_since_epoch())
@@ -119,12 +146,16 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
       out.trace_id = query.span.trace_id;
       if (query.span.traced()) {
         if (query.span.batch_form_ns >= 0)
-          out.stages.queue_wait =
-              static_cast<double>(query.span.batch_form_ns) * 1e-9;
+          out.stages.queue_wait = queue_wait_seconds(query.span);
         query.span.status = static_cast<int>(QueryStatus::kDeadlineExpired);
+        query.span.k = query.k;
         query.span.fulfill_ns =
             obs::steady_now_ns() - query.span.enqueue_ns;
-        recorder_.record(query.span);
+        if (!query.span.wire()) {
+          recorder_.record(query.span);
+          slow_.maybe_capture(query.span);
+        }
+        out.span = query.span;
       }
       query.promise.set_value(std::move(out));
     } else {
@@ -175,8 +206,7 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
       auto& span = query.span;
       if (span.traced()) {
         if (span.batch_form_ns >= 0)
-          out.stages.queue_wait =
-              static_cast<double>(span.batch_form_ns) * 1e-9;
+          out.stages.queue_wait = queue_wait_seconds(span);
         if (span.batch_form_ns >= 0 && span.dispatch_ns >= span.batch_form_ns)
           out.stages.batch_wait =
               static_cast<double>(span.dispatch_ns - span.batch_form_ns) *
@@ -186,8 +216,14 @@ void AmServer::run_batch(std::vector<PendingQuery> batch) {
         span.merge_ns =
             static_cast<std::int64_t>(out.result.merge_seconds * 1e9);
         span.status = static_cast<int>(QueryStatus::kOk);
+        span.k = query.k;
+        span.generation = generation;
         span.fulfill_ns = obs::steady_now_ns() - span.enqueue_ns;
-        recorder_.record(span);
+        if (!span.wire()) {
+          recorder_.record(span);
+          slow_.maybe_capture(span);
+        }
+        out.span = span;
       }
       // scan/merge were already recorded by the engine inside submit_batch;
       // only the queueing stages are this layer's to report.

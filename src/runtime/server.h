@@ -80,6 +80,19 @@ class AmServer {
       std::span<const int> query, int k,
       std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
+  // Wire-path form: `seed` is a partially stamped span carrying the stages
+  // that happened before the query reached this server (io_recv / decode /
+  // submit_queue, with enqueue_ns = the frame-receipt instant as the base
+  // every later stamp offsets from).  The server assigns the trace id,
+  // keeps the seed's base, and stamps onward from it — so one span
+  // reconciles wire time against queue/dispatch/scan time.  A wire span
+  // (seed.wire()) is NOT recorded at the server-side terminal transition:
+  // it travels back through ServedResult::span for the TCP front-end to
+  // finish (completion_wait / encode / io_send) and record.
+  std::future<ServedResult> submit(
+      std::span<const int> query, int k,
+      std::chrono::steady_clock::time_point deadline, obs::SpanRecord seed);
+
   // Packed form: one future per row of `queries` (validated against the
   // index geometry), all sharing one deadline.
   std::vector<std::future<ServedResult>> submit(
@@ -103,6 +116,16 @@ class AmServer {
   // Sampled per-query spans (enqueue → admit → batch-form → dispatch →
   // scan/merge → fulfill); see obs::FlightRecorder for the sampling rules.
   const obs::FlightRecorder& recorder() const { return recorder_; }
+  // Mutable view for the TCP front-end: it seeds wire spans from
+  // next_trace_id()'s generator state and records the deferred wire spans
+  // into this same ring, so /traces covers both in-process and wire
+  // queries.
+  obs::FlightRecorder& recorder() { return recorder_; }
+  // Slow-query flight recorder: every query whose wall latency crossed
+  // ServerOptions::trace.slow_threshold_ns is captured with its full span
+  // regardless of 1-in-N sampling.  Disabled (threshold < 0) by default.
+  const obs::SlowQueryLog& slow_log() const { return slow_; }
+  obs::SlowQueryLog& slow_log() { return slow_; }
   const ServerOptions& options() const { return options_; }
 
   // Closes admission, serves/expires everything still queued, joins the
@@ -117,6 +140,7 @@ class AmServer {
   ServerOptions options_;
   SearchEngine engine_;
   obs::FlightRecorder recorder_;  // before scheduler_: it holds a pointer
+  obs::SlowQueryLog slow_;        // likewise
   Scheduler scheduler_;
   std::thread dispatcher_;
 };

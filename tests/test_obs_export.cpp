@@ -48,6 +48,65 @@ TEST(ObsRegistry, KindAndGeometryMismatchesThrow) {
   EXPECT_THROW(reg.histogram("h", "different range", 0.0, 2.0, 4),
                std::invalid_argument);
   EXPECT_NO_THROW(reg.histogram("h", "same geometry", 0.0, 1.0, 4));
+  // Layout is part of the geometry: a linear re-request of an exponential
+  // instrument (or vice versa) is a conflict, not a silent alias.
+  reg.exponential_histogram("x2", "exp", 1e-3, 1.0, 4);
+  EXPECT_THROW(reg.histogram("x2", "now linear", 1e-3, 1.0, 4),
+               std::invalid_argument);
+  EXPECT_NO_THROW(reg.exponential_histogram("x2", "same", 1e-3, 1.0, 4));
+}
+
+TEST(ObsRegistry, ExponentialHistogramEdgesAreGeometric) {
+  MetricsRegistry reg;
+  auto& h = reg.exponential_histogram("lat", "", 1e-6, 1.0, 12);
+  EXPECT_EQ(h.kind(), HistogramKind::kExponential);
+  const auto& edges = h.edges();
+  ASSERT_EQ(edges.size(), 13u);
+  EXPECT_DOUBLE_EQ(edges.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(edges.back(), 1.0);
+  const double growth = edges[1] / edges[0];
+  EXPECT_GT(growth, 1.0);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i)
+    EXPECT_NEAR(edges[i + 1] / edges[i], growth, 1e-9 * growth);
+
+  // An observation lands in the bin whose [edge_i, edge_{i+1}) brackets it.
+  h.observe(2e-6);
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.kind, HistogramKind::kExponential);
+  ASSERT_EQ(snap.counts.size(), 12u);
+  for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+    const bool brackets = snap.edges[b] <= 2e-6 && 2e-6 < snap.edges[b + 1];
+    EXPECT_EQ(snap.counts[b], brackets ? 1u : 0u) << "bin " << b;
+  }
+
+  // Below lo is underflow; at/above hi is overflow — same contract as the
+  // linear layout.
+  h.observe(5e-7);
+  h.observe(1.0);
+  snap = h.snapshot();
+  EXPECT_EQ(snap.underflow, 1u);
+  EXPECT_EQ(snap.overflow, 1u);
+  EXPECT_EQ(snap.total(), 3u);
+  // Quantile clamps under/overflow ranks to lo/hi, as documented.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1.0);
+}
+
+TEST(ObsRegistry, ExponentialHistogramResolvesSamplesDecadesApart) {
+  // The motivating property: microsecond and near-second samples land in
+  // distinct, well-separated bins of ONE instrument — a linear grid over
+  // the same range smears all the fast samples into its first bin.
+  MetricsRegistry reg;
+  auto& h = reg.exponential_histogram("wide", "", 1e-6, 10.0, 64);
+  for (int i = 0; i < 100; ++i) h.observe(5e-6);
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.underflow, 0u);
+  EXPECT_EQ(snap.overflow, 0u);
+  const double p25 = snap.quantile(0.25);
+  const double p75 = snap.quantile(0.75);
+  EXPECT_LT(p25, 1e-4);  // fast mode stays resolved near 5 µs
+  EXPECT_GT(p75, 0.05);  // slow mode stays resolved near 500 ms
 }
 
 TEST(ObsRegistry, CounterSumsStripesAndGaugeTracksMax) {
@@ -165,6 +224,28 @@ TEST(ObsExport, PrometheusEmitsHeaderOncePerLabeledFamily) {
   EXPECT_NE(text.find("stage_seconds_bucket{stage=\"scan\",le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("stage_seconds_bucket{stage=\"merge\",le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(ObsExport, ExponentialHistogramExportsGeometricBuckets) {
+  MetricsRegistry reg;
+  auto& h = reg.exponential_histogram("lat_seconds", "latency", 0.001, 1.0, 3);
+  h.observe(0.5);
+  const auto text = prom(reg);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  // The first le is the exact lo edge; cumulative count reaches 1 at +Inf.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.001\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 1\n"), std::string::npos);
+
+  std::ostringstream out;
+  export_json(out, reg);
+  const auto json = out.str();
+  // The JSON carries the layout explicitly: kind plus the full edge vector
+  // (leading edge exact-equal to lo), so scrapers never re-derive geometry.
+  EXPECT_NE(json.find("\"kind\":\"exponential\",\"edges\":[0.001,"),
             std::string::npos);
 }
 
